@@ -1,0 +1,71 @@
+// Benchmarks: one testing.B per experiment row of DESIGN.md §5.
+//
+// Each benchmark runs its experiment at QuickScale (seconds-fast) via
+// the shared harness and reports the paper's primary metric — mean
+// response time per stream event, per algorithm — as custom benchmark
+// outputs (ms_RTA, ms_MRIO, ...). The full-size axes are produced by
+// cmd/ctkbench with -scale default|full; see EXPERIMENTS.md for the
+// recorded tables.
+package ctk_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// runExperiment executes one registry experiment per benchmark
+// iteration and reports each series' mean per-event latency.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	sc := bench.QuickScale()
+	exp, ok := bench.Experiments(sc)[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(exp, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last == nil {
+		return
+	}
+	t := last.Table()
+	lastRow := len(t.XValues) - 1
+	for j, col := range t.Columns {
+		name := "ms_" + strings.ReplaceAll(col, "=", "")
+		b.ReportMetric(t.MS[lastRow][j], name)
+	}
+}
+
+// BenchmarkFig1a regenerates Figure 1(a): Wiki-Uniform, response time
+// vs number of queries.
+func BenchmarkFig1a(b *testing.B) { runExperiment(b, "fig1a") }
+
+// BenchmarkFig1b regenerates Figure 1(b): Wiki-Connected, response
+// time vs number of queries.
+func BenchmarkFig1b(b *testing.B) { runExperiment(b, "fig1b") }
+
+// BenchmarkEffectK regenerates the TKDE-style sweep over the result
+// size k.
+func BenchmarkEffectK(b *testing.B) { runExperiment(b, "extk") }
+
+// BenchmarkEffectLambda regenerates the TKDE-style sweep over the
+// decay rate λ.
+func BenchmarkEffectLambda(b *testing.B) { runExperiment(b, "extlambda") }
+
+// BenchmarkEffectQueryLen regenerates the TKDE-style sweep over query
+// length.
+func BenchmarkEffectQueryLen(b *testing.B) { runExperiment(b, "extqlen") }
+
+// BenchmarkUBImpl runs the ablation over MRIO's three UB*
+// implementations (segment tree, block maxima, sparse snapshot).
+func BenchmarkUBImpl(b *testing.B) { runExperiment(b, "ablub") }
+
+// BenchmarkShards runs the sharded-monitor scaling extension.
+func BenchmarkShards(b *testing.B) { runExperiment(b, "ablshard") }

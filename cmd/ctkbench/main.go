@@ -1,0 +1,94 @@
+// Command ctkbench runs the reproduction experiments and prints each
+// figure/table in the row/series layout of the paper.
+//
+// Usage:
+//
+//	ctkbench -list
+//	ctkbench -exp fig1a
+//	ctkbench -exp all -scale full
+//	ctkbench -exp fig1b -scale quick -quiet
+//
+// Scales: quick (seconds), default (minutes), full (paper axis, up to
+// 4·10⁶ queries — expect a long run and ≥16 GB of RAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard) or 'all'")
+		scale = flag.String("scale", "default", "quick | default | full")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		quiet = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	exps := bench.Experiments(sc)
+
+	if *list {
+		for _, id := range bench.IDs(sc) {
+			fmt.Printf("%-10s %s\n", id, exps[id].Title)
+		}
+		return
+	}
+	if *expID == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *expID == "all" {
+		ids = bench.IDs(sc)
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			if _, ok := exps[id]; !ok {
+				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	for _, id := range ids {
+		exp := exps[id]
+		fmt.Fprintf(os.Stderr, "== running %s (%d series × %d points, warmup %d, measure %d)\n",
+			id, len(exp.Series), len(exp.Points), exp.Warmup, exp.Measure)
+		res, err := bench.Run(exp, progress)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(os.Stdout)
+	}
+}
+
+func parseScale(s string) (bench.Scale, error) {
+	switch s {
+	case "quick":
+		return bench.QuickScale(), nil
+	case "default":
+		return bench.DefaultScale(), nil
+	case "full":
+		return bench.FullScale(), nil
+	}
+	return bench.Scale{}, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctkbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command ctkd runs the continuous top-k monitor as an HTTP service —
+// the "central processing server" of the paper's setting, exposed the
+// way a notification backend would consume it.
+//
+// Endpoints (JSON):
+//
+//	POST /queries     {"keywords": "...", "k": 10}        → {"id": 3}
+//	DELETE /queries/3                                      → 204
+//	POST /documents   {"text": "...", "time": 17.5}        → match stats
+//	GET  /results/3                                        → current top-k
+//	GET  /stats                                            → server counters
+//
+// Start with:
+//
+//	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+type server struct {
+	mu     sync.Mutex // serializes time assignment for Publish
+	engine *ctk.Engine
+	start  time.Time
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		lambda    = flag.Float64("lambda", 0.001, "decay rate per second")
+		algorithm = flag.String("algorithm", "MRIO", "matching algorithm")
+		shards    = flag.Int("shards", 0, "parallel shards (0 = single)")
+	)
+	flag.Parse()
+
+	engine, err := ctk.New(ctk.Options{
+		Algorithm:     *algorithm,
+		Lambda:        *lambda,
+		Shards:        *shards,
+		SnippetLength: 120,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{engine: engine, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.addQuery)
+	mux.HandleFunc("DELETE /queries/{id}", s.removeQuery)
+	mux.HandleFunc("POST /documents", s.publish)
+	mux.HandleFunc("GET /results/{id}", s.results)
+	mux.HandleFunc("GET /stats", s.stats)
+
+	log.Printf("ctkd listening on %s (algorithm=%s λ=%v)", *addr, *algorithm, *lambda)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func (s *server) now() float64 { return time.Since(s.start).Seconds() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) addQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Keywords string `json:"keywords"`
+		K        int    `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.engine.Register(req.Keywords, req.K)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint32{"id": uint32(id)})
+}
+
+func (s *server) removeQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.engine.Unregister(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) publish(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Text string   `json:"text"`
+		Time *float64 `json:"time,omitempty"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty document text"))
+		return
+	}
+	s.mu.Lock()
+	at := s.now()
+	if req.Time != nil {
+		at = *req.Time
+	}
+	st, err := s.engine.Publish(req.Text, at)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *server) results(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.Results(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func parseID(s string) (ctk.QueryID, error) {
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad query id %q", s)
+	}
+	return ctk.QueryID(n), nil
+}

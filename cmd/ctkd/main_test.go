@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine, err := ctk.New(ctk.Options{Lambda: 0.001, SnippetLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{engine: engine, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.addQuery)
+	mux.HandleFunc("DELETE /queries/{id}", s.removeQuery)
+	mux.HandleFunc("POST /documents", s.publish)
+	mux.HandleFunc("GET /results/{id}", s.results)
+	mux.HandleFunc("GET /stats", s.stats)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, out := post(t, ts.URL+"/queries", `{"keywords":"solar panel efficiency","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, out)
+	}
+	id := int(out["id"].(float64))
+
+	resp, _ = post(t, ts.URL+"/documents",
+		`{"text":"New solar panel efficiency record announced by the lab","time":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("publish: %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/documents", `{"text":"Completely unrelated sports story","time":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("publish 2: %d", resp.StatusCode)
+	}
+
+	r, err := http.Get(ts.URL + "/results/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []ctk.Result
+	if err := json.NewDecoder(r.Body).Decode(&results); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(results) != 1 || results[0].DocID != 0 {
+		t.Fatalf("results = %+v", results)
+	}
+	if !strings.Contains(results[0].Snippet, "solar") {
+		t.Fatalf("snippet missing: %+v", results[0])
+	}
+
+	r, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ctk.Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Queries != 1 || st.Documents != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/"+itoa(id), nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp2.StatusCode)
+	}
+	if r, _ = http.Get(ts.URL + "/results/" + itoa(id)); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed query results: %d", r.StatusCode)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	if resp, _ := post(t, ts.URL+"/queries", `{"keywords":"the and of"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stopword query: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/queries", `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/documents", `{"text":"   "}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty doc: %d", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/results/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: %d", r.StatusCode)
+	}
+	// Time regression must be rejected, not crash.
+	post(t, ts.URL+"/documents", `{"text":"later doc","time":100}`)
+	if resp, _ := post(t, ts.URL+"/documents", `{"text":"earlier doc","time":1}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("time regression: %d", resp.StatusCode)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,120 @@
+// Command ctkgen materializes the synthetic corpus and query workloads
+// to files, so experiments can be replayed outside the harness or fed
+// to other systems.
+//
+//	ctkgen -docs 10000 -queries 5000 -workload Connected -vocab 20000 -out ./data
+//
+// Output: <out>/corpus.jsonl (one document per line: id, terms,
+// weights) and <out>/queries.jsonl (id, k, terms, weights).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+type docRecord struct {
+	ID      uint64    `json:"id"`
+	Terms   []uint32  `json:"terms"`
+	Weights []float64 `json:"weights"`
+}
+
+type queryRecord struct {
+	ID      uint32    `json:"id"`
+	K       int       `json:"k"`
+	Terms   []uint32  `json:"terms"`
+	Weights []float64 `json:"weights"`
+}
+
+func main() {
+	var (
+		nDocs    = flag.Int("docs", 10000, "number of synthetic documents")
+		nQueries = flag.Int("queries", 5000, "number of queries")
+		kindName = flag.String("workload", "Uniform", "Uniform | Connected")
+		vocab    = flag.Int("vocab", 20000, "vocabulary size")
+		k        = flag.Int("k", 10, "result size per query")
+		seed     = flag.Int64("seed", 42, "random seed")
+		out      = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	kind, err := workload.ParseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	model := corpus.WikipediaModel(*vocab)
+
+	gen := corpus.NewGenerator(model, *seed, uint64(*nDocs))
+	if err := writeJSONL(filepath.Join(*out, "corpus.jsonl"), *nDocs, func(i int) any {
+		d := gen.Next()
+		return docRecord{ID: d.ID, Terms: terms(d.Vec), Weights: weights(d.Vec)}
+	}); err != nil {
+		fatal(err)
+	}
+
+	cfg := workload.DefaultConfig(kind, *nQueries)
+	cfg.K = *k
+	cfg.Seed = *seed
+	qs, err := workload.Generate(model, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeJSONL(filepath.Join(*out, "queries.jsonl"), len(qs), func(i int) any {
+		q := qs[i]
+		return queryRecord{ID: q.ID, K: q.K, Terms: terms(q.Vec), Weights: weights(q.Vec)}
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d documents and %d %s queries to %s\n", *nDocs, len(qs), kind, *out)
+}
+
+func terms(v textproc.Vector) []uint32 {
+	out := make([]uint32, len(v))
+	for i, tw := range v {
+		out[i] = uint32(tw.Term)
+	}
+	return out
+}
+
+func weights(v textproc.Vector) []float64 {
+	out := make([]float64, len(v))
+	for i, tw := range v {
+		out[i] = tw.Weight
+	}
+	return out
+}
+
+func writeJSONL(path string, n int, record func(i int) any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err := enc.Encode(record(i)); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctkgen:", err)
+	os.Exit(1)
+}

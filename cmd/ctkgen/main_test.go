@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	err := writeJSONL(path, 3, func(i int) any {
+		return docRecord{ID: uint64(i), Terms: []uint32{1, 2}, Weights: []float64{0.5, 0.5}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	n := 0
+	for sc.Scan() {
+		var rec docRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if rec.ID != uint64(n) || len(rec.Terms) != 2 {
+			t.Fatalf("line %d: %+v", n, rec)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d lines, want 3", n)
+	}
+}
+
+func TestTermsWeightsHelpers(t *testing.T) {
+	v := textproc.Vector{{Term: 3, Weight: 0.25}, {Term: 9, Weight: 0.75}}
+	ts := terms(v)
+	ws := weights(v)
+	if len(ts) != 2 || ts[0] != 3 || ts[1] != 9 {
+		t.Fatalf("terms = %v", ts)
+	}
+	if len(ws) != 2 || ws[0] != 0.25 || ws[1] != 0.75 {
+		t.Fatalf("weights = %v", ws)
+	}
+	if len(terms(nil)) != 0 || len(weights(nil)) != 0 {
+		t.Fatal("nil vector helpers wrong")
+	}
+}

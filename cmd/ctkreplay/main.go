@@ -1,0 +1,97 @@
+// Command ctkreplay streams a materialized dataset (produced by
+// ctkgen) through the monitor and reports per-event latency
+// statistics — the reproducible single-run counterpart of ctkbench.
+//
+//	ctkgen   -docs 50000 -queries 20000 -workload Connected -out data
+//	ctkreplay -data data -algorithm MRIO -lambda 0.01 -rate 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		dir       = flag.String("data", ".", "directory with corpus.jsonl and queries.jsonl")
+		algorithm = flag.String("algorithm", "MRIO", "matching algorithm")
+		lambda    = flag.Float64("lambda", 0.01, "decay rate per virtual second")
+		rate      = flag.Float64("rate", 100, "arrival rate (docs per virtual second)")
+		warmup    = flag.Int("warmup", 0, "events excluded from timing (default: 20%)")
+		shards    = flag.Int("shards", 0, "parallel shards (0 = single)")
+	)
+	flag.Parse()
+
+	alg, err := core.ParseAlgorithm(*algorithm)
+	if err != nil {
+		fatal(err)
+	}
+	qf, err := os.Open(filepath.Join(*dir, "queries.jsonl"))
+	if err != nil {
+		fatal(err)
+	}
+	defs, err := dataset.ReadQueries(qf)
+	qf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(filepath.Join(*dir, "corpus.jsonl"))
+	if err != nil {
+		fatal(err)
+	}
+	docs, err := dataset.ReadDocs(df)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(docs) == 0 || len(defs) == 0 {
+		fatal(fmt.Errorf("empty dataset: %d docs, %d queries", len(docs), len(defs)))
+	}
+	if *warmup == 0 {
+		*warmup = len(docs) / 5
+	}
+
+	mon, err := core.NewMonitor(core.Config{
+		Algorithm: alg,
+		Lambda:    *lambda,
+		Shards:    *shards,
+	}, defs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d documents against %d queries (%s, λ=%v)\n",
+		len(docs), len(defs), alg, *lambda)
+
+	var sample stats.Sample
+	var evalSum, matchSum int
+	for i, d := range docs {
+		t := float64(i) / *rate
+		start := time.Now()
+		st, err := mon.Process(d, t)
+		if err != nil {
+			fatal(err)
+		}
+		if i >= *warmup {
+			sample.AddDuration(time.Since(start))
+			evalSum += st.Evaluated
+			matchSum += st.Matched
+		}
+	}
+	n := len(docs) - *warmup
+	fmt.Printf("events timed:        %d (after %d warm-up)\n", n, *warmup)
+	fmt.Printf("response time (ms):  %s\n", sample.Summary())
+	fmt.Printf("evaluations/event:   %.1f\n", float64(evalSum)/float64(n))
+	fmt.Printf("result updates/event:%.2f\n", float64(matchSum)/float64(n))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctkreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,250 @@
+// Package ctk (continuous top-k) is the public face of this
+// repository: a production-shaped Go implementation of
+//
+//	U, Zhang, Mouratidis, Li — "Continuous Top-k Monitoring on
+//	Document Streams", ICDE 2018 (extended abstract of TKDE 29(5),
+//	2017).
+//
+// A central Engine hosts continuous top-k queries over documents
+// (CTQDs). Each query is a set of weighted keywords plus a result size
+// k; as documents stream in, the engine keeps every query's top-k most
+// relevant documents fresh, under exponential recency decay. Matching
+// uses the paper's MRIO algorithm (Reverse ID-Ordering with minimal
+// locally-adaptive bounds) by default; the evaluation baselines (RIO,
+// RTA, SortQuer, TPS) are selectable for comparison.
+//
+// Two API levels are offered:
+//
+//   - The Engine in this package works on raw text: Register keyword
+//     queries, Publish documents, read Results. Tokenization, tf-idf
+//     weighting and vocabulary management are handled internally.
+//   - The vector level (core.Monitor, re-exported below) works on
+//     pre-built sparse vectors and is what the benchmark harness uses.
+package ctk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/textproc"
+)
+
+// Re-exported vector-level types, for advanced use.
+type (
+	// Monitor is the vector-level CTQD server.
+	Monitor = core.Monitor
+	// MonitorConfig parameterizes a Monitor.
+	MonitorConfig = core.Config
+	// QueryDef is a vector-level query definition.
+	QueryDef = core.QueryDef
+	// Document is a vector-level stream document.
+	Document = corpus.Document
+	// Vector is a sparse term vector.
+	Vector = textproc.Vector
+)
+
+// NewMonitor builds a vector-level monitor (see core.NewMonitor).
+func NewMonitor(cfg MonitorConfig, defs []QueryDef) (*Monitor, error) {
+	return core.NewMonitor(cfg, defs)
+}
+
+// QueryID identifies a registered query.
+type QueryID uint32
+
+// Result is one entry of a query's current top-k.
+type Result struct {
+	// DocID is the engine-assigned document identifier, in publication
+	// order.
+	DocID uint64
+	// Score is the present-time (decayed) relevance score.
+	Score float64
+	// Snippet is the head of the document's text, when the engine is
+	// configured to retain snippets.
+	Snippet string
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Algorithm selects the matching algorithm by name: "MRIO"
+	// (default), "RIO", "RTA", "SortQuer", "TPS" or "Exhaustive".
+	Algorithm string
+	// Lambda is the exponential decay rate per unit of stream time
+	// (0 disables recency decay).
+	Lambda float64
+	// Shards processes the query set in parallel partitions (default 1).
+	Shards int
+	// DefaultK is the result size used when Register is called with
+	// k ≤ 0 (default 10).
+	DefaultK int
+	// SnippetLength retains the first N runes of each published
+	// document for display in Results (0 disables retention).
+	SnippetLength int
+	// Stemming applies Porter stemming to query and document tokens,
+	// so "monitoring" matches "monitors".
+	Stemming bool
+}
+
+// Engine is the text-level continuous top-k monitor. It is safe for
+// concurrent use.
+type Engine struct {
+	mu       sync.Mutex
+	opts     Options
+	vocab    *textproc.Vocabulary
+	tok      *textproc.Tokenizer
+	weighter *textproc.Weighter
+	mon      *core.Monitor
+	nextDoc  uint64
+	snips    map[uint64]string
+}
+
+// ErrNoTerms reports a query or document whose text yields no usable
+// terms after tokenization.
+var ErrNoTerms = errors.New("ctk: no usable terms after tokenization")
+
+// New creates an empty Engine.
+func New(opts Options) (*Engine, error) {
+	if opts.DefaultK <= 0 {
+		opts.DefaultK = 10
+	}
+	algoName := opts.Algorithm
+	if algoName == "" {
+		algoName = string(core.AlgoMRIO)
+	}
+	alg, err := core.ParseAlgorithm(algoName)
+	if err != nil {
+		return nil, err
+	}
+	vocab := textproc.NewVocabulary()
+	mon, err := core.NewMonitor(core.Config{
+		Algorithm: alg,
+		Lambda:    opts.Lambda,
+		Shards:    opts.Shards,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:     opts,
+		vocab:    vocab,
+		tok:      textproc.NewTokenizer(),
+		weighter: textproc.NewWeighter(vocab, textproc.WeightLogTFIDF),
+		mon:      mon,
+	}
+	if opts.SnippetLength > 0 {
+		e.snips = make(map[uint64]string)
+	}
+	return e, nil
+}
+
+// analyze runs the engine's token pipeline (tokenize, optional stem).
+func (e *Engine) analyze(text string) []string {
+	tokens := e.tok.Tokenize(text)
+	if e.opts.Stemming {
+		tokens = textproc.StemAll(tokens)
+	}
+	return tokens
+}
+
+// Register adds a continuous query from keyword text. Keywords may
+// repeat to express preference weight ("go go databases" weights "go"
+// double). k ≤ 0 uses the engine default.
+func (e *Engine) Register(keywords string, k int) (QueryID, error) {
+	if k <= 0 {
+		k = e.opts.DefaultK
+	}
+	tokens := e.analyze(keywords)
+	if len(tokens) == 0 {
+		return 0, fmt.Errorf("%w: %q", ErrNoTerms, keywords)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	vec := e.weighter.VectorFromTokens(tokens)
+	id, err := e.mon.AddQuery(core.QueryDef{Vec: vec, K: k})
+	if err != nil {
+		return 0, err
+	}
+	return QueryID(id), nil
+}
+
+// Unregister removes a query.
+func (e *Engine) Unregister(id QueryID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mon.RemoveQuery(uint32(id))
+}
+
+// PublishStats reports the matching work one publication caused.
+type PublishStats struct {
+	// DocID is the identifier assigned to the document.
+	DocID uint64
+	// Updated counts queries whose top-k changed.
+	Updated int
+	// Evaluated counts queries scored exactly.
+	Evaluated int
+}
+
+// Publish feeds one document into the stream at the given time (any
+// non-decreasing float timeline: seconds, unix time...). Documents
+// with no usable terms are accepted (they match nothing).
+func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	vec := e.weighter.DocumentVector(e.analyze(text))
+	id := e.nextDoc
+	e.nextDoc++
+	st, err := e.mon.Process(corpus.Document{ID: id, Vec: vec}, at)
+	if err != nil {
+		return PublishStats{}, err
+	}
+	if e.snips != nil {
+		r := []rune(text)
+		if len(r) > e.opts.SnippetLength {
+			r = r[:e.opts.SnippetLength]
+		}
+		e.snips[id] = string(r)
+	}
+	return PublishStats{DocID: id, Updated: st.Matched, Evaluated: st.Evaluated}, nil
+}
+
+// Results returns a query's current top-k, best first, with
+// present-time scores.
+func (e *Engine) Results(id QueryID) ([]Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	top, err := e.mon.Top(uint32(id))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(top))
+	for i, r := range top {
+		out[i] = Result{DocID: r.DocID, Score: r.Score}
+		if e.snips != nil {
+			out[i].Snippet = e.snips[r.DocID]
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes engine activity.
+type Stats struct {
+	Queries   int
+	Documents uint64
+	Evaluated int
+	Matched   int
+}
+
+// Stats returns cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.mon.Totals()
+	return Stats{
+		Queries:   e.mon.NumQueries(),
+		Documents: e.mon.Events(),
+		Evaluated: t.Evaluated,
+		Matched:   t.Matched,
+	}
+}

@@ -1,0 +1,245 @@
+package ctk
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestEngineEndToEnd(t *testing.T) {
+	e, err := New(Options{Lambda: 0.001, SnippetLength: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sports, err := e.Register("football championship goal", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markets, err := e.Register("stock market crash recession", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		"The championship final saw a stunning goal in extra time as the football world watched.",
+		"Stock market indices fell sharply today amid recession fears and crash warnings.",
+		"A quiet day in parliament with routine legislative business.",
+		"Another football goal ruled out; the championship race tightens.",
+	}
+	for i, d := range docs {
+		if _, err := e.Publish(d, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, err := e.Results(sports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("sports results = %d, want 2 (docs 0 and 3)", len(top))
+	}
+	got := map[uint64]bool{top[0].DocID: true, top[1].DocID: true}
+	if !got[0] || !got[3] {
+		t.Fatalf("sports matched wrong docs: %+v", top)
+	}
+	if !strings.Contains(top[0].Snippet, " ") {
+		t.Fatalf("snippet missing: %+v", top[0])
+	}
+	mtop, err := e.Results(markets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mtop) != 1 || mtop[0].DocID != 1 {
+		t.Fatalf("markets results = %+v", mtop)
+	}
+	st := e.Stats()
+	if st.Queries != 2 || st.Documents != 4 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestEngineDecayPrefersRecent(t *testing.T) {
+	e, err := New(Options{Lambda: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register("kernel scheduler", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strong early match, then a weak late one far in the future.
+	if _, err := e.Publish("kernel scheduler kernel scheduler deep dive", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Publish("the scheduler, among many other unrelated words in a much longer filler document", 30); err != nil {
+		t.Fatal(err)
+	}
+	top, err := e.Results(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].DocID != 1 {
+		t.Fatalf("decay did not promote recent doc: %+v", top)
+	}
+}
+
+func TestEngineRegisterErrors(t *testing.T) {
+	e, _ := New(Options{})
+	if _, err := e.Register("the and of", 5); !errors.Is(err, ErrNoTerms) {
+		t.Fatalf("stopword-only query err = %v", err)
+	}
+	if _, err := e.Register("", 5); !errors.Is(err, ErrNoTerms) {
+		t.Fatalf("empty query err = %v", err)
+	}
+}
+
+func TestEngineUnregister(t *testing.T) {
+	e, _ := New(Options{})
+	q, err := e.Register("quantum computing", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unregister(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Results(q); err == nil {
+		t.Fatal("results of removed query returned")
+	}
+	if err := e.Unregister(q); err == nil {
+		t.Fatal("double unregister accepted")
+	}
+}
+
+func TestEngineDefaultK(t *testing.T) {
+	e, _ := New(Options{DefaultK: 2})
+	q, _ := e.Register("alpha beta", 0)
+	for i := 0; i < 5; i++ {
+		if _, err := e.Publish(fmt.Sprintf("alpha beta doc %c", 'a'+i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top, _ := e.Results(q)
+	if len(top) != 2 {
+		t.Fatalf("DefaultK not honored: %d results", len(top))
+	}
+}
+
+func TestEngineBadOptions(t *testing.T) {
+	if _, err := New(Options{Algorithm: "NotAnAlgorithm"}); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestEngineAllAlgorithmsAgree(t *testing.T) {
+	algos := []string{"Exhaustive", "MRIO", "RIO", "RTA", "SortQuer", "TPS"}
+	queries := []string{
+		"database index performance",
+		"stream processing latency",
+		"database stream",
+	}
+	var docs []string
+	for i := 0; i < 40; i++ {
+		docs = append(docs,
+			fmt.Sprintf("doc %d touching database topics index structures performance %d", i, i%7),
+			fmt.Sprintf("doc %d about stream processing and latency budgets %d", i, i%5),
+		)
+	}
+	type resultSet [][]Result
+	var all []resultSet
+	for _, a := range algos {
+		e, err := New(Options{Algorithm: a, Lambda: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qids []QueryID
+		for _, q := range queries {
+			id, err := e.Register(q, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qids = append(qids, id)
+		}
+		for i, d := range docs {
+			if _, err := e.Publish(d, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var rs resultSet
+		for _, id := range qids {
+			r, err := e.Results(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, r)
+		}
+		all = append(all, rs)
+	}
+	for i := 1; i < len(all); i++ {
+		for q := range all[0] {
+			if len(all[i][q]) != len(all[0][q]) {
+				t.Fatalf("%s: query %d has %d results, oracle %d",
+					algos[i], q, len(all[i][q]), len(all[0][q]))
+			}
+			for r := range all[0][q] {
+				if all[i][q][r].DocID != all[0][q][r].DocID {
+					t.Fatalf("%s: query %d rank %d: doc %d vs %d",
+						algos[i], q, r, all[i][q][r].DocID, all[0][q][r].DocID)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineConcurrentPublishReaders(t *testing.T) {
+	e, _ := New(Options{Lambda: 0.01})
+	q, err := e.Register("concurrent access pattern", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := e.Results(q); err != nil {
+				t.Error(err)
+				return
+			}
+			e.Stats()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := e.Publish(fmt.Sprintf("a concurrent access pattern doc %d", i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestEngineStemming(t *testing.T) {
+	e, err := New(Options{Stemming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Register("monitoring streams", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Publish("The system monitors several document streams continuously", 1); err != nil {
+		t.Fatal(err)
+	}
+	top, err := e.Results(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 {
+		t.Fatalf("stemmed match missing: %+v", top)
+	}
+	// Without stemming the same pair must not match on "monitoring".
+	plain, _ := New(Options{})
+	q2, _ := plain.Register("monitoring", 3)
+	plain.Publish("The system monitors things", 1)
+	top2, _ := plain.Results(q2)
+	if len(top2) != 0 {
+		t.Fatalf("unstemmed engine matched morphological variant: %+v", top2)
+	}
+}

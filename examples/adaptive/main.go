@@ -1,0 +1,110 @@
+// Adaptive demonstrates the paper's core technical idea live: how the
+// locally adaptive bounds of MRIO (Eq. 3) shrink the work per stream
+// event relative to RIO's global bounds (Eq. 2) and to the exhaustive
+// strategy — the quantity the paper proves minimal (Lemma 2).
+//
+// It runs the identical document stream through Exhaustive, RIO and
+// the three MRIO bound implementations, and reports exact evaluations,
+// pivot iterations and wall time side by side.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		nQueries = 30000
+		vocab    = 10000
+		warmup   = 1500
+		measure  = 500
+		lambda   = 0.01
+	)
+	model := corpus.WikipediaModel(vocab)
+	cfg := workload.DefaultConfig(workload.Connected, nQueries)
+	queries, err := workload.Generate(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vecs := make([]textproc.Vector, len(queries))
+	ks := make([]int, len(queries))
+	for i, q := range queries {
+		vecs[i] = q.Vec
+		ks[i] = q.K
+	}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("index: %d queries, %d lists, %d postings (max list %d)\n\n",
+		st.Queries, st.Lists, st.Postings, st.MaxList)
+
+	gen := corpus.NewGenerator(model, 21, warmup+measure)
+	src, err := stream.NewSource(gen, 100, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := src.Take(warmup + measure)
+
+	build := []struct {
+		name string
+		mk   func() (algo.Processor, error)
+	}{
+		{"Exhaustive", func() (algo.Processor, error) { return algo.NewExhaustive(ix) }},
+		{"RIO", func() (algo.Processor, error) { return algo.NewRIO(ix) }},
+		{"MRIO(seg)", func() (algo.Processor, error) { return algo.NewMRIO(ix, rangemax.KindSegTree) }},
+		{"MRIO(block)", func() (algo.Processor, error) { return algo.NewMRIO(ix, rangemax.KindBlock) }},
+		{"MRIO(sparse)", func() (algo.Processor, error) { return algo.NewMRIO(ix, rangemax.KindSparse) }},
+	}
+
+	fmt.Printf("%-13s %12s %12s %12s %12s\n", "algorithm", "evals/event", "iters/event", "jumpalls/ev", "time/event")
+	for _, b := range build {
+		proc, err := b.mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		decay, err := stream.NewDecay(lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total algo.EventMetrics
+		var elapsed time.Duration
+		for i, ev := range events {
+			for decay.NeedsRebase(ev.Time) {
+				proc.Rebase(decay.RebaseTo(ev.Time))
+			}
+			e := decay.Factor(ev.Time)
+			start := time.Now()
+			met := proc.ProcessEvent(ev.Doc, e)
+			if i >= warmup {
+				elapsed += time.Since(start)
+				total.Evaluated += met.Evaluated
+				total.Iterations += met.Iterations
+				total.JumpAlls += met.JumpAlls
+			}
+		}
+		n := float64(measure)
+		fmt.Printf("%-13s %12.1f %12.1f %12.1f %12s\n",
+			b.name,
+			float64(total.Evaluated)/n,
+			float64(total.Iterations)/n,
+			float64(total.JumpAlls)/n,
+			(elapsed / time.Duration(measure)).Round(time.Microsecond))
+	}
+	fmt.Println("\nThe locally adaptive bounds (MRIO) evaluate far fewer queries per")
+	fmt.Println("event than RIO's global bounds, which in turn evaluate a fraction")
+	fmt.Println("of the exhaustive candidate set — the paper's Lemma 2 in action.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: register keyword queries, publish documents, read each
+// query's continuously maintained top-k.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// An engine with mild recency decay: scores halve roughly every
+	// 70 time units.
+	engine, err := ctk.New(ctk.Options{Lambda: 0.01, SnippetLength: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two standing queries — the "user preferences" of the paper.
+	climate, err := engine.Register("climate policy emissions", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chips, err := engine.Register("semiconductor fabrication chips", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small document stream. In production these would arrive from a
+	// feed; timestamps are any non-decreasing timeline.
+	docs := []string{
+		"Parliament debates a new climate policy targeting industrial emissions by 2035.",
+		"A semiconductor startup unveils a novel chips packaging technique for fabrication yield.",
+		"Football season opens with a dramatic overtime finish.",
+		"Emissions trading scheme reform: climate policy analysts react.",
+		"Fabrication capacity for advanced chips remains the semiconductor industry's bottleneck.",
+		"Another climate summit ends with a non-binding emissions pledge.",
+	}
+	for i, text := range docs {
+		stats, err := engine.Publish(text, float64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("doc %d updated %d queries\n", stats.DocID, stats.Updated)
+	}
+
+	for name, id := range map[string]ctk.QueryID{"climate": climate, "chips": chips} {
+		fmt.Printf("\ntop documents for %q:\n", name)
+		results, err := engine.Results(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for rank, r := range results {
+			fmt.Printf("  %d. doc %d (score %.4f) %s…\n", rank+1, r.DocID, r.Score, r.Snippet)
+		}
+	}
+}

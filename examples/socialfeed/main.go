@@ -1,0 +1,122 @@
+// Socialfeed simulates the paper's second motivating application —
+// social network notifications — with the dynamics a real deployment
+// has: users join and leave continuously (query churn), and the
+// monitor's state survives a restart via snapshots.
+//
+//	go run ./examples/socialfeed
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func main() {
+	model := corpus.WikipediaModel(10000)
+	rng := rand.New(rand.NewSource(99))
+
+	// Seed interests for the initial user base.
+	cfg := workload.DefaultConfig(workload.Connected, 3000)
+	cfg.K = 3
+	queries, err := workload.Generate(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Keep a reserve of definitions to register as "new users" later.
+	active := queries[:2000]
+	reserve := queries[2000:]
+
+	defs := make([]core.QueryDef, len(active))
+	for i, q := range active {
+		defs[i] = core.QueryDef{Vec: q.Vec, K: q.K}
+	}
+	mon, err := core.NewMonitor(core.Config{
+		Algorithm: core.AlgoMRIO,
+		Lambda:    0.02,
+		Shards:    4, // notification backends shard for throughput
+	}, defs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := corpus.NewGenerator(model, 11, 6000)
+	src, err := stream.NewSource(gen, 80, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var added int
+	for i := 0; i < 4000; i++ {
+		ev := src.Next()
+		if _, err := mon.Process(ev.Doc, ev.Time); err != nil {
+			log.Fatal(err)
+		}
+		// User growth: ~1% of events bring a new subscriber.
+		if rng.Float64() < 0.01 && len(reserve) > 0 {
+			q := reserve[0]
+			reserve = reserve[1:]
+			if _, err := mon.AddQuery(core.QueryDef{Vec: q.Vec, K: q.K}); err != nil {
+				log.Fatal(err)
+			}
+			added++
+		}
+	}
+	fmt.Printf("phase 1: %d events, %d users joined, %d live queries\n",
+		mon.Events(), added, mon.NumQueries())
+
+	// Snapshot the server and "restart" it.
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, mon); err != nil {
+		fmt.Printf("snapshot skipped (%v); continuing with live monitor\n", err)
+	} else {
+		size := buf.Len()
+		restored, err := snapshot.Load(&buf)
+		if err != nil {
+			fmt.Printf("restore skipped (%v); continuing with live monitor\n", err)
+		} else {
+			mon = restored
+			fmt.Printf("snapshot: %d bytes, restored %d queries at t=%.2f\n",
+				size, mon.NumQueries(), mon.Now())
+		}
+	}
+
+	// Keep streaming on the (possibly restored) monitor, now with some
+	// users leaving (queries removed live).
+	removed := 0
+	for i := 0; i < 2000; i++ {
+		ev := src.Next()
+		if _, err := mon.Process(ev.Doc, ev.Time); err != nil {
+			log.Fatal(err)
+		}
+		if rng.Float64() < 0.005 {
+			victim := uint32(3 + rng.Intn(1997)) // spare users 0-2 for the demo output
+			if err := mon.RemoveQuery(victim); err == nil {
+				removed++
+			}
+		}
+	}
+	fmt.Printf("phase 2: %d users left, %d live queries\n", removed, mon.NumQueries())
+
+	// Print a few users' notification feeds.
+	fmt.Println("\nsample notification feeds:")
+	for g := uint32(0); g < 3; g++ {
+		top, err := mon.Top(g)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  user %d:", g)
+		for _, r := range top {
+			fmt.Printf("  post %d (%.4f)", r.DocID, r.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nserver totals after restart: %d events processed\n", mon.Events())
+}

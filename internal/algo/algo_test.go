@@ -1,0 +1,347 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+// buildFixture creates a small but non-trivial world: a synthetic
+// corpus model, a query workload, the index, and a replayable stream.
+func buildFixture(t testing.TB, kind workload.Kind, nQueries, nDocs int, k int, seed int64) (*index.Index, []stream.Event) {
+	t.Helper()
+	model := corpus.WikipediaModel(800)
+	model.DocLenMedian = 25
+	cfg := workload.DefaultConfig(kind, nQueries)
+	cfg.K = k
+	cfg.Seed = seed
+	qs, err := workload.Generate(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([]textproc.Vector, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		ks[i] = q.K
+	}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(model, seed+1000, uint64(nDocs))
+	src, err := stream.NewSource(gen, 10, seed+2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, src.Take(nDocs)
+}
+
+// allProcessors builds one of every algorithm over the same index.
+func allProcessors(t testing.TB, ix *index.Index) []Processor {
+	t.Helper()
+	var ps []Processor
+	mk := func(p Processor, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	ex, err := NewExhaustive(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps = append(ps, ex)
+	mk(NewRIO(ix))
+	mk(NewMRIO(ix, rangemax.KindSegTree))
+	mk(NewMRIO(ix, rangemax.KindBlock))
+	mk(NewMRIO(ix, rangemax.KindSparse))
+	mk(NewRTA(ix))
+	mk(NewSortQuer(ix))
+	mk(NewTPS(ix))
+	return ps
+}
+
+// runAll streams events through every processor with the given decay,
+// rebasing where the decay demands it.
+func runAll(t testing.TB, ps []Processor, events []stream.Event, lambda float64) {
+	t.Helper()
+	d, err := stream.NewDecay(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		for d.NeedsRebase(ev.Time) {
+			f := d.RebaseTo(ev.Time)
+			for _, p := range ps {
+				p.Rebase(f)
+			}
+		}
+		e := d.Factor(ev.Time)
+		for _, p := range ps {
+			p.ProcessEvent(ev.Doc, e)
+		}
+	}
+}
+
+// assertResultsEqual compares every query's top-k across processors
+// against the first (the oracle).
+func assertResultsEqual(t *testing.T, ps []Processor, n int) {
+	t.Helper()
+	oracle := ps[0]
+	for _, p := range ps[1:] {
+		for q := uint32(0); q < uint32(n); q++ {
+			want := oracle.Results().Top(q)
+			got := p.Results().Top(q)
+			if len(want) != len(got) {
+				t.Fatalf("%s: query %d has %d results, oracle has %d",
+					p.Name(), q, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].DocID != got[i].DocID {
+					t.Fatalf("%s: query %d rank %d doc %d, oracle %d",
+						p.Name(), q, i, got[i].DocID, want[i].DocID)
+				}
+				if math.Abs(want[i].Score-got[i].Score) > 1e-9*math.Max(1, math.Abs(want[i].Score)) {
+					t.Fatalf("%s: query %d rank %d score %v, oracle %v",
+						p.Name(), q, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestAllAlgorithmsMatchOracleUniform(t *testing.T) {
+	ix, events := buildFixture(t, workload.Uniform, 250, 300, 3, 1)
+	ps := allProcessors(t, ix)
+	runAll(t, ps, events, 0.01)
+	assertResultsEqual(t, ps, ix.NumQueries())
+}
+
+func TestAllAlgorithmsMatchOracleConnected(t *testing.T) {
+	ix, events := buildFixture(t, workload.Connected, 250, 300, 3, 2)
+	ps := allProcessors(t, ix)
+	runAll(t, ps, events, 0.01)
+	assertResultsEqual(t, ps, ix.NumQueries())
+}
+
+func TestAllAlgorithmsMatchOracleNoDecay(t *testing.T) {
+	ix, events := buildFixture(t, workload.Uniform, 200, 250, 5, 3)
+	ps := allProcessors(t, ix)
+	runAll(t, ps, events, 0)
+	assertResultsEqual(t, ps, ix.NumQueries())
+}
+
+func TestAllAlgorithmsMatchOracleK1(t *testing.T) {
+	ix, events := buildFixture(t, workload.Connected, 200, 250, 1, 4)
+	ps := allProcessors(t, ix)
+	runAll(t, ps, events, 0.05)
+	assertResultsEqual(t, ps, ix.NumQueries())
+}
+
+func TestAllAlgorithmsMatchOracleAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short")
+	}
+	for seed := int64(10); seed < 14; seed++ {
+		ix, events := buildFixture(t, workload.Uniform, 150, 200, 2, seed)
+		ps := allProcessors(t, ix)
+		runAll(t, ps, events, 0.02)
+		assertResultsEqual(t, ps, ix.NumQueries())
+	}
+}
+
+// TestRebaseEquivalence forces many rebases with an aggressive λ and
+// verifies all algorithms still agree (the rebase path rescales
+// thresholds, heaps and ratio units).
+func TestRebaseEquivalence(t *testing.T) {
+	ix, events := buildFixture(t, workload.Uniform, 150, 400, 3, 5)
+	// Stretch event times so λ·Δτ crosses the rebase threshold several
+	// times during the run.
+	for i := range events {
+		events[i].Time *= 50
+	}
+	ps := allProcessors(t, ix)
+	runAll(t, ps, events, 30) // λ·t_max ≈ 30·40·50 ≫ 500 → many rebases
+	assertResultsEqual(t, ps, ix.NumQueries())
+}
+
+// TestMRIOIterationOptimality checks the paper's Lemma 2 claim in
+// measurable form: MRIO (exact zone bounds) never needs more pivot
+// iterations than RIO on the same stream.
+func TestMRIOIterationOptimality(t *testing.T) {
+	ix, events := buildFixture(t, workload.Uniform, 300, 250, 3, 6)
+	rio, err := NewRIO(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrio, err := NewMRIO(ix, rangemax.KindSegTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := stream.NewDecay(0.01)
+	var rioIters, mrioIters int
+	for _, ev := range events {
+		e := d.Factor(ev.Time)
+		rioIters += rio.ProcessEvent(ev.Doc, e).Iterations
+		mrioIters += mrio.ProcessEvent(ev.Doc, e).Iterations
+	}
+	if mrioIters > rioIters {
+		t.Fatalf("MRIO used %d iterations, RIO %d — violates minimality", mrioIters, rioIters)
+	}
+	if mrioIters == 0 || rioIters == 0 {
+		t.Fatal("no iterations recorded; fixture too small")
+	}
+}
+
+// TestMRIOEvaluatesNoMoreThanRIO: tighter bounds must not increase the
+// number of exact evaluations.
+func TestMRIOEvaluatesNoMoreThanRIO(t *testing.T) {
+	ix, events := buildFixture(t, workload.Connected, 300, 250, 3, 7)
+	rio, _ := NewRIO(ix)
+	mrio, _ := NewMRIO(ix, rangemax.KindSegTree)
+	d, _ := stream.NewDecay(0.01)
+	var rioEval, mrioEval int
+	for _, ev := range events {
+		e := d.Factor(ev.Time)
+		rioEval += rio.ProcessEvent(ev.Doc, e).Evaluated
+		mrioEval += mrio.ProcessEvent(ev.Doc, e).Evaluated
+	}
+	if mrioEval > rioEval {
+		t.Fatalf("MRIO evaluated %d queries, RIO %d", mrioEval, rioEval)
+	}
+}
+
+// TestPrunedAlgorithmsTouchFewerPostings: the whole point of pruning.
+func TestPrunedAlgorithmsTouchFewerPostings(t *testing.T) {
+	ix, events := buildFixture(t, workload.Uniform, 400, 300, 3, 8)
+	ex, _ := NewExhaustive(ix)
+	mrio, _ := NewMRIO(ix, rangemax.KindSegTree)
+	d, _ := stream.NewDecay(0.01)
+	var exEval, mrioEval int
+	for _, ev := range events {
+		e := d.Factor(ev.Time)
+		exEval += ex.ProcessEvent(ev.Doc, e).Evaluated
+		mrioEval += mrio.ProcessEvent(ev.Doc, e).Evaluated
+	}
+	if mrioEval >= exEval {
+		t.Fatalf("MRIO evaluated %d ≥ exhaustive %d: pruning ineffective", mrioEval, exEval)
+	}
+}
+
+// Hand-built scenario with scores verifiable by hand.
+func TestHandVerifiedScenario(t *testing.T) {
+	// Query 0: terms {1:0.6, 2:0.8}, k=1.
+	// Query 1: term {2:1.0}, k=1.
+	// Query 2: term {3:1.0}, k=2.
+	vecs := []textproc.Vector{
+		{{Term: 1, Weight: 0.6}, {Term: 2, Weight: 0.8}},
+		{{Term: 2, Weight: 1.0}},
+		{{Term: 3, Weight: 1.0}},
+	}
+	ix, err := index.Build(vecs, []int{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []corpus.Document{
+		{ID: 100, Vec: textproc.Vector{{Term: 1, Weight: 1.0}}},                         // hits q0 (0.6)
+		{ID: 101, Vec: textproc.Vector{{Term: 2, Weight: 0.5}, {Term: 3, Weight: 0.5}}}, // q0:0.4 q1:0.5 q2:0.5
+		{ID: 102, Vec: textproc.Vector{{Term: 2, Weight: 1.0}}},                         // q0:0.8 q1:1.0
+		{ID: 103, Vec: textproc.Vector{{Term: 4, Weight: 1.0}}},                         // nothing
+	}
+	for _, p := range allProcessors(t, ix) {
+		for _, d := range docs {
+			p.ProcessEvent(d, 1)
+		}
+		top0 := p.Results().Top(0)
+		if len(top0) != 1 || top0[0].DocID != 102 || math.Abs(top0[0].Score-0.8) > 1e-12 {
+			t.Fatalf("%s: q0 top = %+v", p.Name(), top0)
+		}
+		top1 := p.Results().Top(1)
+		if len(top1) != 1 || top1[0].DocID != 102 {
+			t.Fatalf("%s: q1 top = %+v", p.Name(), top1)
+		}
+		top2 := p.Results().Top(2)
+		if len(top2) != 1 || top2[0].DocID != 101 || math.Abs(top2[0].Score-0.5) > 1e-12 {
+			t.Fatalf("%s: q2 top = %+v", p.Name(), top2)
+		}
+	}
+}
+
+// TestDecayChangesRanking verifies inflation actually matters: with a
+// strong λ, a later mediocre match must outrank an earlier good one.
+func TestDecayChangesRanking(t *testing.T) {
+	vecs := []textproc.Vector{{{Term: 1, Weight: 1.0}}}
+	ix, err := index.Build(vecs, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := stream.NewDecay(1.0)
+	mrio, _ := NewMRIO(ix, rangemax.KindSegTree)
+	// Doc A at t=0 with cosine 0.9; doc B at t=10 with cosine 0.2.
+	// Decayed at t=10: A = 0.9·e^-10 ≪ B = 0.2 → B must win.
+	mrio.ProcessEvent(corpus.Document{ID: 1, Vec: textproc.Vector{{Term: 1, Weight: 0.9}}}, d.Factor(0))
+	mrio.ProcessEvent(corpus.Document{ID: 2, Vec: textproc.Vector{{Term: 1, Weight: 0.2}}}, d.Factor(10))
+	top := mrio.Results().Top(0)
+	if len(top) != 1 || top[0].DocID != 2 {
+		t.Fatalf("decay not honored: %+v", top)
+	}
+}
+
+// TestEmptyAndDisjointDocs: documents matching no list must be cheap
+// no-ops for every algorithm.
+func TestEmptyAndDisjointDocs(t *testing.T) {
+	vecs := []textproc.Vector{{{Term: 1, Weight: 1.0}}}
+	ix, _ := index.Build(vecs, []int{1})
+	for _, p := range allProcessors(t, ix) {
+		m := p.ProcessEvent(corpus.Document{ID: 1, Vec: nil}, 1)
+		if m.Evaluated != 0 || m.Matched != 0 {
+			t.Fatalf("%s: empty doc did work: %+v", p.Name(), m)
+		}
+		m = p.ProcessEvent(corpus.Document{ID: 2, Vec: textproc.Vector{{Term: 99, Weight: 1}}}, 1)
+		if m.Evaluated != 0 {
+			t.Fatalf("%s: disjoint doc evaluated queries: %+v", p.Name(), m)
+		}
+	}
+}
+
+// TestWarmupAlwaysEvaluates: while a query's heap is not full, every
+// document sharing a term must be offered to it.
+func TestWarmupAlwaysEvaluates(t *testing.T) {
+	vecs := []textproc.Vector{{{Term: 1, Weight: 1.0}}}
+	ix, _ := index.Build(vecs, []int{3}) // k=3, needs 3 docs
+	for _, p := range allProcessors(t, ix) {
+		for i := 0; i < 3; i++ {
+			// Even minuscule scores must be admitted during warm-up.
+			m := p.ProcessEvent(corpus.Document{
+				ID:  uint64(i),
+				Vec: textproc.Vector{{Term: 1, Weight: 1e-9}},
+			}, 1)
+			if m.Matched != 1 {
+				t.Fatalf("%s: warm-up doc %d not admitted: %+v", p.Name(), i, m)
+			}
+		}
+		if got := p.Results().Size(0); got != 3 {
+			t.Fatalf("%s: size = %d, want 3", p.Name(), got)
+		}
+	}
+}
+
+func TestProcessorNames(t *testing.T) {
+	ix, _ := index.Build([]textproc.Vector{{{Term: 1, Weight: 1}}}, []int{1})
+	names := map[string]bool{}
+	for _, p := range allProcessors(t, ix) {
+		names[p.Name()] = true
+	}
+	for _, want := range []string{"Exhaustive", "RIO", "MRIO", "MRIO-block", "MRIO-sparse", "RTA", "SortQuer", "TPS"} {
+		if !names[want] {
+			t.Fatalf("missing processor %q (have %v)", want, names)
+		}
+	}
+}

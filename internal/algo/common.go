@@ -1,0 +1,207 @@
+// Package algo implements the paper's matching algorithms — RIO and
+// MRIO (Section III) — together with the three published baselines the
+// evaluation compares against (RTA, SortQuer, TPS) and an exhaustive
+// oracle used by the tests.
+//
+// All algorithms answer the same question per stream event: which
+// registered queries admit the arriving document into their top-k?
+// They share the normalized qualification test
+//
+//	Σ_j f_j · (w_j / S_k(q)) · E  ≥  1
+//
+// where f_j are the document's term weights, w_j the query's, S_k(q)
+// the query's current (inflated) k-th best score and E the arrival's
+// inflation factor e^{λ(τ_d-base)}. A query with fewer than k results
+// has S_k = 0, ratio +Inf, and is always evaluated (warm-up).
+//
+// Every implementation is exact: the test suite cross-validates each
+// against the Exhaustive oracle on randomized streams.
+package algo
+
+import (
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+)
+
+// boundSlack compensates floating-point rounding in upper-bound sums:
+// bounds are compared against 1-boundSlack so a bound that is equal to
+// the exact score up to rounding can never cause a false prune.
+const boundSlack = 1e-9
+
+// EventMetrics reports the work one stream event required.
+type EventMetrics struct {
+	// Evaluated counts queries scored exactly against the document.
+	Evaluated int
+	// Matched counts queries whose top-k admitted the document.
+	Matched int
+	// Iterations counts pivot-loop iterations (ID-ordered algorithms)
+	// or scan steps (frequency-ordered ones). It is the quantity the
+	// paper's Lemma 2 minimizes for MRIO.
+	Iterations int
+	// Postings counts posting entries touched.
+	Postings int
+	// JumpAlls counts whole-zone pruning strides (MRIO's signature
+	// move: the full zone [c_1, c_m] was rejected in one pass).
+	JumpAlls int
+}
+
+// Processor is a CTQD matching algorithm bound to a query index.
+// Implementations are not safe for concurrent use; the monitor shards
+// for parallelism instead.
+type Processor interface {
+	// Name returns the algorithm's short name as used in the paper's
+	// figures (e.g. "MRIO").
+	Name() string
+	// ProcessEvent matches doc (with inflation factor e) against all
+	// registered queries and applies result updates.
+	ProcessEvent(doc corpus.Document, e float64) EventMetrics
+	// Results exposes the per-query result store.
+	Results() *topk.Store
+	// Rebase rescales all stored scores and thresholds by factor
+	// (0 < factor ≤ 1), preserving order. The monitor calls it when
+	// shifting the inflation epoch.
+	Rebase(factor float64)
+	// SyncThreshold refreshes the algorithm's cached threshold and any
+	// dependent bound structures for query q, after the caller
+	// modified q's results directly (bulk load, snapshot restore).
+	SyncThreshold(q uint32)
+	// Refresh restores full bound tightness after a bulk load: lazily
+	// maintained structures (stale block maxima, sparse snapshots,
+	// impact orderings) are rebuilt eagerly. A no-op for algorithms
+	// whose bounds are always exact.
+	Refresh()
+}
+
+// common holds the state every algorithm shares: the immutable index,
+// the per-query result heaps, the threshold cache, and per-event
+// scratch used to score candidates without allocation.
+type common struct {
+	ix    *index.Index
+	store *topk.Store
+	// thr caches S_k(q) in current epoch units; thr[q] == 0 means the
+	// query is still warming up.
+	thr []float64
+
+	// Per-event scratch: docW maps the current document's terms to
+	// weights; stamp/seen implement O(1) per-event candidate dedup.
+	docW  map[textproc.TermID]float64
+	seen  []uint32
+	stamp uint32
+}
+
+func newCommon(ix *index.Index) (*common, error) {
+	n := ix.NumQueries()
+	ks := make([]int, n)
+	for q := 0; q < n; q++ {
+		ks[q] = ix.K(uint32(q))
+	}
+	store, err := topk.NewStore(ks)
+	if err != nil {
+		return nil, err
+	}
+	return &common{
+		ix:    ix,
+		store: store,
+		thr:   make([]float64, n),
+		docW:  make(map[textproc.TermID]float64),
+		seen:  make([]uint32, n),
+	}, nil
+}
+
+// Results implements Processor.
+func (c *common) Results() *topk.Store { return c.store }
+
+// beginEvent loads the document into the scratch probe and advances
+// the dedup stamp.
+func (c *common) beginEvent(doc corpus.Document) {
+	clear(c.docW)
+	for _, tw := range doc.Vec {
+		c.docW[tw.Term] = tw.Weight
+	}
+	c.stamp++
+	if c.stamp == 0 { // uint32 wrap: invalidate all stamps
+		for i := range c.seen {
+			c.seen[i] = 0
+		}
+		c.stamp = 1
+	}
+}
+
+// markSeen stamps query q for this event, reporting whether it was
+// already stamped.
+func (c *common) markSeen(q uint32) bool {
+	if c.seen[q] == c.stamp {
+		return true
+	}
+	c.seen[q] = c.stamp
+	return false
+}
+
+// score computes the exact cosine dot product of query q with the
+// current document. All algorithms (and the oracle) share this exact
+// code path, so admission decisions are bit-identical across them.
+func (c *common) score(q uint32) float64 {
+	terms, weights := c.ix.QueryTerms(q)
+	var s float64
+	for i, t := range terms {
+		s += weights[i] * c.docW[t]
+	}
+	return s
+}
+
+// ratio returns w/S_k(q) in current epoch units (+Inf during warm-up).
+func (c *common) ratio(w float64, q uint32) float64 {
+	t := c.thr[q]
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return w / t
+}
+
+// offer evaluates query q exactly and, on success, admits the document
+// and refreshes the threshold cache. It returns whether the result
+// changed and whether the threshold changed (callers with ratio
+// structures must react to the latter). The inflated score is
+// score·e.
+func (c *common) offer(q uint32, docID uint64, e float64, m *EventMetrics) (thresholdChanged bool) {
+	m.Evaluated++
+	s := c.score(q)
+	if s <= 0 {
+		return false
+	}
+	added, thrChanged := c.store.Add(q, docID, s*e)
+	if added {
+		m.Matched++
+	}
+	if thrChanged {
+		c.thr[q] = c.store.Threshold(q)
+	}
+	return thrChanged
+}
+
+// SyncThreshold implements the baseline behaviour: refresh the cached
+// threshold. Algorithms with ratio structures override this to also
+// update their bounds.
+func (c *common) SyncThreshold(q uint32) {
+	c.thr[q] = c.store.Threshold(q)
+}
+
+// Refresh implements the baseline behaviour: nothing is lazily
+// maintained, so nothing needs rebuilding.
+func (c *common) Refresh() {}
+
+// rebase rescales thresholds and stored scores by factor. Algorithms
+// with ratio structures additionally rescale their bound units.
+func (c *common) rebase(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic("algo: rebase factor must be in (0, 1]")
+	}
+	c.store.Rebase(factor)
+	for q := range c.thr {
+		c.thr[q] *= factor
+	}
+}

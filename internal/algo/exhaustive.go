@@ -1,0 +1,51 @@
+package algo
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/index"
+)
+
+// Exhaustive scores the document against every query that shares at
+// least one term with it — no pruning whatsoever. It is the
+// correctness oracle for the test suite and the natural lower baseline
+// for the benchmarks ("what if the server had no pruning at all").
+type Exhaustive struct {
+	*common
+}
+
+// NewExhaustive builds the oracle over ix.
+func NewExhaustive(ix *index.Index) (*Exhaustive, error) {
+	c, err := newCommon(ix)
+	if err != nil {
+		return nil, err
+	}
+	return &Exhaustive{common: c}, nil
+}
+
+// Name implements Processor.
+func (x *Exhaustive) Name() string { return "Exhaustive" }
+
+// Rebase implements Processor.
+func (x *Exhaustive) Rebase(factor float64) { x.rebase(factor) }
+
+// ProcessEvent implements Processor by touching every posting of every
+// relevant list exactly once.
+func (x *Exhaustive) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
+	var m EventMetrics
+	x.beginEvent(doc)
+	for _, tw := range doc.Vec {
+		l := x.ix.List(tw.Term)
+		if l == nil {
+			continue
+		}
+		for _, p := range l.P {
+			m.Postings++
+			if x.markSeen(p.QID) {
+				continue
+			}
+			m.Iterations++
+			x.offer(p.QID, doc.ID, e, &m)
+		}
+	}
+	return m
+}

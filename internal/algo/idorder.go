@@ -1,0 +1,447 @@
+package algo
+
+import (
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/textproc"
+)
+
+// ratioList pairs one posting list with the range-max structure over
+// its ratio array r[pos] = w/S_k(q). Stored values are kept in "scale
+// units": currentRatio = stored · scale, so a rebase (which raises all
+// ratios by a common factor) is a single scalar bump instead of a
+// structure-wide rebuild.
+type ratioList struct {
+	pl    *index.PostingList
+	maxer rangemax.Maxer
+	// global caches GlobalMax(maxer) in stored units; dirty marks it
+	// for lazy recomputation after ratio updates.
+	global float64
+	dirty  bool
+}
+
+// idOrdered is the shared engine behind RIO and MRIO: WAND-style
+// pivoting over query-ID-ordered lists. The only difference between
+// the two algorithms is the bound used for prefix i — the list-global
+// maximum (RIO, Eq. 2) versus the zone-local maximum (MRIO, Eq. 3).
+type idOrdered struct {
+	*common
+	name  string
+	local bool // true → MRIO zone bounds
+	kind  rangemax.Kind
+	lists map[textproc.TermID]*ratioList
+	scale float64 // currentRatio = stored · scale
+
+	cur   []cursor    // per-event scratch
+	walks []walkState // per-pivot-search scratch
+}
+
+// cursor walks one posting list during an event. id caches the query
+// ID under the cursor so the per-iteration sort compares plain
+// integers instead of chasing into posting arrays.
+type cursor struct {
+	rl  *ratioList
+	f   float64 // document weight of the list's term
+	pos int
+	id  uint32 // == rl.pl.P[pos].QID while pos is in range
+}
+
+// advanceTo seeks the cursor to the first posting with QID ≥ target
+// and refreshes the cache. It reports whether the cursor is still in
+// range.
+func (c *cursor) advanceTo(target uint32) bool {
+	c.pos = c.rl.pl.Seek(c.pos, target)
+	if c.pos < c.rl.pl.Len() {
+		c.id = c.rl.pl.P[c.pos].QID
+		return true
+	}
+	return false
+}
+
+// step advances the cursor by one posting, refreshing the cache, and
+// reports whether it is still in range.
+func (c *cursor) step() bool {
+	c.pos++
+	if c.pos < c.rl.pl.Len() {
+		c.id = c.rl.pl.P[c.pos].QID
+		return true
+	}
+	return false
+}
+
+// maxRebuildScale bounds the rebase scale before stored ratio units
+// get renormalized, keeping stored values far from float64 underflow.
+const maxRebuildScale = 1e100
+
+func newIDOrdered(ix *index.Index, name string, local bool, kind rangemax.Kind) (*idOrdered, error) {
+	c, err := newCommon(ix)
+	if err != nil {
+		return nil, err
+	}
+	a := &idOrdered{
+		common: c,
+		name:   name,
+		local:  local,
+		kind:   kind,
+		lists:  make(map[textproc.TermID]*ratioList, ix.NumLists()),
+		scale:  1,
+	}
+	a.buildLists()
+	return a, nil
+}
+
+// buildLists (re)creates all ratio structures from current thresholds
+// and resets the scale to 1.
+func (a *idOrdered) buildLists() {
+	a.scale = 1
+	a.ix.Lists(func(pl *index.PostingList) {
+		vals := make([]float64, pl.Len())
+		for i, p := range pl.P {
+			vals[i] = a.ratio(p.W, p.QID)
+		}
+		a.lists[pl.Term] = &ratioList{pl: pl, maxer: rangemax.New(a.kind, vals), dirty: true}
+	})
+}
+
+// NewRIO builds the paper's preliminary Reverse ID-Ordering algorithm:
+// prefix bounds use each list's global maximum ratio (Eq. 2).
+func NewRIO(ix *index.Index) (*idOrdered, error) {
+	return newIDOrdered(ix, "RIO", false, rangemax.KindSegTree)
+}
+
+// NewMRIO builds Minimal RIO: prefix bounds use the maximum ratio
+// inside the current candidate zone only (Eq. 3), which the paper
+// proves minimizes pivot iterations among ID-ordering algorithms.
+// kind selects one of the three UB* implementations (TKDE §5.2).
+func NewMRIO(ix *index.Index, kind rangemax.Kind) (*idOrdered, error) {
+	name := "MRIO"
+	if kind != rangemax.KindSegTree {
+		name = "MRIO-" + kind.String()
+	}
+	return newIDOrdered(ix, name, true, kind)
+}
+
+// Name implements Processor.
+func (a *idOrdered) Name() string { return a.name }
+
+// Rebase implements Processor. Thresholds shrink by factor, so all
+// ratios grow by 1/factor — absorbed into the scalar scale. When the
+// scale approaches the underflow guard, stored units are renormalized
+// by a full rebuild (rare: once per ~e^100 of accumulated decay).
+func (a *idOrdered) Rebase(factor float64) {
+	a.rebase(factor)
+	a.scale /= factor
+	if a.scale > maxRebuildScale {
+		a.buildLists()
+	}
+}
+
+// SyncThreshold implements Processor.
+func (a *idOrdered) SyncThreshold(q uint32) {
+	a.common.SyncThreshold(q)
+	a.updateRatios(q)
+}
+
+// Refresh implements Processor: lazily maintained block maxima and
+// sparse snapshots are tightened eagerly so a bulk load leaves no
+// stale +Inf warm-up ratios behind.
+func (a *idOrdered) Refresh() {
+	for _, rl := range a.lists {
+		if t, ok := rl.maxer.(interface{ Tighten() }); ok {
+			t.Tighten()
+		}
+		rl.dirty = true
+	}
+}
+
+// updateRatios refreshes the stored ratios of every posting of query q
+// after its threshold changed.
+func (a *idOrdered) updateRatios(q uint32) {
+	_, weights := a.ix.QueryTerms(q)
+	for i, ref := range a.ix.Refs(q) {
+		rl := a.lists[ref.Term]
+		stored := a.ratio(weights[i], q) / a.scale
+		rl.maxer.Update(int(ref.Pos), stored)
+		rl.dirty = true
+	}
+}
+
+// globalStored returns the list's maximum ratio in stored units,
+// cached between updates.
+func (a *idOrdered) globalStored(rl *ratioList) float64 {
+	if rl.dirty {
+		rl.global = rangemax.GlobalMax(rl.maxer)
+		rl.dirty = false
+	}
+	return rl.global
+}
+
+// globalBound returns the list's maximum ratio in current units.
+func (a *idOrdered) globalBound(rl *ratioList) float64 {
+	return a.globalStored(rl) * a.scale
+}
+
+// zoneWalkCap bounds how many walk steps (block summaries plus exact
+// entries) one list's zone walk takes inside a single pivot search
+// before falling back to the list-global bound. Very wide zones are
+// rare and a loose-but-valid bound there costs at most one extra
+// pivot round.
+const zoneWalkCap = 64
+
+// walkState tracks one list's incremental zone walk during a pivot
+// search: positions in [cursor, pos) have been consumed and their
+// maximum ratio (stored units) is max. Zones only widen as the prefix
+// index grows, so each posting range is walked at most once per
+// search. nextID caches the query ID at pos so the caller can skip
+// no-op extends with one integer compare.
+type walkState struct {
+	pos    int
+	nextID uint32
+	max    float64
+	capped bool // fell back to the global bound; cannot grow further
+}
+
+// extendWalk advances one list's walk to the new zone end. For the
+// block-max structure the walk is ID-aware and Seek-free: whole blocks
+// that fit inside the zone contribute their summary in one step,
+// boundary entries are read exactly. Position-based structures
+// (segment tree, sparse snapshot) locate the end with a galloping Seek
+// and take one range-max.
+func (a *idOrdered) extendWalk(c *cursor, w *walkState, endID uint32) {
+	p := c.rl.pl.P
+	bm, ok := c.rl.maxer.(*rangemax.BlockMax)
+	if !ok {
+		end := c.rl.pl.Seek(w.pos, endID)
+		if m := c.rl.maxer.Max(w.pos, end); m > w.max {
+			w.max = m
+		}
+		w.pos = end
+		if end < len(p) {
+			w.nextID = p[end].QID
+		} else {
+			w.nextID = math.MaxUint32
+		}
+		return
+	}
+	bsz := bm.BlockSize()
+	steps := 0
+	for w.pos < len(p) && p[w.pos].QID < endID {
+		if steps++; steps > zoneWalkCap {
+			if g := a.globalStored(c.rl); g > w.max {
+				w.max = g
+			}
+			w.capped = true
+			return
+		}
+		if w.pos%bsz == 0 && w.pos+bsz <= len(p) && p[w.pos+bsz-1].QID < endID {
+			// Whole block inside the zone: one summary read.
+			if v := bm.Summary(w.pos / bsz); v > w.max {
+				w.max = v
+			}
+			w.pos += bsz
+			continue
+		}
+		if v := bm.Value(w.pos); v > w.max {
+			w.max = v
+		}
+		w.pos++
+	}
+	if w.pos < len(p) {
+		w.nextID = p[w.pos].QID
+	} else {
+		w.nextID = math.MaxUint32
+	}
+}
+
+// ProcessEvent implements Processor: the pivot loop of Section III.
+func (a *idOrdered) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
+	var m EventMetrics
+	a.beginEvent(doc)
+
+	// Open a cursor on every list matching a document term.
+	cur := a.cur[:0]
+	for _, tw := range doc.Vec {
+		if rl := a.lists[tw.Term]; rl != nil && rl.pl.Len() > 0 {
+			cur = append(cur, cursor{rl: rl, f: tw.Weight, id: rl.pl.P[0].QID})
+		}
+	}
+	defer func() { a.cur = cur[:0] }() // keep scratch capacity
+
+	// needed is the current-unit ratio mass a candidate needs:
+	// Σ f_j·r_j ≥ needed  ⇔  Σ f_j·r_j·E ≥ 1 (minus float slack).
+	needed := (1 - boundSlack) / e
+
+	for len(cur) > 0 {
+		// Order lists by current cursor query ID. Cursors barely move
+		// between iterations, so insertion sort on the cached IDs is
+		// near-linear.
+		for i := 1; i < len(cur); i++ {
+			for j := i; j > 0 && cur[j-1].id > cur[j].id; j-- {
+				cur[j-1], cur[j] = cur[j], cur[j-1]
+			}
+		}
+		m.Iterations++
+
+		pivot := a.findPivot(cur, needed)
+		if pivot < 0 {
+			if !a.local {
+				// RIO: the bound is zone-independent; if the full sum
+				// cannot reach the threshold now, it never will.
+				return m
+			}
+			// MRIO: the zone [c_1, c_m] is pruned wholesale; jump all
+			// cursors past it.
+			beyond := cur[len(cur)-1].id + 1
+			if beyond == 0 { // uint32 wrap: last possible ID pruned
+				return m
+			}
+			m.JumpAlls++
+			cur = jumpAll(cur, beyond, &m)
+			continue
+		}
+
+		// Eager pivot resolution. The abstract's formulation advances
+		// cursors to the pivot and re-iterates until the pivot query
+		// surfaces at the front; that costs a full sort-and-bound
+		// round per alignment step. Since an exact evaluation is just
+		// a handful of probes, it is strictly cheaper to finish the
+		// pivot now: queries in [c_1, pivotID) are pruned by the same
+		// bound argument, the prefix lists jump to the pivot, and the
+		// pivot query is scored immediately.
+		pivotID := cur[pivot].id
+		exhausted := false
+		for i := 0; i < pivot; i++ {
+			if cur[i].id == pivotID {
+				continue
+			}
+			m.Postings++
+			if !cur[i].advanceTo(pivotID) {
+				exhausted = true
+				cur[i].id = math.MaxUint32 // keep the advance loop below safe
+			}
+		}
+		if a.offer(pivotID, doc.ID, e, &m) {
+			a.updateRatios(pivotID)
+		}
+		// Step every cursor off the pivot. After the alignment seeks,
+		// cursors at pivotID are no longer necessarily a sorted
+		// prefix, so scan them all (m is small).
+		for i := range cur {
+			if cur[i].id != pivotID {
+				continue
+			}
+			m.Postings++
+			if !cur[i].step() {
+				exhausted = true
+			}
+		}
+		if exhausted {
+			cur = compact(cur)
+		}
+	}
+	return m
+}
+
+// compact removes exhausted cursors in place.
+func compact(cur []cursor) []cursor {
+	keep := cur[:0]
+	for i := range cur {
+		if cur[i].pos < cur[i].rl.pl.Len() {
+			keep = append(keep, cur[i])
+		}
+	}
+	return keep
+}
+
+// jumpAll seeks every cursor to the first ID ≥ beyond, dropping
+// exhausted ones.
+func jumpAll(cur []cursor, beyond uint32, m *EventMetrics) []cursor {
+	exhausted := false
+	for i := range cur {
+		m.Postings++
+		if !cur[i].advanceTo(beyond) {
+			exhausted = true
+		}
+	}
+	if exhausted {
+		return compact(cur)
+	}
+	return cur
+}
+
+// findPivot returns the smallest prefix index i with UB(i) ≥ needed,
+// or -1 when even the full sum falls short.
+//
+// Both RIO and MRIO start from the cached global list maxima, which
+// cost O(1) per list. For RIO they *are* the bound (Eq. 2). For MRIO
+// they are a free over-approximation: UBglobal(i) ≥ UB*(i), so the
+// global pivot index lower-bounds the zone pivot index and a global
+// rejection needs no zone queries at all — that is the common
+// steady-state outcome, and it keeps MRIO's per-iteration cost at
+// RIO's level except where local bounds actually earn their keep.
+func (a *idOrdered) findPivot(cur []cursor, needed float64) int {
+	n := len(cur)
+	gp := -1
+	acc := 0.0
+	for i := range cur {
+		acc += cur[i].f * a.globalBound(cur[i].rl)
+		if acc >= needed {
+			gp = i
+			break
+		}
+	}
+	if !a.local || gp < 0 {
+		return gp
+	}
+	// MRIO: exact zone bounds via incremental walks. The zone of
+	// prefix i is [c_1, c_{i+1}); it only widens as i grows, so each
+	// list keeps a monotone walk and the running sum
+	// ub = Σ_j f_j·walkmax_j equals UB*(i) at the end of step i. The
+	// search starts at the global pivot gp (UB* ≤ UBglobal, so no
+	// earlier prefix can cross) and returns -1 when even the full zone
+	// [c_1, c_m] falls short — the caller then leaps every cursor past
+	// c_m, which is exactly where local bounds beat RIO.
+	// Walk states are initialized lazily: a search that finds its pivot
+	// at prefix p only ever touches lists 0..p, so the common
+	// small-pivot case writes a handful of states instead of m.
+	ws := a.walks[:0]
+	a.walks = ws
+	neededStored := needed / a.scale
+	ub := 0.0
+	for i := gp; i < n; i++ {
+		var endID uint32
+		if i+1 < n {
+			endID = cur[i+1].id
+		} else {
+			endID = cur[n-1].id + 1
+			if endID == 0 { // uint32 wrap
+				endID = math.MaxUint32
+			}
+		}
+		for len(ws) <= i {
+			j := len(ws)
+			ws = append(ws, walkState{pos: cur[j].pos, nextID: cur[j].id})
+			a.walks = ws
+		}
+		for j := 0; j <= i; j++ {
+			if ws[j].capped || ws[j].nextID >= endID {
+				continue // nothing new inside the zone: one int compare
+			}
+			old := ws[j].max
+			a.extendWalk(&cur[j], &ws[j], endID)
+			if ws[j].max > old {
+				ub += cur[j].f * (ws[j].max - old)
+				if ub >= neededStored {
+					return i
+				}
+			}
+		}
+		if ub >= neededStored {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,217 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/textproc"
+)
+
+// buildTinyIndex constructs an index with controlled lists:
+// term 1 → queries {0, 2, 4}, term 2 → queries {1, 2, 3, 4}.
+func buildTinyIndex(t *testing.T, k int) *index.Index {
+	t.Helper()
+	vecs := []textproc.Vector{
+		{{Term: 1, Weight: 1.0}},
+		{{Term: 2, Weight: 1.0}},
+		{{Term: 1, Weight: 0.6}, {Term: 2, Weight: 0.8}},
+		{{Term: 2, Weight: 1.0}},
+		{{Term: 1, Weight: 0.8}, {Term: 2, Weight: 0.6}},
+	}
+	ks := []int{k, k, k, k, k}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestCursorStepAndSeek(t *testing.T) {
+	ix := buildTinyIndex(t, 1)
+	rl := &ratioList{pl: ix.List(2)}
+	c := cursor{rl: rl, id: rl.pl.P[0].QID}
+	if c.id != 1 {
+		t.Fatalf("first id = %d", c.id)
+	}
+	if !c.advanceTo(3) {
+		t.Fatal("advanceTo(3) exhausted")
+	}
+	if c.id != 3 {
+		t.Fatalf("id after seek = %d", c.id)
+	}
+	if !c.step() {
+		t.Fatal("step exhausted early")
+	}
+	if c.id != 4 {
+		t.Fatalf("id after step = %d", c.id)
+	}
+	if c.step() {
+		t.Fatal("step beyond end succeeded")
+	}
+}
+
+func TestWarmupEveryQueryPivots(t *testing.T) {
+	// All thresholds are 0 → all ratios +Inf → every query sharing a
+	// term must be evaluated, one pivot each, no zone jumps.
+	ix := buildTinyIndex(t, 2)
+	mrio, err := NewMRIO(ix, rangemax.KindSegTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := corpus.Document{ID: 9, Vec: textproc.Vector{{Term: 1, Weight: 0.7}, {Term: 2, Weight: 0.7}}}
+	m := mrio.ProcessEvent(doc, 1)
+	if m.Evaluated != 5 {
+		t.Fatalf("evaluated %d queries, want all 5", m.Evaluated)
+	}
+	if m.Matched != 5 {
+		t.Fatalf("matched %d, want 5 (warm-up admits everything)", m.Matched)
+	}
+}
+
+func TestSteadyStatePrunes(t *testing.T) {
+	// Saturate all thresholds with a very strong document, then send a
+	// weak one: nothing should be evaluated.
+	ix := buildTinyIndex(t, 1)
+	mrio, _ := NewMRIO(ix, rangemax.KindSegTree)
+	strong := corpus.Document{ID: 1, Vec: textproc.Vector{{Term: 1, Weight: 0.9}, {Term: 2, Weight: 0.9}}}
+	mrio.ProcessEvent(strong, 1)
+	weak := corpus.Document{ID: 2, Vec: textproc.Vector{{Term: 1, Weight: 0.01}, {Term: 2, Weight: 0.01}}}
+	m := mrio.ProcessEvent(weak, 1)
+	if m.Evaluated != 0 {
+		t.Fatalf("weak doc evaluated %d queries, want 0 (bounds should prune)", m.Evaluated)
+	}
+	if m.Matched != 0 {
+		t.Fatal("weak doc matched")
+	}
+}
+
+func TestRatioUpdatesAfterMatch(t *testing.T) {
+	ix := buildTinyIndex(t, 1)
+	mrio, _ := NewMRIO(ix, rangemax.KindSegTree)
+	doc := corpus.Document{ID: 1, Vec: textproc.Vector{{Term: 1, Weight: 1.0}}}
+	mrio.ProcessEvent(doc, 1)
+	// Queries 0, 2, 4 matched; their thresholds are now positive and
+	// their stored ratios finite.
+	for _, q := range []uint32{0, 2, 4} {
+		if mrio.thr[q] <= 0 {
+			t.Fatalf("query %d threshold %v after match", q, mrio.thr[q])
+		}
+	}
+	rl := mrio.lists[1]
+	if math.IsInf(rangemax.GlobalMax(rl.maxer), 1) {
+		t.Fatal("list 1 still has +Inf ratios after all members matched")
+	}
+	// Queries 1, 3 (term 2 only) never matched: list 2 keeps +Inf.
+	if !math.IsInf(rangemax.GlobalMax(mrio.lists[2].maxer), 1) {
+		t.Fatal("list 2 lost its warm-up ratios without matches")
+	}
+}
+
+func TestScaleRenormalization(t *testing.T) {
+	// Drive the rebase scale past maxRebuildScale and verify the
+	// structures renormalize and stay correct.
+	ix := buildTinyIndex(t, 1)
+	mrio, _ := NewMRIO(ix, rangemax.KindBlock)
+	strong := corpus.Document{ID: 1, Vec: textproc.Vector{{Term: 1, Weight: 0.9}, {Term: 2, Weight: 0.9}}}
+	mrio.ProcessEvent(strong, 1)
+
+	for i := 0; i < 3; i++ {
+		mrio.Rebase(math.Exp(-100)) // scale *= e^100 each time
+	}
+	if mrio.scale != 1 {
+		t.Fatalf("scale = %v after exceeding maxRebuildScale, want renormalized 1", mrio.scale)
+	}
+	// After rebases the old scores are ≈ e^-300 ≈ 0; a fresh weak doc
+	// with E=1 must now beat them.
+	weak := corpus.Document{ID: 2, Vec: textproc.Vector{{Term: 1, Weight: 0.05}}}
+	m := mrio.ProcessEvent(weak, 1)
+	if m.Matched == 0 {
+		t.Fatal("doc could not displace fully-decayed incumbents")
+	}
+}
+
+func TestCompactDropsExhausted(t *testing.T) {
+	ix := buildTinyIndex(t, 1)
+	rl1 := &ratioList{pl: ix.List(1)}
+	rl2 := &ratioList{pl: ix.List(2)}
+	cur := []cursor{
+		{rl: rl1, pos: rl1.pl.Len()}, // exhausted
+		{rl: rl2, pos: 0, id: rl2.pl.P[0].QID},
+	}
+	out := compact(cur)
+	if len(out) != 1 || out[0].rl != rl2 {
+		t.Fatalf("compact kept %d cursors", len(out))
+	}
+}
+
+func TestJumpAllStride(t *testing.T) {
+	ix := buildTinyIndex(t, 1)
+	rl := &ratioList{pl: ix.List(2)} // queries 1,2,3,4
+	cur := []cursor{{rl: rl, pos: 0, id: 1}}
+	var m EventMetrics
+	cur = jumpAll(cur, 4, &m)
+	if len(cur) != 1 || cur[0].id != 4 {
+		t.Fatalf("jumpAll landed at %+v", cur)
+	}
+	cur = jumpAll(cur, 99, &m)
+	if len(cur) != 0 {
+		t.Fatal("jumpAll past end kept cursor")
+	}
+}
+
+func TestExtendWalkBlockAndSeg(t *testing.T) {
+	// Build a list with a known ratio layout and walk zones.
+	vecs := make([]textproc.Vector, 40)
+	ks := make([]int, 40)
+	for i := range vecs {
+		vecs[i] = textproc.Vector{{Term: 7, Weight: 0.5}}
+		ks[i] = 1
+	}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []rangemax.Kind{rangemax.KindSegTree, rangemax.KindBlock, rangemax.KindSparse} {
+		a, err := NewMRIO(ix, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Give every query a threshold so ratios are finite: 0.5/0.25=2.
+		for q := uint32(0); q < 40; q++ {
+			a.store.Add(q, 100, 0.25)
+			a.SyncThreshold(q)
+		}
+		// Bulk loads leave lazily maintained structures (notably the
+		// sparse snapshot) stale-high; Refresh restores exactness, as
+		// the monitor and harness do after bulk loading.
+		a.Refresh()
+		rl := a.lists[7]
+		c := &cursor{rl: rl, pos: 0, id: 0}
+		w := walkState{pos: 0, nextID: 0}
+		a.extendWalk(c, &w, 20) // walk zone [0, 20)
+		if w.max != 2 {
+			t.Fatalf("%v: walk max = %v, want 2", kind, w.max)
+		}
+		if w.pos < 20 {
+			t.Fatalf("%v: walk stopped at %d", kind, w.pos)
+		}
+		if w.nextID != 20 && w.pos != 40 {
+			t.Fatalf("%v: nextID = %d pos=%d", kind, w.nextID, w.pos)
+		}
+	}
+}
+
+func TestMRIONames(t *testing.T) {
+	ix := buildTinyIndex(t, 1)
+	seg, _ := NewMRIO(ix, rangemax.KindSegTree)
+	if seg.Name() != "MRIO" {
+		t.Fatalf("seg name = %s", seg.Name())
+	}
+	blk, _ := NewMRIO(ix, rangemax.KindBlock)
+	if blk.Name() != "MRIO-block" {
+		t.Fatalf("block name = %s", blk.Name())
+	}
+}

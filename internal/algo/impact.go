@@ -1,0 +1,130 @@
+package algo
+
+import (
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/textproc"
+)
+
+// impactList is a posting list ordered by descending score potential
+// r = w/S_k(q) — the "query-sensitive impact" ordering that SortQuer
+// and TPS use. Because thresholds only grow, the sort keys captured at
+// the last resort are upper bounds of the current ratios, so a stale
+// ordering still yields exact pruning; lists are resorted once enough
+// of their queries' thresholds have moved.
+type impactList struct {
+	entries []index.Posting
+	keys    []float64 // ratio at last resort, in stored units
+	updates int       // threshold updates since last resort
+}
+
+// resortBudget returns how many threshold updates a list tolerates
+// before resorting.
+func (il *impactList) resortBudget() int {
+	b := len(il.entries) / 8
+	if b < 32 {
+		b = 32
+	}
+	return b
+}
+
+// impactBase is the state shared by SortQuer and TPS.
+type impactBase struct {
+	*common
+	lists map[textproc.TermID]*impactList
+	scale float64 // currentRatio = key · scale
+}
+
+func newImpactBase(ix *index.Index) (*impactBase, error) {
+	c, err := newCommon(ix)
+	if err != nil {
+		return nil, err
+	}
+	b := &impactBase{
+		common: c,
+		lists:  make(map[textproc.TermID]*impactList, ix.NumLists()),
+		scale:  1,
+	}
+	ix.Lists(func(pl *index.PostingList) {
+		il := &impactList{entries: append([]index.Posting(nil), pl.P...)}
+		il.keys = make([]float64, len(il.entries))
+		b.lists[pl.Term] = il
+	})
+	b.resortAll()
+	return b, nil
+}
+
+// resort recomputes keys from current thresholds and re-sorts.
+func (b *impactBase) resort(il *impactList) {
+	for i, p := range il.entries {
+		il.keys[i] = b.ratio(p.W, p.QID) / b.scale
+	}
+	// Sort entries and keys together, descending by key.
+	idx := make([]int, len(il.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return il.keys[idx[x]] > il.keys[idx[y]] })
+	entries := make([]index.Posting, len(il.entries))
+	keys := make([]float64, len(il.keys))
+	for out, in := range idx {
+		entries[out] = il.entries[in]
+		keys[out] = il.keys[in]
+	}
+	il.entries, il.keys = entries, keys
+	il.updates = 0
+}
+
+// resortAll rebuilds every list and resets the scale.
+func (b *impactBase) resortAll() {
+	b.scale = 1
+	for _, il := range b.lists {
+		b.resort(il)
+	}
+}
+
+// SyncThreshold implements Processor.
+func (b *impactBase) SyncThreshold(q uint32) {
+	b.common.SyncThreshold(q)
+	b.noteThresholdChange(q)
+}
+
+// Refresh implements Processor: every impact ordering is resorted from
+// current thresholds.
+func (b *impactBase) Refresh() {
+	for _, il := range b.lists {
+		b.resort(il)
+	}
+}
+
+// noteThresholdChange bumps staleness on every list containing q.
+func (b *impactBase) noteThresholdChange(q uint32) {
+	for _, ref := range b.ix.Refs(q) {
+		b.lists[ref.Term].updates++
+	}
+}
+
+// prepare resorts any of the event's lists that exhausted their
+// staleness budget, returning the per-term list handles.
+func (b *impactBase) prepare(doc []textproc.TermWeight) []*impactList {
+	out := make([]*impactList, len(doc))
+	for i, tw := range doc {
+		il := b.lists[tw.Term]
+		if il != nil && il.updates > il.resortBudget() {
+			b.resort(il)
+		}
+		out[i] = il
+	}
+	return out
+}
+
+// rebaseImpact absorbs a rebase into the scale factor, renormalizing
+// via a full resort when the scale nears the underflow guard.
+func (b *impactBase) rebaseImpact(factor float64) {
+	b.rebase(factor)
+	b.scale /= factor
+	if b.scale > maxRebuildScale {
+		b.resortAll()
+	}
+}

@@ -1,0 +1,77 @@
+package algo
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/index"
+)
+
+// SortQuer re-implements the core of Vouzoukidou et al. (CIKM 2012):
+// per-term posting lists ordered by descending score potential
+// r = w/S_k(q), scanned term-at-a-time with the coverage rule.
+//
+// Coverage rule: if a document with m matching lists qualifies for q,
+// then Σ_j f_j·r_j(q)·E ≥ 1 over at most m addends, so at least one
+// list j satisfies f_j·r_j(q)·E ≥ 1/m. Scanning every list j down to
+// the first entry with m·f_j·r·E < 1 therefore encounters every
+// qualifying query at least once; each encountered query is scored
+// exactly. Stale sort keys only ever overestimate r (thresholds are
+// monotone), so scans stop late, never early — exactness is preserved.
+type SortQuer struct {
+	*impactBase
+}
+
+// NewSortQuer builds the SortQuer baseline over ix.
+func NewSortQuer(ix *index.Index) (*SortQuer, error) {
+	b, err := newImpactBase(ix)
+	if err != nil {
+		return nil, err
+	}
+	return &SortQuer{impactBase: b}, nil
+}
+
+// Name implements Processor.
+func (s *SortQuer) Name() string { return "SortQuer" }
+
+// Rebase implements Processor.
+func (s *SortQuer) Rebase(factor float64) { s.rebaseImpact(factor) }
+
+// ProcessEvent implements Processor.
+func (s *SortQuer) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
+	var m EventMetrics
+	s.beginEvent(doc)
+	lists := s.prepare(doc.Vec)
+	nLists := 0
+	for _, il := range lists {
+		if il != nil && len(il.entries) > 0 {
+			nLists++
+		}
+	}
+	if nLists == 0 {
+		return m
+	}
+	mf := float64(nLists)
+	for i, il := range lists {
+		if il == nil || len(il.entries) == 0 {
+			continue
+		}
+		f := doc.Vec[i].Weight
+		// Scan the impact-ordered prefix. Stop once even this list's
+		// best remaining contribution cannot carry its 1/m share.
+		stop := (1 - boundSlack) / (mf * f * e * s.scale)
+		for pos, key := range il.keys {
+			if key < stop {
+				break
+			}
+			m.Postings++
+			m.Iterations++
+			q := il.entries[pos].QID
+			if s.markSeen(q) {
+				continue
+			}
+			if s.offer(q, doc.ID, e, &m) {
+				s.noteThresholdChange(q)
+			}
+		}
+	}
+	return m
+}

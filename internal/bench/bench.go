@@ -1,0 +1,402 @@
+// Package bench is the experiment harness: it reconstructs every
+// figure of the paper's evaluation (and the extension sweeps of the
+// underlying TKDE study) as parameter sweeps over workload size, k, λ
+// and query length, timing each algorithm on the identical replayed
+// stream.
+//
+// The paper's absolute numbers came from the authors' 2017 testbed and
+// 7M real Wikipedia pages; this harness preserves the comparisons that
+// carry the paper's claims — which algorithm wins, by what factor, and
+// how response time grows with the number of queries — on the
+// synthetic corpus documented in DESIGN.md §6.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// Scale sizes a run. The default keeps every experiment laptop-fast;
+// Full reproduces the paper's axis (up to 4·10⁶ queries).
+type Scale struct {
+	// QueryCounts is the x-axis of the Figure 1 sweeps.
+	QueryCounts []int
+	// BaseQueries is the fixed query count for non-size sweeps.
+	BaseQueries int
+	// VocabSize is the synthetic corpus vocabulary.
+	VocabSize int
+	// Warmup is how many documents stream before timing starts (fills
+	// top-k heaps so thresholds are meaningful).
+	Warmup int
+	// Measure is how many timed events each cell averages over.
+	Measure int
+	// Rate is the arrival rate (docs per virtual second).
+	Rate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultScale returns the laptop-fast configuration.
+func DefaultScale() Scale {
+	return Scale{
+		QueryCounts: []int{25_000, 50_000, 100_000, 200_000, 400_000},
+		BaseQueries: 100_000,
+		// 20k terms gives the default axis the same queries-per-list
+		// density as the paper's 200k-term dictionary at its 10× larger
+		// query axis.
+		VocabSize: 20_000,
+		Warmup:    2_000,
+		Measure:   300,
+		Rate:      100,
+		Seed:      42,
+	}
+}
+
+// FullScale returns the paper-axis configuration (minutes to hours).
+func FullScale() Scale {
+	s := DefaultScale()
+	s.QueryCounts = []int{250_000, 500_000, 1_000_000, 2_000_000, 4_000_000}
+	s.BaseQueries = 1_000_000
+	s.VocabSize = 200_000
+	s.Warmup = 10_000
+	s.Measure = 500
+	return s
+}
+
+// QuickScale returns a seconds-fast smoke configuration used by unit
+// tests and testing.B benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		QueryCounts: []int{2_000, 4_000, 8_000},
+		BaseQueries: 4_000,
+		VocabSize:   8_000,
+		Warmup:      300,
+		Measure:     60,
+		Rate:        100,
+		Seed:        42,
+	}
+}
+
+// Series identifies one line in a figure: an algorithm (and bound
+// implementation or shard count where the experiment varies those).
+type Series struct {
+	Label string
+	Algo  core.Algorithm
+	Bound rangemax.Kind
+	// Shards > 0 routes the series through the parallel Monitor.
+	Shards int
+}
+
+// Point is one x-axis position of a sweep.
+type Point struct {
+	// Param is the x value (number of queries, k, λ, |q|).
+	Param float64
+	// Queries configures the workload at this point.
+	Queries workload.Config
+	// Lambda is the decay rate at this point.
+	Lambda float64
+}
+
+// Experiment is a complete figure/table specification.
+type Experiment struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+	Points []Point
+	// Model is the corpus model shared by all points.
+	Model corpus.Model
+	// Warmup/Measure/Rate/Seed copied from Scale at construction.
+	Warmup, Measure int
+	Rate            float64
+	Seed            int64
+}
+
+// Cell is one measured (series, point) combination.
+type Cell struct {
+	Series    string
+	Param     float64
+	MeanMS    float64
+	P50MS     float64
+	P95MS     float64
+	Evaluated float64 // mean exact evaluations per event
+	Iters     float64 // mean iterations per event
+	JumpAlls  float64 // mean whole-zone strides per event
+}
+
+// Result is a fully measured experiment.
+type Result struct {
+	Exp   Experiment
+	Cells []Cell
+}
+
+// warmState is the steady-state snapshot shared by every series at one
+// sweep point: per-query results emulating a long-running server, plus
+// the decay epoch reached. The paper measures a server that has
+// already streamed millions of Wikipedia pages, so its thresholds
+// S_k(q) sit near each query's best attainable score and arrivals
+// rarely qualify. Replaying millions of documents per sweep cell is
+// intractable, so the harness:
+//
+//  1. streams a Warmup-sized prefix through the Exhaustive processor
+//     (exact, shared by all series);
+//  2. records each query's best observed score at Warmup/2 and at
+//     Warmup, fits the standard extreme-value growth curve
+//     best(n) ≈ a + b·ln n, and extrapolates to HistoryDocs;
+//  3. injects k phantom "historical" results per query at the
+//     extrapolated level.
+//
+// Every algorithm is cloned from the identical snapshot, so relative
+// comparisons are unaffected by the emulation; EXPERIMENTS.md
+// documents the substitution.
+type warmState struct {
+	results map[uint32][]topk.ScoredDoc
+	base    float64 // decay epoch after warm-up
+}
+
+// HistoryDocs is the emulated stream length behind the steady-state
+// thresholds — the order of the paper's 7,012,610-page stream.
+const HistoryDocs = 5_000_000
+
+// phantomBase offsets phantom document IDs away from real stream IDs.
+const phantomBase = uint64(1) << 62
+
+// warmUp streams the warm-up prefix through an Exhaustive processor
+// and injects extrapolated steady-state thresholds.
+func warmUp(ix *index.Index, events []stream.Event, lambda float64) (*warmState, error) {
+	proc, err := algo.NewExhaustive(ix)
+	if err != nil {
+		return nil, err
+	}
+	decay, err := stream.NewDecay(lambda)
+	if err != nil {
+		return nil, err
+	}
+	n := uint32(ix.NumQueries())
+	half := len(events) / 2
+	meanBest := func() float64 {
+		var sum float64
+		var cnt int
+		for q := uint32(0); q < n; q++ {
+			if b := proc.Results().Best(q); b > 0 {
+				sum += b
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	var m1 float64
+	for i, ev := range events {
+		if i == half {
+			m1 = meanBest()
+		}
+		for decay.NeedsRebase(ev.Time) {
+			proc.Rebase(decay.RebaseTo(ev.Time))
+		}
+		proc.ProcessEvent(ev.Doc, decay.Factor(ev.Time))
+	}
+	m2 := meanBest()
+
+	// Extreme-value extrapolation: best(n) ≈ a + b·ln n. The fit uses
+	// the two warm-up checkpoints; the uplift is clamped to [1, 5] so
+	// a degenerate fit cannot produce absurd thresholds.
+	//
+	// The uplift only applies in the quasi-static regime (λ·span ≲ 1):
+	// under real decay the competition horizon is shorter than the
+	// warm-up, so the warm-up already IS the steady state, and the
+	// inflated-unit growth of scores would poison the fit.
+	span := 0.0
+	if len(events) > 0 {
+		span = events[len(events)-1].Time - events[0].Time
+	}
+	uplift := 1.0
+	if lambda*span <= 1 && m1 > 0 && m2 > m1 && len(events) > 1 {
+		b := (m2 - m1) / math.Ln2 // checkpoints are a factor 2 apart
+		a := m2 - b*math.Log(float64(len(events)))
+		projected := a + b*math.Log(HistoryDocs)
+		if projected > m2 {
+			uplift = projected / m2
+		}
+		if uplift > 5 {
+			uplift = 5
+		}
+	}
+
+	ws := &warmState{
+		results: make(map[uint32][]topk.ScoredDoc, n),
+		base:    decay.Base(),
+	}
+	for q := uint32(0); q < n; q++ {
+		best := proc.Results().Best(q)
+		if best == 0 {
+			continue // nothing ever matched; stays cold, as in reality
+		}
+		k := ix.K(q)
+		docs := make([]topk.ScoredDoc, k)
+		for i := 0; i < k; i++ {
+			// A gentle spread below the projected best keeps the k-th
+			// threshold close to (but below) the top score, like a
+			// long stream's top-k is.
+			docs[i] = topk.ScoredDoc{
+				DocID: phantomBase + uint64(q)*uint64(k) + uint64(i),
+				Score: best * uplift * (1 - 0.02*float64(i)),
+			}
+		}
+		ws.results[q] = docs
+	}
+	return ws, nil
+}
+
+// load clones the warm state into a processor.
+func (ws *warmState) load(proc algo.Processor) {
+	for q, docs := range ws.results {
+		for _, d := range docs {
+			proc.Results().Add(q, d.DocID, d.Score)
+		}
+		proc.SyncThreshold(q)
+	}
+	proc.Refresh()
+}
+
+// Run measures every (series × point) cell. Progress lines go to out
+// when non-nil.
+func Run(exp Experiment, out io.Writer) (*Result, error) {
+	res := &Result{Exp: exp}
+	for _, pt := range exp.Points {
+		qs, err := workload.Generate(exp.Model, pt.Queries)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: workload at %v: %w", exp.ID, pt.Param, err)
+		}
+		vecs := make([]textproc.Vector, len(qs))
+		ks := make([]int, len(qs))
+		for i, q := range qs {
+			vecs[i] = q.Vec
+			ks[i] = q.K
+		}
+		ix, err := index.Build(vecs, ks)
+		if err != nil {
+			return nil, err
+		}
+		gen := corpus.NewGenerator(exp.Model, exp.Seed+101, uint64(exp.Warmup+exp.Measure))
+		src, err := stream.NewSource(gen, exp.Rate, exp.Seed+202)
+		if err != nil {
+			return nil, err
+		}
+		events := src.Take(exp.Warmup + exp.Measure)
+		warm, err := warmUp(ix, events[:exp.Warmup], pt.Lambda)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: warm-up at %v: %w", exp.ID, pt.Param, err)
+		}
+		measure := events[exp.Warmup:]
+
+		for _, s := range exp.Series {
+			var cell Cell
+			if s.Shards > 0 {
+				cell, err = runShardCell(s, pt, vecs, ks, warm, measure)
+			} else {
+				cell, err = runCell(s, pt, ix, warm, measure)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: %s at %v: %w", exp.ID, s.Label, pt.Param, err)
+			}
+			res.Cells = append(res.Cells, cell)
+			if out != nil {
+				fmt.Fprintf(out, "  %-12s %-12v mean=%8.3fms p95=%8.3fms eval/ev=%9.1f\n",
+					s.Label, pt.Param, cell.MeanMS, cell.P95MS, cell.Evaluated)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCell times one algorithm over the replayed measure window,
+// starting from the shared warm state.
+func runCell(s Series, pt Point, ix *index.Index, warm *warmState, measure []stream.Event) (Cell, error) {
+	cell := Cell{Series: s.Label, Param: pt.Param}
+	proc, err := core.NewProcessor(s.Algo, s.Bound, ix)
+	if err != nil {
+		return cell, err
+	}
+	warm.load(proc)
+	decay, err := stream.NewDecay(pt.Lambda)
+	if err != nil {
+		return cell, err
+	}
+	decay.SetBase(warm.base)
+
+	var sample stats.Sample
+	var evalSum, iterSum, jumpSum float64
+	for _, ev := range measure {
+		for decay.NeedsRebase(ev.Time) {
+			proc.Rebase(decay.RebaseTo(ev.Time))
+		}
+		e := decay.Factor(ev.Time)
+		start := time.Now()
+		met := proc.ProcessEvent(ev.Doc, e)
+		sample.AddDuration(time.Since(start))
+		evalSum += float64(met.Evaluated)
+		iterSum += float64(met.Iterations)
+		jumpSum += float64(met.JumpAlls)
+	}
+	n := float64(len(measure))
+	cell.MeanMS = sample.Mean()
+	cell.P50MS = sample.Percentile(50)
+	cell.P95MS = sample.Percentile(95)
+	cell.Evaluated = evalSum / n
+	cell.Iters = iterSum / n
+	cell.JumpAlls = jumpSum / n
+	return cell, nil
+}
+
+// runShardCell times the parallel Monitor (shard-scaling ablation).
+func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *warmState, measure []stream.Event) (Cell, error) {
+	cell := Cell{Series: s.Label, Param: pt.Param}
+	defs := make([]core.QueryDef, len(vecs))
+	for i := range vecs {
+		defs[i] = core.QueryDef{Vec: vecs[i], K: ks[i]}
+	}
+	mon, err := core.NewMonitor(core.Config{
+		Algorithm: s.Algo,
+		Bound:     s.Bound,
+		Lambda:    pt.Lambda,
+		Shards:    s.Shards,
+	}, defs)
+	if err != nil {
+		return cell, err
+	}
+	if err := mon.RestoreState(warm.base, warm.base, warm.results); err != nil {
+		return cell, err
+	}
+	var sample stats.Sample
+	var evalSum float64
+	for _, ev := range measure {
+		start := time.Now()
+		st, err := mon.Process(ev.Doc, ev.Time)
+		if err != nil {
+			return cell, err
+		}
+		sample.AddDuration(time.Since(start))
+		evalSum += float64(st.Evaluated)
+	}
+	cell.MeanMS = sample.Mean()
+	cell.P50MS = sample.Percentile(50)
+	cell.P95MS = sample.Percentile(95)
+	cell.Evaluated = evalSum / float64(len(measure))
+	return cell, nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/rangemax"
+	"repro/internal/workload"
+)
+
+// paperSeries are the five algorithms of Figure 1, in the paper's
+// legend order.
+func paperSeries() []Series {
+	return []Series{
+		{Label: "RTA", Algo: core.AlgoRTA},
+		{Label: "RIO", Algo: core.AlgoRIO},
+		{Label: "MRIO", Algo: core.AlgoMRIO, Bound: rangemax.KindSegTree},
+		{Label: "SortQuer", Algo: core.AlgoSortQuer},
+		{Label: "TPS", Algo: core.AlgoTPS},
+	}
+}
+
+// sizePoints builds the Figure 1 x-axis: response time vs number of
+// queries.
+func sizePoints(sc Scale, kind workload.Kind, k int, lambda float64) []Point {
+	pts := make([]Point, 0, len(sc.QueryCounts))
+	for _, n := range sc.QueryCounts {
+		cfg := workload.DefaultConfig(kind, n)
+		cfg.K = k
+		cfg.Seed = sc.Seed
+		pts = append(pts, Point{Param: float64(n), Queries: cfg, Lambda: lambda})
+	}
+	return pts
+}
+
+// defaultLambda gives recency a real but not dominant role: at the
+// harness' 100 docs/s stream rate scores halve roughly every 7,000
+// documents, so thresholds stay selective (the paper's steady state)
+// while top-k sets still turn over and maintenance costs register.
+const defaultLambda = 0.01
+
+// Experiments builds the full registry for a scale. IDs follow
+// DESIGN.md §5.
+func Experiments(sc Scale) map[string]Experiment {
+	model := corpus.WikipediaModel(sc.VocabSize)
+	base := func(id, title, xlabel string) Experiment {
+		return Experiment{
+			ID: id, Title: title, XLabel: xlabel,
+			Model:  model,
+			Warmup: sc.Warmup, Measure: sc.Measure,
+			Rate: sc.Rate, Seed: sc.Seed,
+		}
+	}
+	exps := make(map[string]Experiment)
+
+	fig1a := base("fig1a", "Figure 1(a) — Wiki-Uniform: response time vs number of queries", "queries")
+	fig1a.Series = paperSeries()
+	fig1a.Points = sizePoints(sc, workload.Uniform, 10, defaultLambda)
+	exps[fig1a.ID] = fig1a
+
+	fig1b := base("fig1b", "Figure 1(b) — Wiki-Connected: response time vs number of queries", "queries")
+	fig1b.Series = paperSeries()
+	fig1b.Points = sizePoints(sc, workload.Connected, 10, defaultLambda)
+	exps[fig1b.ID] = fig1b
+
+	extk := base("extk", "Extension (TKDE sweep) — effect of k", "k")
+	extk.Series = paperSeries()
+	for _, k := range []int{1, 5, 10, 20, 50} {
+		cfg := workload.DefaultConfig(workload.Uniform, sc.BaseQueries)
+		cfg.K = k
+		cfg.Seed = sc.Seed
+		extk.Points = append(extk.Points, Point{Param: float64(k), Queries: cfg, Lambda: defaultLambda})
+	}
+	exps[extk.ID] = extk
+
+	extl := base("extlambda", "Extension (TKDE sweep) — effect of decay λ", "lambda")
+	extl.Series = paperSeries()
+	for _, l := range []float64{0, 0.0001, 0.001, 0.01} {
+		cfg := workload.DefaultConfig(workload.Uniform, sc.BaseQueries)
+		cfg.Seed = sc.Seed
+		extl.Points = append(extl.Points, Point{Param: l, Queries: cfg, Lambda: l})
+	}
+	exps[extl.ID] = extl
+
+	extq := base("extqlen", "Extension (TKDE sweep) — effect of query length", "terms/query")
+	extq.Series = paperSeries()
+	for _, ln := range []int{2, 3, 4, 5} {
+		cfg := workload.DefaultConfig(workload.Uniform, sc.BaseQueries)
+		cfg.MinTerms, cfg.MaxTerms = ln, ln
+		cfg.Seed = sc.Seed
+		extq.Points = append(extq.Points, Point{Param: float64(ln), Queries: cfg, Lambda: defaultLambda})
+	}
+	exps[extq.ID] = extq
+
+	ablub := base("ablub", "Ablation — MRIO UB* implementations (seg vs block vs sparse)", "queries")
+	ablub.Series = []Series{
+		{Label: "MRIO-seg", Algo: core.AlgoMRIO, Bound: rangemax.KindSegTree},
+		{Label: "MRIO-block", Algo: core.AlgoMRIO, Bound: rangemax.KindBlock},
+		{Label: "MRIO-sparse", Algo: core.AlgoMRIO, Bound: rangemax.KindSparse},
+	}
+	ablub.Points = sizePoints(sc, workload.Uniform, 10, defaultLambda)
+	exps[ablub.ID] = ablub
+
+	// Sharding pays only when a single event carries real work, so the
+	// scaling experiment uses the heavy Connected workload.
+	abls := base("ablshard", "Extension — sharded parallel monitor scaling (MRIO, Connected)", "queries")
+	for _, s := range []int{1, 2, 4, 8} {
+		abls.Series = append(abls.Series, Series{
+			Label: fmt.Sprintf("shards=%d", s),
+			Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree, Shards: s,
+		})
+	}
+	cfg := workload.DefaultConfig(workload.Connected, sc.BaseQueries)
+	cfg.Seed = sc.Seed
+	abls.Points = []Point{{Param: float64(sc.BaseQueries), Queries: cfg, Lambda: defaultLambda}}
+	exps[abls.ID] = abls
+
+	return exps
+}
+
+// IDs returns the registry's experiment IDs, sorted.
+func IDs(sc Scale) []string {
+	exps := Experiments(sc)
+	ids := make([]string, 0, len(exps))
+	for id := range exps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SeriesTable pivots a Result into rows (one per x value) and columns
+// (one per series), mirroring how the paper's figures plot data.
+type SeriesTable struct {
+	XLabel  string
+	Columns []string
+	XValues []float64
+	// MS[x][col] is mean response time in milliseconds.
+	MS [][]float64
+	// Eval[x][col] is the mean number of exactly-scored queries per
+	// event — the machine-independent work metric behind the paper's
+	// optimality claim.
+	Eval [][]float64
+}
+
+// Table pivots a measured result.
+func (r *Result) Table() SeriesTable {
+	t := SeriesTable{XLabel: r.Exp.XLabel}
+	seen := map[string]int{}
+	for _, s := range r.Exp.Series {
+		seen[s.Label] = len(t.Columns)
+		t.Columns = append(t.Columns, s.Label)
+	}
+	xIndex := map[float64]int{}
+	for _, c := range r.Cells {
+		i, ok := xIndex[c.Param]
+		if !ok {
+			i = len(t.XValues)
+			xIndex[c.Param] = i
+			t.XValues = append(t.XValues, c.Param)
+			t.MS = append(t.MS, make([]float64, len(t.Columns)))
+			t.Eval = append(t.Eval, make([]float64, len(t.Columns)))
+		}
+		t.MS[i][seen[c.Series]] = c.MeanMS
+		t.Eval[i][seen[c.Series]] = c.Evaluated
+	}
+	sort.Sort(&tableSorter{&t})
+	return t
+}
+
+type tableSorter struct{ t *SeriesTable }
+
+func (s *tableSorter) Len() int           { return len(s.t.XValues) }
+func (s *tableSorter) Less(i, j int) bool { return s.t.XValues[i] < s.t.XValues[j] }
+func (s *tableSorter) Swap(i, j int) {
+	s.t.XValues[i], s.t.XValues[j] = s.t.XValues[j], s.t.XValues[i]
+	s.t.MS[i], s.t.MS[j] = s.t.MS[j], s.t.MS[i]
+	s.t.Eval[i], s.t.Eval[j] = s.t.Eval[j], s.t.Eval[i]
+}
+
+// Render prints the table in the row/series layout of the paper's
+// figures, followed by the speedup summary the paper quotes ("up to
+// 8, 10, and 25 times shorter than TPS, SortQuer, and RTA").
+func (r *Result) Render(w io.Writer) {
+	t := r.Table()
+	fmt.Fprintf(w, "%s\n", r.Exp.Title)
+	fmt.Fprintf(w, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	for i, x := range t.XValues {
+		fmt.Fprintf(w, "%-12s", formatParam(x))
+		for j := range t.Columns {
+			fmt.Fprintf(w, " %12.3f", t.MS[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	r.renderSpeedups(w, t)
+
+	fmt.Fprintf(w, "exact evaluations per event (machine-independent work metric):\n")
+	fmt.Fprintf(w, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	for i, x := range t.XValues {
+		fmt.Fprintf(w, "%-12s", formatParam(x))
+		for j := range t.Columns {
+			fmt.Fprintf(w, " %12.1f", t.Eval[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// renderSpeedups prints max-over-x speedups of MRIO against each other
+// series when MRIO is present.
+func (r *Result) renderSpeedups(w io.Writer, t SeriesTable) {
+	mrio := -1
+	for j, c := range t.Columns {
+		if c == "MRIO" || strings.HasPrefix(c, "MRIO-seg") {
+			mrio = j
+			break
+		}
+	}
+	if mrio < 0 || len(t.XValues) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "speedup of MRIO (max over %s):", t.XLabel)
+	for j, c := range t.Columns {
+		if j == mrio {
+			continue
+		}
+		best := 0.0
+		for i := range t.XValues {
+			if s := stats.Speedup(t.MS[i][j], t.MS[i][mrio]); s > best && t.MS[i][mrio] > 0 {
+				best = s
+			}
+		}
+		fmt.Fprintf(w, "  %.1fx vs %s", best, c)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatParam(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Speedup returns the ratio of series a's to series b's mean time at
+// the largest x value (0 when either is missing).
+func (r *Result) Speedup(a, b string) float64 {
+	t := r.Table()
+	ai, bi := -1, -1
+	for j, c := range t.Columns {
+		if c == a {
+			ai = j
+		}
+		if c == b {
+			bi = j
+		}
+	}
+	if ai < 0 || bi < 0 || len(t.XValues) == 0 {
+		return 0
+	}
+	last := len(t.XValues) - 1
+	if t.MS[last][bi] == 0 {
+		return 0
+	}
+	return t.MS[last][ai] / t.MS[last][bi]
+}

@@ -1,0 +1,110 @@
+// Package core implements the CTQD processing server of the paper: a
+// Monitor hosting a set of continuous top-k queries, fed by a document
+// stream, refreshing every affected query's result on each arrival.
+//
+// The Monitor owns everything stateful the algorithms need — the decay
+// epoch and rebase protocol, per-shard query indexes, dynamic query
+// registration — and delegates per-event matching to one of the
+// algorithms in internal/algo (MRIO by default).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+)
+
+// Algorithm names a matching algorithm.
+type Algorithm string
+
+// The available algorithms. MRIO is the paper's contribution and the
+// default; the others exist as evaluation baselines.
+const (
+	AlgoMRIO       Algorithm = "MRIO"
+	AlgoRIO        Algorithm = "RIO"
+	AlgoRTA        Algorithm = "RTA"
+	AlgoSortQuer   Algorithm = "SortQuer"
+	AlgoTPS        Algorithm = "TPS"
+	AlgoExhaustive Algorithm = "Exhaustive"
+)
+
+// ParseAlgorithm converts a case-sensitive algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch Algorithm(s) {
+	case AlgoMRIO, AlgoRIO, AlgoRTA, AlgoSortQuer, AlgoTPS, AlgoExhaustive:
+		return Algorithm(s), nil
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// NewProcessor constructs the named algorithm over an index. bound
+// selects the UB* implementation for MRIO and is ignored otherwise.
+func NewProcessor(a Algorithm, bound rangemax.Kind, ix *index.Index) (algo.Processor, error) {
+	switch a {
+	case AlgoMRIO:
+		return algo.NewMRIO(ix, bound)
+	case AlgoRIO:
+		return algo.NewRIO(ix)
+	case AlgoRTA:
+		return algo.NewRTA(ix)
+	case AlgoSortQuer:
+		return algo.NewSortQuer(ix)
+	case AlgoTPS:
+		return algo.NewTPS(ix)
+	case AlgoExhaustive:
+		return algo.NewExhaustive(ix)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", a)
+	}
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Algorithm selects the matching algorithm (default MRIO).
+	Algorithm Algorithm
+	// Bound selects MRIO's UB* implementation (default segment tree).
+	Bound rangemax.Kind
+	// Lambda is the exponential decay rate (≥ 0; 0 disables recency).
+	Lambda float64
+	// Shards splits the query set into independent partitions matched
+	// in parallel (default 1; the paper's setting is single-threaded).
+	Shards int
+	// RebuildThreshold is how many dynamically added or removed
+	// queries accumulate before the main indexes are rebuilt to absorb
+	// them (default 1024). Pending queries are matched exhaustively in
+	// the meantime, so correctness never depends on rebuilds.
+	RebuildThreshold int
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgoMRIO
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.RebuildThreshold == 0 {
+		c.RebuildThreshold = 1024
+	}
+	return c
+}
+
+// Validate reports the first problem with the config.
+func (c Config) Validate() error {
+	if _, err := ParseAlgorithm(string(c.Algorithm)); c.Algorithm != "" && err != nil {
+		return err
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("core: negative decay λ %v", c.Lambda)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
+	if c.RebuildThreshold < 0 {
+		return fmt.Errorf("core: negative rebuild threshold %d", c.RebuildThreshold)
+	}
+	return nil
+}

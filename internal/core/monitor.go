@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+)
+
+// Errors returned by Monitor operations.
+var (
+	// ErrUnknownQuery reports a query ID that was never registered.
+	ErrUnknownQuery = errors.New("core: unknown query ID")
+	// ErrRemovedQuery reports an operation on a removed query.
+	ErrRemovedQuery = errors.New("core: query was removed")
+	// ErrTimeRegression reports a stream event older than the last.
+	ErrTimeRegression = errors.New("core: event time precedes stream time")
+)
+
+// QueryDef describes one continuous query at registration time.
+type QueryDef struct {
+	// Vec is the unit-normalized preference vector.
+	Vec textproc.Vector
+	// K is the result size (≥ 1).
+	K int
+}
+
+// Result is one user-visible result entry.
+type Result struct {
+	DocID uint64
+	// Score is the decayed (present-time) score at the monitor's
+	// current stream time.
+	Score float64
+}
+
+// EventStats aggregates per-event work across shards.
+type EventStats struct {
+	Evaluated  int
+	Matched    int
+	Iterations int
+	Postings   int
+	JumpAlls   int
+}
+
+func (s *EventStats) add(m algo.EventMetrics) {
+	s.Evaluated += m.Evaluated
+	s.Matched += m.Matched
+	s.Iterations += m.Iterations
+	s.Postings += m.Postings
+	s.JumpAlls += m.JumpAlls
+}
+
+// location maps a global query ID to where it currently lives.
+type location struct {
+	shard   int32 // -1 → pending sidecar
+	local   uint32
+	removed bool
+}
+
+const pendingShard = -1
+
+// shard is one independent partition of the query set.
+type shard struct {
+	proc      algo.Processor
+	globalIDs []uint32 // local → global
+}
+
+// Monitor is the CTQD processing server. It is not safe for concurrent
+// mutation; Process and AddQuery/RemoveQuery must be externally
+// serialized (result reads between events are safe).
+type Monitor struct {
+	cfg   Config
+	decay *stream.Decay
+
+	defs   []QueryDef // global ID → definition (retained for rebuilds)
+	loc    []location
+	shards []*shard
+
+	// pending holds recently added queries, matched exhaustively until
+	// the next rebuild folds them into the shard indexes.
+	pendingIDs  []uint32
+	pendingProc algo.Processor
+	dirty       int // adds+removals since last rebuild
+
+	now    float64
+	events uint64
+	totals EventStats
+}
+
+// NewMonitor builds a monitor over an initial query set. Queries get
+// dense global IDs in registration order.
+func NewMonitor(cfg Config, defs []QueryDef) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	decay, err := stream.NewDecay(cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{cfg: cfg, decay: decay}
+	m.defs = append(m.defs, defs...)
+	m.loc = make([]location, len(defs))
+	if err := m.rebuild(nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Config returns the monitor's effective configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Now returns the current stream time.
+func (m *Monitor) Now() float64 { return m.now }
+
+// Events returns the number of processed stream events.
+func (m *Monitor) Events() uint64 { return m.events }
+
+// Totals returns cumulative work statistics.
+func (m *Monitor) Totals() EventStats { return m.totals }
+
+// NumQueries returns the number of live (non-removed) queries.
+func (m *Monitor) NumQueries() int {
+	n := 0
+	for _, l := range m.loc {
+		if !l.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// buildShard constructs one shard's index and processor from global
+// query IDs.
+func (m *Monitor) buildShard(ids []uint32) (*shard, error) {
+	vecs := make([]textproc.Vector, len(ids))
+	ks := make([]int, len(ids))
+	for i, g := range ids {
+		vecs[i] = m.defs[g].Vec
+		ks[i] = m.defs[g].K
+	}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := NewProcessor(m.cfg.Algorithm, m.cfg.Bound, ix)
+	if err != nil {
+		return nil, err
+	}
+	return &shard{proc: proc, globalIDs: ids}, nil
+}
+
+// rebuild reconstructs all shard indexes from the live query set,
+// carrying over existing results. carried maps global ID → inflated
+// result entries to restore (nil on first build).
+func (m *Monitor) rebuild(carried map[uint32][]topk.ScoredDoc) error {
+	parts := make([][]uint32, m.cfg.Shards)
+	for g := range m.defs {
+		if m.loc[g].removed {
+			continue
+		}
+		s := g % m.cfg.Shards
+		parts[s] = append(parts[s], uint32(g))
+	}
+	shards := make([]*shard, m.cfg.Shards)
+	for s, ids := range parts {
+		sh, err := m.buildShard(ids)
+		if err != nil {
+			return err
+		}
+		shards[s] = sh
+		for local, g := range ids {
+			m.loc[g] = location{shard: int32(s), local: uint32(local)}
+		}
+	}
+	m.shards = shards
+	m.pendingIDs = nil
+	m.pendingProc = nil
+	m.dirty = 0
+	if carried != nil {
+		for g, docs := range carried {
+			if m.loc[g].removed {
+				continue
+			}
+			m.restore(g, docs)
+		}
+	}
+	return nil
+}
+
+// restore bulk-loads inflated results into query g's store.
+func (m *Monitor) restore(g uint32, docs []topk.ScoredDoc) {
+	l := m.loc[g]
+	proc := m.procFor(l)
+	for _, d := range docs {
+		proc.Results().Add(uint32(l.local), d.DocID, d.Score)
+	}
+	proc.SyncThreshold(l.local)
+}
+
+// procFor returns the processor responsible for a location.
+func (m *Monitor) procFor(l location) algo.Processor {
+	if l.shard == pendingShard {
+		return m.pendingProc
+	}
+	return m.shards[l.shard].proc
+}
+
+// dump collects every live query's inflated results.
+func (m *Monitor) dump() map[uint32][]topk.ScoredDoc {
+	out := make(map[uint32][]topk.ScoredDoc, len(m.defs))
+	for g := range m.defs {
+		l := m.loc[g]
+		if l.removed {
+			continue
+		}
+		if docs := m.procFor(l).Results().Top(l.local); len(docs) > 0 {
+			out[uint32(g)] = docs
+		}
+	}
+	return out
+}
+
+// AddQuery registers a query while the stream runs. It lands in the
+// pending sidecar (matched exhaustively, which is exact) and is folded
+// into the main indexes at the next rebuild.
+func (m *Monitor) AddQuery(def QueryDef) (uint32, error) {
+	if err := def.Vec.Validate(); err != nil {
+		return 0, err
+	}
+	if len(def.Vec) == 0 {
+		return 0, fmt.Errorf("core: empty query vector")
+	}
+	if def.K < 1 {
+		return 0, fmt.Errorf("core: k must be ≥ 1, got %d", def.K)
+	}
+	g := uint32(len(m.defs))
+	m.defs = append(m.defs, def)
+	m.loc = append(m.loc, location{shard: pendingShard})
+	m.pendingIDs = append(m.pendingIDs, g)
+	m.dirty++
+	if err := m.rebuildPending(); err != nil {
+		return 0, err
+	}
+	return g, m.maybeRebuild()
+}
+
+// rebuildPending reconstructs the pending sidecar, carrying results of
+// queries already pending.
+func (m *Monitor) rebuildPending() error {
+	carried := make(map[uint32][]topk.ScoredDoc)
+	if m.pendingProc != nil {
+		for local, g := range m.pendingIDs[:m.pendingProc.Results().NumQueries()] {
+			if docs := m.pendingProc.Results().Top(uint32(local)); len(docs) > 0 {
+				carried[g] = docs
+			}
+		}
+	}
+	vecs := make([]textproc.Vector, len(m.pendingIDs))
+	ks := make([]int, len(m.pendingIDs))
+	for i, g := range m.pendingIDs {
+		vecs[i] = m.defs[g].Vec
+		ks[i] = m.defs[g].K
+	}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		return err
+	}
+	// The sidecar is exhaustive: tiny query count, zero bound
+	// maintenance, exactness for free.
+	proc, err := algo.NewExhaustive(ix)
+	if err != nil {
+		return err
+	}
+	m.pendingProc = proc
+	for local, g := range m.pendingIDs {
+		m.loc[g] = location{shard: pendingShard, local: uint32(local)}
+		if docs, ok := carried[g]; ok {
+			m.restore(g, docs)
+		}
+	}
+	return nil
+}
+
+// RemoveQuery unregisters a query. Its index entries linger (correct,
+// merely unprofitable) until the next rebuild sweeps them out.
+func (m *Monitor) RemoveQuery(g uint32) error {
+	if int(g) >= len(m.loc) {
+		return ErrUnknownQuery
+	}
+	if m.loc[g].removed {
+		return ErrRemovedQuery
+	}
+	m.loc[g].removed = true
+	m.dirty++
+	return m.maybeRebuild()
+}
+
+// maybeRebuild folds pending changes into the main indexes once the
+// dirty budget is spent.
+func (m *Monitor) maybeRebuild() error {
+	if m.dirty < m.cfg.RebuildThreshold {
+		return nil
+	}
+	return m.rebuild(m.dump())
+}
+
+// Process feeds one stream event. Event times must be non-decreasing.
+func (m *Monitor) Process(doc corpus.Document, t float64) (EventStats, error) {
+	if t < m.now {
+		return EventStats{}, fmt.Errorf("%w: %v < %v", ErrTimeRegression, t, m.now)
+	}
+	for m.decay.NeedsRebase(t) {
+		f := m.decay.RebaseTo(t)
+		for _, sh := range m.shards {
+			sh.proc.Rebase(f)
+		}
+		if m.pendingProc != nil {
+			m.pendingProc.Rebase(f)
+		}
+	}
+	e := m.decay.Factor(t)
+
+	var st EventStats
+	if m.cfg.Shards == 1 {
+		st.add(m.shards[0].proc.ProcessEvent(doc, e))
+	} else {
+		results := make([]algo.EventMetrics, len(m.shards))
+		var wg sync.WaitGroup
+		for i, sh := range m.shards {
+			wg.Add(1)
+			go func(i int, sh *shard) {
+				defer wg.Done()
+				results[i] = sh.proc.ProcessEvent(doc, e)
+			}(i, sh)
+		}
+		wg.Wait()
+		for _, r := range results {
+			st.add(r)
+		}
+	}
+	if m.pendingProc != nil {
+		st.add(m.pendingProc.ProcessEvent(doc, e))
+	}
+	m.now = t
+	m.events++
+	m.totals.add(algo.EventMetrics(st))
+	return st, nil
+}
+
+// Top returns query g's current results with present-time (decayed)
+// scores, best first.
+func (m *Monitor) Top(g uint32) ([]Result, error) {
+	if int(g) >= len(m.loc) {
+		return nil, ErrUnknownQuery
+	}
+	l := m.loc[g]
+	if l.removed {
+		return nil, ErrRemovedQuery
+	}
+	docs := m.procFor(l).Results().Top(l.local)
+	out := make([]Result, len(docs))
+	for i, d := range docs {
+		out[i] = Result{DocID: d.DocID, Score: m.decay.PresentScore(d.Score, m.now)}
+	}
+	return out, nil
+}
+
+// TopInflated returns query g's results in internal inflated score
+// units (used by snapshots and tests that compare across algorithms).
+func (m *Monitor) TopInflated(g uint32) ([]topk.ScoredDoc, error) {
+	if int(g) >= len(m.loc) {
+		return nil, ErrUnknownQuery
+	}
+	l := m.loc[g]
+	if l.removed {
+		return nil, ErrRemovedQuery
+	}
+	return m.procFor(l).Results().Top(l.local), nil
+}
+
+// Defs returns the live query definitions keyed by global ID (for
+// snapshotting).
+func (m *Monitor) Defs() map[uint32]QueryDef {
+	out := make(map[uint32]QueryDef, len(m.defs))
+	for g, d := range m.defs {
+		if !m.loc[g].removed {
+			out[uint32(g)] = d
+		}
+	}
+	return out
+}
+
+// DumpState exposes the monitor's dynamic state for persistence:
+// stream time, decay base and every live query's inflated results.
+func (m *Monitor) DumpState() (now, decayBase float64, results map[uint32][]topk.ScoredDoc) {
+	return m.now, m.decay.Base(), m.dump()
+}
+
+// RestoreState reloads state produced by DumpState. It must be called
+// on a freshly built monitor with the same query definitions.
+func (m *Monitor) RestoreState(now, decayBase float64, results map[uint32][]topk.ScoredDoc) error {
+	if decayBase > now {
+		return fmt.Errorf("core: decay base %v after stream time %v", decayBase, now)
+	}
+	m.now = now
+	m.decay.SetBase(decayBase)
+	for g, docs := range results {
+		if int(g) >= len(m.loc) {
+			return fmt.Errorf("%w: %d in snapshot", ErrUnknownQuery, g)
+		}
+		if m.loc[g].removed {
+			continue
+		}
+		m.restore(g, docs)
+	}
+	return nil
+}

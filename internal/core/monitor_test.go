@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+func defsFromWorkload(t *testing.T, kind workload.Kind, n, k int, seed int64) []QueryDef {
+	t.Helper()
+	model := corpus.WikipediaModel(600)
+	model.DocLenMedian = 20
+	cfg := workload.DefaultConfig(kind, n)
+	cfg.K = k
+	cfg.Seed = seed
+	qs, err := workload.Generate(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := make([]QueryDef, len(qs))
+	for i, q := range qs {
+		defs[i] = QueryDef{Vec: q.Vec, K: q.K}
+	}
+	return defs
+}
+
+func testEvents(t *testing.T, n int, seed int64) []stream.Event {
+	t.Helper()
+	model := corpus.WikipediaModel(600)
+	model.DocLenMedian = 20
+	gen := corpus.NewGenerator(model, seed, uint64(n))
+	src, err := stream.NewSource(gen, 10, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src.Take(n)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	bad := []Config{
+		{Algorithm: "bogus"},
+		{Lambda: -1},
+		{Shards: -2},
+		{RebuildThreshold: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"MRIO", "RIO", "RTA", "SortQuer", "TPS", "Exhaustive"} {
+		if _, err := ParseAlgorithm(name); err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseAlgorithm("mrio"); err == nil {
+		t.Error("lowercase accepted; names are case-sensitive")
+	}
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 100, 3, 1)
+	m, err := NewMonitor(Config{Lambda: 0.01}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumQueries() != 100 {
+		t.Fatalf("NumQueries = %d", m.NumQueries())
+	}
+	var matched int
+	for _, ev := range testEvents(t, 200, 50) {
+		st, err := m.Process(ev.Doc, ev.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matched += st.Matched
+	}
+	if matched == 0 {
+		t.Fatal("no query ever matched; fixture degenerate")
+	}
+	if m.Events() != 200 {
+		t.Fatalf("Events = %d", m.Events())
+	}
+	if m.Totals().Matched != matched {
+		t.Fatal("Totals mismatch")
+	}
+	someResults := 0
+	for g := uint32(0); g < 100; g++ {
+		top, err := m.Top(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(top); i++ {
+			if top[i-1].Score < top[i].Score {
+				t.Fatalf("query %d results out of order", g)
+			}
+		}
+		someResults += len(top)
+	}
+	if someResults == 0 {
+		t.Fatal("no results anywhere")
+	}
+}
+
+// TestAlgorithmsAgreeThroughMonitor runs the full monitor stack under
+// every algorithm and compares inflated results.
+func TestAlgorithmsAgreeThroughMonitor(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Connected, 120, 3, 2)
+	events := testEvents(t, 250, 60)
+	algos := []Algorithm{AlgoExhaustive, AlgoMRIO, AlgoRIO, AlgoRTA, AlgoSortQuer, AlgoTPS}
+	monitors := make([]*Monitor, len(algos))
+	for i, a := range algos {
+		m, err := NewMonitor(Config{Algorithm: a, Lambda: 0.02}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monitors[i] = m
+		for _, ev := range events {
+			if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for g := uint32(0); g < 120; g++ {
+		want, _ := monitors[0].TopInflated(g)
+		for i, m := range monitors[1:] {
+			got, _ := m.TopInflated(g)
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %d: %d results vs oracle %d", algos[i+1], g, len(got), len(want))
+			}
+			for r := range got {
+				if got[r].DocID != want[r].DocID {
+					t.Fatalf("%s: query %d rank %d: doc %d vs %d", algos[i+1], g, r, got[r].DocID, want[r].DocID)
+				}
+			}
+		}
+	}
+}
+
+// TestShardingEquivalence: sharded processing must produce identical
+// results to single-shard.
+func TestShardingEquivalence(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 150, 3, 3)
+	events := testEvents(t, 200, 70)
+	single, err := NewMonitor(Config{Lambda: 0.01, Shards: 1}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewMonitor(Config{Lambda: 0.01, Shards: 4}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, err := single.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := uint32(0); g < 150; g++ {
+		a, _ := single.TopInflated(g)
+		b, _ := sharded.TopInflated(g)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID || math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+				t.Fatalf("query %d rank %d differs: %+v vs %+v", g, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDynamicAddQuery: a query added mid-stream must see later
+// documents exactly like a pre-registered one does.
+func TestDynamicAddQuery(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 50, 3, 4)
+	events := testEvents(t, 300, 80)
+	half := len(events) / 2
+
+	// Reference: query registered from the start, fed only the second
+	// half of the stream.
+	ref, err := NewMonitor(Config{Lambda: 0.01}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subject: query added at the halfway point of a running stream.
+	sub, err := NewMonitor(Config{Lambda: 0.01}, defs[:30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[:half] {
+		if _, err := sub.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var added []uint32
+	for _, d := range defs[30:] {
+		g, err := sub.AddQuery(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, g)
+	}
+	for _, ev := range events[half:] {
+		if _, err := ref.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, g := range added {
+		want, _ := ref.TopInflated(uint32(30 + i))
+		got, _ := sub.TopInflated(g)
+		if len(want) != len(got) {
+			t.Fatalf("added query %d: %d results vs %d", g, len(got), len(want))
+		}
+		for r := range want {
+			if want[r].DocID != got[r].DocID {
+				t.Fatalf("added query %d rank %d: doc %d vs %d", g, r, got[r].DocID, want[r].DocID)
+			}
+		}
+	}
+}
+
+// TestRebuildCarriesResults: forcing rebuilds must not lose state.
+func TestRebuildCarriesResults(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 60, 3, 5)
+	events := testEvents(t, 200, 90)
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 2}, defs[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	noReb, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, defs[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range events {
+		// Interleave adds to force rebuild churn in m only.
+		if i%20 == 10 && i/20 < len(defs[40:]) {
+			d := defs[40+i/20]
+			if _, err := m.AddQuery(d); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := noReb.AddQuery(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := noReb.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := uint32(0); g < uint32(m.NumQueries()); g++ {
+		a, _ := m.TopInflated(g)
+		b, _ := noReb.TopInflated(g)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results after rebuilds", g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID {
+				t.Fatalf("query %d rank %d differs after rebuilds", g, i)
+			}
+		}
+	}
+}
+
+func TestRemoveQuery(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 20, 2, 6)
+	m, err := NewMonitor(Config{}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveQuery(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumQueries() != 19 {
+		t.Fatalf("NumQueries = %d", m.NumQueries())
+	}
+	if _, err := m.Top(5); !errors.Is(err, ErrRemovedQuery) {
+		t.Fatalf("Top(removed) err = %v", err)
+	}
+	if err := m.RemoveQuery(5); !errors.Is(err, ErrRemovedQuery) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if err := m.RemoveQuery(99); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("remove unknown err = %v", err)
+	}
+	// Stream still works and the removed query stays invisible.
+	for _, ev := range testEvents(t, 50, 100) {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Top(5); !errors.Is(err, ErrRemovedQuery) {
+		t.Fatal("removed query resurfaced")
+	}
+}
+
+func TestTimeRegressionRejected(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 5, 1, 7)
+	m, _ := NewMonitor(Config{}, defs)
+	doc := corpus.Document{ID: 1, Vec: textproc.Vector{{Term: 1, Weight: 1}}}
+	if _, err := m.Process(doc, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Process(doc, 5); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("regression err = %v", err)
+	}
+}
+
+func TestAddQueryValidation(t *testing.T) {
+	m, _ := NewMonitor(Config{}, defsFromWorkload(t, workload.Uniform, 5, 1, 8))
+	if _, err := m.AddQuery(QueryDef{Vec: nil, K: 1}); err == nil {
+		t.Fatal("empty vector accepted")
+	}
+	if _, err := m.AddQuery(QueryDef{Vec: textproc.Vector{{Term: 1, Weight: 1}}, K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := m.AddQuery(QueryDef{Vec: textproc.Vector{{Term: 1, Weight: math.NaN()}}, K: 1}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestTopPresentScoresDecay(t *testing.T) {
+	defs := []QueryDef{{Vec: textproc.Vector{{Term: 1, Weight: 1}}, K: 1}}
+	m, err := NewMonitor(Config{Lambda: 0.5}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := corpus.Document{ID: 7, Vec: textproc.Vector{{Term: 1, Weight: 0.8}}}
+	if _, err := m.Process(doc, 0); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := m.Top(0)
+	if len(top) != 1 || math.Abs(top[0].Score-0.8) > 1e-12 {
+		t.Fatalf("fresh score = %+v", top)
+	}
+	// Advance time with an unrelated doc; the old result must decay.
+	other := corpus.Document{ID: 8, Vec: textproc.Vector{{Term: 99, Weight: 1}}}
+	if _, err := m.Process(other, 2); err != nil {
+		t.Fatal(err)
+	}
+	top, _ = m.Top(0)
+	want := 0.8 * math.Exp(-0.5*2)
+	if math.Abs(top[0].Score-want) > 1e-12 {
+		t.Fatalf("decayed score = %v, want %v", top[0].Score, want)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 40, 3, 9)
+	events := testEvents(t, 150, 110)
+	m, err := NewMonitor(Config{Lambda: 0.01}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, base, results := m.DumpState()
+
+	restored, err := NewMonitor(Config{Lambda: 0.01}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(now, base, results); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[half:] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := uint32(0); g < 40; g++ {
+		a, _ := m.TopInflated(g)
+		b, _ := restored.TopInflated(g)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results after restore", g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID {
+				t.Fatalf("query %d rank %d differs after restore", g, i)
+			}
+		}
+	}
+}

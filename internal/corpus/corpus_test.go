@@ -1,0 +1,272 @@
+package corpus
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func testModel() Model {
+	m := WikipediaModel(5000)
+	m.DocLenMedian = 40
+	return m
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := WikipediaModel(10000).Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	bad := []Model{
+		{VocabSize: 1},
+		func() Model { m := WikipediaModel(100); m.ZipfS = 1; return m }(),
+		func() Model { m := WikipediaModel(100); m.ZipfV = 0; return m }(),
+		func() Model { m := WikipediaModel(100); m.Topics = 0; return m }(),
+		func() Model { m := WikipediaModel(100); m.TopicMix = 1.5; return m }(),
+		func() Model { m := WikipediaModel(100); m.DocLenMedian = 0; return m }(),
+		func() Model { m := WikipediaModel(100); m.MinDocLen = 10; m.MaxDocLen = 5; return m }(),
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d passed validation", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(testModel(), 42, 1000).Generate(20)
+	b := NewGenerator(testModel(), 42, 1000).Generate(20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := NewGenerator(testModel(), 43, 1000).Generate(20)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGeneratedDocumentsValid(t *testing.T) {
+	g := NewGenerator(testModel(), 7, 1000)
+	for i, d := range g.Generate(100) {
+		if d.ID != uint64(i) {
+			t.Fatalf("doc %d has ID %d", i, d.ID)
+		}
+		if err := d.Vec.Validate(); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		if math.Abs(d.Vec.Norm()-1) > 1e-9 {
+			t.Fatalf("doc %d norm = %v", i, d.Vec.Norm())
+		}
+		if len(d.Vec) < testModel().MinDocLen {
+			t.Fatalf("doc %d has %d terms, below clamp", i, len(d.Vec))
+		}
+	}
+}
+
+func TestDocLengthDistribution(t *testing.T) {
+	m := testModel()
+	g := NewGenerator(m, 11, 1000)
+	var lens []int
+	for i := 0; i < 500; i++ {
+		lens = append(lens, len(g.Next().Vec))
+	}
+	sort.Ints(lens)
+	median := float64(lens[len(lens)/2])
+	// Median unique-term count should be near the model's median.
+	if median < m.DocLenMedian*0.6 || median > m.DocLenMedian*1.6 {
+		t.Fatalf("median doc length = %v, model median %v", median, m.DocLenMedian)
+	}
+	if lens[0] < m.MinDocLen || lens[len(lens)-1] > m.MaxDocLen {
+		t.Fatalf("lengths escape clamp: [%d, %d]", lens[0], lens[len(lens)-1])
+	}
+}
+
+func TestTermFrequencySkew(t *testing.T) {
+	// Background sampling must be Zipfian: the most frequent decile of
+	// the vocabulary should dominate draws.
+	g := NewGenerator(testModel(), 3, 1000)
+	low := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if int(g.SampleTerm()) < testModel().VocabSize/10 {
+			low++
+		}
+	}
+	frac := float64(low) / draws
+	if frac < 0.5 {
+		t.Fatalf("top-decile terms drawn %.2f of the time; want skew > 0.5", frac)
+	}
+}
+
+func TestCoOccurrenceFromTopics(t *testing.T) {
+	// The property the Connected workload relies on: rare terms that
+	// appear together in one document co-occur in *other* documents far
+	// more often than independently drawn rare terms do. (Head terms
+	// co-occur trivially under any Zipf model, so we exclude the top
+	// decile and measure the topical tail.)
+	m := testModel()
+	m.TopicMix = 0.9
+	g := NewGenerator(m, 5, 1000)
+	docs := g.Generate(400)
+	head := textproc.TermID(m.VocabSize / 10)
+
+	// Inverted map: rare term → docs containing it.
+	occ := make(map[textproc.TermID]map[int]struct{})
+	for i, d := range docs {
+		for _, tw := range d.Vec {
+			if tw.Term < head {
+				continue
+			}
+			s := occ[tw.Term]
+			if s == nil {
+				s = make(map[int]struct{})
+				occ[tw.Term] = s
+			}
+			s[i] = struct{}{}
+		}
+	}
+	joint := func(a, b textproc.TermID, excl int) int {
+		n := 0
+		for d := range occ[a] {
+			if d == excl {
+				continue
+			}
+			if _, ok := occ[b][d]; ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Same-document rare pairs.
+	var sameDoc, pairs int
+	for i, d := range docs[:100] {
+		var rare []textproc.TermID
+		for _, tw := range d.Vec {
+			if tw.Term >= head {
+				rare = append(rare, tw.Term)
+			}
+		}
+		for p := 0; p+1 < len(rare) && p < 6; p += 2 {
+			sameDoc += joint(rare[p], rare[p+1], i)
+			pairs++
+		}
+	}
+	// Independent rare pairs drawn from the pooled rare vocabulary.
+	var all []textproc.TermID
+	for t := range occ {
+		all = append(all, t)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var indep int
+	for p := 0; p+1 < len(all) && p/7 < pairs; p += 7 {
+		indep += joint(all[p], all[p+1], -1)
+	}
+	if pairs == 0 {
+		t.Fatal("no rare pairs sampled")
+	}
+	if sameDoc <= indep {
+		t.Fatalf("topical co-occurrence not above independent baseline: same-doc=%d independent=%d (pairs=%d)",
+			sameDoc, indep, pairs)
+	}
+}
+
+func countShared(a, b textproc.Vector) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Term < b[j].Term:
+			i++
+		case a[i].Term > b[j].Term:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func TestExpectedDFProfile(t *testing.T) {
+	m := testModel()
+	const docs = 100000
+	df := m.expectedDF(docs)
+	if len(df) != m.VocabSize {
+		t.Fatalf("df size = %d", len(df))
+	}
+	var headSum, tailSum float64
+	decile := m.VocabSize / 10
+	for i, d := range df {
+		if d < 1 || d > docs {
+			t.Fatalf("df[%d] = %d out of [1, %d]", i, d, docs)
+		}
+		if i < decile {
+			headSum += float64(d)
+		}
+		if i >= m.VocabSize-decile {
+			tailSum += float64(d)
+		}
+	}
+	// Background-frequent terms must dominate the tail even after the
+	// topic component scatters probability mass.
+	if headSum <= 2*tailSum {
+		t.Fatalf("head df mass %.0f not dominating tail %.0f", headSum, tailSum)
+	}
+}
+
+func TestNewGeneratorPanicsOnBadModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid model did not panic")
+		}
+	}()
+	NewGenerator(Model{VocabSize: 1}, 1, 0)
+}
+
+func TestLoaderFromText(t *testing.T) {
+	vocab := textproc.NewVocabulary()
+	l := NewLoader(vocab, textproc.WeightLogTFIDF)
+	d := l.FromText("Continuous top-k monitoring of document streams.")
+	if len(d.Vec) == 0 {
+		t.Fatal("loader produced empty vector for real text")
+	}
+	if err := d.Vec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := l.FromText("")
+	if d2.ID != 1 {
+		t.Fatalf("loader ID sequence broken: %d", d2.ID)
+	}
+	if len(d2.Vec) != 0 {
+		t.Fatal("empty text should give empty vector")
+	}
+}
+
+func TestLoadJSONL(t *testing.T) {
+	input := `{"id":1,"title":"A","text":"stream processing of documents"}
+
+{"id":2,"text":"top-k query monitoring"}`
+	l := NewLoader(textproc.NewVocabulary(), textproc.WeightLogTFIDF)
+	docs, err := l.LoadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("loaded %d docs, want 2", len(docs))
+	}
+}
+
+func TestLoadJSONLMalformed(t *testing.T) {
+	l := NewLoader(textproc.NewVocabulary(), textproc.WeightLogTFIDF)
+	_, err := l.LoadJSONL(strings.NewReader("{not json}"))
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}

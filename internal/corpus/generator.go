@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/textproc"
+)
+
+// Document is one stream element: a unit-normalized sparse vector plus
+// the identifiers the monitor needs.
+type Document struct {
+	// ID is a monotonically increasing stream identifier.
+	ID uint64
+	// Vec is the unit-normalized tf-idf vector.
+	Vec textproc.Vector
+}
+
+// Generator produces synthetic documents under a Model. It is
+// deterministic for a given seed and not safe for concurrent use (each
+// goroutine should own its Generator).
+type Generator struct {
+	model      Model
+	rng        *rand.Rand
+	background *rand.Zipf
+	topicZipf  *rand.Zipf // rank distribution inside a topic
+	perm       []uint32   // topic rank position → term ID
+	vocab      *textproc.Vocabulary
+	weighter   *textproc.Weighter
+	nextID     uint64
+}
+
+// NewGenerator builds a generator. expectedDocs calibrates the preset
+// document-frequency table used for idf (pass the approximate number
+// of documents the run will stream; the default 1e6 is fine for
+// benchmarks). It panics if the model is invalid — generator
+// construction happens at setup time where a panic is a configuration
+// error, not a runtime condition.
+func NewGenerator(m Model, seed int64, expectedDocs uint64) *Generator {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if expectedDocs == 0 {
+		expectedDocs = 1_000_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vocab := textproc.PresetVocabulary(m.VocabSize, m.expectedDF(expectedDocs), expectedDocs)
+	g := &Generator{
+		model:      m,
+		rng:        rng,
+		background: rand.NewZipf(rng, m.ZipfS, m.ZipfV, uint64(m.VocabSize-1)),
+		topicZipf:  rand.NewZipf(rng, m.ZipfS, m.ZipfV, uint64(m.TopicWidth-1)),
+		perm:       topicPermutation(m.VocabSize),
+		vocab:      vocab,
+		weighter:   textproc.NewWeighter(vocab, m.Scheme),
+	}
+	return g
+}
+
+// Vocab exposes the preset vocabulary (shared with workload builders).
+func (g *Generator) Vocab() *textproc.Vocabulary { return g.vocab }
+
+// Model returns the generator's model.
+func (g *Generator) Model() Model { return g.model }
+
+// SampleTerm draws one term from the background Zipf distribution —
+// high-rank (low ID) terms are frequent, mirroring natural language.
+func (g *Generator) SampleTerm() textproc.TermID {
+	return textproc.TermID(g.background.Uint64())
+}
+
+// topicTerm maps a within-topic rank to a vocabulary term. Each topic
+// owns a contiguous rank range of a fixed vocabulary permutation, so a
+// topic's characteristic (low-rank) terms are scattered across the
+// global frequency spectrum — globally rare yet frequent within their
+// topic, like real subject vocabulary ("quark" in physics pages).
+func (g *Generator) topicTerm(topic int, rank uint64) textproc.TermID {
+	pos := (uint64(topic)*uint64(g.model.TopicWidth) + rank) % uint64(g.model.VocabSize)
+	return textproc.TermID(g.perm[pos])
+}
+
+// docLength samples a log-normal unique-term count, clamped to the
+// model's bounds.
+func (g *Generator) docLength() int {
+	ln := math.Log(g.model.DocLenMedian) + g.model.DocLenSigma*g.rng.NormFloat64()
+	n := int(math.Round(math.Exp(ln)))
+	if n < g.model.MinDocLen {
+		n = g.model.MinDocLen
+	}
+	if n > g.model.MaxDocLen {
+		n = g.model.MaxDocLen
+	}
+	return n
+}
+
+// SampleDocTerms returns the distinct terms of a synthetic document
+// together with their term frequencies. The mixture of per-document
+// topics and the global background induces realistic co-occurrence.
+func (g *Generator) SampleDocTerms() map[textproc.TermID]float64 {
+	n := g.docLength()
+	// 1–3 topics per document, like a Wikipedia page's subject areas.
+	nTopics := 1 + g.rng.Intn(3)
+	topics := make([]int, nTopics)
+	for i := range topics {
+		topics[i] = g.rng.Intn(g.model.Topics)
+	}
+	counts := make(map[textproc.TermID]float64, n)
+	for len(counts) < n {
+		var t textproc.TermID
+		if g.rng.Float64() < g.model.TopicMix {
+			topic := topics[g.rng.Intn(nTopics)]
+			t = g.topicTerm(topic, g.topicZipf.Uint64())
+		} else {
+			t = g.SampleTerm()
+		}
+		// Term frequency: 1 + geometric tail, so repeated terms exist
+		// but sparsity dominates.
+		tf := 1.0
+		for g.rng.Float64() < 0.3 {
+			tf++
+		}
+		if _, dup := counts[t]; !dup {
+			counts[t] = tf
+		}
+	}
+	return counts
+}
+
+// Next generates the next synthetic document.
+func (g *Generator) Next() Document {
+	counts := g.SampleDocTerms()
+	vec := g.weighter.VectorFromCounts(counts)
+	d := Document{ID: g.nextID, Vec: vec}
+	g.nextID++
+	return d
+}
+
+// Generate produces n documents.
+func (g *Generator) Generate(n int) []Document {
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

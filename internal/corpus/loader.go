@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/textproc"
+)
+
+// RawDoc is the JSONL wire format for real document streams: one JSON
+// object per line. Only Text is required.
+type RawDoc struct {
+	ID    uint64 `json:"id"`
+	Title string `json:"title,omitempty"`
+	Text  string `json:"text"`
+}
+
+// Loader converts raw text documents into stream Documents using the
+// shared analysis pipeline. It is the ingestion path a production
+// deployment would use in place of the synthetic Generator.
+type Loader struct {
+	Tok      *textproc.Tokenizer
+	Weighter *textproc.Weighter
+	nextID   uint64
+}
+
+// NewLoader builds a loader over an existing vocabulary, so queries
+// and documents agree on term IDs.
+func NewLoader(vocab *textproc.Vocabulary, scheme textproc.WeightScheme) *Loader {
+	return &Loader{
+		Tok:      textproc.NewTokenizer(),
+		Weighter: textproc.NewWeighter(vocab, scheme),
+	}
+}
+
+// FromText analyzes one raw text into a Document. Documents with no
+// surviving tokens yield an empty vector (valid: they match nothing).
+func (l *Loader) FromText(text string) Document {
+	tokens := l.Tok.Tokenize(text)
+	vec := l.Weighter.DocumentVector(tokens)
+	d := Document{ID: l.nextID, Vec: vec}
+	l.nextID++
+	return d
+}
+
+// LoadJSONL reads a JSONL stream of RawDocs and converts each line.
+// Malformed lines abort with a line-numbered error; a production
+// monitor must not silently skip stream input.
+func (l *Loader) LoadJSONL(r io.Reader) ([]Document, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20) // Wikipedia pages exceed the default 64K line cap
+	var docs []Document
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var raw RawDoc
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		docs = append(docs, l.FromText(raw.Text))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: reading stream: %w", err)
+	}
+	return docs, nil
+}

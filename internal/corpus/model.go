@@ -1,0 +1,172 @@
+// Package corpus synthesizes the document stream used by the paper's
+// evaluation. The original study streams 7,012,610 real Wikipedia
+// pages; that corpus is not redistributable here, so this package
+// implements a statistical stand-in (documented in DESIGN.md §6) that
+// reproduces the three corpus properties the algorithms are sensitive
+// to:
+//
+//  1. term-frequency skew (Zipfian unigram distribution) — this drives
+//     posting-list length imbalance in the query index;
+//  2. document sparsity (log-normal unique-term counts) — this drives
+//     how many posting lists a stream event touches;
+//  3. term co-occurrence (topic mixture) — this drives the Connected
+//     query workload and the clustering of hot lists.
+//
+// The package also loads real corpora from JSONL for users who have
+// their own document streams.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/textproc"
+)
+
+// Model describes the synthetic corpus statistics.
+type Model struct {
+	// VocabSize is the number of distinct terms. Wikipedia-scale runs
+	// use ~200k; scaled-down benchmarks use tens of thousands.
+	VocabSize int
+	// ZipfS is the Zipf skew parameter (must be > 1 for the stdlib
+	// sampler). English unigram skew is close to 1.1.
+	ZipfS float64
+	// ZipfV is the Zipf offset parameter (≥ 1).
+	ZipfV float64
+	// Topics is the number of latent topics inducing co-occurrence.
+	Topics int
+	// TopicWidth is how many (contiguous, rank-spaced) vocabulary
+	// terms each topic prefers.
+	TopicWidth int
+	// TopicMix is the probability that a term slot is drawn from the
+	// document's topics rather than the background distribution.
+	TopicMix float64
+	// DocLenMedian is the median number of unique terms per document
+	// (Wikipedia bodies post-stopword filtering are near 90).
+	DocLenMedian float64
+	// DocLenSigma is the log-normal shape parameter for unique-term
+	// counts.
+	DocLenSigma float64
+	// MinDocLen / MaxDocLen clamp document lengths.
+	MinDocLen, MaxDocLen int
+	// Scheme selects the term-weighting scheme for document vectors.
+	Scheme textproc.WeightScheme
+}
+
+// WikipediaModel returns the default model approximating the paper's
+// Wikipedia stream at a configurable vocabulary size.
+func WikipediaModel(vocabSize int) Model {
+	topics := max(8, vocabSize/2000)
+	return Model{
+		VocabSize:    vocabSize,
+		ZipfS:        1.2,
+		ZipfV:        2,
+		Topics:       topics,
+		TopicWidth:   max(1, vocabSize/topics),
+		TopicMix:     0.6,
+		DocLenMedian: 90,
+		DocLenSigma:  0.7,
+		MinDocLen:    8,
+		MaxDocLen:    1200,
+		Scheme:       textproc.WeightLogTFIDF,
+	}
+}
+
+// Validate reports the first structural problem with the model.
+func (m Model) Validate() error {
+	switch {
+	case m.VocabSize < 2:
+		return fmt.Errorf("corpus: VocabSize %d too small", m.VocabSize)
+	case m.ZipfS <= 1:
+		return fmt.Errorf("corpus: ZipfS must exceed 1, got %v", m.ZipfS)
+	case m.ZipfV < 1:
+		return fmt.Errorf("corpus: ZipfV must be ≥ 1, got %v", m.ZipfV)
+	case m.Topics < 1:
+		return fmt.Errorf("corpus: Topics must be ≥ 1, got %d", m.Topics)
+	case m.TopicWidth < 1:
+		return fmt.Errorf("corpus: TopicWidth must be ≥ 1, got %d", m.TopicWidth)
+	case m.TopicMix < 0 || m.TopicMix > 1:
+		return fmt.Errorf("corpus: TopicMix must be in [0,1], got %v", m.TopicMix)
+	case m.DocLenMedian <= 0:
+		return fmt.Errorf("corpus: DocLenMedian must be positive, got %v", m.DocLenMedian)
+	case m.MinDocLen < 1 || m.MaxDocLen < m.MinDocLen:
+		return fmt.Errorf("corpus: bad doc length clamp [%d,%d]", m.MinDocLen, m.MaxDocLen)
+	}
+	return nil
+}
+
+// topicPermutation returns the fixed pseudo-random permutation that
+// scatters each topic's rank range across the global frequency
+// spectrum. It depends only on the vocabulary size (not on a
+// generator's seed) so documents, queries and df priors built from the
+// same Model agree on topic composition.
+func topicPermutation(vocabSize int) []uint32 {
+	perm := make([]uint32, vocabSize)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	r := rand.New(rand.NewSource(0x70_91C5)) // arbitrary fixed seed
+	r.Shuffle(vocabSize, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}
+
+// zipfPMF returns the normalized generalized-Zipf pmf over n ranks.
+func zipfPMF(s, v float64, n int) []float64 {
+	p := make([]float64, n)
+	var z float64
+	for k := 0; k < n; k++ {
+		p[k] = math.Pow(v+float64(k), -s)
+		z += p[k]
+	}
+	for k := range p {
+		p[k] /= z
+	}
+	return p
+}
+
+// expectedDF returns a document-frequency profile consistent with the
+// model's term marginal distribution (background Zipf mixed with the
+// topic component), used to preset the vocabulary so that tf-idf
+// weights are stable from the first streamed document (the paper's
+// setup computes idf over the whole Wikipedia dump up front).
+func (m Model) expectedDF(docs uint64) []uint32 {
+	background := zipfPMF(m.ZipfS, m.ZipfV, m.VocabSize)
+	topical := zipfPMF(m.ZipfS, m.ZipfV, m.TopicWidth)
+	perm := topicPermutation(m.VocabSize)
+
+	// Marginal P(draw = id): background with prob 1-mix; topic slice
+	// rank pmf with prob mix (topics chosen uniformly).
+	marginal := make([]float64, m.VocabSize)
+	for id := 0; id < m.VocabSize; id++ {
+		marginal[id] = (1 - m.TopicMix) * background[id]
+	}
+	for pos := 0; pos < m.Topics*m.TopicWidth && pos < m.VocabSize; pos++ {
+		id := perm[pos%m.VocabSize]
+		rank := pos % m.TopicWidth
+		marginal[id] += m.TopicMix * topical[rank] / float64(m.Topics)
+	}
+
+	df := make([]uint32, m.VocabSize)
+	meanLen := m.DocLenMedian * math.Exp(m.DocLenSigma*m.DocLenSigma/2)
+	for id := 0; id < m.VocabSize; id++ {
+		// P(term in doc) ≈ 1 - (1-p)^len ≈ min(1, p·len).
+		pin := math.Min(1, marginal[id]*meanLen)
+		d := pin * float64(docs)
+		if d < 1 {
+			d = 1
+		}
+		if d > float64(docs) {
+			d = float64(docs)
+		}
+		df[id] = uint32(d)
+	}
+	return df
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+// Package dataset reads the JSONL corpus and query files produced by
+// cmd/ctkgen back into monitor inputs, so experiments can be replayed
+// bit-identically across runs, machines and external systems.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/textproc"
+)
+
+// DocRecord is the corpus wire format (one JSON object per line).
+type DocRecord struct {
+	ID      uint64    `json:"id"`
+	Terms   []uint32  `json:"terms"`
+	Weights []float64 `json:"weights"`
+}
+
+// QueryRecord is the query wire format.
+type QueryRecord struct {
+	ID      uint32    `json:"id"`
+	K       int       `json:"k"`
+	Terms   []uint32  `json:"terms"`
+	Weights []float64 `json:"weights"`
+}
+
+// vector assembles and validates a sorted sparse vector.
+func vector(terms []uint32, weights []float64) (textproc.Vector, error) {
+	if len(terms) != len(weights) {
+		return nil, fmt.Errorf("dataset: %d terms but %d weights", len(terms), len(weights))
+	}
+	v := make(textproc.Vector, len(terms))
+	for i := range terms {
+		v[i] = textproc.TermWeight{Term: textproc.TermID(terms[i]), Weight: weights[i]}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i].Term < v[j].Term })
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// scanLines streams non-empty JSONL lines to fn with 1-based line
+// numbers.
+func scanLines(r io.Reader, fn func(line int, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if err := fn(line, sc.Bytes()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadDocs loads a corpus file.
+func ReadDocs(r io.Reader) ([]corpus.Document, error) {
+	var docs []corpus.Document
+	err := scanLines(r, func(line int, data []byte) error {
+		var rec DocRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("dataset: corpus line %d: %w", line, err)
+		}
+		v, err := vector(rec.Terms, rec.Weights)
+		if err != nil {
+			return fmt.Errorf("dataset: corpus line %d: %w", line, err)
+		}
+		docs = append(docs, corpus.Document{ID: rec.ID, Vec: v})
+		return nil
+	})
+	return docs, err
+}
+
+// ReadQueries loads a query file into monitor definitions. Records
+// must be in ascending dense ID order (as ctkgen writes them), because
+// monitor query IDs are positional.
+func ReadQueries(r io.Reader) ([]core.QueryDef, error) {
+	var defs []core.QueryDef
+	err := scanLines(r, func(line int, data []byte) error {
+		var rec QueryRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("dataset: query line %d: %w", line, err)
+		}
+		if int(rec.ID) != len(defs) {
+			return fmt.Errorf("dataset: query line %d: ID %d out of order (want %d)", line, rec.ID, len(defs))
+		}
+		v, err := vector(rec.Terms, rec.Weights)
+		if err != nil {
+			return fmt.Errorf("dataset: query line %d: %w", line, err)
+		}
+		if rec.K < 1 {
+			return fmt.Errorf("dataset: query line %d: k=%d", line, rec.K)
+		}
+		if len(v) == 0 {
+			return fmt.Errorf("dataset: query line %d: empty vector", line)
+		}
+		defs = append(defs, core.QueryDef{Vec: v, K: rec.K})
+		return nil
+	})
+	return defs, err
+}

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadDocs(t *testing.T) {
+	input := `{"id":0,"terms":[3,1],"weights":[0.6,0.8]}
+
+{"id":1,"terms":[2],"weights":[1]}`
+	docs, err := ReadDocs(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("read %d docs", len(docs))
+	}
+	// Vectors must come back sorted regardless of wire order.
+	if docs[0].Vec[0].Term != 1 || docs[0].Vec[1].Term != 3 {
+		t.Fatalf("doc 0 vector not sorted: %+v", docs[0].Vec)
+	}
+	if docs[1].ID != 1 {
+		t.Fatalf("doc 1 ID = %d", docs[1].ID)
+	}
+}
+
+func TestReadDocsErrors(t *testing.T) {
+	cases := []string{
+		`{bad json}`,
+		`{"id":0,"terms":[1,2],"weights":[0.5]}`,     // length mismatch
+		`{"id":0,"terms":[1,1],"weights":[0.5,0.5]}`, // duplicate term
+		`{"id":0,"terms":[1],"weights":[-1]}`,        // negative weight
+	}
+	for i, c := range cases {
+		if _, err := ReadDocs(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadQueries(t *testing.T) {
+	input := `{"id":0,"k":5,"terms":[7],"weights":[1]}
+{"id":1,"k":3,"terms":[2,9],"weights":[0.6,0.8]}`
+	defs, err := ReadQueries(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 2 || defs[0].K != 5 || defs[1].K != 3 {
+		t.Fatalf("defs = %+v", defs)
+	}
+}
+
+func TestReadQueriesErrors(t *testing.T) {
+	cases := []string{
+		`{"id":1,"k":5,"terms":[7],"weights":[1]}`, // out of order
+		`{"id":0,"k":0,"terms":[7],"weights":[1]}`, // bad k
+		`{"id":0,"k":1,"terms":[],"weights":[]}`,   // empty vector
+	}
+	for i, c := range cases {
+		if _, err := ReadQueries(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func benchList(n int) *PostingList {
+	l := &PostingList{}
+	id := uint32(0)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		id += uint32(1 + r.Intn(8))
+		l.P = append(l.P, Posting{QID: id, W: r.Float64()})
+	}
+	return l
+}
+
+func BenchmarkSeekShortJumps(b *testing.B) {
+	l := benchList(100000)
+	maxID := l.P[l.Len()-1].QID
+	b.ResetTimer()
+	pos, target := 0, uint32(0)
+	for i := 0; i < b.N; i++ {
+		target += 16
+		if target >= maxID {
+			pos, target = 0, 16
+		}
+		pos = l.Seek(pos, target)
+	}
+}
+
+func BenchmarkSeekLongJumps(b *testing.B) {
+	l := benchList(100000)
+	maxID := l.P[l.Len()-1].QID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Seek(0, uint32(i*7919)%maxID)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	vecs := make([]textproc.Vector, 1000)
+	ks := make([]int, 1000)
+	for i := range vecs {
+		m := map[textproc.TermID]float64{}
+		for len(m) < 3 {
+			m[textproc.TermID(r.Intn(500))] = r.Float64() + 0.1
+		}
+		vecs[i] = textproc.FromCounts(m)
+		ks[i] = 10
+	}
+	ix, err := Build(vecs, ks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := make(map[textproc.TermID]float64)
+	for len(doc) < 80 {
+		doc[textproc.TermID(r.Intn(500))] = r.Float64()
+	}
+	probe := textproc.NewProbe(textproc.FromCounts(doc))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Score(uint32(i%1000), probe)
+	}
+}

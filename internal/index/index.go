@@ -1,0 +1,219 @@
+// Package index implements the inverted file over continuous queries —
+// the central data structure of the paper's Reverse ID-Ordering
+// paradigm (Section III). Unlike a classic document index, the roles
+// are reversed: the (relatively static) queries are indexed, and each
+// streaming document probes the index.
+//
+// Every term t has a posting list of ⟨qID, w⟩ entries sorted by query
+// ID, where w is the query's preference weight for t. ID ordering is
+// what enables the WAND-style cursor "jumps" RIO and MRIO rely on.
+//
+// The index stores query vectors in flat arenas so that multi-million
+// query workloads (the paper scales to 4·10⁶) remain cache- and
+// GC-friendly: a handful of large slices instead of millions of small
+// ones.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/textproc"
+)
+
+// Posting is one entry of a term's posting list.
+type Posting struct {
+	// QID is the query identifier; lists are sorted by QID.
+	QID uint32
+	// W is the query's preference weight for the list's term.
+	W float64
+}
+
+// Ref locates one posting of a query: the term's list and the posting's
+// position within it. Threshold updates use Refs to touch exactly the
+// positions whose ratio w/S_k(q) changed.
+type Ref struct {
+	Term textproc.TermID
+	Pos  uint32
+}
+
+// PostingList is one term's ID-ordered list.
+type PostingList struct {
+	Term textproc.TermID
+	P    []Posting
+}
+
+// Len returns the number of postings.
+func (l *PostingList) Len() int { return len(l.P) }
+
+// Seek returns the smallest position ≥ from whose posting has QID ≥ id,
+// or Len() when no such posting exists. It uses galloping (exponential)
+// search, which makes short jumps O(1) and long jumps logarithmic —
+// the access pattern of RIO/MRIO cursor advances.
+func (l *PostingList) Seek(from int, id uint32) int {
+	p := l.P
+	n := len(p)
+	if from >= n {
+		return n
+	}
+	if p[from].QID >= id {
+		return from
+	}
+	// Gallop: p[lo].QID < id; probe positions from+1, from+2, from+4...
+	lo := from
+	step := 1
+	hi := from + step
+	for hi < n && p[hi].QID < id {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Binary search in (lo, hi]: first pos with QID ≥ id.
+	return lo + 1 + sort.Search(hi-lo-1, func(i int) bool {
+		return p[lo+1+i].QID >= id
+	})
+}
+
+// Index is the immutable structural part of the query index. Dynamic
+// state (thresholds S_k(q), ratio maxima) belongs to the algorithms.
+type Index struct {
+	lists map[textproc.TermID]*PostingList
+
+	// Query arenas, indexed by query ID.
+	offsets []uint32          // len = numQueries+1; query q owns terms[offsets[q]:offsets[q+1]]
+	terms   []textproc.TermID // flat query terms (sorted within each query)
+	weights []float64         // parallel to terms
+	refs    []Ref             // parallel to terms: where each (q, term) posting lives
+	ks      []uint16          // per-query k
+}
+
+// MaxK bounds per-query k; it exists only to keep the arena compact.
+const MaxK = math.MaxUint16
+
+// Build constructs the index. Queries are identified by position:
+// query i has ID i. Each vector must be sorted, validated and
+// non-empty, and 1 ≤ ks[i] ≤ MaxK; violations return an error naming
+// the query.
+func Build(vecs []textproc.Vector, ks []int) (*Index, error) {
+	if len(vecs) != len(ks) {
+		return nil, fmt.Errorf("index: %d vectors but %d k values", len(vecs), len(ks))
+	}
+	if len(vecs) > math.MaxUint32 {
+		return nil, fmt.Errorf("index: %d queries exceed ID space", len(vecs))
+	}
+	ix := &Index{
+		lists:   make(map[textproc.TermID]*PostingList),
+		offsets: make([]uint32, 1, len(vecs)+1),
+		ks:      make([]uint16, len(vecs)),
+	}
+	var total int
+	for _, v := range vecs {
+		total += len(v)
+	}
+	ix.terms = make([]textproc.TermID, 0, total)
+	ix.weights = make([]float64, 0, total)
+	ix.refs = make([]Ref, 0, total)
+
+	for q, v := range vecs {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("index: query %d: %w", q, err)
+		}
+		if len(v) == 0 {
+			return nil, fmt.Errorf("index: query %d is empty", q)
+		}
+		if ks[q] < 1 || ks[q] > MaxK {
+			return nil, fmt.Errorf("index: query %d has k=%d outside [1,%d]", q, ks[q], MaxK)
+		}
+		ix.ks[q] = uint16(ks[q])
+		for _, tw := range v {
+			l := ix.lists[tw.Term]
+			if l == nil {
+				l = &PostingList{Term: tw.Term}
+				ix.lists[tw.Term] = l
+			}
+			// Queries arrive in ID order, so appends keep lists sorted.
+			l.P = append(l.P, Posting{QID: uint32(q), W: tw.Weight})
+			ix.terms = append(ix.terms, tw.Term)
+			ix.weights = append(ix.weights, tw.Weight)
+			ix.refs = append(ix.refs, Ref{Term: tw.Term, Pos: uint32(len(l.P) - 1)})
+		}
+		ix.offsets = append(ix.offsets, uint32(len(ix.terms)))
+	}
+	return ix, nil
+}
+
+// NumQueries returns the number of indexed queries.
+func (ix *Index) NumQueries() int { return len(ix.ks) }
+
+// NumLists returns the number of posting lists (distinct terms).
+func (ix *Index) NumLists() int { return len(ix.lists) }
+
+// NumPostings returns the total posting count.
+func (ix *Index) NumPostings() int { return len(ix.terms) }
+
+// List returns the posting list for a term, or nil when no query uses
+// the term.
+func (ix *Index) List(t textproc.TermID) *PostingList { return ix.lists[t] }
+
+// Lists calls fn for every posting list. Iteration order is
+// unspecified.
+func (ix *Index) Lists(fn func(*PostingList)) {
+	for _, l := range ix.lists {
+		fn(l)
+	}
+}
+
+// K returns query q's result size.
+func (ix *Index) K(q uint32) int { return int(ix.ks[q]) }
+
+// QueryTerms returns query q's terms and weights as sub-slices of the
+// shared arenas. Callers must not mutate them.
+func (ix *Index) QueryTerms(q uint32) ([]textproc.TermID, []float64) {
+	lo, hi := ix.offsets[q], ix.offsets[q+1]
+	return ix.terms[lo:hi], ix.weights[lo:hi]
+}
+
+// Refs returns the posting locations of query q, parallel to the slice
+// returned by QueryTerms.
+func (ix *Index) Refs(q uint32) []Ref {
+	lo, hi := ix.offsets[q], ix.offsets[q+1]
+	return ix.refs[lo:hi]
+}
+
+// Score computes the exact dot product of query q against a document
+// probe. Queries are short, so this is a handful of hash probes.
+func (ix *Index) Score(q uint32, doc *textproc.Probe) float64 {
+	terms, weights := ix.QueryTerms(q)
+	var s float64
+	for i, t := range terms {
+		s += weights[i] * doc.Weight(t)
+	}
+	return s
+}
+
+// Stats summarizes the index shape for reports.
+type Stats struct {
+	Queries  int
+	Lists    int
+	Postings int
+	MaxList  int
+	MeanList float64
+}
+
+// Stats computes index statistics.
+func (ix *Index) Stats() Stats {
+	st := Stats{Queries: ix.NumQueries(), Lists: ix.NumLists(), Postings: ix.NumPostings()}
+	for _, l := range ix.lists {
+		if l.Len() > st.MaxList {
+			st.MaxList = l.Len()
+		}
+	}
+	if st.Lists > 0 {
+		st.MeanList = float64(st.Postings) / float64(st.Lists)
+	}
+	return st
+}

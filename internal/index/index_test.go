@@ -1,0 +1,216 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/textproc"
+)
+
+func vec(tws ...textproc.TermWeight) textproc.Vector { return textproc.Vector(tws) }
+
+func tw(t textproc.TermID, w float64) textproc.TermWeight {
+	return textproc.TermWeight{Term: t, Weight: w}
+}
+
+func mustBuild(t *testing.T, vecs []textproc.Vector, ks []int) *Index {
+	t.Helper()
+	ix, err := Build(vecs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestBuildBasic(t *testing.T) {
+	ix := mustBuild(t,
+		[]textproc.Vector{
+			vec(tw(1, 0.6), tw(2, 0.8)),
+			vec(tw(2, 1.0)),
+			vec(tw(1, 1.0)),
+		},
+		[]int{10, 5, 1},
+	)
+	if ix.NumQueries() != 3 || ix.NumLists() != 2 || ix.NumPostings() != 4 {
+		t.Fatalf("shape = %d queries, %d lists, %d postings",
+			ix.NumQueries(), ix.NumLists(), ix.NumPostings())
+	}
+	l1 := ix.List(1)
+	if l1 == nil || l1.Len() != 2 {
+		t.Fatalf("list 1 = %+v", l1)
+	}
+	if l1.P[0].QID != 0 || l1.P[1].QID != 2 {
+		t.Fatalf("list 1 not ID-ordered: %+v", l1.P)
+	}
+	if ix.List(99) != nil {
+		t.Fatal("absent term returned a list")
+	}
+	if ix.K(0) != 10 || ix.K(2) != 1 {
+		t.Fatal("K round-trip failed")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	valid := vec(tw(1, 0.5))
+	cases := []struct {
+		name string
+		vecs []textproc.Vector
+		ks   []int
+	}{
+		{"length mismatch", []textproc.Vector{valid}, []int{1, 2}},
+		{"empty query", []textproc.Vector{{}}, []int{1}},
+		{"unsorted query", []textproc.Vector{vec(tw(2, 1), tw(1, 1))}, []int{1}},
+		{"k zero", []textproc.Vector{valid}, []int{0}},
+		{"k too large", []textproc.Vector{valid}, []int{MaxK + 1}},
+	}
+	for _, c := range cases {
+		if _, err := Build(c.vecs, c.ks); err == nil {
+			t.Errorf("%s: Build succeeded", c.name)
+		}
+	}
+}
+
+func TestQueryTermsAndRefs(t *testing.T) {
+	ix := mustBuild(t,
+		[]textproc.Vector{
+			vec(tw(3, 0.3), tw(7, 0.7)),
+			vec(tw(3, 1.0)),
+		},
+		[]int{1, 1},
+	)
+	terms, weights := ix.QueryTerms(0)
+	if len(terms) != 2 || terms[0] != 3 || terms[1] != 7 {
+		t.Fatalf("terms = %v", terms)
+	}
+	if weights[0] != 0.3 || weights[1] != 0.7 {
+		t.Fatalf("weights = %v", weights)
+	}
+	// Refs must point exactly at this query's postings.
+	for q := uint32(0); q < 2; q++ {
+		qt, qw := ix.QueryTerms(q)
+		refs := ix.Refs(q)
+		if len(refs) != len(qt) {
+			t.Fatalf("query %d: %d refs for %d terms", q, len(refs), len(qt))
+		}
+		for i, r := range refs {
+			p := ix.List(r.Term).P[r.Pos]
+			if p.QID != q {
+				t.Fatalf("query %d ref %d points at QID %d", q, i, p.QID)
+			}
+			if p.W != qw[i] {
+				t.Fatalf("query %d ref %d weight %v != %v", q, i, p.W, qw[i])
+			}
+			if r.Term != qt[i] {
+				t.Fatalf("query %d ref %d term %v != %v", q, i, r.Term, qt[i])
+			}
+		}
+	}
+}
+
+func TestScore(t *testing.T) {
+	ix := mustBuild(t, []textproc.Vector{vec(tw(1, 0.6), tw(2, 0.8))}, []int{1})
+	doc := textproc.NewProbe(vec(tw(1, 0.5), tw(3, 0.5)))
+	if got := ix.Score(0, doc); got != 0.3 {
+		t.Fatalf("Score = %v, want 0.3", got)
+	}
+}
+
+func TestSeekLinearEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		l := &PostingList{}
+		id := uint32(0)
+		for i := 0; i < n; i++ {
+			id += uint32(1 + r.Intn(10))
+			l.P = append(l.P, Posting{QID: id, W: 1})
+		}
+		for trial := 0; trial < 50; trial++ {
+			from := r.Intn(n + 1)
+			target := uint32(r.Intn(int(id) + 5))
+			got := l.Seek(from, target)
+			// Linear reference.
+			want := from
+			for want < n && l.P[want].QID < target {
+				want++
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekEdgeCases(t *testing.T) {
+	l := &PostingList{P: []Posting{{QID: 5}, {QID: 9}, {QID: 12}}}
+	if got := l.Seek(0, 0); got != 0 {
+		t.Fatalf("Seek(0,0) = %d", got)
+	}
+	if got := l.Seek(0, 5); got != 0 {
+		t.Fatalf("Seek(0,5) = %d", got)
+	}
+	if got := l.Seek(0, 6); got != 1 {
+		t.Fatalf("Seek(0,6) = %d", got)
+	}
+	if got := l.Seek(0, 13); got != 3 {
+		t.Fatalf("Seek past end = %d", got)
+	}
+	if got := l.Seek(3, 1); got != 3 {
+		t.Fatalf("Seek(from=len) = %d", got)
+	}
+	if got := l.Seek(2, 12); got != 2 {
+		t.Fatalf("Seek(2,12) = %d", got)
+	}
+	empty := &PostingList{}
+	if got := empty.Seek(0, 1); got != 0 {
+		t.Fatalf("empty Seek = %d", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix := mustBuild(t,
+		[]textproc.Vector{
+			vec(tw(1, 1)),
+			vec(tw(1, 1), tw(2, 1)),
+		},
+		[]int{1, 1},
+	)
+	st := ix.Stats()
+	if st.Queries != 2 || st.Lists != 2 || st.Postings != 3 || st.MaxList != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.MeanList != 1.5 {
+		t.Fatalf("MeanList = %v", st.MeanList)
+	}
+}
+
+func TestLargeBuildListOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const nq = 2000
+	vecs := make([]textproc.Vector, nq)
+	ks := make([]int, nq)
+	for i := range vecs {
+		m := map[textproc.TermID]float64{}
+		for len(m) < 2+r.Intn(3) {
+			m[textproc.TermID(r.Intn(100))] = r.Float64() + 0.1
+		}
+		vecs[i] = textproc.FromCounts(m)
+		ks[i] = 1 + r.Intn(20)
+	}
+	ix := mustBuild(t, vecs, ks)
+	ix.Lists(func(l *PostingList) {
+		for i := 1; i < l.Len(); i++ {
+			if l.P[i-1].QID >= l.P[i].QID {
+				t.Fatalf("list %d not strictly ID-ordered at %d", l.Term, i)
+			}
+		}
+	})
+	if ix.NumPostings() == 0 {
+		t.Fatal("no postings")
+	}
+}

@@ -1,0 +1,49 @@
+package rangemax
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVals(n int) []float64 {
+	r := rand.New(rand.NewSource(3))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64() * 10
+	}
+	return vals
+}
+
+func benchMax(b *testing.B, m Maxer) {
+	n := m.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 31) % n
+		hi := lo + 1 + (i*17)%64
+		m.Max(lo, hi)
+	}
+}
+
+func benchUpdate(b *testing.B, m Maxer) {
+	vals := benchVals(m.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := (i * 31) % m.Len()
+		m.Update(pos, vals[pos]*0.999) // lowering, the production pattern
+	}
+}
+
+func BenchmarkSegTreeMax(b *testing.B) { benchMax(b, NewSegTree(benchVals(100000))) }
+func BenchmarkBlockMaxMax(b *testing.B) {
+	benchMax(b, NewBlockMax(benchVals(100000), DefaultBlockSize))
+}
+func BenchmarkSparseMax(b *testing.B) {
+	benchMax(b, NewSparse(benchVals(100000), DefaultRebuildBudget))
+}
+func BenchmarkSegTreeUpdate(b *testing.B) { benchUpdate(b, NewSegTree(benchVals(100000))) }
+func BenchmarkBlockMaxUpdate(b *testing.B) {
+	benchUpdate(b, NewBlockMax(benchVals(100000), DefaultBlockSize))
+}
+func BenchmarkSparseUpdate(b *testing.B) {
+	benchUpdate(b, NewSparse(benchVals(100000), DefaultRebuildBudget))
+}

@@ -1,0 +1,119 @@
+package rangemax
+
+// DefaultBlockSize is the block width used when none is specified. 16
+// postings per block keeps the exact partial-block scans of ID-aware
+// zone walks short, which profiling shows dominates MRIO's
+// jump-heavy steady state.
+const DefaultBlockSize = 16
+
+// BlockMax keeps per-block maxima over the value array, in the spirit
+// of block-max indexes. Queries read O(zone/B) block summaries; raising
+// updates are O(1); lowering updates leave the block summary stale —
+// still a valid upper bound, because values are non-increasing in this
+// workload — and each block is recomputed once its staleness budget is
+// exhausted.
+type BlockMax struct {
+	vals  []float64
+	block []float64 // block summary (≥ true block max)
+	stale []uint16  // lowering updates since last recompute
+	b     int       // block width
+	// StaleBudget is how many lowering updates a block tolerates before
+	// an exact recompute. Lower values give tighter bounds, higher
+	// values cheaper updates.
+	StaleBudget uint16
+}
+
+// NewBlockMax builds block summaries over a copy of vals. blockSize
+// must be ≥ 1; the zero value panics (configuration error).
+func NewBlockMax(vals []float64, blockSize int) *BlockMax {
+	if blockSize < 1 {
+		panic("rangemax: block size must be ≥ 1")
+	}
+	n := len(vals)
+	nb := (n + blockSize - 1) / blockSize
+	bm := &BlockMax{
+		vals:        append([]float64(nil), vals...),
+		block:       make([]float64, nb),
+		stale:       make([]uint16, nb),
+		b:           blockSize,
+		StaleBudget: 16,
+	}
+	for i, v := range vals {
+		assertNonNegative(v)
+		bm.block[i/blockSize] = maxf(bm.block[i/blockSize], v)
+	}
+	return bm
+}
+
+// Len returns the array length.
+func (bm *BlockMax) Len() int { return len(bm.vals) }
+
+// Max returns an upper bound of max(vals[lo:hi]): exact values for the
+// partial edge blocks, (possibly stale) block summaries for interior
+// blocks.
+func (bm *BlockMax) Max(lo, hi int) float64 {
+	lo, hi, ok := clamp(lo, hi, len(bm.vals))
+	if !ok {
+		return 0
+	}
+	first, last := lo/bm.b, (hi-1)/bm.b
+	if first == last {
+		// Zone inside one block: scan exactly; it is at most B wide.
+		return bruteMax(bm.vals, lo, hi)
+	}
+	m := bruteMax(bm.vals, lo, (first+1)*bm.b) // partial head
+	for b := first + 1; b < last; b++ {
+		m = maxf(m, bm.block[b])
+	}
+	return maxf(m, bruteMax(bm.vals, last*bm.b, hi)) // partial tail
+}
+
+// Update sets vals[pos] = v. Raises propagate to the block summary
+// immediately (keeping it an upper bound); lowers burn staleness budget
+// and eventually trigger an exact block recompute.
+func (bm *BlockMax) Update(pos int, v float64) {
+	assertNonNegative(v)
+	old := bm.vals[pos]
+	bm.vals[pos] = v
+	b := pos / bm.b
+	switch {
+	case v >= bm.block[b]:
+		bm.block[b] = v
+		bm.stale[b] = 0
+	case old >= bm.block[b] || v < old:
+		bm.stale[b]++
+		if bm.stale[b] >= bm.StaleBudget {
+			bm.recompute(b)
+		}
+	}
+}
+
+// recompute restores the exact maximum of block b.
+func (bm *BlockMax) recompute(b int) {
+	lo := b * bm.b
+	hi := lo + bm.b
+	if hi > len(bm.vals) {
+		hi = len(bm.vals)
+	}
+	bm.block[b] = bruteMax(bm.vals, lo, hi)
+	bm.stale[b] = 0
+}
+
+// Tighten recomputes every block summary exactly. The monitor calls it
+// after rebase sweeps, when every ratio changed at once.
+func (bm *BlockMax) Tighten() {
+	for b := range bm.block {
+		bm.recompute(b)
+	}
+}
+
+// BlockSize returns the block width.
+func (bm *BlockMax) BlockSize() int { return bm.b }
+
+// Value returns the exact current value at pos.
+func (bm *BlockMax) Value(pos int) float64 { return bm.vals[pos] }
+
+// Summary returns block b's (possibly stale, never under) maximum.
+// Callers doing ID-aware zone walks read summaries directly instead of
+// going through position-range Max.
+func (bm *BlockMax) Summary(b int) float64 { return bm.block[b] }

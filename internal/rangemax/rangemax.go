@@ -1,0 +1,116 @@
+// Package rangemax provides range-maximum structures over the per-list
+// ratio arrays r[pos] = w/S_k(q) that MRIO's locally adaptive bounds
+// UB*(i) query (Eq. 3 of the paper). The paper considers "three
+// alternative implementations" of the zone bound (TKDE §5.2); this
+// package implements three with distinct cost profiles:
+//
+//   - SegTree: exact range maxima, O(log L) query and update. Correct
+//     under arbitrary updates.
+//   - BlockMax: per-block maxima, O(zone/B) coarse queries with O(1)
+//     raises and lazily amortized lowering.
+//   - Sparse: an O(1)-query sparse-table snapshot, rebuilt on a budget.
+//
+// BlockMax and Sparse exploit the problem's key monotonicity: the
+// inflated threshold S_k(q) never decreases, so ratios never increase,
+// and a stale maximum therefore remains a *valid* (merely looser)
+// upper bound. Both structures detect a raising update — which would
+// break that argument — and restore exactness eagerly.
+//
+// All maxima are over half-open position ranges [lo, hi). Empty ranges
+// return 0 (ratios are non-negative, so 0 is the identity).
+package rangemax
+
+import "math"
+
+// Maxer answers range-maximum queries over a mutable array of
+// non-negative values (+Inf allowed; it models the unserved-query
+// ratio w/S_k with S_k = 0).
+type Maxer interface {
+	// Max returns an upper bound of max(vals[lo:hi]) — exact for
+	// SegTree, possibly looser for the amortized structures. Ranges
+	// are clamped to the array; empty ranges return 0.
+	Max(lo, hi int) float64
+	// Update sets vals[pos] = v.
+	Update(pos int, v float64)
+	// Len returns the array length.
+	Len() int
+}
+
+// GlobalMax is a convenience for whole-array bounds (what RIO uses).
+func GlobalMax(m Maxer) float64 { return m.Max(0, m.Len()) }
+
+// clamp normalizes a query range against array length n. The returned
+// ok is false for empty ranges.
+func clamp(lo, hi, n int) (int, int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, lo < hi
+}
+
+// Kind names a Maxer implementation, used by configuration and the
+// ablation benchmarks.
+type Kind int
+
+const (
+	// KindSegTree selects the exact segment tree.
+	KindSegTree Kind = iota
+	// KindBlock selects per-block maxima.
+	KindBlock
+	// KindSparse selects the rebuilt sparse-table snapshot.
+	KindSparse
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSegTree:
+		return "seg"
+	case KindBlock:
+		return "block"
+	case KindSparse:
+		return "sparse"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs the requested implementation over a copy of vals.
+func New(kind Kind, vals []float64) Maxer {
+	switch kind {
+	case KindBlock:
+		return NewBlockMax(vals, DefaultBlockSize)
+	case KindSparse:
+		return NewSparse(vals, DefaultRebuildBudget)
+	default:
+		return NewSegTree(vals)
+	}
+}
+
+// maxf returns the larger of a and b, propagating +Inf naturally.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// bruteMax is the reference implementation shared by tests and the
+// lazy rebuild paths.
+func bruteMax(vals []float64, lo, hi int) float64 {
+	m := 0.0
+	for _, v := range vals[lo:hi] {
+		m = maxf(m, v)
+	}
+	return m
+}
+
+// assertNonNegative guards the package contract in one place.
+func assertNonNegative(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		panic("rangemax: values must be non-negative and not NaN")
+	}
+}

@@ -1,0 +1,288 @@
+package rangemax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refArray mirrors updates so tests can compute exact maxima.
+type refArray []float64
+
+func (r refArray) max(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r) {
+		hi = len(r)
+	}
+	if lo >= hi {
+		return 0
+	}
+	return bruteMax(r, lo, hi)
+}
+
+func randVals(r *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64() * 100
+	}
+	return vals
+}
+
+func TestSegTreeExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		vals := randVals(r, n)
+		st := NewSegTree(vals)
+		ref := refArray(append([]float64(nil), vals...))
+		for op := 0; op < 200; op++ {
+			if r.Intn(3) == 0 { // arbitrary update: raise or lower
+				pos := r.Intn(n)
+				v := r.Float64() * 100
+				st.Update(pos, v)
+				ref[pos] = v
+			}
+			lo := r.Intn(n + 1)
+			hi := r.Intn(n + 2)
+			if st.Max(lo, hi) != ref.max(lo, hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegTreeValue(t *testing.T) {
+	st := NewSegTree([]float64{1, 5, 3})
+	if st.Value(1) != 5 {
+		t.Fatalf("Value(1) = %v", st.Value(1))
+	}
+	st.Update(1, 2)
+	if st.Value(1) != 2 {
+		t.Fatalf("Value after update = %v", st.Value(1))
+	}
+	if st.Max(0, 3) != 3 {
+		t.Fatalf("Max after lowering = %v", st.Max(0, 3))
+	}
+}
+
+func TestSegTreeInf(t *testing.T) {
+	st := NewSegTree([]float64{1, math.Inf(1), 3})
+	if !math.IsInf(st.Max(0, 3), 1) {
+		t.Fatal("Inf not propagated")
+	}
+	st.Update(1, 2)
+	if st.Max(0, 3) != 3 {
+		t.Fatalf("Max after clearing Inf = %v", st.Max(0, 3))
+	}
+}
+
+func TestEmptyRangeAndClamping(t *testing.T) {
+	for _, kind := range []Kind{KindSegTree, KindBlock, KindSparse} {
+		m := New(kind, []float64{4, 2, 9})
+		if got := m.Max(2, 2); got != 0 {
+			t.Errorf("%v: empty range = %v", kind, got)
+		}
+		if got := m.Max(-5, 100); got != 9 {
+			t.Errorf("%v: clamped full range = %v", kind, got)
+		}
+		if got := m.Max(5, 2); got != 0 {
+			t.Errorf("%v: inverted range = %v", kind, got)
+		}
+		if m.Len() != 3 {
+			t.Errorf("%v: Len = %d", kind, m.Len())
+		}
+	}
+}
+
+// monotoneScenario drives any Maxer with only lowering updates (the
+// production pattern: S_k never decreases, ratios never increase) and
+// checks the upper-bound property plus eventual exactness after
+// Tighten.
+func monotoneScenario(t *testing.T, mk func([]float64) Maxer, tighten func(Maxer)) {
+	t.Helper()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		vals := randVals(r, n)
+		m := mk(vals)
+		ref := refArray(append([]float64(nil), vals...))
+		for op := 0; op < 300; op++ {
+			if r.Intn(2) == 0 {
+				pos := r.Intn(n)
+				v := ref[pos] * r.Float64() // lower only
+				m.Update(pos, v)
+				ref[pos] = v
+			}
+			lo := r.Intn(n + 1)
+			hi := lo + r.Intn(n+1-lo)
+			got := m.Max(lo, hi)
+			want := ref.max(lo, hi)
+			if got < want-1e-12 { // never below the true max
+				t.Logf("seed %d: bound %v below true max %v on [%d,%d)", seed, got, want, lo, hi)
+				return false
+			}
+		}
+		if tighten != nil {
+			tighten(m)
+			for trial := 0; trial < 50; trial++ {
+				lo := r.Intn(n + 1)
+				hi := lo + r.Intn(n+1-lo)
+				got, want := m.Max(lo, hi), ref.max(lo, hi)
+				// After tightening, interior block summaries are exact;
+				// bounds may still be coarse across block boundaries for
+				// BlockMax, but a one-block or aligned range is exact.
+				if got < want-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockMaxUpperBound(t *testing.T) {
+	monotoneScenario(t,
+		func(vals []float64) Maxer { return NewBlockMax(vals, 16) },
+		func(m Maxer) { m.(*BlockMax).Tighten() })
+}
+
+func TestSparseUpperBound(t *testing.T) {
+	monotoneScenario(t,
+		func(vals []float64) Maxer { return NewSparse(vals, 64) },
+		func(m Maxer) { m.(*Sparse).Tighten() })
+}
+
+func TestBlockMaxExactWithinBlock(t *testing.T) {
+	bm := NewBlockMax([]float64{5, 1, 8, 2, 9, 3}, 3)
+	// Range inside one block is scanned exactly even after staleness.
+	bm.Update(2, 0.5)
+	if got := bm.Max(1, 3); got != 1 {
+		t.Fatalf("within-block Max = %v, want 1 (exact)", got)
+	}
+}
+
+func TestBlockMaxRaiseImmediate(t *testing.T) {
+	bm := NewBlockMax([]float64{1, 1, 1, 1}, 2)
+	bm.Update(3, 50)
+	if got := bm.Max(0, 4); got != 50 {
+		t.Fatalf("raise not visible: %v", got)
+	}
+}
+
+func TestBlockMaxStaleBudgetRecompute(t *testing.T) {
+	vals := make([]float64, 8)
+	for i := range vals {
+		vals[i] = 10
+	}
+	bm := NewBlockMax(vals, 8)
+	bm.StaleBudget = 3
+	// Lower the block max repeatedly; before budget exhaustion the
+	// summary may be stale (but valid); after, it must be exact.
+	bm.Update(0, 1)
+	bm.Update(1, 1)
+	if got := bm.Max(0, 8); got < 10 {
+		t.Fatalf("premature tightening is fine, but bound dropped below remaining 10s: %v", got)
+	}
+	for i := 2; i < 8; i++ {
+		bm.Update(i, 1)
+	}
+	// Recomputes run every StaleBudget lowering updates; drive past the
+	// next boundary so the final recompute sees the all-lowered array.
+	bm.Update(0, 0.5)
+	bm.Update(1, 0.5)
+	bm.Update(2, 0.5)
+	if got := bm.block[0]; got != 1 {
+		t.Fatalf("block summary not recomputed after budget: %v", got)
+	}
+}
+
+func TestSparseRaiseForcesRebuild(t *testing.T) {
+	s := NewSparse([]float64{1, 2, 3}, 1000)
+	s.Update(0, 99) // raising must rebuild immediately
+	if got := s.Max(0, 3); got != 99 {
+		t.Fatalf("raise not visible: %v", got)
+	}
+	if got := s.Max(0, 1); got != 99 {
+		t.Fatalf("point range after raise = %v", got)
+	}
+}
+
+func TestSparseBudgetRebuild(t *testing.T) {
+	s := NewSparse([]float64{10, 10, 10, 10}, 2)
+	s.Update(0, 1)
+	if got := s.Max(0, 1); got != 10 {
+		t.Fatalf("before budget: snapshot should still say 10, got %v", got)
+	}
+	s.Update(1, 1) // budget reached → rebuild
+	if got := s.Max(0, 2); got != 1 {
+		t.Fatalf("after budget rebuild: %v, want 1", got)
+	}
+}
+
+func TestSparseSingleElement(t *testing.T) {
+	s := NewSparse([]float64{7}, 10)
+	if got := s.Max(0, 1); got != 7 {
+		t.Fatalf("singleton Max = %v", got)
+	}
+}
+
+func TestNewKinds(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	if _, ok := New(KindSegTree, vals).(*SegTree); !ok {
+		t.Fatal("KindSegTree wrong type")
+	}
+	if _, ok := New(KindBlock, vals).(*BlockMax); !ok {
+		t.Fatal("KindBlock wrong type")
+	}
+	if _, ok := New(KindSparse, vals).(*Sparse); !ok {
+		t.Fatal("KindSparse wrong type")
+	}
+	if KindSegTree.String() != "seg" || KindBlock.String() != "block" ||
+		KindSparse.String() != "sparse" || Kind(42).String() != "unknown" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+func TestGlobalMax(t *testing.T) {
+	m := NewSegTree([]float64{3, 1, 4, 1, 5})
+	if got := GlobalMax(m); got != 5 {
+		t.Fatalf("GlobalMax = %v", got)
+	}
+}
+
+func TestNegativeValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative value accepted")
+		}
+	}()
+	NewSegTree([]float64{-1})
+}
+
+func TestBadBlockSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero block size accepted")
+		}
+	}()
+	NewBlockMax([]float64{1}, 0)
+}
+
+func TestBadBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rebuild budget accepted")
+		}
+	}()
+	NewSparse([]float64{1}, 0)
+}

@@ -1,0 +1,60 @@
+package rangemax
+
+// SegTree is an iterative array-backed segment tree answering exact
+// range-maximum queries in O(log n) with O(log n) point updates. It is
+// the reference UB* implementation: always exact, no staleness.
+type SegTree struct {
+	n    int
+	tree []float64 // tree[n+i] = vals[i]; tree[i] = max of children
+}
+
+// NewSegTree builds a tree over a copy of vals in O(n).
+func NewSegTree(vals []float64) *SegTree {
+	n := len(vals)
+	t := &SegTree{n: n, tree: make([]float64, 2*n)}
+	for i, v := range vals {
+		assertNonNegative(v)
+		t.tree[n+i] = v
+	}
+	for i := n - 1; i >= 1; i-- {
+		t.tree[i] = maxf(t.tree[2*i], t.tree[2*i+1])
+	}
+	return t
+}
+
+// Len returns the array length.
+func (t *SegTree) Len() int { return t.n }
+
+// Max returns the exact maximum over [lo, hi), clamped; empty → 0.
+func (t *SegTree) Max(lo, hi int) float64 {
+	lo, hi, ok := clamp(lo, hi, t.n)
+	if !ok {
+		return 0
+	}
+	m := 0.0
+	for lo, hi = lo+t.n, hi+t.n; lo < hi; lo, hi = lo>>1, hi>>1 {
+		if lo&1 == 1 {
+			m = maxf(m, t.tree[lo])
+			lo++
+		}
+		if hi&1 == 1 {
+			hi--
+			m = maxf(m, t.tree[hi])
+		}
+	}
+	return m
+}
+
+// Update sets position pos to v and repairs the path to the root.
+func (t *SegTree) Update(pos int, v float64) {
+	assertNonNegative(v)
+	i := pos + t.n
+	t.tree[i] = v
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.tree[i] = maxf(t.tree[2*i], t.tree[2*i+1])
+	}
+}
+
+// Value returns the current value at pos (exact, for tests and
+// debugging).
+func (t *SegTree) Value(pos int) float64 { return t.tree[pos+t.n] }

@@ -1,0 +1,100 @@
+package rangemax
+
+import "math/bits"
+
+// DefaultRebuildBudget is how many lowering updates a Sparse snapshot
+// absorbs before it is rebuilt.
+const DefaultRebuildBudget = 4096
+
+// Sparse answers range-maximum queries in O(1) from an immutable
+// sparse-table snapshot. Updates accumulate in the live array; the
+// snapshot is rebuilt after a budget of lowering updates, or
+// immediately when an update raises a value above its snapshot (which
+// would otherwise invalidate the upper-bound property).
+//
+// This trades the tightest bounds for the cheapest queries: between
+// rebuilds, zone bounds may be loose but are never wrong.
+type Sparse struct {
+	vals    []float64   // live values
+	table   [][]float64 // table[j][i] = max vals[i : i+2^j) at snapshot time
+	pending int         // lowering updates since last rebuild
+	// RebuildBudget is the lowering-update budget between rebuilds.
+	RebuildBudget int
+}
+
+// NewSparse builds a snapshot over a copy of vals.
+func NewSparse(vals []float64, rebuildBudget int) *Sparse {
+	if rebuildBudget < 1 {
+		panic("rangemax: rebuild budget must be ≥ 1")
+	}
+	s := &Sparse{vals: append([]float64(nil), vals...), RebuildBudget: rebuildBudget}
+	for _, v := range vals {
+		assertNonNegative(v)
+	}
+	s.rebuild()
+	return s
+}
+
+// rebuild recomputes the sparse table from the live values.
+func (s *Sparse) rebuild() {
+	n := len(s.vals)
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n)) // ceil(log2(n))+1 is enough
+	}
+	s.table = make([][]float64, levels)
+	s.table[0] = append([]float64(nil), s.vals...)
+	for j := 1; j < levels; j++ {
+		w := 1 << j
+		if n-w+1 <= 0 {
+			s.table = s.table[:j]
+			break
+		}
+		prev := s.table[j-1]
+		row := make([]float64, n-w+1)
+		for i := range row {
+			row[i] = maxf(prev[i], prev[i+w/2])
+		}
+		s.table[j] = row
+	}
+	s.pending = 0
+}
+
+// Len returns the array length.
+func (s *Sparse) Len() int { return len(s.vals) }
+
+// Max returns an upper bound of max(vals[lo:hi]) from the snapshot.
+func (s *Sparse) Max(lo, hi int) float64 {
+	lo, hi, ok := clamp(lo, hi, len(s.vals))
+	if !ok {
+		return 0
+	}
+	j := bits.Len(uint(hi-lo)) - 1 // floor(log2(width))
+	if j >= len(s.table) {
+		j = len(s.table) - 1
+	}
+	w := 1 << j
+	return maxf(s.table[j][lo], s.table[j][hi-w])
+}
+
+// Update sets vals[pos] = v. Raising above the snapshot value forces an
+// immediate rebuild to preserve the upper-bound property; lowering is
+// deferred until the budget is spent.
+func (s *Sparse) Update(pos int, v float64) {
+	assertNonNegative(v)
+	snap := s.table[0][pos]
+	s.vals[pos] = v
+	if v > snap {
+		s.rebuild()
+		return
+	}
+	if v < snap {
+		s.pending++
+		if s.pending >= s.RebuildBudget {
+			s.rebuild()
+		}
+	}
+}
+
+// Tighten forces an immediate rebuild, restoring exact bounds.
+func (s *Sparse) Tighten() { s.rebuild() }

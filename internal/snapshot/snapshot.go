@@ -1,0 +1,109 @@
+// Package snapshot persists and restores a Monitor's state with
+// encoding/gob: configuration, query definitions, stream time, decay
+// epoch and every query's current results. A restored monitor resumes
+// the stream exactly where the snapshot left off (verified by the
+// equivalence tests).
+package snapshot
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/rangemax"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+)
+
+// boundKind converts the persisted integer back to a rangemax.Kind.
+func boundKind(i int) rangemax.Kind { return rangemax.Kind(i) }
+
+// version guards the wire format.
+const version = 1
+
+// state is the gob wire format.
+type state struct {
+	Version   int
+	Algorithm string
+	Bound     int
+	Lambda    float64
+	Shards    int
+
+	// Queries keyed by global ID. IDs are preserved so clients'
+	// handles stay valid across restore.
+	IDs  []uint32
+	Vecs []textproc.Vector
+	Ks   []int
+
+	Now       float64
+	DecayBase float64
+	Results   map[uint32][]topk.ScoredDoc
+}
+
+// Save writes a snapshot of m to w.
+func Save(w io.Writer, m *core.Monitor) error {
+	cfg := m.Config()
+	st := state{
+		Version:   version,
+		Algorithm: string(cfg.Algorithm),
+		Bound:     int(cfg.Bound),
+		Lambda:    cfg.Lambda,
+		Shards:    cfg.Shards,
+	}
+	defs := m.Defs()
+	var maxID uint32
+	for g := range defs {
+		if g > maxID {
+			maxID = g
+		}
+	}
+	for g := uint32(0); len(defs) > 0 && g <= maxID; g++ {
+		if def, ok := defs[g]; ok {
+			st.IDs = append(st.IDs, g)
+			st.Vecs = append(st.Vecs, def.Vec)
+			st.Ks = append(st.Ks, def.K)
+		}
+	}
+	st.Now, st.DecayBase, st.Results = m.DumpState()
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot and reconstructs the monitor.
+//
+// Restriction: global IDs must be dense (no queries removed before the
+// snapshot); sparse ID spaces are reported as an error rather than
+// silently renumbered.
+func Load(r io.Reader) (*core.Monitor, error) {
+	var st state
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if st.Version != version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", st.Version)
+	}
+	defs := make([]core.QueryDef, len(st.IDs))
+	for i, g := range st.IDs {
+		if int(g) != i {
+			return nil, fmt.Errorf("snapshot: non-dense query ID %d at position %d (remove-then-save is not restorable)", g, i)
+		}
+		defs[i] = core.QueryDef{Vec: st.Vecs[i], K: st.Ks[i]}
+	}
+	cfg := core.Config{
+		Algorithm: core.Algorithm(st.Algorithm),
+		Bound:     boundKind(st.Bound),
+		Lambda:    st.Lambda,
+		Shards:    st.Shards,
+	}
+	m, err := core.NewMonitor(cfg, defs)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: rebuild: %w", err)
+	}
+	if err := m.RestoreState(st.Now, st.DecayBase, st.Results); err != nil {
+		return nil, fmt.Errorf("snapshot: restore: %w", err)
+	}
+	return m, nil
+}

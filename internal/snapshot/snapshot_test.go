@@ -1,0 +1,124 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+func fixture(t *testing.T) (*core.Monitor, []stream.Event) {
+	t.Helper()
+	model := corpus.WikipediaModel(500)
+	model.DocLenMedian = 20
+	qs, err := workload.Generate(model, workload.DefaultConfig(workload.Uniform, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := make([]core.QueryDef, len(qs))
+	for i, q := range qs {
+		defs[i] = core.QueryDef{Vec: q.Vec, K: 3}
+	}
+	m, err := core.NewMonitor(core.Config{Lambda: 0.02}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := corpus.NewGenerator(model, 77, 300)
+	src, err := stream.NewSource(gen, 10, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, src.Take(300)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, events := fixture(t)
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumQueries() != m.NumQueries() {
+		t.Fatalf("restored %d queries, want %d", restored.NumQueries(), m.NumQueries())
+	}
+	if restored.Now() != m.Now() {
+		t.Fatalf("restored Now = %v, want %v", restored.Now(), m.Now())
+	}
+	// Continue both streams; results must stay identical.
+	for _, ev := range events[half:] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := uint32(0); g < uint32(m.NumQueries()); g++ {
+		a, _ := m.TopInflated(g)
+		b, _ := restored.TopInflated(g)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID {
+				t.Fatalf("query %d rank %d diverged after restore", g, i)
+			}
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsSparseIDs(t *testing.T) {
+	m, events := fixture(t)
+	for _, ev := range events[:20] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RemoveQuery(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("sparse ID space restored silently")
+	}
+}
+
+func TestSaveEmptyMonitor(t *testing.T) {
+	m, err := core.NewMonitor(core.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumQueries() != 0 {
+		t.Fatalf("restored %d queries from empty monitor", restored.NumQueries())
+	}
+}

@@ -1,0 +1,179 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: online moments, percentiles, histograms and speedup
+// tables. It deliberately avoids third-party dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Online accumulates count, mean and variance in one pass using
+// Welford's algorithm, plus min/max.
+type Online struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the observation count.
+func (o *Online) N() uint64 { return o.n }
+
+// Mean returns the running mean (0 when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the sample variance (0 for n<2).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 when empty).
+func (o *Online) Max() float64 { return o.max }
+
+// Sample collects raw observations for percentile queries.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddDuration appends a duration in milliseconds.
+func (s *Sample) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics. Empty samples return 0.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Summary formats n/mean/p50/p95/max in one line.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(100))
+}
+
+// Speedup returns base/x, guarding against division by zero.
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return base / x
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi);
+// outliers clamp into the edge bins.
+type Histogram struct {
+	lo, hi float64
+	bins   []uint64
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+// It panics if n < 1 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, n)}
+}
+
+// Add places one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+}
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Total returns the number of observations added.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.bins {
+		t += c
+	}
+	return t
+}

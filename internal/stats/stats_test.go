@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOnlineMoments(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", o.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(o.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", o.Var(), 32.0/7)
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.Std() != 0 {
+		t.Fatal("empty Online should be zeroed")
+	}
+	o.Add(3)
+	if o.Var() != 0 {
+		t.Fatalf("Var with n=1 = %v, want 0", o.Var())
+	}
+	if o.Min() != 3 || o.Max() != 3 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var o Online
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			o.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var v float64
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(o.Mean()-mean) < 1e-9 && math.Abs(o.Var()-v) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v, want 50.5", got)
+	}
+	if got := s.Percentile(95); math.Abs(got-95.05) > 1e-9 {
+		t.Fatalf("p95 = %v, want 95.05", got)
+	}
+}
+
+func TestPercentileUnsortedInput(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		s.Add(x)
+	}
+	if got := s.Median(); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	// Adding after sorting must re-sort.
+	s.Add(0)
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("p0 after append = %v, want 0", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Fatal("empty sample should return 0")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("ms = %v, want 1.5", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(10, 0), 1) {
+		t.Fatal("Speedup by zero should be +Inf")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	if counts[0] != 3 { // -1 (clamped), 0, 1.9
+		t.Fatalf("bin0 = %d, want 3", counts[0])
+	}
+	if counts[1] != 1 { // 2
+		t.Fatalf("bin1 = %d, want 1", counts[1])
+	}
+	if counts[4] != 3 { // 9.99, 10 (clamped), 100 (clamped)
+		t.Fatalf("bin4 = %d, want 3", counts[4])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	if got := s.Summary(); got == "" {
+		t.Fatal("empty summary")
+	}
+}

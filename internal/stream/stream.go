@@ -1,0 +1,168 @@
+// Package stream models the document stream: virtual time, arrival
+// processes and the order-preserving decay arithmetic of the paper's
+// scoring function (Eq. 1).
+//
+// Score inflation. S(q,d) = c(q,d)·e^{-λ(now-τ_d)} decays as time
+// passes, but the *ratio* between two documents' scores is constant, so
+// the system instead stores c(q,d)·e^{λ(τ_d-base)} — new documents get
+// inflated rather than old ones decayed — and results never need
+// recomputation on the passage of time alone. The exponent grows with
+// stream time and would overflow float64 near e^709, so the Decay type
+// exposes a rebase protocol: shift base forward and rescale all stored
+// scores by a common factor, which preserves order exactly.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/corpus"
+)
+
+// Event is one stream arrival.
+type Event struct {
+	Doc corpus.Document
+	// Time is the arrival timestamp in virtual seconds since the
+	// stream epoch.
+	Time float64
+}
+
+// Source generates a document stream with exponential (Poisson
+// process) inter-arrival times, the standard model for news/social
+// streams. It is deterministic per seed.
+type Source struct {
+	gen  *corpus.Generator
+	rng  *rand.Rand
+	rate float64
+	now  float64
+}
+
+// NewSource wraps a corpus generator with an arrival process of `rate`
+// documents per virtual second.
+func NewSource(gen *corpus.Generator, rate float64, seed int64) (*Source, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("stream: rate must be positive and finite, got %v", rate)
+	}
+	return &Source{gen: gen, rng: rand.New(rand.NewSource(seed)), rate: rate}, nil
+}
+
+// Now returns the current virtual time (the last arrival's timestamp).
+func (s *Source) Now() float64 { return s.now }
+
+// Next produces the next arrival.
+func (s *Source) Next() Event {
+	s.now += s.rng.ExpFloat64() / s.rate
+	return Event{Doc: s.gen.Next(), Time: s.now}
+}
+
+// Take produces the next n arrivals.
+func (s *Source) Take(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = s.Next()
+	}
+	return evs
+}
+
+// Replay iterates over a pre-generated event sequence, so competing
+// algorithms process the identical stream.
+type Replay struct {
+	events []Event
+	pos    int
+}
+
+// NewReplay wraps events (not copied; callers must not mutate).
+func NewReplay(events []Event) *Replay { return &Replay{events: events} }
+
+// Next returns the next event and false when exhausted.
+func (r *Replay) Next() (Event, bool) {
+	if r.pos >= len(r.events) {
+		return Event{}, false
+	}
+	e := r.events[r.pos]
+	r.pos++
+	return e, true
+}
+
+// Reset rewinds the replay to the beginning.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// Len returns the total number of events.
+func (r *Replay) Len() int { return len(r.events) }
+
+// maxExponent is the largest λ·(t-base) the monitor lets accumulate
+// before rebasing. e^500 ≈ 7·10^216 leaves ample float64 headroom for
+// products with cosine scores and ratio sums.
+const maxExponent = 500
+
+// Decay implements the inflation arithmetic for a decay rate λ ≥ 0.
+// λ = 0 disables recency preference entirely (scores never inflate).
+type Decay struct {
+	Lambda float64
+	base   float64
+}
+
+// NewDecay validates λ and returns a Decay anchored at time 0.
+func NewDecay(lambda float64) (*Decay, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("stream: decay λ must be ≥ 0 and finite, got %v", lambda)
+	}
+	return &Decay{Lambda: lambda}, nil
+}
+
+// Base returns the current inflation epoch.
+func (d *Decay) Base() float64 { return d.base }
+
+// SetBase overwrites the inflation epoch without rescaling anything.
+// It exists for snapshot restore, where stored scores are already in
+// the snapshot's epoch units.
+func (d *Decay) SetBase(b float64) { d.base = b }
+
+// Factor returns the inflation factor e^{λ(t-base)} applied to a
+// document arriving at time t.
+func (d *Decay) Factor(t float64) float64 {
+	if d.Lambda == 0 {
+		return 1
+	}
+	return math.Exp(d.Lambda * (t - d.base))
+}
+
+// NeedsRebase reports whether the exponent at time t is close enough
+// to overflow that the monitor must rebase before processing.
+func (d *Decay) NeedsRebase(t float64) bool {
+	return d.Lambda*(t-d.base) > maxExponent
+}
+
+// maxRebaseExponent caps a single rebase step so the returned factor
+// e^{-λ·shift} never underflows to exactly zero (float64 bottoms out
+// near e^{-745}). A time jump larger than the cap takes several steps:
+// callers loop `for d.NeedsRebase(t) { f := d.RebaseTo(t); ... }`.
+// Repeated steps flush truly ancient scores to zero progressively,
+// which is the mathematically correct limit of their decay.
+const maxRebaseExponent = 700
+
+// RebaseTo shifts the epoch toward time t — by at most
+// maxRebaseExponent/λ per call — and returns the factor (0 < f ≤ 1) by
+// which every stored score and threshold must be multiplied. Order of
+// stored scores is preserved since all scale together.
+func (d *Decay) RebaseTo(t float64) (factor float64) {
+	shift := t - d.base
+	if shift < 0 {
+		shift = 0
+	}
+	if d.Lambda*shift > maxRebaseExponent {
+		shift = maxRebaseExponent / d.Lambda
+	}
+	d.base += shift
+	return math.Exp(-d.Lambda * shift)
+}
+
+// PresentScore converts a stored (inflated) score back to the
+// user-visible decayed score at time now.
+func (d *Decay) PresentScore(stored, now float64) float64 {
+	if d.Lambda == 0 {
+		return stored
+	}
+	return stored * math.Exp(-d.Lambda*(now-d.base))
+}

@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func testGen() *corpus.Generator {
+	m := corpus.WikipediaModel(2000)
+	m.DocLenMedian = 30
+	return corpus.NewGenerator(m, 1, 1000)
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewSource(testGen(), rate, 1); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}
+
+func TestSourceMonotoneTime(t *testing.T) {
+	s, err := NewSource(testGen(), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		e := s.Next()
+		if e.Time <= prev {
+			t.Fatalf("event %d time %v not after %v", i, e.Time, prev)
+		}
+		prev = e.Time
+	}
+	if s.Now() != prev {
+		t.Fatalf("Now = %v, want %v", s.Now(), prev)
+	}
+}
+
+func TestSourceRate(t *testing.T) {
+	s, _ := NewSource(testGen(), 100, 3)
+	evs := s.Take(2000)
+	elapsed := evs[len(evs)-1].Time
+	rate := float64(len(evs)) / elapsed
+	if rate < 80 || rate > 120 {
+		t.Fatalf("empirical rate %v far from 100", rate)
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a, _ := NewSource(testGen(), 10, 5)
+	b, _ := NewSource(testGen(), 10, 5)
+	if !reflect.DeepEqual(a.Take(20), b.Take(20)) {
+		t.Fatal("same seed produced different streams")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	s, _ := NewSource(testGen(), 10, 4)
+	evs := s.Take(5)
+	r := NewReplay(evs)
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var got []Event
+	for {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("replay differs from source")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("exhausted replay returned an event")
+	}
+	r.Reset()
+	if e, ok := r.Next(); !ok || e.Doc.ID != evs[0].Doc.ID {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestNewDecayValidation(t *testing.T) {
+	for _, l := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewDecay(l); err == nil {
+			t.Errorf("λ=%v accepted", l)
+		}
+	}
+	if _, err := NewDecay(0); err != nil {
+		t.Fatalf("λ=0 rejected: %v", err)
+	}
+}
+
+func TestDecayFactor(t *testing.T) {
+	d, _ := NewDecay(0.1)
+	if got := d.Factor(0); got != 1 {
+		t.Fatalf("Factor(0) = %v", got)
+	}
+	if got := d.Factor(10); math.Abs(got-math.E) > 1e-12 {
+		t.Fatalf("Factor(10) = %v, want e", got)
+	}
+	z, _ := NewDecay(0)
+	if z.Factor(1e9) != 1 {
+		t.Fatal("λ=0 must not inflate")
+	}
+}
+
+func TestDecayOrderPreservation(t *testing.T) {
+	// The core soundness property of inflation: for docs d1 (t=5) and
+	// d2 (t=20), sign(inflated1 - inflated2) equals sign of decayed
+	// comparison at any later time.
+	d, _ := NewDecay(0.05)
+	c1, t1 := 0.9, 5.0
+	c2, t2 := 0.5, 20.0
+	inf1 := c1 * d.Factor(t1)
+	inf2 := c2 * d.Factor(t2)
+	for _, now := range []float64{25, 100, 1000} {
+		dec1 := c1 * math.Exp(-0.05*(now-t1))
+		dec2 := c2 * math.Exp(-0.05*(now-t2))
+		if (inf1 > inf2) != (dec1 > dec2) {
+			t.Fatalf("order disagreement at now=%v", now)
+		}
+	}
+}
+
+func TestNeedsRebaseAndRebase(t *testing.T) {
+	d, _ := NewDecay(1)
+	if d.NeedsRebase(100) {
+		t.Fatal("premature rebase")
+	}
+	if !d.NeedsRebase(501) {
+		t.Fatal("rebase not triggered past exponent cap")
+	}
+	factor := d.RebaseTo(500)
+	if math.Abs(factor-math.Exp(-500)) > 1e-300 {
+		t.Fatalf("rebase factor = %v", factor)
+	}
+	if d.Base() != 500 {
+		t.Fatalf("base = %v", d.Base())
+	}
+	if got := d.Factor(500); got != 1 {
+		t.Fatalf("Factor at new base = %v", got)
+	}
+}
+
+func TestRebasePreservesRelativeScores(t *testing.T) {
+	d, _ := NewDecay(0.2)
+	sA := 0.7 * d.Factor(10)
+	sB := 0.3 * d.Factor(30)
+	ratio := sA / sB
+	f := d.RebaseTo(40)
+	sA *= f
+	sB *= f
+	if math.Abs(sA/sB-ratio) > 1e-9*ratio {
+		t.Fatalf("rebase changed score ratio: %v vs %v", sA/sB, ratio)
+	}
+}
+
+func TestPresentScore(t *testing.T) {
+	d, _ := NewDecay(0.1)
+	stored := 2.0 * d.Factor(10) // doc at t=10 with cosine 2.0 (unnormalized, fine for arithmetic)
+	got := d.PresentScore(stored, 10)
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("PresentScore at arrival = %v, want 2", got)
+	}
+	later := d.PresentScore(stored, 20)
+	want := 2.0 * math.Exp(-1)
+	if math.Abs(later-want) > 1e-12 {
+		t.Fatalf("PresentScore decayed = %v, want %v", later, want)
+	}
+	z, _ := NewDecay(0)
+	if z.PresentScore(5, 100) != 5 {
+		t.Fatal("λ=0 PresentScore should be identity")
+	}
+}

@@ -1,0 +1,256 @@
+package textproc
+
+import "strings"
+
+// Stem reduces an English word to its stem with the classic Porter
+// algorithm (Porter, 1980) — the normalization step conventional for
+// Wikipedia-scale retrieval pipelines like the paper's. The input is
+// assumed lower-case (the Tokenizer guarantees it); non-ASCII words
+// are returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 || !isASCIILower(word) {
+		return word
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// WithStemming returns a TokenizerOption-compatible wrapper: a
+// convenience that applies Stem to every token of a pre-tokenized
+// stream.
+func StemAll(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = Stem(t)
+	}
+	return out
+}
+
+func isASCIILower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure returns Porter's m: the number of VC sequences in w[:k].
+func measure(w []byte, k int) int {
+	m := 0
+	i := 0
+	// skip initial consonants
+	for i < k && isCons(w, i) {
+		i++
+	}
+	for i < k {
+		// vowels
+		for i < k && !isCons(w, i) {
+			i++
+		}
+		if i >= k {
+			break
+		}
+		m++
+		for i < k && isCons(w, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether w[:k] contains a vowel.
+func hasVowel(w []byte, k int) bool {
+	for i := 0; i < k; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleCons reports whether w[:k] ends with a double consonant.
+func doubleCons(w []byte, k int) bool {
+	return k >= 2 && w[k-1] == w[k-2] && isCons(w, k-1)
+}
+
+// cvc reports whether w[:k] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func cvc(w []byte, k int) bool {
+	if k < 3 || !isCons(w, k-1) || isCons(w, k-2) || !isCons(w, k-3) {
+		return false
+	}
+	c := w[k-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	return len(w) >= len(s) && string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix s with r when measure of the stem exceeds
+// mMin; it reports whether the suffix matched at all.
+func replaceIf(w *[]byte, s, r string, mMin int) bool {
+	if !hasSuffix(*w, s) {
+		return false
+	}
+	k := len(*w) - len(s)
+	if measure(*w, k) > mMin {
+		*w = append((*w)[:k], r...)
+	}
+	return true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w, len(w)-2):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w, len(w)-3):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case doubleCons(stem, len(stem)):
+		c := stem[len(stem)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem, len(stem)) == 1 && cvc(stem, len(stem)):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ s, r string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+	{"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, rule := range step2Rules {
+		if replaceIf(&w, rule.s, rule.r, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ s, r string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, rule := range step3Rules {
+		if replaceIf(&w, rule.s, rule.r, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	if hasSuffix(w, "ion") {
+		k := len(w) - 3
+		if k > 0 && (w[k-1] == 's' || w[k-1] == 't') && measure(w, k) > 1 {
+			return w[:k]
+		}
+		// "ion" handled exclusively here.
+		if strings.HasSuffix(string(w), "ion") {
+			return w
+		}
+	}
+	for _, s := range step4Suffixes {
+		if hasSuffix(w, s) {
+			k := len(w) - len(s)
+			if measure(w, k) > 1 {
+				return w[:k]
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if hasSuffix(w, "e") {
+		k := len(w) - 1
+		m := measure(w, k)
+		if m > 1 || (m == 1 && !cvc(w, k)) {
+			return w[:k]
+		}
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if hasSuffix(w, "ll") && measure(w, len(w)) > 1 {
+		return w[:len(w)-1]
+	}
+	return w
+}

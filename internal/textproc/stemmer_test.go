@@ -1,0 +1,148 @@
+package textproc
+
+import "testing"
+
+// TestStemVocabulary checks representative input/output pairs from
+// Porter's published test vocabulary and common retrieval cases.
+func TestStemVocabulary(t *testing.T) {
+	cases := map[string]string{
+		// step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// retrieval-typical
+		"monitoring": "monitor",
+		"queries":    "queri",
+		"documents":  "document",
+		"streams":    "stream",
+		"continuous": "continu",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"a", "is", "go", "世界", "naïve", "Fo0"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem must be stable for typical vocabulary — the
+	// pipeline may be applied to already-normalized query logs.
+	words := []string{
+		"monitoring", "documents", "relational", "formalize", "hopping",
+		"streams", "effective", "adjustment", "queries", "happiness",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable: %q → %q → %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemAll(t *testing.T) {
+	got := StemAll([]string{"monitoring", "streams"})
+	if got[0] != "monitor" || got[1] != "stream" {
+		t.Fatalf("StemAll = %v", got)
+	}
+	if out := StemAll(nil); len(out) != 0 {
+		t.Fatal("StemAll(nil) not empty")
+	}
+}
+
+func TestStemmedPipelineSharesVocabulary(t *testing.T) {
+	// Query "monitoring" must match document "monitors" after both go
+	// through the stemmed pipeline.
+	vocab := NewVocabulary()
+	w := NewWeighter(vocab, WeightTF)
+	tok := NewTokenizer()
+	doc := w.DocumentVector(StemAll(tok.Tokenize("The system monitors document streams")))
+	query := w.VectorFromTokens(StemAll(tok.Tokenize("monitoring streams")))
+	if Dot(query, doc) <= 0 {
+		t.Fatal("stemmed query does not match stemmed document")
+	}
+}

@@ -1,0 +1,41 @@
+package textproc
+
+// defaultStopwordList is the conventional English stopword list used by
+// retrieval systems (a superset of the Snowball list), matching the
+// preprocessing typically applied to Wikipedia corpora.
+var defaultStopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "aren", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+	"doing", "don", "down", "during", "each", "few", "for", "from",
+	"further", "had", "hadn", "has", "hasn", "have", "haven", "having",
+	"he", "her", "here", "hers", "herself", "him", "himself", "his",
+	"how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself",
+	"just", "ll", "me", "more", "most", "mustn", "my", "myself", "no",
+	"nor", "not", "now", "of", "off", "on", "once", "only", "or",
+	"other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+	"re", "s", "same", "shan", "she", "should", "shouldn", "so", "some",
+	"such", "t", "than", "that", "the", "their", "theirs", "them",
+	"themselves", "then", "there", "these", "they", "this", "those",
+	"through", "to", "too", "under", "until", "up", "ve", "very", "was",
+	"wasn", "we", "were", "weren", "what", "when", "where", "which",
+	"while", "who", "whom", "why", "will", "with", "won", "would",
+	"wouldn", "you", "your", "yours", "yourself", "yourselves",
+}
+
+func defaultStopwords() map[string]struct{} {
+	m := make(map[string]struct{}, len(defaultStopwordList))
+	for _, w := range defaultStopwordList {
+		m[w] = struct{}{}
+	}
+	return m
+}
+
+// DefaultStopwords returns a copy of the built-in English stopword
+// list, for callers that want to extend it via WithStopwords.
+func DefaultStopwords() []string {
+	out := make([]string, len(defaultStopwordList))
+	copy(out, defaultStopwordList)
+	return out
+}

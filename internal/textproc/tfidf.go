@@ -1,0 +1,88 @@
+package textproc
+
+import "math"
+
+// WeightScheme selects the term-weighting function used when building
+// document and query vectors.
+type WeightScheme int
+
+const (
+	// WeightLogTFIDF is the classic (1+log tf)·log(1+N/df) scheme the
+	// TKDE evaluation uses for cosine scoring.
+	WeightLogTFIDF WeightScheme = iota
+	// WeightTF uses raw term frequency (idf = 1).
+	WeightTF
+	// WeightBinary uses 1 for every present term.
+	WeightBinary
+)
+
+// Weighter converts token counts into L2-normalized sparse vectors
+// under a fixed vocabulary and weighting scheme.
+type Weighter struct {
+	Vocab  *Vocabulary
+	Scheme WeightScheme
+}
+
+// NewWeighter returns a Weighter over vocab using the given scheme.
+func NewWeighter(vocab *Vocabulary, scheme WeightScheme) *Weighter {
+	return &Weighter{Vocab: vocab, Scheme: scheme}
+}
+
+// idf returns the inverse-document-frequency factor for a term. For
+// unseen terms (df=0) it falls back to the maximum idf, treating the
+// term as maximally discriminative.
+func (w *Weighter) idf(t TermID) float64 {
+	n := float64(w.Vocab.Docs())
+	if n == 0 {
+		return 1
+	}
+	df := float64(w.Vocab.DF(t))
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + n/df)
+}
+
+// weight applies the scheme to one (term, tf) pair.
+func (w *Weighter) weight(t TermID, tf float64) float64 {
+	switch w.Scheme {
+	case WeightTF:
+		return tf
+	case WeightBinary:
+		return 1
+	default:
+		return (1 + math.Log(tf)) * w.idf(t)
+	}
+}
+
+// VectorFromCounts builds a unit vector from interned token counts.
+func (w *Weighter) VectorFromCounts(counts map[TermID]float64) Vector {
+	raw := make(map[TermID]float64, len(counts))
+	for t, tf := range counts {
+		if tf <= 0 {
+			continue
+		}
+		raw[t] = w.weight(t, tf)
+	}
+	v := FromCounts(raw)
+	v.Normalize()
+	return v
+}
+
+// VectorFromTokens interns tokens (without touching document
+// frequencies) and builds a unit vector from their counts.
+func (w *Weighter) VectorFromTokens(tokens []string) Vector {
+	counts := make(map[TermID]float64)
+	for _, tok := range tokens {
+		counts[w.Vocab.Intern(tok)]++
+	}
+	return w.VectorFromCounts(counts)
+}
+
+// DocumentVector observes a document (updating document frequencies)
+// and returns its unit vector. This is the ingestion path for raw-text
+// streams.
+func (w *Weighter) DocumentVector(tokens []string) Vector {
+	w.Vocab.ObserveDoc(tokens)
+	return w.VectorFromTokens(tokens)
+}

@@ -1,0 +1,101 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits raw text into normalized tokens. The pipeline is the
+// conventional one for bag-of-words retrieval: Unicode-aware word
+// segmentation, lower-casing, length filtering and stopword removal.
+//
+// The zero value is not usable; construct with NewTokenizer.
+type Tokenizer struct {
+	minLen    int
+	maxLen    int
+	stopwords map[string]struct{}
+	keepDigit bool
+}
+
+// TokenizerOption customizes a Tokenizer.
+type TokenizerOption func(*Tokenizer)
+
+// WithMinTokenLength drops tokens shorter than n runes (default 2).
+func WithMinTokenLength(n int) TokenizerOption {
+	return func(t *Tokenizer) { t.minLen = n }
+}
+
+// WithMaxTokenLength drops tokens longer than n runes (default 40,
+// which filters URLs and concatenation artifacts).
+func WithMaxTokenLength(n int) TokenizerOption {
+	return func(t *Tokenizer) { t.maxLen = n }
+}
+
+// WithStopwords replaces the default English stopword list.
+func WithStopwords(words []string) TokenizerOption {
+	return func(t *Tokenizer) {
+		t.stopwords = make(map[string]struct{}, len(words))
+		for _, w := range words {
+			t.stopwords[strings.ToLower(w)] = struct{}{}
+		}
+	}
+}
+
+// WithDigits keeps purely numeric tokens (dropped by default).
+func WithDigits(keep bool) TokenizerOption {
+	return func(t *Tokenizer) { t.keepDigit = keep }
+}
+
+// NewTokenizer returns a tokenizer with the default English pipeline.
+func NewTokenizer(opts ...TokenizerOption) *Tokenizer {
+	t := &Tokenizer{
+		minLen:    2,
+		maxLen:    40,
+		stopwords: defaultStopwords(),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Tokenize splits text into normalized tokens, applying the filters.
+func (t *Tokenizer) Tokenize(text string) []string {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := fields[:0:0]
+	for _, f := range fields {
+		tok := strings.ToLower(f)
+		n := len([]rune(tok))
+		if n < t.minLen || n > t.maxLen {
+			continue
+		}
+		if !t.keepDigit && isNumeric(tok) {
+			continue
+		}
+		if _, stop := t.stopwords[tok]; stop {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Counts tokenizes text and returns per-token occurrence counts.
+func (t *Tokenizer) Counts(text string) map[string]int {
+	counts := make(map[string]int)
+	for _, tok := range t.Tokenize(text) {
+		counts[tok]++
+	}
+	return counts
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}

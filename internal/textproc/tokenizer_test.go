@@ -1,0 +1,90 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("The Quick, brown fox-jumps over 2 lazy dogs!")
+	want := []string{"quick", "brown", "fox", "jumps", "lazy", "dogs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeStopwords(t *testing.T) {
+	tok := NewTokenizer()
+	for _, sw := range []string{"the", "and", "is", "was"} {
+		if got := tok.Tokenize(sw); len(got) != 0 {
+			t.Errorf("stopword %q survived: %v", sw, got)
+		}
+	}
+}
+
+func TestTokenizeCustomStopwords(t *testing.T) {
+	tok := NewTokenizer(WithStopwords([]string{"foo"}))
+	got := tok.Tokenize("foo the bar")
+	want := []string{"the", "bar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeLengthFilters(t *testing.T) {
+	tok := NewTokenizer(WithMinTokenLength(3), WithMaxTokenLength(5))
+	got := tok.Tokenize("ab abc abcde abcdef")
+	want := []string{"abc", "abcde"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeDigits(t *testing.T) {
+	drop := NewTokenizer()
+	if got := drop.Tokenize("route 66 runs"); !reflect.DeepEqual(got, []string{"route", "runs"}) {
+		t.Fatalf("digits kept by default: %v", got)
+	}
+	keep := NewTokenizer(WithDigits(true))
+	if got := keep.Tokenize("route 66 runs"); !reflect.DeepEqual(got, []string{"route", "66", "runs"}) {
+		t.Fatalf("digits dropped despite WithDigits: %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("Καλημέρα κόσμε — 世界")
+	want := []string{"καλημέρα", "κόσμε", "世界"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize unicode = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	tok := NewTokenizer()
+	if got := tok.Tokenize(""); len(got) != 0 {
+		t.Fatalf("Tokenize(\"\") = %v", got)
+	}
+	if got := tok.Tokenize("  \t\n  "); len(got) != 0 {
+		t.Fatalf("Tokenize(whitespace) = %v", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Counts("cat dog cat bird cat dog")
+	want := map[string]int{"cat": 3, "dog": 2, "bird": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Counts = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultStopwordsCopy(t *testing.T) {
+	a := DefaultStopwords()
+	a[0] = "mutated"
+	b := DefaultStopwords()
+	if b[0] == "mutated" {
+		t.Fatal("DefaultStopwords exposes internal slice")
+	}
+}

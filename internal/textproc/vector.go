@@ -1,0 +1,176 @@
+// Package textproc implements the text-analysis substrate of the CTQD
+// monitor: tokenization, stopword filtering, vocabulary management,
+// tf-idf weighting and sparse unit vectors.
+//
+// Both streaming documents and continuous queries are represented as
+// sparse vectors over a shared vocabulary. Vectors are kept sorted by
+// term ID and L2-normalized, so the cosine similarity used by the
+// paper's scoring function (Eq. 1) reduces to a sparse dot product.
+package textproc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TermID identifies a vocabulary term. IDs are dense, starting at 0.
+type TermID uint32
+
+// TermWeight is one component of a sparse vector.
+type TermWeight struct {
+	Term   TermID
+	Weight float64
+}
+
+// Vector is a sparse vector over the vocabulary, sorted by TermID with
+// no duplicate terms. A zero-length Vector is valid and has zero norm.
+type Vector []TermWeight
+
+// Len reports the number of non-zero components.
+func (v Vector) Len() int { return len(v) }
+
+// Sorted reports whether the vector is sorted by term ID with no
+// duplicates. All exported functions producing Vectors guarantee this.
+func (v Vector) Sorted() bool {
+	for i := 1; i < len(v); i++ {
+		if v[i-1].Term >= v[i].Term {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm returns the L2 norm of the vector.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, tw := range v {
+		s += tw.Weight * tw.Weight
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales the vector in place to unit L2 norm. It is a no-op
+// for zero vectors.
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i].Weight *= inv
+	}
+}
+
+// Dot returns the dot product of two sorted sparse vectors using a
+// linear merge.
+func Dot(a, b Vector) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Term < b[j].Term:
+			i++
+		case a[i].Term > b[j].Term:
+			j++
+		default:
+			s += a[i].Weight * b[j].Weight
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of two sparse vectors,
+// normalizing on the fly. Unit vectors should prefer Dot.
+func Cosine(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Weight returns the weight of term t, or 0 when absent. It uses
+// binary search; for repeated probes against the same vector prefer
+// building a Probe.
+func (v Vector) Weight(t TermID) float64 {
+	i := sort.Search(len(v), func(i int) bool { return v[i].Term >= t })
+	if i < len(v) && v[i].Term == t {
+		return v[i].Weight
+	}
+	return 0
+}
+
+// Validate checks structural invariants: sorted, unique terms, and all
+// weights finite and positive. It returns a descriptive error for the
+// first violation found.
+func (v Vector) Validate() error {
+	for i, tw := range v {
+		if math.IsNaN(tw.Weight) || math.IsInf(tw.Weight, 0) {
+			return fmt.Errorf("textproc: term %d has non-finite weight %v", tw.Term, tw.Weight)
+		}
+		if tw.Weight <= 0 {
+			return fmt.Errorf("textproc: term %d has non-positive weight %v", tw.Term, tw.Weight)
+		}
+		if i > 0 && v[i-1].Term >= tw.Term {
+			return fmt.Errorf("textproc: terms out of order at index %d (%d >= %d)", i, v[i-1].Term, tw.Term)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// FromCounts builds a sorted Vector from a term→count (or term→raw
+// weight) map. Zero or negative values are dropped.
+func FromCounts(counts map[TermID]float64) Vector {
+	v := make(Vector, 0, len(counts))
+	for t, c := range counts {
+		if c > 0 {
+			v = append(v, TermWeight{Term: t, Weight: c})
+		}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i].Term < v[j].Term })
+	return v
+}
+
+// Probe supports O(1) weight lookups against one vector. It is the
+// per-event structure the matching algorithms use to score candidate
+// queries exactly: queries are short, so each candidate costs a handful
+// of map probes.
+type Probe struct {
+	w map[TermID]float64
+}
+
+// NewProbe indexes v for constant-time component lookups.
+func NewProbe(v Vector) *Probe {
+	m := make(map[TermID]float64, len(v))
+	for _, tw := range v {
+		m[tw.Term] = tw.Weight
+	}
+	return &Probe{w: m}
+}
+
+// Weight returns the weight of t in the probed vector, or 0.
+func (p *Probe) Weight(t TermID) float64 { return p.w[t] }
+
+// DotQuery computes the dot product of a (short) query vector with the
+// probed document vector.
+func (p *Probe) DotQuery(q Vector) float64 {
+	var s float64
+	for _, tw := range q {
+		s += tw.Weight * p.w[tw.Term]
+	}
+	return s
+}

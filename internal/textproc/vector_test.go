@@ -1,0 +1,185 @@
+package textproc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVectorNormalize(t *testing.T) {
+	v := Vector{{0, 3}, {5, 4}}
+	v.Normalize()
+	if !almostEqual(v.Norm(), 1, 1e-12) {
+		t.Fatalf("norm after Normalize = %v, want 1", v.Norm())
+	}
+	if !almostEqual(v[0].Weight, 0.6, 1e-12) || !almostEqual(v[1].Weight, 0.8, 1e-12) {
+		t.Fatalf("unexpected components: %+v", v)
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	var v Vector
+	v.Normalize() // must not panic or produce NaN
+	if v.Norm() != 0 {
+		t.Fatalf("zero vector norm changed: %v", v.Norm())
+	}
+	z := Vector{}
+	z.Normalize()
+	if len(z) != 0 {
+		t.Fatal("empty vector mutated")
+	}
+}
+
+func TestDotDisjoint(t *testing.T) {
+	a := Vector{{0, 1}, {2, 1}}
+	b := Vector{{1, 1}, {3, 1}}
+	if got := Dot(a, b); got != 0 {
+		t.Fatalf("Dot(disjoint) = %v, want 0", got)
+	}
+}
+
+func TestDotOverlap(t *testing.T) {
+	a := Vector{{1, 2}, {4, 3}, {9, 1}}
+	b := Vector{{1, 5}, {9, 2}}
+	if got := Dot(a, b); !almostEqual(got, 12, 1e-12) {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotCommutative(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randVector(rand.New(rand.NewSource(seedA)), 20, 50)
+		b := randVector(rand.New(rand.NewSource(seedB)), 20, 50)
+		return almostEqual(Dot(a, b), Dot(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotMatchesMapAccumulation(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randVector(rand.New(rand.NewSource(seedA)), 30, 60)
+		b := randVector(rand.New(rand.NewSource(seedB)), 30, 60)
+		m := make(map[TermID]float64)
+		for _, tw := range a {
+			m[tw.Term] = tw.Weight
+		}
+		var want float64
+		for _, tw := range b {
+			want += tw.Weight * m[tw.Term]
+		}
+		return almostEqual(Dot(a, b), want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSelf(t *testing.T) {
+	v := Vector{{0, 2}, {7, 5}, {12, 1}}
+	if got := Cosine(v, v); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Cosine(v,v) = %v, want 1", got)
+	}
+}
+
+func TestCosineZero(t *testing.T) {
+	if got := Cosine(Vector{}, Vector{{1, 1}}); got != 0 {
+		t.Fatalf("Cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	v := Vector{{2, 0.5}, {10, 0.25}, {100, 0.75}}
+	if got := v.Weight(10); got != 0.25 {
+		t.Fatalf("Weight(10) = %v", got)
+	}
+	if got := v.Weight(3); got != 0 {
+		t.Fatalf("Weight(absent) = %v, want 0", got)
+	}
+	if got := v.Weight(101); got != 0 {
+		t.Fatalf("Weight(beyond) = %v, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Vector
+		ok   bool
+	}{
+		{"valid", Vector{{1, 0.5}, {2, 0.5}}, true},
+		{"empty", Vector{}, true},
+		{"unsorted", Vector{{2, 0.5}, {1, 0.5}}, false},
+		{"duplicate", Vector{{1, 0.5}, {1, 0.5}}, false},
+		{"nan", Vector{{1, math.NaN()}}, false},
+		{"inf", Vector{{1, math.Inf(1)}}, false},
+		{"nonpositive", Vector{{1, 0}}, false},
+	}
+	for _, c := range cases {
+		err := c.v.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestFromCountsSortedAndFiltered(t *testing.T) {
+	v := FromCounts(map[TermID]float64{5: 2, 1: 3, 9: 0, 7: -1})
+	if !v.Sorted() {
+		t.Fatalf("FromCounts not sorted: %+v", v)
+	}
+	if len(v) != 2 {
+		t.Fatalf("FromCounts kept %d entries, want 2", len(v))
+	}
+	if v[0].Term != 1 || v[1].Term != 5 {
+		t.Fatalf("unexpected terms: %+v", v)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{{1, 0.5}}
+	c := v.Clone()
+	c[0].Weight = 9
+	if v[0].Weight != 0.5 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if Vector(nil).Clone() != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestProbeDotQueryAgainstMergeDot(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		doc := randVector(rand.New(rand.NewSource(seedA)), 50, 80)
+		q := randVector(rand.New(rand.NewSource(seedB)), 5, 80)
+		p := NewProbe(doc)
+		return almostEqual(p.DotQuery(q), Dot(q, doc), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeWeight(t *testing.T) {
+	p := NewProbe(Vector{{3, 0.5}, {8, 0.25}})
+	if p.Weight(3) != 0.5 || p.Weight(8) != 0.25 || p.Weight(4) != 0 {
+		t.Fatal("Probe.Weight mismatch")
+	}
+}
+
+// randVector builds a random sorted vector with up to n terms drawn
+// from [0, universe).
+func randVector(r *rand.Rand, n, universe int) Vector {
+	m := make(map[TermID]float64)
+	for i := 0; i < n; i++ {
+		m[TermID(r.Intn(universe))] = r.Float64() + 0.01
+	}
+	v := FromCounts(m)
+	sort.Slice(v, func(i, j int) bool { return v[i].Term < v[j].Term })
+	return v
+}

@@ -1,0 +1,131 @@
+package textproc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Vocabulary maps term strings to dense TermIDs and tracks document
+// frequencies. It is safe for concurrent readers; writers (Intern,
+// ObserveDoc) must be externally synchronized or use the locked
+// variants below, which it provides by default.
+type Vocabulary struct {
+	mu    sync.RWMutex
+	ids   map[string]TermID
+	terms []string
+	df    []uint32 // document frequency per term
+	docs  uint64   // number of documents observed
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]TermID)}
+}
+
+// Intern returns the ID for term, allocating a new ID on first sight.
+func (v *Vocabulary) Intern(term string) TermID {
+	v.mu.RLock()
+	id, ok := v.ids[term]
+	v.mu.RUnlock()
+	if ok {
+		return id
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if id, ok = v.ids[term]; ok {
+		return id
+	}
+	id = TermID(len(v.terms))
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	v.df = append(v.df, 0)
+	return id
+}
+
+// Lookup returns the ID for term without allocating.
+func (v *Vocabulary) Lookup(term string) (TermID, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the string for a TermID. It panics on out-of-range IDs,
+// which indicate corruption or a vocabulary mismatch.
+func (v *Vocabulary) Term(id TermID) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if int(id) >= len(v.terms) {
+		panic(fmt.Sprintf("textproc: TermID %d out of range (vocab size %d)", id, len(v.terms)))
+	}
+	return v.terms[id]
+}
+
+// Size reports the number of distinct terms.
+func (v *Vocabulary) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.terms)
+}
+
+// Docs reports the number of documents observed via ObserveDoc.
+func (v *Vocabulary) Docs() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.docs
+}
+
+// DF returns the document frequency of a term.
+func (v *Vocabulary) DF(id TermID) uint32 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if int(id) >= len(v.df) {
+		return 0
+	}
+	return v.df[id]
+}
+
+// ObserveDoc records one document's distinct terms, interning each and
+// bumping document frequencies. It returns the interned IDs in the
+// order given (duplicates in terms are counted once).
+func (v *Vocabulary) ObserveDoc(terms []string) []TermID {
+	seen := make(map[string]struct{}, len(terms))
+	ids := make([]TermID, 0, len(terms))
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, t := range terms {
+		id, ok := v.ids[t]
+		if !ok {
+			id = TermID(len(v.terms))
+			v.ids[t] = id
+			v.terms = append(v.terms, t)
+			v.df = append(v.df, 0)
+		}
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			v.df[id]++
+			ids = append(ids, id)
+		}
+	}
+	v.docs++
+	return ids
+}
+
+// PresetVocabulary builds a vocabulary of n synthetic terms "t0".."tn-1"
+// with the given document frequencies (df may be nil). It is used by the
+// synthetic corpus generator, which works directly in TermID space.
+func PresetVocabulary(n int, df []uint32, docs uint64) *Vocabulary {
+	v := NewVocabulary()
+	v.terms = make([]string, n)
+	v.df = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		v.terms[i] = name
+		v.ids[name] = TermID(i)
+	}
+	if df != nil {
+		copy(v.df, df)
+	}
+	v.docs = docs
+	return v
+}

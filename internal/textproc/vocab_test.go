@@ -1,0 +1,188 @@
+package textproc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestVocabularyIntern(t *testing.T) {
+	v := NewVocabulary()
+	a := v.Intern("apple")
+	b := v.Intern("banana")
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if got := v.Intern("apple"); got != a {
+		t.Fatalf("re-Intern gave %d, want %d", got, a)
+	}
+	if v.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", v.Size())
+	}
+	if v.Term(a) != "apple" || v.Term(b) != "banana" {
+		t.Fatal("Term round-trip failed")
+	}
+}
+
+func TestVocabularyLookup(t *testing.T) {
+	v := NewVocabulary()
+	id := v.Intern("x")
+	if got, ok := v.Lookup("x"); !ok || got != id {
+		t.Fatalf("Lookup(x) = %d,%v", got, ok)
+	}
+	if _, ok := v.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) succeeded")
+	}
+}
+
+func TestVocabularyTermPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Term(out of range) did not panic")
+		}
+	}()
+	NewVocabulary().Term(5)
+}
+
+func TestObserveDocDF(t *testing.T) {
+	v := NewVocabulary()
+	v.ObserveDoc([]string{"cat", "dog", "cat"}) // cat counted once
+	v.ObserveDoc([]string{"cat"})
+	cat, _ := v.Lookup("cat")
+	dog, _ := v.Lookup("dog")
+	if v.DF(cat) != 2 {
+		t.Fatalf("DF(cat) = %d, want 2", v.DF(cat))
+	}
+	if v.DF(dog) != 1 {
+		t.Fatalf("DF(dog) = %d, want 1", v.DF(dog))
+	}
+	if v.Docs() != 2 {
+		t.Fatalf("Docs = %d, want 2", v.Docs())
+	}
+	if v.DF(TermID(999)) != 0 {
+		t.Fatal("DF(out of range) != 0")
+	}
+}
+
+func TestVocabularyConcurrentIntern(t *testing.T) {
+	v := NewVocabulary()
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v.Intern(fmt.Sprintf("term%d", i%50))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Size() != 50 {
+		t.Fatalf("Size = %d after concurrent interning, want 50", v.Size())
+	}
+}
+
+func TestPresetVocabulary(t *testing.T) {
+	df := []uint32{10, 5, 1}
+	v := PresetVocabulary(3, df, 100)
+	if v.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", v.Size())
+	}
+	if v.Term(0) != "t0" || v.Term(2) != "t2" {
+		t.Fatal("preset names wrong")
+	}
+	if v.DF(1) != 5 {
+		t.Fatalf("DF(1) = %d, want 5", v.DF(1))
+	}
+	if v.Docs() != 100 {
+		t.Fatalf("Docs = %d, want 100", v.Docs())
+	}
+	if id, ok := v.Lookup("t1"); !ok || id != 1 {
+		t.Fatal("preset lookup failed")
+	}
+}
+
+func TestWeighterLogTFIDF(t *testing.T) {
+	v := PresetVocabulary(3, []uint32{100, 10, 1}, 100)
+	w := NewWeighter(v, WeightLogTFIDF)
+	vec := w.VectorFromCounts(map[TermID]float64{0: 1, 2: 1})
+	if err := vec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vec.Norm(), 1, 1e-12) {
+		t.Fatalf("norm = %v", vec.Norm())
+	}
+	// The rarer term (df=1) must dominate the common one (df=100).
+	if vec.Weight(2) <= vec.Weight(0) {
+		t.Fatalf("idf ordering violated: rare=%v common=%v", vec.Weight(2), vec.Weight(0))
+	}
+}
+
+func TestWeighterSchemes(t *testing.T) {
+	v := PresetVocabulary(2, []uint32{1, 1}, 2)
+	counts := map[TermID]float64{0: 4, 1: 1}
+
+	bin := NewWeighter(v, WeightBinary).VectorFromCounts(counts)
+	if !almostEqual(bin.Weight(0), bin.Weight(1), 1e-12) {
+		t.Fatal("binary scheme should weight equally")
+	}
+
+	tf := NewWeighter(v, WeightTF).VectorFromCounts(counts)
+	if !almostEqual(tf.Weight(0)/tf.Weight(1), 4, 1e-9) {
+		t.Fatalf("tf ratio = %v, want 4", tf.Weight(0)/tf.Weight(1))
+	}
+}
+
+func TestWeighterDropsNonPositiveCounts(t *testing.T) {
+	v := PresetVocabulary(2, nil, 0)
+	vec := NewWeighter(v, WeightTF).VectorFromCounts(map[TermID]float64{0: 0, 1: 2})
+	if len(vec) != 1 || vec[0].Term != 1 {
+		t.Fatalf("unexpected vector: %+v", vec)
+	}
+}
+
+func TestWeighterEmptyVocabIDF(t *testing.T) {
+	v := NewVocabulary()
+	w := NewWeighter(v, WeightLogTFIDF)
+	if got := w.idf(0); got != 1 {
+		t.Fatalf("idf with zero docs = %v, want 1", got)
+	}
+}
+
+func TestDocumentVectorUpdatesDF(t *testing.T) {
+	v := NewVocabulary()
+	w := NewWeighter(v, WeightLogTFIDF)
+	vec := w.DocumentVector([]string{"alpha", "beta", "alpha"})
+	if len(vec) != 2 {
+		t.Fatalf("vector terms = %d, want 2", len(vec))
+	}
+	if v.Docs() != 1 {
+		t.Fatalf("Docs = %d, want 1", v.Docs())
+	}
+	a, _ := v.Lookup("alpha")
+	if v.DF(a) != 1 {
+		t.Fatalf("DF(alpha) = %d, want 1", v.DF(a))
+	}
+	for _, tw := range vec {
+		if math.IsNaN(tw.Weight) || tw.Weight <= 0 {
+			t.Fatalf("bad weight %v", tw.Weight)
+		}
+	}
+}
+
+func TestVectorFromTokensDeterministic(t *testing.T) {
+	v := PresetVocabulary(10, nil, 10)
+	w := NewWeighter(v, WeightTF)
+	a := w.VectorFromTokens([]string{"t1", "t2", "t1"})
+	b := w.VectorFromTokens([]string{"t1", "t1", "t2"})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("component %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

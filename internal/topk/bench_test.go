@@ -1,0 +1,51 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAddSteadyState(b *testing.B) {
+	s, err := NewStore([]int{10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	// Fill so most offers are rejections (the steady-state pattern).
+	for i := 0; i < 100; i++ {
+		s.Add(0, uint64(i), r.Float64()*100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(0, uint64(i), r.Float64()*110)
+	}
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	s, _ := NewStore([]int{10})
+	for i := 0; i < 20; i++ {
+		s.Add(0, uint64(i), float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Threshold(0)
+	}
+}
+
+func BenchmarkRebase(b *testing.B) {
+	ks := make([]int, 10000)
+	for i := range ks {
+		ks[i] = 10
+	}
+	s, _ := NewStore(ks)
+	r := rand.New(rand.NewSource(5))
+	for q := uint32(0); q < 10000; q++ {
+		for i := 0; i < 10; i++ {
+			s.Add(q, uint64(i), r.Float64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rebase(0.9999999) // stay away from underflow across iterations
+	}
+}

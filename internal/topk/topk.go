@@ -1,0 +1,190 @@
+// Package topk maintains per-query top-k results and the thresholds
+// S_k(q) that drive every pruning bound in the system.
+//
+// Scores are stored in the *inflated* domain (Eq. 1 of the paper):
+// S(q,d) = c(q,d)·e^{λ(τ_d - base)}. Under exponential decay the
+// relative order of two documents never changes, so a query's top-k
+// set only changes on arrivals and S_k(q) is monotonically
+// non-decreasing — until the monitor rebases the exponent to avoid
+// overflow, which rescales every stored score by a common positive
+// factor and therefore preserves order exactly (see Rebase).
+//
+// The Store keeps all heaps in three flat arenas rather than millions
+// of little slices: at the paper's scale (4·10⁶ queries) this is the
+// difference between a GC-quiet working set and pointer soup.
+package topk
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScoredDoc is one result entry: a document and its inflated score.
+type ScoredDoc struct {
+	DocID uint64
+	Score float64
+}
+
+// Store holds the top-k heaps of all registered queries.
+type Store struct {
+	offsets []uint32  // len N+1; query q owns arena[offsets[q]:offsets[q]+k_q]
+	scores  []float64 // min-heap per query segment
+	ids     []uint64  // parallel to scores
+	sizes   []uint16  // current fill per query
+}
+
+// NewStore allocates heaps for the given per-query result sizes.
+func NewStore(ks []int) (*Store, error) {
+	s := &Store{
+		offsets: make([]uint32, len(ks)+1),
+		sizes:   make([]uint16, len(ks)),
+	}
+	var total uint64
+	for i, k := range ks {
+		if k < 1 || k > 1<<16-1 {
+			return nil, fmt.Errorf("topk: query %d has invalid k=%d", i, k)
+		}
+		total += uint64(k)
+		if total > 1<<32-1 {
+			return nil, fmt.Errorf("topk: result arena exceeds 2^32 entries")
+		}
+		s.offsets[i+1] = uint32(total)
+	}
+	s.scores = make([]float64, total)
+	s.ids = make([]uint64, total)
+	return s, nil
+}
+
+// NumQueries returns the number of queries in the store.
+func (s *Store) NumQueries() int { return len(s.sizes) }
+
+// K returns query q's configured result size.
+func (s *Store) K(q uint32) int { return int(s.offsets[q+1] - s.offsets[q]) }
+
+// Size returns how many results query q currently holds.
+func (s *Store) Size(q uint32) int { return int(s.sizes[q]) }
+
+// Threshold returns S_k(q): the k-th best inflated score, or 0 while
+// the query holds fewer than k documents (the warm-up convention — a
+// zero threshold makes the query's ratios +Inf so it is always
+// evaluated).
+func (s *Store) Threshold(q uint32) float64 {
+	if int(s.sizes[q]) < s.K(q) {
+		return 0
+	}
+	return s.scores[s.offsets[q]]
+}
+
+// Add offers document docID with inflated score to query q. It returns
+// whether the result set changed and whether the threshold S_k(q)
+// changed (the signal to update ratio structures). Scores must be
+// positive; zero-score offers are rejected.
+func (s *Store) Add(q uint32, docID uint64, score float64) (added, thresholdChanged bool) {
+	if score <= 0 {
+		return false, false
+	}
+	base := int(s.offsets[q])
+	k := s.K(q)
+	n := int(s.sizes[q])
+	switch {
+	case n < k:
+		// Heap not yet full: push.
+		i := n
+		s.scores[base+i] = score
+		s.ids[base+i] = docID
+		s.sizes[q]++
+		s.siftUp(base, i)
+		// Threshold moves 0 → min exactly when the heap fills.
+		return true, n+1 == k
+	case score > s.scores[base]:
+		// Replace the minimum and sift down.
+		s.scores[base] = score
+		s.ids[base] = docID
+		s.siftDown(base, 0, k)
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// siftUp restores the min-heap property from leaf i upward within the
+// segment starting at base.
+func (s *Store) siftUp(base, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.scores[base+parent] <= s.scores[base+i] {
+			return
+		}
+		s.swap(base+parent, base+i)
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap property from node i downward in a
+// segment of n elements.
+func (s *Store) siftDown(base, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.scores[base+l] < s.scores[base+min] {
+			min = l
+		}
+		if r < n && s.scores[base+r] < s.scores[base+min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.swap(base+i, base+min)
+		i = min
+	}
+}
+
+func (s *Store) swap(a, b int) {
+	s.scores[a], s.scores[b] = s.scores[b], s.scores[a]
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+}
+
+// Best returns query q's highest stored score (0 while empty). The
+// segment is a min-heap, so this is an O(k) scan.
+func (s *Store) Best(q uint32) float64 {
+	base := int(s.offsets[q])
+	n := int(s.sizes[q])
+	best := 0.0
+	for i := 0; i < n; i++ {
+		if s.scores[base+i] > best {
+			best = s.scores[base+i]
+		}
+	}
+	return best
+}
+
+// Top returns query q's current results sorted by descending score
+// (ties broken by ascending document ID, for deterministic output).
+func (s *Store) Top(q uint32) []ScoredDoc {
+	base := int(s.offsets[q])
+	n := int(s.sizes[q])
+	out := make([]ScoredDoc, n)
+	for i := 0; i < n; i++ {
+		out[i] = ScoredDoc{DocID: s.ids[base+i], Score: s.scores[base+i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	return out
+}
+
+// Rebase multiplies every stored score by factor (0 < factor),
+// preserving heap order. The monitor calls this when shifting the
+// inflation epoch; thresholds scale by the same factor.
+func (s *Store) Rebase(factor float64) {
+	if factor <= 0 {
+		panic("topk: rebase factor must be positive")
+	}
+	for i := range s.scores {
+		s.scores[i] *= factor
+	}
+}

@@ -1,0 +1,264 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustStore(t *testing.T, ks []int) *Store {
+	t.Helper()
+	s, err := NewStore(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore([]int{0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewStore([]int{1 << 16}); err == nil {
+		t.Fatal("k=65536 accepted")
+	}
+	s := mustStore(t, []int{3, 1, 5})
+	if s.NumQueries() != 3 || s.K(0) != 3 || s.K(2) != 5 {
+		t.Fatalf("store shape wrong: K=%d,%d,%d", s.K(0), s.K(1), s.K(2))
+	}
+}
+
+func TestThresholdWarmup(t *testing.T) {
+	s := mustStore(t, []int{2})
+	if s.Threshold(0) != 0 {
+		t.Fatal("empty query should have zero threshold")
+	}
+	s.Add(0, 1, 5)
+	if s.Threshold(0) != 0 {
+		t.Fatal("half-full query should have zero threshold")
+	}
+	added, changed := s.Add(0, 2, 3)
+	if !added || !changed {
+		t.Fatalf("fill-to-k: added=%v changed=%v, want true,true", added, changed)
+	}
+	if s.Threshold(0) != 3 {
+		t.Fatalf("Threshold = %v, want 3", s.Threshold(0))
+	}
+}
+
+func TestAddReplacesMinimum(t *testing.T) {
+	s := mustStore(t, []int{2})
+	s.Add(0, 1, 5)
+	s.Add(0, 2, 3)
+	added, changed := s.Add(0, 3, 4)
+	if !added || !changed {
+		t.Fatal("replacement should report added and threshold change")
+	}
+	if s.Threshold(0) != 4 {
+		t.Fatalf("Threshold = %v, want 4", s.Threshold(0))
+	}
+	top := s.Top(0)
+	if len(top) != 2 || top[0].DocID != 1 || top[1].DocID != 3 {
+		t.Fatalf("Top = %+v", top)
+	}
+}
+
+func TestAddRejections(t *testing.T) {
+	s := mustStore(t, []int{1})
+	if added, _ := s.Add(0, 1, 0); added {
+		t.Fatal("zero score admitted")
+	}
+	if added, _ := s.Add(0, 1, -2); added {
+		t.Fatal("negative score admitted")
+	}
+	s.Add(0, 1, 5)
+	if added, changed := s.Add(0, 2, 5); added || changed {
+		t.Fatal("equal score must not replace incumbent")
+	}
+	if added, _ := s.Add(0, 2, 4); added {
+		t.Fatal("below-threshold score admitted")
+	}
+}
+
+func TestTopOrderingAndTies(t *testing.T) {
+	s := mustStore(t, []int{3})
+	s.Add(0, 30, 1.0)
+	s.Add(0, 10, 2.0)
+	s.Add(0, 20, 1.0)
+	top := s.Top(0)
+	if top[0].DocID != 10 {
+		t.Fatalf("best doc = %d", top[0].DocID)
+	}
+	// Equal scores tie-break by ascending DocID.
+	if top[1].DocID != 20 || top[2].DocID != 30 {
+		t.Fatalf("tie order wrong: %+v", top)
+	}
+}
+
+func TestThresholdMonotoneUnderInsertions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(8)
+		s, err := NewStore([]int{k})
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 200; i++ {
+			s.Add(0, uint64(i), r.Float64()*100)
+			cur := s.Threshold(0)
+			if cur < prev {
+				return false // S_k must never decrease on arrivals
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMatchesReferenceTopK(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(6)
+		s, err := NewStore([]int{k})
+		if err != nil {
+			return false
+		}
+		var all []ScoredDoc
+		for i := 0; i < 150; i++ {
+			sc := r.Float64()*10 + 0.001
+			s.Add(0, uint64(i), sc)
+			all = append(all, ScoredDoc{DocID: uint64(i), Score: sc})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score > all[j].Score
+			}
+			return all[i].DocID < all[j].DocID
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := s.Top(0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			// Score sets must match; doc identity can differ only on
+			// exact ties at the boundary (meas-zero with random floats).
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleQueriesIndependent(t *testing.T) {
+	s := mustStore(t, []int{1, 2})
+	s.Add(0, 1, 10)
+	s.Add(1, 2, 1)
+	if s.Threshold(0) != 10 {
+		t.Fatalf("q0 threshold = %v", s.Threshold(0))
+	}
+	if s.Threshold(1) != 0 {
+		t.Fatalf("q1 threshold = %v (should still be warming up)", s.Threshold(1))
+	}
+	if s.Size(0) != 1 || s.Size(1) != 1 {
+		t.Fatal("sizes wrong")
+	}
+	if len(s.Top(1)) != 1 {
+		t.Fatal("q1 top wrong")
+	}
+}
+
+func TestRebasePreservesOrderAndScalesThreshold(t *testing.T) {
+	s := mustStore(t, []int{3})
+	s.Add(0, 1, 10)
+	s.Add(0, 2, 20)
+	s.Add(0, 3, 30)
+	before := s.Top(0)
+	thr := s.Threshold(0)
+	s.Rebase(0.5)
+	after := s.Top(0)
+	if s.Threshold(0) != thr*0.5 {
+		t.Fatalf("threshold after rebase = %v, want %v", s.Threshold(0), thr*0.5)
+	}
+	for i := range after {
+		if after[i].DocID != before[i].DocID {
+			t.Fatalf("rebase reordered results: %+v vs %+v", after, before)
+		}
+		if after[i].Score != before[i].Score*0.5 {
+			t.Fatalf("score not scaled: %v vs %v", after[i].Score, before[i].Score)
+		}
+	}
+}
+
+func TestRebaseInvalidFactorPanics(t *testing.T) {
+	s := mustStore(t, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive rebase factor accepted")
+		}
+	}()
+	s.Rebase(0)
+}
+
+func TestHeapInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ks := []int{1 + r.Intn(5), 1 + r.Intn(5)}
+		s, err := NewStore(ks)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			q := uint32(r.Intn(2))
+			s.Add(q, uint64(i), r.Float64()*50)
+			// Check min-heap invariant for each query segment.
+			for qq := uint32(0); qq < 2; qq++ {
+				base := int(s.offsets[qq])
+				n := int(s.sizes[qq])
+				for j := 1; j < n; j++ {
+					if s.scores[base+(j-1)/2] > s.scores[base+j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBest(t *testing.T) {
+	s := mustStore(t, []int{3})
+	if s.Best(0) != 0 {
+		t.Fatal("empty Best != 0")
+	}
+	s.Add(0, 1, 5)
+	s.Add(0, 2, 9)
+	s.Add(0, 3, 7)
+	if got := s.Best(0); got != 9 {
+		t.Fatalf("Best = %v, want 9", got)
+	}
+	// Replacement of the min must not disturb Best.
+	s.Add(0, 4, 8)
+	if got := s.Best(0); got != 9 {
+		t.Fatalf("Best after replace = %v, want 9", got)
+	}
+	s.Add(0, 5, 20)
+	if got := s.Best(0); got != 20 {
+		t.Fatalf("Best after new max = %v, want 20", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package workload generates the continuous-query workloads of the
+// paper's evaluation. The paper experiments with "two synthetic query
+// workloads, Connected and Uniform, exhibiting different word
+// co-occurrence frequencies":
+//
+//   - Uniform draws each query term independently from the corpus term
+//     distribution, so query terms co-occur only by chance;
+//   - Connected samples all of a query's terms from a single synthetic
+//     document, so query terms exhibit the corpus' natural
+//     co-occurrence structure (users subscribing to coherent topics).
+//
+// Queries are unit-normalized sparse vectors plus the per-query result
+// size k, mirroring the CTQD definition in Section II.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/textproc"
+)
+
+// Kind selects the workload family.
+type Kind int
+
+const (
+	// Uniform draws query terms independently.
+	Uniform Kind = iota
+	// Connected draws query terms from one document.
+	Connected
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "Uniform"
+	case Connected:
+		return "Connected"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a workload name (case-sensitive, as printed by
+// String) into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "Uniform", "uniform":
+		return Uniform, nil
+	case "Connected", "connected":
+		return Connected, nil
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q", s)
+}
+
+// Query is one registered CTQD.
+type Query struct {
+	// ID is the dense query identifier the ID-ordered index sorts by.
+	ID uint32
+	// Vec is the unit-normalized preference vector.
+	Vec textproc.Vector
+	// K is the result size.
+	K int
+}
+
+// Config parameterizes query generation.
+type Config struct {
+	Kind Kind
+	// N is the number of queries.
+	N int
+	// MinTerms and MaxTerms bound the query length (inclusive). The
+	// TKDE evaluation uses short queries; defaults are 2..5.
+	MinTerms, MaxTerms int
+	// K is the per-query result size.
+	K int
+	// Seed drives the workload's private randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-default workload shape for n queries.
+func DefaultConfig(kind Kind, n int) Config {
+	return Config{Kind: kind, N: n, MinTerms: 2, MaxTerms: 5, K: 10, Seed: 7}
+}
+
+// Validate reports the first structural problem with the config.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 0:
+		return fmt.Errorf("workload: negative N %d", c.N)
+	case c.MinTerms < 1:
+		return fmt.Errorf("workload: MinTerms must be ≥ 1, got %d", c.MinTerms)
+	case c.MaxTerms < c.MinTerms:
+		return fmt.Errorf("workload: MaxTerms %d < MinTerms %d", c.MaxTerms, c.MinTerms)
+	case c.K < 1:
+		return fmt.Errorf("workload: K must be ≥ 1, got %d", c.K)
+	}
+	return nil
+}
+
+// Generate builds the query set for a corpus model. The workload uses
+// its own corpus generator (same model, private seed) so that query
+// sampling never perturbs the document stream's random sequence.
+func Generate(model corpus.Model, cfg Config) ([]Query, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampler := corpus.NewGenerator(model, cfg.Seed^0x5EED, 0)
+	queries := make([]Query, cfg.N)
+	for i := range queries {
+		nTerms := cfg.MinTerms
+		if cfg.MaxTerms > cfg.MinTerms {
+			nTerms += rng.Intn(cfg.MaxTerms - cfg.MinTerms + 1)
+		}
+		var terms []textproc.TermID
+		switch cfg.Kind {
+		case Connected:
+			terms = connectedTerms(rng, sampler, nTerms)
+		default:
+			terms = uniformTerms(rng, sampler, nTerms, model.VocabSize)
+		}
+		queries[i] = Query{
+			ID:  uint32(i),
+			Vec: weightedVector(rng, terms),
+			K:   cfg.K,
+		}
+	}
+	return queries, nil
+}
+
+// uniformTerms draws nTerms distinct terms independently and uniformly
+// from the dictionary. This is the paper's "Uniform" workload: term
+// co-occurrence within a query is pure chance, and posting lists stay
+// short and even. (Contrast Connected, whose corpus-driven terms pile
+// into the hot topical lists — which is why the paper's Figure 1(b)
+// runs roughly an order of magnitude slower than 1(a).)
+func uniformTerms(rng *rand.Rand, _ *corpus.Generator, nTerms, vocab int) []textproc.TermID {
+	seen := make(map[textproc.TermID]struct{}, nTerms)
+	terms := make([]textproc.TermID, 0, nTerms)
+	for len(terms) < nTerms {
+		t := textproc.TermID(rng.Intn(vocab))
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		terms = append(terms, t)
+	}
+	return terms
+}
+
+// connectedTerms samples one synthetic document and draws the query's
+// terms from it, inheriting the corpus co-occurrence structure.
+func connectedTerms(rng *rand.Rand, g *corpus.Generator, nTerms int) []textproc.TermID {
+	counts := g.SampleDocTerms()
+	pool := make([]textproc.TermID, 0, len(counts))
+	for t := range counts {
+		pool = append(pool, t)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if nTerms > len(pool) {
+		nTerms = len(pool)
+	}
+	return pool[:nTerms]
+}
+
+// weightedVector assigns random preference weights in [0.2, 1] to the
+// terms and normalizes. The floor keeps every term material to the
+// score, like explicit user keywords are.
+func weightedVector(rng *rand.Rand, terms []textproc.TermID) textproc.Vector {
+	v := make(textproc.Vector, len(terms))
+	for i, t := range terms {
+		v[i] = textproc.TermWeight{Term: t, Weight: 0.2 + 0.8*rng.Float64()}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i].Term < v[j].Term })
+	v.Normalize()
+	return v
+}
+
+// Stats summarizes a generated workload for experiment reports.
+type Stats struct {
+	N             int
+	MeanTerms     float64
+	DistinctTerms int
+	MaxListLen    int // most popular term's query count
+}
+
+// Summarize computes workload statistics.
+func Summarize(qs []Query) Stats {
+	var st Stats
+	st.N = len(qs)
+	listLen := make(map[textproc.TermID]int)
+	var totTerms int
+	for _, q := range qs {
+		totTerms += len(q.Vec)
+		for _, tw := range q.Vec {
+			listLen[tw.Term]++
+		}
+	}
+	if st.N > 0 {
+		st.MeanTerms = float64(totTerms) / float64(st.N)
+	}
+	st.DistinctTerms = len(listLen)
+	for _, n := range listLen {
+		if n > st.MaxListLen {
+			st.MaxListLen = n
+		}
+	}
+	return st
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/textproc"
+)
+
+func testModel() corpus.Model {
+	m := corpus.WikipediaModel(4000)
+	m.DocLenMedian = 40
+	return m
+}
+
+func TestKindString(t *testing.T) {
+	if Uniform.String() != "Uniform" || Connected.String() != "Connected" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, s := range []string{"Uniform", "uniform"} {
+		if k, err := ParseKind(s); err != nil || k != Uniform {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if k, err := ParseKind("connected"); err != nil || k != Connected {
+		t.Fatalf("ParseKind(connected) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind(bogus) succeeded")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(Uniform, 10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: -1, MinTerms: 1, MaxTerms: 2, K: 1},
+		{N: 1, MinTerms: 0, MaxTerms: 2, K: 1},
+		{N: 1, MinTerms: 3, MaxTerms: 2, K: 1},
+		{N: 1, MinTerms: 1, MaxTerms: 2, K: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Connected} {
+		cfg := DefaultConfig(kind, 200)
+		qs, err := Generate(testModel(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) != 200 {
+			t.Fatalf("%v: got %d queries", kind, len(qs))
+		}
+		for i, q := range qs {
+			if q.ID != uint32(i) {
+				t.Fatalf("%v: query %d has ID %d (IDs must be dense, sorted)", kind, i, q.ID)
+			}
+			if q.K != cfg.K {
+				t.Fatalf("%v: query %d has K=%d", kind, i, q.K)
+			}
+			if len(q.Vec) < cfg.MinTerms || len(q.Vec) > cfg.MaxTerms {
+				t.Fatalf("%v: query %d has %d terms outside [%d,%d]",
+					kind, i, len(q.Vec), cfg.MinTerms, cfg.MaxTerms)
+			}
+			if err := q.Vec.Validate(); err != nil {
+				t.Fatalf("%v: query %d invalid: %v", kind, i, err)
+			}
+			if math.Abs(q.Vec.Norm()-1) > 1e-9 {
+				t.Fatalf("%v: query %d not unit norm", kind, i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := DefaultConfig(Connected, 50)
+	a, _ := Generate(testModel(), cfg)
+	b, _ := Generate(testModel(), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different workloads")
+	}
+	cfg2 := cfg
+	cfg2.Seed++
+	c, _ := Generate(testModel(), cfg2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(testModel(), Config{N: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestConnectedHasHigherCoOccurrence(t *testing.T) {
+	// The defining property: pairs of terms inside one Connected query
+	// should co-occur in documents more than pairs inside a Uniform
+	// query. We approximate document co-occurrence by topic slice
+	// membership via a large sample of generated documents.
+	model := testModel()
+	g := corpus.NewGenerator(model, 99, 0)
+	docs := g.Generate(300)
+	occ := make(map[textproc.TermID]map[int]struct{})
+	for i, d := range docs {
+		for _, tw := range d.Vec {
+			s := occ[tw.Term]
+			if s == nil {
+				s = make(map[int]struct{})
+				occ[tw.Term] = s
+			}
+			s[i] = struct{}{}
+		}
+	}
+	// Lift = P(a,b) / (P(a)·P(b)): >1 means genuine co-occurrence beyond
+	// what the terms' individual frequencies explain. Head terms have
+	// huge raw joint counts but lift ≈ 1; topical pairs have high lift.
+	meanLift := func(qs []Query) float64 {
+		var lift, pairs float64
+		n := float64(len(docs))
+		for _, q := range qs {
+			for i := 0; i < len(q.Vec); i++ {
+				for j := i + 1; j < len(q.Vec); j++ {
+					a, b := q.Vec[i].Term, q.Vec[j].Term
+					dfa, dfb := float64(len(occ[a])), float64(len(occ[b]))
+					if dfa == 0 || dfb == 0 {
+						continue
+					}
+					var joint float64
+					for d := range occ[a] {
+						if _, ok := occ[b][d]; ok {
+							joint++
+						}
+					}
+					lift += (joint / n) / ((dfa / n) * (dfb / n))
+					pairs++
+				}
+			}
+		}
+		if pairs == 0 {
+			return 0
+		}
+		return lift / pairs
+	}
+	conn, _ := Generate(model, DefaultConfig(Connected, 150))
+	unif, _ := Generate(model, DefaultConfig(Uniform, 150))
+	cl, ul := meanLift(conn), meanLift(unif)
+	if cl <= ul {
+		t.Fatalf("Connected mean lift %.3f not above Uniform %.3f", cl, ul)
+	}
+}
+
+func TestUniformSpreadsOverDictionary(t *testing.T) {
+	// The paper's Uniform workload draws terms uniformly from the
+	// dictionary, so every decile should receive a similar share and
+	// posting lists stay short and even.
+	model := testModel()
+	qs, _ := Generate(model, DefaultConfig(Uniform, 400))
+	head := 0
+	total := 0
+	for _, q := range qs {
+		for _, tw := range q.Vec {
+			total++
+			if int(tw.Term) < model.VocabSize/10 {
+				head++
+			}
+		}
+	}
+	frac := float64(head) / float64(total)
+	if frac < 0.05 || frac > 0.20 {
+		t.Fatalf("Uniform head-decile share %.2f; want ≈0.10 (uniform draws)", frac)
+	}
+	st := Summarize(qs)
+	if st.MaxListLen > 3*int(float64(total)/float64(st.DistinctTerms))+10 {
+		t.Fatalf("Uniform produced a hot list of %d entries; lists should be even", st.MaxListLen)
+	}
+}
+
+func TestConnectedConcentratesLists(t *testing.T) {
+	model := testModel()
+	conn, _ := Generate(model, DefaultConfig(Connected, 400))
+	unif, _ := Generate(model, DefaultConfig(Uniform, 400))
+	if Summarize(conn).MaxListLen <= Summarize(unif).MaxListLen {
+		t.Fatalf("Connected max list %d not above Uniform %d",
+			Summarize(conn).MaxListLen, Summarize(unif).MaxListLen)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	qs := []Query{
+		{ID: 0, Vec: textproc.Vector{{Term: 1, Weight: 1}, {Term: 2, Weight: 1}}, K: 10},
+		{ID: 1, Vec: textproc.Vector{{Term: 1, Weight: 1}}, K: 10},
+	}
+	st := Summarize(qs)
+	if st.N != 2 || st.DistinctTerms != 2 || st.MaxListLen != 2 {
+		t.Fatalf("Summarize = %+v", st)
+	}
+	if math.Abs(st.MeanTerms-1.5) > 1e-12 {
+		t.Fatalf("MeanTerms = %v", st.MeanTerms)
+	}
+	if got := Summarize(nil); got.N != 0 || got.MeanTerms != 0 {
+		t.Fatalf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestFixedQueryLength(t *testing.T) {
+	cfg := DefaultConfig(Uniform, 40)
+	cfg.MinTerms, cfg.MaxTerms = 3, 3
+	qs, err := Generate(testModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if len(q.Vec) != 3 {
+			t.Fatalf("query %d has %d terms, want exactly 3", q.ID, len(q.Vec))
+		}
+	}
+}
