@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race bench lint fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark on the quick synthetic corpus: a
+# smoke pass that fails loudly when a perf-sensitive path regresses
+# into an error, without taking benchmark-quality measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+lint: fmt vet
+
+# Everything CI runs, in the same order.
+ci: lint build race bench

@@ -69,3 +69,7 @@ func BenchmarkUBImpl(b *testing.B) { runExperiment(b, "ablub") }
 
 // BenchmarkShards runs the sharded-monitor scaling extension.
 func BenchmarkShards(b *testing.B) { runExperiment(b, "ablshard") }
+
+// BenchmarkBatchIngest compares batch (ProcessBatch, 64-document
+// chunks) against single-document ingestion across shard counts.
+func BenchmarkBatchIngest(b *testing.B) { runExperiment(b, "ablbatch") }

@@ -7,6 +7,8 @@
 //	POST /queries     {"keywords": "...", "k": 10}        → {"id": 3}
 //	DELETE /queries/3                                      → 204
 //	POST /documents   {"text": "...", "time": 17.5}        → match stats
+//	POST /documents/batch {"texts": ["...", ...], "time": 17.5}
+//	                                                       → batch match stats
 //	GET  /results/3                                        → current top-k
 //	GET  /stats                                            → server counters
 //
@@ -55,15 +57,20 @@ func main() {
 	}
 	s := &server{engine: engine, start: time.Now()}
 
+	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d)", *addr, *algorithm, *lambda, *shards)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+// mux builds the server's route table (shared with the test harness).
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.addQuery)
 	mux.HandleFunc("DELETE /queries/{id}", s.removeQuery)
 	mux.HandleFunc("POST /documents", s.publish)
+	mux.HandleFunc("POST /documents/batch", s.publishBatch)
 	mux.HandleFunc("GET /results/{id}", s.results)
 	mux.HandleFunc("GET /stats", s.stats)
-
-	log.Printf("ctkd listening on %s (algorithm=%s λ=%v)", *addr, *algorithm, *lambda)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	return mux
 }
 
 func (s *server) now() float64 { return time.Since(s.start).Seconds() }
@@ -108,6 +115,35 @@ func (s *server) removeQuery(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// firstBlank returns the index of the first all-whitespace text, or
+// -1 when every text has content.
+func firstBlank(texts []string) int {
+	for i, text := range texts {
+		if strings.TrimSpace(text) == "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// ingest runs one publication with a serialized timestamp: reqTime
+// when the client supplied one, the server clock otherwise. The
+// result of pub is written as 202, engine rejections as 409.
+func (s *server) ingest(w http.ResponseWriter, reqTime *float64, pub func(at float64) (any, error)) {
+	s.mu.Lock()
+	at := s.now()
+	if reqTime != nil {
+		at = *reqTime
+	}
+	st, err := pub(at)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
 func (s *server) publish(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Text string   `json:"text"`
@@ -121,18 +157,31 @@ func (s *server) publish(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty document text"))
 		return
 	}
-	s.mu.Lock()
-	at := s.now()
-	if req.Time != nil {
-		at = *req.Time
+	s.ingest(w, req.Time, func(at float64) (any, error) {
+		return s.engine.Publish(req.Text, at)
+	})
+}
+
+func (s *server) publishBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Texts []string `json:"texts"`
+		Time  *float64 `json:"time,omitempty"`
 	}
-	st, err := s.engine.Publish(req.Text, at)
-	s.mu.Unlock()
-	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, st)
+	if len(req.Texts) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if i := firstBlank(req.Texts); i != -1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty document text at index %d", i))
+		return
+	}
+	s.ingest(w, req.Time, func(at float64) (any, error) {
+		return s.engine.PublishBatch(req.Texts, at)
+	})
 }
 
 func (s *server) results(w http.ResponseWriter, r *http.Request) {

@@ -19,13 +19,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	s := &server{engine: engine, start: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /queries", s.addQuery)
-	mux.HandleFunc("DELETE /queries/{id}", s.removeQuery)
-	mux.HandleFunc("POST /documents", s.publish)
-	mux.HandleFunc("GET /results/{id}", s.results)
-	mux.HandleFunc("GET /stats", s.stats)
-	ts := httptest.NewServer(mux)
+	ts := httptest.NewServer(s.mux())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -101,6 +95,55 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if r, _ = http.Get(ts.URL + "/results/" + itoa(id)); r.StatusCode != http.StatusNotFound {
 		t.Fatalf("removed query results: %d", r.StatusCode)
+	}
+}
+
+func TestServerBatchPublish(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, out := post(t, ts.URL+"/queries", `{"keywords":"solar panel efficiency","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, out)
+	}
+	id := int(out["id"].(float64))
+
+	resp, out = post(t, ts.URL+"/documents/batch",
+		`{"texts":["New solar panel efficiency record announced",
+		           "Unrelated parliamentary business",
+		           "Panel efficiency gains in solar arrays"],"time":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch publish: %d %v", resp.StatusCode, out)
+	}
+	if docs := int(out["Docs"].(float64)); docs != 3 {
+		t.Fatalf("Docs = %d, want 3", docs)
+	}
+	if first := int(out["FirstDocID"].(float64)); first != 0 {
+		t.Fatalf("FirstDocID = %d, want 0", first)
+	}
+
+	r, err := http.Get(ts.URL + "/results/" + itoa(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []ctk.Result
+	if err := json.NewDecoder(r.Body).Decode(&results); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(results) != 2 {
+		t.Fatalf("results = %+v, want docs 0 and 2", results)
+	}
+	got := map[uint64]bool{results[0].DocID: true, results[1].DocID: true}
+	if !got[0] || !got[2] {
+		t.Fatalf("batch matched wrong docs: %+v", results)
+	}
+
+	// Empty batches and blank members are rejected.
+	if resp, _ := post(t, ts.URL+"/documents/batch", `{"texts":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/documents/batch", `{"texts":["ok","  "]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("blank member: %d", resp.StatusCode)
 	}
 }
 

@@ -25,6 +25,7 @@ package ctk
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -87,8 +88,23 @@ type Options struct {
 	Stemming bool
 }
 
+// analyzeJob asks the analyzer pool to tokenize (and optionally stem)
+// one text into a shared output slot.
+type analyzeJob struct {
+	text string
+	out  *[]string
+	wg   *sync.WaitGroup
+}
+
 // Engine is the text-level continuous top-k monitor. It is safe for
 // concurrent use.
+//
+// Ingestion is split in two stages: tokenization and stemming run
+// outside the engine lock (concurrently, on a bounded worker pool, for
+// PublishBatch), while document-frequency observation, tf-idf
+// weighting and the monitor hand-off stay serialized under the lock —
+// idf weights depend on how many documents were seen before, so the
+// weighting order is part of the engine's semantics.
 type Engine struct {
 	mu       sync.Mutex
 	opts     Options
@@ -98,11 +114,37 @@ type Engine struct {
 	mon      *core.Monitor
 	nextDoc  uint64
 	snips    map[uint64]string
+
+	// Analyzer pool: persistent workers draining anWork, started
+	// lazily on the first PublishBatch (engines that only ever publish
+	// single documents never pay for it). anMu guards the channel
+	// against Close racing a PublishBatch send.
+	anMu     sync.RWMutex
+	anClosed bool
+	anOnce   sync.Once
+	anWork   chan analyzeJob
+	anWG     sync.WaitGroup
 }
 
 // ErrNoTerms reports a query or document whose text yields no usable
 // terms after tokenization.
 var ErrNoTerms = errors.New("ctk: no usable terms after tokenization")
+
+// ErrClosed reports an operation on a closed Engine.
+var ErrClosed = errors.New("ctk: engine is closed")
+
+// ErrTimeRegression reports a publication older than the engine's
+// current stream time.
+var ErrTimeRegression = core.ErrTimeRegression
+
+// public translates internal sentinel errors into their public
+// counterparts.
+func public(err error) error {
+	if errors.Is(err, core.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
 
 // New creates an empty Engine.
 func New(opts Options) (*Engine, error) {
@@ -139,6 +181,34 @@ func New(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// analyzeWorker drains the analyzer pool's job channel.
+func (e *Engine) analyzeWorker() {
+	defer e.anWG.Done()
+	for job := range e.anWork {
+		*job.out = e.analyze(job.text)
+		job.wg.Done()
+	}
+}
+
+// Close shuts down the engine: the analyzer pool (if it ever started)
+// is drained and the underlying monitor's shard workers are stopped.
+// Publishing and query mutation fail with ErrClosed afterwards;
+// Results stays readable. Close is idempotent.
+func (e *Engine) Close() error {
+	e.anMu.Lock()
+	if !e.anClosed {
+		e.anClosed = true
+		if e.anWork != nil {
+			close(e.anWork)
+		}
+	}
+	e.anMu.Unlock()
+	e.anWG.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mon.Close()
+}
+
 // analyze runs the engine's token pipeline (tokenize, optional stem).
 func (e *Engine) analyze(text string) []string {
 	tokens := e.tok.Tokenize(text)
@@ -164,7 +234,7 @@ func (e *Engine) Register(keywords string, k int) (QueryID, error) {
 	vec := e.weighter.VectorFromTokens(tokens)
 	id, err := e.mon.AddQuery(core.QueryDef{Vec: vec, K: k})
 	if err != nil {
-		return 0, err
+		return 0, public(err)
 	}
 	return QueryID(id), nil
 }
@@ -173,7 +243,7 @@ func (e *Engine) Register(keywords string, k int) (QueryID, error) {
 func (e *Engine) Unregister(id QueryID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.mon.RemoveQuery(uint32(id))
+	return public(e.mon.RemoveQuery(uint32(id)))
 }
 
 // PublishStats reports the matching work one publication caused.
@@ -189,24 +259,119 @@ type PublishStats struct {
 // Publish feeds one document into the stream at the given time (any
 // non-decreasing float timeline: seconds, unix time...). Documents
 // with no usable terms are accepted (they match nothing).
+// Tokenization and stemming run before the engine lock is taken; only
+// weighting and the monitor hand-off are serialized.
 func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
+	tokens := e.analyze(text)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	vec := e.weighter.DocumentVector(e.analyze(text))
+	// Reject a doomed publication before the weighter permanently
+	// observes the document's terms, so a failed call followed by a
+	// corrected retry yields the same idf weights as a clean publish.
+	if err := e.mon.ValidateIngest(at); err != nil {
+		return PublishStats{}, public(err)
+	}
+	vec := e.weighter.DocumentVector(tokens)
 	id := e.nextDoc
 	e.nextDoc++
 	st, err := e.mon.Process(corpus.Document{ID: id, Vec: vec}, at)
 	if err != nil {
-		return PublishStats{}, err
+		e.nextDoc = id
+		return PublishStats{}, public(err)
 	}
-	if e.snips != nil {
-		r := []rune(text)
-		if len(r) > e.opts.SnippetLength {
-			r = r[:e.opts.SnippetLength]
-		}
-		e.snips[id] = string(r)
-	}
+	e.retainSnippet(id, text)
 	return PublishStats{DocID: id, Updated: st.Matched, Evaluated: st.Evaluated}, nil
+}
+
+// retainSnippet stores the head of a published document's text when
+// snippet retention is enabled. Caller holds e.mu.
+func (e *Engine) retainSnippet(id uint64, text string) {
+	if e.snips == nil {
+		return
+	}
+	r := []rune(text)
+	if len(r) > e.opts.SnippetLength {
+		r = r[:e.opts.SnippetLength]
+	}
+	e.snips[id] = string(r)
+}
+
+// BatchStats reports the matching work one batch publication caused.
+type BatchStats struct {
+	// FirstDocID is the identifier of the batch's first document;
+	// documents receive consecutive IDs in slice order.
+	FirstDocID uint64
+	// Docs is the number of documents published.
+	Docs int
+	// Updated counts (query, document) admissions across the batch.
+	Updated int
+	// Evaluated counts exact query evaluations across the batch.
+	Evaluated int
+}
+
+// PublishBatch feeds a batch of documents that share the arrival time
+// at. Texts are tokenized and stemmed concurrently on the engine's
+// bounded analyzer pool; the documents are then weighted in slice
+// order and handed to the monitor in a single locked batch, so the
+// per-document lock and scheduling cost is paid once per batch. The
+// results (document IDs, idf weights, top-k contents) are identical to
+// publishing each text individually at the same time.
+func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
+	tokenLists := make([][]string, len(texts))
+	e.anMu.RLock()
+	if e.anClosed {
+		e.anMu.RUnlock()
+		return BatchStats{}, ErrClosed
+	}
+	if len(texts) == 0 {
+		e.anMu.RUnlock()
+		return BatchStats{}, nil
+	}
+	// Safe under RLock: Close (the only other anWork accessor) needs
+	// the write lock, and anOnce orders the channel write for every
+	// concurrent first caller.
+	e.anOnce.Do(func() {
+		e.anWork = make(chan analyzeJob)
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			e.anWG.Add(1)
+			go e.analyzeWorker()
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(len(texts))
+	for i, text := range texts {
+		e.anWork <- analyzeJob{text: text, out: &tokenLists[i], wg: &wg}
+	}
+	e.anMu.RUnlock()
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// As in Publish: fail before the weighter observes any document,
+	// so a rejected batch leaves no trace in the idf statistics.
+	if err := e.mon.ValidateIngest(at); err != nil {
+		return BatchStats{}, public(err)
+	}
+	first := e.nextDoc
+	docs := make([]corpus.Document, len(texts))
+	for i, tokens := range tokenLists {
+		docs[i] = corpus.Document{ID: e.nextDoc, Vec: e.weighter.DocumentVector(tokens)}
+		e.nextDoc++
+	}
+	st, err := e.mon.ProcessBatch(docs, at)
+	if err != nil {
+		e.nextDoc = first
+		return BatchStats{}, public(err)
+	}
+	for i, text := range texts {
+		e.retainSnippet(first+uint64(i), text)
+	}
+	return BatchStats{
+		FirstDocID: first,
+		Docs:       len(texts),
+		Updated:    st.Matched,
+		Evaluated:  st.Evaluated,
+	}, nil
 }
 
 // Results returns a query's current top-k, best first, with

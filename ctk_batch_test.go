@@ -1,0 +1,261 @@
+package ctk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testVocab is a small word list for seeded synthetic documents.
+var testVocab = []string{
+	"solar", "panel", "efficiency", "market", "crash", "football",
+	"championship", "goal", "recession", "parliament", "storm",
+	"satellite", "launch", "vaccine", "trial", "drought", "harvest",
+	"election", "debate", "monitoring", "stream", "database", "index",
+	"query", "ranking", "decay", "topic", "cluster", "signal", "noise",
+}
+
+// synthTexts generates n seeded random documents over testVocab.
+func synthTexts(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	texts := make([]string, n)
+	for i := range texts {
+		words := make([]string, 5+rng.Intn(12))
+		for j := range words {
+			words[j] = testVocab[rng.Intn(len(testVocab))]
+		}
+		texts[i] = strings.Join(words, " ")
+	}
+	return texts
+}
+
+func registerTestQueries(t *testing.T, e *Engine) []QueryID {
+	t.Helper()
+	var ids []QueryID
+	for _, kw := range []string{
+		"solar panel efficiency",
+		"football championship goal",
+		"market crash recession",
+		"database query ranking",
+		"vaccine trial monitoring",
+	} {
+		id, err := e.Register(kw, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestPublishBatchParity: PublishBatch must be observationally
+// identical to publishing each text individually at the same time —
+// same document IDs, same (bit-identical) scores, same snippets —
+// including when the engine shards its query set.
+func TestPublishBatchParity(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			opts := Options{Lambda: 0.01, Shards: shards, SnippetLength: 40, Stemming: true}
+			single, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+			batch, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer batch.Close()
+
+			ids := registerTestQueries(t, single)
+			registerTestQueries(t, batch)
+
+			texts := synthTexts(120, 21)
+			const chunk = 8
+			for i := 0; i < len(texts); i += chunk {
+				part := texts[i:min(i+chunk, len(texts))]
+				at := float64(i / chunk)
+				for _, text := range part {
+					if _, err := single.Publish(text, at); err != nil {
+						t.Fatal(err)
+					}
+				}
+				st, err := batch.PublishBatch(part, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.FirstDocID != uint64(i) || st.Docs != len(part) {
+					t.Fatalf("batch stats = %+v at offset %d", st, i)
+				}
+			}
+
+			matched := 0
+			for _, id := range ids {
+				a, err := single.Results(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := batch.Results(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("query %d: %d vs %d results", id, len(a), len(b))
+				}
+				matched += len(a)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("query %d rank %d differs: %+v vs %+v", id, i, a[i], b[i])
+					}
+				}
+			}
+			if matched == 0 {
+				t.Fatal("no results anywhere; fixture degenerate")
+			}
+			sa, sb := single.Stats(), batch.Stats()
+			if sa.Documents != sb.Documents || sa.Matched != sb.Matched {
+				t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+			}
+		})
+	}
+}
+
+// TestPublishBatchConcurrent hammers PublishBatch and Publish from
+// many goroutines at a shared timestamp; with -race this checks the
+// split analysis/hand-off locking.
+func TestPublishBatchConcurrent(t *testing.T) {
+	e, err := New(Options{Lambda: 0.01, Shards: 4, SnippetLength: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	registerTestQueries(t, e)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			texts := synthTexts(40, int64(100+w))
+			for i := 0; i < len(texts); i += 5 {
+				if _, err := e.PublishBatch(texts[i:i+5], 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Documents != 8*40 {
+		t.Fatalf("Documents = %d, want %d", st.Documents, 8*40)
+	}
+}
+
+// TestRejectedPublishLeavesNoTrace: a publication rejected for time
+// regression must not leave idf observations or document IDs behind —
+// a corrected retry scores identically to a clean engine that never
+// saw the failure.
+func TestRejectedPublishLeavesNoTrace(t *testing.T) {
+	opts := Options{Lambda: 0.01, Shards: 2, SnippetLength: 30}
+	clean, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	dirty, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dirty.Close()
+	ids := registerTestQueries(t, clean)
+	registerTestQueries(t, dirty)
+
+	texts := synthTexts(30, 33)
+	for _, e := range []*Engine{clean, dirty} {
+		if _, err := e.PublishBatch(texts[:10], 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stale timestamps: rejected by both the single and batch paths.
+	if _, err := dirty.Publish(texts[10], 1); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("stale Publish = %v, want ErrTimeRegression", err)
+	}
+	if _, err := dirty.PublishBatch(texts[10:20], 1); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("stale PublishBatch = %v, want ErrTimeRegression", err)
+	}
+	// Corrected retries must now behave as if the failures never
+	// happened: same document IDs, same (bit-identical) scores.
+	for _, e := range []*Engine{clean, dirty} {
+		st, err := e.PublishBatch(texts[10:20], 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FirstDocID != 10 {
+			t.Fatalf("FirstDocID = %d, want 10 (rejected publications burned IDs)", st.FirstDocID)
+		}
+	}
+	for _, id := range ids {
+		a, err := clean.Results(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dirty.Results(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", id, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d differs after rejected retry: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestEngineClose verifies the drain-and-refuse contract.
+func TestEngineClose(t *testing.T) {
+	e, err := New(Options{Shards: 2, SnippetLength: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Register("solar panel", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PublishBatch([]string{"solar panel news", "other text"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := e.Publish("more", 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after Close = %v, want ErrClosed", err)
+	}
+	if _, err := e.PublishBatch([]string{"more"}, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PublishBatch after Close = %v, want ErrClosed", err)
+	}
+	// Even an empty batch reports the closed state, matching the
+	// monitor layer's behavior.
+	if _, err := e.PublishBatch(nil, 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("empty PublishBatch after Close = %v, want ErrClosed", err)
+	}
+	if _, err := e.Register("anything else", 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Register after Close = %v, want ErrClosed", err)
+	}
+	// Results remain readable after Close.
+	res, err := e.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Snippet == "" {
+		t.Fatalf("results lost after Close: %+v", res)
+	}
+}

@@ -49,6 +49,15 @@ type EventMetrics struct {
 	JumpAlls int
 }
 
+// Add accumulates o into m field-wise.
+func (m *EventMetrics) Add(o EventMetrics) {
+	m.Evaluated += o.Evaluated
+	m.Matched += o.Matched
+	m.Iterations += o.Iterations
+	m.Postings += o.Postings
+	m.JumpAlls += o.JumpAlls
+}
+
 // Processor is a CTQD matching algorithm bound to a query index.
 // Implementations are not safe for concurrent use; the monitor shards
 // for parallelism instead.

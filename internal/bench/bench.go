@@ -91,13 +91,24 @@ func QuickScale() Scale {
 }
 
 // Series identifies one line in a figure: an algorithm (and bound
-// implementation or shard count where the experiment varies those).
+// implementation, shard count or ingestion batch size where the
+// experiment varies those).
 type Series struct {
 	Label string
 	Algo  core.Algorithm
 	Bound rangemax.Kind
 	// Shards > 0 routes the series through the parallel Monitor.
 	Shards int
+	// Batch > 1 chunks the measure window into groups of this many
+	// documents, all stamped with the chunk's last event time, and
+	// feeds each chunk through ProcessBatch (Shards must be > 0);
+	// ≤ 1 publishes one document per event at its own time.
+	Batch int
+	// PerDoc, with Batch > 1, replays the same collapsed per-chunk
+	// timeline but feeds documents individually through Process — the
+	// control series that isolates the batching effect from the
+	// timeline change.
+	PerDoc bool
 }
 
 // Point is one x-axis position of a sweep.
@@ -364,7 +375,16 @@ func runCell(s Series, pt Point, ix *index.Index, warm *warmState, measure []str
 	return cell, nil
 }
 
-// runShardCell times the parallel Monitor (shard-scaling ablation).
+// runShardCell times the parallel Monitor (shard-scaling and batch
+// ablations). With s.Batch > 1 the measure window is replayed in
+// chunks on a collapsed timeline (every document stamped with its
+// chunk's last event time) — through one ProcessBatch call per chunk,
+// or document-by-document when s.PerDoc is set, so a doc/batch series
+// pair with the same Batch sees identical matching work and differs
+// only in batching. MeanMS is always mean milliseconds per document.
+// For ProcessBatch series the percentiles are over per-chunk
+// per-document means (one sample per chunk): within-chunk tails are
+// invisible by construction, since a batch has a single wall time.
 func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *warmState, measure []stream.Event) (Cell, error) {
 	cell := Cell{Series: s.Label, Param: pt.Param}
 	defs := make([]core.QueryDef, len(vecs))
@@ -380,21 +400,50 @@ func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *wa
 	if err != nil {
 		return cell, err
 	}
+	defer mon.Close()
 	if err := mon.RestoreState(warm.base, warm.base, warm.results); err != nil {
 		return cell, err
 	}
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	var sample stats.Sample
 	var evalSum float64
-	for _, ev := range measure {
+	var total time.Duration
+	docs := make([]corpus.Document, 0, batch)
+	for i := 0; i < len(measure); i += batch {
+		chunk := measure[i:min(i+batch, len(measure))]
+		at := chunk[len(chunk)-1].Time
+		if batch == 1 || s.PerDoc {
+			for _, ev := range chunk {
+				start := time.Now()
+				st, err := mon.Process(ev.Doc, at)
+				if err != nil {
+					return cell, err
+				}
+				d := time.Since(start)
+				total += d
+				sample.AddDuration(d)
+				evalSum += float64(st.Evaluated)
+			}
+			continue
+		}
+		docs = docs[:0]
+		for _, ev := range chunk {
+			docs = append(docs, ev.Doc)
+		}
 		start := time.Now()
-		st, err := mon.Process(ev.Doc, ev.Time)
+		st, err := mon.ProcessBatch(docs, at)
 		if err != nil {
 			return cell, err
 		}
-		sample.AddDuration(time.Since(start))
+		d := time.Since(start)
+		total += d
+		sample.AddDuration(d / time.Duration(len(chunk)))
 		evalSum += float64(st.Evaluated)
 	}
-	cell.MeanMS = sample.Mean()
+	cell.MeanMS = total.Seconds() * 1000 / float64(len(measure))
 	cell.P50MS = sample.Percentile(50)
 	cell.P95MS = sample.Percentile(95)
 	cell.Evaluated = evalSum / float64(len(measure))

@@ -117,6 +117,28 @@ func Experiments(sc Scale) map[string]Experiment {
 	abls.Points = []Point{{Param: float64(sc.BaseQueries), Queries: cfg, Lambda: defaultLambda}}
 	exps[abls.ID] = abls
 
+	// Batch ingestion ablation: for each shard count, single-document
+	// Process vs ProcessBatch in 64-document chunks. Both series of a
+	// pair replay the identical collapsed timeline (PerDoc), so the
+	// gap between them is exactly the per-document epoch bookkeeping
+	// and worker rendezvous the batch path amortizes away.
+	ablb := base("ablbatch", "Extension — batch vs single-document ingestion (MRIO, Connected)", "queries")
+	for _, s := range []int{1, 2, 4, 8} {
+		ablb.Series = append(ablb.Series,
+			Series{
+				Label: fmt.Sprintf("s%d-doc", s),
+				Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree, Shards: s, Batch: 64, PerDoc: true,
+			},
+			Series{
+				Label: fmt.Sprintf("s%d-b64", s),
+				Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree, Shards: s, Batch: 64,
+			})
+	}
+	bcfg := workload.DefaultConfig(workload.Connected, sc.BaseQueries)
+	bcfg.Seed = sc.Seed
+	ablb.Points = []Point{{Param: float64(sc.BaseQueries), Queries: bcfg, Lambda: defaultLambda}}
+	exps[ablb.ID] = ablb
+
 	return exps
 }
 

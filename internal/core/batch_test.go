@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+// expectSameResults asserts two monitors hold bit-identical top-k
+// lists for every query in [0, n).
+func expectSameResults(t *testing.T, label string, want, got *Monitor, n int) {
+	t.Helper()
+	for g := uint32(0); g < uint32(n); g++ {
+		a, errA := want.TopInflated(g)
+		b, errB := got.TopInflated(g)
+		if errors.Is(errA, ErrRemovedQuery) && errors.Is(errB, ErrRemovedQuery) {
+			continue
+		}
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: query %d: %v vs %v", label, g, errA, errB)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: query %d: %d vs %d results", label, g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].DocID != b[i].DocID || a[i].Score != b[i].Score {
+				t.Fatalf("%s: query %d rank %d differs: %+v vs %+v", label, g, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestBatchShardEquivalence is the ingestion-parity gate: batched
+// (ProcessBatch) and sharded (Shards=4) ingestion — and their
+// combination — must produce bit-identical top-k lists to the
+// single-shard, single-document path on a seeded random corpus.
+func TestBatchShardEquivalence(t *testing.T) {
+	const nq = 150
+	defs := defsFromWorkload(t, workload.Connected, nq, 3, 11)
+	events := testEvents(t, 256, 90)
+
+	newMon := func(shards int) *Monitor {
+		m, err := NewMonitor(Config{Lambda: 0.01, Shards: shards}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
+	ref := newMon(1)
+	variants := map[string]*Monitor{
+		"shards=4 single": newMon(4),
+		"shards=1 batch":  newMon(1),
+		"shards=4 batch":  newMon(4),
+	}
+	batched := map[string]bool{"shards=1 batch": true, "shards=4 batch": true}
+
+	// Feed in chunks of 7; every document in a chunk shares the
+	// chunk's last event time so single-document and batch replays see
+	// the identical timeline.
+	const chunk = 7
+	for i := 0; i < len(events); i += chunk {
+		evs := events[i:min(i+chunk, len(events))]
+		at := evs[len(evs)-1].Time
+		docs := make([]corpus.Document, len(evs))
+		for j, ev := range evs {
+			docs[j] = ev.Doc
+		}
+		for _, doc := range docs {
+			if _, err := ref.Process(doc, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, m := range variants {
+			var err error
+			if batched[name] {
+				_, err = m.ProcessBatch(docs, at)
+			} else {
+				for _, doc := range docs {
+					if _, err = m.Process(doc, at); err != nil {
+						break
+					}
+				}
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	if ref.Totals().Matched == 0 {
+		t.Fatal("no query ever matched; fixture degenerate")
+	}
+	for name, m := range variants {
+		if m.Events() != ref.Events() {
+			t.Fatalf("%s: events = %d, want %d", name, m.Events(), ref.Events())
+		}
+		// Matched is partition-invariant; the pruning-work counters
+		// (Evaluated, Iterations, ...) legitimately differ across shard
+		// layouts, so only the same-layout batch variant must agree on
+		// the full totals.
+		if m.Totals().Matched != ref.Totals().Matched {
+			t.Fatalf("%s: matched = %d, want %d", name, m.Totals().Matched, ref.Totals().Matched)
+		}
+		expectSameResults(t, name, ref, m, nq)
+	}
+	if v := variants["shards=1 batch"]; v.Totals() != ref.Totals() {
+		t.Fatalf("shards=1 batch: totals = %+v, want %+v", v.Totals(), ref.Totals())
+	}
+}
+
+// TestBatchEquivalenceAcrossRebuilds stresses the worker lifecycle:
+// dynamic query churn forces shard-index rebuilds (which replace the
+// persistent workers) between batches, and results must still match a
+// single-shard monitor undergoing the same churn.
+func TestBatchEquivalenceAcrossRebuilds(t *testing.T) {
+	const nq = 60
+	defs := defsFromWorkload(t, workload.Uniform, nq, 3, 12)
+	extra := defsFromWorkload(t, workload.Uniform, 20, 3, 13)
+	events := testEvents(t, 200, 91)
+
+	mk := func(shards int) *Monitor {
+		m, err := NewMonitor(Config{Lambda: 0.01, Shards: shards, RebuildThreshold: 2}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
+	ref, par := mk(1), mk(4)
+
+	const chunk = 10
+	added := 0
+	for i := 0; i < len(events); i += chunk {
+		evs := events[i:min(i+chunk, len(events))]
+		at := evs[len(evs)-1].Time
+		docs := make([]corpus.Document, len(evs))
+		for j, ev := range evs {
+			docs[j] = ev.Doc
+		}
+		for _, doc := range docs {
+			if _, err := ref.Process(doc, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := par.ProcessBatch(docs, at); err != nil {
+			t.Fatal(err)
+		}
+		// Alternate adds and removals to trip the rebuild threshold.
+		if added < len(extra) {
+			for _, m := range []*Monitor{ref, par} {
+				if _, err := m.AddQuery(extra[added]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			added++
+		}
+		if i/chunk%3 == 2 {
+			victim := uint32(i / chunk % nq)
+			for _, m := range []*Monitor{ref, par} {
+				if err := m.RemoveQuery(victim); err != nil && !errors.Is(err, ErrRemovedQuery) {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if ref.NumQueries() != par.NumQueries() {
+		t.Fatalf("query counts diverged: %d vs %d", ref.NumQueries(), par.NumQueries())
+	}
+	expectSameResults(t, "shards=4 batch + churn", ref, par, nq+added)
+}
+
+// TestMonitorClose verifies the worker shutdown contract.
+func TestMonitorClose(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 40, 3, 14)
+	events := testEvents(t, 50, 92)
+	m, err := NewMonitor(Config{Lambda: 0.01, Shards: 4}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := m.Process(events[len(events)-1].Doc, 1e9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Process after Close = %v, want ErrClosed", err)
+	}
+	if _, err := m.ProcessBatch([]corpus.Document{events[0].Doc}, 1e9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ProcessBatch after Close = %v, want ErrClosed", err)
+	}
+	if _, err := m.AddQuery(defs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddQuery after Close = %v, want ErrClosed", err)
+	}
+	if err := m.RemoveQuery(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RemoveQuery after Close = %v, want ErrClosed", err)
+	}
+	// Results stay readable on a closed monitor.
+	if _, err := m.Top(0); err != nil {
+		t.Fatalf("Top after Close: %v", err)
+	}
+}
+
+// TestProcessBatchEmpty: an empty batch is a no-op.
+func TestProcessBatchEmpty(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 10, 2, 15)
+	m, err := NewMonitor(Config{Shards: 2}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.ProcessBatch(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (EventStats{}) || m.Events() != 0 || m.Now() != 0 {
+		t.Fatalf("empty batch mutated state: %+v events=%d now=%v", st, m.Events(), m.Now())
+	}
+}

@@ -21,6 +21,8 @@ var (
 	ErrRemovedQuery = errors.New("core: query was removed")
 	// ErrTimeRegression reports a stream event older than the last.
 	ErrTimeRegression = errors.New("core: event time precedes stream time")
+	// ErrClosed reports an operation on a closed monitor.
+	ErrClosed = errors.New("core: monitor is closed")
 )
 
 // QueryDef describes one continuous query at registration time.
@@ -49,11 +51,7 @@ type EventStats struct {
 }
 
 func (s *EventStats) add(m algo.EventMetrics) {
-	s.Evaluated += m.Evaluated
-	s.Matched += m.Matched
-	s.Iterations += m.Iterations
-	s.Postings += m.Postings
-	s.JumpAlls += m.JumpAlls
+	(*algo.EventMetrics)(s).Add(m)
 }
 
 // location maps a global query ID to where it currently lives.
@@ -65,15 +63,73 @@ type location struct {
 
 const pendingShard = -1
 
-// shard is one independent partition of the query set.
+// shardJob is one unit of work handed to a shard worker: apply the
+// rebase factors in order, then match every document at the shared
+// inflation factor, accumulating metrics into out. The sender waits on
+// wg, so the job's slices may be reused once the batch returns.
+type shardJob struct {
+	rebases []float64
+	docs    []corpus.Document
+	factor  float64
+	out     *algo.EventMetrics
+	wg      *sync.WaitGroup
+}
+
+// shard is one independent partition of the query set. When the
+// monitor runs with more than one shard, each shard owns a persistent
+// worker goroutine fed over work; jobs are processed strictly in send
+// order, so per-shard results are identical to sequential processing.
 type shard struct {
 	proc      algo.Processor
 	globalIDs []uint32 // local → global
+	work      chan shardJob
+	done      chan struct{} // closed when the worker exits
+}
+
+// startWorker launches the shard's persistent worker goroutine.
+func (sh *shard) startWorker() {
+	sh.work = make(chan shardJob)
+	sh.done = make(chan struct{})
+	go func() {
+		defer close(sh.done)
+		for job := range sh.work {
+			*job.out = matchAll(sh.proc, job.rebases, job.docs, job.factor)
+			job.wg.Done()
+		}
+	}()
+}
+
+// stopWorker shuts the worker down and waits for it to exit. A shard
+// that never started one (single-shard monitors) is a no-op.
+func (sh *shard) stopWorker() {
+	if sh.work == nil {
+		return
+	}
+	close(sh.work)
+	<-sh.done
+	sh.work = nil
+}
+
+// matchAll applies the rebase factors in order, then matches every
+// document at the shared inflation factor e, in slice order.
+func matchAll(proc algo.Processor, rebases []float64, docs []corpus.Document, e float64) algo.EventMetrics {
+	for _, f := range rebases {
+		proc.Rebase(f)
+	}
+	var m algo.EventMetrics
+	for _, doc := range docs {
+		m.Add(proc.ProcessEvent(doc, e))
+	}
+	return m
 }
 
 // Monitor is the CTQD processing server. It is not safe for concurrent
-// mutation; Process and AddQuery/RemoveQuery must be externally
-// serialized (result reads between events are safe).
+// mutation; Process/ProcessBatch and AddQuery/RemoveQuery must be
+// externally serialized (result reads between events are safe).
+//
+// Multi-shard monitors own one persistent worker goroutine per shard,
+// started at construction and on every rebuild; call Close when done
+// to shut them down.
 type Monitor struct {
 	cfg   Config
 	decay *stream.Decay
@@ -91,6 +147,14 @@ type Monitor struct {
 	now    float64
 	events uint64
 	totals EventStats
+	closed bool
+
+	// Per-call scratch, reused across events to keep the hot path
+	// allocation-free (safe: mutation is externally serialized and
+	// every batch joins its workers before returning).
+	oneDoc  [1]corpus.Document
+	rebases []float64
+	outs    []algo.EventMetrics
 }
 
 // NewMonitor builds a monitor over an initial query set. Queries get
@@ -158,7 +222,9 @@ func (m *Monitor) buildShard(ids []uint32) (*shard, error) {
 
 // rebuild reconstructs all shard indexes from the live query set,
 // carrying over existing results. carried maps global ID → inflated
-// result entries to restore (nil on first build).
+// result entries to restore (nil on first build). Old shard workers
+// are drained before their processors are discarded; fresh workers are
+// started for the new shards (multi-shard monitors only).
 func (m *Monitor) rebuild(carried map[uint32][]topk.ScoredDoc) error {
 	parts := make([][]uint32, m.cfg.Shards)
 	for g := range m.defs {
@@ -179,7 +245,13 @@ func (m *Monitor) rebuild(carried map[uint32][]topk.ScoredDoc) error {
 			m.loc[g] = location{shard: int32(s), local: uint32(local)}
 		}
 	}
+	m.stopWorkers()
 	m.shards = shards
+	if m.cfg.Shards > 1 {
+		for _, sh := range m.shards {
+			sh.startWorker()
+		}
+	}
 	m.pendingIDs = nil
 	m.pendingProc = nil
 	m.dirty = 0
@@ -231,6 +303,9 @@ func (m *Monitor) dump() map[uint32][]topk.ScoredDoc {
 // pending sidecar (matched exhaustively, which is exact) and is folded
 // into the main indexes at the next rebuild.
 func (m *Monitor) AddQuery(def QueryDef) (uint32, error) {
+	if m.closed {
+		return 0, ErrClosed
+	}
 	if err := def.Vec.Validate(); err != nil {
 		return 0, err
 	}
@@ -291,6 +366,9 @@ func (m *Monitor) rebuildPending() error {
 // RemoveQuery unregisters a query. Its index entries linger (correct,
 // merely unprofitable) until the next rebuild sweeps them out.
 func (m *Monitor) RemoveQuery(g uint32) error {
+	if m.closed {
+		return ErrClosed
+	}
 	if int(g) >= len(m.loc) {
 		return ErrUnknownQuery
 	}
@@ -311,45 +389,107 @@ func (m *Monitor) maybeRebuild() error {
 	return m.rebuild(m.dump())
 }
 
+// stopWorkers drains and joins every shard worker.
+func (m *Monitor) stopWorkers() {
+	for _, sh := range m.shards {
+		sh.stopWorker()
+	}
+}
+
+// Close shuts down the monitor's shard workers. The monitor stops
+// accepting events and query mutations; result reads stay valid.
+// Close is idempotent.
+func (m *Monitor) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.stopWorkers()
+	return nil
+}
+
+// ValidateIngest reports whether the monitor would accept an event at
+// time t, without mutating any state. Callers with their own
+// per-document side effects (e.g. the text engine's idf bookkeeping)
+// use it to reject a doomed publication before paying them.
+func (m *Monitor) ValidateIngest(t float64) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if t < m.now {
+		return fmt.Errorf("%w: %v < %v", ErrTimeRegression, t, m.now)
+	}
+	return nil
+}
+
 // Process feeds one stream event. Event times must be non-decreasing.
 func (m *Monitor) Process(doc corpus.Document, t float64) (EventStats, error) {
-	if t < m.now {
-		return EventStats{}, fmt.Errorf("%w: %v < %v", ErrTimeRegression, t, m.now)
+	m.oneDoc[0] = doc
+	return m.ProcessBatch(m.oneDoc[:], t)
+}
+
+// ProcessBatch feeds a batch of stream events that share the arrival
+// time t (non-decreasing across calls). The epoch/rebase bookkeeping
+// and the per-shard worker rendezvous are paid once per batch instead
+// of once per document; within each shard documents are matched
+// strictly in slice order, so results are identical to feeding the
+// documents one at a time through Process at the same t. Returns the
+// aggregate work statistics of the whole batch.
+func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, error) {
+	if err := m.ValidateIngest(t); err != nil {
+		return EventStats{}, err
 	}
+	if len(docs) == 0 {
+		return EventStats{}, nil
+	}
+	m.rebases = m.rebases[:0]
 	for m.decay.NeedsRebase(t) {
-		f := m.decay.RebaseTo(t)
-		for _, sh := range m.shards {
-			sh.proc.Rebase(f)
-		}
-		if m.pendingProc != nil {
-			m.pendingProc.Rebase(f)
-		}
+		m.rebases = append(m.rebases, m.decay.RebaseTo(t))
 	}
 	e := m.decay.Factor(t)
 
-	var st EventStats
-	if m.cfg.Shards == 1 {
-		st.add(m.shards[0].proc.ProcessEvent(doc, e))
-	} else {
-		results := make([]algo.EventMetrics, len(m.shards))
-		var wg sync.WaitGroup
-		for i, sh := range m.shards {
-			wg.Add(1)
-			go func(i int, sh *shard) {
-				defer wg.Done()
-				results[i] = sh.proc.ProcessEvent(doc, e)
-			}(i, sh)
+	// The pending sidecar runs on the caller's goroutine — in the
+	// multi-shard case concurrently with the shard workers.
+	pending := func() algo.EventMetrics {
+		if m.pendingProc == nil {
+			return algo.EventMetrics{}
 		}
+		return matchAll(m.pendingProc, m.rebases, docs, e)
+	}
+
+	var st EventStats
+	if len(m.shards) == 1 || m.shards[0].work == nil {
+		// Single shard (or a monitor whose workers never started):
+		// inline, no synchronization cost.
+		for _, sh := range m.shards {
+			st.add(matchAll(sh.proc, m.rebases, docs, e))
+		}
+		st.add(pending())
+	} else {
+		if cap(m.outs) < len(m.shards) {
+			m.outs = make([]algo.EventMetrics, len(m.shards))
+		}
+		outs := m.outs[:len(m.shards)]
+		var wg sync.WaitGroup
+		wg.Add(len(m.shards))
+		for i, sh := range m.shards {
+			sh.work <- shardJob{
+				rebases: m.rebases,
+				docs:    docs,
+				factor:  e,
+				out:     &outs[i],
+				wg:      &wg,
+			}
+		}
+		pm := pending()
 		wg.Wait()
-		for _, r := range results {
+		for _, r := range outs {
 			st.add(r)
 		}
-	}
-	if m.pendingProc != nil {
-		st.add(m.pendingProc.ProcessEvent(doc, e))
+		st.add(pm)
 	}
 	m.now = t
-	m.events++
+	m.events += uint64(len(docs))
 	m.totals.add(algo.EventMetrics(st))
 	return st, nil
 }
