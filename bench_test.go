@@ -73,3 +73,7 @@ func BenchmarkShards(b *testing.B) { runExperiment(b, "ablshard") }
 // BenchmarkBatchIngest compares batch (ProcessBatch, 64-document
 // chunks) against single-document ingestion across shard counts.
 func BenchmarkBatchIngest(b *testing.B) { runExperiment(b, "ablbatch") }
+
+// BenchmarkParallelMatch replays the identical single-shard timeline
+// at intra-shard parallelism 1, 2 and 4.
+func BenchmarkParallelMatch(b *testing.B) { runExperiment(b, "ablpar") }

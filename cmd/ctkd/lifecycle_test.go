@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestServeGracefulShutdown: serve answers requests until its context
+// is canceled, then drains and returns nil (not ErrServerClosed), and
+// the engine the caller closes afterwards rejects further publishes.
+func TestServeGracefulShutdown(t *testing.T) {
+	engine, err := ctk.New(ctk.Options{Lambda: 0.001, Parallelism: 2, SnippetLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{engine: engine, start: time.Now()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, s.mux(), ln) }()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	resp, body := post(t, base+"/queries", `{"keywords": "graceful shutdown", "k": 3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, body)
+	}
+	resp, _ = post(t, base+"/documents", `{"text": "a graceful shutdown story", "time": 1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("publish: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after context cancel")
+	}
+	// The listener is gone.
+	if _, err := http.Get(base + "/stats"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+	// run's epilogue closes the engine; emulate it and verify the
+	// workers are gone for good.
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Publish("post-shutdown doc", 2); !errors.Is(err, ctk.ErrClosed) {
+		t.Fatalf("publish after Close = %v, want ErrClosed", err)
+	}
+	// Results stay readable on the closed engine.
+	if st := engine.Stats(); st.Documents != 1 {
+		t.Fatalf("stats after close: %+v", st)
+	}
+}
+
+// TestServeListenerError: a server whose listener dies reports the
+// error instead of hanging.
+func TestServeListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // serve's Serve call must fail immediately
+	errc := make(chan error, 1)
+	go func() { errc <- serve(context.Background(), http.NewServeMux(), ln) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("serve returned nil on dead listener")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve hung on dead listener")
+	}
+}

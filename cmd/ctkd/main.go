@@ -14,18 +14,28 @@
 //
 // Start with:
 //
-//	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO
+//	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO -shards 4 -parallelism 2
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests drain (bounded by a grace period), and
+// the engine's analyzer and matching workers are stopped.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro"
@@ -37,28 +47,86 @@ type server struct {
 	start  time.Time
 }
 
+// shutdownGrace bounds how long in-flight requests may drain after a
+// termination signal before the server gives up on them.
+const shutdownGrace = 10 * time.Second
+
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		lambda    = flag.Float64("lambda", 0.001, "decay rate per second")
-		algorithm = flag.String("algorithm", "MRIO", "matching algorithm")
-		shards    = flag.Int("shards", 0, "parallel shards (0 = single)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		lambda      = flag.Float64("lambda", 0.001, "decay rate per second")
+		algorithm   = flag.String("algorithm", "MRIO", "matching algorithm")
+		shards      = flag.Int("shards", 0, "parallel shards (0 = single)")
+		parallelism = flag.Int("parallelism", 0, "matching workers per shard (0 = single)")
 	)
 	flag.Parse()
 
-	engine, err := ctk.New(ctk.Options{
+	if err := run(*addr, ctk.Options{
 		Algorithm:     *algorithm,
 		Lambda:        *lambda,
 		Shards:        *shards,
+		Parallelism:   *parallelism,
 		SnippetLength: 120,
-	})
-	if err != nil {
+	}); err != nil {
 		log.Fatal(err)
 	}
-	s := &server{engine: engine, start: time.Now()}
+}
 
-	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d)", *addr, *algorithm, *lambda, *shards)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+// run hosts the engine behind an HTTP server until a termination
+// signal arrives or the listener fails, then drains and closes the
+// engine. Split from main so the lifecycle is testable.
+func run(addr string, opts ctk.Options) error {
+	engine, err := ctk.New(opts)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		engine.Close()
+		return err
+	}
+	s := &server{engine: engine, start: time.Now()}
+	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d parallelism=%d)",
+		ln.Addr(), opts.Algorithm, opts.Lambda, opts.Shards, opts.Parallelism)
+	err = serve(ctx, s.mux(), ln)
+	// Drain the analyzer pool and the monitor's shard and partition
+	// workers whatever way serving ended.
+	if cerr := engine.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// serve runs an HTTP server with sane timeouts on ln until ctx is
+// canceled (graceful: in-flight requests drain within shutdownGrace)
+// or the server fails on its own.
+func serve(ctx context.Context, h http.Handler, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ctkd: shutting down (draining for up to %v)", shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // mux builds the server's route table (shared with the test harness).

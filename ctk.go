@@ -77,6 +77,10 @@ type Options struct {
 	Lambda float64
 	// Shards processes the query set in parallel partitions (default 1).
 	Shards int
+	// Parallelism matches each event with this many workers inside
+	// every shard by splitting the shard's query range (default 1).
+	// It composes with Shards; results are bit-identical either way.
+	Parallelism int
 	// DefaultK is the result size used when Register is called with
 	// k ≤ 0 (default 10).
 	DefaultK int
@@ -105,15 +109,26 @@ type analyzeJob struct {
 // weighting and the monitor hand-off stay serialized under the lock —
 // idf weights depend on how many documents were seen before, so the
 // weighting order is part of the engine's semantics.
+//
+// The lock is a reader/writer lock: Results and Stats take the read
+// side, so result polling scales across cores and never queues behind
+// other readers — only a concurrently running publish or query
+// mutation (which hold the write side) briefly blocks it.
 type Engine struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	opts     Options
 	vocab    *textproc.Vocabulary
 	tok      *textproc.Tokenizer
 	weighter *textproc.Weighter
 	mon      *core.Monitor
 	nextDoc  uint64
-	snips    map[uint64]string
+
+	// snips holds retained snippets of published documents, pruned of
+	// entries no result set references once it outgrows snipHW (see
+	// pruneSnippets), so retention is bounded by the engine's live
+	// top-k footprint rather than by stream length.
+	snips  map[uint64]string
+	snipHW int
 
 	// Analyzer pool: persistent workers draining anWork, started
 	// lazily on the first PublishBatch (engines that only ever publish
@@ -161,9 +176,10 @@ func New(opts Options) (*Engine, error) {
 	}
 	vocab := textproc.NewVocabulary()
 	mon, err := core.NewMonitor(core.Config{
-		Algorithm: alg,
-		Lambda:    opts.Lambda,
-		Shards:    opts.Shards,
+		Algorithm:   alg,
+		Lambda:      opts.Lambda,
+		Shards:      opts.Shards,
+		Parallelism: opts.Parallelism,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -177,6 +193,7 @@ func New(opts Options) (*Engine, error) {
 	}
 	if opts.SnippetLength > 0 {
 		e.snips = make(map[uint64]string)
+		e.snipHW = snipPruneMin
 	}
 	return e, nil
 }
@@ -280,6 +297,7 @@ func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 		return PublishStats{}, public(err)
 	}
 	e.retainSnippet(id, text)
+	e.pruneSnippets()
 	return PublishStats{DocID: id, Updated: st.Matched, Evaluated: st.Evaluated}, nil
 }
 
@@ -294,6 +312,32 @@ func (e *Engine) retainSnippet(id uint64, text string) {
 		r = r[:e.opts.SnippetLength]
 	}
 	e.snips[id] = string(r)
+}
+
+// snipPruneMin is the snippet map's minimum pruning watermark: pruning
+// below this size would cost more bookkeeping than the memory it
+// reclaims.
+const snipPruneMin = 64
+
+// pruneSnippets drops snippets of documents no query's current top-k
+// references. It runs after a publish once the map has grown past the
+// watermark, which is then re-armed at twice the surviving size — so
+// the sweep cost is amortized over at least as many publishes as there
+// are live entries, and the map size stays within a constant factor of
+// the monitor's result footprint no matter how long the stream runs.
+// Caller holds e.mu.
+func (e *Engine) pruneSnippets() {
+	if e.snips == nil || len(e.snips) < e.snipHW {
+		return
+	}
+	live := make(map[uint64]struct{}, e.mon.ResultCapacity())
+	e.mon.EachResultDoc(func(id uint64) { live[id] = struct{}{} })
+	for id := range e.snips {
+		if _, ok := live[id]; !ok {
+			delete(e.snips, id)
+		}
+	}
+	e.snipHW = max(2*len(e.snips), snipPruneMin)
 }
 
 // BatchStats reports the matching work one batch publication caused.
@@ -366,6 +410,7 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 	for i, text := range texts {
 		e.retainSnippet(first+uint64(i), text)
 	}
+	e.pruneSnippets()
 	return BatchStats{
 		FirstDocID: first,
 		Docs:       len(texts),
@@ -375,10 +420,12 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 }
 
 // Results returns a query's current top-k, best first, with
-// present-time scores.
+// present-time scores. It takes the engine's read lock, so any number
+// of result readers run concurrently with each other; they serialize
+// only against a publish or query mutation in flight.
 func (e *Engine) Results(id QueryID) ([]Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	top, err := e.mon.Top(uint32(id))
 	if err != nil {
 		return nil, err
@@ -399,17 +446,23 @@ type Stats struct {
 	Documents uint64
 	Evaluated int
 	Matched   int
+	// Snippets is the number of document snippets currently retained
+	// (0 when retention is disabled). Bounded by the pruning policy,
+	// not by stream length.
+	Snippets int
 }
 
-// Stats returns cumulative counters.
+// Stats returns cumulative counters. Like Results, it takes only the
+// read lock.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t := e.mon.Totals()
 	return Stats{
 		Queries:   e.mon.NumQueries(),
 		Documents: e.mon.Events(),
 		Evaluated: t.Evaluated,
 		Matched:   t.Matched,
+		Snippets:  len(e.snips),
 	}
 }

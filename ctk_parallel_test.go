@@ -1,0 +1,236 @@
+package ctk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// feedCorpus publishes a deterministic synthetic text stream; doc i
+// mentions topic i%topics, so every registered topic query keeps
+// matching fresh documents and top-k sets churn under decay.
+func feedText(i int) string {
+	topics := []string{"database systems", "stream processing", "distributed consensus", "query optimization"}
+	return fmt.Sprintf("%s article number %d with shared monitoring terms", topics[i%len(topics)], i)
+}
+
+// TestEngineParallelismParity: an engine with intra-shard parallel
+// matching (alone and composed with shards) serves bit-identical
+// results to the sequential engine over the same publishes.
+func TestEngineParallelismParity(t *testing.T) {
+	mk := func(shards, par int) *Engine {
+		e, err := New(Options{Lambda: 0.05, Shards: shards, Parallelism: par, SnippetLength: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		return e
+	}
+	ref := mk(0, 0)
+	variants := map[string]*Engine{
+		"par=3":          mk(0, 3),
+		"shards=2 par=2": mk(2, 2),
+	}
+	engines := []*Engine{ref}
+	for _, e := range variants {
+		engines = append(engines, e)
+	}
+	var ids []QueryID
+	for q := 0; q < 12; q++ {
+		var last QueryID
+		for _, e := range engines {
+			id, err := e.Register(feedText(q), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = id
+		}
+		ids = append(ids, last)
+	}
+	for i := 0; i < 300; i++ {
+		text := feedText(i)
+		if i%5 == 4 {
+			batch := []string{text, feedText(i + 1000), feedText(i + 2000)}
+			for _, e := range engines {
+				if _, err := e.PublishBatch(batch, float64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		for _, e := range engines {
+			if _, err := e.Publish(text, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range ids {
+		want, err := ref.Results(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("query %d: fixture degenerate, no results", id)
+		}
+		for name, e := range variants {
+			got, err := e.Results(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: query %d: %d results, want %d", name, id, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: query %d rank %d: %+v, want %+v", name, id, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentReadsRace hammers the read path (Results, Stats)
+// from many goroutines against concurrent Publish/PublishBatch and
+// Register/Unregister traffic. Run under -race (make race / CI) it
+// proves the reader/writer split of the engine lock is sound; the
+// final assertions prove the readers observed real progress.
+func TestEngineConcurrentReadsRace(t *testing.T) {
+	e, err := New(Options{Lambda: 0.01, Parallelism: 2, SnippetLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var ids []QueryID
+	for q := 0; q < 8; q++ {
+		id, err := e.Register(feedText(q), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	const (
+		readers = 4
+		rounds  = 150
+	)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 2*rounds; i++ {
+				if _, err := e.Results(ids[i%len(ids)]); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				e.Stats()
+			}
+		}(r)
+	}
+	// One goroutine mutates the query set while the main goroutine
+	// publishes — both hold the write lock, so they serialize with
+	// each other and with nothing else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			id, err := e.Register(fmt.Sprintf("churning topic %d terms", i), 2)
+			if err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+			if i%2 == 1 {
+				if err := e.Unregister(id); err != nil {
+					t.Errorf("unregister: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		if i%4 == 3 {
+			if _, err := e.PublishBatch([]string{feedText(i), feedText(i + 500)}, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if _, err := e.Publish(feedText(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if st := e.Stats(); st.Documents == 0 {
+		t.Fatalf("no documents observed: %+v", st)
+	}
+}
+
+// TestSnippetRetentionBounded: under heavy churn the snippet map stays
+// within a constant factor of the live top-k footprint instead of
+// growing with the stream, and the snippets of current results remain
+// available.
+func TestSnippetRetentionBounded(t *testing.T) {
+	e, err := New(Options{Lambda: 0.5, SnippetLength: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var ids []QueryID
+	for q := 0; q < 3; q++ {
+		id, err := e.Register(feedText(q), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	const docs = 3000
+	for i := 0; i < docs; i++ {
+		if _, err := e.Publish(feedText(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Documents != docs {
+		t.Fatalf("documents = %d", st.Documents)
+	}
+	// Watermark arithmetic: the map is pruned to the referenced set
+	// (≤ Σk = 6) whenever it reaches max(2·survivors, 64); it can
+	// then grow back to the watermark before the next sweep. 2·64
+	// is a safely conservative ceiling — the unbounded behaviour
+	// would sit at 3000.
+	if st.Snippets > 128 {
+		t.Fatalf("snippet map grew to %d entries over %d docs; retention unbounded", st.Snippets, docs)
+	}
+	if st.Snippets == 0 {
+		t.Fatal("all snippets pruned; current results lost theirs")
+	}
+	for _, id := range ids {
+		res, err := e.Results(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("query %d has no results", id)
+		}
+		for _, r := range res {
+			if r.Snippet == "" {
+				t.Fatalf("query %d doc %d lost its snippet", id, r.DocID)
+			}
+		}
+	}
+}
+
+// TestSnippetsDisabledStatZero: Stats.Snippets stays 0 when retention
+// is off.
+func TestSnippetsDisabledStatZero(t *testing.T) {
+	e, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Publish("some document text", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Snippets != 0 {
+		t.Fatalf("Snippets = %d with retention disabled", st.Snippets)
+	}
+}

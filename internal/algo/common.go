@@ -124,6 +124,18 @@ func newCommon(ix *index.Index) (*common, error) {
 // Results implements Processor.
 func (c *common) Results() *topk.Store { return c.store }
 
+// setStore swaps the processor's result store for an externally owned
+// one with identical shape (query count and per-query k). Parallel uses
+// it right after construction — before any event or bulk load — to
+// point each partition's processor at its slice of one shared arena, so
+// the store must still be empty.
+func (c *common) setStore(s *topk.Store) {
+	if s.NumQueries() != c.store.NumQueries() {
+		panic("algo: setStore with mismatched query count")
+	}
+	c.store = s
+}
+
 // beginEvent loads the document into the scratch probe and advances
 // the dedup stamp.
 func (c *common) beginEvent(doc corpus.Document) {

@@ -1,0 +1,209 @@
+package algo
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+)
+
+// Factory builds one algorithm instance over a (sub-)index. It is how
+// Parallel stays algorithm-agnostic: the monitor passes the same
+// constructor it would use for a sequential shard.
+type Factory func(ix *index.Index) (Processor, error)
+
+// parJob is one document handed to a partition worker. The sender
+// waits on the shared event WaitGroup; the worker writes its metrics
+// slot before Done, so the slot is safe to read once the event joins.
+type parJob struct {
+	doc corpus.Document
+	e   float64
+}
+
+// Parallel matches one event with several workers by partitioning the
+// query ID range into contiguous slices, each owned by an independent
+// inner processor over its own sub-index — a partition of every posting
+// list, since lists are query-ID-ordered. All inner processors write
+// into disjoint slice views of one shared result store (topk.Slice), so
+// Parallel presents the ordinary single-store Processor interface while
+// ProcessEvent fans out across cores.
+//
+// Exactness is free: queries are independent — a query's admission
+// decision depends only on its own threshold and the document — so any
+// partition of the query set yields bit-identical per-query top-k
+// lists; only the work counters (Evaluated, Iterations, ...) depend on
+// the partitioning, because pruning bounds are computed per partition.
+//
+// Partition 0 runs on the calling goroutine; partitions 1..P-1 each own
+// a persistent worker. Call Close to stop the workers; results stay
+// readable afterwards.
+type Parallel struct {
+	name  string
+	store *topk.Store // full arena; inner processors own disjoint views
+	offs  []uint32    // len P+1: partition p owns queries [offs[p], offs[p+1])
+	procs []Processor
+	work  []chan parJob // nil at slot 0 (inline partition)
+	done  sync.WaitGroup
+	outs  []EventMetrics
+	// evWG joins one event's fan-out. Reused across events (events are
+	// externally serialized and Wait returns before the next Add) so
+	// the per-document hot path stays allocation-free.
+	evWG sync.WaitGroup
+	// mu guards closed so a double Close (monitor rebuild followed by
+	// monitor Close) never double-closes the work channels.
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewParallel builds a Parallel matcher over the query set described
+// by vecs/ks, with up to workers partitions (capped at the query
+// count). build constructs each partition's inner algorithm; it must
+// produce one of this package's processors (they share the result
+// store via an internal hook).
+func NewParallel(vecs []textproc.Vector, ks []int, workers int, build Factory) (*Parallel, error) {
+	if len(vecs) != len(ks) {
+		return nil, fmt.Errorf("algo: %d vectors but %d k values", len(vecs), len(ks))
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("algo: parallelism must be ≥ 1, got %d", workers)
+	}
+	n := len(vecs)
+	if workers > n {
+		// Never more partitions than queries; an empty shard still gets
+		// one (workerless) partition so the Processor surface holds up.
+		workers = max(n, 1)
+	}
+	store, err := topk.NewStore(ks)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parallel{
+		store: store,
+		offs:  make([]uint32, workers+1),
+		procs: make([]Processor, workers),
+		work:  make([]chan parJob, workers),
+		outs:  make([]EventMetrics, workers),
+	}
+	for i := 1; i <= workers; i++ {
+		p.offs[i] = uint32(i * n / workers)
+	}
+	for i := 0; i < workers; i++ {
+		lo, hi := int(p.offs[i]), int(p.offs[i+1])
+		subIx, err := index.Build(vecs[lo:hi], ks[lo:hi])
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		proc, err := build(subIx)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		ss, ok := proc.(interface{ setStore(*topk.Store) })
+		if !ok {
+			p.Close()
+			return nil, fmt.Errorf("algo: %s does not support intra-shard partitioning", proc.Name())
+		}
+		ss.setStore(store.Slice(lo, hi))
+		p.procs[i] = proc
+		if i > 0 {
+			ch := make(chan parJob)
+			p.work[i] = ch
+			p.done.Add(1)
+			go p.worker(i, ch)
+		}
+	}
+	p.name = fmt.Sprintf("%s×%d", p.procs[0].Name(), workers)
+	return p, nil
+}
+
+// worker drains one partition's job channel.
+func (p *Parallel) worker(i int, ch chan parJob) {
+	defer p.done.Done()
+	for job := range ch {
+		p.outs[i] = p.procs[i].ProcessEvent(job.doc, job.e)
+		p.evWG.Done()
+	}
+}
+
+// Name implements Processor.
+func (p *Parallel) Name() string { return p.name }
+
+// Results implements Processor: the shared full-range store.
+func (p *Parallel) Results() *topk.Store { return p.store }
+
+// ProcessEvent implements Processor: the document is matched by every
+// partition concurrently and the per-partition work metrics are summed.
+// The event joins (all workers idle) before returning, so the caller
+// may mutate shared state between events, exactly as with a sequential
+// processor.
+func (p *Parallel) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
+	p.evWG.Add(len(p.procs) - 1)
+	for i := 1; i < len(p.procs); i++ {
+		p.work[i] <- parJob{doc: doc, e: e}
+	}
+	m := p.procs[0].ProcessEvent(doc, e)
+	p.evWG.Wait()
+	for i := 1; i < len(p.procs); i++ {
+		m.Add(p.outs[i])
+	}
+	return m
+}
+
+// Rebase implements Processor. Each partition rescales its own slice
+// of the shared arena plus its private threshold/ratio state; the
+// slices exactly cover the store, so one pass over the partitions is
+// one pass over every stored score.
+func (p *Parallel) Rebase(factor float64) {
+	for _, proc := range p.procs {
+		proc.Rebase(factor)
+	}
+}
+
+// SyncThreshold implements Processor, routing to the partition owning
+// the query.
+func (p *Parallel) SyncThreshold(q uint32) {
+	i := p.partition(q)
+	p.procs[i].SyncThreshold(q - p.offs[i])
+}
+
+// Refresh implements Processor.
+func (p *Parallel) Refresh() {
+	for _, proc := range p.procs {
+		proc.Refresh()
+	}
+}
+
+// partition returns the index of the partition owning global-in-shard
+// query q. Partition counts are small, so a linear scan beats a binary
+// search's branch misses.
+func (p *Parallel) partition(q uint32) int {
+	for i := 1; i < len(p.offs); i++ {
+		if q < p.offs[i] {
+			return i - 1
+		}
+	}
+	panic(fmt.Sprintf("algo: query %d outside partitioned range %d", q, p.offs[len(p.offs)-1]))
+}
+
+// Close stops the partition workers and waits for them to exit.
+// Results stay readable. Close is idempotent and safe after a partial
+// construction failure.
+func (p *Parallel) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, ch := range p.work {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	p.done.Wait()
+}

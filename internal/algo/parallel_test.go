@@ -1,0 +1,168 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+// parallelFixture regenerates the workload behind buildFixture's index
+// (same corpus model, same seed) so Parallel — which partitions raw
+// vectors — sees exactly the queries buildFixture indexed.
+func parallelFixture(t *testing.T, kind workload.Kind, n, k int, seed int64) ([]textproc.Vector, []int) {
+	t.Helper()
+	cfg := workload.DefaultConfig(kind, n)
+	cfg.K = k
+	cfg.Seed = seed
+	model := corpus.WikipediaModel(800)
+	model.DocLenMedian = 25
+	qs, err := workload.Generate(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([]textproc.Vector, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		ks[i] = q.K
+	}
+	return vecs, ks
+}
+
+// mrioFactory builds the default MRIO over a sub-index.
+func mrioFactory(ix *index.Index) (Processor, error) {
+	return NewMRIO(ix, rangemax.KindSegTree)
+}
+
+// TestParallelMatchesSequential is the algorithm-level parity gate: a
+// Parallel matcher at several worker counts must yield bit-identical
+// per-query top-k lists to the sequential processor it wraps, across a
+// decayed stream with forced rebases, for both MRIO and the
+// exhaustive oracle.
+func TestParallelMatchesSequential(t *testing.T) {
+	const nq, k = 180, 3
+	vecs, ks := parallelFixture(t, workload.Connected, nq, k, 21)
+	ix, events := buildFixture(t, workload.Connected, nq, 220, k, 21)
+
+	factories := map[string]Factory{
+		"MRIO":       mrioFactory,
+		"Exhaustive": func(ix *index.Index) (Processor, error) { return NewExhaustive(ix) },
+	}
+	for name, factory := range factories {
+		seq, err := factory(ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := []Processor{seq}
+		for _, workers := range []int{1, 2, 4, 7} {
+			par, err := NewParallel(vecs, ks, workers, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer par.Close()
+			ps = append(ps, par)
+		}
+		// λ=25 with the fixture's ~22 virtual seconds crosses the
+		// rebase exponent budget several times, so the equivalence
+		// covers Rebase fan-out too.
+		runAll(t, ps, events, 25)
+		assertResultsEqual(t, ps, nq)
+		for _, p := range ps[1:] {
+			if p.(*Parallel).store.NumQueries() != nq {
+				t.Fatalf("%s: %s store has %d queries", name, p.Name(), p.(*Parallel).store.NumQueries())
+			}
+		}
+	}
+}
+
+// TestParallelMatchedCountInvariant: per-query admissions are
+// partition-invariant, so the Matched totals agree with the sequential
+// run even though pruning-work counters may not.
+func TestParallelMatchedCountInvariant(t *testing.T) {
+	const nq, k = 120, 2
+	vecs, ks := parallelFixture(t, workload.Uniform, nq, k, 33)
+	ix, events := buildFixture(t, workload.Uniform, nq, 150, k, 33)
+	seq, err := mrioFactory(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallel(vecs, ks, 3, mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	var seqMatched, parMatched int
+	for _, ev := range events {
+		seqMatched += seq.ProcessEvent(ev.Doc, 1).Matched
+		parMatched += par.ProcessEvent(ev.Doc, 1).Matched
+	}
+	if seqMatched == 0 {
+		t.Fatal("fixture degenerate: nothing matched")
+	}
+	if seqMatched != parMatched {
+		t.Fatalf("matched totals diverge: %d vs %d", seqMatched, parMatched)
+	}
+}
+
+// TestParallelRestoreAndSync: the bulk-load path (Results().Add +
+// SyncThreshold + Refresh) the monitor uses for carries and snapshot
+// restores must route thresholds to the owning partition.
+func TestParallelRestoreAndSync(t *testing.T) {
+	const nq, k = 40, 2
+	vecs, ks := parallelFixture(t, workload.Uniform, nq, k, 5)
+	par, err := NewParallel(vecs, ks, 3, mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	for q := uint32(0); q < nq; q++ {
+		for i := 0; i < k; i++ {
+			par.Results().Add(q, uint64(1000+int(q)*k+i), 10-float64(i))
+		}
+		par.SyncThreshold(q)
+	}
+	par.Refresh()
+	for q := uint32(0); q < nq; q++ {
+		if got := par.Results().Threshold(q); got != 9 {
+			t.Fatalf("query %d threshold = %v, want 9", q, got)
+		}
+		if got := par.Results().Top(q); len(got) != k || got[0].Score != 10 {
+			t.Fatalf("query %d restored results = %+v", q, got)
+		}
+	}
+}
+
+// TestParallelLifecycle: worker-count capping, naming, idempotent
+// Close, and the empty-query edge.
+func TestParallelLifecycle(t *testing.T) {
+	vecs, ks := parallelFixture(t, workload.Uniform, 3, 1, 6)
+	par, err := NewParallel(vecs, ks, 16, mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.procs) != 3 {
+		t.Fatalf("partitions = %d, want 3 (capped at query count)", len(par.procs))
+	}
+	if !strings.HasPrefix(par.Name(), "MRIO×") {
+		t.Fatalf("Name = %q", par.Name())
+	}
+	par.Close()
+	par.Close() // idempotent
+
+	empty, err := NewParallel(nil, nil, 4, mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	if got := empty.Results().NumQueries(); got != 0 {
+		t.Fatalf("empty Parallel has %d queries", got)
+	}
+	if _, err := NewParallel(vecs, ks, 0, mrioFactory); err == nil {
+		t.Fatal("parallelism 0 accepted")
+	}
+}

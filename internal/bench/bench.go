@@ -99,6 +99,9 @@ type Series struct {
 	Bound rangemax.Kind
 	// Shards > 0 routes the series through the parallel Monitor.
 	Shards int
+	// Parallelism > 1 partitions each shard's query range across this
+	// many intra-shard matching workers (Shards must be > 0).
+	Parallelism int
 	// Batch > 1 chunks the measure window into groups of this many
 	// documents, all stamped with the chunk's last event time, and
 	// feeds each chunk through ProcessBatch (Shards must be > 0);
@@ -392,10 +395,11 @@ func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *wa
 		defs[i] = core.QueryDef{Vec: vecs[i], K: ks[i]}
 	}
 	mon, err := core.NewMonitor(core.Config{
-		Algorithm: s.Algo,
-		Bound:     s.Bound,
-		Lambda:    pt.Lambda,
-		Shards:    s.Shards,
+		Algorithm:   s.Algo,
+		Bound:       s.Bound,
+		Lambda:      pt.Lambda,
+		Shards:      s.Shards,
+		Parallelism: s.Parallelism,
 	}, defs)
 	if err != nil {
 		return cell, err

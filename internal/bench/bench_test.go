@@ -26,7 +26,7 @@ func tinyScale() Scale {
 func TestExperimentRegistry(t *testing.T) {
 	sc := tinyScale()
 	exps := Experiments(sc)
-	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch"} {
+	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar"} {
 		e, ok := exps[id]
 		if !ok {
 			t.Fatalf("experiment %s missing", id)

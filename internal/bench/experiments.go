@@ -139,6 +139,23 @@ func Experiments(sc Scale) map[string]Experiment {
 	ablb.Points = []Point{{Param: float64(sc.BaseQueries), Queries: bcfg, Lambda: defaultLambda}}
 	exps[ablb.ID] = ablb
 
+	// Intra-shard parallelism ablation: the identical single-shard
+	// timeline replayed at 1/2/4 matching workers per event. Unlike
+	// ablshard (which partitions queries across independently-fed
+	// shards), this measures how much one event's matching work can be
+	// spread over cores — the lever for single-monitor latency.
+	ablp := base("ablpar", "Extension — intra-shard parallel matching (MRIO, Connected)", "queries")
+	for _, p := range []int{1, 2, 4} {
+		ablp.Series = append(ablp.Series, Series{
+			Label: fmt.Sprintf("par=%d", p),
+			Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree, Shards: 1, Parallelism: p,
+		})
+	}
+	pcfg := workload.DefaultConfig(workload.Connected, sc.BaseQueries)
+	pcfg.Seed = sc.Seed
+	ablp.Points = []Point{{Param: float64(sc.BaseQueries), Queries: pcfg, Lambda: defaultLambda}}
+	exps[ablp.ID] = ablp
+
 	return exps
 }
 

@@ -71,6 +71,14 @@ type Config struct {
 	// Shards splits the query set into independent partitions matched
 	// in parallel (default 1; the paper's setting is single-threaded).
 	Shards int
+	// Parallelism matches each event with this many workers inside
+	// every shard, by partitioning the shard's query range (and thus
+	// its posting lists) into contiguous slices (default 1). It
+	// composes with Shards: total matching concurrency is
+	// Shards × Parallelism. Results are bit-identical to the
+	// sequential path; only the per-event work counters depend on the
+	// partitioning.
+	Parallelism int
 	// RebuildThreshold is how many dynamically added or removed
 	// queries accumulate before the main indexes are rebuilt to absorb
 	// them (default 1024). Pending queries are matched exhaustively in
@@ -85,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
 	}
 	if c.RebuildThreshold == 0 {
 		c.RebuildThreshold = 1024
@@ -102,6 +113,9 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative intra-shard parallelism %d", c.Parallelism)
 	}
 	if c.RebuildThreshold < 0 {
 		return fmt.Errorf("core: negative rebuild threshold %d", c.RebuildThreshold)

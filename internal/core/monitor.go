@@ -99,15 +99,19 @@ func (sh *shard) startWorker() {
 	}()
 }
 
-// stopWorker shuts the worker down and waits for it to exit. A shard
-// that never started one (single-shard monitors) is a no-op.
+// stopWorker shuts the shard's worker down and waits for it to exit
+// (a shard that never started one — single-shard monitors — skips
+// that), then releases any intra-shard workers owned by the shard's
+// processor. Results stay readable afterwards.
 func (sh *shard) stopWorker() {
-	if sh.work == nil {
-		return
+	if sh.work != nil {
+		close(sh.work)
+		<-sh.done
+		sh.work = nil
 	}
-	close(sh.work)
-	<-sh.done
-	sh.work = nil
+	if c, ok := sh.proc.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // matchAll applies the rebase factors in order, then matches every
@@ -128,8 +132,11 @@ func matchAll(proc algo.Processor, rebases []float64, docs []corpus.Document, e 
 // externally serialized (result reads between events are safe).
 //
 // Multi-shard monitors own one persistent worker goroutine per shard,
-// started at construction and on every rebuild; call Close when done
-// to shut them down.
+// started at construction and on every rebuild; with
+// Config.Parallelism > 1 each shard's processor additionally owns
+// Parallelism-1 intra-shard partition workers that split every event's
+// matching across the shard's query range. Call Close when done to
+// shut them all down.
 type Monitor struct {
 	cfg   Config
 	decay *stream.Decay
@@ -201,13 +208,24 @@ func (m *Monitor) NumQueries() int {
 }
 
 // buildShard constructs one shard's index and processor from global
-// query IDs.
+// query IDs. With Parallelism > 1 the shard gets an intra-shard
+// parallel matcher: its query range is partitioned across a worker set
+// that matches every event concurrently (algo.Parallel).
 func (m *Monitor) buildShard(ids []uint32) (*shard, error) {
 	vecs := make([]textproc.Vector, len(ids))
 	ks := make([]int, len(ids))
 	for i, g := range ids {
 		vecs[i] = m.defs[g].Vec
 		ks[i] = m.defs[g].K
+	}
+	if m.cfg.Parallelism > 1 {
+		proc, err := algo.NewParallel(vecs, ks, m.cfg.Parallelism, func(ix *index.Index) (algo.Processor, error) {
+			return NewProcessor(m.cfg.Algorithm, m.cfg.Bound, ix)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &shard{proc: proc, globalIDs: ids}, nil
 	}
 	ix, err := index.Build(vecs, ks)
 	if err != nil {
@@ -238,9 +256,20 @@ func (m *Monitor) rebuild(carried map[uint32][]topk.ScoredDoc) error {
 	for s, ids := range parts {
 		sh, err := m.buildShard(ids)
 		if err != nil {
+			// Release the shards already built; the monitor's own state
+			// (locations, old shards, old workers) is untouched, so a
+			// failed rebuild leaves it fully operational.
+			for _, b := range shards {
+				if b != nil {
+					b.stopWorker()
+				}
+			}
 			return err
 		}
 		shards[s] = sh
+	}
+	// All shards built: only now mutate monitor state.
+	for s, ids := range parts {
 		for local, g := range ids {
 			m.loc[g] = location{shard: int32(s), local: uint32(local)}
 		}
@@ -321,9 +350,31 @@ func (m *Monitor) AddQuery(def QueryDef) (uint32, error) {
 	m.pendingIDs = append(m.pendingIDs, g)
 	m.dirty++
 	if err := m.rebuildPending(); err != nil {
+		m.rollbackAdd(false)
 		return 0, err
 	}
-	return g, m.maybeRebuild()
+	if err := m.maybeRebuild(); err != nil {
+		m.rollbackAdd(true)
+		return 0, err
+	}
+	return g, nil
+}
+
+// rollbackAdd undoes the registration of the most recently appended
+// query after a failed rebuild, so a failed AddQuery leaves the
+// monitor exactly as it was (same query set, same results, and the
+// next add reuses the same global ID). resync marks that the pending
+// sidecar was already rebuilt around the doomed query and must be
+// rebuilt once more without it — that rebuild cannot fail, since the
+// identical sidecar existed before the add.
+func (m *Monitor) rollbackAdd(resync bool) {
+	m.defs = m.defs[:len(m.defs)-1]
+	m.loc = m.loc[:len(m.loc)-1]
+	m.pendingIDs = m.pendingIDs[:len(m.pendingIDs)-1]
+	m.dirty--
+	if resync {
+		_ = m.rebuildPending()
+	}
 }
 
 // rebuildPending reconstructs the pending sidecar, carrying results of
@@ -331,7 +382,9 @@ func (m *Monitor) AddQuery(def QueryDef) (uint32, error) {
 func (m *Monitor) rebuildPending() error {
 	carried := make(map[uint32][]topk.ScoredDoc)
 	if m.pendingProc != nil {
-		for local, g := range m.pendingIDs[:m.pendingProc.Results().NumQueries()] {
+		// The sidecar can briefly hold more queries than pendingIDs
+		// lists (an add being rolled back); clamp to the IDs we track.
+		for local, g := range m.pendingIDs[:min(len(m.pendingIDs), m.pendingProc.Results().NumQueries())] {
 			if docs := m.pendingProc.Results().Top(uint32(local)); len(docs) > 0 {
 				carried[g] = docs
 			}
@@ -523,6 +576,35 @@ func (m *Monitor) TopInflated(g uint32) ([]topk.ScoredDoc, error) {
 		return nil, ErrRemovedQuery
 	}
 	return m.procFor(l).Results().Top(l.local), nil
+}
+
+// EachResultDoc calls fn for every document ID currently held in any
+// live query's result set, in unspecified order. A document referenced
+// by several queries is reported once per reference. The engine's
+// snippet retention uses it to find which documents are still visible.
+func (m *Monitor) EachResultDoc(fn func(docID uint64)) {
+	for g := range m.defs {
+		l := m.loc[g]
+		if l.removed {
+			continue
+		}
+		for _, id := range m.procFor(l).Results().DocIDs(l.local) {
+			fn(id)
+		}
+	}
+}
+
+// ResultCapacity returns the sum of live queries' k: the maximum
+// number of result entries (and so distinct referenced documents) the
+// monitor can expose at once.
+func (m *Monitor) ResultCapacity() int {
+	n := 0
+	for g, d := range m.defs {
+		if !m.loc[g].removed {
+			n += d.K
+		}
+	}
+	return n
 }
 
 // Defs returns the live query definitions keyed by global ID (for

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+// TestParallelismEquivalence is the intra-shard parity gate: monitors
+// at Parallelism 2 and 4 — alone and composed with Shards — must hold
+// bit-identical top-k lists to the sequential monitor after the same
+// stream, including across forced decay rebases (λ=30 crosses the
+// rebase exponent budget on the fixture's ~25-second timeline).
+func TestParallelismEquivalence(t *testing.T) {
+	const nq = 150
+	defs := defsFromWorkload(t, workload.Connected, nq, 3, 17)
+	events := testEvents(t, 256, 93)
+
+	newMon := func(shards, par int) *Monitor {
+		m, err := NewMonitor(Config{Lambda: 30, Shards: shards, Parallelism: par}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
+	ref := newMon(1, 1)
+	variants := map[string]*Monitor{
+		"par=2":          newMon(1, 2),
+		"par=4":          newMon(1, 4),
+		"shards=2 par=2": newMon(2, 2),
+	}
+
+	const chunk = 7
+	rebases := 0
+	lastBase := 0.0
+	for i := 0; i < len(events); i += chunk {
+		evs := events[i:min(i+chunk, len(events))]
+		at := evs[len(evs)-1].Time
+		docs := make([]corpus.Document, len(evs))
+		for j, ev := range evs {
+			docs[j] = ev.Doc
+		}
+		for _, doc := range docs {
+			if _, err := ref.Process(doc, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b := ref.decay.Base(); b != lastBase {
+			rebases++
+			lastBase = b
+		}
+		for name, m := range variants {
+			if _, err := m.ProcessBatch(docs, at); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	if rebases == 0 {
+		t.Fatal("fixture never rebased; raise λ or the timeline")
+	}
+	if ref.Totals().Matched == 0 {
+		t.Fatal("no query ever matched; fixture degenerate")
+	}
+	for name, m := range variants {
+		if m.Totals().Matched != ref.Totals().Matched {
+			t.Fatalf("%s: matched = %d, want %d", name, m.Totals().Matched, ref.Totals().Matched)
+		}
+		expectSameResults(t, name, ref, m, nq)
+	}
+}
+
+// TestParallelismEquivalenceAcrossRebuilds stresses the intra-shard
+// worker lifecycle: query churn trips shard rebuilds (which replace
+// the Parallel processors and their partition workers) between
+// batches, and results must still match the sequential monitor.
+func TestParallelismEquivalenceAcrossRebuilds(t *testing.T) {
+	const nq = 60
+	defs := defsFromWorkload(t, workload.Uniform, nq, 3, 18)
+	extra := defsFromWorkload(t, workload.Uniform, 20, 3, 19)
+	events := testEvents(t, 200, 94)
+
+	mk := func(shards, par int) *Monitor {
+		m, err := NewMonitor(Config{Lambda: 0.01, Shards: shards, Parallelism: par, RebuildThreshold: 2}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
+	ref, par := mk(1, 1), mk(2, 3)
+
+	const chunk = 10
+	added := 0
+	for i := 0; i < len(events); i += chunk {
+		evs := events[i:min(i+chunk, len(events))]
+		at := evs[len(evs)-1].Time
+		docs := make([]corpus.Document, len(evs))
+		for j, ev := range evs {
+			docs[j] = ev.Doc
+		}
+		for _, doc := range docs {
+			if _, err := ref.Process(doc, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := par.ProcessBatch(docs, at); err != nil {
+			t.Fatal(err)
+		}
+		if added < len(extra) {
+			for _, m := range []*Monitor{ref, par} {
+				if _, err := m.AddQuery(extra[added]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			added++
+		}
+		if i/chunk%3 == 2 {
+			victim := uint32(i / chunk % nq)
+			for _, m := range []*Monitor{ref, par} {
+				if err := m.RemoveQuery(victim); err != nil && !errors.Is(err, ErrRemovedQuery) {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	expectSameResults(t, "shards=2 par=3 + churn", ref, par, nq+added)
+}
+
+// monitorFingerprint captures the externally observable registration
+// state: live query count, results of every query, pending depth.
+func monitorFingerprint(t *testing.T, m *Monitor) (queries int, results map[uint32][]Result) {
+	t.Helper()
+	results = make(map[uint32][]Result)
+	for g := range m.defs {
+		top, err := m.Top(uint32(g))
+		if err != nil {
+			continue
+		}
+		results[uint32(g)] = top
+	}
+	return m.NumQueries(), results
+}
+
+// TestAddQueryRollback: a def that passes AddQuery's upfront checks
+// but fails index construction (k beyond the index's arena bound) must
+// leave the monitor exactly as it was — same query count, same
+// results, and the next successful add reuses the failed global ID.
+func TestAddQueryRollback(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 30, 3, 20)
+	extra := defsFromWorkload(t, workload.Uniform, 4, 3, 21)
+	events := testEvents(t, 60, 95)
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Put results both in the shards and in the pending sidecar.
+	if _, err := m.AddQuery(extra[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nBefore, resBefore := monitorFingerprint(t, m)
+	pendingBefore := len(m.pendingIDs)
+
+	bad := QueryDef{Vec: extra[1].Vec, K: math.MaxInt32}
+	if _, err := m.AddQuery(bad); err == nil {
+		t.Fatal("oversized k accepted")
+	}
+
+	nAfter, resAfter := monitorFingerprint(t, m)
+	if nAfter != nBefore {
+		t.Fatalf("query count changed by failed add: %d → %d", nBefore, nAfter)
+	}
+	if len(m.defs) != len(m.loc) || len(m.defs) != nBefore {
+		t.Fatalf("registration arrays diverged: defs=%d loc=%d live=%d", len(m.defs), len(m.loc), nBefore)
+	}
+	if len(m.pendingIDs) != pendingBefore {
+		t.Fatalf("pending grew by failed add: %d → %d", pendingBefore, len(m.pendingIDs))
+	}
+	if len(resAfter) != len(resBefore) {
+		t.Fatalf("result sets changed: %d → %d queries", len(resBefore), len(resAfter))
+	}
+	for g, want := range resBefore {
+		got := resAfter[g]
+		if len(got) != len(want) {
+			t.Fatalf("query %d results changed: %d → %d", g, len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d rank %d changed: %+v → %+v", g, i, want[i], got[i])
+			}
+		}
+	}
+	// The failed ID is reused, the monitor keeps working, and the new
+	// query matches documents.
+	id, err := m.AddQuery(extra[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != nBefore {
+		t.Fatalf("next add got ID %d, want %d (failed ID burned)", id, nBefore)
+	}
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Top(id); err != nil {
+		t.Fatalf("Top on post-rollback query: %v", err)
+	}
+}
+
+// TestAddQueryRollbackAtRebuildThreshold exercises the second rollback
+// arm: the doomed add also trips the rebuild threshold, so the pending
+// sidecar has to be rebuilt around the removal.
+func TestAddQueryRollbackAtRebuildThreshold(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 20, 2, 22)
+	extra := defsFromWorkload(t, workload.Uniform, 3, 2, 23)
+	events := testEvents(t, 40, 96)
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 2}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.AddQuery(extra[0]); err != nil { // dirty = 1
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pendingResults, err := m.Top(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dirty reaches the threshold with this add, so the failure unwinds
+	// with a rebuild pending; the rollback must leave the dirty budget
+	// and the sidecar (with its accumulated results) as they were.
+	bad := QueryDef{Vec: extra[1].Vec, K: math.MaxInt32}
+	if _, err := m.AddQuery(bad); err == nil {
+		t.Fatal("oversized k accepted")
+	}
+	if m.dirty != 1 {
+		t.Fatalf("dirty = %d after rollback, want 1", m.dirty)
+	}
+	after, err := m.Top(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(pendingResults) {
+		t.Fatalf("pending query results changed: %d → %d", len(pendingResults), len(after))
+	}
+	// And a clean add still works and can still trip the rebuild.
+	if _, err := m.AddQuery(extra[2]); err != nil {
+		t.Fatal(err)
+	}
+	if m.dirty != 0 {
+		t.Fatalf("dirty = %d, want 0 (rebuild should have run)", m.dirty)
+	}
+}
+
+// TestConfigParallelism: defaulting and validation of the new knob.
+func TestConfigParallelism(t *testing.T) {
+	if err := (Config{Parallelism: -1}).Validate(); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	c := (Config{}).withDefaults()
+	if c.Parallelism != 1 {
+		t.Fatalf("default parallelism = %d, want 1", c.Parallelism)
+	}
+	defs := defsFromWorkload(t, workload.Uniform, 10, 2, 24)
+	m, err := NewMonitor(Config{Parallelism: 4}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Config().Parallelism != 4 {
+		t.Fatalf("monitor parallelism = %d", m.Config().Parallelism)
+	}
+}
+
+// TestEachResultDocAndCapacity: the reference iteration the snippet
+// pruner relies on reports exactly the stored documents of live
+// queries.
+func TestEachResultDocAndCapacity(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 25, 3, 25)
+	events := testEvents(t, 80, 97)
+	m, err := NewMonitor(Config{Lambda: 0.01}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got, want := m.ResultCapacity(), 25*3; got != want {
+		t.Fatalf("ResultCapacity = %d, want %d", got, want)
+	}
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[uint64]int{}
+	total := 0
+	for g := uint32(0); g < 25; g++ {
+		top, err := m.Top(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range top {
+			want[r.DocID]++
+			total++
+		}
+	}
+	got := map[uint64]int{}
+	n := 0
+	m.EachResultDoc(func(id uint64) { got[id]++; n++ })
+	if n != total || len(got) != len(want) {
+		t.Fatalf("EachResultDoc reported %d refs over %d docs, want %d over %d", n, len(got), total, len(want))
+	}
+	for id, c := range want {
+		if got[id] != c {
+			t.Fatalf("doc %d reported %d times, want %d", id, got[id], c)
+		}
+	}
+	if err := m.RemoveQuery(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.ResultCapacity() != 24*3 {
+		t.Fatalf("ResultCapacity after removal = %d", m.ResultCapacity())
+	}
+}

@@ -1,0 +1,107 @@
+package topk
+
+import "testing"
+
+// TestSliceSharesArena: results added through a slice view are visible
+// through the parent (and vice versa), with query IDs rebased.
+func TestSliceSharesArena(t *testing.T) {
+	s, err := NewStore([]int{2, 3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Slice(1, 3) // parent queries 1 and 2
+	if v.NumQueries() != 2 {
+		t.Fatalf("view queries = %d, want 2", v.NumQueries())
+	}
+	if v.K(0) != 3 || v.K(1) != 1 {
+		t.Fatalf("view ks = %d,%d, want 3,1", v.K(0), v.K(1))
+	}
+	v.Add(0, 100, 5)
+	v.Add(1, 200, 7)
+	if got := s.Top(1); len(got) != 1 || got[0].DocID != 100 || got[0].Score != 5 {
+		t.Fatalf("parent query 1 = %+v", got)
+	}
+	if got := s.Top(2); len(got) != 1 || got[0].DocID != 200 {
+		t.Fatalf("parent query 2 = %+v", got)
+	}
+	s.Add(1, 101, 9)
+	if got := v.Top(0); len(got) != 2 || got[0].DocID != 101 {
+		t.Fatalf("view query 0 = %+v", got)
+	}
+	// Thresholds agree across views.
+	if s.Threshold(2) != v.Threshold(1) {
+		t.Fatalf("thresholds diverge: %v vs %v", s.Threshold(2), v.Threshold(1))
+	}
+}
+
+// TestSliceRebaseIsLocal: rebasing a view rescales exactly its own
+// queries, so disjoint views covering the store compose into a full
+// rebase.
+func TestSliceRebaseIsLocal(t *testing.T) {
+	s, err := NewStore([]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := uint32(0); q < 3; q++ {
+		s.Add(q, uint64(q), 10)
+	}
+	left, right := s.Slice(0, 1), s.Slice(1, 3)
+	left.Rebase(0.5)
+	if got := s.Top(0)[0].Score; got != 5 {
+		t.Fatalf("query 0 score = %v, want 5", got)
+	}
+	if got := s.Top(1)[0].Score; got != 10 {
+		t.Fatalf("query 1 score = %v, want 10 (untouched by left view)", got)
+	}
+	right.Rebase(0.5)
+	for q := uint32(0); q < 3; q++ {
+		if got := s.Top(q)[0].Score; got != 5 {
+			t.Fatalf("after both rebases query %d score = %v, want 5", q, got)
+		}
+	}
+}
+
+// TestSliceEdges: empty and full-range views behave.
+func TestSliceEdges(t *testing.T) {
+	s, err := NewStore([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Slice(1, 1); v.NumQueries() != 0 {
+		t.Fatalf("empty view has %d queries", v.NumQueries())
+	}
+	full := s.Slice(0, 2)
+	full.Add(1, 42, 3)
+	if got := s.Top(1); len(got) != 1 || got[0].DocID != 42 {
+		t.Fatalf("full view write invisible: %+v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice did not panic")
+		}
+	}()
+	s.Slice(1, 3)
+}
+
+// TestDocIDsView: DocIDs exposes the live entries without allocation
+// or ordering guarantees.
+func TestDocIDsView(t *testing.T) {
+	s, err := NewStore([]int{2}) // k=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DocIDs(0); len(got) != 0 {
+		t.Fatalf("empty query DocIDs = %v", got)
+	}
+	s.Add(0, 7, 1)
+	s.Add(0, 8, 2)
+	s.Add(0, 9, 3) // evicts 7
+	ids := s.DocIDs(0)
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if len(ids) != 2 || !seen[8] || !seen[9] || seen[7] {
+		t.Fatalf("DocIDs = %v, want {8, 9}", ids)
+	}
+}

@@ -145,6 +145,40 @@ func (s *Store) swap(a, b int) {
 	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
 }
 
+// Slice returns a view over queries [lo, hi) that shares the
+// receiver's arenas: results added or rebased through either side are
+// visible on both. Query IDs are rebased so the view's query 0 is the
+// parent's query lo. The view's Rebase rescales only its own score
+// segment, which lets disjoint views of one store be rebased
+// independently (and concurrently) while exactly covering the parent.
+func (s *Store) Slice(lo, hi int) *Store {
+	if lo < 0 || hi < lo || hi > s.NumQueries() {
+		panic(fmt.Sprintf("topk: slice [%d, %d) of %d queries", lo, hi, s.NumQueries()))
+	}
+	base, end := s.offsets[lo], s.offsets[hi]
+	offsets := make([]uint32, hi-lo+1)
+	for i := range offsets {
+		offsets[i] = s.offsets[lo+i] - base
+	}
+	// Full slice expressions clamp capacity at the view's end, so
+	// disjointness between neighboring views is structural: nothing a
+	// view does can reach the next partition's arena segment.
+	return &Store{
+		offsets: offsets,
+		scores:  s.scores[base:end:end],
+		ids:     s.ids[base:end:end],
+		sizes:   s.sizes[lo:hi:hi],
+	}
+}
+
+// DocIDs returns query q's current result document IDs in internal
+// (heap) order, as a view into the store's arena. The caller must not
+// mutate the slice or hold it across result mutations.
+func (s *Store) DocIDs(q uint32) []uint64 {
+	base := s.offsets[q]
+	return s.ids[base : base+uint32(s.sizes[q])]
+}
+
 // Best returns query q's highest stored score (0 while empty). The
 // segment is a min-heap, so this is an O(k) scan.
 func (s *Store) Best(q uint32) float64 {
