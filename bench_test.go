@@ -77,3 +77,8 @@ func BenchmarkBatchIngest(b *testing.B) { runExperiment(b, "ablbatch") }
 // BenchmarkParallelMatch replays the identical single-shard timeline
 // at intra-shard parallelism 1, 2 and 4.
 func BenchmarkParallelMatch(b *testing.B) { runExperiment(b, "ablpar") }
+
+// BenchmarkNotifyDelivery runs the push-notification ablation: the
+// identical timeline with the change-detection → broker → subscriber
+// pipeline live at increasing subscriber counts.
+func BenchmarkNotifyDelivery(b *testing.B) { runExperiment(b, "ablnotify") }

@@ -20,14 +20,14 @@ func TestServeGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{engine: engine, start: time.Now()}
+	s := newServer(engine)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, s.mux(), ln) }()
+	go func() { done <- serve(ctx, s.mux(), ln, s.beginShutdown) }()
 
 	base := fmt.Sprintf("http://%s", ln.Addr())
 	resp, body := post(t, base+"/queries", `{"keywords": "graceful shutdown", "k": 3}`)
@@ -75,7 +75,7 @@ func TestServeListenerError(t *testing.T) {
 	}
 	ln.Close() // serve's Serve call must fail immediately
 	errc := make(chan error, 1)
-	go func() { errc <- serve(context.Background(), http.NewServeMux(), ln) }()
+	go func() { errc <- serve(context.Background(), http.NewServeMux(), ln, nil) }()
 	select {
 	case err := <-errc:
 		if err == nil {

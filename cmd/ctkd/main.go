@@ -9,16 +9,27 @@
 //	POST /documents   {"text": "...", "time": 17.5}        → match stats
 //	POST /documents/batch {"texts": ["...", ...], "time": 17.5}
 //	                                                       → batch match stats
-//	GET  /results/3                                        → current top-k
+//	GET  /results/3                                        → {"Seq": n, "Results": top-k}
+//	GET  /watch/3                                          → SSE stream of top-k changes
 //	GET  /stats                                            → server counters
+//	GET  /healthz                                          → liveness + engine stats
 //
 // Start with:
 //
-//	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO -shards 4 -parallelism 2
+//	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO -shards 4 -parallelism 2 \
+//	     -snapshot /var/lib/ctkd/state.snap
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: the listener
-// closes, in-flight requests drain (bounded by a grace period), and
-// the engine's analyzer and matching workers are stopped.
+// /watch/{id} is the push path: instead of polling /results, a client
+// holds the SSE stream open and receives the query's fresh top-k every
+// time it changes, coalesced to the latest state when the client is
+// slow (Seq gaps make drops observable). With -snapshot, the server
+// restores its state on boot and persists it on graceful shutdown, so
+// registered queries, results and idf statistics survive restarts.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: watch streams
+// end, the listener closes, in-flight requests drain (bounded by a
+// grace period), and the engine's analyzer and matching workers are
+// stopped.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"net/http"
@@ -45,7 +57,25 @@ type server struct {
 	mu     sync.Mutex // serializes time assignment for Publish
 	engine *ctk.Engine
 	start  time.Time
+	base   float64 // stream time at boot; > 0 after a snapshot restore
+
+	// stopping is closed when graceful shutdown begins, ending every
+	// /watch stream so Shutdown's drain isn't held open by them.
+	stopping chan struct{}
+	stopOnce sync.Once
 }
+
+func newServer(engine *ctk.Engine) *server {
+	return &server{
+		engine:   engine,
+		start:    time.Now(),
+		base:     engine.StreamTime(),
+		stopping: make(chan struct{}),
+	}
+}
+
+// beginShutdown ends the long-lived /watch streams. Idempotent.
+func (s *server) beginShutdown() { s.stopOnce.Do(func() { close(s.stopping) }) }
 
 // shutdownGrace bounds how long in-flight requests may drain after a
 // termination signal before the server gives up on them.
@@ -58,51 +88,115 @@ func main() {
 		algorithm   = flag.String("algorithm", "MRIO", "matching algorithm")
 		shards      = flag.Int("shards", 0, "parallel shards (0 = single)")
 		parallelism = flag.Int("parallelism", 0, "matching workers per shard (0 = single)")
+		snapPath    = flag.String("snapshot", "", "state file: restore on boot if present, save on graceful shutdown")
 	)
 	flag.Parse()
 
-	if err := run(*addr, ctk.Options{
+	if err := run(context.Background(), *addr, ctk.Options{
 		Algorithm:     *algorithm,
 		Lambda:        *lambda,
 		Shards:        *shards,
 		Parallelism:   *parallelism,
 		SnippetLength: 120,
-	}); err != nil {
+	}, *snapPath); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// run hosts the engine behind an HTTP server until a termination
-// signal arrives or the listener fails, then drains and closes the
-// engine. Split from main so the lifecycle is testable.
-func run(addr string, opts ctk.Options) error {
-	engine, err := ctk.New(opts)
+// loadOrNewEngine restores the engine from path when a snapshot exists
+// there, and builds a fresh engine otherwise. The boolean reports
+// whether a restore happened.
+func loadOrNewEngine(path string, opts ctk.Options) (*ctk.Engine, bool, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			defer f.Close()
+			e, err := ctk.ReadSnapshot(f, opts)
+			if err != nil {
+				return nil, false, fmt.Errorf("restore %s: %w", path, err)
+			}
+			return e, true, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			return nil, false, err
+		}
+	}
+	e, err := ctk.New(opts)
+	return e, false, err
+}
+
+// saveSnapshot persists the engine atomically: write, fsync, then
+// rename, so neither a crash mid-save nor one right after the rename
+// can leave a truncated file where the previous good snapshot was.
+func saveSnapshot(path string, engine *ctk.Engine) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err = engine.WriteSnapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// run hosts the engine behind an HTTP server until a termination
+// signal arrives or the listener fails, then drains, closes the engine
+// and (with a snapshot path) persists its state. Split from main so
+// the lifecycle is testable.
+func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) error {
+	engine, restored, err := loadOrNewEngine(snapPath, opts)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		engine.Close()
 		return err
 	}
-	s := &server{engine: engine, start: time.Now()}
+	s := newServer(engine)
+	if restored {
+		st := engine.Stats()
+		log.Printf("ctkd: restored %d queries / %d documents from %s (stream time %.3f)",
+			st.Queries, st.Documents, snapPath, s.base)
+	}
 	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d parallelism=%d)",
 		ln.Addr(), opts.Algorithm, opts.Lambda, opts.Shards, opts.Parallelism)
-	err = serve(ctx, s.mux(), ln)
+	err = serve(ctx, s.mux(), ln, s.beginShutdown)
 	// Drain the analyzer pool and the monitor's shard and partition
-	// workers whatever way serving ended.
+	// workers whatever way serving ended, then persist the quiesced
+	// state (Close stops mutation; results stay readable for the save).
 	if cerr := engine.Close(); err == nil {
 		err = cerr
+	}
+	if snapPath != "" {
+		if serr := saveSnapshot(snapPath, engine); serr != nil {
+			log.Printf("ctkd: snapshot save failed: %v", serr)
+			if err == nil {
+				err = serr
+			}
+		} else {
+			log.Printf("ctkd: state saved to %s", snapPath)
+		}
 	}
 	return err
 }
 
 // serve runs an HTTP server with sane timeouts on ln until ctx is
-// canceled (graceful: in-flight requests drain within shutdownGrace)
+// canceled (graceful: onShutdown — when non-nil — ends the watch
+// streams first, then in-flight requests drain within shutdownGrace)
 // or the server fails on its own.
-func serve(ctx context.Context, h http.Handler, ln net.Listener) error {
+func serve(ctx context.Context, h http.Handler, ln net.Listener, onShutdown func()) error {
 	srv := &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -118,6 +212,9 @@ func serve(ctx context.Context, h http.Handler, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	log.Printf("ctkd: shutting down (draining for up to %v)", shutdownGrace)
+	if onShutdown != nil {
+		onShutdown()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -137,11 +234,21 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /documents", s.publish)
 	mux.HandleFunc("POST /documents/batch", s.publishBatch)
 	mux.HandleFunc("GET /results/{id}", s.results)
+	mux.HandleFunc("GET /watch/{id}", s.watch)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	// Catch-all so unknown routes get the same JSON error shape as
+	// every handler-level failure.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
 	return mux
 }
 
-func (s *server) now() float64 { return time.Since(s.start).Seconds() }
+// now returns the server's stream clock: wall time elapsed since boot,
+// offset by the stream time a restored snapshot had already reached so
+// publications never regress.
+func (s *server) now() float64 { return s.base + time.Since(s.start).Seconds() }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -252,22 +359,124 @@ func (s *server) publishBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// resultsPayload is the /results/{id} response: the snapshot plus its
+// change sequence number, the same pair a /watch update carries — a
+// poll and a pushed Update with equal Seq hold identical result sets.
+type resultsPayload struct {
+	Seq     uint64
+	Results []ctk.Result
+}
+
 func (s *server) results(w http.ResponseWriter, r *http.Request) {
 	id, err := parseID(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.engine.Results(id)
+	res, seq, err := s.engine.ResultsSeq(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, http.StatusOK, resultsPayload{Seq: seq, Results: res})
+}
+
+// watchBufMax bounds the per-watcher delivery buffer a client may
+// request.
+const watchBufMax = 1024
+
+// watch streams a query's top-k changes as server-sent events. Each
+// change arrives as
+//
+//	id: <seq>
+//	event: topk
+//	data: {"Query": 3, "Seq": 17, "Results": [...]}
+//
+// starting with the current snapshot. Slow consumers are coalesced to
+// the latest state (gaps in Seq reveal skipped intermediates). The
+// stream ends (event: end) when the query is unregistered or the
+// server shuts down. ?buffer=N (1..1024, default 1) sizes the
+// delivery buffer for clients that want short backlogs instead of
+// pure latest-value semantics.
+func (s *server) watch(w http.ResponseWriter, r *http.Request) {
+	id, err := parseID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	buf := 1
+	if b := r.URL.Query().Get("buffer"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 1 || n > watchBufMax {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("buffer must be 1..%d", watchBufMax))
+			return
+		}
+		buf = n
+	}
+	ch, cancel, err := s.engine.Subscribe(id, buf)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	rc := http.NewResponseController(w)
+	// The stream deliberately outlives the server's WriteTimeout; the
+	// per-event writes below fail fast if the client goes away.
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	// end tells the client this is deliberate end-of-stream (query
+	// unregistered or server shutting down), not a network failure.
+	end := func() {
+		fmt.Fprint(w, "event: end\ndata: {}\n\n")
+		_ = rc.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stopping:
+			end()
+			return
+		case u, ok := <-ch:
+			if !ok {
+				end()
+				return
+			}
+			data, err := json.Marshal(u)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: topk\ndata: %s\n\n", u.Seq, data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// healthz reports liveness plus a summary a load balancer or operator
+// can alert on.
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"stream_time":    s.engine.StreamTime(),
+		"stats":          s.engine.Stats(),
+	})
 }
 
 func parseID(s string) (ctk.QueryID, error) {

@@ -7,21 +7,45 @@ import (
 	"strconv"
 	"strings"
 	"testing"
-	"time"
 
 	"repro"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
+	ts, _ := newTestServerEngine(t)
+	return ts
+}
+
+func newTestServerEngine(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
 	engine, err := ctk.New(ctk.Options{Lambda: 0.001, SnippetLength: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{engine: engine, start: time.Now()}
+	s := newServer(engine)
 	ts := httptest.NewServer(s.mux())
-	t.Cleanup(ts.Close)
-	return ts
+	t.Cleanup(func() {
+		ts.Close()
+		engine.Close()
+	})
+	return ts, s
+}
+
+// getResults decodes the /results/{id} payload.
+func getResults(t *testing.T, url string) (uint64, []ctk.Result, int) {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var out resultsPayload
+	if r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Seq, out.Results, r.StatusCode
 }
 
 func post(t *testing.T, url, body string) (*http.Response, map[string]any) {
@@ -55,23 +79,21 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("publish 2: %d", resp.StatusCode)
 	}
 
-	r, err := http.Get(ts.URL + "/results/0")
-	if err != nil {
-		t.Fatal(err)
+	seq, results, code := getResults(t, ts.URL+"/results/0")
+	if code != http.StatusOK {
+		t.Fatalf("results: %d", code)
 	}
-	var results []ctk.Result
-	if err := json.NewDecoder(r.Body).Decode(&results); err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
 	if len(results) != 1 || results[0].DocID != 0 {
 		t.Fatalf("results = %+v", results)
+	}
+	if seq == 0 {
+		t.Fatal("results seq = 0 after a matching publish")
 	}
 	if !strings.Contains(results[0].Snippet, "solar") {
 		t.Fatalf("snippet missing: %+v", results[0])
 	}
 
-	r, err = http.Get(ts.URL + "/stats")
+	r, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,8 +115,8 @@ func TestServerEndToEnd(t *testing.T) {
 	if resp2.StatusCode != http.StatusNoContent {
 		t.Fatalf("delete: %d", resp2.StatusCode)
 	}
-	if r, _ = http.Get(ts.URL + "/results/" + itoa(id)); r.StatusCode != http.StatusNotFound {
-		t.Fatalf("removed query results: %d", r.StatusCode)
+	if _, _, code := getResults(t, ts.URL+"/results/"+itoa(id)); code != http.StatusNotFound {
+		t.Fatalf("removed query results: %d", code)
 	}
 }
 
@@ -121,15 +143,10 @@ func TestServerBatchPublish(t *testing.T) {
 		t.Fatalf("FirstDocID = %d, want 0", first)
 	}
 
-	r, err := http.Get(ts.URL + "/results/" + itoa(id))
-	if err != nil {
-		t.Fatal(err)
+	_, results, code := getResults(t, ts.URL+"/results/"+itoa(id))
+	if code != http.StatusOK {
+		t.Fatalf("results: %d", code)
 	}
-	var results []ctk.Result
-	if err := json.NewDecoder(r.Body).Decode(&results); err != nil {
-		t.Fatal(err)
-	}
-	r.Body.Close()
 	if len(results) != 2 {
 		t.Fatalf("results = %+v, want docs 0 and 2", results)
 	}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestSnapshotLifecycle is the restart round trip: a server's state is
+// saved, a second server boots from the file, serves the same results,
+// and keeps ingesting on a resumed stream clock.
+func TestSnapshotLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	opts := ctk.Options{Lambda: 0.001, SnippetLength: 40}
+
+	// First life: no snapshot file yet → fresh engine.
+	engine, restored, err := loadOrNewEngine(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored {
+		t.Fatal("restored from a nonexistent file")
+	}
+	s := newServer(engine)
+	ts := httptest.NewServer(s.mux())
+	resp, out := post(t, ts.URL+"/queries", `{"keywords":"solar panel efficiency","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, out)
+	}
+	resp, _ = post(t, ts.URL+"/documents", `{"text":"solar panel efficiency record","time":10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("publish: %d", resp.StatusCode)
+	}
+	seq1, res1, _ := getResults(t, ts.URL+"/results/0")
+	if len(res1) != 1 {
+		t.Fatalf("first life results: %+v", res1)
+	}
+	ts.Close()
+	// Emulate run's epilogue: close, then save.
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveSnapshot(path, engine); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: boot from the snapshot.
+	engine2, restored, err := loadOrNewEngine(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine2.Close()
+	if !restored {
+		t.Fatal("snapshot not restored")
+	}
+	s2 := newServer(engine2)
+	ts2 := httptest.NewServer(s2.mux())
+	defer ts2.Close()
+
+	seq2, res2, code := getResults(t, ts2.URL+"/results/0")
+	if code != http.StatusOK || len(res2) != 1 {
+		t.Fatalf("restored results: %d %+v", code, res2)
+	}
+	if res2[0].DocID != res1[0].DocID || res2[0].Snippet != res1[0].Snippet {
+		t.Fatalf("restored result %+v, want %+v", res2[0], res1[0])
+	}
+	// The broker (and so the seq counter) restarts with the process;
+	// what matters is that it counts from a consistent state.
+	if seq1 == 0 || seq2 != 0 {
+		t.Fatalf("seqs across restart: %d then %d", seq1, seq2)
+	}
+
+	// The stream clock resumed: a publish on the server clock (no
+	// explicit time) must land after the snapshot's stream time 10
+	// instead of being rejected as a regression.
+	resp, body := post(t, ts2.URL+"/documents", `{"text":"another solar efficiency gain"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-restore publish: %d %v", resp.StatusCode, body)
+	}
+	_, res3, _ := getResults(t, ts2.URL+"/results/0")
+	if len(res3) != 2 {
+		t.Fatalf("post-restore results: %+v", res3)
+	}
+}
+
+// TestSnapshotLifecycleAfterDelete: a server that served a
+// DELETE /queries must still save a restorable snapshot — the removed
+// ID stays dead after the restart, the survivor keeps its handle, and
+// a new registration gets a fresh ID rather than reusing the gap.
+func TestSnapshotLifecycleAfterDelete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	opts := ctk.Options{Lambda: 0.001, SnippetLength: 40}
+
+	engine, _, err := loadOrNewEngine(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(engine)
+	ts := httptest.NewServer(s.mux())
+	post(t, ts.URL+"/queries", `{"keywords":"solar panel efficiency","k":3}`) // id 0
+	post(t, ts.URL+"/queries", `{"keywords":"football championship","k":3}`)  // id 1
+	post(t, ts.URL+"/documents", `{"text":"solar panel efficiency record","time":1}`)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/0", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	ts.Close()
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveSnapshot(path, engine); err != nil {
+		t.Fatalf("save after delete: %v", err)
+	}
+
+	engine2, restored, err := loadOrNewEngine(path, opts)
+	if err != nil {
+		t.Fatalf("boot after delete+save: %v", err)
+	}
+	defer engine2.Close()
+	if !restored {
+		t.Fatal("snapshot not restored")
+	}
+	ts2 := httptest.NewServer(s2mux(engine2))
+	defer ts2.Close()
+	if _, _, code := getResults(t, ts2.URL+"/results/0"); code != http.StatusNotFound {
+		t.Fatalf("deleted query after restart: %d", code)
+	}
+	if _, _, code := getResults(t, ts2.URL+"/results/1"); code != http.StatusOK {
+		t.Fatalf("surviving query after restart: %d", code)
+	}
+	resp, out := post(t, ts2.URL+"/queries", `{"keywords":"rainfall flooding","k":2}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-restart register: %d", resp.StatusCode)
+	}
+	if id := int(out["id"].(float64)); id != 2 {
+		t.Fatalf("post-restart register got ID %d, want 2 (gap must not be reused)", id)
+	}
+}
+
+// s2mux builds a fresh server mux around an engine (helper for
+// restart tests).
+func s2mux(engine *ctk.Engine) http.Handler { return newServer(engine).mux() }
+
+// TestRunSavesOnGracefulShutdown drives run itself: boot with a
+// -snapshot path, shut down via context cancel, and check the state
+// file appears and restores.
+func TestRunSavesOnGracefulShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	opts := ctk.Options{Lambda: 0.001, SnippetLength: 40}
+
+	// Seed a snapshot with one query so the rebooted server has
+	// something to restore.
+	seed, _, err := loadOrNewEngine("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Register("rainfall flood warning", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Publish("rainfall flood warning issued", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveSnapshot(path, seed); err != nil {
+		t.Fatal(err)
+	}
+	// Back-date the seed file so "run rewrote it on shutdown" is
+	// detectable regardless of filesystem timestamp granularity.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, past, past); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, "127.0.0.1:0", opts, path) }()
+	time.Sleep(200 * time.Millisecond) // let run boot and restore
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("snapshot gone after shutdown: %v", err)
+	}
+	if !after.ModTime().After(before.ModTime()) {
+		t.Fatal("snapshot not rewritten on shutdown")
+	}
+	reloaded, restored, err := loadOrNewEngine(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reloaded.Close()
+	if !restored {
+		t.Fatal("file did not restore")
+	}
+	if st := reloaded.Stats(); st.Queries != 1 || st.Documents != 1 {
+		t.Fatalf("reloaded stats: %+v", st)
+	}
+}

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// sseReader incrementally parses an SSE stream.
+type sseReader struct {
+	sc *bufio.Scanner
+}
+
+func newSSEReader(r *http.Response) *sseReader {
+	return &sseReader{sc: bufio.NewScanner(r.Body)}
+}
+
+// next returns the next event, blocking on the stream. ok is false at
+// EOF (stream closed by the server).
+func (r *sseReader) next() (ev sseEvent, ok bool) {
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		switch {
+		case line == "":
+			if ev.event != "" || ev.data != "" {
+				return ev, true
+			}
+		case strings.HasPrefix(line, "event: "):
+			ev.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return ev, false
+}
+
+// watchStream opens /watch/{id} and fails the test on a non-200.
+func watchStream(t *testing.T, base string, id int, params string) (*sseReader, func()) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/watch/%d%s", base, id, params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("watch: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("watch content type %q", ct)
+	}
+	return newSSEReader(resp), func() { resp.Body.Close() }
+}
+
+// TestWatchStreamsUpdates: the SSE endpoint delivers the initial
+// snapshot and every subsequent change, and each pushed update equals
+// the polled /results payload at the same Seq — HTTP-level push/poll
+// parity.
+func TestWatchStreamsUpdates(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, out := post(t, ts.URL+"/queries", `{"keywords":"solar panel efficiency","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, out)
+	}
+	id := int(out["id"].(float64))
+
+	rd, closeStream := watchStream(t, ts.URL, id, "?buffer=16")
+	defer closeStream()
+
+	ev, ok := rd.next()
+	if !ok || ev.event != "topk" {
+		t.Fatalf("initial event = %+v ok=%v", ev, ok)
+	}
+	var initial ctk.Update
+	if err := json.Unmarshal([]byte(ev.data), &initial); err != nil {
+		t.Fatal(err)
+	}
+	if initial.Seq != 0 || len(initial.Results) != 0 {
+		t.Fatalf("initial snapshot = %+v", initial)
+	}
+
+	// Publish matching docs; poll /results after each to record the
+	// snapshot at each new seq (first poll per seq shares the push's
+	// stream time).
+	polled := map[uint64][]ctk.Result{}
+	for i := 0; i < 3; i++ {
+		resp, _ := post(t, ts.URL+"/documents",
+			fmt.Sprintf(`{"text":"solar panel efficiency breakthrough %d","time":%d}`, i, i+1))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("publish %d: %d", i, resp.StatusCode)
+		}
+		seq, res, code := getResults(t, fmt.Sprintf("%s/results/%d", ts.URL, id))
+		if code != http.StatusOK {
+			t.Fatalf("poll: %d", code)
+		}
+		if _, seen := polled[seq]; !seen {
+			polled[seq] = res
+		}
+	}
+	if len(polled) < 3 {
+		t.Fatalf("only %d distinct seqs polled; fixture degenerate", len(polled))
+	}
+
+	last := uint64(0)
+	for want := 0; want < 3; want++ {
+		ev, ok := rd.next()
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		if ev.event != "topk" {
+			t.Fatalf("event %q", ev.event)
+		}
+		var u ctk.Update
+		if err := json.Unmarshal([]byte(ev.data), &u); err != nil {
+			t.Fatal(err)
+		}
+		if u.Query != ctk.QueryID(id) || u.Seq != last+1 {
+			t.Fatalf("update %+v after seq %d", u, last)
+		}
+		last = u.Seq
+		wantRes, okSeq := polled[u.Seq]
+		if !okSeq {
+			t.Fatalf("pushed seq %d never polled", u.Seq)
+		}
+		if len(u.Results) != len(wantRes) {
+			t.Fatalf("seq %d: pushed %d results, polled %d", u.Seq, len(u.Results), len(wantRes))
+		}
+		for i := range wantRes {
+			if u.Results[i] != wantRes[i] {
+				t.Fatalf("seq %d rank %d: pushed %+v, polled %+v", u.Seq, i, u.Results[i], wantRes[i])
+			}
+		}
+	}
+}
+
+// TestWatchEndsOnUnregister: deleting the watched query terminates the
+// stream with an end event.
+func TestWatchEndsOnUnregister(t *testing.T) {
+	ts := newTestServer(t)
+	resp, out := post(t, ts.URL+"/queries", `{"keywords":"quantum computing","k":2}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatal("add query failed")
+	}
+	id := int(out["id"].(float64))
+	rd, closeStream := watchStream(t, ts.URL, id, "")
+	defer closeStream()
+	if ev, ok := rd.next(); !ok || ev.event != "topk" {
+		t.Fatalf("initial event = %+v", ev)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/queries/%d", ts.URL, id), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	deadline := time.After(5 * time.Second)
+	done := make(chan sseEvent, 1)
+	go func() {
+		for {
+			ev, ok := rd.next()
+			if !ok {
+				close(done)
+				return
+			}
+			done <- ev
+		}
+	}()
+	select {
+	case ev, ok := <-done:
+		if ok && ev.event != "end" {
+			t.Fatalf("event after unregister = %+v", ev)
+		}
+	case <-deadline:
+		t.Fatal("stream did not end after unregister")
+	}
+}
+
+// TestWatchRejects: bad IDs, unknown queries and invalid buffer sizes
+// fail with JSON errors instead of opening a stream.
+func TestWatchRejects(t *testing.T) {
+	ts := newTestServer(t)
+	for path, want := range map[string]int{
+		"/watch/notanumber": http.StatusBadRequest,
+		"/watch/42":         http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: non-JSON error body: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want || body["error"] == "" {
+			t.Fatalf("%s: %d %v", path, resp.StatusCode, body)
+		}
+	}
+	post(t, ts.URL+"/queries", `{"keywords":"solar power","k":2}`)
+	resp, err := http.Get(ts.URL + "/watch/0?buffer=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("buffer=0: %d", resp.StatusCode)
+	}
+}
+
+// TestWatchShutdownGraceful: an open SSE stream must not hold graceful
+// shutdown to its full grace period — beginShutdown ends watch
+// streams, so serve returns promptly and cleanly.
+func TestWatchShutdownGraceful(t *testing.T) {
+	engine, err := ctk.New(ctk.Options{Lambda: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	if _, err := engine.Register("graceful shutdown watch", 2); err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(engine)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, s.mux(), ln, s.beginShutdown) }()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	rd, closeStream := watchStream(t, base, 0, "")
+	defer closeStream()
+	if ev, ok := rd.next(); !ok || ev.event != "topk" {
+		t.Fatalf("initial event = %+v", ev)
+	}
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve hung on open watch stream")
+	}
+	if elapsed := time.Since(start); elapsed > shutdownGrace {
+		t.Fatalf("shutdown took %v, longer than the grace period", elapsed)
+	}
+	// The client observes its stream ending.
+	if _, ok := rd.next(); ok {
+		// A final buffered event is fine; the stream must still close.
+		for {
+			if _, ok := rd.next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// TestHealthzAndJSON404: the health endpoint reports engine stats and
+// uptime; unknown routes return the same JSON error shape as handler
+// failures.
+func TestHealthzAndJSON404(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/queries", `{"keywords":"solar panel","k":2}`)
+	post(t, ts.URL+"/documents", `{"text":"solar panel story","time":5}`)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status        string    `json:"status"`
+		UptimeSeconds float64   `json:"uptime_seconds"`
+		StreamTime    float64   `json:"stream_time"`
+		Stats         ctk.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, h)
+	}
+	if h.UptimeSeconds < 0 || h.StreamTime != 5 {
+		t.Fatalf("healthz payload: %+v", h)
+	}
+	if h.Stats.Queries != 1 || h.Stats.Documents != 1 {
+		t.Fatalf("healthz stats: %+v", h.Stats)
+	}
+
+	resp, err = http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("404 body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || body["error"] == "" {
+		t.Fatalf("unknown route: %d %v", resp.StatusCode, body)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/notify"
 	"repro/internal/textproc"
 )
 
@@ -123,6 +124,12 @@ type Engine struct {
 	mon      *core.Monitor
 	nextDoc  uint64
 
+	// broker is the push-delivery fan-out: the monitor reports which
+	// queries' top-k changed per publish (exact under any
+	// Shards × Parallelism layout), and the broker coalesces those
+	// changes into every watcher's bounded buffer. See Subscribe.
+	broker *notify.Broker[Update]
+
 	// snips holds retained snippets of published documents, pruned of
 	// entries no result set references once it outgrows snipHW (see
 	// pruneSnippets), so retention is bounded by the engine's live
@@ -195,7 +202,24 @@ func New(opts Options) (*Engine, error) {
 		e.snips = make(map[uint64]string)
 		e.snipHW = snipPruneMin
 	}
+	e.broker = notify.New[Update]()
 	return e, nil
+}
+
+// notifyChanges drains the monitor's exact change set for the publish
+// that just completed and fans it out through the broker. Called on
+// the publish path under e.mu, after snippet retention, so a pushed
+// payload carries the same snippets a poll at the same sequence number
+// would see. Each changed query costs one sequence bump; the full
+// top-k payload is built only for queries someone is watching, and
+// delivery is non-blocking, so a slow watcher never stalls ingestion.
+func (e *Engine) notifyChanges() {
+	for _, g := range e.mon.ChangedQueries() {
+		e.broker.Publish(g, func(seq uint64) Update {
+			res, _ := e.resultsLocked(QueryID(g))
+			return Update{Query: QueryID(g), Seq: seq, Results: res}
+		})
+	}
 }
 
 // analyzeWorker drains the analyzer pool's job channel.
@@ -223,7 +247,21 @@ func (e *Engine) Close() error {
 	e.anWG.Wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.mon.Close()
+	err := e.mon.Close()
+	// End every watcher's stream after the monitor stops producing
+	// changes, so no update can follow a channel close.
+	e.broker.Close()
+	return err
+}
+
+// StreamTime returns the engine's current stream time: the timestamp
+// of the latest accepted publication (0 before any). A server
+// restoring from a snapshot uses it to resume its publication clock
+// past the persisted stream.
+func (e *Engine) StreamTime() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mon.Now()
 }
 
 // analyze runs the engine's token pipeline (tokenize, optional stem).
@@ -256,11 +294,21 @@ func (e *Engine) Register(keywords string, k int) (QueryID, error) {
 	return QueryID(id), nil
 }
 
-// Unregister removes a query.
+// Unregister removes a query. Watchers subscribed to it observe their
+// update channel closing. Snippets referenced only by the removed
+// query's results are swept immediately — without this, documents
+// visible solely through the removed query would linger in the
+// snippet map until some later publish happened to cross the pruning
+// watermark.
 func (e *Engine) Unregister(id QueryID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return public(e.mon.RemoveQuery(uint32(id)))
+	if err := e.mon.RemoveQuery(uint32(id)); err != nil {
+		return public(err)
+	}
+	e.broker.CloseTopic(uint32(id))
+	e.sweepSnippets()
+	return nil
 }
 
 // PublishStats reports the matching work one publication caused.
@@ -298,6 +346,7 @@ func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 	}
 	e.retainSnippet(id, text)
 	e.pruneSnippets()
+	e.notifyChanges()
 	return PublishStats{DocID: id, Updated: st.Matched, Evaluated: st.Evaluated}, nil
 }
 
@@ -328,6 +377,16 @@ const snipPruneMin = 64
 // Caller holds e.mu.
 func (e *Engine) pruneSnippets() {
 	if e.snips == nil || len(e.snips) < e.snipHW {
+		return
+	}
+	e.sweepSnippets()
+}
+
+// sweepSnippets unconditionally drops every snippet no live query's
+// current top-k references and re-arms the pruning watermark. Caller
+// holds e.mu.
+func (e *Engine) sweepSnippets() {
+	if e.snips == nil {
 		return
 	}
 	live := make(map[uint64]struct{}, e.mon.ResultCapacity())
@@ -411,6 +470,7 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 		e.retainSnippet(first+uint64(i), text)
 	}
 	e.pruneSnippets()
+	e.notifyChanges()
 	return BatchStats{
 		FirstDocID: first,
 		Docs:       len(texts),
@@ -426,6 +486,12 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 func (e *Engine) Results(id QueryID) ([]Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.resultsLocked(id)
+}
+
+// resultsLocked builds a query's result snapshot. Caller holds e.mu
+// (either side).
+func (e *Engine) resultsLocked(id QueryID) ([]Result, error) {
 	top, err := e.mon.Top(uint32(id))
 	if err != nil {
 		return nil, err
@@ -438,6 +504,65 @@ func (e *Engine) Results(id QueryID) ([]Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// ResultsSeq returns a query's current top-k together with its change
+// sequence number: how many times the query's result set has changed
+// since the engine started. The pair is read atomically with respect
+// to publishes, so a snapshot at sequence s equals the payload of the
+// pushed Update carrying Seq == s.
+func (e *Engine) ResultsSeq(id QueryID) ([]Result, uint64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	res, err := e.resultsLocked(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, e.broker.Seq(uint32(id)), nil
+}
+
+// Update is one pushed change notification: the watched query's fresh
+// top-k, stamped with its change sequence number. Seq increases by
+// exactly one per top-k change of the query, so a gap between
+// consecutively received updates reveals deliveries coalesced away
+// while the subscriber was slow — the payload is always the newest
+// state at the time of delivery.
+type Update struct {
+	Query   QueryID
+	Seq     uint64
+	Results []Result
+}
+
+// Subscribe attaches a watcher to a query's result stream. The first
+// update is the query's current top-k at its current sequence number;
+// every subsequent top-k change delivers a fresh Update. The channel
+// buffers at most buf updates (buf ≤ 0 uses a buffer of 1): when the
+// subscriber falls behind, the oldest buffered update is dropped for
+// the newest, so the watcher always converges to the live state and
+// never drains a stale backlog. Delivery never blocks ingestion.
+//
+// The channel closes when cancel is called, the query is unregistered,
+// or the engine closes. cancel is idempotent and safe to call
+// concurrently with ingestion.
+func (e *Engine) Subscribe(id QueryID, buf int) (<-chan Update, func(), error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	// Validate the query and capture the initial snapshot atomically
+	// with the subscription: publishes hold the write lock, so no
+	// change can slip between snapshot and attachment.
+	res, err := e.resultsLocked(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := e.broker.Subscribe(uint32(id), buf)
+	if err != nil {
+		if errors.Is(err, notify.ErrClosed) {
+			err = ErrClosed
+		}
+		return nil, nil, err
+	}
+	sub.Prime(Update{Query: id, Seq: e.broker.Seq(uint32(id)), Results: res})
+	return sub.C(), sub.Cancel, nil
 }
 
 // Stats summarizes engine activity.

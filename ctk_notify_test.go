@@ -1,0 +1,351 @@
+package ctk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// notifyFixture builds an engine with n registered queries over a
+// shared topical vocabulary, so published documents reliably hit
+// several queries' top-k.
+func notifyFixture(t *testing.T, opts Options, n int) (*Engine, []QueryID) {
+	t.Helper()
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	topics := []string{
+		"solar panel efficiency record",
+		"football championship goal striker",
+		"stock market rally recession",
+		"quantum computing error correction",
+		"rainfall flood warning river",
+	}
+	ids := make([]QueryID, n)
+	for i := range ids {
+		id, err := e.Register(fmt.Sprintf("%s q%d", topics[i%len(topics)], i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return e, ids
+}
+
+// notifyDoc deterministically generates document text drawing from the
+// fixture vocabulary.
+func notifyDoc(rng *rand.Rand, i int) string {
+	words := []string{
+		"solar", "panel", "efficiency", "record", "football",
+		"championship", "goal", "striker", "stock", "market", "rally",
+		"recession", "quantum", "computing", "error", "correction",
+		"rainfall", "flood", "warning", "river", "update", "report",
+	}
+	out := fmt.Sprintf("doc%d", i)
+	for w := 0; w < 6; w++ {
+		out += " " + words[rng.Intn(len(words))]
+	}
+	return out
+}
+
+// TestSubscribeDeliversChanges: the initial snapshot arrives first;
+// every later update reflects a real change with Seq increasing by 1
+// when nothing is dropped, and its payload equals the polled
+// ResultsSeq snapshot at the same Seq — the push/poll parity gate.
+func TestSubscribeDeliversChanges(t *testing.T) {
+	e, ids := notifyFixture(t, Options{Lambda: 0.001, SnippetLength: 40, Shards: 2, Parallelism: 2}, 10)
+	watch := ids[0]
+	ch, cancel, err := e.Subscribe(watch, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	first := <-ch
+	if first.Query != watch || first.Seq != 0 || len(first.Results) != 0 {
+		t.Fatalf("initial snapshot = %+v", first)
+	}
+
+	// Publish single-threadedly, recording the polled snapshot at each
+	// sequence number.
+	rng := rand.New(rand.NewSource(11))
+	polled := map[uint64][]Result{0: {}}
+	for i := 0; i < 60; i++ {
+		if _, err := e.Publish(notifyDoc(rng, i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		res, seq, err := e.ResultsSeq(watch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Record the first poll at each seq: it shares the push's stream
+		// time, so present-time scores match exactly. Later polls at the
+		// same seq see the same docs under more decay.
+		if _, ok := polled[seq]; !ok {
+			polled[seq] = res
+		}
+	}
+
+	got := 0
+	last := uint64(0)
+	for {
+		select {
+		case u := <-ch:
+			if u.Seq != last+1 {
+				t.Fatalf("seq jumped %d → %d with an idle subscriber", last, u.Seq)
+			}
+			last = u.Seq
+			want, ok := polled[u.Seq]
+			if !ok {
+				t.Fatalf("update at unpolled seq %d", u.Seq)
+			}
+			if len(u.Results) != len(want) {
+				t.Fatalf("seq %d: pushed %d results, polled %d", u.Seq, len(u.Results), len(want))
+			}
+			for i := range want {
+				if u.Results[i] != want[i] {
+					t.Fatalf("seq %d rank %d: pushed %+v, polled %+v", u.Seq, i, u.Results[i], want[i])
+				}
+			}
+			got++
+		default:
+			if got == 0 {
+				t.Fatal("no updates delivered; fixture degenerate")
+			}
+			if _, finalSeq, _ := e.ResultsSeq(watch); finalSeq != last {
+				t.Fatalf("final seq %d but last delivered %d", finalSeq, last)
+			}
+			return
+		}
+	}
+}
+
+// TestSubscribeCoalesces: a buffer-1 subscriber that never reads while
+// many changes happen receives exactly the latest state, with the drop
+// visible as a Seq gap.
+func TestSubscribeCoalesces(t *testing.T) {
+	e, ids := notifyFixture(t, Options{Lambda: 0.001}, 5)
+	watch := ids[1]
+	ch, cancel, err := e.Subscribe(watch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 80; i++ {
+		if _, err := e.Publish(notifyDoc(rng, i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, seq, err := e.ResultsSeq(watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq < 2 {
+		t.Fatalf("query changed only %d times; fixture degenerate", seq)
+	}
+	u := <-ch // the single buffered slot holds the newest update
+	if u.Seq != seq {
+		t.Fatalf("coalesced update at seq %d, want latest %d", u.Seq, seq)
+	}
+	if len(u.Results) != len(want) {
+		t.Fatalf("coalesced payload %d results, want %d", len(u.Results), len(want))
+	}
+	// Scores are present-time decayed, so they shift between the push
+	// and this later poll; the membership and order must match exactly.
+	for i := range want {
+		if u.Results[i].DocID != want[i].DocID {
+			t.Fatalf("rank %d: doc %d != %d", i, u.Results[i].DocID, want[i].DocID)
+		}
+	}
+}
+
+// TestSubscribeLifecycle: unregistering the query or closing the
+// engine ends the stream; subscribing to unknown or removed queries
+// fails.
+func TestSubscribeLifecycle(t *testing.T) {
+	e, ids := notifyFixture(t, Options{Lambda: 0.001}, 4)
+	ch, cancel, err := e.Subscribe(ids[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	<-ch // initial snapshot
+	if err := e.Unregister(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("update after unregister")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel not closed by unregister")
+	}
+	if _, _, err := e.Subscribe(ids[0], 1); err == nil {
+		t.Fatal("subscribe to removed query succeeded")
+	}
+	if _, _, err := e.Subscribe(QueryID(999), 1); err == nil {
+		t.Fatal("subscribe to unknown query succeeded")
+	}
+
+	ch2, cancel2, err := e.Subscribe(ids[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	<-ch2
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-ch2:
+		if ok {
+			t.Fatal("update after engine close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel not closed by engine close")
+	}
+	if _, _, err := e.Subscribe(ids[2], 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe on closed engine: %v", err)
+	}
+}
+
+// TestSubscribeChurnHammer subscribes and cancels watchers from many
+// goroutines while PublishBatch ingestion runs — the -race gate for
+// broker churn against the live publish path. Received sequence
+// numbers must be strictly increasing per subscription and every
+// received payload must be a plausible snapshot (correct query).
+func TestSubscribeChurnHammer(t *testing.T) {
+	e, ids := notifyFixture(t, Options{Lambda: 0.001, Shards: 2, Parallelism: 2}, 12)
+
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		rng := rand.New(rand.NewSource(17))
+		at := 0.0
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]string, 4)
+			for j := range batch {
+				batch[j] = notifyDoc(rng, i*4+j)
+			}
+			at++
+			if _, err := e.PublishBatch(batch, at); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				id := ids[(w+i)%len(ids)]
+				ch, cancel, err := e.Subscribe(id, 1+i%2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				last := uint64(0)
+				firstRead := true
+				for r := 0; r < 1+i%3; r++ {
+					select {
+					case u, ok := <-ch:
+						if !ok {
+							t.Error("channel closed mid-watch")
+							return
+						}
+						if u.Query != id {
+							t.Errorf("update for query %d on %d's stream", u.Query, id)
+							return
+						}
+						if !firstRead && u.Seq <= last {
+							t.Errorf("seq not increasing: %d after %d", u.Seq, last)
+							return
+						}
+						last, firstRead = u.Seq, false
+					case <-time.After(5 * time.Second):
+						t.Error("starved watcher")
+						return
+					}
+				}
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pubWG.Wait()
+	if st := e.Stats(); st.Matched == 0 {
+		t.Fatal("hammer stream never matched anything")
+	}
+}
+
+// TestUnregisterSweepsSnippets: documents referenced only by a removed
+// query's top-k leave the snippet map at unregister time instead of
+// lingering until a later publish crosses the pruning watermark.
+func TestUnregisterSweepsSnippets(t *testing.T) {
+	e, err := New(Options{Lambda: 0.001, SnippetLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Two disjoint-vocabulary queries: their top-k never share docs.
+	solar, err := e.Register("solar panel efficiency", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	football, err := e.Register("football championship goal", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Publish(fmt.Sprintf("solar panel efficiency report %d", i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Publish(fmt.Sprintf("football championship goal recap %d", i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sres, err := e.Results(solar)
+	if err != nil || len(sres) == 0 {
+		t.Fatalf("solar results: %v (%d)", err, len(sres))
+	}
+	before := e.Stats().Snippets
+	if before == 0 {
+		t.Fatal("no snippets retained; fixture degenerate")
+	}
+	if err := e.Unregister(solar); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats().Snippets
+	if after >= before {
+		t.Fatalf("Snippets = %d after unregister, want < %d", after, before)
+	}
+	// The surviving query's snippets are intact.
+	fres, err := e.Results(football)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fres {
+		if r.Snippet == "" {
+			t.Fatalf("surviving query lost snippet for doc %d", r.DocID)
+		}
+	}
+}

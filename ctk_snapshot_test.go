@@ -1,0 +1,136 @@
+package ctk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// expectSameEngineResults asserts both engines expose identical
+// results (IDs, scores, snippets) for every query in ids.
+func expectSameEngineResults(t *testing.T, label string, want, got *Engine, ids []QueryID) {
+	t.Helper()
+	for _, id := range ids {
+		w, err := want.Results(id)
+		if err != nil {
+			t.Fatalf("%s: want side query %d: %v", label, id, err)
+		}
+		g, err := got.Results(id)
+		if err != nil {
+			t.Fatalf("%s: got side query %d: %v", label, id, err)
+		}
+		if len(w) != len(g) {
+			t.Fatalf("%s: query %d has %d results, want %d", label, id, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: query %d rank %d: %+v != %+v", label, id, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestEngineSnapshotRoundTrip: an engine saved mid-stream and restored
+// (under a different execution shape) serves identical results, and —
+// because the idf statistics, document counter and stream clock are
+// part of the snapshot — continues the stream bit-identically to the
+// engine that never stopped.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	orig, ids := notifyFixture(t, Options{Lambda: 0.01, SnippetLength: 40, Stemming: true}, 8)
+	rng := rand.New(rand.NewSource(23))
+	at := 0.0
+	for i := 0; i < 50; i++ {
+		at += 0.5
+		if _, err := orig.Publish(notifyDoc(rng, i), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore under a different (result-invariant) execution shape;
+	// Lambda/Stemming in opts are overridden by the snapshot.
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), Options{
+		Shards:        2,
+		Parallelism:   2,
+		SnippetLength: 40,
+		Lambda:        99, // ignored: snapshot's λ wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.opts.Lambda != 0.01 || !restored.opts.Stemming {
+		t.Fatalf("persisted semantics not restored: λ=%v stemming=%v",
+			restored.opts.Lambda, restored.opts.Stemming)
+	}
+	if restored.StreamTime() != orig.StreamTime() {
+		t.Fatalf("stream time %v, want %v", restored.StreamTime(), orig.StreamTime())
+	}
+	expectSameEngineResults(t, "after restore", orig, restored, ids)
+
+	// Continue both streams with identical input: results (including
+	// idf-sensitive scores of brand-new documents) must stay identical.
+	contRng := rand.New(rand.NewSource(29))
+	for i := 0; i < 40; i++ {
+		at += 0.5
+		text := notifyDoc(contRng, 1000+i)
+		so, err := orig.Publish(text, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := restored.Publish(text, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if so.DocID != sr.DocID {
+			t.Fatalf("doc IDs diverged: %d vs %d", so.DocID, sr.DocID)
+		}
+	}
+	expectSameEngineResults(t, "after continuation", orig, restored, ids)
+
+	// The restored engine's push pipeline works: a watcher sees the
+	// next change.
+	ch, cancel, err := restored.Subscribe(ids[0], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	initial := <-ch
+	for i := 0; i < 20; i++ {
+		at += 0.5
+		if _, err := restored.Publish(notifyDoc(rng, 2000+i), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, seq, _ := restored.ResultsSeq(ids[0]); seq > initial.Seq {
+		select {
+		case u := <-ch:
+			if u.Query != ids[0] || u.Seq != initial.Seq+1 {
+				t.Fatalf("bad pushed update %+v after initial seq %d", u, initial.Seq)
+			}
+		default:
+			t.Fatal("change happened but nothing was pushed")
+		}
+	}
+
+	// A new query registered on the restored engine gets the next
+	// dense ID.
+	nid, err := restored.Register("quantum computing correction", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(nid) != len(ids) {
+		t.Fatalf("restored engine assigned ID %d, want %d", nid, len(ids))
+	}
+}
+
+// TestReadSnapshotRejectsGarbage: corrupt input errors instead of
+// producing a half-built engine.
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot")), Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

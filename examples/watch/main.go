@@ -1,0 +1,104 @@
+// Watch demonstrates the push-delivery pipeline: instead of polling
+// Results, subscribers hold a channel from Engine.Subscribe and the
+// engine pushes each watched query's fresh top-k the moment it
+// changes. A deliberately slow subscriber shows coalescing — it
+// receives only the latest state, with the skipped intermediates
+// visible as gaps in the update sequence numbers.
+//
+//	go run ./examples/watch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	engine, err := ctk.New(ctk.Options{Lambda: 0.05, SnippetLength: 60, Stemming: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	climate, err := engine.Register("wildfire evacuation drought", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	markets, err := engine.Register("stock market rally earnings", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A live watcher prints every change as it is pushed.
+	liveCh, cancelLive, err := engine.Subscribe(climate, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancelLive()
+	// A slow watcher with a buffer of 1 reads only at the end: it will
+	// have been coalesced to the final state of the markets query.
+	slowCh, cancelSlow, err := engine.Subscribe(markets, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancelSlow()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for u := range liveCh {
+			top := "(empty)"
+			if len(u.Results) > 0 {
+				top = fmt.Sprintf("doc %d  %.4f  %q", u.Results[0].DocID, u.Results[0].Score, u.Results[0].Snippet)
+			}
+			fmt.Printf("  push → climate seq=%-3d %d results, best: %s\n", u.Seq, len(u.Results), top)
+		}
+	}()
+
+	// Stream a newswire: climate and markets stories interleaved with
+	// noise. Every admission into a watched top-k is pushed above.
+	rng := rand.New(rand.NewSource(7))
+	stories := []string{
+		"wildfire forces evacuation as drought deepens",
+		"markets rally on strong earnings reports",
+		"stock prices climb after earnings beat",
+		"drought emergency spreads, evacuation ordered near wildfire",
+		"city council debates parking meters",
+		"earnings season lifts the stock market rally",
+		"new wildfire ignites, drought conditions critical",
+		"quiet day in parliamentary procedure",
+	}
+	for i := 0; i < 40; i++ {
+		text := fmt.Sprintf("%s (wire %d)", stories[rng.Intn(len(stories))], i)
+		if _, err := engine.Publish(text, float64(i)); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond) // let the live watcher drain
+	}
+
+	// The slow watcher now reads once: coalescing delivered only the
+	// newest state, and the sequence number exposes how many updates
+	// were skipped.
+	u := <-slowCh
+	_, seq, err := engine.ResultsSeq(markets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nslow watcher woke up: markets seq=%d of %d total changes (%d coalesced away)\n",
+		u.Seq, seq, u.Seq-1)
+	for rank, r := range u.Results {
+		fmt.Printf("  %d. doc %-3d %.4f  %q\n", rank+1, r.DocID, r.Score, r.Snippet)
+	}
+
+	st := engine.Stats()
+	fmt.Printf("\nengine totals: %d docs, %d result updates across %d queries\n",
+		st.Documents, st.Matched, st.Queries)
+	cancelLive()
+	wg.Wait()
+}

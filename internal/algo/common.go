@@ -83,6 +83,11 @@ type Processor interface {
 	// impact orderings) are rebuilt eagerly. A no-op for algorithms
 	// whose bounds are always exact.
 	Refresh()
+	// DrainChanged calls fn (when non-nil) for every query whose top-k
+	// changed since the previous drain, then resets the record. A nil
+	// fn discards the record. The query IDs are processor-local. Not
+	// safe concurrently with ProcessEvent.
+	DrainChanged(fn func(q uint32))
 }
 
 // common holds the state every algorithm shares: the immutable index,
@@ -214,6 +219,10 @@ func (c *common) SyncThreshold(q uint32) {
 // Refresh implements the baseline behaviour: nothing is lazily
 // maintained, so nothing needs rebuilding.
 func (c *common) Refresh() {}
+
+// DrainChanged implements Processor by draining the result store's
+// change record.
+func (c *common) DrainChanged(fn func(q uint32)) { c.store.DrainDirty(fn) }
 
 // rebase rescales thresholds and stored scores by factor. Algorithms
 // with ratio structures additionally rescale their bound units.

@@ -177,6 +177,23 @@ func (p *Parallel) Refresh() {
 	}
 }
 
+// DrainChanged implements Processor: each partition's record covers
+// its own disjoint query range, so offsetting partition-local IDs and
+// concatenating yields the exact change set of the whole shard. The
+// parent store is drained too (and always discarded into fn the same
+// way): bulk loads through Results() land their change record there.
+func (p *Parallel) DrainChanged(fn func(q uint32)) {
+	p.store.DrainDirty(fn)
+	for i, proc := range p.procs {
+		off := p.offs[i]
+		if fn == nil {
+			proc.DrainChanged(nil)
+			continue
+		}
+		proc.DrainChanged(func(q uint32) { fn(q + off) })
+	}
+}
+
 // partition returns the index of the partition owning global-in-shard
 // query q. Partition counts are small, so a linear scan beats a binary
 // search's branch misses.

@@ -112,6 +112,11 @@ type Series struct {
 	// control series that isolates the batching effect from the
 	// timeline change.
 	PerDoc bool
+	// Subs > 0 routes the series through the push-notification cell:
+	// this many subscribers watch the query set (round-robin) while
+	// the stream runs, and the cell reports delivery latency and
+	// per-event ingestion cost including the notify fan-out.
+	Subs int
 }
 
 // Point is one x-axis position of a sweep.
@@ -321,9 +326,12 @@ func Run(exp Experiment, out io.Writer) (*Result, error) {
 
 		for _, s := range exp.Series {
 			var cell Cell
-			if s.Shards > 0 {
+			switch {
+			case s.Subs > 0:
+				cell, err = runNotifyCell(s, pt, vecs, ks, warm, measure)
+			case s.Shards > 0:
 				cell, err = runShardCell(s, pt, vecs, ks, warm, measure)
-			} else {
+			default:
 				cell, err = runCell(s, pt, ix, warm, measure)
 			}
 			if err != nil {

@@ -26,7 +26,7 @@ func tinyScale() Scale {
 func TestExperimentRegistry(t *testing.T) {
 	sc := tinyScale()
 	exps := Experiments(sc)
-	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar"} {
+	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar", "ablnotify"} {
 		e, ok := exps[id]
 		if !ok {
 			t.Fatalf("experiment %s missing", id)
@@ -77,6 +77,33 @@ func TestRunProducesAllCells(t *testing.T) {
 		if c.MeanMS < 0 {
 			t.Fatalf("negative timing in %+v", c)
 		}
+	}
+}
+
+func TestRunNotifySeries(t *testing.T) {
+	sc := tinyScale()
+	exp := Experiments(sc)["ablnotify"]
+	exp.Series = []Series{exp.Series[0], exp.Series[1]} // off + subs
+	// Deterministic delivery at tiny scale: every query watched, and a
+	// heavy decay so steady-state top-k sets keep turning over.
+	exp.Series[1].Subs = sc.BaseQueries
+	exp.Points[0].Lambda = 1
+	res, err := Run(exp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	notifyCell := res.Cells[1]
+	if notifyCell.Series != exp.Series[1].Label {
+		t.Fatalf("cell order: %+v", res.Cells)
+	}
+	if notifyCell.Evaluated == 0 {
+		t.Fatal("no updates delivered; the notify pipeline is dead")
+	}
+	if notifyCell.MeanMS < 0 || notifyCell.P95MS < 0 {
+		t.Fatalf("negative timing: %+v", notifyCell)
 	}
 }
 

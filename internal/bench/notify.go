@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/notify"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+)
+
+// ping is the payload of the notify ablation: the wall-clock instant
+// the change left the ingestion path, so each subscriber can measure
+// end-to-end delivery latency on receipt.
+type ping struct {
+	sent time.Time
+	seq  uint64
+}
+
+// runNotifyCell measures the push-delivery pipeline: a monitor whose
+// exact per-event change sets feed a coalescing broker with s.Subs
+// subscribers spread round-robin over the query set, each drained by
+// its own consumer goroutine. The cell reports
+//
+//	MeanMS     — mean per-event ingestion time including the publish
+//	             fan-out (the throughput cost of push delivery),
+//	P50/P95MS  — delivery latency percentiles, ingestion → receipt,
+//	Evaluated  — mean updates delivered per event.
+func runNotifyCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *warmState, measure []stream.Event) (Cell, error) {
+	cell := Cell{Series: s.Label, Param: pt.Param}
+	defs := make([]core.QueryDef, len(vecs))
+	for i := range vecs {
+		defs[i] = core.QueryDef{Vec: vecs[i], K: ks[i]}
+	}
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	mon, err := core.NewMonitor(core.Config{
+		Algorithm:   s.Algo,
+		Bound:       s.Bound,
+		Lambda:      pt.Lambda,
+		Shards:      shards,
+		Parallelism: s.Parallelism,
+	}, defs)
+	if err != nil {
+		return cell, err
+	}
+	defer mon.Close()
+	if err := mon.RestoreState(warm.base, warm.base, warm.results); err != nil {
+		return cell, err
+	}
+
+	broker := notify.New[ping]()
+	mon.SetChangeHandler(func(ids []uint32) {
+		now := time.Now()
+		for _, g := range ids {
+			broker.Publish(g, func(seq uint64) ping { return ping{sent: now, seq: seq} })
+		}
+	})
+
+	// Subscribers spread over the whole query set (prime stride, so
+	// coverage has no ID locality), one consumer goroutine each,
+	// recording latencies locally (merged after join).
+	nq := len(vecs)
+	lats := make([][]time.Duration, s.Subs)
+	var wg sync.WaitGroup
+	for i := 0; i < s.Subs; i++ {
+		sub, err := broker.Subscribe(uint32(i*7919%nq), 1)
+		if err != nil {
+			return cell, err
+		}
+		wg.Add(1)
+		go func(i int, sub *notify.Subscription[ping]) {
+			defer wg.Done()
+			for p := range sub.C() {
+				lats[i] = append(lats[i], time.Since(p.sent))
+			}
+		}(i, sub)
+	}
+
+	var evSample stats.Sample
+	var total time.Duration
+	for _, ev := range measure {
+		start := time.Now()
+		if _, err := mon.Process(ev.Doc, ev.Time); err != nil {
+			broker.Close()
+			wg.Wait()
+			return cell, err
+		}
+		d := time.Since(start)
+		total += d
+		evSample.AddDuration(d)
+	}
+	// Closing the broker ends every subscription channel, so the
+	// consumers drain what was delivered and exit.
+	broker.Close()
+	wg.Wait()
+
+	var latSample stats.Sample
+	delivered := 0
+	for _, ls := range lats {
+		delivered += len(ls)
+		for _, d := range ls {
+			latSample.AddDuration(d)
+		}
+	}
+	n := float64(len(measure))
+	cell.MeanMS = total.Seconds() * 1000 / n
+	cell.P50MS = latSample.Percentile(50)
+	cell.P95MS = latSample.Percentile(95)
+	cell.Evaluated = float64(delivered) / n
+	return cell, nil
+}

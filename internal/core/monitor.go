@@ -156,12 +156,18 @@ type Monitor struct {
 	totals EventStats
 	closed bool
 
+	// onChange, when set, is invoked synchronously at the end of every
+	// Process/ProcessBatch call whose batch changed at least one
+	// query's top-k (see SetChangeHandler).
+	onChange func(ids []uint32)
+
 	// Per-call scratch, reused across events to keep the hot path
 	// allocation-free (safe: mutation is externally serialized and
 	// every batch joins its workers before returning).
 	oneDoc  [1]corpus.Document
 	rebases []float64
 	outs    []algo.EventMetrics
+	changed []uint32
 }
 
 // NewMonitor builds a monitor over an initial query set. Queries get
@@ -195,6 +201,14 @@ func (m *Monitor) Events() uint64 { return m.events }
 
 // Totals returns cumulative work statistics.
 func (m *Monitor) Totals() EventStats { return m.totals }
+
+// SetCounters overwrites the cumulative event and work counters.
+// Snapshot restore uses it so a resumed monitor reports lifetime
+// statistics rather than counting from zero.
+func (m *Monitor) SetCounters(events uint64, totals EventStats) {
+	m.events = events
+	m.totals = totals
+}
 
 // NumQueries returns the number of live (non-removed) queries.
 func (m *Monitor) NumQueries() int {
@@ -461,6 +475,57 @@ func (m *Monitor) Close() error {
 	return nil
 }
 
+// SetChangeHandler registers fn to be called at the end of every
+// Process/ProcessBatch whose batch changed at least one query's top-k.
+// ids holds the global IDs of exactly the queries whose result set
+// changed — no misses, no spurious entries, each ID at most once, in
+// unspecified order — regardless of the Shards × Parallelism layout.
+// The slice is reused across calls: fn must not retain it. fn runs
+// synchronously on the caller's goroutine while the monitor is
+// mid-mutation, so it must not call back into the monitor. A nil fn
+// disables notification.
+func (m *Monitor) SetChangeHandler(fn func(ids []uint32)) {
+	m.onChange = fn
+}
+
+// discardChanges clears every processor's change record. Called at the
+// start of each batch so that result mutations performed between
+// stream events — bulk restores, rebuild carries, snapshot loads —
+// never surface as stream-event change notifications.
+func (m *Monitor) discardChanges() {
+	for _, sh := range m.shards {
+		sh.proc.DrainChanged(nil)
+	}
+	if m.pendingProc != nil {
+		m.pendingProc.DrainChanged(nil)
+	}
+}
+
+// collectChanges gathers the global IDs of every query whose top-k
+// changed during the batch just matched, translating shard- and
+// sidecar-local IDs. Each shard's record covers a disjoint global ID
+// subset and the start-of-batch discard emptied every record, so the
+// concatenation is exact and duplicate-free.
+func (m *Monitor) collectChanges() []uint32 {
+	m.changed = m.changed[:0]
+	keep := func(g uint32) {
+		// A removed query's index entries linger until the next rebuild
+		// and may still admit documents; those phantom updates are
+		// invisible through Top and must not be notified either.
+		if !m.loc[g].removed {
+			m.changed = append(m.changed, g)
+		}
+	}
+	for _, sh := range m.shards {
+		ids := sh.globalIDs
+		sh.proc.DrainChanged(func(local uint32) { keep(ids[local]) })
+	}
+	if m.pendingProc != nil {
+		m.pendingProc.DrainChanged(func(local uint32) { keep(m.pendingIDs[local]) })
+	}
+	return m.changed
+}
+
 // ValidateIngest reports whether the monitor would accept an event at
 // time t, without mutating any state. Callers with their own
 // per-document side effects (e.g. the text engine's idf bookkeeping)
@@ -495,6 +560,10 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 	if len(docs) == 0 {
 		return EventStats{}, nil
 	}
+	// Changes recorded outside the event path (bulk restores, rebuild
+	// carries) are not stream-event notifications: drop them so the
+	// post-batch collection reports exactly this batch's changes.
+	m.discardChanges()
 	m.rebases = m.rebases[:0]
 	for m.decay.NeedsRebase(t) {
 		m.rebases = append(m.rebases, m.decay.RebaseTo(t))
@@ -544,7 +613,21 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 	m.now = t
 	m.events += uint64(len(docs))
 	m.totals.add(algo.EventMetrics(st))
+	if m.onChange != nil {
+		if ids := m.collectChanges(); len(ids) > 0 {
+			m.onChange(ids)
+		}
+	}
 	return st, nil
+}
+
+// ChangedQueries drains and returns the global IDs of queries whose
+// top-k changed since the last drain (the last batch, when called
+// right after Process/ProcessBatch with no change handler set). The
+// returned slice is reused by the next batch. Exposed for tests and
+// callers that poll instead of registering a handler.
+func (m *Monitor) ChangedQueries() []uint32 {
+	return m.collectChanges()
 }
 
 // Top returns query g's current results with present-time (decayed)
@@ -617,6 +700,19 @@ func (m *Monitor) Defs() map[uint32]QueryDef {
 		}
 	}
 	return out
+}
+
+// AllDefs returns every registered query definition in global ID
+// order — including removed queries — plus the parallel removed
+// flags. Snapshots use it to persist the full ID space, so client
+// held handles survive a save/restore even after unregistrations.
+func (m *Monitor) AllDefs() ([]QueryDef, []bool) {
+	defs := append([]QueryDef(nil), m.defs...)
+	removed := make([]bool, len(m.loc))
+	for g, l := range m.loc {
+		removed[g] = l.removed
+	}
+	return defs, removed
 }
 
 // DumpState exposes the monitor's dynamic state for persistence:

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+// topDocs captures every live query's current result as an ordered
+// document-ID list. Document IDs are unique per stream, so two
+// captures differ for a query exactly when its top-k changed in
+// between — the oracle for change-notification exactness.
+func topDocs(t *testing.T, m *Monitor) map[uint32][]uint64 {
+	t.Helper()
+	out := make(map[uint32][]uint64)
+	for g := range m.defs {
+		top, err := m.Top(uint32(g))
+		if err != nil {
+			if errors.Is(err, ErrRemovedQuery) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		ids := make([]uint64, len(top))
+		for i, r := range top {
+			ids[i] = r.DocID
+		}
+		out[uint32(g)] = ids
+	}
+	return out
+}
+
+// changedSet diffs two captures: queries present in after whose doc
+// list differs from before's (a query missing from before counts as
+// empty).
+func changedSet(before, after map[uint32][]uint64) map[uint32]bool {
+	want := make(map[uint32]bool)
+	for g, now := range after {
+		if !slices.Equal(before[g], now) {
+			want[g] = true
+		}
+	}
+	return want
+}
+
+// TestChangeNotificationExactness is the notification parity gate:
+// across Shards × Parallelism layouts, with query churn tripping
+// rebuilds and λ high enough to force decay rebases, the set of query
+// IDs reported per batch must exactly equal the queries whose top-k
+// changed — no misses, no spurious wakeups, no duplicates — and
+// rebuild carries and bulk restores must not be notified at all.
+func TestChangeNotificationExactness(t *testing.T) {
+	layouts := []struct{ shards, par int }{
+		{1, 1}, {3, 1}, {1, 3}, {2, 2},
+	}
+	for _, l := range layouts {
+		t.Run(fmt.Sprintf("shards=%d_par=%d", l.shards, l.par), func(t *testing.T) {
+			const nq = 120
+			defs := defsFromWorkload(t, workload.Connected, nq, 3, 41)
+			extra := defsFromWorkload(t, workload.Connected, 12, 3, 43)
+			events := testEvents(t, 260, 91)
+
+			m, err := NewMonitor(Config{
+				Lambda:           30, // forces rebases on this timeline
+				Shards:           l.shards,
+				Parallelism:      l.par,
+				RebuildThreshold: 3, // churn below trips real rebuilds
+			}, defs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			var reported []uint32
+			calls := 0
+			m.SetChangeHandler(func(ids []uint32) {
+				calls++
+				reported = append(reported[:0], ids...) // slice is reused
+			})
+
+			const chunk = 5
+			added, removed := 0, uint32(0)
+			totalChanged := 0
+			for i := 0; i < len(events); i += chunk {
+				evs := events[i:min(i+chunk, len(events))]
+				at := evs[len(evs)-1].Time
+				docs := make([]corpus.Document, len(evs))
+				for j, ev := range evs {
+					docs[j] = ev.Doc
+				}
+
+				before := topDocs(t, m)
+				reported = reported[:0]
+				callsBefore := calls
+				if _, err := m.ProcessBatch(docs, at); err != nil {
+					t.Fatal(err)
+				}
+				want := changedSet(before, topDocs(t, m))
+				totalChanged += len(want)
+
+				got := make(map[uint32]bool, len(reported))
+				for _, g := range reported {
+					if got[g] {
+						t.Fatalf("batch at %d: query %d reported twice", i, g)
+					}
+					got[g] = true
+				}
+				if len(want) == 0 && calls != callsBefore {
+					t.Fatalf("batch at %d: handler called for a no-change batch", i)
+				}
+				for g := range want {
+					if !got[g] {
+						t.Fatalf("batch at %d: query %d changed but was not notified", i, g)
+					}
+				}
+				for g := range got {
+					if !want[g] {
+						t.Fatalf("batch at %d: query %d notified but did not change", i, g)
+					}
+				}
+
+				// Churn between batches: adds land in the pending sidecar
+				// and (with removals) trip rebuilds whose result carries
+				// must not leak into the next batch's notification.
+				if added < len(extra) {
+					if _, err := m.AddQuery(extra[added]); err != nil {
+						t.Fatal(err)
+					}
+					added++
+				}
+				if i/chunk%4 == 3 {
+					if err := m.RemoveQuery(removed); err != nil && !errors.Is(err, ErrRemovedQuery) {
+						t.Fatal(err)
+					}
+					removed++
+				}
+			}
+			if totalChanged == 0 {
+				t.Fatal("no query ever changed; fixture degenerate")
+			}
+		})
+	}
+}
+
+// TestChangedQueriesPolling: without a handler, ChangedQueries drains
+// the last batch's change set, and a removed query whose lingering
+// index entries still admit documents is never reported.
+func TestChangedQueriesPolling(t *testing.T) {
+	const nq = 40
+	defs := defsFromWorkload(t, workload.Connected, nq, 3, 47)
+	events := testEvents(t, 120, 89)
+	// A huge rebuild threshold keeps removed queries' index entries
+	// lingering (and matching) for the whole run.
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ChangedQueries() // reset the record
+
+	// Remove a query that demonstrably accumulated results.
+	var victim uint32
+	found := false
+	for g := uint32(0); g < nq; g++ {
+		if top, err := m.Top(g); err == nil && len(top) > 0 {
+			victim, found = g, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no query with results; fixture degenerate")
+	}
+	if err := m.RemoveQuery(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	sawAny := false
+	for _, ev := range events[half:] {
+		before := topDocs(t, m)
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		want := changedSet(before, topDocs(t, m))
+		got := make(map[uint32]bool)
+		for _, g := range m.ChangedQueries() {
+			if g == victim {
+				t.Fatalf("removed query %d reported as changed", victim)
+			}
+			got[g] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("polled change set = %v, want %v", got, want)
+		}
+		for g := range want {
+			if !got[g] {
+				t.Fatalf("query %d changed but absent from poll", g)
+			}
+		}
+		sawAny = sawAny || len(got) > 0
+	}
+	if !sawAny {
+		t.Fatal("second half produced no changes; fixture degenerate")
+	}
+}

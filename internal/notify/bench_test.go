@@ -1,0 +1,65 @@
+package notify
+
+import (
+	"testing"
+)
+
+// BenchmarkNotifyPublishUnwatched measures the per-changed-query cost
+// the ingestion path pays for queries nobody watches: one lock, one
+// map lookup, one increment.
+func BenchmarkNotifyPublishUnwatched(b *testing.B) {
+	br := New[int]()
+	build := func(seq uint64) int { return int(seq) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br.Publish(uint32(i%1024), build)
+	}
+}
+
+// BenchmarkNotifyPublishWatched measures delivery to a subscriber that
+// never reads — the coalescing (drop-oldest) fast path a slow client
+// exercises.
+func BenchmarkNotifyPublishWatched(b *testing.B) {
+	br := New[int]()
+	s, err := br.Subscribe(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Cancel()
+	build := func(seq uint64) int { return int(seq) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br.Publish(1, build)
+	}
+}
+
+// BenchmarkNotifyFanout measures one publish delivered to 64
+// subscribers of the same topic.
+func BenchmarkNotifyFanout(b *testing.B) {
+	br := New[int]()
+	for i := 0; i < 64; i++ {
+		s, err := br.Subscribe(1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Cancel()
+	}
+	build := func(seq uint64) int { return int(seq) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br.Publish(1, build)
+	}
+}
+
+// BenchmarkNotifyChurn measures the subscribe/cancel cycle itself.
+func BenchmarkNotifyChurn(b *testing.B) {
+	br := New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := br.Subscribe(uint32(i%64), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Cancel()
+	}
+}

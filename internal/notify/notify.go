@@ -1,0 +1,242 @@
+// Package notify is the push-delivery broker between the matching
+// kernel and streaming clients: a per-query subscription registry with
+// bounded, coalescing per-subscriber buffers.
+//
+// The publisher (the engine's ingestion path) is assumed serialized;
+// subscriber churn (Subscribe/Cancel) and delivery-channel reads are
+// fully concurrent with publishing and with each other. Delivery never
+// blocks the publisher: when a subscriber's buffer is full, its oldest
+// buffered update is dropped in favour of the newest, so a slow
+// subscriber always observes the *latest* state, never a stale
+// backlog. Drops are observable — every topic carries a monotonically
+// increasing sequence number, stamped into each update, so a gap in
+// received sequence numbers is exactly a coalesced delivery.
+package notify
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed reports a subscription on a closed broker.
+var ErrClosed = errors.New("notify: broker is closed")
+
+// ErrNoTopic reports a subscription to an explicitly closed topic.
+var ErrNoTopic = errors.New("notify: topic is closed")
+
+// DefaultBuffer is the per-subscriber buffer used when Subscribe is
+// called with buf ≤ 0: capacity 1, i.e. pure latest-value coalescing.
+const DefaultBuffer = 1
+
+// Broker routes updates of type T from one serialized publisher to
+// any number of per-topic subscribers. Topics are keyed by query ID.
+type Broker[T any] struct {
+	mu     sync.Mutex
+	topics map[uint32]*topic[T]
+	closed bool
+}
+
+// topic is one query's delivery state: its change sequence and the
+// current subscriber set. A topic outlives its subscribers — the
+// sequence number must keep counting between watchers.
+type topic[T any] struct {
+	seq  uint64
+	gone bool // query unregistered; no new subscriptions
+	subs map[*Subscription[T]]struct{}
+}
+
+// Subscription is one subscriber's handle: a bounded delivery channel
+// plus cancellation.
+type Subscription[T any] struct {
+	b  *Broker[T]
+	id uint32
+	ch chan T
+
+	// mu orders delivery against close: a push never races the channel
+	// close in Cancel/Close.
+	mu     sync.Mutex
+	closed bool
+}
+
+// New returns an empty broker.
+func New[T any]() *Broker[T] {
+	return &Broker[T]{topics: make(map[uint32]*topic[T])}
+}
+
+func (b *Broker[T]) topicLocked(id uint32) *topic[T] {
+	tp := b.topics[id]
+	if tp == nil {
+		tp = &topic[T]{subs: make(map[*Subscription[T]]struct{})}
+		b.topics[id] = tp
+	}
+	return tp
+}
+
+// Subscribe attaches a subscriber to id's topic with a delivery buffer
+// of buf updates (buf ≤ 0 uses DefaultBuffer). The returned
+// subscription's channel is closed when the subscription is canceled,
+// the topic is closed (query unregistered) or the broker shuts down.
+func (b *Broker[T]) Subscribe(id uint32, buf int) (*Subscription[T], error) {
+	if buf <= 0 {
+		buf = DefaultBuffer
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	tp := b.topicLocked(id)
+	if tp.gone {
+		return nil, ErrNoTopic
+	}
+	s := &Subscription[T]{b: b, id: id, ch: make(chan T, buf)}
+	tp.subs[s] = struct{}{}
+	return s, nil
+}
+
+// C returns the subscription's delivery channel.
+func (s *Subscription[T]) C() <-chan T { return s.ch }
+
+// Cancel detaches the subscription and closes its channel. Idempotent
+// and safe concurrently with publishing.
+func (s *Subscription[T]) Cancel() {
+	s.b.mu.Lock()
+	if tp := s.b.topics[s.id]; tp != nil {
+		delete(tp.subs, s)
+	}
+	s.b.mu.Unlock()
+	s.shut()
+}
+
+// shut closes the delivery channel once. The subscription must already
+// be detached from its topic (or the whole broker closed), so no
+// publisher can reach it.
+func (s *Subscription[T]) shut() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ch)
+}
+
+// Prime delivers u directly to this subscription, bypassing the
+// topic's sequence counter. The engine uses it to seed a fresh watcher
+// with the current snapshot at the current sequence number; the caller
+// must ensure no Publish runs concurrently (the engine's read lock
+// excludes the publish path).
+func (s *Subscription[T]) Prime(u T) { s.push(u) }
+
+// push delivers u, coalescing on overflow: the oldest buffered update
+// is dropped until the newest fits. Pushes must be externally
+// serialized (Publish holds b.mu; Prime relies on the caller); the
+// loop terminates because the receiver only ever removes elements.
+func (s *Subscription[T]) push(u T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- u:
+			return
+		default:
+		}
+		select {
+		case <-s.ch: // drop the stalest buffered update
+		default:
+		}
+	}
+}
+
+// Publish advances id's sequence number and, when the topic currently
+// has subscribers, delivers build(seq) to each of them. build runs at
+// most once per call and only if there is at least one subscriber, so
+// publishing to an unwatched query costs one map lookup and an
+// increment. Returns the new sequence number (0 when the broker is
+// closed or the topic gone).
+func (b *Broker[T]) Publish(id uint32, build func(seq uint64) T) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	tp := b.topicLocked(id)
+	if tp.gone {
+		return 0
+	}
+	tp.seq++
+	if len(tp.subs) > 0 {
+		u := build(tp.seq)
+		for s := range tp.subs {
+			s.push(u)
+		}
+	}
+	return tp.seq
+}
+
+// Seq returns id's current sequence number: the count of times the
+// query's top-k has changed since the broker was created.
+func (b *Broker[T]) Seq(id uint32) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if tp := b.topics[id]; tp != nil {
+		return tp.seq
+	}
+	return 0
+}
+
+// Subscribers returns id's current subscriber count.
+func (b *Broker[T]) Subscribers(id uint32) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if tp := b.topics[id]; tp != nil {
+		return len(tp.subs)
+	}
+	return 0
+}
+
+// CloseTopic permanently shuts id's topic: every current subscriber's
+// channel is closed and future Subscribe/Publish calls for id fail.
+// The engine calls this when the query is unregistered, so watchers
+// observe end-of-stream rather than silence.
+func (b *Broker[T]) CloseTopic(id uint32) {
+	b.mu.Lock()
+	tp := b.topics[id]
+	var subs []*Subscription[T]
+	if tp != nil {
+		tp.gone = true
+		for s := range tp.subs {
+			subs = append(subs, s)
+		}
+		clear(tp.subs)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.shut()
+	}
+}
+
+// Close shuts the broker down: every subscriber's channel is closed
+// and future Subscribe calls fail. Publish becomes a no-op. Idempotent.
+func (b *Broker[T]) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var subs []*Subscription[T]
+	for _, tp := range b.topics {
+		for s := range tp.subs {
+			subs = append(subs, s)
+		}
+		clear(tp.subs)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.shut()
+	}
+}

@@ -1,0 +1,213 @@
+package notify
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type upd struct {
+	Seq uint64
+	Val int
+}
+
+func mk(v int) func(seq uint64) upd {
+	return func(seq uint64) upd { return upd{Seq: seq, Val: v} }
+}
+
+// TestPublishSubscribe: the basic path — sequence numbers count every
+// publish, subscribers receive stamped updates, unwatched topics never
+// build a payload.
+func TestPublishSubscribe(t *testing.T) {
+	b := New[upd]()
+	built := 0
+	if seq := b.Publish(7, func(seq uint64) upd { built++; return upd{Seq: seq} }); seq != 1 {
+		t.Fatalf("first publish seq = %d, want 1", seq)
+	}
+	if built != 0 {
+		t.Fatal("payload built with no subscribers")
+	}
+	s, err := b.Subscribe(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Subscribers(7); got != 1 {
+		t.Fatalf("Subscribers = %d", got)
+	}
+	if seq := b.Publish(7, mk(42)); seq != 2 {
+		t.Fatalf("second publish seq = %d, want 2", seq)
+	}
+	u := <-s.C()
+	if u.Seq != 2 || u.Val != 42 {
+		t.Fatalf("received %+v", u)
+	}
+	if b.Seq(7) != 2 || b.Seq(8) != 0 {
+		t.Fatalf("Seq = %d / %d", b.Seq(7), b.Seq(8))
+	}
+	s.Cancel()
+	s.Cancel() // idempotent
+	if _, ok := <-s.C(); ok {
+		t.Fatal("channel open after cancel")
+	}
+	if got := b.Subscribers(7); got != 0 {
+		t.Fatalf("Subscribers after cancel = %d", got)
+	}
+}
+
+// TestCoalescing: a subscriber that never reads keeps only the newest
+// buffer-many updates; the sequence numbers expose the gap.
+func TestCoalescing(t *testing.T) {
+	b := New[upd]()
+	s, err := b.Subscribe(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		b.Publish(1, mk(v))
+	}
+	// Buffer 2: only the two newest (seq 9 and 10) survive.
+	u1, u2 := <-s.C(), <-s.C()
+	if u1.Seq != 9 || u2.Seq != 10 || u1.Val != 8 || u2.Val != 9 {
+		t.Fatalf("coalesced tail = %+v, %+v", u1, u2)
+	}
+	select {
+	case u := <-s.C():
+		t.Fatalf("unexpected extra update %+v", u)
+	default:
+	}
+	// Drops are observable as the seq gap 0 → 9.
+	if u1.Seq <= 1 {
+		t.Fatal("no observable gap despite drops")
+	}
+}
+
+// TestPrime: a primed snapshot arrives before subsequent publishes and
+// does not advance the topic sequence.
+func TestPrime(t *testing.T) {
+	b := New[upd]()
+	b.Publish(3, mk(0)) // seq 1, nobody listening
+	s, _ := b.Subscribe(3, 2)
+	s.Prime(upd{Seq: b.Seq(3), Val: 99})
+	b.Publish(3, mk(1))
+	u1, u2 := <-s.C(), <-s.C()
+	if u1.Seq != 1 || u1.Val != 99 {
+		t.Fatalf("primed update = %+v", u1)
+	}
+	if u2.Seq != 2 || u2.Val != 1 {
+		t.Fatalf("published update = %+v", u2)
+	}
+}
+
+// TestCloseTopic: closing a topic ends every watcher's stream and
+// rejects new subscriptions and publishes.
+func TestCloseTopic(t *testing.T) {
+	b := New[upd]()
+	s, _ := b.Subscribe(5, 1)
+	b.CloseTopic(5)
+	if _, ok := <-s.C(); ok {
+		t.Fatal("channel open after topic close")
+	}
+	if _, err := b.Subscribe(5, 1); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("Subscribe on closed topic: %v", err)
+	}
+	if seq := b.Publish(5, mk(0)); seq != 0 {
+		t.Fatalf("Publish on closed topic seq = %d", seq)
+	}
+	s.Cancel() // still safe after topic close
+}
+
+// TestBrokerClose: Close ends every stream, further subscribes fail,
+// publishes no-op. Idempotent.
+func TestBrokerClose(t *testing.T) {
+	b := New[upd]()
+	s1, _ := b.Subscribe(1, 1)
+	s2, _ := b.Subscribe(2, 1)
+	b.Close()
+	b.Close()
+	for _, s := range []*Subscription[upd]{s1, s2} {
+		if _, ok := <-s.C(); ok {
+			t.Fatal("channel open after broker close")
+		}
+	}
+	if _, err := b.Subscribe(1, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after close: %v", err)
+	}
+	if seq := b.Publish(1, mk(0)); seq != 0 {
+		t.Fatalf("Publish after close seq = %d", seq)
+	}
+	s1.Cancel() // safe after close
+}
+
+// TestChurnHammer races one serialized publisher against heavy
+// subscriber churn and slow readers. Run under -race in CI. Every
+// subscription must observe strictly increasing sequence numbers.
+func TestChurnHammer(t *testing.T) {
+	b := New[upd]()
+	const topics = 8
+	stop := make(chan struct{})
+	var pubs atomic.Uint64
+
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() { // the serialized publisher
+		defer pubWG.Done()
+		v := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.Publish(uint32(v%topics), mk(v))
+			pubs.Add(1)
+			v++
+			// Yield so churn workers make progress on a single core.
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s, err := b.Subscribe(uint32((w+i)%topics), 1+i%3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				last := uint64(0)
+				reads := i % 4 // some subscribers never read: pure churn
+				for r := 0; r < reads; r++ {
+					select {
+					case u, ok := <-s.C():
+						if !ok {
+							t.Error("channel closed mid-subscription")
+							return
+						}
+						if u.Seq <= last {
+							t.Errorf("seq not increasing: %d after %d", u.Seq, last)
+							return
+						}
+						last = u.Seq
+					case <-time.After(time.Second):
+						t.Error("starved subscriber")
+						return
+					}
+				}
+				s.Cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pubWG.Wait()
+	if pubs.Load() == 0 {
+		t.Fatal("publisher never ran")
+	}
+	b.Close()
+}

@@ -1,8 +1,14 @@
-// Package snapshot persists and restores a Monitor's state with
-// encoding/gob: configuration, query definitions, stream time, decay
-// epoch and every query's current results. A restored monitor resumes
-// the stream exactly where the snapshot left off (verified by the
-// equivalence tests).
+// Package snapshot persists and restores monitor (and text-engine)
+// state with encoding/gob: configuration, query definitions, stream
+// time, decay epoch and every query's current results. A restored
+// monitor resumes the stream exactly where the snapshot left off
+// (verified by the equivalence tests).
+//
+// Two formats are offered: Save/Load round-trips a bare core.Monitor
+// (vector level), while SaveEngine/LoadEngine additionally carries a
+// TextState — the vocabulary, idf statistics, document counter and
+// snippet map of the text-level engine sitting on top — so a restarted
+// server resumes with identical tokenization-to-scoring semantics.
 package snapshot
 
 import (
@@ -19,91 +25,200 @@ import (
 // boundKind converts the persisted integer back to a rangemax.Kind.
 func boundKind(i int) rangemax.Kind { return rangemax.Kind(i) }
 
-// version guards the wire format.
-const version = 1
+// version guards the wire format. Version 2 encodes the full query ID
+// space (removed queries included, with a Removed list) plus lifetime
+// counters; a version-1 consumer would silently resurrect removed
+// queries from a v2 stream, so the bump makes it fail loudly instead.
+const version = 2
 
-// state is the gob wire format.
+// engineVersion guards the engine-level wire format.
+const engineVersion = 1
+
+// state is the gob wire format of a monitor.
 type state struct {
-	Version   int
-	Algorithm string
-	Bound     int
-	Lambda    float64
-	Shards    int
+	Version     int
+	Algorithm   string
+	Bound       int
+	Lambda      float64
+	Shards      int
+	Parallelism int
 
-	// Queries keyed by global ID. IDs are preserved so clients'
-	// handles stay valid across restore.
-	IDs  []uint32
-	Vecs []textproc.Vector
-	Ks   []int
+	// The full query ID space in global ID order — including removed
+	// queries, so the dense ID assignment of a rebuilt monitor
+	// reproduces every ID and clients' handles stay valid across
+	// restore. Removed lists the global IDs to re-remove after
+	// reconstruction.
+	IDs     []uint32
+	Vecs    []textproc.Vector
+	Ks      []int
+	Removed []uint32
 
 	Now       float64
 	DecayBase float64
 	Results   map[uint32][]topk.ScoredDoc
+
+	// Lifetime counters, so a restored monitor's statistics continue
+	// instead of restarting from zero.
+	Events uint64
+	Totals core.EventStats
 }
 
-// Save writes a snapshot of m to w.
-func Save(w io.Writer, m *core.Monitor) error {
+// TextState is the engine-level state layered over the monitor: the
+// text pipeline's accumulated knowledge, without which a restored
+// monitor would re-tokenize and re-weight future documents against
+// empty idf statistics.
+type TextState struct {
+	// Terms and DF are the vocabulary dump (textproc.Vocabulary.Dump).
+	Terms []string
+	DF    []uint32
+	// DocsObserved is the vocabulary's observed-document count.
+	DocsObserved uint64
+	// NextDoc is the engine's next document ID.
+	NextDoc uint64
+	// Snips is the retained snippet map (nil when retention is off).
+	Snips map[uint64]string
+	// Stemming records whether the engine stems tokens. It is part of
+	// the persisted semantics: restoring with the opposite setting
+	// would tokenize future documents against a mismatched vocabulary.
+	Stemming bool
+}
+
+// engineState is the gob wire format of an engine.
+type engineState struct {
+	Version int
+	Monitor state
+	Text    TextState
+}
+
+// capture collects a monitor's persistent state.
+func capture(m *core.Monitor) state {
 	cfg := m.Config()
 	st := state{
-		Version:   version,
-		Algorithm: string(cfg.Algorithm),
-		Bound:     int(cfg.Bound),
-		Lambda:    cfg.Lambda,
-		Shards:    cfg.Shards,
+		Version:     version,
+		Algorithm:   string(cfg.Algorithm),
+		Bound:       int(cfg.Bound),
+		Lambda:      cfg.Lambda,
+		Shards:      cfg.Shards,
+		Parallelism: cfg.Parallelism,
 	}
-	defs := m.Defs()
-	var maxID uint32
-	for g := range defs {
-		if g > maxID {
-			maxID = g
-		}
-	}
-	for g := uint32(0); len(defs) > 0 && g <= maxID; g++ {
-		if def, ok := defs[g]; ok {
-			st.IDs = append(st.IDs, g)
-			st.Vecs = append(st.Vecs, def.Vec)
-			st.Ks = append(st.Ks, def.K)
+	defs, removed := m.AllDefs()
+	for g, def := range defs {
+		st.IDs = append(st.IDs, uint32(g))
+		st.Vecs = append(st.Vecs, def.Vec)
+		st.Ks = append(st.Ks, def.K)
+		if removed[g] {
+			st.Removed = append(st.Removed, uint32(g))
 		}
 	}
 	st.Now, st.DecayBase, st.Results = m.DumpState()
-	if err := gob.NewEncoder(w).Encode(&st); err != nil {
-		return fmt.Errorf("snapshot: encode: %w", err)
-	}
-	return nil
+	st.Events, st.Totals = m.Events(), m.Totals()
+	return st
 }
 
-// Load reads a snapshot and reconstructs the monitor.
-//
-// Restriction: global IDs must be dense (no queries removed before the
-// snapshot); sparse ID spaces are reported as an error rather than
-// silently renumbered.
-func Load(r io.Reader) (*core.Monitor, error) {
-	var st state
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("snapshot: decode: %w", err)
-	}
+// build reconstructs a monitor from captured state: every query of
+// the persisted ID space is re-registered in order (so dense ID
+// assignment reproduces the original handles), removed queries are
+// re-removed, and the dynamic state is restored. shape overrides the
+// persisted execution shape where non-zero: Algorithm, Bound, Shards
+// and Parallelism are all result-invariant knobs, so a restored
+// server may run a different layout than the one that saved. Lambda
+// is always taken from the snapshot — the persisted scores are in its
+// units.
+func build(st state, shape core.Config) (*core.Monitor, error) {
 	if st.Version != version {
 		return nil, fmt.Errorf("snapshot: unsupported version %d", st.Version)
 	}
 	defs := make([]core.QueryDef, len(st.IDs))
 	for i, g := range st.IDs {
 		if int(g) != i {
-			return nil, fmt.Errorf("snapshot: non-dense query ID %d at position %d (remove-then-save is not restorable)", g, i)
+			return nil, fmt.Errorf("snapshot: corrupt ID space: ID %d at position %d", g, i)
 		}
 		defs[i] = core.QueryDef{Vec: st.Vecs[i], K: st.Ks[i]}
 	}
 	cfg := core.Config{
-		Algorithm: core.Algorithm(st.Algorithm),
-		Bound:     boundKind(st.Bound),
-		Lambda:    st.Lambda,
-		Shards:    st.Shards,
+		Algorithm:   core.Algorithm(st.Algorithm),
+		Bound:       boundKind(st.Bound),
+		Lambda:      st.Lambda,
+		Shards:      st.Shards,
+		Parallelism: st.Parallelism,
+	}
+	if shape.Algorithm != "" {
+		cfg.Algorithm = shape.Algorithm
+	}
+	if shape.Bound != 0 {
+		cfg.Bound = shape.Bound
+	}
+	if shape.Shards != 0 {
+		cfg.Shards = shape.Shards
+	}
+	if shape.Parallelism != 0 {
+		cfg.Parallelism = shape.Parallelism
 	}
 	m, err := core.NewMonitor(cfg, defs)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: rebuild: %w", err)
 	}
+	for _, g := range st.Removed {
+		if err := m.RemoveQuery(g); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("snapshot: re-remove query %d: %w", g, err)
+		}
+	}
 	if err := m.RestoreState(st.Now, st.DecayBase, st.Results); err != nil {
+		m.Close()
 		return nil, fmt.Errorf("snapshot: restore: %w", err)
 	}
+	m.SetCounters(st.Events, st.Totals)
 	return m, nil
+}
+
+// Save writes a snapshot of m to w.
+func Save(w io.Writer, m *core.Monitor) error {
+	st := capture(m)
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot and reconstructs the monitor. Query IDs are
+// preserved exactly — including the gaps left by removed queries — so
+// handles clients held before the save stay valid after the restore.
+func Load(r io.Reader) (*core.Monitor, error) {
+	var st state
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	return build(st, core.Config{})
+}
+
+// SaveEngine writes an engine-level snapshot: the monitor plus the
+// text pipeline's state.
+func SaveEngine(w io.Writer, m *core.Monitor, ts TextState) error {
+	st := engineState{Version: engineVersion, Monitor: capture(m), Text: ts}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("snapshot: encode engine: %w", err)
+	}
+	return nil
+}
+
+// LoadEngine reads an engine-level snapshot, reconstructing the
+// monitor (shape overrides as in build: non-zero Algorithm, Bound,
+// Shards, Parallelism replace the persisted execution shape; Lambda
+// always comes from the snapshot) and returning the text state for
+// the caller to rebuild its pipeline from. As with Load, query IDs —
+// including removal gaps — are preserved exactly.
+func LoadEngine(r io.Reader, shape core.Config) (*core.Monitor, TextState, error) {
+	var st engineState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, TextState{}, fmt.Errorf("snapshot: decode engine: %w", err)
+	}
+	if st.Version != engineVersion {
+		return nil, TextState{}, fmt.Errorf("snapshot: unsupported engine version %d", st.Version)
+	}
+	m, err := build(st.Monitor, shape)
+	if err != nil {
+		return nil, TextState{}, err
+	}
+	return m, st.Text, nil
 }

@@ -86,9 +86,13 @@ func TestLoadGarbage(t *testing.T) {
 	}
 }
 
-func TestLoadRejectsSparseIDs(t *testing.T) {
+// TestLoadPreservesSparseIDs: a snapshot taken after removals
+// restores the exact ID space — removed queries stay removed (their
+// IDs are not reassigned), live queries keep their handles and
+// results, and new registrations continue from the original counter.
+func TestLoadPreservesSparseIDs(t *testing.T) {
 	m, events := fixture(t)
-	for _, ev := range events[:20] {
+	for _, ev := range events[:60] {
 		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
 			t.Fatal(err)
 		}
@@ -96,12 +100,56 @@ func TestLoadRejectsSparseIDs(t *testing.T) {
 	if err := m.RemoveQuery(3); err != nil {
 		t.Fatal(err)
 	}
+	if err := m.RemoveQuery(41); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Save(&buf, m); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(&buf); err == nil {
-		t.Fatal("sparse ID space restored silently")
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.NumQueries() != m.NumQueries() {
+		t.Fatalf("restored %d live queries, want %d", restored.NumQueries(), m.NumQueries())
+	}
+	for _, g := range []uint32{3, 41} {
+		if _, err := restored.Top(g); err == nil {
+			t.Fatalf("removed query %d resurrected by restore", g)
+		}
+	}
+	for g := uint32(0); g < 60; g++ {
+		if g == 3 || g == 41 {
+			continue
+		}
+		a, err := m.TopInflated(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.TopInflated(g)
+		if err != nil {
+			t.Fatalf("live query %d lost by restore: %v", g, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", g, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d diverged: %+v vs %+v", g, i, a[i], b[i])
+			}
+		}
+	}
+	// The ID counter continues: the next add gets ID 60, not a reused
+	// gap.
+	defs, _ := m.AllDefs()
+	id, err := restored.AddQuery(defs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 60 {
+		t.Fatalf("post-restore add got ID %d, want 60", id)
 	}
 }
 

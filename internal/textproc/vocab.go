@@ -111,6 +111,38 @@ func (v *Vocabulary) ObserveDoc(terms []string) []TermID {
 	return ids
 }
 
+// Dump exports the vocabulary's full state — term strings in ID
+// order, per-term document frequencies, and the observed document
+// count — as copies safe to retain across further mutation. It is the
+// persistence half of LoadVocabulary.
+func (v *Vocabulary) Dump() (terms []string, df []uint32, docs uint64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	terms = append([]string(nil), v.terms...)
+	df = append([]uint32(nil), v.df...)
+	return terms, df, v.docs
+}
+
+// LoadVocabulary reconstructs a vocabulary from Dump's output. TermIDs
+// are assigned by position, so vectors built against the dumped
+// vocabulary stay valid against the loaded one.
+func LoadVocabulary(terms []string, df []uint32, docs uint64) (*Vocabulary, error) {
+	if len(df) != len(terms) {
+		return nil, fmt.Errorf("textproc: %d terms but %d document frequencies", len(terms), len(df))
+	}
+	v := NewVocabulary()
+	v.terms = append([]string(nil), terms...)
+	v.df = append([]uint32(nil), df...)
+	v.docs = docs
+	for i, t := range terms {
+		if _, dup := v.ids[t]; dup {
+			return nil, fmt.Errorf("textproc: duplicate term %q in vocabulary dump", t)
+		}
+		v.ids[t] = TermID(i)
+	}
+	return v, nil
+}
+
 // PresetVocabulary builds a vocabulary of n synthetic terms "t0".."tn-1"
 // with the given document frequencies (df may be nil). It is used by the
 // synthetic corpus generator, which works directly in TermID space.

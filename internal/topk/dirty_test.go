@@ -1,0 +1,84 @@
+package topk
+
+import (
+	"slices"
+	"testing"
+)
+
+func drainAll(s *Store) []uint32 {
+	var got []uint32
+	s.DrainDirty(func(q uint32) { got = append(got, q) })
+	return got
+}
+
+// TestDirtyTracking: Add records each changed query once per drain
+// window; rejected offers record nothing; a drain resets the window.
+func TestDirtyTracking(t *testing.T) {
+	s, err := NewStore([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0, 1, 1.0)
+	s.Add(0, 2, 2.0)
+	s.Add(2, 3, 1.0)
+	if got := drainAll(s); !slices.Equal(got, []uint32{0, 2}) {
+		t.Fatalf("dirty = %v, want [0 2]", got)
+	}
+	if got := drainAll(s); len(got) != 0 {
+		t.Fatalf("second drain = %v, want empty", got)
+	}
+	// Rejected offer (heap full, score below min) stays clean.
+	if added, _ := s.Add(0, 9, 0.5); added {
+		t.Fatal("low score admitted")
+	}
+	if got := drainAll(s); len(got) != 0 {
+		t.Fatalf("rejected offer dirtied: %v", got)
+	}
+	// Replacement of the minimum is a change.
+	if added, _ := s.Add(0, 9, 3.0); !added {
+		t.Fatal("high score rejected")
+	}
+	if got := drainAll(s); !slices.Equal(got, []uint32{0}) {
+		t.Fatalf("dirty = %v, want [0]", got)
+	}
+	// A nil fn discards.
+	s.Add(1, 4, 1.0)
+	s.DrainDirty(nil)
+	if got := drainAll(s); len(got) != 0 {
+		t.Fatalf("discard leaked: %v", got)
+	}
+}
+
+// TestDirtyTrackingSlice: views keep independent change records over
+// their own (rebased) ranges, and the parent's record is untouched by
+// adds through a view.
+func TestDirtyTrackingSlice(t *testing.T) {
+	s, err := NewStore([]int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.Slice(0, 2), s.Slice(2, 4)
+	lo.Add(1, 10, 1.0) // parent query 1
+	hi.Add(1, 11, 1.0) // parent query 3
+	if got := drainAll(lo); !slices.Equal(got, []uint32{1}) {
+		t.Fatalf("lo dirty = %v, want [1]", got)
+	}
+	if got := drainAll(hi); !slices.Equal(got, []uint32{1}) {
+		t.Fatalf("hi dirty = %v, want [1]", got)
+	}
+	if got := drainAll(s); len(got) != 0 {
+		t.Fatalf("parent saw view adds: %v", got)
+	}
+	// The data itself is shared: the parent sees the stored results.
+	if s.Size(1) != 1 || s.Size(3) != 1 {
+		t.Fatalf("arena not shared: sizes %d %d", s.Size(1), s.Size(3))
+	}
+	// Adds through the parent record on the parent only.
+	s.Add(0, 12, 1.0)
+	if got := drainAll(s); !slices.Equal(got, []uint32{0}) {
+		t.Fatalf("parent dirty = %v, want [0]", got)
+	}
+	if got := drainAll(lo); len(got) != 0 {
+		t.Fatalf("view saw parent add: %v", got)
+	}
+}

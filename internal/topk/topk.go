@@ -26,11 +26,24 @@ type ScoredDoc struct {
 }
 
 // Store holds the top-k heaps of all registered queries.
+//
+// Every store additionally records which queries' result sets changed
+// since the last DrainDirty call — the change-detection source for the
+// push-notification pipeline. A Slice view keeps its own independent
+// dirty record over its own query range, so disjoint views written by
+// concurrent partition workers never share mutable tracking state; the
+// union of the views' records is exactly the parent range's record.
 type Store struct {
 	offsets []uint32  // len N+1; query q owns arena[offsets[q]:offsets[q]+k_q]
 	scores  []float64 // min-heap per query segment
 	ids     []uint64  // parallel to scores
 	sizes   []uint16  // current fill per query
+
+	// Change record: dirty lists each query admitted into since the
+	// last drain, at most once (mark/epoch dedup, O(1) per Add).
+	dirty []uint32
+	mark  []uint32
+	epoch uint32
 }
 
 // NewStore allocates heaps for the given per-query result sizes.
@@ -38,6 +51,8 @@ func NewStore(ks []int) (*Store, error) {
 	s := &Store{
 		offsets: make([]uint32, len(ks)+1),
 		sizes:   make([]uint16, len(ks)),
+		mark:    make([]uint32, len(ks)),
+		epoch:   1,
 	}
 	var total uint64
 	for i, k := range ks {
@@ -94,6 +109,7 @@ func (s *Store) Add(q uint32, docID uint64, score float64) (added, thresholdChan
 		s.ids[base+i] = docID
 		s.sizes[q]++
 		s.siftUp(base, i)
+		s.markDirty(q)
 		// Threshold moves 0 → min exactly when the heap fills.
 		return true, n+1 == k
 	case score > s.scores[base]:
@@ -101,9 +117,39 @@ func (s *Store) Add(q uint32, docID uint64, score float64) (added, thresholdChan
 		s.scores[base] = score
 		s.ids[base] = docID
 		s.siftDown(base, 0, k)
+		s.markDirty(q)
 		return true, true
 	default:
 		return false, false
+	}
+}
+
+// markDirty records that query q's result set changed in the current
+// drain window (at most one record per query per window).
+func (s *Store) markDirty(q uint32) {
+	if s.mark[q] == s.epoch {
+		return
+	}
+	s.mark[q] = s.epoch
+	s.dirty = append(s.dirty, q)
+}
+
+// DrainDirty calls fn (when non-nil) for every query whose result set
+// changed since the previous drain, in first-change order, then resets
+// the record. A nil fn discards the record — callers use that to
+// swallow changes caused by bulk loads and rebuilds, which must not
+// surface as stream-event notifications.
+func (s *Store) DrainDirty(fn func(q uint32)) {
+	if fn != nil {
+		for _, q := range s.dirty {
+			fn(q)
+		}
+	}
+	s.dirty = s.dirty[:0]
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: invalidate all marks
+		clear(s.mark)
+		s.epoch = 1
 	}
 }
 
@@ -162,12 +208,17 @@ func (s *Store) Slice(lo, hi int) *Store {
 	}
 	// Full slice expressions clamp capacity at the view's end, so
 	// disjointness between neighboring views is structural: nothing a
-	// view does can reach the next partition's arena segment.
+	// view does can reach the next partition's arena segment. The
+	// change record is NOT shared with the parent: each view tracks its
+	// own range, so concurrent writers into disjoint views never touch
+	// common tracking state.
 	return &Store{
 		offsets: offsets,
 		scores:  s.scores[base:end:end],
 		ids:     s.ids[base:end:end],
 		sizes:   s.sizes[lo:hi:hi],
+		mark:    make([]uint32, hi-lo),
+		epoch:   1,
 	}
 }
 

@@ -1,0 +1,96 @@
+package ctk
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/notify"
+	"repro/internal/snapshot"
+	"repro/internal/textproc"
+)
+
+// WriteSnapshot persists the engine's full state — query definitions,
+// every query's current top-k, the stream clock and decay epoch, the
+// vocabulary with its idf statistics, the document counter and the
+// retained snippets — so ReadSnapshot can resume the stream exactly
+// where this engine left off. Query IDs (including the gaps left by
+// Unregister) are preserved, so handles clients hold stay valid
+// across the round trip. Safe on a closed engine (shutdown-time
+// saves) and concurrently with result readers.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	terms, df, docs := e.vocab.Dump()
+	ts := snapshot.TextState{
+		Terms:        terms,
+		DF:           df,
+		DocsObserved: docs,
+		NextDoc:      e.nextDoc,
+		Stemming:     e.opts.Stemming,
+	}
+	if e.snips != nil {
+		ts.Snips = make(map[uint64]string, len(e.snips))
+		for id, s := range e.snips {
+			ts.Snips[id] = s
+		}
+	}
+	return snapshot.SaveEngine(w, e.mon, ts)
+}
+
+// ReadSnapshot reconstructs an engine from a WriteSnapshot stream and
+// resumes it: registered queries keep their IDs and results, the
+// stream clock continues from the persisted time, and future
+// publications are weighted against the persisted idf statistics, so
+// the restored engine behaves exactly like the saved one would have.
+//
+// opts supplies the new process's execution and display shape —
+// Algorithm, Shards, Parallelism, DefaultK, SnippetLength — all of
+// which are result-invariant and may differ from the saving process.
+// Lambda and Stemming are part of the persisted semantics and are
+// restored from the snapshot; values set for them in opts are
+// ignored.
+func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
+	if opts.DefaultK <= 0 {
+		opts.DefaultK = 10
+	}
+	shape := core.Config{
+		Shards:      opts.Shards,
+		Parallelism: opts.Parallelism,
+	}
+	if opts.Algorithm != "" {
+		alg, err := core.ParseAlgorithm(opts.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		shape.Algorithm = alg
+	}
+	mon, ts, err := snapshot.LoadEngine(r, shape)
+	if err != nil {
+		return nil, err
+	}
+	vocab, err := textproc.LoadVocabulary(ts.Terms, ts.DF, ts.DocsObserved)
+	if err != nil {
+		mon.Close()
+		return nil, fmt.Errorf("ctk: snapshot vocabulary: %w", err)
+	}
+	opts.Lambda = mon.Config().Lambda
+	opts.Stemming = ts.Stemming
+	e := &Engine{
+		opts:     opts,
+		vocab:    vocab,
+		tok:      textproc.NewTokenizer(),
+		weighter: textproc.NewWeighter(vocab, textproc.WeightLogTFIDF),
+		mon:      mon,
+		nextDoc:  ts.NextDoc,
+	}
+	if opts.SnippetLength > 0 {
+		e.snips = make(map[uint64]string, len(ts.Snips))
+		for id, s := range ts.Snips {
+			e.snips[id] = s
+		}
+		e.snipHW = max(2*len(e.snips), snipPruneMin)
+	}
+	e.broker = notify.New[Update]()
+	return e, nil
+}
