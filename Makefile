@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet ci
+.PHONY: all build test race bench lint fmt vet staticcheck ci
 
 all: build
 
@@ -15,7 +15,9 @@ race:
 
 # One iteration of every benchmark on the quick synthetic corpus: a
 # smoke pass that fails loudly when a perf-sensitive path regresses
-# into an error, without taking benchmark-quality measurements.
+# into an error, without taking benchmark-quality measurements
+# (includes the ablbalance partition-balance ablation via
+# BenchmarkBalance).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
@@ -28,7 +30,17 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-lint: fmt vet
+# staticcheck runs when the binary is available (CI installs it; see
+# .github/workflows/ci.yml) and degrades to a notice locally so `make
+# ci` works in offline sandboxes without the tool.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+lint: fmt vet staticcheck
 
 # Everything CI runs, in the same order.
 ci: lint build race bench

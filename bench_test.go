@@ -74,6 +74,11 @@ func BenchmarkShards(b *testing.B) { runExperiment(b, "ablshard") }
 // chunks) against single-document ingestion across shard counts.
 func BenchmarkBatchIngest(b *testing.B) { runExperiment(b, "ablbatch") }
 
+// BenchmarkBalance runs the cost-balanced partitioning ablation:
+// count vs mass intra-shard partition boundaries at 4 workers, on the
+// skewed Hot workload and the Uniform control.
+func BenchmarkBalance(b *testing.B) { runExperiment(b, "ablbalance") }
+
 // BenchmarkParallelMatch replays the identical single-shard timeline
 // at intra-shard parallelism 1, 2 and 4.
 func BenchmarkParallelMatch(b *testing.B) { runExperiment(b, "ablpar") }

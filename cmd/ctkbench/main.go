@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar) or 'all'")
+		expID = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance) or 'all'")
 		scale = flag.String("scale", "default", "quick | default | full")
 		list  = flag.Bool("list", false, "list available experiments and exit")
 		quiet = flag.Bool("quiet", false, "suppress per-cell progress lines")

@@ -17,7 +17,7 @@
 // Start with:
 //
 //	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO -shards 4 -parallelism 2 \
-//	     -snapshot /var/lib/ctkd/state.snap
+//	     -partition mass -snapshot /var/lib/ctkd/state.snap
 //
 // /watch/{id} is the push path: instead of polling /results, a client
 // holds the SSE stream open and receives the query's fresh top-k every
@@ -88,6 +88,7 @@ func main() {
 		algorithm   = flag.String("algorithm", "MRIO", "matching algorithm")
 		shards      = flag.Int("shards", 0, "parallel shards (0 = single)")
 		parallelism = flag.Int("parallelism", 0, "matching workers per shard (0 = single)")
+		partition   = flag.String("partition", "", "intra-shard partition strategy: mass (default) | count")
 		snapPath    = flag.String("snapshot", "", "state file: restore on boot if present, save on graceful shutdown")
 	)
 	flag.Parse()
@@ -97,6 +98,7 @@ func main() {
 		Lambda:        *lambda,
 		Shards:        *shards,
 		Parallelism:   *parallelism,
+		Partition:     *partition,
 		SnippetLength: 120,
 	}, *snapPath); err != nil {
 		log.Fatal(err)
@@ -170,8 +172,8 @@ func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) er
 		log.Printf("ctkd: restored %d queries / %d documents from %s (stream time %.3f)",
 			st.Queries, st.Documents, snapPath, s.base)
 	}
-	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d parallelism=%d)",
-		ln.Addr(), opts.Algorithm, opts.Lambda, opts.Shards, opts.Parallelism)
+	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d parallelism=%d partition=%s)",
+		ln.Addr(), opts.Algorithm, opts.Lambda, opts.Shards, opts.Parallelism, engine.Partition())
 	err = serve(ctx, s.mux(), ln, s.beginShutdown)
 	// Drain the analyzer pool and the monitor's shard and partition
 	// workers whatever way serving ended, then persist the quiesced

@@ -38,7 +38,7 @@ func main() {
 	var (
 		nDocs    = flag.Int("docs", 10000, "number of synthetic documents")
 		nQueries = flag.Int("queries", 5000, "number of queries")
-		kindName = flag.String("workload", "Uniform", "Uniform | Connected")
+		kindName = flag.String("workload", "Uniform", "Uniform | Connected | Hot")
 		vocab    = flag.Int("vocab", 20000, "vocabulary size")
 		k        = flag.Int("k", 10, "result size per query")
 		seed     = flag.Int64("seed", 42, "random seed")

@@ -82,6 +82,11 @@ type Options struct {
 	// every shard by splitting the shard's query range (default 1).
 	// It composes with Shards; results are bit-identical either way.
 	Parallelism int
+	// Partition selects how each shard's query range is split across
+	// the Parallelism workers: "mass" (default) balances estimated
+	// posting mass and adapts to the observed per-partition work,
+	// "count" is the legacy equal-query-count split. Result-invariant.
+	Partition string
 	// DefaultK is the result size used when Register is called with
 	// k ≤ 0 (default 10).
 	DefaultK int
@@ -187,6 +192,7 @@ func New(opts Options) (*Engine, error) {
 		Lambda:      opts.Lambda,
 		Shards:      opts.Shards,
 		Parallelism: opts.Parallelism,
+		Partition:   core.PartitionStrategy(opts.Partition),
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -253,6 +259,11 @@ func (e *Engine) Close() error {
 	e.broker.Close()
 	return err
 }
+
+// Partition returns the effective intra-shard partition strategy
+// ("mass" or "count"). Cheap: it reads immutable configuration, unlike
+// Stats, whose occupancy snapshot walks every shard's partitions.
+func (e *Engine) Partition() string { return string(e.mon.Config().Partition) }
 
 // StreamTime returns the engine's current stream time: the timestamp
 // of the latest accepted publication (0 before any). A server
@@ -565,6 +576,10 @@ func (e *Engine) Subscribe(id QueryID, buf int) (<-chan Update, func(), error) {
 	return sub.C(), sub.Cancel, nil
 }
 
+// PartitionStat is one intra-shard partition's occupancy (see
+// core.PartitionStat).
+type PartitionStat = core.PartitionStat
+
 // Stats summarizes engine activity.
 type Stats struct {
 	Queries   int
@@ -575,6 +590,14 @@ type Stats struct {
 	// (0 when retention is disabled). Bounded by the pruning policy,
 	// not by stream length.
 	Snippets int
+	// Partition is the intra-shard partitioning strategy in effect
+	// ("mass" or "count").
+	Partition string
+	// Partitions lists per-shard × per-partition occupancy: how the
+	// query set and the observed matching work are spread across the
+	// engine's matching workers. One entry per shard when intra-shard
+	// parallelism is off.
+	Partitions []PartitionStat
 }
 
 // Stats returns cumulative counters. Like Results, it takes only the
@@ -584,10 +607,12 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.RUnlock()
 	t := e.mon.Totals()
 	return Stats{
-		Queries:   e.mon.NumQueries(),
-		Documents: e.mon.Events(),
-		Evaluated: t.Evaluated,
-		Matched:   t.Matched,
-		Snippets:  len(e.snips),
+		Queries:    e.mon.NumQueries(),
+		Documents:  e.mon.Events(),
+		Evaluated:  t.Evaluated,
+		Matched:    t.Matched,
+		Snippets:   len(e.snips),
+		Partition:  string(e.mon.Config().Partition),
+		Partitions: e.mon.PartitionStats(),
 	}
 }

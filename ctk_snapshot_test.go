@@ -134,3 +134,127 @@ func TestReadSnapshotRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// TestSnapshotPersistsSeqs: the per-query notification sequence
+// numbers survive a snapshot round trip (engine wire v3), so a watcher
+// reconnecting after a restart can keep using Seq gaps for drop
+// detection — and the counters keep counting from where they were.
+func TestSnapshotPersistsSeqs(t *testing.T) {
+	orig, ids := notifyFixture(t, Options{Lambda: 0.01, SnippetLength: 40}, 6)
+	rng := rand.New(rand.NewSource(31))
+	at := 0.0
+	for i := 0; i < 60; i++ {
+		at += 0.5
+		if _, err := orig.Publish(notifyDoc(rng, i), at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := make(map[QueryID]uint64, len(ids))
+	anyNonZero := false
+	for _, id := range ids {
+		_, seq, err := orig.ResultsSeq(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[id] = seq
+		anyNonZero = anyNonZero || seq > 0
+	}
+	if !anyNonZero {
+		t.Fatal("fixture degenerate: no query's result set ever changed")
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), Options{SnippetLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	for _, id := range ids {
+		_, seq, err := restored.ResultsSeq(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != seqs[id] {
+			t.Fatalf("query %d seq %d after restore, want %d", id, seq, seqs[id])
+		}
+	}
+	// New changes continue the numbering instead of restarting it: the
+	// first pushed update after the restart carries Seq = saved + 1.
+	watched := ids[0]
+	ch, cancel, err := restored.Subscribe(watched, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	<-ch // initial snapshot at the restored seq
+	for i := 0; i < 40; i++ {
+		at += 0.5
+		if _, err := restored.Publish(notifyDoc(rng, 5000+i), at); err != nil {
+			t.Fatal(err)
+		}
+		if _, seq, _ := restored.ResultsSeq(watched); seq > seqs[watched] {
+			u := <-ch
+			if u.Seq != seqs[watched]+1 {
+				t.Fatalf("first post-restore update has Seq %d, want %d", u.Seq, seqs[watched]+1)
+			}
+			return
+		}
+	}
+	t.Fatal("watched query never changed after restore; fixture too quiet")
+}
+
+// TestStatsPartitionSurface: Stats reports the partition strategy and
+// per-partition occupancy, and Options.Partition round-trips through
+// engine construction (including the snapshot shape override).
+func TestStatsPartitionSurface(t *testing.T) {
+	e, err := New(Options{Shards: 2, Parallelism: 2, Partition: "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Register("solar power storage", 3); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Partition != "count" {
+		t.Fatalf("Stats.Partition = %q", st.Partition)
+	}
+	if len(st.Partitions) == 0 {
+		t.Fatalf("no partition occupancy surfaced: %+v", st)
+	}
+	if def, err := New(Options{}); err != nil {
+		t.Fatal(err)
+	} else {
+		if def.Stats().Partition != "mass" {
+			t.Fatalf("default partition = %q", def.Stats().Partition)
+		}
+		def.Close()
+	}
+	if _, err := New(Options{Partition: "bogus"}); err == nil {
+		t.Fatal("bogus partition strategy accepted")
+	}
+
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), Options{Partition: "mass"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Stats().Partition; got != "mass" {
+		t.Fatalf("shape override partition = %q, want mass", got)
+	}
+	kept, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kept.Close()
+	if got := kept.Stats().Partition; got != "count" {
+		t.Fatalf("persisted partition = %q, want count", got)
+	}
+}

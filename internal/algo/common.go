@@ -131,9 +131,11 @@ func (c *common) Results() *topk.Store { return c.store }
 
 // setStore swaps the processor's result store for an externally owned
 // one with identical shape (query count and per-query k). Parallel uses
-// it right after construction — before any event or bulk load — to
-// point each partition's processor at its slice of one shared arena, so
-// the store must still be empty.
+// it right after construction to point each partition's processor at
+// its slice of one shared arena. The slice need not be empty — a
+// repartition hands pre-filled views to fresh processors — but then the
+// caller must resynchronize the threshold state (SyncThreshold per
+// query, Refresh), exactly like after a bulk load.
 func (c *common) setStore(s *topk.Store) {
 	if s.NumQueries() != c.store.NumQueries() {
 		panic("algo: setStore with mismatched query count")

@@ -2,7 +2,9 @@ package algo
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/index"
@@ -23,6 +25,26 @@ type parJob struct {
 	e   float64
 }
 
+// PartitionStat describes one partition of a Parallel matcher: its
+// query range, its share of the estimated cost, and its cumulative
+// observed work since the partition was (re)created.
+type PartitionStat struct {
+	// Lo, Hi bound the partition's query range [Lo, Hi).
+	Lo, Hi uint32
+	// Cost is the partition's share of the current cost estimate (0
+	// when the plan carried no cost vector). It starts as posting mass
+	// and is rescaled by observed work densities at each adaptive
+	// repartition; the rescaling conserves the total, so partition
+	// costs always sum to the shard's posting mass, but an individual
+	// partition's Cost is an estimate in posting-mass-equivalent
+	// units, not a literal posting count.
+	Cost float64
+	// Busy is the cumulative wall time the partition spent matching.
+	Busy time.Duration
+	// Evaluated is the cumulative count of exactly-scored queries.
+	Evaluated uint64
+}
+
 // Parallel matches one event with several workers by partitioning the
 // query ID range into contiguous slices, each owned by an independent
 // inner processor over its own sub-index — a partition of every posting
@@ -30,6 +52,11 @@ type parJob struct {
 // into disjoint slice views of one shared result store (topk.Slice), so
 // Parallel presents the ordinary single-store Processor interface while
 // ProcessEvent fans out across cores.
+//
+// Boundary policy lives outside: NewParallel takes a Plan (see
+// PlanCosts) instead of computing its own split, and — under
+// StrategyMass — Repartition/CheckBalance move the boundaries to track
+// the observed per-partition work while the matcher keeps running.
 //
 // Exactness is free: queries are independent — a query's admission
 // decision depends only on its own threshold and the document — so any
@@ -43,11 +70,39 @@ type parJob struct {
 type Parallel struct {
 	name  string
 	store *topk.Store // full arena; inner processors own disjoint views
-	offs  []uint32    // len P+1: partition p owns queries [offs[p], offs[p+1])
+
+	// The raw query set and inner-algorithm factory are retained so
+	// Repartition can rebuild sub-indexes over new boundaries.
+	vecs     []textproc.Vector
+	ks       []int
+	build    Factory
+	strategy Strategy
+	costs    []float64 // per-query estimated cost (plan's cost vector)
+	partCost []float64 // cached per-partition sums of costs (occupancy reads)
+
+	offs  []uint32 // len P+1: partition p owns queries [offs[p], offs[p+1])
 	procs []Processor
 	work  []chan parJob // nil at slot 0 (inline partition)
 	done  sync.WaitGroup
 	outs  []EventMetrics
+
+	// Per-partition observed work since the last (re)partition. Each
+	// slot is written only by its partition's goroutine during an event
+	// and read between events (the event join orders the accesses), so
+	// plain loads/stores suffice.
+	busy  []int64 // cumulative busy nanoseconds
+	evals []uint64
+
+	// Balance-check window state: busy snapshot at the last check, the
+	// count of consecutive imbalanced windows, and the repartition
+	// cooldown (observation-only windows remaining; doubles after each
+	// repartition so a workload whose attainable balance sits near the
+	// trigger cannot thrash, and resets once a window looks balanced).
+	winBusy      []int64
+	streak       int
+	cooldown     int
+	nextCooldown int
+
 	// evWG joins one event's fan-out. Reused across events (events are
 	// externally serialized and Wait returns before the next Add) so
 	// the per-document hot path stays allocation-free.
@@ -59,55 +114,45 @@ type Parallel struct {
 }
 
 // NewParallel builds a Parallel matcher over the query set described
-// by vecs/ks, with up to workers partitions (capped at the query
-// count). build constructs each partition's inner algorithm; it must
+// by vecs/ks, with the partition boundaries of plan (see PlanCosts /
+// NewPlan). build constructs each partition's inner algorithm; it must
 // produce one of this package's processors (they share the result
 // store via an internal hook).
-func NewParallel(vecs []textproc.Vector, ks []int, workers int, build Factory) (*Parallel, error) {
+func NewParallel(vecs []textproc.Vector, ks []int, plan Plan, build Factory) (*Parallel, error) {
 	if len(vecs) != len(ks) {
 		return nil, fmt.Errorf("algo: %d vectors but %d k values", len(vecs), len(ks))
 	}
-	if workers < 1 {
-		return nil, fmt.Errorf("algo: parallelism must be ≥ 1, got %d", workers)
-	}
-	n := len(vecs)
-	if workers > n {
-		// Never more partitions than queries; an empty shard still gets
-		// one (workerless) partition so the Processor surface holds up.
-		workers = max(n, 1)
+	if err := plan.validate(len(vecs)); err != nil {
+		return nil, err
 	}
 	store, err := topk.NewStore(ks)
 	if err != nil {
 		return nil, err
 	}
+	workers := plan.Partitions()
 	p := &Parallel{
-		store: store,
-		offs:  make([]uint32, workers+1),
-		procs: make([]Processor, workers),
-		work:  make([]chan parJob, workers),
-		outs:  make([]EventMetrics, workers),
+		store:        store,
+		vecs:         vecs,
+		ks:           ks,
+		build:        build,
+		strategy:     plan.Strategy,
+		costs:        plan.Costs,
+		offs:         plan.Offs,
+		procs:        make([]Processor, workers),
+		work:         make([]chan parJob, workers),
+		outs:         make([]EventMetrics, workers),
+		busy:         make([]int64, workers),
+		evals:        make([]uint64, workers),
+		winBusy:      make([]int64, workers),
+		nextCooldown: 1,
 	}
-	for i := 1; i <= workers; i++ {
-		p.offs[i] = uint32(i * n / workers)
-	}
+	p.partCost = partCostSums(plan.Costs, plan.Offs)
 	for i := 0; i < workers; i++ {
-		lo, hi := int(p.offs[i]), int(p.offs[i+1])
-		subIx, err := index.Build(vecs[lo:hi], ks[lo:hi])
+		proc, err := p.buildPartition(int(p.offs[i]), int(p.offs[i+1]))
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		proc, err := build(subIx)
-		if err != nil {
-			p.Close()
-			return nil, err
-		}
-		ss, ok := proc.(interface{ setStore(*topk.Store) })
-		if !ok {
-			p.Close()
-			return nil, fmt.Errorf("algo: %s does not support intra-shard partitioning", proc.Name())
-		}
-		ss.setStore(store.Slice(lo, hi))
 		p.procs[i] = proc
 		if i > 0 {
 			ch := make(chan parJob)
@@ -120,11 +165,33 @@ func NewParallel(vecs []textproc.Vector, ks []int, workers int, build Factory) (
 	return p, nil
 }
 
+// buildPartition constructs one partition's sub-index and inner
+// processor, pointed at its slice view of the shared arena.
+func (p *Parallel) buildPartition(lo, hi int) (Processor, error) {
+	subIx, err := index.Build(p.vecs[lo:hi], p.ks[lo:hi])
+	if err != nil {
+		return nil, err
+	}
+	proc, err := p.build(subIx)
+	if err != nil {
+		return nil, err
+	}
+	ss, ok := proc.(interface{ setStore(*topk.Store) })
+	if !ok {
+		return nil, fmt.Errorf("algo: %s does not support intra-shard partitioning", proc.Name())
+	}
+	ss.setStore(p.store.Slice(lo, hi))
+	return proc, nil
+}
+
 // worker drains one partition's job channel.
 func (p *Parallel) worker(i int, ch chan parJob) {
 	defer p.done.Done()
 	for job := range ch {
+		t0 := time.Now()
 		p.outs[i] = p.procs[i].ProcessEvent(job.doc, job.e)
+		p.busy[i] += int64(time.Since(t0))
+		p.evals[i] += uint64(p.outs[i].Evaluated)
 		p.evWG.Done()
 	}
 }
@@ -134,6 +201,47 @@ func (p *Parallel) Name() string { return p.name }
 
 // Results implements Processor: the shared full-range store.
 func (p *Parallel) Results() *topk.Store { return p.store }
+
+// Strategy returns the boundary strategy the matcher was planned with.
+func (p *Parallel) Strategy() Strategy { return p.strategy }
+
+// Boundaries returns a copy of the current partition boundaries.
+func (p *Parallel) Boundaries() []uint32 {
+	out := make([]uint32, len(p.offs))
+	copy(out, p.offs)
+	return out
+}
+
+// Occupancy reports each partition's query range, estimated cost share
+// and observed work since the partition was created or last moved. Not
+// safe concurrently with ProcessEvent.
+func (p *Parallel) Occupancy() []PartitionStat {
+	out := make([]PartitionStat, len(p.procs))
+	for i := range p.procs {
+		out[i] = PartitionStat{
+			Lo: p.offs[i], Hi: p.offs[i+1],
+			Cost:      p.partCost[i],
+			Busy:      time.Duration(p.busy[i]),
+			Evaluated: p.evals[i],
+		}
+	}
+	return out
+}
+
+// partCostSums precomputes each partition's cost share so occupancy
+// polls (stats endpoints) never rescan the per-query vector.
+func partCostSums(costs []float64, offs []uint32) []float64 {
+	out := make([]float64, len(offs)-1)
+	if costs == nil {
+		return out
+	}
+	for i := range out {
+		for q := offs[i]; q < offs[i+1]; q++ {
+			out[i] += costs[q]
+		}
+	}
+	return out
+}
 
 // ProcessEvent implements Processor: the document is matched by every
 // partition concurrently and the per-partition work metrics are summed.
@@ -145,7 +253,10 @@ func (p *Parallel) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	for i := 1; i < len(p.procs); i++ {
 		p.work[i] <- parJob{doc: doc, e: e}
 	}
+	t0 := time.Now()
 	m := p.procs[0].ProcessEvent(doc, e)
+	p.busy[0] += int64(time.Since(t0))
+	p.evals[0] += uint64(m.Evaluated)
 	p.evWG.Wait()
 	for i := 1; i < len(p.procs); i++ {
 		m.Add(p.outs[i])
@@ -181,7 +292,9 @@ func (p *Parallel) Refresh() {
 // its own disjoint query range, so offsetting partition-local IDs and
 // concatenating yields the exact change set of the whole shard. The
 // parent store is drained too (and always discarded into fn the same
-// way): bulk loads through Results() land their change record there.
+// way): bulk loads through Results() land their change record there,
+// and Repartition carries the old partitions' undrained records into
+// it.
 func (p *Parallel) DrainChanged(fn func(q uint32)) {
 	p.store.DrainDirty(fn)
 	for i, proc := range p.procs {
@@ -192,6 +305,157 @@ func (p *Parallel) DrainChanged(fn func(q uint32)) {
 		}
 		proc.DrainChanged(func(q uint32) { fn(q + off) })
 	}
+}
+
+// retuneRatio and retuneStreak parameterize CheckBalance: a window is
+// imbalanced when the busiest partition exceeds retuneRatio × the mean
+// partition busy time, and retuneStreak consecutive imbalanced windows
+// trigger a repartition — a single skewed window (one pathological
+// document, a scheduling hiccup) never moves the boundaries.
+// retuneCooldownMax caps the exponential post-repartition cooldown.
+// The ratio is deliberately generous: a repartition rebuilds every
+// sub-index, and below ~1.35 the latency it buys back rarely covers
+// that cost.
+const (
+	retuneRatio       = 1.35
+	retuneStreak      = 2
+	retuneCooldownMax = 16
+)
+
+// CheckBalance closes one observation window: it compares the
+// partitions' busy time accumulated since the previous check and,
+// after retuneStreak consecutive windows of sustained imbalance,
+// repartitions. Each repartition is followed by a cooldown of
+// observation-only windows that doubles with every further
+// repartition (up to retuneCooldownMax) and resets once a window
+// looks balanced — so when the workload's attainable balance sits
+// near the trigger, boundary moves become geometrically rare instead
+// of thrashing. Only StrategyMass matchers adapt (StrategyCount is
+// the fixed legacy split, kept as an experimental control). Reports
+// whether a repartition happened. Must be externally serialized with
+// ProcessEvent, like every mutation.
+func (p *Parallel) CheckBalance() (bool, error) {
+	if p.strategy != StrategyMass || len(p.procs) < 2 {
+		return false, nil
+	}
+	var total, maxBusy int64
+	for i := range p.busy {
+		d := p.busy[i] - p.winBusy[i]
+		p.winBusy[i] = p.busy[i]
+		total += d
+		if d > maxBusy {
+			maxBusy = d
+		}
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		return false, nil
+	}
+	if total <= 0 {
+		return false, nil // nothing observed this window
+	}
+	mean := float64(total) / float64(len(p.busy))
+	if float64(maxBusy) <= retuneRatio*mean {
+		p.streak = 0
+		p.nextCooldown = 1
+		return false, nil
+	}
+	if p.streak++; p.streak < retuneStreak {
+		return false, nil
+	}
+	p.streak = 0
+	moved, err := p.Repartition()
+	if moved {
+		p.cooldown = p.nextCooldown
+		p.nextCooldown = min(2*p.nextCooldown, retuneCooldownMax)
+	}
+	return moved, err
+}
+
+// Repartition recomputes the boundaries from the estimated per-query
+// costs scaled by each partition's observed work density (see
+// replanScaled) and rebuilds the partitions in place over the new
+// contiguous ranges of the same shared result arena. Stored results
+// are untouched — any partition of the query set yields identical
+// top-k lists — and each new partition resynchronizes its threshold
+// and bound state from the arena, so the matcher's answers are
+// bit-identical before and after. Undrained change records of the old
+// partitions are carried into the parent store, so no notification is
+// lost across the swap. Reports whether the boundaries moved; on
+// error the old partitions keep running unchanged.
+func (p *Parallel) Repartition() (bool, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed || p.strategy != StrategyMass || len(p.procs) < 2 || len(p.costs) != len(p.vecs) {
+		return false, nil
+	}
+	plan := replanScaled(p.costs, p.offs, p.busy)
+	if slices.Equal(plan.Offs, p.offs) {
+		return false, nil
+	}
+	if err := p.applyPlan(plan); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// applyPlan swaps the partition layout: new sub-indexes and inner
+// processors are built first (an error leaves the old layout fully
+// operational), then the old workers are drained and the new ones
+// started, and finally every query's threshold state is resynchronized
+// from the shared arena (the bulk-load pattern: SyncThreshold per
+// query, Refresh per partition).
+func (p *Parallel) applyPlan(plan Plan) error {
+	workers := plan.Partitions()
+	procs := make([]Processor, workers)
+	for i := 0; i < workers; i++ {
+		proc, err := p.buildPartition(int(plan.Offs[i]), int(plan.Offs[i+1]))
+		if err != nil {
+			return err
+		}
+		procs[i] = proc
+	}
+	// Carry undrained change records into the parent store before the
+	// old views are discarded: DrainChanged drains the parent first, so
+	// a later collection still reports these queries exactly once (the
+	// new views start empty).
+	for i, proc := range p.procs {
+		off := p.offs[i]
+		proc.DrainChanged(func(q uint32) { p.store.MarkDirty(q + off) })
+	}
+	// Drain and join the old workers; the arena and its contents stay.
+	for _, ch := range p.work {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	p.done.Wait()
+
+	p.offs = plan.Offs
+	p.costs = plan.Costs
+	p.partCost = partCostSums(plan.Costs, plan.Offs)
+	p.procs = procs
+	p.work = make([]chan parJob, workers)
+	p.outs = make([]EventMetrics, workers)
+	p.busy = make([]int64, workers)
+	p.evals = make([]uint64, workers)
+	p.winBusy = make([]int64, workers)
+	p.streak = 0
+	for i := 1; i < workers; i++ {
+		ch := make(chan parJob)
+		p.work[i] = ch
+		p.done.Add(1)
+		go p.worker(i, ch)
+	}
+	for i, proc := range procs {
+		for q := p.offs[i]; q < p.offs[i+1]; q++ {
+			proc.SyncThreshold(q - p.offs[i])
+		}
+		proc.Refresh()
+	}
+	p.name = fmt.Sprintf("%s×%d", procs[0].Name(), workers)
+	return nil
 }
 
 // partition returns the index of the partition owning global-in-shard

@@ -1,6 +1,8 @@
 package algo
 
 import (
+	"math"
+	"slices"
 	"strings"
 	"testing"
 
@@ -60,12 +62,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 		}
 		ps := []Processor{seq}
 		for _, workers := range []int{1, 2, 4, 7} {
-			par, err := NewParallel(vecs, ks, workers, factory)
-			if err != nil {
-				t.Fatal(err)
+			for _, strategy := range []Strategy{StrategyCount, StrategyMass} {
+				par, err := NewParallel(vecs, ks, NewPlan(vecs, workers, strategy), factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer par.Close()
+				ps = append(ps, par)
 			}
-			defer par.Close()
-			ps = append(ps, par)
 		}
 		// λ=25 with the fixture's ~22 virtual seconds crosses the
 		// rebase exponent budget several times, so the equivalence
@@ -91,7 +95,7 @@ func TestParallelMatchedCountInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := NewParallel(vecs, ks, 3, mrioFactory)
+	par, err := NewParallel(vecs, ks, NewPlan(vecs, 3, StrategyMass), mrioFactory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +119,7 @@ func TestParallelMatchedCountInvariant(t *testing.T) {
 func TestParallelRestoreAndSync(t *testing.T) {
 	const nq, k = 40, 2
 	vecs, ks := parallelFixture(t, workload.Uniform, nq, k, 5)
-	par, err := NewParallel(vecs, ks, 3, mrioFactory)
+	par, err := NewParallel(vecs, ks, NewPlan(vecs, 3, StrategyMass), mrioFactory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +141,200 @@ func TestParallelRestoreAndSync(t *testing.T) {
 	}
 }
 
+// TestRepartitionPreservesParity: moving the partition boundaries
+// mid-stream (with observed-work skew injected so the replan really
+// moves them) must leave every query's top-k bit-identical to the
+// sequential processor over the same event sequence, including across
+// later rebases.
+func TestRepartitionPreservesParity(t *testing.T) {
+	const nq, k = 200, 3
+	vecs, ks := parallelFixture(t, workload.Hot, nq, k, 41)
+	ix, events := buildFixture(t, workload.Hot, nq, 260, k, 41)
+	seq, err := mrioFactory(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallel(vecs, ks, NewPlan(vecs, 4, StrategyMass), mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	ps := []Processor{seq, par}
+	half := len(events) / 2
+	runAll(t, ps, events[:half], 25)
+	before := par.Boundaries()
+	// Pretend partition 0 has been far busier than its mass predicts,
+	// so the adaptive replan must shed queries from it.
+	par.busy[0] += int64(10 * len(par.procs) * (1 + int(par.busy[0])))
+	moved, err := par.Repartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatalf("repartition did not move boundaries (before %v)", before)
+	}
+	if slices.Equal(par.Boundaries(), before) {
+		t.Fatalf("boundaries unchanged after a reported move: %v", before)
+	}
+	runAll(t, ps, events[half:], 25)
+	assertResultsEqual(t, ps, nq)
+}
+
+// TestRepartitionCarriesChangeRecord: a repartition between a batch's
+// matching and its change drain must not lose (or duplicate) any
+// pending change notification — the retiring views' records are
+// carried into the parent arena.
+func TestRepartitionCarriesChangeRecord(t *testing.T) {
+	const nq, k = 150, 2
+	vecs, ks := parallelFixture(t, workload.Hot, nq, k, 42)
+	_, events := buildFixture(t, workload.Hot, nq, 80, k, 42)
+	mk := func() *Parallel {
+		par, err := NewParallel(vecs, ks, NewPlan(vecs, 3, StrategyMass), mrioFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(par.Close)
+		return par
+	}
+	control, moved := mk(), mk()
+	for _, ev := range events {
+		control.ProcessEvent(ev.Doc, 1)
+		moved.ProcessEvent(ev.Doc, 1)
+	}
+	before := moved.Boundaries()
+	moved.busy[0] += int64(10 * len(moved.procs) * (1 + int(moved.busy[0])))
+	if ok, err := moved.Repartition(); err != nil || !ok {
+		t.Fatalf("repartition: moved=%v err=%v", ok, err)
+	}
+	if slices.Equal(moved.Boundaries(), before) {
+		t.Fatal("boundaries did not move; the carry path was not exercised")
+	}
+	collect := func(p *Parallel) map[uint32]int {
+		got := map[uint32]int{}
+		p.DrainChanged(func(q uint32) { got[q]++ })
+		return got
+	}
+	want, got := collect(control), collect(moved)
+	if len(want) == 0 {
+		t.Fatal("fixture degenerate: no changes recorded")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("changed sets diverge: %d vs %d queries", len(got), len(want))
+	}
+	for q, n := range want {
+		if n != 1 || got[q] != 1 {
+			t.Fatalf("query %d reported %d/%d times, want exactly once", q, got[q], n)
+		}
+	}
+}
+
+// TestCheckBalanceStreak: a single imbalanced observation window must
+// not move boundaries; sustained imbalance (retuneStreak consecutive
+// windows) must.
+func TestCheckBalanceStreak(t *testing.T) {
+	const nq, k = 120, 2
+	vecs, ks := parallelFixture(t, workload.Hot, nq, k, 43)
+	par, err := NewParallel(vecs, ks, NewPlan(vecs, 3, StrategyMass), mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	skewWindow := func() {
+		par.busy[0] += 1_000_000 * int64(len(par.procs))
+		for i := 1; i < len(par.busy); i++ {
+			par.busy[i] += 1000
+		}
+	}
+	skewWindow()
+	if moved, err := par.CheckBalance(); err != nil || moved {
+		t.Fatalf("first imbalanced window already repartitioned: moved=%v err=%v", moved, err)
+	}
+	skewWindow()
+	moved, err := par.CheckBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatal("sustained imbalance did not trigger a repartition")
+	}
+	// A balanced window resets the streak.
+	for i := range par.busy {
+		par.busy[i] += 5000
+	}
+	if moved, _ := par.CheckBalance(); moved {
+		t.Fatal("balanced window repartitioned")
+	}
+	if par.streak != 0 {
+		t.Fatalf("streak = %d after balanced window", par.streak)
+	}
+	// Count-strategy matchers never adapt.
+	fixed, err := NewParallel(vecs, ks, NewPlan(vecs, 3, StrategyCount), mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	fixed.busy[0] += 1 << 40
+	for i := 0; i < 3; i++ {
+		if moved, _ := fixed.CheckBalance(); moved {
+			t.Fatal("count strategy repartitioned")
+		}
+	}
+}
+
+// TestParallelOccupancy: the occupancy report must tile the query
+// range exactly, carry the plan's cost shares, and account all
+// observed matching work.
+func TestParallelOccupancy(t *testing.T) {
+	const nq, k = 100, 2
+	vecs, ks := parallelFixture(t, workload.Hot, nq, k, 44)
+	_, events := buildFixture(t, workload.Hot, nq, 60, k, 44)
+	par, err := NewParallel(vecs, ks, NewPlan(vecs, 4, StrategyMass), mrioFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	var evaluated uint64
+	for _, ev := range events {
+		evaluated += uint64(par.ProcessEvent(ev.Doc, 1).Evaluated)
+	}
+	occ := par.Occupancy()
+	if len(occ) != 4 {
+		t.Fatalf("occupancy has %d partitions", len(occ))
+	}
+	var lo uint32
+	var gotEval, busy uint64
+	var gotCost, totalCost float64
+	for _, c := range index.EstimateCosts(vecs) {
+		totalCost += c
+	}
+	for _, st := range occ {
+		if st.Lo != lo {
+			t.Fatalf("occupancy does not tile the range: %+v", occ)
+		}
+		lo = st.Hi
+		gotEval += st.Evaluated
+		busy += uint64(st.Busy)
+		gotCost += st.Cost
+	}
+	if lo != nq {
+		t.Fatalf("occupancy ends at %d, want %d", lo, nq)
+	}
+	if gotEval != evaluated {
+		t.Fatalf("occupancy evaluated %d, metrics summed %d", gotEval, evaluated)
+	}
+	if busy == 0 {
+		t.Fatal("no busy time observed")
+	}
+	if math.Abs(gotCost-totalCost) > 1e-6*totalCost {
+		t.Fatalf("occupancy cost %v, want %v", gotCost, totalCost)
+	}
+}
+
 // TestParallelLifecycle: worker-count capping, naming, idempotent
-// Close, and the empty-query edge.
+// Close, the empty-query edge, and plan validation.
 func TestParallelLifecycle(t *testing.T) {
 	vecs, ks := parallelFixture(t, workload.Uniform, 3, 1, 6)
-	par, err := NewParallel(vecs, ks, 16, mrioFactory)
+	par, err := NewParallel(vecs, ks, NewPlan(vecs, 16, StrategyMass), mrioFactory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +347,7 @@ func TestParallelLifecycle(t *testing.T) {
 	par.Close()
 	par.Close() // idempotent
 
-	empty, err := NewParallel(nil, nil, 4, mrioFactory)
+	empty, err := NewParallel(nil, nil, NewPlan(nil, 4, StrategyMass), mrioFactory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +355,13 @@ func TestParallelLifecycle(t *testing.T) {
 	if got := empty.Results().NumQueries(); got != 0 {
 		t.Fatalf("empty Parallel has %d queries", got)
 	}
-	if _, err := NewParallel(vecs, ks, 0, mrioFactory); err == nil {
-		t.Fatal("parallelism 0 accepted")
+	for _, bad := range []Plan{
+		{}, // no partitions
+		{Strategy: StrategyCount, Offs: []uint32{0, 2}},       // doesn't cover the range
+		{Strategy: StrategyCount, Offs: []uint32{0, 3, 1, 3}}, // not monotone
+	} {
+		if _, err := NewParallel(vecs, ks, bad, mrioFactory); err == nil {
+			t.Fatalf("invalid plan %+v accepted", bad)
+		}
 	}
 }

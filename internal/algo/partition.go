@@ -1,0 +1,187 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/textproc"
+)
+
+// Strategy selects how a shard's query ID range is split across the
+// intra-shard matching workers of a Parallel processor.
+type Strategy string
+
+const (
+	// StrategyCount cuts the range into equal query-count slices — the
+	// workload-blind legacy split. Cheap and stable, but under term
+	// skew one slice can own most of the posting mass while the others
+	// idle, and the event latency is bounded by the slowest slice.
+	StrategyCount Strategy = "count"
+	// StrategyMass equalizes estimated matching cost (posting mass)
+	// across slices via prefix sums over per-query cost statistics,
+	// and — through Parallel.CheckBalance — adapts the boundaries to
+	// the observed per-partition work. The default.
+	StrategyMass Strategy = "mass"
+)
+
+// ParseStrategy converts a partition-strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyCount, StrategyMass:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("algo: unknown partition strategy %q", s)
+}
+
+// Plan is a boundary plan over a shard's query range: partition p owns
+// queries [Offs[p], Offs[p+1]). Plans are computed by PlanCosts (or
+// NewPlan) and handed to NewParallel, which no longer chooses its own
+// boundaries — boundary policy and matching mechanics are separate
+// layers.
+type Plan struct {
+	// Strategy records how the boundaries were chosen; Parallel keeps
+	// it to decide whether observed imbalance may move them.
+	Strategy Strategy
+	// Offs has one entry per partition plus a trailing len(costs);
+	// it is non-decreasing with Offs[0] == 0.
+	Offs []uint32
+	// Costs is the per-query cost estimate the boundaries were planned
+	// over (posting mass), retained for occupancy reporting and for
+	// adaptive replanning.
+	Costs []float64
+}
+
+// Partitions returns the number of partitions in the plan.
+func (p Plan) Partitions() int { return len(p.Offs) - 1 }
+
+// validate reports the first structural problem with the plan for a
+// query set of size n.
+func (p Plan) validate(n int) error {
+	if len(p.Offs) < 2 {
+		return fmt.Errorf("algo: plan has no partitions")
+	}
+	if p.Offs[0] != 0 || p.Offs[len(p.Offs)-1] != uint32(n) {
+		return fmt.Errorf("algo: plan covers [%d, %d) of %d queries", p.Offs[0], p.Offs[len(p.Offs)-1], n)
+	}
+	for i := 1; i < len(p.Offs); i++ {
+		if p.Offs[i] < p.Offs[i-1] {
+			return fmt.Errorf("algo: plan boundaries not monotone at %d", i)
+		}
+	}
+	return nil
+}
+
+// NewPlan estimates per-query posting mass for the query set and plans
+// boundaries for up to workers partitions under the given strategy.
+// This is the constructor the monitor uses when (re)building a shard.
+func NewPlan(vecs []textproc.Vector, workers int, s Strategy) Plan {
+	return PlanCosts(index.EstimateCosts(vecs), workers, s)
+}
+
+// PlanCosts plans partition boundaries over an explicit per-query cost
+// vector. The partition count is clamped to [1, len(costs)] (an empty
+// query set still gets one empty partition, so the Processor surface
+// holds up). StrategyMass equalizes cumulative cost via prefix sums
+// while keeping every partition non-empty, so as long as no single
+// query outweighs the ideal share, every partition's cost is within a
+// factor ~2 of total/partitions; StrategyCount reproduces the legacy
+// i·n/workers split exactly.
+func PlanCosts(costs []float64, workers int, s Strategy) Plan {
+	n := len(costs)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	plan := Plan{Strategy: s, Offs: make([]uint32, workers+1), Costs: costs}
+	if s == StrategyMass && massBoundaries(costs, plan.Offs) {
+		return plan
+	}
+	for i := 1; i <= workers; i++ {
+		plan.Offs[i] = uint32(i * n / workers)
+	}
+	return plan
+}
+
+// massBoundaries fills offs with cost-equalizing boundaries: boundary
+// j lands where the cost prefix sum first reaches j/P of the total
+// (choosing the nearer of the two straddling cut points), clamped so
+// every partition keeps at least one query. It reports false — leaving
+// offs for the caller's count fallback — when the total cost is not
+// positive, where "equal cost" is undefined.
+func massBoundaries(costs []float64, offs []uint32) bool {
+	p := len(offs) - 1
+	n := len(costs)
+	if p < 1 || n == 0 {
+		return false
+	}
+	prefix := make([]float64, n+1)
+	for i, c := range costs {
+		if c < 0 {
+			c = 0
+		}
+		prefix[i+1] = prefix[i] + c
+	}
+	total := prefix[n]
+	if total <= 0 {
+		return false
+	}
+	cur := 0
+	for j := 1; j < p; j++ {
+		target := total * float64(j) / float64(p)
+		lo, hi := cur+1, n-(p-j) // inclusive bounds keeping partitions non-empty
+		i := lo + sort.Search(hi-lo+1, func(k int) bool { return prefix[lo+k] >= target })
+		if i > hi {
+			i = hi
+		}
+		if i > lo && target-prefix[i-1] < prefix[i]-target {
+			i--
+		}
+		offs[j] = uint32(i)
+		cur = i
+	}
+	offs[p] = uint32(n)
+	return true
+}
+
+// replanScaled recomputes mass boundaries for the same partition count
+// after scaling each query's estimated cost by its current partition's
+// observed work density (busy time per unit of estimated cost). This
+// is the adaptive feedback loop: where the static posting-mass model
+// mispredicts — pruning makes a zone cheaper, a hot topic makes one
+// more expensive — the observed densities reshape the costs and the
+// boundaries follow the live workload. The scaled costs become the
+// next round's base estimate, so successive repartitions *compound*
+// their corrections (an iterative solve toward the true per-query
+// cost) instead of rederiving the same biased plan from raw mass.
+func replanScaled(costs []float64, offs []uint32, busy []int64) Plan {
+	scaled := make([]float64, len(costs))
+	var estTotal, busyTotal float64
+	for i := range busy {
+		busyTotal += float64(busy[i])
+	}
+	for _, c := range costs {
+		estTotal += c
+	}
+	for part := 0; part < len(offs)-1; part++ {
+		lo, hi := int(offs[part]), int(offs[part+1])
+		var est float64
+		for q := lo; q < hi; q++ {
+			est += costs[q]
+		}
+		// A partition with no estimated mass (or no observations yet)
+		// keeps the global mean density, contributing no distortion.
+		density := 1.0
+		if est > 0 && estTotal > 0 && busyTotal > 0 {
+			density = (float64(busy[part]) / busyTotal) / (est / estTotal)
+		}
+		for q := lo; q < hi; q++ {
+			scaled[q] = costs[q] * density
+		}
+	}
+	// PlanCosts keeps the scaled vector as plan.Costs: the corrected
+	// estimate is the new base.
+	return PlanCosts(scaled, len(offs)-1, StrategyMass)
+}

@@ -1,0 +1,203 @@
+package algo
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/workload"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []string{"count", "mass"} {
+		got, err := ParseStrategy(s)
+		if err != nil || string(got) != s {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("ParseStrategy(bogus) succeeded")
+	}
+}
+
+// TestPlanCountMatchesLegacySplit: the count strategy must reproduce
+// the historical i·n/workers boundaries exactly, so the knob's legacy
+// setting really is today's behavior.
+func TestPlanCountMatchesLegacySplit(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{10, 3}, {7, 7}, {100, 8}, {5, 1}, {3, 16}, {0, 4},
+	} {
+		costs := make([]float64, tc.n)
+		for i := range costs {
+			costs[i] = float64(1 + i%5)
+		}
+		plan := PlanCosts(costs, tc.workers, StrategyCount)
+		workers := tc.workers
+		if workers > tc.n {
+			workers = tc.n
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		if plan.Partitions() != workers {
+			t.Fatalf("n=%d workers=%d: partitions = %d, want %d", tc.n, tc.workers, plan.Partitions(), workers)
+		}
+		for i := 0; i <= workers; i++ {
+			if want := uint32(i * tc.n / workers); plan.Offs[i] != want {
+				t.Fatalf("n=%d workers=%d: offs[%d] = %d, want %d", tc.n, tc.workers, i, plan.Offs[i], want)
+			}
+		}
+	}
+}
+
+// partCosts sums each partition's cost under a plan.
+func partCosts(plan Plan, costs []float64) []float64 {
+	out := make([]float64, plan.Partitions())
+	for p := 0; p < plan.Partitions(); p++ {
+		for q := plan.Offs[p]; q < plan.Offs[p+1]; q++ {
+			out[p] += costs[q]
+		}
+	}
+	return out
+}
+
+// TestPlanMassBoundsPartitionCost: as long as no single query
+// outweighs the ideal per-partition share, every mass partition's cost
+// stays within 2× of total/P — the greedy prefix-sum cut can overshoot
+// a boundary by at most one query.
+func TestPlanMassBoundsPartitionCost(t *testing.T) {
+	costs := []float64{
+		// A skewed front block (hot queries) and a light tail.
+		40, 38, 36, 35, 30, 28, 25, 20,
+		1, 1, 2, 1, 1, 2, 1, 1, 2, 1, 1, 2, 1, 1, 1, 1, 1, 1, 2, 1, 1, 1, 1, 1,
+	}
+	const workers = 4
+	var total, maxCost float64
+	for _, c := range costs {
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	ideal := total / workers
+	if maxCost >= ideal {
+		t.Fatalf("fixture degenerate: max query cost %v ≥ ideal share %v", maxCost, ideal)
+	}
+	plan := PlanCosts(costs, workers, StrategyMass)
+	if plan.Partitions() != workers {
+		t.Fatalf("partitions = %d", plan.Partitions())
+	}
+	for p, c := range partCosts(plan, costs) {
+		if c > 2*ideal {
+			t.Fatalf("partition %d cost %v exceeds 2× ideal %v (offs %v)", p, c, ideal, plan.Offs)
+		}
+	}
+	// And the plan must actually beat the blind count split on this
+	// skew: the count split's worst partition carries the whole hot
+	// block.
+	count := PlanCosts(costs, workers, StrategyCount)
+	maxMass, maxCount := 0.0, 0.0
+	for _, c := range partCosts(plan, costs) {
+		maxMass = math.Max(maxMass, c)
+	}
+	for _, c := range partCosts(count, costs) {
+		maxCount = math.Max(maxCount, c)
+	}
+	if maxMass >= maxCount {
+		t.Fatalf("mass max %v not better than count max %v", maxMass, maxCount)
+	}
+}
+
+// TestPlanMassOnSkewedWorkload is the end-to-end version of the bound:
+// on the Hot workload (half the query IDs concentrated on a few hot
+// topic zones) the mass plan keeps every partition's posting mass
+// within 2× of the ideal share, while the count split exceeds it.
+func TestPlanMassOnSkewedWorkload(t *testing.T) {
+	vecs, _ := parallelFixture(t, workload.Hot, 400, 10, 31)
+	costs := index.EstimateCosts(vecs)
+	const workers = 4
+	var total float64
+	for _, c := range costs {
+		total += c
+	}
+	ideal := total / workers
+	mass := PlanCosts(costs, workers, StrategyMass)
+	maxMass := 0.0
+	for p, c := range partCosts(mass, costs) {
+		if c > 2*ideal {
+			t.Fatalf("mass partition %d cost %v exceeds 2× ideal %v (offs %v)", p, c, ideal, mass.Offs)
+		}
+		maxMass = math.Max(maxMass, c)
+	}
+	count := PlanCosts(costs, workers, StrategyCount)
+	maxCount := 0.0
+	for _, c := range partCosts(count, costs) {
+		maxCount = math.Max(maxCount, c)
+	}
+	// The blind split's worst partition must be materially heavier than
+	// the mass split's — otherwise the fixture isn't skewed and the
+	// test proves nothing.
+	if maxCount < 1.2*maxMass {
+		t.Fatalf("fixture not skewed enough: count max %v vs mass max %v (ideal %v)", maxCount, maxMass, ideal)
+	}
+}
+
+// TestPlanMassNonEmptyAndMonotone: boundaries must always be monotone
+// with no empty partition, even under pathological cost vectors.
+func TestPlanMassNonEmptyAndMonotone(t *testing.T) {
+	cases := [][]float64{
+		{100, 0, 0, 0, 0, 0, 0, 0},     // all mass up front
+		{0, 0, 0, 0, 0, 0, 0, 100},     // all mass at the back
+		{0, 0, 0, 0, 0, 0, 0, 0},       // no mass at all → count fallback
+		{1, 1, 1, 1, 1, 1, 1, 1},       // perfectly even
+		{5, -3, 2, 8, 1, 1, 9, 4},      // negative costs clamp to 0
+		{math.Inf(1) - math.Inf(1), 1}, // NaN-ish input must not wedge boundaries
+	}
+	for ci, costs := range cases {
+		for _, workers := range []int{1, 2, 3, len(costs)} {
+			plan := PlanCosts(costs, workers, StrategyMass)
+			if plan.Partitions() != min(workers, len(costs)) {
+				t.Fatalf("case %d workers %d: partitions = %d", ci, workers, plan.Partitions())
+			}
+			if plan.Offs[0] != 0 || plan.Offs[plan.Partitions()] != uint32(len(costs)) {
+				t.Fatalf("case %d workers %d: coverage %v", ci, workers, plan.Offs)
+			}
+			for p := 1; p <= plan.Partitions(); p++ {
+				if plan.Offs[p] <= plan.Offs[p-1] {
+					t.Fatalf("case %d workers %d: empty or inverted partition in %v", ci, workers, plan.Offs)
+				}
+			}
+		}
+	}
+}
+
+// TestReplanScaled: scaling the costs by observed busy-time density
+// must shrink an over-busy partition and leave a balanced observation
+// unchanged.
+func TestReplanScaled(t *testing.T) {
+	costs := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	base := PlanCosts(costs, 3, StrategyMass) // [0 4 8 12]
+
+	// Balanced observation → identical boundaries.
+	same := replanScaled(costs, base.Offs, []int64{100, 100, 100})
+	if !slices.Equal(same.Offs, base.Offs) {
+		t.Fatalf("balanced replan moved boundaries: %v → %v", base.Offs, same.Offs)
+	}
+
+	// Partition 0 observed 4× busier than its mass predicts → it must
+	// shed queries to the others.
+	moved := replanScaled(costs, base.Offs, []int64{400, 100, 100})
+	if slices.Equal(moved.Offs, base.Offs) {
+		t.Fatalf("skewed replan did not move boundaries: %v", moved.Offs)
+	}
+	if moved.Offs[1] >= base.Offs[1] {
+		t.Fatalf("over-busy partition 0 did not shrink: %v → %v", base.Offs, moved.Offs)
+	}
+	// The scaled costs become the next round's base, so corrections
+	// compound: partition 0's queries must now look more expensive
+	// than the rest.
+	if moved.Costs[0] <= moved.Costs[len(costs)-1] {
+		t.Fatalf("scaled costs not carried forward: %v", moved.Costs)
+	}
+}

@@ -102,6 +102,21 @@ type Series struct {
 	// Parallelism > 1 partitions each shard's query range across this
 	// many intra-shard matching workers (Shards must be > 0).
 	Parallelism int
+	// Partition selects the intra-shard partition strategy (empty uses
+	// the monitor default, mass).
+	Partition core.PartitionStrategy
+	// RepartitionWindow overrides the monitor's imbalance-check window
+	// (0 keeps the default). Experiments with short measure windows
+	// set it low so the mass strategy's observed-work adaptation runs
+	// within the measured stream.
+	RepartitionWindow int
+	// Adapt replays this many leading measure events untimed before
+	// the timed window starts (clamped to half the window), letting
+	// adaptive partition boundaries converge so the timed segment
+	// measures the steady state rather than the transient — every
+	// series of an experiment should use the same Adapt so they replay
+	// identical streams.
+	Adapt int
 	// Batch > 1 chunks the measure window into groups of this many
 	// documents, all stamped with the chunk's last event time, and
 	// feeds each chunk through ProcessBatch (Shards must be > 0);
@@ -154,6 +169,13 @@ type Cell struct {
 	Evaluated float64 // mean exact evaluations per event
 	Iters     float64 // mean iterations per event
 	JumpAlls  float64 // mean whole-zone strides per event
+	// Imbalance is the max/mean ratio of per-partition observed busy
+	// time across the monitor's intra-shard partitions (0 when the
+	// series runs without intra-shard parallelism). 1.0 is perfect
+	// balance; the event latency is bounded by the slowest partition,
+	// so this ratio is the headroom cost-balanced partitioning buys
+	// back.
+	Imbalance float64
 }
 
 // Result is a fully measured experiment.
@@ -339,8 +361,13 @@ func Run(exp Experiment, out io.Writer) (*Result, error) {
 			}
 			res.Cells = append(res.Cells, cell)
 			if out != nil {
-				fmt.Fprintf(out, "  %-12s %-12v mean=%8.3fms p95=%8.3fms eval/ev=%9.1f\n",
-					s.Label, pt.Param, cell.MeanMS, cell.P95MS, cell.Evaluated)
+				if cell.Imbalance > 0 {
+					fmt.Fprintf(out, "  %-12s %-12v mean=%8.3fms p95=%8.3fms eval/ev=%9.1f imb=%5.2f\n",
+						s.Label, pt.Param, cell.MeanMS, cell.P95MS, cell.Evaluated, cell.Imbalance)
+				} else {
+					fmt.Fprintf(out, "  %-12s %-12v mean=%8.3fms p95=%8.3fms eval/ev=%9.1f\n",
+						s.Label, pt.Param, cell.MeanMS, cell.P95MS, cell.Evaluated)
+				}
 			}
 		}
 	}
@@ -403,11 +430,13 @@ func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *wa
 		defs[i] = core.QueryDef{Vec: vecs[i], K: ks[i]}
 	}
 	mon, err := core.NewMonitor(core.Config{
-		Algorithm:   s.Algo,
-		Bound:       s.Bound,
-		Lambda:      pt.Lambda,
-		Shards:      s.Shards,
-		Parallelism: s.Parallelism,
+		Algorithm:         s.Algo,
+		Bound:             s.Bound,
+		Lambda:            pt.Lambda,
+		Shards:            s.Shards,
+		Parallelism:       s.Parallelism,
+		Partition:         s.Partition,
+		RepartitionWindow: s.RepartitionWindow,
 	}, defs)
 	if err != nil {
 		return cell, err
@@ -415,6 +444,16 @@ func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *wa
 	defer mon.Close()
 	if err := mon.RestoreState(warm.base, warm.base, warm.results); err != nil {
 		return cell, err
+	}
+	// Untimed adaptation prefix: identical stream for every series
+	// sharing the same Adapt, so the timed segments stay comparable.
+	if adapt := min(s.Adapt, len(measure)/2); adapt > 0 {
+		for _, ev := range measure[:adapt] {
+			if _, err := mon.Process(ev.Doc, ev.Time); err != nil {
+				return cell, err
+			}
+		}
+		measure = measure[adapt:]
 	}
 	batch := s.Batch
 	if batch < 1 {
@@ -459,5 +498,24 @@ func runShardCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *wa
 	cell.P50MS = sample.Percentile(50)
 	cell.P95MS = sample.Percentile(95)
 	cell.Evaluated = evalSum / float64(len(measure))
+	if s.Parallelism > 1 {
+		cell.Imbalance = workImbalance(mon.PartitionStats())
+	}
 	return cell, nil
+}
+
+// workImbalance computes the max/mean ratio of per-partition busy time
+// (0 when nothing was observed).
+func workImbalance(parts []core.PartitionStat) float64 {
+	var total, maxBusy float64
+	for _, p := range parts {
+		total += p.BusyMS
+		if p.BusyMS > maxBusy {
+			maxBusy = p.BusyMS
+		}
+	}
+	if total <= 0 || len(parts) == 0 {
+		return 0
+	}
+	return maxBusy / (total / float64(len(parts)))
 }

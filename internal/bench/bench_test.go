@@ -26,7 +26,7 @@ func tinyScale() Scale {
 func TestExperimentRegistry(t *testing.T) {
 	sc := tinyScale()
 	exps := Experiments(sc)
-	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar", "ablnotify"} {
+	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar", "ablnotify", "ablbalance"} {
 		e, ok := exps[id]
 		if !ok {
 			t.Fatalf("experiment %s missing", id)
@@ -117,6 +117,42 @@ func TestRunShardSeries(t *testing.T) {
 	}
 	if len(res.Cells) != 2 {
 		t.Fatalf("cells = %d", len(res.Cells))
+	}
+}
+
+// TestRunBalanceSeries: the partition-balance ablation produces a
+// cell per strategy × workload and fills the Imbalance metric for
+// every intra-shard-parallel series. (Whether mass actually beats
+// count is asserted at the algorithmic level in internal/algo, where
+// it is deterministic; wall-clock ratios at tiny scale are noise.)
+func TestRunBalanceSeries(t *testing.T) {
+	sc := tinyScale()
+	exp := Experiments(sc)["ablbalance"]
+	if len(exp.Series) != 2 || len(exp.Points) != 2 {
+		t.Fatalf("ablbalance shape: %d series × %d points", len(exp.Series), len(exp.Points))
+	}
+	for _, s := range exp.Series {
+		if s.Parallelism < 2 || s.Partition == "" {
+			t.Fatalf("series %+v lacks partitioning", s)
+		}
+	}
+	if exp.Points[0].Queries.Kind != workload.Hot || exp.Points[1].Queries.Kind != workload.Uniform {
+		t.Fatalf("ablbalance workloads: %v / %v", exp.Points[0].Queries.Kind, exp.Points[1].Queries.Kind)
+	}
+	res, err := Run(exp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Imbalance < 1 {
+			t.Fatalf("cell %q imbalance %v; max/mean must be ≥ 1", c.Series, c.Imbalance)
+		}
+		if c.MeanMS < 0 {
+			t.Fatalf("negative timing in %+v", c)
+		}
 	}
 }
 

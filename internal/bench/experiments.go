@@ -179,6 +179,47 @@ func Experiments(sc Scale) map[string]Experiment {
 	ablp.Points = []Point{{Param: float64(sc.BaseQueries), Queries: pcfg, Lambda: defaultLambda}}
 	exps[ablp.ID] = ablp
 
+	// Cost-balanced partitioning ablation: the identical single-shard
+	// timeline at 4 intra-shard workers under count (equal query
+	// counts, the blind legacy split) vs mass (equal estimated posting
+	// mass, plus observed-work adaptation) boundaries, on a skewed
+	// workload (Hot: half the query IDs concentrated on a few hot
+	// topic zones, so the hot block's posting mass dwarfs the tail's)
+	// and on the balanced Uniform control. Per-event latency is
+	// bounded by the slowest partition; the imb column (max/mean
+	// per-partition busy time since the last boundary move) is the
+	// metric mass partitioning is built to push toward 1.0, with
+	// Uniform guarding against a regression where costs are already
+	// even. The mass series runs its imbalance checks every 32 events
+	// so the adaptation converges inside the short measure window —
+	// the interesting case is precisely where the static mass estimate
+	// mispredicts (pruning makes raw posting mass a poor proxy) and
+	// the busy-time feedback has to move the boundaries.
+	ablz := base("ablbalance", "Extension — cost-balanced intra-shard partitioning: count vs mass (MRIO, par=4)", "workload (1=Hot 2=Uniform)")
+	// The experiment doubles the measure window and replays the first
+	// half untimed (identically for both series), so the adaptive
+	// boundaries converge before timing starts and the timed half —
+	// the same length as every other experiment's window — measures
+	// the steady state.
+	ablz.Measure = 2 * sc.Measure
+	for _, st := range []core.PartitionStrategy{core.PartitionCount, core.PartitionMass} {
+		ablz.Series = append(ablz.Series, Series{
+			Label: "par4-" + string(st),
+			Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree,
+			Shards: 1, Parallelism: 4, Partition: st,
+			RepartitionWindow: 32, Adapt: sc.Measure,
+		})
+	}
+	hcfg := workload.DefaultConfig(workload.Hot, sc.BaseQueries)
+	hcfg.Seed = sc.Seed
+	ucfg := workload.DefaultConfig(workload.Uniform, sc.BaseQueries)
+	ucfg.Seed = sc.Seed
+	ablz.Points = []Point{
+		{Param: 1, Queries: hcfg, Lambda: defaultLambda},
+		{Param: 2, Queries: ucfg, Lambda: defaultLambda},
+	}
+	exps[ablz.ID] = ablz
+
 	return exps
 }
 

@@ -60,6 +60,24 @@ func NewProcessor(a Algorithm, bound rangemax.Kind, ix *index.Index) (algo.Proce
 	}
 }
 
+// PartitionStrategy selects how each shard's query range is split
+// across its Parallelism intra-shard matching workers (re-exported
+// from internal/algo so callers configure the monitor without
+// importing the algorithm layer).
+type PartitionStrategy = algo.Strategy
+
+// The available partition strategies.
+const (
+	// PartitionCount is the legacy equal-query-count split.
+	PartitionCount = algo.StrategyCount
+	// PartitionMass (the default) equalizes estimated posting mass and
+	// adapts boundaries to the observed per-partition work.
+	PartitionMass = algo.StrategyMass
+)
+
+// ParsePartition converts a partition-strategy name.
+func ParsePartition(s string) (PartitionStrategy, error) { return algo.ParseStrategy(s) }
+
 // Config parameterizes a Monitor.
 type Config struct {
 	// Algorithm selects the matching algorithm (default MRIO).
@@ -79,6 +97,17 @@ type Config struct {
 	// sequential path; only the per-event work counters depend on the
 	// partitioning.
 	Parallelism int
+	// Partition selects how each shard's query range is split across
+	// the Parallelism workers: PartitionMass (default) equalizes
+	// estimated posting mass and tracks the live workload;
+	// PartitionCount is the legacy equal-query-count split. Both are
+	// result-invariant — only the partition-work balance differs.
+	Partition PartitionStrategy
+	// RepartitionWindow is how many stream events pass between
+	// imbalance checks of the mass partitioner (default 4096; a check
+	// also runs at every decay rebase, and every rebuild replans from
+	// scratch). Meaningful only with Parallelism > 1.
+	RepartitionWindow int
 	// RebuildThreshold is how many dynamically added or removed
 	// queries accumulate before the main indexes are rebuilt to absorb
 	// them (default 1024). Pending queries are matched exhaustively in
@@ -96,6 +125,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
+	}
+	if c.Partition == "" {
+		c.Partition = PartitionMass
+	}
+	if c.RepartitionWindow == 0 {
+		c.RepartitionWindow = 4096
 	}
 	if c.RebuildThreshold == 0 {
 		c.RebuildThreshold = 1024
@@ -116,6 +151,12 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: negative intra-shard parallelism %d", c.Parallelism)
+	}
+	if _, err := ParsePartition(string(c.Partition)); c.Partition != "" && err != nil {
+		return err
+	}
+	if c.RepartitionWindow < 0 {
+		return fmt.Errorf("core: negative repartition window %d", c.RepartitionWindow)
 	}
 	if c.RebuildThreshold < 0 {
 		return fmt.Errorf("core: negative rebuild threshold %d", c.RebuildThreshold)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/corpus"
@@ -156,6 +157,10 @@ type Monitor struct {
 	totals EventStats
 	closed bool
 
+	// sinceCheck counts stream events since the last partition-balance
+	// check (see maybeRepartition).
+	sinceCheck int
+
 	// onChange, when set, is invoked synchronously at the end of every
 	// Process/ProcessBatch call whose batch changed at least one
 	// query's top-k (see SetChangeHandler).
@@ -233,7 +238,12 @@ func (m *Monitor) buildShard(ids []uint32) (*shard, error) {
 		ks[i] = m.defs[g].K
 	}
 	if m.cfg.Parallelism > 1 {
-		proc, err := algo.NewParallel(vecs, ks, m.cfg.Parallelism, func(ix *index.Index) (algo.Processor, error) {
+		// Boundary policy is the partitioner's: the plan equalizes the
+		// shard's estimated posting mass (or query count, per strategy)
+		// before any sub-index exists, so every rebuild replans from
+		// the current query set.
+		plan := algo.NewPlan(vecs, m.cfg.Parallelism, m.cfg.Partition)
+		proc, err := algo.NewParallel(vecs, ks, plan, func(ix *index.Index) (algo.Processor, error) {
 			return NewProcessor(m.cfg.Algorithm, m.cfg.Bound, ix)
 		})
 		if err != nil {
@@ -618,7 +628,111 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 			m.onChange(ids)
 		}
 	}
+	m.maybeRepartition(len(docs), len(m.rebases) > 0)
 	return st, nil
+}
+
+// maybeRepartition closes a partition-balance observation window once
+// RepartitionWindow events have passed since the last one — or
+// immediately when the batch crossed a decay rebase, a natural
+// bookkeeping epoch — and lets each shard's mass partitioner move its
+// boundaries after sustained imbalance. Runs at the end of a batch,
+// when no change record is mid-collection, so a repartition's change
+// carry-over stays exact. Errors leave the old (correct, merely
+// unbalanced) layout in place.
+func (m *Monitor) maybeRepartition(events int, rebased bool) {
+	if m.cfg.Parallelism <= 1 {
+		return
+	}
+	m.sinceCheck += events
+	if m.sinceCheck < m.cfg.RepartitionWindow && !rebased {
+		return
+	}
+	m.sinceCheck = 0
+	for _, sh := range m.shards {
+		if par, ok := sh.proc.(*algo.Parallel); ok {
+			_, _ = par.CheckBalance()
+		}
+	}
+}
+
+// Repartition immediately replans every shard's intra-shard partition
+// boundaries from the observed per-partition work (mass strategy
+// only; shards planned by count, or without intra-shard parallelism,
+// are untouched). The monitor also repartitions automatically — every
+// rebuild replans from the current query set, and sustained imbalance
+// between rebuilds moves boundaries via maybeRepartition — so this
+// exists for operators and tests that want a repartition now. Must be
+// externally serialized with Process/ProcessBatch, like any mutation.
+func (m *Monitor) Repartition() error {
+	if m.closed {
+		return ErrClosed
+	}
+	for s, sh := range m.shards {
+		if par, ok := sh.proc.(*algo.Parallel); ok {
+			if _, err := par.Repartition(); err != nil {
+				return fmt.Errorf("core: repartition shard %d: %w", s, err)
+			}
+		}
+	}
+	return nil
+}
+
+// PartitionStat surfaces one intra-shard partition's occupancy: its
+// share of the shard's queries and estimated posting mass, plus the
+// matching work observed since the partition was last (re)created.
+type PartitionStat struct {
+	// Shard is the owning shard's index, or -1 for the pending
+	// sidecar (recently added queries matched exhaustively until the
+	// next rebuild folds them into the shards).
+	Shard int
+	// Queries is the number of queries in the partition's range.
+	Queries int
+	// Cost is the partition's share of the current cost estimate (0
+	// for shards without intra-shard parallelism). It starts as the
+	// partition's posting mass; adaptive repartitions rescale it by
+	// observed work density while conserving the shard total, so
+	// compare shares within a snapshot, not absolute values across
+	// time.
+	Cost float64
+	// BusyMS is cumulative matching wall time in milliseconds.
+	BusyMS float64
+	// Evaluated is the cumulative count of exactly-scored queries.
+	Evaluated uint64
+}
+
+// PartitionStats reports every shard's intra-shard partition
+// occupancy; a shard running without intra-shard parallelism
+// contributes a single entry covering its whole query range. Safe
+// between events, like result reads.
+func (m *Monitor) PartitionStats() []PartitionStat {
+	var out []PartitionStat
+	for s, sh := range m.shards {
+		par, ok := sh.proc.(*algo.Parallel)
+		if !ok {
+			out = append(out, PartitionStat{Shard: s, Queries: len(sh.globalIDs)})
+			continue
+		}
+		for _, st := range par.Occupancy() {
+			out = append(out, PartitionStat{
+				Shard:     s,
+				Queries:   int(st.Hi - st.Lo),
+				Cost:      st.Cost,
+				BusyMS:    float64(st.Busy) / float64(time.Millisecond),
+				Evaluated: st.Evaluated,
+			})
+		}
+	}
+	pending := 0
+	for _, g := range m.pendingIDs {
+		if !m.loc[g].removed {
+			pending++
+		}
+	}
+	if pending > 0 {
+		out = append(out, PartitionStat{Shard: -1, Queries: pending})
+	}
+	return out
 }
 
 // ChangedQueries drains and returns the global IDs of queries whose

@@ -27,11 +27,24 @@ func TestParallelismEquivalence(t *testing.T) {
 		t.Cleanup(func() { m.Close() })
 		return m
 	}
+	newMonStrat := func(shards, par int, strat PartitionStrategy) *Monitor {
+		m, err := NewMonitor(Config{Lambda: 30, Shards: shards, Parallelism: par, Partition: strat}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
 	ref := newMon(1, 1)
 	variants := map[string]*Monitor{
-		"par=2":          newMon(1, 2),
-		"par=4":          newMon(1, 4),
-		"shards=2 par=2": newMon(2, 2),
+		"par=2":                newMon(1, 2),
+		"par=4":                newMon(1, 4),
+		"shards=2 par=2":       newMon(2, 2),
+		"par=2 count":          newMonStrat(1, 2, PartitionCount),
+		"par=4 count":          newMonStrat(1, 4, PartitionCount),
+		"par=4 mass":           newMonStrat(1, 4, PartitionMass),
+		"shards=2 par=3 count": newMonStrat(2, 3, PartitionCount),
+		"shards=2 par=3 mass":  newMonStrat(2, 3, PartitionMass),
 	}
 
 	const chunk = 7
@@ -128,6 +141,181 @@ func TestParallelismEquivalenceAcrossRebuilds(t *testing.T) {
 		}
 	}
 	expectSameResults(t, "shards=2 par=3 + churn", ref, par, nq+added)
+}
+
+// TestPartitionEquivalenceAcrossChurnAndRepartitions is the parity
+// gate for the cost-aware partitioner under everything that can move
+// boundaries at once: a skewed (Hot) workload, query churn tripping
+// shard rebuilds (every rebuild replans from the live query set), a
+// tiny RepartitionWindow so sustained-imbalance checks run constantly,
+// and periodic forced Repartition calls — for both strategies, alone
+// and composed with shards. Results must stay bit-identical to the
+// sequential monitor throughout.
+func TestPartitionEquivalenceAcrossChurnAndRepartitions(t *testing.T) {
+	const nq = 120
+	defs := defsFromWorkload(t, workload.Hot, nq, 3, 26)
+	extra := defsFromWorkload(t, workload.Uniform, 15, 3, 27)
+	events := testEvents(t, 220, 98)
+
+	mk := func(shards, par int, strat PartitionStrategy) *Monitor {
+		m, err := NewMonitor(Config{
+			Lambda: 0.01, Shards: shards, Parallelism: par,
+			Partition: strat, RepartitionWindow: 8, RebuildThreshold: 3,
+		}, defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m.Close() })
+		return m
+	}
+	ref := mk(1, 1, PartitionCount)
+	variants := map[string]*Monitor{
+		"par=4 mass":          mk(1, 4, PartitionMass),
+		"par=4 count":         mk(1, 4, PartitionCount),
+		"shards=2 par=3 mass": mk(2, 3, PartitionMass),
+	}
+
+	const chunk = 9
+	added := 0
+	for i := 0; i < len(events); i += chunk {
+		evs := events[i:min(i+chunk, len(events))]
+		at := evs[len(evs)-1].Time
+		docs := make([]corpus.Document, len(evs))
+		for j, ev := range evs {
+			docs[j] = ev.Doc
+		}
+		for _, doc := range docs {
+			if _, err := ref.Process(doc, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, m := range variants {
+			if _, err := m.ProcessBatch(docs, at); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if added < len(extra) {
+			for _, m := range append([]*Monitor{ref}, variants["par=4 mass"], variants["par=4 count"], variants["shards=2 par=3 mass"]) {
+				if _, err := m.AddQuery(extra[added]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			added++
+		}
+		if i/chunk%4 == 3 {
+			victim := uint32(i / chunk % nq)
+			for _, m := range append([]*Monitor{ref}, variants["par=4 mass"], variants["par=4 count"], variants["shards=2 par=3 mass"]) {
+				if err := m.RemoveQuery(victim); err != nil && !errors.Is(err, ErrRemovedQuery) {
+					t.Fatal(err)
+				}
+			}
+			// And force an immediate boundary replan from the observed
+			// occupancy on top of the automatic window checks.
+			for name, m := range variants {
+				if err := m.Repartition(); err != nil {
+					t.Fatalf("%s: forced repartition: %v", name, err)
+				}
+			}
+		}
+	}
+	for name, m := range variants {
+		if m.Totals().Matched != ref.Totals().Matched {
+			t.Fatalf("%s: matched = %d, want %d", name, m.Totals().Matched, ref.Totals().Matched)
+		}
+		expectSameResults(t, name, ref, m, nq+added)
+	}
+}
+
+// TestPartitionStats: the per-partition occupancy surface must tile
+// each shard's query set and report the strategy's cost estimates;
+// monitors without intra-shard parallelism report one entry per shard.
+func TestPartitionStats(t *testing.T) {
+	const nq = 90
+	defs := defsFromWorkload(t, workload.Hot, nq, 2, 28)
+	events := testEvents(t, 50, 99)
+
+	m, err := NewMonitor(Config{Shards: 2, Parallelism: 3}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts := m.PartitionStats()
+	if len(parts) != 6 {
+		t.Fatalf("partition entries = %d, want 6 (2 shards × 3)", len(parts))
+	}
+	queries, cost := 0, 0.0
+	var evaluated uint64
+	for _, p := range parts {
+		if p.Shard < 0 || p.Shard > 1 {
+			t.Fatalf("bad shard index in %+v", p)
+		}
+		queries += p.Queries
+		cost += p.Cost
+		evaluated += p.Evaluated
+	}
+	if queries != nq {
+		t.Fatalf("partition queries sum to %d, want %d", queries, nq)
+	}
+	if cost <= 0 {
+		t.Fatal("no cost estimates surfaced")
+	}
+	if evaluated == 0 || uint64(m.Totals().Evaluated) != evaluated {
+		t.Fatalf("partition evaluated sum %d, monitor total %d", evaluated, m.Totals().Evaluated)
+	}
+
+	flat, err := NewMonitor(Config{Shards: 2}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	fp := flat.PartitionStats()
+	if len(fp) != 2 || fp[0].Queries+fp[1].Queries != nq {
+		t.Fatalf("flat partition stats: %+v", fp)
+	}
+}
+
+// TestConfigPartition: defaulting, parsing and validation of the
+// partition knobs.
+func TestConfigPartition(t *testing.T) {
+	c := (Config{}).withDefaults()
+	if c.Partition != PartitionMass {
+		t.Fatalf("default partition = %q, want mass", c.Partition)
+	}
+	if c.RepartitionWindow != 4096 {
+		t.Fatalf("default repartition window = %d", c.RepartitionWindow)
+	}
+	if err := (Config{Partition: "bogus"}).Validate(); err == nil {
+		t.Fatal("bogus partition strategy accepted")
+	}
+	if err := (Config{RepartitionWindow: -1}).Validate(); err == nil {
+		t.Fatal("negative repartition window accepted")
+	}
+	if _, err := ParsePartition("count"); err != nil {
+		t.Fatal(err)
+	}
+	defs := defsFromWorkload(t, workload.Uniform, 10, 2, 29)
+	m, err := NewMonitor(Config{Parallelism: 2, Partition: PartitionCount}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Config().Partition != PartitionCount {
+		t.Fatalf("monitor partition = %q", m.Config().Partition)
+	}
+	// Repartition on a closed monitor fails; on a count monitor it is a
+	// harmless no-op.
+	if err := m.Repartition(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if err := m.Repartition(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Repartition on closed monitor: %v", err)
+	}
 }
 
 // monitorFingerprint captures the externally observable registration

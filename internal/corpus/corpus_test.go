@@ -270,3 +270,43 @@ func TestLoadJSONLMalformed(t *testing.T) {
 		t.Fatalf("error lacks line number: %v", err)
 	}
 }
+
+// TestTopicTerms: the model's topic composition is deterministic,
+// seed-independent, sized by TopicWidth, and consistent with what the
+// generator samples for documents of that topic.
+func TestTopicTerms(t *testing.T) {
+	m := WikipediaModel(2000)
+	a, b := m.TopicTerms(3), m.TopicTerms(3)
+	if len(a) != m.TopicWidth {
+		t.Fatalf("topic term count = %d, want %d", len(a), m.TopicWidth)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopicTerms not deterministic")
+		}
+		if int(a[i]) >= m.VocabSize {
+			t.Fatalf("term %d outside vocabulary", a[i])
+		}
+	}
+	// Distinct topics prefer distinct vocabulary (no wrap at this
+	// shape).
+	seen := map[uint32]int{}
+	for topic := 0; topic < m.Topics; topic++ {
+		for _, term := range m.TopicTerms(topic) {
+			seen[uint32(term)]++
+		}
+	}
+	for term, n := range seen {
+		if n != 1 {
+			t.Fatalf("term %d appears in %d topics", term, n)
+		}
+	}
+	// The generator's topicTerm mapping agrees: rank r of topic t is
+	// TopicTerms(t)[r].
+	g := NewGenerator(m, 1, 0)
+	for _, tc := range []struct{ topic, rank int }{{0, 0}, {3, 7}, {m.Topics - 1, m.TopicWidth - 1}} {
+		if got, want := g.topicTerm(tc.topic, uint64(tc.rank)), m.TopicTerms(tc.topic)[tc.rank]; got != want {
+			t.Fatalf("topic %d rank %d: generator %d, TopicTerms %d", tc.topic, tc.rank, got, want)
+		}
+	}
+}

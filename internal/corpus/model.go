@@ -111,6 +111,22 @@ func topicPermutation(vocabSize int) []uint32 {
 	return perm
 }
 
+// TopicTerms returns the vocabulary terms topic t prefers, in the
+// topic's internal rank order (most characteristic first) — the same
+// mapping the document generator samples through, so queries built
+// from these terms inherit the corpus' topical co-occurrence. The
+// composition depends only on the model shape, never on a generator
+// seed, so documents and queries from the same Model agree on it.
+func (m Model) TopicTerms(t int) []textproc.TermID {
+	perm := topicPermutation(m.VocabSize)
+	out := make([]textproc.TermID, m.TopicWidth)
+	for rank := range out {
+		pos := (uint64(t%m.Topics)*uint64(m.TopicWidth) + uint64(rank)) % uint64(m.VocabSize)
+		out[rank] = textproc.TermID(perm[pos])
+	}
+	return out
+}
+
 // zipfPMF returns the normalized generalized-Zipf pmf over n ranks.
 func zipfPMF(s, v float64, n int) []float64 {
 	p := make([]float64, n)

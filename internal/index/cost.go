@@ -1,0 +1,56 @@
+package index
+
+import "repro/internal/textproc"
+
+// Per-query cost statistics.
+//
+// A stream event's matching cost is dominated by posting-list
+// traversal: every term the document shares with the index forces a
+// cursor walk over that term's list, and how much of the walk a query
+// is responsible for is proportional to the lengths of the lists its
+// terms appear in. A query's "posting mass" — the summed lengths of
+// the posting lists containing its postings — is therefore a cheap,
+// build-time-derivable estimate of the per-event work the query
+// contributes, and is what the cost-balanced partitioner equalizes
+// across intra-shard partitions.
+
+// QueryCosts returns each query's posting mass: for query q, the sum
+// over its terms t of the length of t's posting list. Derived from the
+// built lists in one pass over the term arena.
+func (ix *Index) QueryCosts() []float64 {
+	costs := make([]float64, ix.NumQueries())
+	for q := range costs {
+		var c float64
+		terms, _ := ix.QueryTerms(uint32(q))
+		for _, t := range terms {
+			c += float64(ix.lists[t].Len())
+		}
+		costs[q] = c
+	}
+	return costs
+}
+
+// EstimateCosts computes the same posting-mass statistic directly from
+// raw query vectors, without building an index: one histogram pass
+// counts how many queries use each term (exactly that term's eventual
+// posting-list length), a second charges each query the summed counts
+// of its terms. The partitioner uses it to plan boundaries before the
+// per-partition sub-indexes exist; EstimateCosts(vecs) equals
+// Build(vecs, ks).QueryCosts() by construction.
+func EstimateCosts(vecs []textproc.Vector) []float64 {
+	freq := make(map[textproc.TermID]int)
+	for _, v := range vecs {
+		for _, tw := range v {
+			freq[tw.Term]++
+		}
+	}
+	costs := make([]float64, len(vecs))
+	for q, v := range vecs {
+		var c float64
+		for _, tw := range v {
+			c += float64(freq[tw.Term])
+		}
+		costs[q] = c
+	}
+	return costs
+}

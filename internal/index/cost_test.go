@@ -1,0 +1,84 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// costFixture generates n random sorted unit-ish vectors over a small
+// Zipf-flavored vocabulary (low term IDs drawn far more often), so
+// list lengths vary widely.
+func costFixture(t *testing.T, n int, seed int64) ([]textproc.Vector, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 2, 199)
+	vecs := make([]textproc.Vector, n)
+	ks := make([]int, n)
+	for i := range vecs {
+		nTerms := 2 + rng.Intn(4)
+		seen := map[textproc.TermID]struct{}{}
+		var v textproc.Vector
+		for len(v) < nTerms {
+			term := textproc.TermID(zipf.Uint64())
+			if _, dup := seen[term]; dup {
+				continue
+			}
+			seen[term] = struct{}{}
+			v = append(v, textproc.TermWeight{Term: term, Weight: 0.2 + 0.8*rng.Float64()})
+		}
+		sort.Slice(v, func(a, b int) bool { return v[a].Term < v[b].Term })
+		v.Normalize()
+		vecs[i] = v
+		ks[i] = 1 + rng.Intn(5)
+	}
+	return vecs, ks
+}
+
+// TestQueryCostsHandVerified: posting mass is the summed lengths of
+// the lists a query's terms appear in.
+func TestQueryCostsHandVerified(t *testing.T) {
+	vecs := []textproc.Vector{
+		{{Term: 1, Weight: 0.6}, {Term: 2, Weight: 0.8}},                           // lists: |1|=2, |2|=3 → 5
+		{{Term: 2, Weight: 1.0}},                                                   // |2|=3 → 3
+		{{Term: 1, Weight: 0.5}, {Term: 2, Weight: 0.5}, {Term: 3, Weight: 0.707}}, // 2+3+1 → 6
+	}
+	ix, err := Build(vecs, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 6}
+	for _, got := range [][]float64{ix.QueryCosts(), EstimateCosts(vecs)} {
+		if len(got) != len(want) {
+			t.Fatalf("costs = %v, want %v", got, want)
+		}
+		for q := range want {
+			if got[q] != want[q] {
+				t.Fatalf("cost[%d] = %v, want %v", q, got[q], want[q])
+			}
+		}
+	}
+}
+
+// TestEstimateCostsMatchesBuiltIndex: the pre-build estimate the
+// partitioner plans over must equal the built index's statistic on a
+// non-trivial workload.
+func TestEstimateCostsMatchesBuiltIndex(t *testing.T) {
+	vecs, ks := costFixture(t, 300, 17)
+	ix, err := Build(vecs, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateCosts(vecs)
+	built := ix.QueryCosts()
+	for q := range est {
+		if est[q] != built[q] {
+			t.Fatalf("query %d: estimate %v, built %v", q, est[q], built[q])
+		}
+	}
+	if len(est) == 0 || est[0] <= 0 {
+		t.Fatal("degenerate fixture")
+	}
+}

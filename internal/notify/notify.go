@@ -177,8 +177,40 @@ func (b *Broker[T]) Publish(id uint32, build func(seq uint64) T) uint64 {
 	return tp.seq
 }
 
+// Seqs returns every live topic's current sequence number, omitting
+// topics still at zero and topics closed by CloseTopic (their queries
+// are unregistered — persisting them would let dead-query counters
+// accumulate without bound across snapshot/restart cycles). Engine
+// snapshots persist the map so that Seq-based drop detection — a
+// watcher comparing the Seq of consecutive updates — keeps working
+// across a server restart instead of silently restarting every
+// counter at zero.
+func (b *Broker[T]) Seqs() map[uint32]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[uint32]uint64, len(b.topics))
+	for id, tp := range b.topics {
+		if tp.seq > 0 && !tp.gone {
+			out[id] = tp.seq
+		}
+	}
+	return out
+}
+
+// RestoreSeqs seeds topic sequence numbers from a snapshot. Intended
+// for a freshly built broker before any Subscribe or Publish; topics
+// that already exist are overwritten.
+func (b *Broker[T]) RestoreSeqs(seqs map[uint32]uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, seq := range seqs {
+		b.topicLocked(id).seq = seq
+	}
+}
+
 // Seq returns id's current sequence number: the count of times the
-// query's top-k has changed since the broker was created.
+// query's top-k has changed since the broker was created (or since
+// the stream the broker was restored from began, after RestoreSeqs).
 func (b *Broker[T]) Seq(id uint32) uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -211,3 +211,42 @@ func TestChurnHammer(t *testing.T) {
 	}
 	b.Close()
 }
+
+// TestSeqsDumpRestore: the persistence surface behind engine
+// snapshots — Seqs omits zero topics, RestoreSeqs resumes counting
+// where the dump left off, and a restored topic's next publish
+// continues the sequence.
+func TestSeqsDumpRestore(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 5; i++ {
+		b.Publish(7, func(seq uint64) int { return 0 })
+	}
+	b.Publish(9, func(seq uint64) int { return 0 })
+	b.Seq(11)                                        // touched but never published: must not be dumped
+	b.Publish(13, func(seq uint64) int { return 0 }) // unregistered below
+	b.CloseTopic(13)                                 // gone topics must not be dumped either
+	dump := b.Seqs()
+	if len(dump) != 2 || dump[7] != 5 || dump[9] != 1 {
+		t.Fatalf("Seqs = %v", dump)
+	}
+
+	fresh := New[int]()
+	fresh.RestoreSeqs(dump)
+	if fresh.Seq(7) != 5 || fresh.Seq(9) != 1 || fresh.Seq(11) != 0 {
+		t.Fatalf("restored seqs: %d %d %d", fresh.Seq(7), fresh.Seq(9), fresh.Seq(11))
+	}
+	if got := fresh.Publish(7, func(seq uint64) int { return 0 }); got != 6 {
+		t.Fatalf("publish after restore: seq %d, want 6", got)
+	}
+	sub, err := fresh.Subscribe(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen uint64
+	fresh.Publish(7, func(seq uint64) int { seen = seq; return int(seq) })
+	if seen != 7 {
+		t.Fatalf("delivered seq %d, want 7", seen)
+	}
+	sub.Cancel()
+	fresh.RestoreSeqs(nil) // no-op
+}

@@ -31,8 +31,17 @@ func boundKind(i int) rangemax.Kind { return rangemax.Kind(i) }
 // queries from a v2 stream, so the bump makes it fail loudly instead.
 const version = 2
 
-// engineVersion guards the engine-level wire format.
-const engineVersion = 1
+// engineVersion guards the engine-level wire format. Version 3 adds
+// the per-query notification sequence numbers (TextState.Seqs), so a
+// watcher's Seq-gap drop detection survives a snapshot restart; the
+// jump from 1 skips 2 to keep engine versions visibly distinct from
+// the monitor's. Version-1 streams (no Seqs) are still readable —
+// their sequence numbers restart at zero, exactly the pre-persistence
+// behaviour.
+const engineVersion = 3
+
+// engineVersionNoSeqs is the oldest engine format still accepted.
+const engineVersionNoSeqs = 1
 
 // state is the gob wire format of a monitor.
 type state struct {
@@ -42,6 +51,10 @@ type state struct {
 	Lambda      float64
 	Shards      int
 	Parallelism int
+	// Partition is the intra-shard partition strategy. Absent in older
+	// version-2 streams (gob leaves it empty), which restores as the
+	// default strategy — a result-invariant execution detail.
+	Partition string
 
 	// The full query ID space in global ID order — including removed
 	// queries, so the dense ID assignment of a rebuilt monitor
@@ -81,6 +94,11 @@ type TextState struct {
 	// the persisted semantics: restoring with the opposite setting
 	// would tokenize future documents against a mismatched vocabulary.
 	Stemming bool
+	// Seqs holds each query's notification sequence number (queries at
+	// zero omitted), so pushed-update Seq numbering continues across a
+	// restart and watchers' drop detection stays sound. Nil when the
+	// snapshot predates engine version 3.
+	Seqs map[uint32]uint64
 }
 
 // engineState is the gob wire format of an engine.
@@ -100,6 +118,7 @@ func capture(m *core.Monitor) state {
 		Lambda:      cfg.Lambda,
 		Shards:      cfg.Shards,
 		Parallelism: cfg.Parallelism,
+		Partition:   string(cfg.Partition),
 	}
 	defs, removed := m.AllDefs()
 	for g, def := range defs {
@@ -141,6 +160,7 @@ func build(st state, shape core.Config) (*core.Monitor, error) {
 		Lambda:      st.Lambda,
 		Shards:      st.Shards,
 		Parallelism: st.Parallelism,
+		Partition:   core.PartitionStrategy(st.Partition),
 	}
 	if shape.Algorithm != "" {
 		cfg.Algorithm = shape.Algorithm
@@ -153,6 +173,9 @@ func build(st state, shape core.Config) (*core.Monitor, error) {
 	}
 	if shape.Parallelism != 0 {
 		cfg.Parallelism = shape.Parallelism
+	}
+	if shape.Partition != "" {
+		cfg.Partition = shape.Partition
 	}
 	m, err := core.NewMonitor(cfg, defs)
 	if err != nil {
@@ -213,7 +236,7 @@ func LoadEngine(r io.Reader, shape core.Config) (*core.Monitor, TextState, error
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, TextState{}, fmt.Errorf("snapshot: decode engine: %w", err)
 	}
-	if st.Version != engineVersion {
+	if st.Version != engineVersion && st.Version != engineVersionNoSeqs {
 		return nil, TextState{}, fmt.Errorf("snapshot: unsupported engine version %d", st.Version)
 	}
 	m, err := build(st.Monitor, shape)

@@ -109,7 +109,7 @@ func (s *Store) Add(q uint32, docID uint64, score float64) (added, thresholdChan
 		s.ids[base+i] = docID
 		s.sizes[q]++
 		s.siftUp(base, i)
-		s.markDirty(q)
+		s.MarkDirty(q)
 		// Threshold moves 0 → min exactly when the heap fills.
 		return true, n+1 == k
 	case score > s.scores[base]:
@@ -117,16 +117,20 @@ func (s *Store) Add(q uint32, docID uint64, score float64) (added, thresholdChan
 		s.scores[base] = score
 		s.ids[base] = docID
 		s.siftDown(base, 0, k)
-		s.markDirty(q)
+		s.MarkDirty(q)
 		return true, true
 	default:
 		return false, false
 	}
 }
 
-// markDirty records that query q's result set changed in the current
-// drain window (at most one record per query per window).
-func (s *Store) markDirty(q uint32) {
+// MarkDirty records that query q's result set changed in the current
+// drain window (at most one record per query per window). Add calls it
+// on every admission; it is exported for callers that move change
+// records between stores — the parallel matcher carries a retiring
+// slice view's undrained record into the parent arena when partition
+// boundaries move, so no change is lost across a repartition.
+func (s *Store) MarkDirty(q uint32) {
 	if s.mark[q] == s.epoch {
 		return
 	}

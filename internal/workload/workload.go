@@ -30,6 +30,15 @@ const (
 	Uniform Kind = iota
 	// Connected draws query terms from one document.
 	Connected
+	// Hot concentrates an ID-ordered prefix of the queries
+	// (HotFraction of them) on a few hot topic zones (HotZones topic
+	// term pools), while the rest stay Uniform. The hot block shares a
+	// small term pool, so those terms' posting lists — and with them
+	// the posting mass of a contiguous stretch of query IDs — grow
+	// with the query count while the tail stays light: the skewed
+	// workload that makes intra-shard partition imbalance reproducible
+	// in tests and benchmarks.
+	Hot
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +48,8 @@ func (k Kind) String() string {
 		return "Uniform"
 	case Connected:
 		return "Connected"
+	case Hot:
+		return "Hot"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -52,6 +63,8 @@ func ParseKind(s string) (Kind, error) {
 		return Uniform, nil
 	case "Connected", "connected":
 		return Connected, nil
+	case "Hot", "hot":
+		return Hot, nil
 	}
 	return 0, fmt.Errorf("workload: unknown kind %q", s)
 }
@@ -78,11 +91,18 @@ type Config struct {
 	K int
 	// Seed drives the workload's private randomness.
 	Seed int64
+	// HotZones is how many topic zones the hot queries concentrate on
+	// (Hot workloads only; default 4).
+	HotZones int
+	// HotFraction is the fraction of queries — the ID-ordered prefix —
+	// drawn from the hot zones under Hot (default 0.5); the remainder
+	// are Uniform.
+	HotFraction float64
 }
 
 // DefaultConfig returns the paper-default workload shape for n queries.
 func DefaultConfig(kind Kind, n int) Config {
-	return Config{Kind: kind, N: n, MinTerms: 2, MaxTerms: 5, K: 10, Seed: 7}
+	return Config{Kind: kind, N: n, MinTerms: 2, MaxTerms: 5, K: 10, Seed: 7, HotZones: 4, HotFraction: 0.5}
 }
 
 // Validate reports the first structural problem with the config.
@@ -97,6 +117,14 @@ func (c Config) Validate() error {
 	case c.K < 1:
 		return fmt.Errorf("workload: K must be ≥ 1, got %d", c.K)
 	}
+	if c.Kind == Hot {
+		if c.HotZones < 1 {
+			return fmt.Errorf("workload: HotZones must be ≥ 1, got %d", c.HotZones)
+		}
+		if c.HotFraction <= 0 || c.HotFraction > 1 {
+			return fmt.Errorf("workload: HotFraction must be in (0,1], got %v", c.HotFraction)
+		}
+	}
 	return nil
 }
 
@@ -109,6 +137,10 @@ func Generate(model corpus.Model, cfg Config) ([]Query, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sampler := corpus.NewGenerator(model, cfg.Seed^0x5EED, 0)
+	var pools [][]textproc.TermID
+	if cfg.Kind == Hot {
+		pools = hotPools(model, cfg.HotZones)
+	}
 	queries := make([]Query, cfg.N)
 	for i := range queries {
 		nTerms := cfg.MinTerms
@@ -116,9 +148,11 @@ func Generate(model corpus.Model, cfg Config) ([]Query, error) {
 			nTerms += rng.Intn(cfg.MaxTerms - cfg.MinTerms + 1)
 		}
 		var terms []textproc.TermID
-		switch cfg.Kind {
-		case Connected:
+		switch {
+		case cfg.Kind == Connected:
 			terms = connectedTerms(rng, sampler, nTerms)
+		case cfg.Kind == Hot && i < int(cfg.HotFraction*float64(cfg.N)):
+			terms = hotTerms(rng, pools, nTerms)
 		default:
 			terms = uniformTerms(rng, sampler, nTerms, model.VocabSize)
 		}
@@ -142,6 +176,56 @@ func uniformTerms(rng *rand.Rand, _ *corpus.Generator, nTerms, vocab int) []text
 	terms := make([]textproc.TermID, 0, nTerms)
 	for len(terms) < nTerms {
 		t := textproc.TermID(rng.Intn(vocab))
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		terms = append(terms, t)
+	}
+	return terms
+}
+
+// hotPoolCap bounds each hot zone's term pool. Hot queries draw from
+// the head of their zone's topic vocabulary, so across the hot block
+// the same few dozen terms repeat and their posting lists grow with
+// the query count — the source of the workload's posting-mass skew.
+const hotPoolCap = 32
+
+// hotPools builds one term pool per hot zone from the corpus model's
+// topic composition (zone z = topic z), truncated to the pool cap.
+func hotPools(model corpus.Model, zones int) [][]textproc.TermID {
+	pools := make([][]textproc.TermID, zones)
+	for z := range pools {
+		// Deduplicate (a topic range can wrap a small vocabulary) so
+		// pool size equals distinct-term count.
+		seen := make(map[textproc.TermID]struct{}, hotPoolCap)
+		pool := make([]textproc.TermID, 0, hotPoolCap)
+		for _, t := range model.TopicTerms(z) {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			pool = append(pool, t)
+			if len(pool) == hotPoolCap {
+				break
+			}
+		}
+		pools[z] = pool
+	}
+	return pools
+}
+
+// hotTerms draws nTerms distinct terms from one randomly chosen hot
+// zone's pool.
+func hotTerms(rng *rand.Rand, pools [][]textproc.TermID, nTerms int) []textproc.TermID {
+	pool := pools[rng.Intn(len(pools))]
+	if nTerms > len(pool) {
+		nTerms = len(pool)
+	}
+	seen := make(map[textproc.TermID]struct{}, nTerms)
+	terms := make([]textproc.TermID, 0, nTerms)
+	for len(terms) < nTerms {
+		t := pool[rng.Intn(len(pool))]
 		if _, dup := seen[t]; dup {
 			continue
 		}

@@ -16,7 +16,7 @@ func testModel() corpus.Model {
 }
 
 func TestKindString(t *testing.T) {
-	if Uniform.String() != "Uniform" || Connected.String() != "Connected" {
+	if Uniform.String() != "Uniform" || Connected.String() != "Connected" || Hot.String() != "Hot" {
 		t.Fatal("Kind.String mismatch")
 	}
 	if Kind(9).String() != "Kind(9)" {
@@ -33,6 +33,11 @@ func TestParseKind(t *testing.T) {
 	if k, err := ParseKind("connected"); err != nil || k != Connected {
 		t.Fatalf("ParseKind(connected) = %v, %v", k, err)
 	}
+	for _, s := range []string{"Hot", "hot"} {
+		if k, err := ParseKind(s); err != nil || k != Hot {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, k, err)
+		}
+	}
 	if _, err := ParseKind("bogus"); err == nil {
 		t.Fatal("ParseKind(bogus) succeeded")
 	}
@@ -42,11 +47,17 @@ func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig(Uniform, 10).Validate(); err != nil {
 		t.Fatal(err)
 	}
+	if err := DefaultConfig(Hot, 10).Validate(); err != nil {
+		t.Fatal(err)
+	}
 	bad := []Config{
 		{N: -1, MinTerms: 1, MaxTerms: 2, K: 1},
 		{N: 1, MinTerms: 0, MaxTerms: 2, K: 1},
 		{N: 1, MinTerms: 3, MaxTerms: 2, K: 1},
 		{N: 1, MinTerms: 1, MaxTerms: 2, K: 0},
+		{Kind: Hot, N: 1, MinTerms: 1, MaxTerms: 2, K: 1, HotZones: 0, HotFraction: 0.5},
+		{Kind: Hot, N: 1, MinTerms: 1, MaxTerms: 2, K: 1, HotZones: 4, HotFraction: 0},
+		{Kind: Hot, N: 1, MinTerms: 1, MaxTerms: 2, K: 1, HotZones: 4, HotFraction: 1.5},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -228,5 +239,64 @@ func TestFixedQueryLength(t *testing.T) {
 		if len(q.Vec) != 3 {
 			t.Fatalf("query %d has %d terms, want exactly 3", q.ID, len(q.Vec))
 		}
+	}
+}
+
+// TestHotConcentratesPrefixMass: the Hot workload's defining property
+// — the ID-ordered hot prefix draws from a few small topic pools, so
+// its queries' posting mass dwarfs the Uniform tail's and a contiguous
+// stretch of query IDs is far heavier than the rest.
+func TestHotConcentratesPrefixMass(t *testing.T) {
+	model := testModel()
+	cfg := DefaultConfig(Hot, 400)
+	qs, err := Generate(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 400 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	// Hot prefix terms come from the configured zones' pools.
+	pools := hotPools(model, cfg.HotZones)
+	inPool := map[textproc.TermID]struct{}{}
+	for _, pool := range pools {
+		for _, term := range pool {
+			inPool[term] = struct{}{}
+		}
+	}
+	hotN := int(cfg.HotFraction * float64(cfg.N))
+	for i := 0; i < hotN; i++ {
+		for _, tw := range qs[i].Vec {
+			if _, ok := inPool[tw.Term]; !ok {
+				t.Fatalf("hot query %d uses term %d outside the hot pools", i, tw.Term)
+			}
+		}
+	}
+	// Posting mass: count list lengths over the whole workload, then
+	// compare the hot prefix's summed mass to the tail's.
+	listLen := map[textproc.TermID]int{}
+	for _, q := range qs {
+		for _, tw := range q.Vec {
+			listLen[tw.Term]++
+		}
+	}
+	mass := func(from, to int) float64 {
+		var m float64
+		for _, q := range qs[from:to] {
+			for _, tw := range q.Vec {
+				m += float64(listLen[tw.Term])
+			}
+		}
+		return m
+	}
+	hot, tail := mass(0, hotN), mass(hotN, len(qs))
+	if hot < 3*tail {
+		t.Fatalf("hot prefix mass %.0f not ≫ tail mass %.0f; workload not skewed", hot, tail)
+	}
+	// And the hot lists are much longer than anything Uniform builds.
+	unif, _ := Generate(model, DefaultConfig(Uniform, 400))
+	if Summarize(qs).MaxListLen <= 2*Summarize(unif).MaxListLen {
+		t.Fatalf("Hot max list %d not above 2× Uniform %d",
+			Summarize(qs).MaxListLen, Summarize(unif).MaxListLen)
 	}
 }

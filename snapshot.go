@@ -28,6 +28,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		DocsObserved: docs,
 		NextDoc:      e.nextDoc,
 		Stemming:     e.opts.Stemming,
+		Seqs:         e.broker.Seqs(),
 	}
 	if e.snips != nil {
 		ts.Snips = make(map[uint64]string, len(e.snips))
@@ -45,8 +46,9 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // the restored engine behaves exactly like the saved one would have.
 //
 // opts supplies the new process's execution and display shape —
-// Algorithm, Shards, Parallelism, DefaultK, SnippetLength — all of
-// which are result-invariant and may differ from the saving process.
+// Algorithm, Shards, Parallelism, Partition, DefaultK, SnippetLength —
+// all of which are result-invariant and may differ from the saving
+// process.
 // Lambda and Stemming are part of the persisted semantics and are
 // restored from the snapshot; values set for them in opts are
 // ignored.
@@ -57,6 +59,7 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 	shape := core.Config{
 		Shards:      opts.Shards,
 		Parallelism: opts.Parallelism,
+		Partition:   core.PartitionStrategy(opts.Partition),
 	}
 	if opts.Algorithm != "" {
 		alg, err := core.ParseAlgorithm(opts.Algorithm)
@@ -92,5 +95,9 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 		e.snipHW = max(2*len(e.snips), snipPruneMin)
 	}
 	e.broker = notify.New[Update]()
+	// Resume the notification sequence numbers where the saved engine
+	// left off, so a watcher reconnecting after the restart can still
+	// detect dropped updates by Seq gaps.
+	e.broker.RestoreSeqs(ts.Seqs)
 	return e, nil
 }
