@@ -17,9 +17,15 @@ race:
 # smoke pass that fails loudly when a perf-sensitive path regresses
 # into an error, without taking benchmark-quality measurements
 # (includes the ablbalance partition-balance ablation via
-# BenchmarkBalance).
+# BenchmarkBalance and the churn ablation via BenchmarkChurn). The
+# ablchurn harness run additionally emits BENCH_churn.json so the
+# churn perf trajectory (ingestion/add p99 under sync vs background
+# rebuilds) is tracked per PR. The churn timeline deliberately runs
+# twice — once as the BenchmarkChurn gate, once for the JSON artifact;
+# each quick-scale run costs well under a second.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/ctkbench -exp ablchurn -scale quick -quiet -json BENCH_churn.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -87,3 +87,27 @@ func BenchmarkParallelMatch(b *testing.B) { runExperiment(b, "ablpar") }
 // identical timeline with the change-detection → broker → subscriber
 // pipeline live at increasing subscriber counts.
 func BenchmarkNotifyDelivery(b *testing.B) { runExperiment(b, "ablnotify") }
+
+// BenchmarkChurn runs the query-churn ablation: sustained
+// add/remove-under-load with legacy synchronous generation rebuilds
+// versus background builds, on identical timelines (parity-checked by
+// the harness). Reported metrics are the per-mode ingestion p99 and
+// registration p99 in milliseconds.
+func BenchmarkChurn(b *testing.B) {
+	sc := bench.QuickScale()
+	var last *bench.ChurnResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunChurn(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last == nil {
+		return
+	}
+	for _, c := range last.Cells {
+		b.ReportMetric(c.IngestP99MS, "ingp99ms_"+c.Series)
+		b.ReportMetric(c.AddP99MS, "addp99ms_"+c.Series)
+	}
+}

@@ -7,12 +7,18 @@
 //	ctkbench -exp fig1a
 //	ctkbench -exp all -scale full
 //	ctkbench -exp fig1b -scale quick -quiet
+//	ctkbench -exp ablchurn -scale quick -json BENCH_churn.json
 //
 // Scales: quick (seconds), default (minutes), full (paper axis, up to
 // 4·10⁶ queries — expect a long run and ≥16 GB of RAM).
+//
+// -json FILE additionally writes every measured cell as a machine-
+// readable report, which CI uses to track the perf trajectory per PR
+// (the bench smoke emits BENCH_churn.json from the ablchurn run).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,12 +28,31 @@ import (
 	"repro/internal/bench"
 )
 
+// ablChurnID is the churn experiment's registry key. It runs through
+// its own harness (bench.RunChurn) rather than the sweep runner: its
+// cells carry add-latency percentiles no sweep column has.
+const ablChurnID = "ablchurn"
+
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Scale       string             `json:"scale"`
+	Experiments []jsonExperiment   `json:"experiments,omitempty"`
+	Churn       *bench.ChurnResult `json:"churn,omitempty"`
+}
+
+type jsonExperiment struct {
+	ID    string       `json:"id"`
+	Title string       `json:"title"`
+	Cells []bench.Cell `json:"cells"`
+}
+
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance) or 'all'")
-		scale = flag.String("scale", "default", "quick | default | full")
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		quiet = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn) or 'all'")
+		scale    = flag.String("scale", "default", "quick | default | full")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		jsonPath = flag.String("json", "", "write measured cells as JSON to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +66,7 @@ func main() {
 		for _, id := range bench.IDs(sc) {
 			fmt.Printf("%-10s %s\n", id, exps[id].Title)
 		}
+		fmt.Printf("%-10s %s\n", ablChurnID, bench.ChurnTitle)
 		return
 	}
 	if *expID == "" {
@@ -50,10 +76,10 @@ func main() {
 
 	var ids []string
 	if *expID == "all" {
-		ids = bench.IDs(sc)
+		ids = append(bench.IDs(sc), ablChurnID)
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
-			if _, ok := exps[id]; !ok {
+			if _, ok := exps[id]; !ok && id != ablChurnID {
 				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 			}
 			ids = append(ids, id)
@@ -64,7 +90,19 @@ func main() {
 	if !*quiet {
 		progress = os.Stderr
 	}
+	report := jsonReport{Scale: *scale}
 	for _, id := range ids {
+		if id == ablChurnID {
+			fmt.Fprintf(os.Stderr, "== running %s (sync vs background, %d queries, measure %d)\n",
+				id, sc.BaseQueries, sc.Measure)
+			res, err := bench.RunChurn(sc, progress)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(os.Stdout)
+			report.Churn = res
+			continue
+		}
 		exp := exps[id]
 		fmt.Fprintf(os.Stderr, "== running %s (%d series × %d points, warmup %d, measure %d)\n",
 			id, len(exp.Series), len(exp.Points), exp.Warmup, exp.Measure)
@@ -73,7 +111,30 @@ func main() {
 			fatal(err)
 		}
 		res.Render(os.Stdout)
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: id, Title: exp.Title, Cells: res.Cells,
+		})
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, report); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "== wrote %s\n", *jsonPath)
+	}
+}
+
+func writeJSON(path string, report jsonReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(report)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseScale(s string) (bench.Scale, error) {

@@ -26,6 +26,13 @@
 // restores its state on boot and persists it on graceful shutdown, so
 // registered queries, results and idf statistics survive restarts.
 //
+// Query churn never stalls ingestion: registrations append to a delta
+// segment, unregistrations tombstone in place, and the index rebuilds
+// that fold churn into fresh shard indexes run on a background builder
+// (-rebuild sync restores the legacy blocking behaviour). GET /stats
+// exposes the generational state under "Gen": generation number, delta
+// size, lingering tombstones and build timings.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: watch streams
 // end, the listener closes, in-flight requests drain (bounded by a
 // grace period), and the engine's analyzer and matching workers are
@@ -89,17 +96,21 @@ func main() {
 		shards      = flag.Int("shards", 0, "parallel shards (0 = single)")
 		parallelism = flag.Int("parallelism", 0, "matching workers per shard (0 = single)")
 		partition   = flag.String("partition", "", "intra-shard partition strategy: mass (default) | count")
+		rebuild     = flag.String("rebuild", "", "generation rebuild mode: background (default) | sync")
+		rebuildThr  = flag.Int("rebuild-threshold", 0, "query churn before the next generation build (0 = default 1024)")
 		snapPath    = flag.String("snapshot", "", "state file: restore on boot if present, save on graceful shutdown")
 	)
 	flag.Parse()
 
 	if err := run(context.Background(), *addr, ctk.Options{
-		Algorithm:     *algorithm,
-		Lambda:        *lambda,
-		Shards:        *shards,
-		Parallelism:   *parallelism,
-		Partition:     *partition,
-		SnippetLength: 120,
+		Algorithm:        *algorithm,
+		Lambda:           *lambda,
+		Shards:           *shards,
+		Parallelism:      *parallelism,
+		Partition:        *partition,
+		Rebuild:          *rebuild,
+		RebuildThreshold: *rebuildThr,
+		SnippetLength:    120,
 	}, *snapPath); err != nil {
 		log.Fatal(err)
 	}

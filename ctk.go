@@ -87,6 +87,16 @@ type Options struct {
 	// posting mass and adapts to the observed per-partition work,
 	// "count" is the legacy equal-query-count split. Result-invariant.
 	Partition string
+	// Rebuild selects where generation builds (which fold query churn
+	// into fresh shard indexes) run: "background" (default) builds
+	// concurrently with publishing and swaps atomically, "sync" blocks
+	// the registering call — the legacy behaviour, kept as an ablation
+	// control. Result-invariant.
+	Rebuild string
+	// RebuildThreshold is how much query churn (registrations +
+	// unregistrations) accumulates before the next generation build
+	// (0 uses the monitor default, 1024).
+	RebuildThreshold int
 	// DefaultK is the result size used when Register is called with
 	// k ≤ 0 (default 10).
 	DefaultK int
@@ -120,6 +130,14 @@ type analyzeJob struct {
 // side, so result polling scales across cores and never queues behind
 // other readers — only a concurrently running publish or query
 // mutation (which hold the write side) briefly blocks it.
+//
+// Query churn is cheap under that lock: Register appends to the
+// monitor's delta segment in O(|q|) and Unregister tombstones in O(1),
+// while the index rebuilds that fold churn into fresh shard indexes
+// run on a background builder and install by atomic swap — neither
+// registration nor publishing ever holds the write lock for the
+// duration of an index build (Options.Rebuild "sync" restores the
+// legacy blocking behaviour).
 type Engine struct {
 	mu       sync.RWMutex
 	opts     Options
@@ -188,11 +206,13 @@ func New(opts Options) (*Engine, error) {
 	}
 	vocab := textproc.NewVocabulary()
 	mon, err := core.NewMonitor(core.Config{
-		Algorithm:   alg,
-		Lambda:      opts.Lambda,
-		Shards:      opts.Shards,
-		Parallelism: opts.Parallelism,
-		Partition:   core.PartitionStrategy(opts.Partition),
+		Algorithm:        alg,
+		Lambda:           opts.Lambda,
+		Shards:           opts.Shards,
+		Parallelism:      opts.Parallelism,
+		Partition:        core.PartitionStrategy(opts.Partition),
+		Rebuild:          core.RebuildMode(opts.Rebuild),
+		RebuildThreshold: opts.RebuildThreshold,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -580,6 +600,11 @@ func (e *Engine) Subscribe(id QueryID, buf int) (<-chan Update, func(), error) {
 // core.PartitionStat).
 type PartitionStat = core.PartitionStat
 
+// GenStats is the generational index's churn state (see
+// core.GenStats): generation number, delta segment size, lingering
+// tombstones and background-build timings.
+type GenStats = core.GenStats
+
 // Stats summarizes engine activity.
 type Stats struct {
 	Queries   int
@@ -598,6 +623,10 @@ type Stats struct {
 	// engine's matching workers. One entry per shard when intra-shard
 	// parallelism is off.
 	Partitions []PartitionStat
+	// Gen is the generational index's churn state: generation number,
+	// delta segment size, lingering tombstones, dirty budget and
+	// background-build timings.
+	Gen GenStats
 }
 
 // Stats returns cumulative counters. Like Results, it takes only the
@@ -614,5 +643,6 @@ func (e *Engine) Stats() Stats {
 		Snippets:   len(e.snips),
 		Partition:  string(e.mon.Config().Partition),
 		Partitions: e.mon.PartitionStats(),
+		Gen:        e.mon.GenStats(),
 	}
 }

@@ -1,0 +1,170 @@
+package ctk
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// churnWords is a tiny vocabulary big enough to make queries and
+// documents collide constantly.
+var churnWords = []string{
+	"go", "stream", "topk", "query", "index", "shard", "delta",
+	"decay", "match", "score", "build", "swap", "churn", "monitor",
+}
+
+func churnText(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += churnWords[rng.Intn(len(churnWords))]
+	}
+	return out
+}
+
+// TestEngineChurnHammer runs sustained concurrent churn — batch
+// publishing, registrations, unregistrations and result/stats reads —
+// across Shards × Parallelism layouts with a tiny rebuild threshold,
+// so background generation builds overlap everything continuously.
+// Run under -race (the CI default) this is the data-race gate for the
+// background builder; functionally it asserts the engine survives and
+// stays consistent.
+func TestEngineChurnHammer(t *testing.T) {
+	layouts := []struct{ shards, par int }{{1, 1}, {2, 2}, {1, 3}}
+	for _, l := range layouts {
+		t.Run(fmt.Sprintf("shards=%d_par=%d", l.shards, l.par), func(t *testing.T) {
+			e, err := New(Options{
+				Lambda:           0.01,
+				Shards:           l.shards,
+				Parallelism:      l.par,
+				RebuildThreshold: 8,
+				SnippetLength:    40,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const iters = 150
+			var clock atomic.Int64 // publication timeline, strictly increasing
+			ids := make(chan QueryID, 4*iters)
+			errc := make(chan error, 8)
+			var stop atomic.Bool
+			record := func(err error) {
+				stop.Store(true)
+				select {
+				case errc <- err:
+				default:
+				}
+			}
+
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			run := func(fn func(rng *rand.Rand, i int) error, seed int64) {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					<-start
+					for i := 0; i < iters; i++ {
+						if stop.Load() {
+							return
+						}
+						if err := fn(rng, i); err != nil {
+							record(err)
+							return
+						}
+					}
+				}()
+			}
+
+			// One publisher: the engine rejects time regressions, so the
+			// timeline is owned by a single goroutine.
+			run(func(rng *rand.Rand, i int) error {
+				at := float64(clock.Add(1)) * 0.01
+				if i%3 == 0 {
+					texts := []string{churnText(rng, 8), churnText(rng, 8), churnText(rng, 8)}
+					_, err := e.PublishBatch(texts, at)
+					return err
+				}
+				_, err := e.Publish(churnText(rng, 10), at)
+				return err
+			}, 1)
+			// Two registrars feeding one unregistrar through ids.
+			for s := int64(2); s <= 3; s++ {
+				run(func(rng *rand.Rand, i int) error {
+					id, err := e.Register(churnText(rng, 3), 1+rng.Intn(3))
+					if err != nil {
+						return err
+					}
+					select {
+					case ids <- id:
+					default:
+					}
+					return nil
+				}, s)
+			}
+			run(func(rng *rand.Rand, i int) error {
+				select {
+				case id := <-ids:
+					if err := e.Unregister(id); err != nil && err != ErrClosed {
+						return err
+					}
+				default:
+				}
+				return nil
+			}, 4)
+			// Two readers polling results, sequences and stats.
+			for s := int64(5); s <= 6; s++ {
+				run(func(rng *rand.Rand, i int) error {
+					select {
+					case id := <-ids:
+						// Reads may legitimately fail on an already
+						// unregistered query — ignore the error, only
+						// transport the id back for other workers.
+						_, _, _ = e.ResultsSeq(id)
+						select {
+						case ids <- id:
+						default:
+						}
+					default:
+					}
+					st := e.Stats()
+					if st.Queries < 0 || st.Gen.Dirty < 0 {
+						return fmt.Errorf("implausible stats: %+v", st)
+					}
+					return nil
+				}, s)
+			}
+
+			close(start)
+			wg.Wait()
+			select {
+			case err := <-errc:
+				t.Fatal(err)
+			default:
+			}
+			// The engine must still be fully functional after the storm.
+			id, err := e.Register("stream topk churn", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Publish("stream topk churn stream", float64(clock.Add(1))*0.01); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Results(id); err != nil {
+				t.Fatal(err)
+			}
+			st := e.Stats()
+			if st.Gen.Builds == 0 && !st.Gen.Building {
+				t.Fatalf("hammer tripped no generation builds: %+v", st.Gen)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

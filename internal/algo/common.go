@@ -83,11 +83,23 @@ type Processor interface {
 	// impact orderings) are rebuilt eagerly. A no-op for algorithms
 	// whose bounds are always exact.
 	Refresh()
+	// ResyncAll is the whole-store bulk-load resync: equivalent to
+	// SyncThreshold for every query followed by Refresh, but in one
+	// pass — ratio structures are rebuilt wholesale instead of updated
+	// posting by posting. Generation installs and repartitions use it
+	// after transplanting results directly into the store.
+	ResyncAll()
 	// DrainChanged calls fn (when non-nil) for every query whose top-k
 	// changed since the previous drain, then resets the record. A nil
 	// fn discards the record. The query IDs are processor-local. Not
 	// safe concurrently with ProcessEvent.
 	DrainChanged(fn func(q uint32))
+	// Tombstone marks processor-local query q removed: from the next
+	// event on it is never scored, never admits documents and never
+	// dirties the change record, even though its index entries linger
+	// until the next generation build sweeps them. Not safe
+	// concurrently with ProcessEvent.
+	Tombstone(q uint32)
 }
 
 // common holds the state every algorithm shares: the immutable index,
@@ -196,6 +208,14 @@ func (c *common) ratio(w float64, q uint32) float64 {
 // structures must react to the latter). The inflated score is
 // score·e.
 func (c *common) offer(q uint32, docID uint64, e float64, m *EventMetrics) (thresholdChanged bool) {
+	// Tombstone check: every algorithm funnels its candidates through
+	// offer, so this one branch is the whole removed-query story — a
+	// tombstoned query is never evaluated, never admits and never
+	// dirties the change record, from the very next event after its
+	// removal.
+	if c.ix.Dead(q) {
+		return false
+	}
 	m.Evaluated++
 	s := c.score(q)
 	if s <= 0 {
@@ -222,9 +242,26 @@ func (c *common) SyncThreshold(q uint32) {
 // maintained, so nothing needs rebuilding.
 func (c *common) Refresh() {}
 
+// resyncThresholds refreshes every cached threshold from the store in
+// one pass.
+func (c *common) resyncThresholds() {
+	for q := range c.thr {
+		c.thr[q] = c.store.Threshold(uint32(q))
+	}
+}
+
+// ResyncAll implements the baseline behaviour: only the threshold
+// cache needs refreshing.
+func (c *common) ResyncAll() { c.resyncThresholds() }
+
 // DrainChanged implements Processor by draining the result store's
 // change record.
 func (c *common) DrainChanged(fn func(q uint32)) { c.store.DrainDirty(fn) }
+
+// Tombstone implements Processor by marking the query dead in the
+// index, which offer — the shared admission gate of every algorithm —
+// checks per candidate.
+func (c *common) Tombstone(q uint32) { c.ix.Tombstone(q) }
 
 // rebase rescales thresholds and stored scores by factor. Algorithms
 // with ratio structures additionally rescale their bound units.

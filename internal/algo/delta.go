@@ -1,0 +1,102 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/textproc"
+)
+
+// Delta is the append-only sidecar generation of the generational
+// query index: recently added queries live here — matched exhaustively,
+// which is exact — until a background build folds them into the main
+// shard indexes. Unlike every other processor, Delta grows after
+// construction: Append registers one query in O(|q|) (segment postings,
+// result heap, threshold slot), so the cost of N registrations is
+// O(total query size), not O(N²) as with rebuilding a frozen sidecar
+// per add. Removals tombstone in place, like the main generation.
+//
+// Delta is exhaustive on purpose: the sidecar holds at most one rebuild
+// budget's worth of queries, so pruning structures would cost more to
+// maintain incrementally than they save, and exhaustive scoring shares
+// the exact admission path (offer) with every other algorithm.
+type Delta struct {
+	*common
+	seg *index.Segment
+}
+
+// NewDelta builds an empty delta generation.
+func NewDelta() *Delta {
+	seg := index.NewSegment()
+	c, err := newCommon(seg.Index)
+	if err != nil { // cannot happen for an empty segment
+		panic(fmt.Sprintf("algo: empty delta: %v", err))
+	}
+	return &Delta{common: c, seg: seg}
+}
+
+// Append registers one query, returning its delta-local ID. The vector
+// must be sorted and non-empty; 1 ≤ k ≤ index.MaxK. On error nothing
+// is mutated. Not safe concurrently with ProcessEvent.
+func (d *Delta) Append(v textproc.Vector, k int) (uint32, error) {
+	// One validation walk, owned by the segment. The store is
+	// pre-checked (not committed) first, so a failure on either side
+	// leaves segment, store and threshold slots in step.
+	if err := d.store.CanAppend(k); err != nil {
+		return 0, err
+	}
+	q, err := d.seg.Append(v, k)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.store.Append(k); err != nil {
+		// CanAppend above rules this out; a failure here would
+		// desynchronize the store and the segment.
+		panic(fmt.Sprintf("algo: delta store diverged: %v", err))
+	}
+	d.thr = append(d.thr, 0)
+	// A zero stamp can never equal a live epoch (stamps start at 1), so
+	// queries appended mid-window need no dedup special-casing.
+	d.seen = append(d.seen, 0)
+	return q, nil
+}
+
+// Len returns the number of queries ever appended (tombstoned ones
+// included).
+func (d *Delta) Len() int { return d.seg.NumQueries() }
+
+// Postings returns the number of postings in the delta segment.
+func (d *Delta) Postings() int { return d.seg.NumPostings() }
+
+// Name implements Processor.
+func (d *Delta) Name() string { return "Delta" }
+
+// Rebase implements Processor.
+func (d *Delta) Rebase(factor float64) { d.rebase(factor) }
+
+// ProcessEvent implements Processor: the exhaustive scan of the
+// sidecar's lists. Tombstoned queries are skipped by the shared offer
+// gate.
+func (d *Delta) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
+	var m EventMetrics
+	if d.seg.NumQueries() == 0 {
+		return m
+	}
+	d.beginEvent(doc)
+	for _, tw := range doc.Vec {
+		l := d.seg.List(tw.Term)
+		if l == nil {
+			continue
+		}
+		for _, p := range l.P {
+			m.Postings++
+			if d.markSeen(p.QID) {
+				continue
+			}
+			m.Iterations++
+			d.offer(p.QID, doc.ID, e, &m)
+		}
+	}
+	return m
+}

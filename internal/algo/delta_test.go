@@ -1,0 +1,229 @@
+package algo
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// refTopK is a brute-force top-k oracle mirroring topk.Store's
+// admission rule (strictly-greater-than-min replacement, positive
+// scores only).
+type refTopK struct {
+	k    int
+	docs []topk.ScoredDoc
+}
+
+func (r *refTopK) add(docID uint64, score float64) {
+	if score <= 0 {
+		return
+	}
+	if len(r.docs) < r.k {
+		r.docs = append(r.docs, topk.ScoredDoc{DocID: docID, Score: score})
+		return
+	}
+	min := 0
+	for i := range r.docs {
+		if r.docs[i].Score < r.docs[min].Score {
+			min = i
+		}
+	}
+	if score > r.docs[min].Score {
+		r.docs[min] = topk.ScoredDoc{DocID: docID, Score: score}
+	}
+}
+
+func (r *refTopK) rebase(f float64) {
+	for i := range r.docs {
+		r.docs[i].Score *= f
+	}
+}
+
+func (r *refTopK) sorted() []topk.ScoredDoc {
+	out := append([]topk.ScoredDoc(nil), r.docs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	return out
+}
+
+// TestDeltaMatchesOracle drives a Delta through the full churn cycle —
+// queries appended mid-stream, tombstoned mid-stream, decay rebases
+// crossing both — and cross-validates every query's results against
+// the brute-force oracle after every event.
+func TestDeltaMatchesOracle(t *testing.T) {
+	const nq, nDocs, k = 30, 150, 3
+	ix, events := buildFixture(t, workload.Connected, nq, nDocs, k, 77)
+	vecs := make([]textproc.Vector, nq)
+	for q := uint32(0); q < nq; q++ {
+		terms, weights := ix.QueryTerms(q)
+		v := make(textproc.Vector, len(terms))
+		for i := range terms {
+			v[i] = textproc.TermWeight{Term: terms[i], Weight: weights[i]}
+		}
+		vecs[q] = v
+	}
+
+	d := NewDelta()
+	refs := make([]*refTopK, 0, nq)
+	dead := make([]bool, nq)
+	appended := 0
+	appendNext := func() {
+		if appended >= nq {
+			return
+		}
+		q, err := d.Append(vecs[appended], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(q) != appended {
+			t.Fatalf("append %d got local %d", appended, q)
+		}
+		refs = append(refs, &refTopK{k: k})
+		appended++
+	}
+	// Half the queries exist before the stream starts.
+	for appended < nq/2 {
+		appendNext()
+	}
+
+	decay, err := stream.NewDecay(30) // high λ: forces rebases mid-run
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(q int, doc textproc.Vector) float64 {
+		dw := make(map[textproc.TermID]float64, len(doc))
+		for _, tw := range doc {
+			dw[tw.Term] = tw.Weight
+		}
+		var s float64
+		for _, tw := range vecs[q] {
+			s += tw.Weight * dw[tw.Term]
+		}
+		return s
+	}
+
+	for i, ev := range events {
+		if i%4 == 1 {
+			appendNext() // grows mid-stream
+		}
+		if i%11 == 7 && i/11 < appended {
+			if !dead[i/11] {
+				d.Tombstone(uint32(i / 11))
+				dead[i/11] = true
+			}
+		}
+		for decay.NeedsRebase(ev.Time) {
+			f := decay.RebaseTo(ev.Time)
+			d.Rebase(f)
+			for _, r := range refs {
+				r.rebase(f)
+			}
+		}
+		e := decay.Factor(ev.Time)
+		d.ProcessEvent(ev.Doc, e)
+		for q := 0; q < appended; q++ {
+			if dead[q] {
+				continue // oracle freezes with the tombstone
+			}
+			refs[q].add(ev.Doc.ID, score(q, ev.Doc.Vec)*e)
+		}
+
+		for q := 0; q < appended; q++ {
+			want := refs[q].sorted()
+			got := d.Results().Top(uint32(q))
+			if len(got) != len(want) {
+				t.Fatalf("event %d query %d: %d vs %d results", i, q, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("event %d query %d rank %d: %+v vs %+v", i, q, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	if appended != nq {
+		t.Fatalf("only %d/%d queries appended (stream too short for the schedule)", appended, nq)
+	}
+	if d.Postings() != ix.NumPostings() {
+		t.Fatalf("delta postings %d, want %d", d.Postings(), ix.NumPostings())
+	}
+}
+
+// TestTombstoneStopsEvaluation: once a query is tombstoned, every
+// algorithm stops evaluating it — Evaluated drops to zero on an index
+// whose queries are all dead — and its results and change record stay
+// frozen while live queries keep matching.
+func TestTombstoneStopsEvaluation(t *testing.T) {
+	names := []string{"Exhaustive", "RIO", "MRIO", "MRIO-block", "MRIO-sparse", "RTA", "SortQuer", "TPS"}
+	for i, name := range names {
+		t.Run(name, func(t *testing.T) {
+			// Tombstones live on the Index, so each subtest gets its own
+			// fixture (same seed, identical data) — processors must not
+			// share an index across tombstoning tests.
+			ix, events := buildFixture(t, workload.Connected, 12, 120, 3, 31)
+			half := len(events) / 2
+			proc := allProcessors(t, ix)[i]
+			runAll(t, []Processor{proc}, events[:half], 1)
+			proc.DrainChanged(nil)
+
+			const victim = 5
+			frozen := proc.Results().Top(victim)
+			proc.Tombstone(victim)
+			var live, victimChanges int
+			d, err := stream.NewDecay(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range events[half:] {
+				for d.NeedsRebase(ev.Time) {
+					proc.Rebase(d.RebaseTo(ev.Time))
+				}
+				proc.ProcessEvent(ev.Doc, d.Factor(ev.Time))
+			}
+			proc.DrainChanged(func(q uint32) {
+				if q == victim {
+					victimChanges++
+				} else {
+					live++
+				}
+			})
+			if victimChanges != 0 {
+				t.Fatalf("tombstoned query dirtied the change record %d times", victimChanges)
+			}
+			if live == 0 {
+				t.Fatal("no live query changed — stream too weak to prove anything")
+			}
+			// Rebases rescale stored scores, but the tombstoned query's
+			// result *set* must be exactly what it was at removal.
+			got := proc.Results().Top(victim)
+			if len(got) != len(frozen) {
+				t.Fatalf("tombstoned results changed size: %d → %d", len(frozen), len(got))
+			}
+			for i := range frozen {
+				if got[i].DocID != frozen[i].DocID {
+					t.Fatalf("tombstoned results changed: rank %d doc %d → %d", i, frozen[i].DocID, got[i].DocID)
+				}
+			}
+
+			// With every query dead, the algorithm evaluates nothing.
+			for q := uint32(0); q < uint32(ix.NumQueries()); q++ {
+				proc.Tombstone(q)
+			}
+			var m EventMetrics
+			for _, ev := range events[half:] {
+				m.Add(proc.ProcessEvent(ev.Doc, d.Factor(ev.Time)))
+			}
+			if m.Evaluated != 0 || m.Matched != 0 {
+				t.Fatalf("all-dead index still evaluated %d / matched %d", m.Evaluated, m.Matched)
+			}
+		})
+	}
+}

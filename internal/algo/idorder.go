@@ -145,6 +145,15 @@ func (a *idOrdered) SyncThreshold(q uint32) {
 	a.updateRatios(q)
 }
 
+// ResyncAll implements Processor: after refreshing the threshold
+// cache, the ratio structures are rebuilt from scratch — one pass over
+// the lists instead of a per-posting Update per query, which is what
+// keeps a generation install's threshold carry cheap.
+func (a *idOrdered) ResyncAll() {
+	a.resyncThresholds()
+	a.buildLists()
+}
+
 // Refresh implements Processor: lazily maintained block maxima and
 // sparse snapshots are tightened eagerly so a bulk load leaves no
 // stale +Inf warm-up ratios behind.

@@ -98,6 +98,12 @@ func (b *impactBase) Refresh() {
 	}
 }
 
+// ResyncAll implements Processor.
+func (b *impactBase) ResyncAll() {
+	b.resyncThresholds()
+	b.Refresh()
+}
+
 // noteThresholdChange bumps staleness on every list containing q.
 func (b *impactBase) noteThresholdChange(q uint32) {
 	for _, ref := range b.ix.Refs(q) {

@@ -80,6 +80,12 @@ type Parallel struct {
 	costs    []float64 // per-query estimated cost (plan's cost vector)
 	partCost []float64 // cached per-partition sums of costs (occupancy reads)
 
+	// dead records shard-local tombstones (lazily allocated). The live
+	// sub-indexes are marked directly; this copy survives repartitions,
+	// which rebuild every sub-index from the raw query set and must
+	// re-apply the tombstones.
+	dead []bool
+
 	offs  []uint32 // len P+1: partition p owns queries [offs[p], offs[p+1])
 	procs []Processor
 	work  []chan parJob // nil at slot 0 (inline partition)
@@ -171,6 +177,13 @@ func (p *Parallel) buildPartition(lo, hi int) (Processor, error) {
 	subIx, err := index.Build(p.vecs[lo:hi], p.ks[lo:hi])
 	if err != nil {
 		return nil, err
+	}
+	if p.dead != nil {
+		for q := lo; q < hi; q++ {
+			if p.dead[q] {
+				subIx.Tombstone(uint32(q - lo))
+			}
+		}
 	}
 	proc, err := p.build(subIx)
 	if err != nil {
@@ -288,6 +301,25 @@ func (p *Parallel) Refresh() {
 	}
 }
 
+// ResyncAll implements Processor.
+func (p *Parallel) ResyncAll() {
+	for _, proc := range p.procs {
+		proc.ResyncAll()
+	}
+}
+
+// Tombstone implements Processor: the tombstone is recorded at the
+// shard level (repartitions rebuild sub-indexes and must re-apply it)
+// and routed to the partition currently owning the query.
+func (p *Parallel) Tombstone(q uint32) {
+	if p.dead == nil {
+		p.dead = make([]bool, len(p.vecs))
+	}
+	p.dead[q] = true
+	i := p.partition(q)
+	p.procs[i].Tombstone(q - p.offs[i])
+}
+
 // DrainChanged implements Processor: each partition's record covers
 // its own disjoint query range, so offsetting partition-local IDs and
 // concatenating yields the exact change set of the whole shard. The
@@ -403,9 +435,8 @@ func (p *Parallel) Repartition() (bool, error) {
 // applyPlan swaps the partition layout: new sub-indexes and inner
 // processors are built first (an error leaves the old layout fully
 // operational), then the old workers are drained and the new ones
-// started, and finally every query's threshold state is resynchronized
-// from the shared arena (the bulk-load pattern: SyncThreshold per
-// query, Refresh per partition).
+// started, and finally every partition resynchronizes its threshold
+// and bound state from the shared arena in one bulk pass (ResyncAll).
 func (p *Parallel) applyPlan(plan Plan) error {
 	workers := plan.Partitions()
 	procs := make([]Processor, workers)
@@ -448,11 +479,8 @@ func (p *Parallel) applyPlan(plan Plan) error {
 		p.done.Add(1)
 		go p.worker(i, ch)
 	}
-	for i, proc := range procs {
-		for q := p.offs[i]; q < p.offs[i+1]; q++ {
-			proc.SyncThreshold(q - p.offs[i])
-		}
-		proc.Refresh()
+	for _, proc := range procs {
+		proc.ResyncAll()
 	}
 	p.name = fmt.Sprintf("%s×%d", procs[0].Name(), workers)
 	return nil

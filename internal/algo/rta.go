@@ -112,6 +112,12 @@ func (r *RTA) Refresh() {
 	}
 }
 
+// ResyncAll implements Processor.
+func (r *RTA) ResyncAll() {
+	r.resyncThresholds()
+	r.Refresh()
+}
+
 // markDirty flags every list containing q for re-sorting.
 func (r *RTA) markDirty(q uint32) {
 	for _, ref := range r.ix.Refs(q) {

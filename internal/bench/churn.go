@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+// ChurnCell is one rebuild mode's measurement under sustained query
+// churn: ingestion latency per event, registration latency per add,
+// and what the generation machinery did meanwhile.
+type ChurnCell struct {
+	Series string
+	// Per-event ingestion latency (ms). Under background rebuilds the
+	// tail contains only the install swap (dump + restore of carried
+	// results); under sync rebuilds ingestion is clean but the add
+	// path pays the whole build.
+	IngestMeanMS, IngestP50MS, IngestP99MS, IngestMaxMS float64
+	// Per-AddQuery latency (ms): the headline number — O(|q|) plus, in
+	// sync mode, a full generation build whenever the budget trips.
+	AddMeanMS, AddP50MS, AddP99MS, AddMaxMS float64
+	// Per-RemoveQuery latency (ms): tombstoning is O(1).
+	RemoveP99MS float64
+	// Generations/Builds/FailedBuilds summarize the generation
+	// machinery; LastBuildMS is the final build's wall time.
+	Generations, Builds, FailedBuilds uint64
+	LastBuildMS                       float64
+	// FinalQueries is the live query count at the end of the run.
+	FinalQueries int
+}
+
+// ChurnResult is the ablchurn experiment: legacy synchronous rebuilds
+// versus generational background rebuilds on the identical
+// churn-under-load timeline.
+type ChurnResult struct {
+	Title            string
+	Queries          int // initial registered queries
+	Events           int // timed stream events
+	ChurnPerEvent    int // adds + removes interleaved per event
+	RebuildThreshold int
+	Cells            []ChurnCell
+}
+
+// ChurnTitle is the ablchurn experiment's title, shared by the
+// harness report and the CLI's experiment listing.
+const ChurnTitle = "Extension — query churn under load: sync vs background generation rebuilds (MRIO, Connected)"
+
+// churnThreshold picks a rebuild budget that trips several generation
+// builds inside the measure window (two mutations per event).
+func churnThreshold(measure int) int {
+	return max(16, 2*measure/5)
+}
+
+// RunChurn measures the ablchurn experiment at the given scale: a
+// monitor with sc.BaseQueries warm queries ingests the measure stream
+// while every event is followed by one registration and one
+// unregistration, under sync and background rebuild modes on identical
+// timelines. The two series are parity-checked against each other
+// (bit-identical results) before returning, so the ablation doubles as
+// an exactness gate.
+func RunChurn(sc Scale, out io.Writer) (*ChurnResult, error) {
+	model := corpus.WikipediaModel(sc.VocabSize)
+
+	qcfg := workload.DefaultConfig(workload.Connected, sc.BaseQueries)
+	qcfg.Seed = sc.Seed
+	qs, err := workload.Generate(model, qcfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench ablchurn: workload: %w", err)
+	}
+	vecs := make([]textproc.Vector, len(qs))
+	ks := make([]int, len(qs))
+	defs := make([]core.QueryDef, len(qs))
+	for i, q := range qs {
+		vecs[i], ks[i] = q.Vec, q.K
+		defs[i] = core.QueryDef{Vec: q.Vec, K: q.K}
+	}
+
+	// One fresh registration per timed event.
+	rcfg := workload.DefaultConfig(workload.Connected, sc.Measure)
+	rcfg.Seed = sc.Seed + 17
+	rs, err := workload.Generate(model, rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench ablchurn: reserve workload: %w", err)
+	}
+	reserve := make([]core.QueryDef, len(rs))
+	for i, q := range rs {
+		reserve[i] = core.QueryDef{Vec: q.Vec, K: q.K}
+	}
+
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		return nil, err
+	}
+	gen := corpus.NewGenerator(model, sc.Seed+101, uint64(sc.Warmup+sc.Measure))
+	src, err := stream.NewSource(gen, sc.Rate, sc.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+	events := src.Take(sc.Warmup + sc.Measure)
+	warm, err := warmUp(ix, events[:sc.Warmup], defaultLambda)
+	if err != nil {
+		return nil, fmt.Errorf("bench ablchurn: warm-up: %w", err)
+	}
+	measure := events[sc.Warmup:]
+
+	res := &ChurnResult{
+		Title:            ChurnTitle,
+		Queries:          sc.BaseQueries,
+		Events:           len(measure),
+		ChurnPerEvent:    2,
+		RebuildThreshold: churnThreshold(len(measure)),
+	}
+
+	mons := make(map[string]*core.Monitor, 2)
+	for _, mode := range []core.RebuildMode{core.RebuildSync, core.RebuildBackground} {
+		cell, mon, err := runChurnCell(mode, defs, reserve, warm, measure, res.RebuildThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("bench ablchurn: %s: %w", mode, err)
+		}
+		defer mon.Close()
+		mons[cell.Series] = mon
+		res.Cells = append(res.Cells, cell)
+		if out != nil {
+			fmt.Fprintf(out, "  %-12s ingest mean=%7.3fms p99=%8.3fms  add p50=%7.3fms p99=%8.3fms max=%8.3fms  gens=%d\n",
+				cell.Series, cell.IngestMeanMS, cell.IngestP99MS, cell.AddP50MS, cell.AddP99MS, cell.AddMaxMS, cell.Generations)
+		}
+	}
+
+	// Parity gate: both modes replayed the identical timeline, so every
+	// query's results must be bit-identical regardless of when (or
+	// whether) generations were installed.
+	sync, bg := mons[string(core.RebuildSync)], mons[string(core.RebuildBackground)]
+	total := uint32(sc.BaseQueries + len(reserve))
+	for g := uint32(0); g < total; g++ {
+		a, errA := sync.TopInflated(g)
+		b, errB := bg.TopInflated(g)
+		if (errA == nil) != (errB == nil) || len(a) != len(b) {
+			return nil, fmt.Errorf("bench ablchurn: parity: query %d diverged (%v/%d vs %v/%d)", g, errA, len(a), errB, len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return nil, fmt.Errorf("bench ablchurn: parity: query %d rank %d diverged", g, i)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runChurnCell replays the churn timeline under one rebuild mode. The
+// monitor is returned (still open) so the caller can parity-check the
+// cells against each other.
+func runChurnCell(mode core.RebuildMode, defs, reserve []core.QueryDef, warm *warmState, measure []stream.Event, threshold int) (ChurnCell, *core.Monitor, error) {
+	cell := ChurnCell{Series: string(mode)}
+	mon, err := core.NewMonitor(core.Config{
+		Algorithm:        core.AlgoMRIO,
+		Lambda:           defaultLambda,
+		RebuildThreshold: threshold,
+		Rebuild:          mode,
+	}, defs)
+	if err != nil {
+		return cell, nil, err
+	}
+	if err := mon.RestoreState(warm.base, warm.base, warm.results); err != nil {
+		mon.Close()
+		return cell, nil, err
+	}
+
+	var ingest, adds, removes stats.Sample
+	for i, ev := range measure {
+		start := time.Now()
+		if _, err := mon.Process(ev.Doc, ev.Time); err != nil {
+			mon.Close()
+			return cell, nil, err
+		}
+		ingest.AddDuration(time.Since(start))
+
+		start = time.Now()
+		if _, err := mon.AddQuery(reserve[i]); err != nil {
+			mon.Close()
+			return cell, nil, err
+		}
+		adds.AddDuration(time.Since(start))
+
+		start = time.Now()
+		if err := mon.RemoveQuery(uint32(i)); err != nil {
+			mon.Close()
+			return cell, nil, err
+		}
+		removes.AddDuration(time.Since(start))
+	}
+
+	// Land any build still in flight (untimed — the measured samples
+	// above are closed) so the reported generation counters reflect
+	// every build the timeline kicked, not the scheduler's mood on a
+	// 1-core box, and the parity check below compares fully-installed
+	// states in both modes.
+	mon.WaitRebuild()
+	gs := mon.GenStats()
+	cell.IngestMeanMS = ingest.Mean()
+	cell.IngestP50MS = ingest.Percentile(50)
+	cell.IngestP99MS = ingest.Percentile(99)
+	cell.IngestMaxMS = ingest.Percentile(100)
+	cell.AddMeanMS = adds.Mean()
+	cell.AddP50MS = adds.Percentile(50)
+	cell.AddP99MS = adds.Percentile(99)
+	cell.AddMaxMS = adds.Percentile(100)
+	cell.RemoveP99MS = removes.Percentile(99)
+	cell.Generations = gs.Generation
+	cell.Builds = gs.Builds
+	cell.FailedBuilds = gs.FailedBuilds
+	cell.LastBuildMS = gs.LastBuildMS
+	cell.FinalQueries = mon.NumQueries()
+	return cell, mon, nil
+}
+
+// Render prints the churn ablation in the harness' table style.
+func (r *ChurnResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "queries=%d events=%d churn/event=%d rebuild-threshold=%d\n",
+		r.Queries, r.Events, r.ChurnPerEvent, r.RebuildThreshold)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s %10s %6s %8s\n",
+		"mode", "ing-mean", "ing-p50", "ing-p99", "add-p50", "add-p99", "add-max", "rm-p99", "gens", "build-ms")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %6d %8.1f\n",
+			c.Series, c.IngestMeanMS, c.IngestP50MS, c.IngestP99MS,
+			c.AddP50MS, c.AddP99MS, c.AddMaxMS, c.RemoveP99MS, c.Generations, c.LastBuildMS)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+// TestRemoveQueryStopsMatchingImmediately is the tombstone gate: from
+// the very next event after RemoveQuery, the removed query is never
+// evaluated again — in the main generation, in the delta segment, and
+// under every Shards × Parallelism layout — long before any rebuild
+// sweeps its index entries.
+func TestRemoveQueryStopsMatchingImmediately(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Connected, 4, 3, 61)
+	events := testEvents(t, 80, 83)
+	half := len(events) / 2
+
+	layouts := []struct {
+		name        string
+		shards, par int
+		delta       bool // register via AddQuery so the victims live in the delta
+	}{
+		{"main-gen", 1, 1, false},
+		{"delta", 1, 1, true},
+		{"shards=2 par=2 main-gen", 2, 2, false},
+		{"shards=2 par=2 delta", 2, 2, true},
+	}
+	for _, l := range layouts {
+		t.Run(l.name, func(t *testing.T) {
+			// A huge threshold guarantees no rebuild ever runs: whatever
+			// stops the queries from matching is the tombstone alone.
+			cfg := Config{Lambda: 0.01, Shards: l.shards, Parallelism: l.par, RebuildThreshold: 1 << 30}
+			initial := defs
+			if l.delta {
+				initial = nil
+			}
+			m, err := NewMonitor(cfg, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if l.delta {
+				for _, d := range defs {
+					if _, err := m.AddQuery(d); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			evaluated := 0
+			for _, ev := range events[:half] {
+				st, err := m.Process(ev.Doc, ev.Time)
+				if err != nil {
+					t.Fatal(err)
+				}
+				evaluated += st.Evaluated
+			}
+			if evaluated == 0 {
+				t.Fatal("warm-up evaluated nothing — fixture too weak")
+			}
+			for g := uint32(0); g < uint32(len(defs)); g++ {
+				if err := m.RemoveQuery(g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, ev := range events[half:] {
+				st, err := m.Process(ev.Doc, ev.Time)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Evaluated != 0 || st.Matched != 0 {
+					t.Fatalf("removed queries still matching: evaluated=%d matched=%d", st.Evaluated, st.Matched)
+				}
+				if ids := m.ChangedQueries(); len(ids) != 0 {
+					t.Fatalf("removed queries still notifying: %v", ids)
+				}
+			}
+			if gs := m.GenStats(); gs.Tombstones != len(defs) || gs.Builds != 0 {
+				t.Fatalf("gen stats after removals: %+v", gs)
+			}
+		})
+	}
+}
+
+// TestAddQueryAmortized is the O(pending)-per-add regression gate: N
+// registrations must cost O(total query size), not O(N²). The
+// structural half of the assertion is exact (the delta holds precisely
+// the appended postings, so no rebuild ran); the timing half compares
+// the second half of the adds against the first, which under the old
+// rebuild-per-add behaviour is ~3× slower and under amortized appends
+// is flat.
+func TestAddQueryAmortized(t *testing.T) {
+	const n = 40000
+	defs := defsFromWorkload(t, workload.Uniform, n, 3, 71)
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	addAll := func(ds []QueryDef) time.Duration {
+		t0 := time.Now()
+		for _, d := range ds {
+			if _, err := m.AddQuery(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(t0)
+	}
+	first := addAll(defs[:n/2])
+	second := addAll(defs[n/2:])
+
+	postings := 0
+	for _, d := range defs {
+		postings += len(d.Vec)
+	}
+	gs := m.GenStats()
+	if gs.DeltaQueries != n || gs.DeltaPostings != postings {
+		t.Fatalf("delta = %d queries / %d postings, want %d / %d",
+			gs.DeltaQueries, gs.DeltaPostings, n, postings)
+	}
+	if gs.Builds != 0 || gs.Building {
+		t.Fatalf("adds triggered a rebuild below the threshold: %+v", gs)
+	}
+	// Generous bound: quadratic behaviour puts the ratio near 3 (and
+	// the absolute time in minutes); amortized appends are flat modulo
+	// scheduler noise.
+	if total := first + second; total > 30*time.Second {
+		t.Fatalf("%d adds took %v — not amortized", n, total)
+	}
+	if first > 50*time.Millisecond && second > 5*first/2 {
+		t.Fatalf("add cost grows with pending size: first half %v, second half %v", first, second)
+	}
+}
+
+// TestBackgroundBuildNonBlocking forces a generation build over ≥50k
+// queries and proves the event path never waits on it: a test hook
+// holds the finished build un-deliverable while events flow against
+// the old generation, then the build installs atomically and the
+// results are bit-identical to a monitor that never rebuilt.
+func TestBackgroundBuildNonBlocking(t *testing.T) {
+	const nq = 50001
+	defs := defsFromWorkload(t, workload.Uniform, nq, 3, 73)
+	extra := defsFromWorkload(t, workload.Uniform, 6, 3, 74)
+	events := testEvents(t, 30, 85)
+
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 4}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ref, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	release := make(chan struct{})
+	m.buildHook = func() { <-release }
+
+	// Spend the dirty budget: the 4th mutation kicks the background
+	// build, which the hook now holds in flight.
+	for _, d := range extra[:4] {
+		for _, mon := range []*Monitor{m, ref} {
+			if _, err := mon.AddQuery(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if gs := m.GenStats(); !gs.Building {
+		t.Fatalf("no build in flight after spending the dirty budget: %+v", gs)
+	}
+
+	// Every event here completes while the build is provably still in
+	// flight (the hook is blocked until we release it below). If the
+	// event path waited on the build, this loop would deadlock.
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gs := m.GenStats(); !gs.Building || gs.Generation != 0 {
+		t.Fatalf("build should still be in flight after %d events: %+v", len(events), gs)
+	}
+
+	// Release and install: the swap is atomic and exact.
+	close(release)
+	m.WaitRebuild()
+	gs := m.GenStats()
+	if gs.Generation != 1 || gs.Builds != 1 || gs.Building || gs.DeltaQueries != 0 {
+		t.Fatalf("install did not complete cleanly: %+v", gs)
+	}
+	expectSameResults(t, "post-install vs never-rebuilt", ref, m, nq+4)
+
+	// And the installed generation keeps serving exactly.
+	at := events[len(events)-1].Time + 1
+	for _, ev := range events {
+		if _, err := m.Process(ev.Doc, at); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Process(ev.Doc, at); err != nil {
+			t.Fatal(err)
+		}
+		at += 0.01
+	}
+	expectSameResults(t, "post-install traffic", ref, m, nq+4)
+}
+
+// TestFailedBuildBacksOff: a failed generation build must leave the
+// old generation serving, return the claimed churn to the dirty
+// budget (and to Layout, so snapshots don't lose it), surface the
+// error in GenStats, and push the next attempt out by a fresh-churn
+// backoff instead of re-kicking the doomed build on every mutation.
+func TestFailedBuildBacksOff(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 10, 2, 75)
+	extra := defsFromWorkload(t, workload.Uniform, 4, 2, 76)
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 6}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Simulate a build that was kicked with 5 claimed mutations and
+	// died; 1 more mutation arrived while it ran.
+	m.dirty, m.building, m.kickDirty = 1, true, 5
+	m.install(&genBuild{err: errors.New("boom")})
+
+	gs := m.GenStats()
+	if gs.FailedBuilds != 1 || gs.LastBuildError != "boom" || gs.Building {
+		t.Fatalf("failure not recorded: %+v", gs)
+	}
+	if m.dirty != 6 {
+		t.Fatalf("claimed churn lost: dirty = %d, want 6", m.dirty)
+	}
+	if m.retryAt <= m.dirty {
+		t.Fatalf("no backoff: retryAt = %d with dirty %d", m.retryAt, m.dirty)
+	}
+	// Over the threshold but under the backoff: no re-kick.
+	m.maybeKick()
+	if m.building {
+		t.Fatal("re-kicked inside the backoff window")
+	}
+	// Fresh churn reaches the backoff point: the retry runs, succeeds,
+	// and resets the failure state.
+	for i := 0; !m.building && m.generation == 0; i++ {
+		if i >= len(extra) {
+			t.Fatalf("retry never kicked: dirty=%d retryAt=%d", m.dirty, m.retryAt)
+		}
+		if _, err := m.AddQuery(extra[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.WaitRebuild()
+	gs = m.GenStats()
+	if gs.Generation != 1 || gs.LastBuildError != "" || m.retryAt != 0 {
+		t.Fatalf("successful retry did not reset failure state: %+v retryAt=%d", gs, m.retryAt)
+	}
+}
+
+// TestLayoutCountsInFlightBuild: churn claimed by a build that is
+// still in flight must count as unfolded in Layout — the build dies
+// with the process, so a snapshot that dropped it would delay the
+// restored monitor's rebuild cadence by up to a full threshold.
+func TestLayoutCountsInFlightBuild(t *testing.T) {
+	defs := defsFromWorkload(t, workload.Uniform, 8, 2, 78)
+	m, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.dirty, m.building, m.kickDirty = 2, true, 7
+	if got := m.Layout().Dirty; got != 9 {
+		t.Fatalf("Layout().Dirty = %d, want 9 (2 new + 7 claimed by the in-flight build)", got)
+	}
+	m.building, m.kickDirty = false, 0
+}
+
+// TestChurnMatchesFreshBuild is the generational parity gate: a
+// monitor churning through adds, removals, background generation
+// swaps, forced repartitions and batched ingestion must stay
+// bit-identical to a monitor that replays the same timeline without
+// ever rebuilding — across every layout, in both rebuild modes.
+func TestChurnMatchesFreshBuild(t *testing.T) {
+	const nq = 90
+	defs := defsFromWorkload(t, workload.Hot, nq, 3, 62)
+	extra := defsFromWorkload(t, workload.Connected, 30, 3, 63)
+	events := testEvents(t, 240, 84)
+
+	layouts := []struct {
+		name        string
+		shards, par int
+		mode        RebuildMode
+	}{
+		{"background", 1, 1, RebuildBackground},
+		{"sync", 1, 1, RebuildSync},
+		{"shards=2 par=3 background", 2, 3, RebuildBackground},
+		{"par=4 mass background", 1, 4, RebuildBackground},
+	}
+	for _, l := range layouts {
+		t.Run(l.name, func(t *testing.T) {
+			ref, err := NewMonitor(Config{Lambda: 0.01, RebuildThreshold: 1 << 30}, defs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			m, err := NewMonitor(Config{
+				Lambda: 0.01, Shards: l.shards, Parallelism: l.par,
+				RebuildThreshold: 5, Rebuild: l.mode, RepartitionWindow: 16,
+			}, defs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			const chunk = 8
+			added, removed := 0, 0
+			for i := 0; i < len(events); i += chunk {
+				evs := events[i:min(i+chunk, len(events))]
+				at := evs[len(evs)-1].Time
+				docs := make([]corpus.Document, len(evs))
+				for j, ev := range evs {
+					docs[j] = ev.Doc
+				}
+				for _, doc := range docs {
+					if _, err := ref.Process(doc, at); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := m.ProcessBatch(docs, at); err != nil {
+					t.Fatal(err)
+				}
+				step := i / chunk
+				if added < len(extra) {
+					for _, mon := range []*Monitor{ref, m} {
+						if _, err := mon.AddQuery(extra[added]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					added++
+				}
+				if step%2 == 1 {
+					victim := uint32((step * 7) % (nq + added))
+					for _, mon := range []*Monitor{ref, m} {
+						if err := mon.RemoveQuery(victim); err != nil && !errors.Is(err, ErrRemovedQuery) {
+							t.Fatal(err)
+						}
+					}
+					removed++
+				}
+				switch step % 9 {
+				case 4:
+					m.WaitRebuild() // deterministic install points...
+				case 7:
+					if err := m.Repartition(); err != nil {
+						t.Fatal(err) // ...interleaved with forced boundary moves
+					}
+				}
+			}
+			m.WaitRebuild()
+			expectSameResults(t, l.name, ref, m, nq+added)
+			if gs := m.GenStats(); gs.Builds == 0 {
+				t.Fatalf("timeline tripped no generation builds: %+v", gs)
+			}
+		})
+	}
+}

@@ -78,6 +78,32 @@ const (
 // ParsePartition converts a partition-strategy name.
 func ParsePartition(s string) (PartitionStrategy, error) { return algo.ParseStrategy(s) }
 
+// RebuildMode selects how the monitor folds accumulated query churn
+// (the delta segment and tombstones) into the next generation of shard
+// indexes.
+type RebuildMode string
+
+const (
+	// RebuildBackground (the default) builds the next generation on a
+	// background goroutine while the old generation keeps serving
+	// events, then installs it by atomic swap at the next mutation —
+	// ingestion latency never waits on an index build.
+	RebuildBackground RebuildMode = "background"
+	// RebuildSync builds the next generation inline on the mutating
+	// call once the dirty budget is spent — the legacy stop-the-world
+	// behaviour, kept as the ablation control.
+	RebuildSync RebuildMode = "sync"
+)
+
+// ParseRebuild converts a rebuild-mode name.
+func ParseRebuild(s string) (RebuildMode, error) {
+	switch RebuildMode(s) {
+	case RebuildBackground, RebuildSync:
+		return RebuildMode(s), nil
+	}
+	return "", fmt.Errorf("core: unknown rebuild mode %q", s)
+}
+
 // Config parameterizes a Monitor.
 type Config struct {
 	// Algorithm selects the matching algorithm (default MRIO).
@@ -109,10 +135,16 @@ type Config struct {
 	// scratch). Meaningful only with Parallelism > 1.
 	RepartitionWindow int
 	// RebuildThreshold is how many dynamically added or removed
-	// queries accumulate before the main indexes are rebuilt to absorb
-	// them (default 1024). Pending queries are matched exhaustively in
-	// the meantime, so correctness never depends on rebuilds.
+	// queries accumulate before the next generation of shard indexes
+	// is built to absorb them (default 1024). Added queries are matched
+	// exhaustively in the delta segment and removed ones are tombstoned
+	// in the meantime, so correctness never depends on rebuilds.
 	RebuildThreshold int
+	// Rebuild selects where generation builds run: RebuildBackground
+	// (default) builds concurrently with event processing and swaps
+	// atomically; RebuildSync blocks the mutating call (the legacy
+	// behaviour, kept as an ablation control). Result-invariant.
+	Rebuild RebuildMode
 }
 
 // withDefaults fills zero values.
@@ -134,6 +166,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RebuildThreshold == 0 {
 		c.RebuildThreshold = 1024
+	}
+	if c.Rebuild == "" {
+		c.Rebuild = RebuildBackground
 	}
 	return c
 }
@@ -160,6 +195,9 @@ func (c Config) Validate() error {
 	}
 	if c.RebuildThreshold < 0 {
 		return fmt.Errorf("core: negative rebuild threshold %d", c.RebuildThreshold)
+	}
+	if _, err := ParseRebuild(string(c.Rebuild)); c.Rebuild != "" && err != nil {
+		return err
 	}
 	return nil
 }

@@ -57,12 +57,12 @@ func (s *EventStats) add(m algo.EventMetrics) {
 
 // location maps a global query ID to where it currently lives.
 type location struct {
-	shard   int32 // -1 → pending sidecar
+	shard   int32 // -1 → delta segment
 	local   uint32
 	removed bool
 }
 
-const pendingShard = -1
+const deltaShard = -1
 
 // shardJob is one unit of work handed to a shard worker: apply the
 // rebase factors in order, then match every document at the shared
@@ -132,12 +132,23 @@ func matchAll(proc algo.Processor, rebases []float64, docs []corpus.Document, e 
 // mutation; Process/ProcessBatch and AddQuery/RemoveQuery must be
 // externally serialized (result reads between events are safe).
 //
+// The query index is generational: the main generation of shard
+// indexes is immutable, recently added queries accumulate in an
+// append-only delta segment (matched exhaustively, which is exact) and
+// removed queries are tombstoned in place so they stop matching
+// immediately. Once the dirty budget is spent, the next generation is
+// built — on a background goroutine by default, concurrently with
+// ongoing event traffic against the old generation — and installed by
+// atomic swap at the next mutation, carrying results and thresholds; a
+// failed build leaves the old generation serving. AddQuery is O(|q|)
+// and RemoveQuery O(1), independent of how much churn is pending.
+//
 // Multi-shard monitors own one persistent worker goroutine per shard,
-// started at construction and on every rebuild; with
+// started at construction and on every generation install; with
 // Config.Parallelism > 1 each shard's processor additionally owns
 // Parallelism-1 intra-shard partition workers that split every event's
 // matching across the shard's query range. Call Close when done to
-// shut them all down.
+// shut them all down (it also joins any in-flight generation build).
 type Monitor struct {
 	cfg   Config
 	decay *stream.Decay
@@ -146,11 +157,41 @@ type Monitor struct {
 	loc    []location
 	shards []*shard
 
-	// pending holds recently added queries, matched exhaustively until
-	// the next rebuild folds them into the shard indexes.
-	pendingIDs  []uint32
-	pendingProc algo.Processor
-	dirty       int // adds+removals since last rebuild
+	// delta holds recently added queries — appended in O(|q|), matched
+	// exhaustively — until the next generation build folds them into
+	// the shard indexes. deltaIDs maps delta-local → global ID; foldLen
+	// is the global ID horizon of the current main generation (every
+	// live query < foldLen lives in a shard, every one ≥ foldLen in the
+	// delta).
+	delta    *algo.Delta
+	deltaIDs []uint32
+	foldLen  int
+	dirty    int // adds+removals not yet claimed by a generation build
+
+	// Generation build state. built is a 1-buffered rendezvous: the
+	// background builder delivers exactly one genBuild per kick and the
+	// serialized mutation path installs it (tryInstall/WaitRebuild).
+	generation   uint64
+	building     bool
+	built        chan *genBuild
+	kickDirty    int // dirty claimed by the in-flight build (restored on failure)
+	tombstones   int // tombstoned entries lingering in the current generation + delta
+	builds       uint64
+	failedBuilds uint64
+	lastBuild    time.Duration
+	lastInstall  time.Duration
+	lastBuildErr error
+	// retryAt and retryBackoff gate re-kicks after a failed build: the
+	// next build waits until dirty reaches retryAt, and the required
+	// fresh churn doubles per consecutive failure — a deterministic
+	// build error (say, an arena cap) cannot turn every mutation into
+	// a doomed full-index build. A successful install resets both.
+	retryAt      int
+	retryBackoff int
+	// buildHook, when set (tests only), runs on the builder goroutine
+	// after the build completes and before it is delivered — blocking
+	// it holds the generation "in flight" deterministically.
+	buildHook func()
 
 	now    float64
 	events uint64
@@ -176,8 +217,42 @@ type Monitor struct {
 }
 
 // NewMonitor builds a monitor over an initial query set. Queries get
-// dense global IDs in registration order.
+// dense global IDs in registration order; the whole set is folded into
+// the first main generation.
 func NewMonitor(cfg Config, defs []QueryDef) (*Monitor, error) {
+	return NewMonitorWithLayout(cfg, defs, nil, Layout{FoldLen: len(defs)})
+}
+
+// Layout describes the generational layout of the query set: queries
+// with global ID < FoldLen live in the main generation of shard
+// indexes, later ones in the delta segment. Snapshots persist it so a
+// restored monitor resumes with the identical (result-invariant)
+// layout and rebuild cadence.
+type Layout struct {
+	// FoldLen is the global ID horizon of the main generation.
+	FoldLen int
+	// Generation counts installed generation builds.
+	Generation uint64
+	// Dirty is the churn not yet folded into a generation.
+	Dirty int
+}
+
+// Layout returns the monitor's current generational layout (for
+// snapshots). Dirty includes the churn a still-in-flight build has
+// claimed (kickDirty): that build dies with the process, so from a
+// restored monitor's point of view those mutations are unfolded churn
+// and must keep counting toward the next rebuild. Safe between
+// events, like result reads.
+func (m *Monitor) Layout() Layout {
+	return Layout{FoldLen: m.foldLen, Generation: m.generation, Dirty: m.dirty + m.kickDirty}
+}
+
+// NewMonitorWithLayout builds a monitor over a full query ID space —
+// including removed queries, flagged in removed (nil means all live) —
+// with the generational layout lay. Removed queries keep their IDs but
+// enter no index. Snapshot restore uses it to reproduce a persisted
+// monitor exactly; NewMonitor is the everything-folded special case.
+func NewMonitorWithLayout(cfg Config, defs []QueryDef, removed []bool, lay Layout) (*Monitor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,11 +261,52 @@ func NewMonitor(cfg Config, defs []QueryDef) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Monitor{cfg: cfg, decay: decay}
+	m := &Monitor{
+		cfg:        cfg,
+		decay:      decay,
+		built:      make(chan *genBuild, 1),
+		generation: lay.Generation,
+		dirty:      max(lay.Dirty, 0),
+	}
 	m.defs = append(m.defs, defs...)
 	m.loc = make([]location, len(defs))
-	if err := m.rebuild(nil); err != nil {
+	for g := range removed {
+		if removed[g] {
+			m.loc[g].removed = true
+		}
+	}
+	m.foldLen = min(max(lay.FoldLen, 0), len(defs))
+	live := make([]bool, m.foldLen)
+	for g := 0; g < m.foldLen; g++ {
+		live[g] = !m.loc[g].removed
+	}
+	shards, err := m.buildShards(m.defs[:m.foldLen], live)
+	if err != nil {
 		return nil, err
+	}
+	m.shards = shards
+	if m.cfg.Shards > 1 {
+		for _, sh := range m.shards {
+			sh.startWorker()
+		}
+	}
+	for s, sh := range m.shards {
+		for local, g := range sh.globalIDs {
+			m.loc[g] = location{shard: int32(s), local: uint32(local)}
+		}
+	}
+	m.delta = algo.NewDelta()
+	for g := m.foldLen; g < len(m.defs); g++ {
+		if m.loc[g].removed {
+			continue
+		}
+		local, err := m.delta.Append(m.defs[g].Vec, m.defs[g].K)
+		if err != nil {
+			m.stopWorkers()
+			return nil, fmt.Errorf("core: delta query %d: %w", g, err)
+		}
+		m.loc[g] = location{shard: deltaShard, local: local}
+		m.deltaIDs = append(m.deltaIDs, uint32(g))
 	}
 	return m, nil
 }
@@ -227,15 +343,18 @@ func (m *Monitor) NumQueries() int {
 }
 
 // buildShard constructs one shard's index and processor from global
-// query IDs. With Parallelism > 1 the shard gets an intra-shard
-// parallel matcher: its query range is partitioned across a worker set
-// that matches every event concurrently (algo.Parallel).
-func (m *Monitor) buildShard(ids []uint32) (*shard, error) {
+// query IDs resolved against defs. With Parallelism > 1 the shard gets
+// an intra-shard parallel matcher: its query range is partitioned
+// across a worker set that matches every event concurrently
+// (algo.Parallel). defs is passed explicitly because the background
+// builder runs against a snapshot of the definition slice, not the
+// live (growing) one.
+func (m *Monitor) buildShard(defs []QueryDef, ids []uint32) (*shard, error) {
 	vecs := make([]textproc.Vector, len(ids))
 	ks := make([]int, len(ids))
 	for i, g := range ids {
-		vecs[i] = m.defs[g].Vec
-		ks[i] = m.defs[g].K
+		vecs[i] = defs[g].Vec
+		ks[i] = defs[g].K
 	}
 	if m.cfg.Parallelism > 1 {
 		// Boundary policy is the partitioner's: the plan equalizes the
@@ -262,15 +381,16 @@ func (m *Monitor) buildShard(ids []uint32) (*shard, error) {
 	return &shard{proc: proc, globalIDs: ids}, nil
 }
 
-// rebuild reconstructs all shard indexes from the live query set,
-// carrying over existing results. carried maps global ID → inflated
-// result entries to restore (nil on first build). Old shard workers
-// are drained before their processors are discarded; fresh workers are
-// started for the new shards (multi-shard monitors only).
-func (m *Monitor) rebuild(carried map[uint32][]topk.ScoredDoc) error {
+// buildShards constructs one generation of shard indexes: queries
+// among defs with live[g] true, partitioned by g % Shards. The
+// returned shards have no shard workers running yet. On error every
+// shard already built is released. Reads only immutable state (cfg and
+// the defs prefix), so the background builder may call it while the
+// serialized mutation path keeps running.
+func (m *Monitor) buildShards(defs []QueryDef, live []bool) ([]*shard, error) {
 	parts := make([][]uint32, m.cfg.Shards)
-	for g := range m.defs {
-		if m.loc[g].removed {
+	for g := range defs {
+		if !live[g] {
 			continue
 		}
 		s := g % m.cfg.Shards
@@ -278,45 +398,201 @@ func (m *Monitor) rebuild(carried map[uint32][]topk.ScoredDoc) error {
 	}
 	shards := make([]*shard, m.cfg.Shards)
 	for s, ids := range parts {
-		sh, err := m.buildShard(ids)
+		sh, err := m.buildShard(defs, ids)
 		if err != nil {
-			// Release the shards already built; the monitor's own state
-			// (locations, old shards, old workers) is untouched, so a
-			// failed rebuild leaves it fully operational.
 			for _, b := range shards {
 				if b != nil {
 					b.stopWorker()
 				}
 			}
-			return err
+			return nil, err
 		}
 		shards[s] = sh
 	}
-	// All shards built: only now mutate monitor state.
-	for s, ids := range parts {
-		for local, g := range ids {
-			m.loc[g] = location{shard: int32(s), local: uint32(local)}
+	return shards, nil
+}
+
+// genBuild is one finished generation build, delivered by the builder
+// goroutine to the serialized mutation path for installation.
+type genBuild struct {
+	// shards is the next generation (workers not started), covering
+	// every query that was live among defs[:defsLen] at kick time.
+	shards  []*shard
+	defsLen int
+	// deltaCut is how many delta-local queries the build folded; later
+	// appends stay in the (rebuilt) delta.
+	deltaCut int
+	err      error
+	took     time.Duration
+}
+
+// kickBuild snapshots the live query set and starts building the next
+// generation on a background goroutine. The snapshot copies the
+// removed flags (mutated in place by RemoveQuery) and captures the
+// defs slice header — the prefix [0, defsLen) is append-only, so the
+// builder reads it without synchronization. Caller must be on the
+// serialized mutation path with no build in flight.
+func (m *Monitor) kickBuild() {
+	defs := m.defs
+	live := make([]bool, len(defs))
+	for g := range defs {
+		live[g] = !m.loc[g].removed
+	}
+	m.building = true
+	m.kickDirty = m.dirty
+	m.dirty = 0
+	cut := len(m.deltaIDs)
+	hook := m.buildHook
+	go func() {
+		t0 := time.Now()
+		shards, err := m.buildShards(defs, live)
+		b := &genBuild{shards: shards, defsLen: len(defs), deltaCut: cut, err: err, took: time.Since(t0)}
+		if hook != nil {
+			hook()
 		}
+		m.built <- b
+	}()
+}
+
+// tryInstall installs a finished generation build if one is waiting,
+// without blocking. Called at the head of every serialized mutation
+// (AddQuery, RemoveQuery, ProcessBatch), which is what makes the swap
+// atomic: readers between events never observe a half-installed
+// generation, and no event ever waits on a build in progress.
+func (m *Monitor) tryInstall() {
+	if !m.building {
+		return
+	}
+	select {
+	case b := <-m.built:
+		m.install(b)
+	default:
+	}
+}
+
+// WaitRebuild blocks until the in-flight generation build (if any) is
+// delivered and installs it. Like any mutation it must be externally
+// serialized with Process/ProcessBatch and query churn. Tests and
+// operators use it to make rebuild timing deterministic; the monitor
+// itself never waits.
+func (m *Monitor) WaitRebuild() {
+	if m.closed || !m.building {
+		return
+	}
+	m.install(<-m.built)
+}
+
+// install swaps a built generation in: the shard set is replaced,
+// queries removed while the build ran are tombstoned in the new
+// indexes, the delta is rebuilt from its unfolded tail, and every live
+// query's results are carried into its new location — raw heap
+// transplants (no sorting, no re-heapification) followed by the usual
+// bulk-load threshold resync, so the swap costs O(live results) with
+// small constants, independent of the build's cost. On build error the
+// old generation keeps serving and the churn the build had claimed is
+// returned to the dirty budget.
+func (m *Monitor) install(b *genBuild) {
+	m.building = false
+	if b.err != nil {
+		// The old generation keeps serving (adds stay in the delta,
+		// removals stay tombstoned — exact, merely unprofitable), so
+		// the failure is not surfaced as a mutation error; it is
+		// recorded in GenStats and the next attempt is pushed out by a
+		// doubling fresh-churn backoff.
+		m.failedBuilds++
+		m.lastBuildErr = b.err
+		m.dirty += m.kickDirty
+		m.kickDirty = 0
+		if m.retryBackoff == 0 {
+			m.retryBackoff = max(m.cfg.RebuildThreshold/8, 1)
+		} else {
+			m.retryBackoff = min(2*m.retryBackoff, 8*m.cfg.RebuildThreshold)
+		}
+		m.retryAt = m.dirty + m.retryBackoff
+		return
+	}
+	t0 := time.Now()
+	// The old generation's stores stay readable after their workers
+	// stop; keep the old locations so each query's results can be
+	// carried from wherever they lived.
+	oldLoc := append([]location(nil), m.loc...)
+	oldShards, oldDelta := m.shards, m.delta
+	srcProc := func(g uint32) algo.Processor {
+		if l := oldLoc[g]; l.shard != deltaShard {
+			return oldShards[l.shard].proc
+		}
+		return oldDelta
 	}
 	m.stopWorkers()
-	m.shards = shards
+	m.shards = b.shards
 	if m.cfg.Shards > 1 {
 		for _, sh := range m.shards {
 			sh.startWorker()
 		}
 	}
-	m.pendingIDs = nil
-	m.pendingProc = nil
-	m.dirty = 0
-	if carried != nil {
-		for g, docs := range carried {
+	// carry moves one live query's results into its new processor.
+	// Queries with no results yet are skipped: the fresh processor is
+	// already in the exact warm-up state for them. Thresholds and bound
+	// structures are resynchronized wholesale afterwards (ResyncAll),
+	// so the whole carry is two memmoves per query plus one pass over
+	// each new sub-index — O(live results), independent of how
+	// expensive the build was.
+	carry := func(g uint32, dst algo.Processor, dstLocal uint32) {
+		src := srcProc(g)
+		if src.Results().Size(oldLoc[g].local) == 0 {
+			return
+		}
+		dst.Results().Transplant(dstLocal, src.Results(), oldLoc[g].local)
+	}
+	// Relocate folded queries; ones removed mid-build are tombstoned in
+	// the fresh indexes (their entries linger until the next build, as
+	// always, but they stop matching immediately).
+	tomb := 0
+	for s, sh := range m.shards {
+		for local, g := range sh.globalIDs {
 			if m.loc[g].removed {
+				sh.proc.Tombstone(uint32(local))
+				tomb++
 				continue
 			}
-			m.restore(g, docs)
+			carry(g, sh.proc, uint32(local))
+			m.loc[g] = location{shard: int32(s), local: uint32(local)}
 		}
+		sh.proc.ResyncAll()
 	}
-	return nil
+	// Rebuild the delta from its unfolded tail: queries added while the
+	// build ran. Cost is proportional to that churn, not to the total
+	// query set. Appends cannot fail — every definition was validated
+	// by the AddQuery that admitted it.
+	tail := m.deltaIDs[b.deltaCut:]
+	newDelta := algo.NewDelta()
+	newIDs := make([]uint32, 0, len(tail))
+	for _, g := range tail {
+		if m.loc[g].removed {
+			continue
+		}
+		local, err := newDelta.Append(m.defs[g].Vec, m.defs[g].K)
+		if err != nil {
+			panic(fmt.Sprintf("core: delta carry of validated query %d: %v", g, err))
+		}
+		carry(g, newDelta, local)
+		m.loc[g] = location{shard: deltaShard, local: local}
+		newIDs = append(newIDs, g)
+	}
+	newDelta.ResyncAll()
+	m.delta, m.deltaIDs = newDelta, newIDs
+	m.foldLen = b.defsLen
+	m.tombstones = tomb
+	m.generation++
+	m.builds++
+	m.kickDirty = 0
+	m.lastBuildErr = nil
+	m.retryAt, m.retryBackoff = 0, 0
+	m.lastBuild = b.took
+	m.lastInstall = time.Since(t0)
+	// Churn that accumulated during the build may already justify the
+	// next generation.
+	m.maybeKick()
 }
 
 // restore bulk-loads inflated results into query g's store.
@@ -331,8 +607,8 @@ func (m *Monitor) restore(g uint32, docs []topk.ScoredDoc) {
 
 // procFor returns the processor responsible for a location.
 func (m *Monitor) procFor(l location) algo.Processor {
-	if l.shard == pendingShard {
-		return m.pendingProc
+	if l.shard == deltaShard {
+		return m.delta
 	}
 	return m.shards[l.shard].proc
 }
@@ -352,96 +628,37 @@ func (m *Monitor) dump() map[uint32][]topk.ScoredDoc {
 	return out
 }
 
-// AddQuery registers a query while the stream runs. It lands in the
-// pending sidecar (matched exhaustively, which is exact) and is folded
-// into the main indexes at the next rebuild.
+// AddQuery registers a query while the stream runs. It appends to the
+// delta segment in O(|q|) — no sidecar rebuild, no index rebuild on
+// this call path, regardless of how much churn is already pending —
+// and the query is folded into the main shard indexes by the next
+// generation build. A failed validation leaves the monitor exactly as
+// it was and the next add reuses the same global ID.
 func (m *Monitor) AddQuery(def QueryDef) (uint32, error) {
 	if m.closed {
 		return 0, ErrClosed
 	}
-	if err := def.Vec.Validate(); err != nil {
+	m.tryInstall()
+	// Validation (sorted non-empty vector, k in range) is owned by the
+	// delta append — a single O(|q|) walk; on error nothing is mutated.
+	local, err := m.delta.Append(def.Vec, def.K)
+	if err != nil {
 		return 0, err
-	}
-	if len(def.Vec) == 0 {
-		return 0, fmt.Errorf("core: empty query vector")
-	}
-	if def.K < 1 {
-		return 0, fmt.Errorf("core: k must be ≥ 1, got %d", def.K)
 	}
 	g := uint32(len(m.defs))
 	m.defs = append(m.defs, def)
-	m.loc = append(m.loc, location{shard: pendingShard})
-	m.pendingIDs = append(m.pendingIDs, g)
+	m.loc = append(m.loc, location{shard: deltaShard, local: local})
+	m.deltaIDs = append(m.deltaIDs, g)
 	m.dirty++
-	if err := m.rebuildPending(); err != nil {
-		m.rollbackAdd(false)
-		return 0, err
-	}
-	if err := m.maybeRebuild(); err != nil {
-		m.rollbackAdd(true)
-		return 0, err
-	}
+	m.maybeKick()
 	return g, nil
 }
 
-// rollbackAdd undoes the registration of the most recently appended
-// query after a failed rebuild, so a failed AddQuery leaves the
-// monitor exactly as it was (same query set, same results, and the
-// next add reuses the same global ID). resync marks that the pending
-// sidecar was already rebuilt around the doomed query and must be
-// rebuilt once more without it — that rebuild cannot fail, since the
-// identical sidecar existed before the add.
-func (m *Monitor) rollbackAdd(resync bool) {
-	m.defs = m.defs[:len(m.defs)-1]
-	m.loc = m.loc[:len(m.loc)-1]
-	m.pendingIDs = m.pendingIDs[:len(m.pendingIDs)-1]
-	m.dirty--
-	if resync {
-		_ = m.rebuildPending()
-	}
-}
-
-// rebuildPending reconstructs the pending sidecar, carrying results of
-// queries already pending.
-func (m *Monitor) rebuildPending() error {
-	carried := make(map[uint32][]topk.ScoredDoc)
-	if m.pendingProc != nil {
-		// The sidecar can briefly hold more queries than pendingIDs
-		// lists (an add being rolled back); clamp to the IDs we track.
-		for local, g := range m.pendingIDs[:min(len(m.pendingIDs), m.pendingProc.Results().NumQueries())] {
-			if docs := m.pendingProc.Results().Top(uint32(local)); len(docs) > 0 {
-				carried[g] = docs
-			}
-		}
-	}
-	vecs := make([]textproc.Vector, len(m.pendingIDs))
-	ks := make([]int, len(m.pendingIDs))
-	for i, g := range m.pendingIDs {
-		vecs[i] = m.defs[g].Vec
-		ks[i] = m.defs[g].K
-	}
-	ix, err := index.Build(vecs, ks)
-	if err != nil {
-		return err
-	}
-	// The sidecar is exhaustive: tiny query count, zero bound
-	// maintenance, exactness for free.
-	proc, err := algo.NewExhaustive(ix)
-	if err != nil {
-		return err
-	}
-	m.pendingProc = proc
-	for local, g := range m.pendingIDs {
-		m.loc[g] = location{shard: pendingShard, local: uint32(local)}
-		if docs, ok := carried[g]; ok {
-			m.restore(g, docs)
-		}
-	}
-	return nil
-}
-
-// RemoveQuery unregisters a query. Its index entries linger (correct,
-// merely unprofitable) until the next rebuild sweeps them out.
+// RemoveQuery unregisters a query in O(1): it is tombstoned where it
+// lives, so it stops being scored (and stops dirtying the change
+// record) from the very next event. Its index entries linger (correct,
+// merely unprofitable) until the next generation build sweeps them
+// out.
 func (m *Monitor) RemoveQuery(g uint32) error {
 	if m.closed {
 		return ErrClosed
@@ -452,18 +669,33 @@ func (m *Monitor) RemoveQuery(g uint32) error {
 	if m.loc[g].removed {
 		return ErrRemovedQuery
 	}
+	m.tryInstall()
+	l := m.loc[g]
 	m.loc[g].removed = true
+	if l.shard == deltaShard {
+		m.delta.Tombstone(l.local)
+	} else {
+		m.shards[l.shard].proc.Tombstone(l.local)
+	}
+	m.tombstones++
 	m.dirty++
-	return m.maybeRebuild()
+	m.maybeKick()
+	return nil
 }
 
-// maybeRebuild folds pending changes into the main indexes once the
-// dirty budget is spent.
-func (m *Monitor) maybeRebuild() error {
-	if m.dirty < m.cfg.RebuildThreshold {
-		return nil
+// maybeKick starts the next generation build once the dirty budget is
+// spent. In background mode the build runs concurrently with event
+// traffic against the old generation and installs at a later mutation;
+// in sync mode (the legacy ablation control) the caller blocks until
+// the generation is built and installed.
+func (m *Monitor) maybeKick() {
+	if m.building || m.dirty < m.cfg.RebuildThreshold || m.dirty < m.retryAt {
+		return
 	}
-	return m.rebuild(m.dump())
+	m.kickBuild()
+	if m.cfg.Rebuild == RebuildSync {
+		m.WaitRebuild()
+	}
 }
 
 // stopWorkers drains and joins every shard worker.
@@ -473,14 +705,25 @@ func (m *Monitor) stopWorkers() {
 	}
 }
 
-// Close shuts down the monitor's shard workers. The monitor stops
-// accepting events and query mutations; result reads stay valid.
-// Close is idempotent.
+// Close shuts down the monitor's shard workers, joining any in-flight
+// generation build first (the built-but-uninstalled shards are
+// discarded — the serving generation already holds all results). The
+// monitor stops accepting events and query mutations; result reads
+// stay valid. Close is idempotent.
 func (m *Monitor) Close() error {
 	if m.closed {
 		return nil
 	}
 	m.closed = true
+	if m.building {
+		b := <-m.built
+		m.building = false
+		for _, sh := range b.shards {
+			if sh != nil {
+				sh.stopWorker()
+			}
+		}
+	}
 	m.stopWorkers()
 	return nil
 }
@@ -506,9 +749,7 @@ func (m *Monitor) discardChanges() {
 	for _, sh := range m.shards {
 		sh.proc.DrainChanged(nil)
 	}
-	if m.pendingProc != nil {
-		m.pendingProc.DrainChanged(nil)
-	}
+	m.delta.DrainChanged(nil)
 }
 
 // collectChanges gathers the global IDs of every query whose top-k
@@ -519,9 +760,10 @@ func (m *Monitor) discardChanges() {
 func (m *Monitor) collectChanges() []uint32 {
 	m.changed = m.changed[:0]
 	keep := func(g uint32) {
-		// A removed query's index entries linger until the next rebuild
-		// and may still admit documents; those phantom updates are
-		// invisible through Top and must not be notified either.
+		// Tombstones stop a removed query from admitting documents the
+		// moment it is removed, but a query can be removed after a
+		// batch marked it changed and before the drain; such phantom
+		// updates are invisible through Top and must not be notified.
 		if !m.loc[g].removed {
 			m.changed = append(m.changed, g)
 		}
@@ -530,9 +772,7 @@ func (m *Monitor) collectChanges() []uint32 {
 		ids := sh.globalIDs
 		sh.proc.DrainChanged(func(local uint32) { keep(ids[local]) })
 	}
-	if m.pendingProc != nil {
-		m.pendingProc.DrainChanged(func(local uint32) { keep(m.pendingIDs[local]) })
-	}
+	m.delta.DrainChanged(func(local uint32) { keep(m.deltaIDs[local]) })
 	return m.changed
 }
 
@@ -570,6 +810,10 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 	if len(docs) == 0 {
 		return EventStats{}, nil
 	}
+	// Install a finished background generation build, if one is
+	// waiting. Non-blocking: a build still in flight leaves the old
+	// generation serving this batch.
+	m.tryInstall()
 	// Changes recorded outside the event path (bulk restores, rebuild
 	// carries) are not stream-event notifications: drop them so the
 	// post-batch collection reports exactly this batch's changes.
@@ -580,13 +824,10 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 	}
 	e := m.decay.Factor(t)
 
-	// The pending sidecar runs on the caller's goroutine — in the
+	// The delta segment runs on the caller's goroutine — in the
 	// multi-shard case concurrently with the shard workers.
 	pending := func() algo.EventMetrics {
-		if m.pendingProc == nil {
-			return algo.EventMetrics{}
-		}
-		return matchAll(m.pendingProc, m.rebases, docs, e)
+		return matchAll(m.delta, m.rebases, docs, e)
 	}
 
 	var st EventStats
@@ -668,6 +909,10 @@ func (m *Monitor) Repartition() error {
 	if m.closed {
 		return ErrClosed
 	}
+	// Like every serialized mutation, land a finished generation build
+	// first — repartitioning shards that an install is about to replace
+	// would be wasted index builds.
+	m.tryInstall()
 	for s, sh := range m.shards {
 		if par, ok := sh.proc.(*algo.Parallel); ok {
 			if _, err := par.Repartition(); err != nil {
@@ -682,9 +927,9 @@ func (m *Monitor) Repartition() error {
 // share of the shard's queries and estimated posting mass, plus the
 // matching work observed since the partition was last (re)created.
 type PartitionStat struct {
-	// Shard is the owning shard's index, or -1 for the pending
-	// sidecar (recently added queries matched exhaustively until the
-	// next rebuild folds them into the shards).
+	// Shard is the owning shard's index, or -1 for the delta segment
+	// (recently added queries matched exhaustively until the next
+	// generation build folds them into the shards).
 	Shard int
 	// Queries is the number of queries in the partition's range.
 	Queries int
@@ -723,16 +968,75 @@ func (m *Monitor) PartitionStats() []PartitionStat {
 			})
 		}
 	}
-	pending := 0
-	for _, g := range m.pendingIDs {
-		if !m.loc[g].removed {
-			pending++
-		}
-	}
-	if pending > 0 {
+	if pending := m.deltaLive(); pending > 0 {
 		out = append(out, PartitionStat{Shard: -1, Queries: pending})
 	}
 	return out
+}
+
+// deltaLive counts the delta segment's live (non-removed) queries.
+func (m *Monitor) deltaLive() int {
+	n := 0
+	for _, g := range m.deltaIDs {
+		if !m.loc[g].removed {
+			n++
+		}
+	}
+	return n
+}
+
+// GenStats surfaces the generational index's churn state: how large
+// the delta segment has grown, how many tombstoned entries linger in
+// the current generation, and what the background builder has been
+// doing.
+type GenStats struct {
+	// Generation counts installed generation builds since the monitor
+	// (or the snapshot it was restored from) started.
+	Generation uint64
+	// Building reports a generation build in flight (started but not
+	// yet installed).
+	Building bool
+	// Builds and FailedBuilds count completed generation builds.
+	Builds, FailedBuilds uint64
+	// DeltaQueries is the number of live queries in the delta segment;
+	// DeltaPostings its total posting count (tombstoned ones included).
+	DeltaQueries, DeltaPostings int
+	// Tombstones is the number of removed queries whose index entries
+	// linger in the current generation or delta until the next build.
+	Tombstones int
+	// Dirty is the churn (adds + removals) not yet claimed by a
+	// generation build.
+	Dirty int
+	// LastBuildMS and LastInstallMS are the wall time of the most
+	// recent successful generation build (concurrent with traffic in
+	// background mode) and of its install swap (on the mutation path).
+	LastBuildMS, LastInstallMS float64
+	// LastBuildError is the most recent failed build's error (empty
+	// after a success). Mutations never surface build failures — the
+	// old generation keeps serving exactly — so this is where they are
+	// observable; retries back off by doubling fresh-churn budgets.
+	LastBuildError string
+}
+
+// GenStats reports the generational index state. Safe between events,
+// like result reads.
+func (m *Monitor) GenStats() GenStats {
+	gs := GenStats{
+		Generation:    m.generation,
+		Building:      m.building,
+		Builds:        m.builds,
+		FailedBuilds:  m.failedBuilds,
+		DeltaQueries:  m.deltaLive(),
+		DeltaPostings: m.delta.Postings(),
+		Tombstones:    m.tombstones,
+		Dirty:         m.dirty,
+		LastBuildMS:   float64(m.lastBuild) / float64(time.Millisecond),
+		LastInstallMS: float64(m.lastInstall) / float64(time.Millisecond),
+	}
+	if m.lastBuildErr != nil {
+		gs.LastBuildError = m.lastBuildErr.Error()
+	}
+	return gs
 }
 
 // ChangedQueries drains and returns the global IDs of queries whose

@@ -356,7 +356,7 @@ func TestAddQueryRollback(t *testing.T) {
 		}
 	}
 	nBefore, resBefore := monitorFingerprint(t, m)
-	pendingBefore := len(m.pendingIDs)
+	pendingBefore := len(m.deltaIDs)
 
 	bad := QueryDef{Vec: extra[1].Vec, K: math.MaxInt32}
 	if _, err := m.AddQuery(bad); err == nil {
@@ -370,8 +370,8 @@ func TestAddQueryRollback(t *testing.T) {
 	if len(m.defs) != len(m.loc) || len(m.defs) != nBefore {
 		t.Fatalf("registration arrays diverged: defs=%d loc=%d live=%d", len(m.defs), len(m.loc), nBefore)
 	}
-	if len(m.pendingIDs) != pendingBefore {
-		t.Fatalf("pending grew by failed add: %d → %d", pendingBefore, len(m.pendingIDs))
+	if len(m.deltaIDs) != pendingBefore {
+		t.Fatalf("delta grew by failed add: %d → %d", pendingBefore, len(m.deltaIDs))
 	}
 	if len(resAfter) != len(resBefore) {
 		t.Fatalf("result sets changed: %d → %d queries", len(resBefore), len(resAfter))
@@ -406,9 +406,9 @@ func TestAddQueryRollback(t *testing.T) {
 	}
 }
 
-// TestAddQueryRollbackAtRebuildThreshold exercises the second rollback
-// arm: the doomed add also trips the rebuild threshold, so the pending
-// sidecar has to be rebuilt around the removal.
+// TestAddQueryRollbackAtRebuildThreshold: a doomed add that would have
+// tripped the rebuild threshold must consume no dirty budget and leave
+// the delta segment (with its accumulated results) untouched.
 func TestAddQueryRollbackAtRebuildThreshold(t *testing.T) {
 	defs := defsFromWorkload(t, workload.Uniform, 20, 2, 22)
 	extra := defsFromWorkload(t, workload.Uniform, 3, 2, 23)

@@ -78,8 +78,14 @@ func (l *PostingList) Seek(from int, id uint32) int {
 	})
 }
 
-// Index is the immutable structural part of the query index. Dynamic
-// state (thresholds S_k(q), ratio maxima) belongs to the algorithms.
+// Index is the structural part of the query index. Dynamic state
+// (thresholds S_k(q), ratio maxima) belongs to the algorithms. The
+// structure is immutable after Build except for two narrowly scoped
+// mutations that support query churn: per-query tombstones (Tombstone
+// marks a removed query so the match loops stop scoring it while its
+// postings linger until the next generation build sweeps them), and
+// incremental appends through the Segment wrapper (delta generations
+// only).
 type Index struct {
 	lists map[textproc.TermID]*PostingList
 
@@ -89,6 +95,11 @@ type Index struct {
 	weights []float64         // parallel to terms
 	refs    []Ref             // parallel to terms: where each (q, term) posting lives
 	ks      []uint16          // per-query k
+
+	// dead marks tombstoned queries (lazily allocated: indexes that
+	// never see a removal pay one nil check per candidate).
+	dead      []bool
+	deadCount int
 }
 
 // MaxK bounds per-query k; it exists only to keep the arena compact.
@@ -169,6 +180,27 @@ func (ix *Index) Lists(fn func(*PostingList)) {
 
 // K returns query q's result size.
 func (ix *Index) K(q uint32) int { return int(ix.ks[q]) }
+
+// Tombstone marks query q removed. Its postings stay in the lists
+// (they still cost iteration and may widen pruning bounds — correct,
+// merely unprofitable) but Dead lets the match loops skip scoring it,
+// so a removed query stops matching immediately rather than at the
+// next index rebuild. Idempotent. Not safe concurrently with matching.
+func (ix *Index) Tombstone(q uint32) {
+	if ix.dead == nil {
+		ix.dead = make([]bool, len(ix.ks))
+	}
+	if !ix.dead[q] {
+		ix.dead[q] = true
+		ix.deadCount++
+	}
+}
+
+// Dead reports whether query q is tombstoned.
+func (ix *Index) Dead(q uint32) bool { return ix.dead != nil && ix.dead[q] }
+
+// Tombstones returns the number of tombstoned queries.
+func (ix *Index) Tombstones() int { return ix.deadCount }
 
 // QueryTerms returns query q's terms and weights as sub-slices of the
 // shared arenas. Callers must not mutate them.

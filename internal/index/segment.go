@@ -1,0 +1,71 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/textproc"
+)
+
+// Segment is an appendable index generation: the delta segment of the
+// generational query index. Where Build freezes a whole query set up
+// front, a Segment starts empty and grows one query at a time in
+// O(|q|) — appends assign the next query ID, so every posting lands at
+// the tail of its term's list and ID ordering (the invariant the
+// cursor algorithms rely on) is preserved for free. Together with the
+// tombstones inherited from Index, a Segment supports the full churn
+// cycle — add, match, remove — without ever rebuilding.
+//
+// Appends are not safe concurrently with matching; the monitor
+// serializes them like any other mutation.
+type Segment struct {
+	*Index
+}
+
+// NewSegment returns an empty appendable segment.
+func NewSegment() *Segment {
+	ix, err := Build(nil, nil)
+	if err != nil { // cannot happen for the empty query set
+		panic(fmt.Sprintf("index: empty build failed: %v", err))
+	}
+	return &Segment{Index: ix}
+}
+
+// Append adds one query to the segment, assigning the next query ID.
+// The vector must be sorted, validated and non-empty, and
+// 1 ≤ k ≤ MaxK. Cost is O(|q|): one posting append per term, no
+// rebuilding of existing state.
+func (s *Segment) Append(v textproc.Vector, k int) (uint32, error) {
+	if err := v.Validate(); err != nil {
+		return 0, fmt.Errorf("index: append: %w", err)
+	}
+	if len(v) == 0 {
+		return 0, fmt.Errorf("index: append: empty query")
+	}
+	if k < 1 || k > MaxK {
+		return 0, fmt.Errorf("index: append: k=%d outside [1,%d]", k, MaxK)
+	}
+	if len(s.ks) >= math.MaxUint32 {
+		return 0, fmt.Errorf("index: append: %d queries exhaust ID space", len(s.ks))
+	}
+	q := uint32(len(s.ks))
+	s.ks = append(s.ks, uint16(k))
+	for _, tw := range v {
+		l := s.lists[tw.Term]
+		if l == nil {
+			l = &PostingList{Term: tw.Term}
+			s.lists[tw.Term] = l
+		}
+		// q is the largest ID ever assigned, so the tail append keeps
+		// the list ID-ordered.
+		l.P = append(l.P, Posting{QID: q, W: tw.Weight})
+		s.terms = append(s.terms, tw.Term)
+		s.weights = append(s.weights, tw.Weight)
+		s.refs = append(s.refs, Ref{Term: tw.Term, Pos: uint32(len(l.P) - 1)})
+	}
+	s.offsets = append(s.offsets, uint32(len(s.terms)))
+	if s.dead != nil {
+		s.dead = append(s.dead, false)
+	}
+	return q, nil
+}

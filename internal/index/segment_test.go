@@ -1,0 +1,122 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// TestSegmentAppendMatchesBuild: appending queries one at a time must
+// reproduce exactly the structure Build freezes up front — same lists,
+// same ID ordering, same arenas — since the matching algorithms walk
+// both the same way.
+func TestSegmentAppendMatchesBuild(t *testing.T) {
+	vecs := []textproc.Vector{
+		vec(tw(1, 0.6), tw(2, 0.8)),
+		vec(tw(2, 1.0)),
+		vec(tw(1, 0.3), tw(3, 0.7), tw(5, 0.2)),
+		vec(tw(3, 1.0)),
+		vec(tw(1, 1.0)),
+	}
+	ks := []int{10, 5, 1, 7, 2}
+	want := mustBuild(t, vecs, ks)
+
+	s := NewSegment()
+	for i, v := range vecs {
+		q, err := s.Append(v, ks[i])
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if q != uint32(i) {
+			t.Fatalf("append %d assigned ID %d", i, q)
+		}
+	}
+	if s.NumQueries() != want.NumQueries() || s.NumLists() != want.NumLists() || s.NumPostings() != want.NumPostings() {
+		t.Fatalf("shape: %d/%d/%d vs %d/%d/%d", s.NumQueries(), s.NumLists(), s.NumPostings(),
+			want.NumQueries(), want.NumLists(), want.NumPostings())
+	}
+	want.Lists(func(wl *PostingList) {
+		gl := s.List(wl.Term)
+		if gl == nil || gl.Len() != wl.Len() {
+			t.Fatalf("list %d: %+v vs %+v", wl.Term, gl, wl)
+		}
+		for i := range wl.P {
+			if gl.P[i] != wl.P[i] {
+				t.Fatalf("list %d posting %d: %+v vs %+v", wl.Term, i, gl.P[i], wl.P[i])
+			}
+		}
+	})
+	for q := uint32(0); q < uint32(len(vecs)); q++ {
+		if s.K(q) != want.K(q) {
+			t.Fatalf("query %d k: %d vs %d", q, s.K(q), want.K(q))
+		}
+		gt, gw := s.QueryTerms(q)
+		wt, ww := want.QueryTerms(q)
+		if len(gt) != len(wt) {
+			t.Fatalf("query %d terms: %v vs %v", q, gt, wt)
+		}
+		for i := range wt {
+			if gt[i] != wt[i] || gw[i] != ww[i] {
+				t.Fatalf("query %d term %d differs", q, i)
+			}
+		}
+		gr, wr := s.Refs(q), want.Refs(q)
+		for i := range wr {
+			if gr[i] != wr[i] {
+				t.Fatalf("query %d ref %d: %+v vs %+v", q, i, gr[i], wr[i])
+			}
+		}
+	}
+}
+
+// TestSegmentAppendValidation: invalid input is rejected without
+// mutating the segment.
+func TestSegmentAppendValidation(t *testing.T) {
+	s := NewSegment()
+	if _, err := s.Append(nil, 5); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := s.Append(vec(tw(2, 0.5), tw(1, 0.5)), 5); err == nil {
+		t.Fatal("unsorted query accepted")
+	}
+	if _, err := s.Append(vec(tw(1, 1.0)), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := s.Append(vec(tw(1, 1.0)), MaxK+1); err == nil {
+		t.Fatal("oversized k accepted")
+	}
+	if s.NumQueries() != 0 || s.NumPostings() != 0 {
+		t.Fatalf("failed appends mutated the segment: %d queries, %d postings",
+			s.NumQueries(), s.NumPostings())
+	}
+}
+
+// TestTombstones: tombstoned queries report Dead, the count tracks,
+// and appends after a tombstone keep the bitmap aligned.
+func TestTombstones(t *testing.T) {
+	s := NewSegment()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(vec(tw(textproc.TermID(i+1), 1.0)), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Dead(0) || s.Dead(2) || s.Tombstones() != 0 {
+		t.Fatal("fresh segment has tombstones")
+	}
+	s.Tombstone(1)
+	s.Tombstone(1) // idempotent
+	if !s.Dead(1) || s.Dead(0) || s.Dead(2) || s.Tombstones() != 1 {
+		t.Fatalf("tombstone state: dead=%v/%v/%v count=%d", s.Dead(0), s.Dead(1), s.Dead(2), s.Tombstones())
+	}
+	q, err := s.Append(vec(tw(9, 1.0)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dead(q) {
+		t.Fatal("freshly appended query born dead")
+	}
+	s.Tombstone(q)
+	if !s.Dead(q) || s.Tombstones() != 2 {
+		t.Fatal("tombstone after growth failed")
+	}
+}

@@ -1,0 +1,216 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// churnFixture builds the generational monitor under test (tiny
+// rebuild budget, background builds), a never-rebuilding reference,
+// a pool of extra query definitions and a stream.
+func churnFixture(t *testing.T) (gen, ref *core.Monitor, extra []core.QueryDef, events []stream.Event) {
+	t.Helper()
+	model := corpus.WikipediaModel(500)
+	model.DocLenMedian = 20
+	qs, err := workload.Generate(model, workload.DefaultConfig(workload.Uniform, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := make([]core.QueryDef, len(qs))
+	for i, q := range qs {
+		defs[i] = core.QueryDef{Vec: q.Vec, K: 3}
+	}
+	gen, err = core.NewMonitor(core.Config{Lambda: 0.02, RebuildThreshold: 4}, defs[:35])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err = core.NewMonitor(core.Config{Lambda: 0.02, RebuildThreshold: 1 << 30}, defs[:35])
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra = defs[35:]
+	gensrc := corpus.NewGenerator(model, 177, 200)
+	src, err := stream.NewSource(gensrc, 10, 178)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen, ref, extra, src.Take(200)
+}
+
+// churnStep applies one identical chunk of churn + traffic to both
+// monitors.
+func churnStep(t *testing.T, step int, evs []stream.Event, extra []core.QueryDef, mons ...*core.Monitor) {
+	t.Helper()
+	at := evs[len(evs)-1].Time
+	for _, ev := range evs {
+		for _, m := range mons {
+			if _, err := m.Process(ev.Doc, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if step < len(extra) {
+		for _, m := range mons {
+			if _, err := m.AddQuery(extra[step]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if step%2 == 1 {
+		victim := uint32((step * 5) % 35)
+		for _, m := range mons {
+			if err := m.RemoveQuery(victim); err != nil && !errors.Is(err, core.ErrRemovedQuery) {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func expectSame(t *testing.T, label string, a, b *core.Monitor, n int) {
+	t.Helper()
+	for g := uint32(0); g < uint32(n); g++ {
+		x, errA := a.TopInflated(g)
+		y, errB := b.TopInflated(g)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: query %d: %v vs %v", label, g, errA, errB)
+		}
+		if len(x) != len(y) {
+			t.Fatalf("%s: query %d: %d vs %d results", label, g, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: query %d rank %d: %+v vs %+v", label, g, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+// TestChurnMatchesFreshBuildAcrossSnapshot closes the acceptance loop
+// for wire v4: a churning generational monitor is snapshotted mid-run
+// (with a live delta segment and lingering tombstones), restored, and
+// driven through the rest of the timeline — results must stay
+// bit-identical to a monitor that replayed the whole timeline without
+// ever rebuilding, and the persisted layout must round-trip exactly.
+func TestChurnMatchesFreshBuildAcrossSnapshot(t *testing.T) {
+	gen, ref, extra, events := churnFixture(t)
+	defer gen.Close()
+	defer ref.Close()
+
+	const chunk = 10
+	half := len(events) / 2
+	for i := 0; i < half; i += chunk {
+		churnStep(t, i/chunk, events[i:i+chunk], extra, gen, ref)
+	}
+	gen.WaitRebuild()
+	if gs := gen.GenStats(); gs.Builds == 0 {
+		t.Fatalf("fixture tripped no generation builds: %+v", gs)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, gen); err != nil {
+		t.Fatal(err)
+	}
+	wantLay := gen.Layout()
+	restored, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Layout(); got != wantLay {
+		t.Fatalf("layout did not round-trip: %+v vs %+v", got, wantLay)
+	}
+
+	for i := half; i < len(events); i += chunk {
+		churnStep(t, i/chunk, events[i:min(i+chunk, len(events))], extra, gen, ref, restored)
+	}
+	total := 35 + min(len(events)/chunk, len(extra))
+	gen.WaitRebuild()
+	restored.WaitRebuild()
+	expectSame(t, "gen vs ref", ref, gen, total)
+	expectSame(t, "restored vs ref", ref, restored, total)
+}
+
+// TestLoadMonitorV2 crafts a pre-generational (version 2) monitor
+// stream and checks it still loads: the whole query set restores
+// folded into one main generation, results intact.
+func TestLoadMonitorV2(t *testing.T) {
+	m, events := fixture(t)
+	defer m.Close()
+	for _, ev := range events[:80] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RemoveQuery(7); err != nil {
+		t.Fatal(err)
+	}
+
+	st := capture(m)
+	st.Version = versionNoLayout
+	st.FoldLen, st.Generation, st.Dirty = 0, 0, 0 // fields a v2 writer never set
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("v2 monitor stream rejected: %v", err)
+	}
+	defer restored.Close()
+	lay := restored.Layout()
+	if lay.FoldLen != 60 || lay.Generation != 0 || lay.Dirty != 0 {
+		t.Fatalf("v2 restore layout = %+v, want fully folded", lay)
+	}
+	if _, err := restored.Top(7); !errors.Is(err, core.ErrRemovedQuery) {
+		t.Fatalf("removed query resurrected from v2 stream: %v", err)
+	}
+	expectSame(t, "v2 restore", m, restored, 60)
+
+	// Unknown versions still fail loudly.
+	st.Version = 99
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+}
+
+// TestLoadEngineAcceptsV3: an engine stream written before the
+// generational layout (version 3, with Seqs; monitor state version 2)
+// still loads with its sequence numbers intact.
+func TestLoadEngineAcceptsV3(t *testing.T) {
+	m, _ := fixture(t)
+	defer m.Close()
+	mon := capture(m)
+	mon.Version = versionNoLayout
+	mon.FoldLen, mon.Generation, mon.Dirty = 0, 0, 0
+	ts := TextState{
+		Terms: []string{"solar"}, DF: []uint32{1}, DocsObserved: 1, NextDoc: 1,
+		Seqs: map[uint32]uint64{4: 9},
+	}
+	st := engineState{Version: engineVersionNoLayout, Monitor: mon, Text: ts}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	m3, got, err := LoadEngine(&buf, core.Config{})
+	if err != nil {
+		t.Fatalf("v3 engine snapshot rejected: %v", err)
+	}
+	defer m3.Close()
+	if got.Seqs[4] != 9 || len(got.Seqs) != 1 {
+		t.Fatalf("v3 seqs did not survive: %v", got.Seqs)
+	}
+	if lay := m3.Layout(); lay.FoldLen != 60 {
+		t.Fatalf("v3 monitor not fully folded: %+v", lay)
+	}
+}

@@ -25,23 +25,31 @@ import (
 // boundKind converts the persisted integer back to a rangemax.Kind.
 func boundKind(i int) rangemax.Kind { return rangemax.Kind(i) }
 
-// version guards the wire format. Version 2 encodes the full query ID
-// space (removed queries included, with a Removed list) plus lifetime
-// counters; a version-1 consumer would silently resurrect removed
-// queries from a v2 stream, so the bump makes it fail loudly instead.
-const version = 2
+// version guards the wire format. Version 3 adds the generational
+// layout (FoldLen, Generation, Dirty): which trailing queries live in
+// the delta segment rather than the main generation, so a restored
+// monitor resumes with the identical layout and rebuild cadence.
+// Version 2 (full ID space with a Removed list, lifetime counters) is
+// still readable — its whole query set restores folded into one main
+// generation, which is result-invariant.
+const version = 3
 
-// engineVersion guards the engine-level wire format. Version 3 adds
-// the per-query notification sequence numbers (TextState.Seqs), so a
-// watcher's Seq-gap drop detection survives a snapshot restart; the
-// jump from 1 skips 2 to keep engine versions visibly distinct from
-// the monitor's. Version-1 streams (no Seqs) are still readable —
-// their sequence numbers restart at zero, exactly the pre-persistence
-// behaviour.
-const engineVersion = 3
+// versionNoLayout is the oldest monitor format still accepted.
+const versionNoLayout = 2
 
-// engineVersionNoSeqs is the oldest engine format still accepted.
-const engineVersionNoSeqs = 1
+// engineVersion guards the engine-level wire format. Version 4 wraps a
+// version-3 monitor state, persisting the generational delta +
+// tombstone layout. Version 3 (which added the per-query notification
+// sequence numbers, TextState.Seqs) and version 1 (no Seqs) are still
+// readable.
+const engineVersion = 4
+
+// engineVersionNoLayout and engineVersionNoSeqs are the older engine
+// formats still accepted.
+const (
+	engineVersionNoLayout = 3
+	engineVersionNoSeqs   = 1
+)
 
 // state is the gob wire format of a monitor.
 type state struct {
@@ -74,6 +82,17 @@ type state struct {
 	// instead of restarting from zero.
 	Events uint64
 	Totals core.EventStats
+
+	// Generational layout (version ≥ 3): queries with ID < FoldLen
+	// restore into the main generation, later ones into the delta
+	// segment; Generation and Dirty resume the build counter and the
+	// rebuild cadence. Version-2 streams leave all three zero and
+	// restore fully folded (FoldLen is clamped to the ID space, so a
+	// zero FoldLen from an old stream means "fold everything" via the
+	// loader's fix-up below).
+	FoldLen    int
+	Generation uint64
+	Dirty      int
 }
 
 // TextState is the engine-level state layered over the monitor: the
@@ -131,6 +150,8 @@ func capture(m *core.Monitor) state {
 	}
 	st.Now, st.DecayBase, st.Results = m.DumpState()
 	st.Events, st.Totals = m.Events(), m.Totals()
+	lay := m.Layout()
+	st.FoldLen, st.Generation, st.Dirty = lay.FoldLen, lay.Generation, lay.Dirty
 	return st
 }
 
@@ -144,7 +165,7 @@ func capture(m *core.Monitor) state {
 // is always taken from the snapshot — the persisted scores are in its
 // units.
 func build(st state, shape core.Config) (*core.Monitor, error) {
-	if st.Version != version {
+	if st.Version != version && st.Version != versionNoLayout {
 		return nil, fmt.Errorf("snapshot: unsupported version %d", st.Version)
 	}
 	defs := make([]core.QueryDef, len(st.IDs))
@@ -177,15 +198,28 @@ func build(st state, shape core.Config) (*core.Monitor, error) {
 	if shape.Partition != "" {
 		cfg.Partition = shape.Partition
 	}
-	m, err := core.NewMonitor(cfg, defs)
+	if shape.Rebuild != "" {
+		cfg.Rebuild = shape.Rebuild
+	}
+	if shape.RebuildThreshold != 0 {
+		cfg.RebuildThreshold = shape.RebuildThreshold
+	}
+	removed := make([]bool, len(defs))
+	for _, g := range st.Removed {
+		if int(g) >= len(defs) {
+			return nil, fmt.Errorf("snapshot: removed query %d outside ID space", g)
+		}
+		removed[g] = true
+	}
+	lay := core.Layout{FoldLen: st.FoldLen, Generation: st.Generation, Dirty: st.Dirty}
+	if st.Version == versionNoLayout {
+		// Pre-generational stream: everything folds into one main
+		// generation (result-invariant).
+		lay = core.Layout{FoldLen: len(defs)}
+	}
+	m, err := core.NewMonitorWithLayout(cfg, defs, removed, lay)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: rebuild: %w", err)
-	}
-	for _, g := range st.Removed {
-		if err := m.RemoveQuery(g); err != nil {
-			m.Close()
-			return nil, fmt.Errorf("snapshot: re-remove query %d: %w", g, err)
-		}
 	}
 	if err := m.RestoreState(st.Now, st.DecayBase, st.Results); err != nil {
 		m.Close()
@@ -236,7 +270,9 @@ func LoadEngine(r io.Reader, shape core.Config) (*core.Monitor, TextState, error
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, TextState{}, fmt.Errorf("snapshot: decode engine: %w", err)
 	}
-	if st.Version != engineVersion && st.Version != engineVersionNoSeqs {
+	switch st.Version {
+	case engineVersion, engineVersionNoLayout, engineVersionNoSeqs:
+	default:
 		return nil, TextState{}, fmt.Errorf("snapshot: unsupported engine version %d", st.Version)
 	}
 	m, err := build(st.Monitor, shape)

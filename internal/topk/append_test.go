@@ -1,0 +1,94 @@
+package topk
+
+import "testing"
+
+// TestStoreAppend: a store grown query by query behaves exactly like
+// one allocated with the full k vector up front.
+func TestStoreAppend(t *testing.T) {
+	ks := []int{3, 1, 4}
+	grown, err := NewStore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range ks {
+		q, err := grown.Append(k)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if q != uint32(i) {
+			t.Fatalf("append %d assigned ID %d", i, q)
+		}
+	}
+	flat, err := NewStore(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offers := []struct {
+		q     uint32
+		doc   uint64
+		score float64
+	}{
+		{0, 1, 5}, {0, 2, 3}, {0, 3, 7}, {0, 4, 4}, // evicts doc 2
+		{1, 5, 2}, {1, 6, 1}, // rejected
+		{2, 7, 9},
+	}
+	for _, o := range offers {
+		a1, t1 := grown.Add(o.q, o.doc, o.score)
+		a2, t2 := flat.Add(o.q, o.doc, o.score)
+		if a1 != a2 || t1 != t2 {
+			t.Fatalf("offer %+v: (%v,%v) vs (%v,%v)", o, a1, t1, a2, t2)
+		}
+	}
+	for q := uint32(0); q < 3; q++ {
+		if grown.K(q) != flat.K(q) || grown.Size(q) != flat.Size(q) || grown.Threshold(q) != flat.Threshold(q) {
+			t.Fatalf("query %d shape diverged", q)
+		}
+		a, b := grown.Top(q), flat.Top(q)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d rank %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+	// Appends mid-life must not disturb existing results, and the new
+	// query participates in the change record.
+	grown.DrainDirty(nil)
+	q, err := grown.Append(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added, _ := grown.Add(q, 42, 1.5); !added {
+		t.Fatal("new query rejected an offer")
+	}
+	var dirty []uint32
+	grown.DrainDirty(func(id uint32) { dirty = append(dirty, id) })
+	if len(dirty) != 1 || dirty[0] != q {
+		t.Fatalf("dirty after append = %v", dirty)
+	}
+	if top := grown.Top(0); len(top) != 3 || top[0].Score != 7 {
+		t.Fatalf("old results disturbed by append: %+v", top)
+	}
+
+	if _, err := grown.Append(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestSliceAppendPanics: a view shares its parent's arenas and must
+// refuse to grow them.
+func TestSliceAppendPanics(t *testing.T) {
+	s, err := NewStore([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := s.Slice(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on a slice view did not panic")
+		}
+	}()
+	view.Append(1)
+}

@@ -44,6 +44,10 @@ type Store struct {
 	dirty []uint32
 	mark  []uint32
 	epoch uint32
+
+	// view marks a Slice: views share a parent's arenas and must never
+	// grow them (Append panics).
+	view bool
 }
 
 // NewStore allocates heaps for the given per-query result sizes.
@@ -121,6 +125,62 @@ func (s *Store) Add(q uint32, docID uint64, score float64) (added, thresholdChan
 		return true, true
 	default:
 		return false, false
+	}
+}
+
+// CanAppend reports whether Append(k) would succeed, without
+// mutating anything. Callers growing a store in lockstep with another
+// structure use it to validate before committing either side. It
+// panics on a Slice view, whose arenas belong to the parent.
+func (s *Store) CanAppend(k int) error {
+	if s.view {
+		panic("topk: append to a slice view")
+	}
+	if k < 1 || k > 1<<16-1 {
+		return fmt.Errorf("topk: invalid k=%d", k)
+	}
+	if uint64(s.offsets[len(s.offsets)-1])+uint64(k) > 1<<32-1 {
+		return fmt.Errorf("topk: result arena exceeds 2^32 entries")
+	}
+	return nil
+}
+
+// Append grows the store by one query with result size k, returning
+// its ID (the previous NumQueries). The new query starts empty. The
+// amortized cost is O(k) — the delta generation uses it to make query
+// registration independent of how many queries are already pending.
+// Append panics on a Slice view, whose arenas belong to the parent.
+func (s *Store) Append(k int) (uint32, error) {
+	if err := s.CanAppend(k); err != nil {
+		return 0, err
+	}
+	total := uint64(s.offsets[len(s.offsets)-1]) + uint64(k)
+	q := uint32(len(s.sizes))
+	s.offsets = append(s.offsets, uint32(total))
+	s.sizes = append(s.sizes, 0)
+	s.mark = append(s.mark, 0)
+	s.scores = append(s.scores, make([]float64, k)...)
+	s.ids = append(s.ids, make([]uint64, k)...)
+	return q, nil
+}
+
+// Transplant replaces query q's contents with a verbatim copy of
+// query srcQ's heap segment from src (both must have the same k). The
+// heap layout is position-independent, so the copy is two memmoves —
+// no sorting, no re-heapification — which is what keeps a generation
+// install's result carry O(live results) with small constants. A
+// non-empty transplant marks q dirty, like any other result mutation.
+func (s *Store) Transplant(q uint32, src *Store, srcQ uint32) {
+	if s.K(q) != src.K(srcQ) {
+		panic(fmt.Sprintf("topk: transplant between k=%d and k=%d", s.K(q), src.K(srcQ)))
+	}
+	n := uint32(src.sizes[srcQ])
+	db, sb := s.offsets[q], src.offsets[srcQ]
+	copy(s.scores[db:db+n], src.scores[sb:sb+n])
+	copy(s.ids[db:db+n], src.ids[sb:sb+n])
+	s.sizes[q] = src.sizes[srcQ]
+	if n > 0 {
+		s.MarkDirty(q)
 	}
 }
 
@@ -223,6 +283,7 @@ func (s *Store) Slice(lo, hi int) *Store {
 		sizes:   s.sizes[lo:hi:hi],
 		mark:    make([]uint32, hi-lo),
 		epoch:   1,
+		view:    true,
 	}
 }
 

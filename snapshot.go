@@ -46,9 +46,9 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // the restored engine behaves exactly like the saved one would have.
 //
 // opts supplies the new process's execution and display shape —
-// Algorithm, Shards, Parallelism, Partition, DefaultK, SnippetLength —
-// all of which are result-invariant and may differ from the saving
-// process.
+// Algorithm, Shards, Parallelism, Partition, Rebuild,
+// RebuildThreshold, DefaultK, SnippetLength — all of which are
+// result-invariant and may differ from the saving process.
 // Lambda and Stemming are part of the persisted semantics and are
 // restored from the snapshot; values set for them in opts are
 // ignored.
@@ -57,9 +57,11 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 		opts.DefaultK = 10
 	}
 	shape := core.Config{
-		Shards:      opts.Shards,
-		Parallelism: opts.Parallelism,
-		Partition:   core.PartitionStrategy(opts.Partition),
+		Shards:           opts.Shards,
+		Parallelism:      opts.Parallelism,
+		Partition:        core.PartitionStrategy(opts.Partition),
+		Rebuild:          core.RebuildMode(opts.Rebuild),
+		RebuildThreshold: opts.RebuildThreshold,
 	}
 	if opts.Algorithm != "" {
 		alg, err := core.ParseAlgorithm(opts.Algorithm)
