@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet staticcheck ci
+.PHONY: all build test race bench fuzz lint fmt vet staticcheck ci
 
 all: build
 
@@ -20,12 +20,23 @@ race:
 # BenchmarkBalance and the churn ablation via BenchmarkChurn). The
 # ablchurn harness run additionally emits BENCH_churn.json so the
 # churn perf trajectory (ingestion/add p99 under sync vs background
-# rebuilds) is tracked per PR. The churn timeline deliberately runs
-# twice — once as the BenchmarkChurn gate, once for the JSON artifact;
-# each quick-scale run costs well under a second.
+# rebuilds) is tracked per PR, and the ablwal run emits BENCH_wal.json
+# (publish-stall percentiles per fsync policy, plus cold-recovery
+# times). The churn timeline deliberately runs twice — once as the
+# BenchmarkChurn gate, once for the JSON artifact; each quick-scale
+# run costs well under a second.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ctkbench -exp ablchurn -scale quick -quiet -json BENCH_churn.json
+	$(GO) run ./cmd/ctkbench -exp ablwal -scale quick -quiet -json BENCH_wal.json
+
+# A short randomized pass over the WAL record decoder and torn-tail
+# repair (the fuzz targets also run their seed corpora under plain `go
+# test`). Bounded so CI stays fast; run with a larger -fuzztime for a
+# real fuzzing session.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRec -fuzztime=10s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzTornTail -fuzztime=10s ./internal/wal/
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -49,4 +60,4 @@ staticcheck:
 lint: fmt vet staticcheck
 
 # Everything CI runs, in the same order.
-ci: lint build race bench
+ci: lint build race bench fuzz

@@ -33,11 +33,17 @@ import (
 // cells carry add-latency percentiles no sweep column has.
 const ablChurnID = "ablchurn"
 
+// ablWalID is the durability experiment's registry key. Like ablchurn
+// it has its own harness (bench.RunWAL): its cells carry publish-stall
+// percentiles and recovery times no sweep column has.
+const ablWalID = "ablwal"
+
 // jsonReport is the -json output shape.
 type jsonReport struct {
 	Scale       string             `json:"scale"`
 	Experiments []jsonExperiment   `json:"experiments,omitempty"`
 	Churn       *bench.ChurnResult `json:"churn,omitempty"`
+	Wal         *bench.WALResult   `json:"wal,omitempty"`
 }
 
 type jsonExperiment struct {
@@ -48,7 +54,7 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn) or 'all'")
+		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn, ablwal) or 'all'")
 		scale    = flag.String("scale", "default", "quick | default | full")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
@@ -67,6 +73,7 @@ func main() {
 			fmt.Printf("%-10s %s\n", id, exps[id].Title)
 		}
 		fmt.Printf("%-10s %s\n", ablChurnID, bench.ChurnTitle)
+		fmt.Printf("%-10s %s\n", ablWalID, bench.WALTitle)
 		return
 	}
 	if *expID == "" {
@@ -76,10 +83,10 @@ func main() {
 
 	var ids []string
 	if *expID == "all" {
-		ids = append(bench.IDs(sc), ablChurnID)
+		ids = append(bench.IDs(sc), ablChurnID, ablWalID)
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
-			if _, ok := exps[id]; !ok && id != ablChurnID {
+			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID {
 				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 			}
 			ids = append(ids, id)
@@ -101,6 +108,16 @@ func main() {
 			}
 			res.Render(os.Stdout)
 			report.Churn = res
+			continue
+		}
+		if id == ablWalID {
+			fmt.Fprintf(os.Stderr, "== running %s (4 persistence modes on the shared publish timeline)\n", id)
+			res, err := bench.RunWAL(sc, "", progress)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(os.Stdout)
+			report.Wal = res
 			continue
 		}
 		exp := exps[id]

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+)
+
+// TestDurableLifecycle is the -data-dir restart round trip: a server
+// boots durable, takes an online snapshot mid-run via the admin
+// endpoint, keeps ingesting (so a WAL tail accumulates past the
+// snapshot), and goes down with no shutdown save. The second boot must
+// recover the exact state — snapshot plus replayed tail — and resume
+// the stream clock.
+func TestDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	opts := ctk.Options{
+		Lambda:        0.001,
+		SnippetLength: 40,
+		Durability:    ctk.Durability{Dir: dir, SnapshotOps: -1},
+	}
+
+	// First life: empty data dir → fresh engine.
+	engine, err := bootEngine(opts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(engine)
+	ts := httptest.NewServer(s.mux())
+	resp, out := post(t, ts.URL+"/v1/queries", `{"keywords":"solar panel efficiency","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, out)
+	}
+	resp, _ = post(t, ts.URL+"/v1/documents", `{"text":"solar panel efficiency record","time":10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("publish: %d", resp.StatusCode)
+	}
+	// Online snapshot while the server is live, then more ingestion so
+	// recovery has to replay a WAL tail on top of it.
+	resp, out = post(t, ts.URL+"/v1/admin/snapshot", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin snapshot: %d %v", resp.StatusCode, out)
+	}
+	resp, _ = post(t, ts.URL+"/v1/documents", `{"text":"solar panel efficiency improves again","time":20}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-snapshot publish: %d", resp.StatusCode)
+	}
+	seq1, res1, _ := getResults(t, ts.URL+"/v1/results/0")
+	if len(res1) != 2 {
+		t.Fatalf("first life results: %+v", res1)
+	}
+	ts.Close()
+	// Crash-equivalent exit: Close seals the WAL; there is no snapshot
+	// save on the way out (recovery must not depend on one).
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: recover from the data dir.
+	engine2, err := bootEngine(opts, "")
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer engine2.Close()
+	d := engine2.Stats().Durability
+	if !d.Enabled || d.Replayed == 0 {
+		t.Fatalf("recovery did not replay a WAL tail: %+v", d)
+	}
+	ts2 := httptest.NewServer(s2mux(engine2))
+	defer ts2.Close()
+
+	seq2, res2, code := getResults(t, ts2.URL+"/v1/results/0")
+	if code != http.StatusOK || len(res2) != 2 {
+		t.Fatalf("recovered results: %d %+v", code, res2)
+	}
+	for i := range res1 {
+		if res2[i].DocID != res1[i].DocID || res2[i].Score != res1[i].Score || res2[i].Snippet != res1[i].Snippet {
+			t.Fatalf("recovered result %d: %+v, want %+v", i, res2[i], res1[i])
+		}
+	}
+	if seq1 == 0 || seq2 != seq1 {
+		t.Fatalf("seqs across recovery: %d then %d (want the counter to resume)", seq1, seq2)
+	}
+
+	// The stream clock resumed past the WAL tail: a server-clock
+	// publish must land after stream time 20, not be rejected.
+	resp, body := post(t, ts2.URL+"/v1/documents", `{"text":"another solar efficiency gain"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery publish: %d %v", resp.StatusCode, body)
+	}
+	_, res3, _ := getResults(t, ts2.URL+"/v1/results/0")
+	if len(res3) != 3 {
+		t.Fatalf("post-recovery results: %+v", res3)
+	}
+}

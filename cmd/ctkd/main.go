@@ -2,46 +2,43 @@
 // the "central processing server" of the paper's setting, exposed the
 // way a notification backend would consume it.
 //
-// Endpoints (JSON):
+// The HTTP surface lives in internal/server and is versioned under
+// /v1 (the unversioned routes remain as deprecated aliases):
 //
-//	POST /queries     {"keywords": "...", "k": 10}        → {"id": 3}
-//	DELETE /queries/3                                      → 204
-//	POST /documents   {"text": "...", "time": 17.5}        → match stats
-//	POST /documents/batch {"texts": ["...", ...], "time": 17.5}
-//	                                                       → batch match stats
-//	GET  /results/3                                        → {"Seq": n, "Results": top-k}
-//	GET  /watch/3                                          → SSE stream of top-k changes
-//	GET  /stats                                            → server counters
-//	GET  /healthz                                          → liveness + engine stats
+//	POST   /v1/queries          {"keywords": "...", "k": 10} → {"id": 3}
+//	DELETE /v1/queries/3                                     → 204
+//	POST   /v1/documents        {"text": "...", "time": 17.5} → match stats
+//	POST   /v1/documents/batch  {"texts": ["...", ...], "time": 17.5}
+//	GET    /v1/results/3                                     → {"Seq": n, "Results": top-k}
+//	GET    /v1/watch/3                                       → SSE stream (Last-Event-ID resume)
+//	GET    /v1/stats                                         → engine + durability counters
+//	GET    /v1/healthz                                       → liveness
+//	POST   /v1/admin/snapshot                                → on-demand online snapshot
 //
 // Start with:
 //
 //	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO -shards 4 -parallelism 2 \
-//	     -partition mass -snapshot /var/lib/ctkd/state.snap
+//	     -partition mass -data-dir /var/lib/ctkd
 //
-// /watch/{id} is the push path: instead of polling /results, a client
-// holds the SSE stream open and receives the query's fresh top-k every
-// time it changes, coalesced to the latest state when the client is
-// slow (Seq gaps make drops observable). With -snapshot, the server
-// restores its state on boot and persists it on graceful shutdown, so
-// registered queries, results and idf statistics survive restarts.
+// With -data-dir, the server is durable: every acknowledged mutation
+// is appended to a write-ahead log (fsync policy -fsync always |
+// interval) and compacted into online background snapshots that run
+// concurrently with ingestion. On boot the recovery path is: newest
+// valid snapshot → WAL replay → serve; a crash at any point loses
+// nothing acknowledged (under -fsync always) or at most the last
+// -fsync-interval's worth (under interval).
 //
-// Query churn never stalls ingestion: registrations append to a delta
-// segment, unregistrations tombstone in place, and the index rebuilds
-// that fold churn into fresh shard indexes run on a background builder
-// (-rebuild sync restores the legacy blocking behaviour). GET /stats
-// exposes the generational state under "Gen": generation number, delta
-// size, lingering tombstones and build timings.
+// The legacy -snapshot flag (single state file: restore on boot, save
+// on graceful shutdown only — no crash safety) is still accepted, but
+// mutually exclusive with -data-dir.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: watch streams
-// end, the listener closes, in-flight requests drain (bounded by a
-// grace period), and the engine's analyzer and matching workers are
-// stopped.
+// This file is deliberately thin: flag parsing and process lifecycle.
+// Everything HTTP is internal/server; everything durable is the ctk
+// engine's Durability layer.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,38 +48,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro"
+	httpserver "repro/internal/server"
 )
 
-type server struct {
-	mu     sync.Mutex // serializes time assignment for Publish
-	engine *ctk.Engine
-	start  time.Time
-	base   float64 // stream time at boot; > 0 after a snapshot restore
-
-	// stopping is closed when graceful shutdown begins, ending every
-	// /watch stream so Shutdown's drain isn't held open by them.
-	stopping chan struct{}
-	stopOnce sync.Once
-}
+// server wraps the extracted HTTP layer under its historical name, so
+// the daemon's tests (and anyone reading them as examples) keep
+// working against the same seams: newServer, s.mux(), s.beginShutdown.
+type server struct{ *httpserver.Server }
 
 func newServer(engine *ctk.Engine) *server {
-	return &server{
-		engine:   engine,
-		start:    time.Now(),
-		base:     engine.StreamTime(),
-		stopping: make(chan struct{}),
-	}
+	return &server{httpserver.New(engine, httpserver.Options{})}
 }
 
-// beginShutdown ends the long-lived /watch streams. Idempotent.
-func (s *server) beginShutdown() { s.stopOnce.Do(func() { close(s.stopping) }) }
+func (s *server) mux() http.Handler { return s.Handler() }
+func (s *server) beginShutdown()    { s.BeginShutdown() }
+
+// resultsPayload is the /results/{id} response shape (see
+// httpserver.ResultsPayload).
+type resultsPayload = httpserver.ResultsPayload
 
 // shutdownGrace bounds how long in-flight requests may drain after a
 // termination signal before the server gives up on them.
@@ -98,11 +85,22 @@ func main() {
 		partition   = flag.String("partition", "", "intra-shard partition strategy: mass (default) | count")
 		rebuild     = flag.String("rebuild", "", "generation rebuild mode: background (default) | sync")
 		rebuildThr  = flag.Int("rebuild-threshold", 0, "query churn before the next generation build (0 = default 1024)")
-		snapPath    = flag.String("snapshot", "", "state file: restore on boot if present, save on graceful shutdown")
+		snapPath    = flag.String("snapshot", "", "legacy single-file state: restore on boot, save on graceful shutdown (no crash safety)")
+
+		dataDir   = flag.String("data-dir", "", "durable data directory: WAL + online snapshots; recovery on boot")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always | interval")
+		fsyncIvl  = flag.Duration("fsync-interval", 50*time.Millisecond, "sync cadence (and crash-loss bound) under -fsync interval")
+		snapOps   = flag.Int("snapshot-ops", 0, "logged operations between background snapshots (0 = default 8192, negative disables)")
+		snapIvl   = flag.Duration("snapshot-interval", 0, "wall-clock background snapshot timer (0 disables)")
+		keepSnaps = flag.Int("keep-snapshots", 0, "snapshot files retained by rotation (0 = default 2)")
+		segBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 8 MiB)")
 	)
 	flag.Parse()
 
-	if err := run(context.Background(), *addr, ctk.Options{
+	if *dataDir != "" && *snapPath != "" {
+		log.Fatal("ctkd: -data-dir and -snapshot are mutually exclusive (use -data-dir; -snapshot is the legacy path)")
+	}
+	opts := ctk.Options{
 		Algorithm:        *algorithm,
 		Lambda:           *lambda,
 		Shards:           *shards,
@@ -111,14 +109,27 @@ func main() {
 		Rebuild:          *rebuild,
 		RebuildThreshold: *rebuildThr,
 		SnippetLength:    120,
-	}, *snapPath); err != nil {
+	}
+	if *dataDir != "" {
+		opts.Durability = ctk.Durability{
+			Dir:              *dataDir,
+			Fsync:            *fsync,
+			FsyncInterval:    *fsyncIvl,
+			SnapshotOps:      *snapOps,
+			SnapshotInterval: *snapIvl,
+			KeepSnapshots:    *keepSnaps,
+			SegmentBytes:     *segBytes,
+		}
+	}
+	if err := run(context.Background(), *addr, opts, *snapPath); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // loadOrNewEngine restores the engine from path when a snapshot exists
-// there, and builds a fresh engine otherwise. The boolean reports
-// whether a restore happened.
+// there, and builds a fresh engine otherwise (the legacy single-file
+// path; durable engines boot through ctk.Open instead). The boolean
+// reports whether a restore happened.
 func loadOrNewEngine(path string, opts ctk.Options) (*ctk.Engine, bool, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -161,12 +172,40 @@ func saveSnapshot(path string, engine *ctk.Engine) error {
 	return os.Rename(tmp, path)
 }
 
-// run hosts the engine behind an HTTP server until a termination
-// signal arrives or the listener fails, then drains, closes the engine
-// and (with a snapshot path) persists its state. Split from main so
-// the lifecycle is testable.
-func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) error {
+// bootEngine builds the engine per the configured persistence mode:
+// ctk.Open's recovery path (snapshot + WAL replay) with durability,
+// the legacy single-file restore otherwise.
+func bootEngine(opts ctk.Options, snapPath string) (*ctk.Engine, error) {
+	if opts.Durability.Dir != "" {
+		engine, err := ctk.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		st := engine.Stats()
+		log.Printf("ctkd: recovered %d queries / %d documents from %s (replayed %d WAL records, stream time %.3f)",
+			st.Queries, st.Documents, opts.Durability.Dir, st.Durability.Replayed, engine.StreamTime())
+		return engine, nil
+	}
 	engine, restored, err := loadOrNewEngine(snapPath, opts)
+	if err != nil {
+		return nil, err
+	}
+	if restored {
+		st := engine.Stats()
+		log.Printf("ctkd: restored %d queries / %d documents from %s (stream time %.3f)",
+			st.Queries, st.Documents, snapPath, engine.StreamTime())
+	}
+	return engine, nil
+}
+
+// run hosts the engine behind an HTTP server until a termination
+// signal arrives or the listener fails, then drains and closes the
+// engine. In durable mode the engine's own Close makes the WAL tail
+// durable — there is no shutdown save to lose; with the legacy
+// -snapshot file the quiesced state is saved on the way out. Split
+// from main so the lifecycle is testable.
+func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) error {
+	engine, err := bootEngine(opts, snapPath)
 	if err != nil {
 		return err
 	}
@@ -178,11 +217,6 @@ func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) er
 		return err
 	}
 	s := newServer(engine)
-	if restored {
-		st := engine.Stats()
-		log.Printf("ctkd: restored %d queries / %d documents from %s (stream time %.3f)",
-			st.Queries, st.Documents, snapPath, s.base)
-	}
 	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d parallelism=%d partition=%s)",
 		ln.Addr(), opts.Algorithm, opts.Lambda, opts.Shards, opts.Parallelism, engine.Partition())
 	err = serve(ctx, s.mux(), ln, s.beginShutdown)
@@ -237,265 +271,4 @@ func serve(ctx context.Context, h http.Handler, ln net.Listener, onShutdown func
 		return err
 	}
 	return nil
-}
-
-// mux builds the server's route table (shared with the test harness).
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /queries", s.addQuery)
-	mux.HandleFunc("DELETE /queries/{id}", s.removeQuery)
-	mux.HandleFunc("POST /documents", s.publish)
-	mux.HandleFunc("POST /documents/batch", s.publishBatch)
-	mux.HandleFunc("GET /results/{id}", s.results)
-	mux.HandleFunc("GET /watch/{id}", s.watch)
-	mux.HandleFunc("GET /stats", s.stats)
-	mux.HandleFunc("GET /healthz", s.healthz)
-	// Catch-all so unknown routes get the same JSON error shape as
-	// every handler-level failure.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
-	})
-	return mux
-}
-
-// now returns the server's stream clock: wall time elapsed since boot,
-// offset by the stream time a restored snapshot had already reached so
-// publications never regress.
-func (s *server) now() float64 { return s.base + time.Since(s.start).Seconds() }
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-func (s *server) addQuery(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Keywords string `json:"keywords"`
-		K        int    `json:"k"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	id, err := s.engine.Register(req.Keywords, req.K)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]uint32{"id": uint32(id)})
-}
-
-func (s *server) removeQuery(w http.ResponseWriter, r *http.Request) {
-	id, err := parseID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := s.engine.Unregister(id); err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// firstBlank returns the index of the first all-whitespace text, or
-// -1 when every text has content.
-func firstBlank(texts []string) int {
-	for i, text := range texts {
-		if strings.TrimSpace(text) == "" {
-			return i
-		}
-	}
-	return -1
-}
-
-// ingest runs one publication with a serialized timestamp: reqTime
-// when the client supplied one, the server clock otherwise. The
-// result of pub is written as 202, engine rejections as 409.
-func (s *server) ingest(w http.ResponseWriter, reqTime *float64, pub func(at float64) (any, error)) {
-	s.mu.Lock()
-	at := s.now()
-	if reqTime != nil {
-		at = *reqTime
-	}
-	st, err := pub(at)
-	s.mu.Unlock()
-	if err != nil {
-		writeErr(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, st)
-}
-
-func (s *server) publish(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Text string   `json:"text"`
-		Time *float64 `json:"time,omitempty"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if strings.TrimSpace(req.Text) == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty document text"))
-		return
-	}
-	s.ingest(w, req.Time, func(at float64) (any, error) {
-		return s.engine.Publish(req.Text, at)
-	})
-}
-
-func (s *server) publishBatch(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Texts []string `json:"texts"`
-		Time  *float64 `json:"time,omitempty"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Texts) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
-		return
-	}
-	if i := firstBlank(req.Texts); i != -1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty document text at index %d", i))
-		return
-	}
-	s.ingest(w, req.Time, func(at float64) (any, error) {
-		return s.engine.PublishBatch(req.Texts, at)
-	})
-}
-
-// resultsPayload is the /results/{id} response: the snapshot plus its
-// change sequence number, the same pair a /watch update carries — a
-// poll and a pushed Update with equal Seq hold identical result sets.
-type resultsPayload struct {
-	Seq     uint64
-	Results []ctk.Result
-}
-
-func (s *server) results(w http.ResponseWriter, r *http.Request) {
-	id, err := parseID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	res, seq, err := s.engine.ResultsSeq(id)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resultsPayload{Seq: seq, Results: res})
-}
-
-// watchBufMax bounds the per-watcher delivery buffer a client may
-// request.
-const watchBufMax = 1024
-
-// watch streams a query's top-k changes as server-sent events. Each
-// change arrives as
-//
-//	id: <seq>
-//	event: topk
-//	data: {"Query": 3, "Seq": 17, "Results": [...]}
-//
-// starting with the current snapshot. Slow consumers are coalesced to
-// the latest state (gaps in Seq reveal skipped intermediates). The
-// stream ends (event: end) when the query is unregistered or the
-// server shuts down. ?buffer=N (1..1024, default 1) sizes the
-// delivery buffer for clients that want short backlogs instead of
-// pure latest-value semantics.
-func (s *server) watch(w http.ResponseWriter, r *http.Request) {
-	id, err := parseID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	buf := 1
-	if b := r.URL.Query().Get("buffer"); b != "" {
-		n, err := strconv.Atoi(b)
-		if err != nil || n < 1 || n > watchBufMax {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("buffer must be 1..%d", watchBufMax))
-			return
-		}
-		buf = n
-	}
-	ch, cancel, err := s.engine.Subscribe(id, buf)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	defer cancel()
-
-	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("X-Accel-Buffering", "no")
-	rc := http.NewResponseController(w)
-	// The stream deliberately outlives the server's WriteTimeout; the
-	// per-event writes below fail fast if the client goes away.
-	_ = rc.SetWriteDeadline(time.Time{})
-	w.WriteHeader(http.StatusOK)
-	if err := rc.Flush(); err != nil {
-		return
-	}
-	// end tells the client this is deliberate end-of-stream (query
-	// unregistered or server shutting down), not a network failure.
-	end := func() {
-		fmt.Fprint(w, "event: end\ndata: {}\n\n")
-		_ = rc.Flush()
-	}
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-s.stopping:
-			end()
-			return
-		case u, ok := <-ch:
-			if !ok {
-				end()
-				return
-			}
-			data, err := json.Marshal(u)
-			if err != nil {
-				return
-			}
-			if _, err := fmt.Fprintf(w, "id: %d\nevent: topk\ndata: %s\n\n", u.Seq, data); err != nil {
-				return
-			}
-			if err := rc.Flush(); err != nil {
-				return
-			}
-		}
-	}
-}
-
-func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
-}
-
-// healthz reports liveness plus a summary a load balancer or operator
-// can alert on.
-func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"stream_time":    s.engine.StreamTime(),
-		"stats":          s.engine.Stats(),
-	})
-}
-
-func parseID(s string) (ctk.QueryID, error) {
-	n, err := strconv.ParseUint(s, 10, 32)
-	if err != nil {
-		return 0, fmt.Errorf("bad query id %q", s)
-	}
-	return ctk.QueryID(n), nil
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/notify"
 	"repro/internal/textproc"
+	"repro/internal/wal"
 )
 
 // Re-exported vector-level types, for advanced use.
@@ -106,6 +107,12 @@ type Options struct {
 	// Stemming applies Porter stemming to query and document tokens,
 	// so "monitoring" matches "monitors".
 	Stemming bool
+	// Durability configures crash recovery: a write-ahead log of every
+	// acknowledged mutation plus online background snapshots, rooted at
+	// Durability.Dir. The zero value disables it. Engines with
+	// durability must be built with Open (which runs the recovery
+	// path); New rejects a non-zero Durability.
+	Durability Durability
 }
 
 // analyzeJob asks the analyzer pool to tokenize (and optionally stem)
@@ -169,6 +176,12 @@ type Engine struct {
 	anOnce   sync.Once
 	anWork   chan analyzeJob
 	anWG     sync.WaitGroup
+
+	// dur is the durability manager (nil when durability is off): it
+	// owns the write-ahead log every acknowledged mutation is appended
+	// to under e.mu — so log order is apply order — and the background
+	// snapshotter. Attached by Open after recovery.
+	dur *durable
 }
 
 // ErrNoTerms reports a query or document whose text yields no usable
@@ -182,6 +195,10 @@ var ErrClosed = errors.New("ctk: engine is closed")
 // current stream time.
 var ErrTimeRegression = core.ErrTimeRegression
 
+// ErrNoDurability reports a durability operation (Snapshot) on an
+// engine built without Open.
+var ErrNoDurability = errors.New("ctk: durability not enabled")
+
 // public translates internal sentinel errors into their public
 // counterparts.
 func public(err error) error {
@@ -193,6 +210,9 @@ func public(err error) error {
 
 // New creates an empty Engine.
 func New(opts Options) (*Engine, error) {
+	if opts.Durability.Dir != "" {
+		return nil, errors.New("ctk: Options.Durability requires Open, not New")
+	}
 	if opts.DefaultK <= 0 {
 		opts.DefaultK = 10
 	}
@@ -272,11 +292,22 @@ func (e *Engine) Close() error {
 	e.anMu.Unlock()
 	e.anWG.Wait()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	err := e.mon.Close()
 	// End every watcher's stream after the monitor stops producing
 	// changes, so no update can follow a channel close.
 	e.broker.Close()
+	e.mu.Unlock()
+	// Durability shuts down outside e.mu: an in-flight background
+	// snapshot needs the read lock to finish, and every mutation that
+	// could still append to the log has already drained (appends happen
+	// under the write lock we just held, and the monitor now rejects
+	// new mutations). The log is synced and closed here, so everything
+	// acknowledged before Close returned is durable.
+	if e.dur != nil {
+		if derr := e.dur.shutdown(); err == nil {
+			err = derr
+		}
+	}
 	return err
 }
 
@@ -322,6 +353,9 @@ func (e *Engine) Register(keywords string, k int) (QueryID, error) {
 	if err != nil {
 		return 0, public(err)
 	}
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpRegister, Query: id, K: k, Keywords: keywords}); err != nil {
+		return 0, err
+	}
 	return QueryID(id), nil
 }
 
@@ -336,6 +370,9 @@ func (e *Engine) Unregister(id QueryID) error {
 	defer e.mu.Unlock()
 	if err := e.mon.RemoveQuery(uint32(id)); err != nil {
 		return public(err)
+	}
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpUnregister, Query: uint32(id)}); err != nil {
+		return err
 	}
 	e.broker.CloseTopic(uint32(id))
 	e.sweepSnippets()
@@ -374,6 +411,9 @@ func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 	if err != nil {
 		e.nextDoc = id
 		return PublishStats{}, public(err)
+	}
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpPublish, Time: at, Texts: []string{text}}); err != nil {
+		return PublishStats{}, err
 	}
 	e.retainSnippet(id, text)
 	e.pruneSnippets()
@@ -496,6 +536,9 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 	if err != nil {
 		e.nextDoc = first
 		return BatchStats{}, public(err)
+	}
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpBatch, Time: at, Texts: texts}); err != nil {
+		return BatchStats{}, err
 	}
 	for i, text := range texts {
 		e.retainSnippet(first+uint64(i), text)
@@ -627,6 +670,9 @@ type Stats struct {
 	// delta segment size, lingering tombstones, dirty budget and
 	// background-build timings.
 	Gen GenStats
+	// Durability is the durability subsystem's state (Enabled false
+	// when the engine was built without Open).
+	Durability DurabilityStats
 }
 
 // Stats returns cumulative counters. Like Results, it takes only the
@@ -635,7 +681,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	t := e.mon.Totals()
-	return Stats{
+	st := Stats{
 		Queries:    e.mon.NumQueries(),
 		Documents:  e.mon.Events(),
 		Evaluated:  t.Evaluated,
@@ -645,4 +691,8 @@ func (e *Engine) Stats() Stats {
 		Partitions: e.mon.PartitionStats(),
 		Gen:        e.mon.GenStats(),
 	}
+	if e.dur != nil {
+		st.Durability = e.dur.stats()
+	}
+	return st
 }

@@ -1,0 +1,498 @@
+package ctk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// Fsync policies for Durability.Fsync.
+const (
+	// FsyncAlways syncs the WAL on every mutation before it is
+	// acknowledged: no acknowledged operation is ever lost, at the cost
+	// of one fsync per publish or query mutation.
+	FsyncAlways = "always"
+	// FsyncInterval batches syncs on a timer: mutations are
+	// acknowledged from the OS write pipeline and a crash can lose at
+	// most the last FsyncInterval's worth of them.
+	FsyncInterval = "interval"
+)
+
+// Durability configures crash recovery for an Engine opened with Open.
+// The zero value (empty Dir) disables durability entirely.
+type Durability struct {
+	// Dir is the data directory: snapshots live at its top level
+	// ("snap-%016x.snap", hex WAL drain point) and WAL segments under
+	// its "wal/" subdirectory. Empty disables durability.
+	Dir string
+	// Fsync selects the WAL sync policy: FsyncAlways (default) or
+	// FsyncInterval.
+	Fsync string
+	// FsyncInterval is the sync cadence under FsyncInterval (default
+	// 50ms). It bounds the loss window of a crash.
+	FsyncInterval time.Duration
+	// SnapshotOps triggers a background snapshot after this many
+	// logged operations (default 8192; negative disables the
+	// op-count trigger).
+	SnapshotOps int
+	// SnapshotInterval additionally triggers a background snapshot on
+	// a wall-clock timer when operations are pending (0 disables).
+	SnapshotInterval time.Duration
+	// KeepSnapshots is how many snapshot files rotation retains
+	// (default 2 — the newest plus one fallback).
+	KeepSnapshots int
+	// SegmentBytes is the WAL segment rotation threshold (default
+	// 8 MiB).
+	SegmentBytes int64
+}
+
+// withDefaults resolves zero fields and validates the policy name.
+func (d Durability) withDefaults() (Durability, error) {
+	switch d.Fsync {
+	case "":
+		d.Fsync = FsyncAlways
+	case FsyncAlways, FsyncInterval:
+	default:
+		return d, fmt.Errorf("ctk: unknown fsync policy %q", d.Fsync)
+	}
+	if d.FsyncInterval <= 0 {
+		d.FsyncInterval = 50 * time.Millisecond
+	}
+	if d.SnapshotOps == 0 {
+		d.SnapshotOps = 8192
+	}
+	if d.KeepSnapshots <= 0 {
+		d.KeepSnapshots = 2
+	}
+	return d, nil
+}
+
+// SnapshotInfo describes one on-disk snapshot.
+type SnapshotInfo struct {
+	// LSN is the WAL drain point: every logged operation below it is
+	// reflected in the snapshot.
+	LSN uint64
+	// StreamTime is the engine stream time the snapshot captured.
+	StreamTime float64
+	// Path is the snapshot file.
+	Path string
+}
+
+// DurabilityStats reports the durability subsystem's state (zero
+// value, Enabled false, when the engine was built without Open).
+type DurabilityStats struct {
+	Enabled bool
+	// WALSegments and WALBytes are the live log's footprint; NextLSN is
+	// the next operation's log sequence number.
+	WALSegments int
+	WALBytes    int64
+	NextLSN     uint64
+	// LastSnapshotLSN and LastSnapshotStreamTime describe the newest
+	// snapshot (zero before any).
+	LastSnapshotLSN        uint64
+	LastSnapshotStreamTime float64
+	// Snapshots counts snapshot files currently retained.
+	Snapshots int
+	// Replayed is the number of WAL records replayed at boot.
+	Replayed int
+	// LastError is the most recent background durability failure
+	// (snapshot or interval sync), empty when healthy.
+	LastError string
+}
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	walSubdir  = "wal"
+)
+
+// durable is the engine's durability manager: it owns the WAL, the
+// snapshot files, and the background goroutine that syncs and
+// snapshots. Attached only by Open, after recovery has replayed the
+// log — so replay's re-application of operations is never re-logged.
+type durable struct {
+	e   *Engine
+	log *wal.Log
+	cfg Durability
+
+	// ops counts logged operations since the last snapshot; crossing
+	// cfg.SnapshotOps kicks the background snapshotter.
+	ops  atomic.Int64
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+	off  sync.Once
+
+	// snapMu serializes snapshot writers (the background goroutine and
+	// on-demand Engine.Snapshot calls).
+	snapMu sync.Mutex
+
+	// mu guards the stats fields below; always a leaf lock.
+	mu        sync.Mutex
+	lastSnap  SnapshotInfo
+	snapFiles int
+	replayed  int
+	lastErr   string
+}
+
+// Open builds an engine with durability: it restores the newest valid
+// snapshot in opts.Durability.Dir (or starts empty), replays the WAL
+// records the snapshot does not cover, and then serves — logging every
+// subsequent acknowledged mutation and snapshotting in the background
+// per the configured policy. A crash at any point recovers to exactly
+// the acknowledged operation sequence.
+func Open(opts Options) (*Engine, error) {
+	cfg, err := opts.Durability.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("ctk: Open requires Durability.Dir (use New for a purely in-memory engine)")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ctk: data dir: %w", err)
+	}
+	// A crash between temp-write and rename leaves *.tmp litter;
+	// nothing references it.
+	if tmps, _ := filepath.Glob(filepath.Join(cfg.Dir, "*.tmp")); len(tmps) > 0 {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+
+	// The recovered engine itself runs without durability until the
+	// log is attached, so replay does not re-log what it re-applies.
+	inner := opts
+	inner.Durability = Durability{}
+
+	snaps, err := listSnapshots(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		e        *Engine
+		floor    uint64
+		restored SnapshotInfo
+	)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		f, err := os.Open(snaps[i].path)
+		if err != nil {
+			continue
+		}
+		re, rerr := ReadSnapshot(f, inner)
+		f.Close()
+		if rerr == nil {
+			e, floor = re, snaps[i].lsn
+			// Capture the snapshot's own stream time before replay
+			// advances the clock.
+			restored = SnapshotInfo{LSN: floor, StreamTime: e.StreamTime(), Path: snaps[i].path}
+			break
+		}
+		// A snapshot that does not decode is a crash artifact or
+		// corruption; fall back to the next-older one.
+	}
+	if e == nil {
+		if e, err = New(inner); err != nil {
+			return nil, err
+		}
+	}
+
+	log, err := wal.Open(filepath.Join(cfg.Dir, walSubdir), floor, wal.Options{SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	replayed, err := log.Replay(floor, func(_ uint64, r wal.Rec) error {
+		return e.applyRec(r)
+	})
+	if err != nil {
+		log.Close()
+		e.Close()
+		return nil, fmt.Errorf("ctk: recovery: %w", err)
+	}
+
+	d := &durable{
+		e:        e,
+		log:      log,
+		cfg:      cfg,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		replayed: replayed,
+	}
+	d.snapFiles = len(snaps)
+	d.lastSnap = restored
+	d.ops.Store(int64(replayed))
+	e.dur = d
+	e.mon.SetMutationHandler(d.noteOps)
+	d.wg.Add(1)
+	go d.run()
+	return e, nil
+}
+
+// applyRec re-applies one logged operation during recovery. The engine
+// is deterministic in acknowledged operation order, so re-application
+// reproduces document IDs, query IDs, scores and notification sequence
+// numbers exactly; a register that comes back with a different ID than
+// the log recorded means the snapshot and log disagree.
+func (e *Engine) applyRec(r wal.Rec) error {
+	switch r.Op {
+	case wal.OpPublish:
+		_, err := e.Publish(r.Texts[0], r.Time)
+		return err
+	case wal.OpBatch:
+		_, err := e.PublishBatch(r.Texts, r.Time)
+		return err
+	case wal.OpRegister:
+		id, err := e.Register(r.Keywords, r.K)
+		if err != nil {
+			return err
+		}
+		if uint32(id) != r.Query {
+			return fmt.Errorf("replayed register got ID %d, log recorded %d", id, r.Query)
+		}
+		return nil
+	case wal.OpUnregister:
+		return e.Unregister(QueryID(r.Query))
+	default:
+		return fmt.Errorf("unknown op %d", r.Op)
+	}
+}
+
+// logOp appends one operation to the WAL, syncing immediately under
+// the "always" policy. Called with e.mu held (write side) right after
+// the mutation applied, so log order is exactly apply order. A nil
+// receiver (durability disabled) is a no-op.
+func (d *durable) logOp(r wal.Rec) error {
+	if d == nil {
+		return nil
+	}
+	if _, err := d.log.Append(r); err != nil {
+		return fmt.Errorf("ctk: wal: %w", err)
+	}
+	if d.cfg.Fsync == FsyncAlways {
+		if err := d.log.Sync(); err != nil {
+			return fmt.Errorf("ctk: wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// noteOps is the monitor's mutation hook: it counts operations toward
+// the snapshot threshold and kicks the background snapshotter when
+// crossed. Runs under e.mu mid-mutation, so it only touches an atomic
+// and a non-blocking channel send.
+func (d *durable) noteOps(n int) {
+	if d.cfg.SnapshotOps < 0 {
+		return
+	}
+	if d.ops.Add(int64(n)) >= int64(d.cfg.SnapshotOps) {
+		select {
+		case d.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the background durability goroutine: interval fsync, and
+// snapshots on threshold kicks or the wall-clock timer.
+func (d *durable) run() {
+	defer d.wg.Done()
+	var syncC, snapC <-chan time.Time
+	if d.cfg.Fsync == FsyncInterval {
+		t := time.NewTicker(d.cfg.FsyncInterval)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if d.cfg.SnapshotInterval > 0 {
+		t := time.NewTicker(d.cfg.SnapshotInterval)
+		defer t.Stop()
+		snapC = t.C
+	}
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-syncC:
+			if err := d.log.Sync(); err != nil && err != wal.ErrClosed {
+				d.noteErr(err)
+			}
+		case <-d.kick:
+			d.snapshotIfDirty()
+		case <-snapC:
+			d.snapshotIfDirty()
+		}
+	}
+}
+
+// snapshotIfDirty snapshots when operations have accumulated since the
+// last one, recording rather than propagating failures (the WAL still
+// has everything; the next trigger retries).
+func (d *durable) snapshotIfDirty() {
+	if d.ops.Load() == 0 {
+		return
+	}
+	if _, err := d.doSnapshot(); err != nil {
+		d.noteErr(err)
+	}
+}
+
+func (d *durable) noteErr(err error) {
+	d.mu.Lock()
+	d.lastErr = err.Error()
+	d.mu.Unlock()
+}
+
+// doSnapshot takes one online snapshot: capture state and the WAL
+// drain point under the engine's read lock (appends hold the write
+// lock, so the pair is consistent), then encode, write and fsync off
+// the lock — ingestion proceeds concurrently — then rotate old
+// snapshots and truncate fully-superseded WAL segments.
+func (d *durable) doSnapshot() (SnapshotInfo, error) {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+
+	e := d.e
+	e.mu.RLock()
+	st := snapshot.CaptureEngine(e.mon, e.textStateLocked())
+	drain := d.log.NextLSN()
+	streamTime := e.mon.Now()
+	e.mu.RUnlock()
+	d.ops.Store(0)
+
+	d.mu.Lock()
+	last := d.lastSnap
+	d.mu.Unlock()
+	if drain == last.LSN && last.Path != "" {
+		// Nothing logged since the newest snapshot: it already covers
+		// this exact state.
+		return last, nil
+	}
+
+	path := filepath.Join(d.cfg.Dir, fmt.Sprintf("%s%016x%s", snapPrefix, drain, snapSuffix))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("ctk: snapshot: %w", err)
+	}
+	err = st.Encode(f)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return SnapshotInfo{}, fmt.Errorf("ctk: snapshot: %w", err)
+	}
+	if dh, derr := os.Open(d.cfg.Dir); derr == nil {
+		dh.Sync()
+		dh.Close()
+	}
+
+	// Rotation: keep the newest KeepSnapshots files, drop the rest.
+	snaps, err := listSnapshots(d.cfg.Dir)
+	if err == nil {
+		for len(snaps) > d.cfg.KeepSnapshots {
+			os.Remove(snaps[0].path)
+			snaps = snaps[1:]
+		}
+	}
+	// Segments wholly below the drain point are superseded by the
+	// snapshot just made durable. ErrClosed just means the engine is
+	// shutting down around an in-flight snapshot.
+	if _, err := d.log.TruncateBefore(drain); err != nil && err != wal.ErrClosed {
+		return SnapshotInfo{}, err
+	}
+
+	info := SnapshotInfo{LSN: drain, StreamTime: streamTime, Path: path}
+	d.mu.Lock()
+	d.lastSnap = info
+	d.snapFiles = len(snaps)
+	d.lastErr = ""
+	d.mu.Unlock()
+	return info, nil
+}
+
+// shutdown stops the background goroutine, makes any tail of the log
+// durable and closes it. Idempotent.
+func (d *durable) shutdown() error {
+	var err error
+	d.off.Do(func() {
+		close(d.stop)
+		d.wg.Wait()
+		err = d.log.Close()
+	})
+	return err
+}
+
+// stats reports the subsystem's state.
+func (d *durable) stats() DurabilityStats {
+	ls := d.log.Stats()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DurabilityStats{
+		Enabled:                true,
+		WALSegments:            ls.Segments,
+		WALBytes:               ls.Bytes,
+		NextLSN:                ls.NextLSN,
+		LastSnapshotLSN:        d.lastSnap.LSN,
+		LastSnapshotStreamTime: d.lastSnap.StreamTime,
+		Snapshots:              d.snapFiles,
+		Replayed:               d.replayed,
+		LastError:              d.lastErr,
+	}
+}
+
+// Snapshot takes an online snapshot on demand (the same operation the
+// background policy runs) and returns what it produced. It blocks for
+// the snapshot's own duration but stalls ingestion only for the brief
+// in-memory capture. Fails with ErrNoDurability on an engine built
+// without Open.
+func (e *Engine) Snapshot() (SnapshotInfo, error) {
+	if e.dur == nil {
+		return SnapshotInfo{}, ErrNoDurability
+	}
+	return e.dur.doSnapshot()
+}
+
+// snapFile is one discovered snapshot, by ascending drain LSN.
+type snapFile struct {
+	path string
+	lsn  uint64
+}
+
+// listSnapshots inventories dir's snapshot files in ascending LSN
+// order.
+func listSnapshots(dir string) ([]snapFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ctk: data dir: %w", err)
+	}
+	var snaps []snapFile
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapFile{path: filepath.Join(dir, name), lsn: lsn})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn < snaps[j].lsn })
+	return snaps, nil
+}

@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	ctk "repro"
+	"repro/internal/stats"
+)
+
+// WALCell is one persistence mode's measurement on the shared publish
+// timeline: per-publish latency (the stall picture), what the
+// durability machinery did meanwhile, and — for the WAL modes — how
+// long a cold restart takes to recover the final state.
+type WALCell struct {
+	Series string
+	// Per-publish latency (ms). The tail is the headline: online
+	// background snapshots should leave it close to the undurable
+	// baseline, while the sync-save series pays a full blocking
+	// WriteSnapshot inside the publish that trips the cadence.
+	PubMeanMS, PubP50MS, PubP99MS, PubMaxMS float64
+	// Snapshots is how many snapshot files the mode retained;
+	// WALSegments/WALBytes/NextLSN describe the log at shutdown.
+	Snapshots   int
+	WALSegments int
+	WALBytes    int64
+	NextLSN     uint64
+	// RecoveryMS times a cold ctk.Open on the mode's data directory
+	// (newest snapshot + WAL replay); Replayed is the WAL tail it had
+	// to re-apply. Zero for the modes with nothing to recover from.
+	RecoveryMS float64
+	Replayed   int
+}
+
+// WALResult is the ablwal experiment: no durability, WAL with
+// interval-batched fsync, WAL with per-op fsync, and the legacy
+// stop-the-world snapshot save, all replaying the identical
+// register-then-publish timeline.
+type WALResult struct {
+	Title   string
+	Queries int // registered queries
+	Events  int // timed publishes
+	// SaveEvery is the snapshot cadence in logged operations (the WAL
+	// modes' SnapshotOps threshold and the sync-save series' blocking
+	// save period).
+	SaveEvery int
+	Cells     []WALCell
+}
+
+// WALTitle is the ablwal experiment's title, shared by the harness
+// report and the CLI's experiment listing.
+const WALTitle = "Extension — durability: WAL fsync policies and online snapshots vs stop-the-world saves"
+
+// The ablwal series labels.
+const (
+	walSeriesNone     = "none"
+	walSeriesInterval = "wal-interval"
+	walSeriesAlways   = "wal-always"
+	walSeriesSyncSave = "sync-save"
+)
+
+// walQueries sizes the registered query set: engine-level registration
+// is O(|q|) but every register is also a logged (and possibly fsynced)
+// WAL record, so the set stays far below the vector-level sweeps.
+func walQueries(sc Scale) int {
+	return max(256, sc.BaseQueries/50)
+}
+
+// walEvents sizes the timed publish window — enough samples that a p99
+// over it is meaningful and the snapshot cadence trips several times.
+func walEvents(sc Scale) int {
+	return max(300, 5*sc.Measure)
+}
+
+// walWorkload is the deterministic text-level timeline every series
+// replays: registrations, an untimed warm prefix, then the timed
+// publishes.
+type walWorkload struct {
+	queries []string
+	k       int
+	warm    []string
+	timed   []string
+	rate    float64
+}
+
+// makeWALWorkload synthesizes the timeline from the scale's seed: a
+// Zipf word distribution over the synthetic vocabulary ("t0".."tn-1",
+// the same shape the corpus generator uses), so frequent words make
+// queries and documents actually collide.
+func makeWALWorkload(sc Scale) walWorkload {
+	rng := rand.New(rand.NewSource(sc.Seed + 37))
+	zipf := rand.NewZipf(rng, 1.1, 1.0, uint64(sc.VocabSize-1))
+	word := func() string { return fmt.Sprintf("t%d", zipf.Uint64()) }
+	doc := func(words int) string {
+		var sb strings.Builder
+		for i := 0; i < words; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(word())
+		}
+		return sb.String()
+	}
+
+	w := walWorkload{k: 10, rate: sc.Rate}
+	n := walQueries(sc)
+	w.queries = make([]string, n)
+	for i := range w.queries {
+		w.queries[i] = doc(2 + rng.Intn(3))
+	}
+	events := walEvents(sc)
+	w.warm = make([]string, events/5)
+	for i := range w.warm {
+		w.warm[i] = doc(20 + rng.Intn(20))
+	}
+	w.timed = make([]string, events)
+	for i := range w.timed {
+		w.timed[i] = doc(20 + rng.Intn(20))
+	}
+	return w
+}
+
+// queryState is one query's final answer, captured for the parity
+// gates (across series, and across a recovery of the same series).
+type queryState struct {
+	seq  uint64
+	docs []uint64
+	// scores compared exactly: replay determinism is the whole point.
+	scores []float64
+}
+
+// captureAll reads every query's final ResultsSeq.
+func captureAll(e *ctk.Engine, n int) ([]queryState, error) {
+	out := make([]queryState, n)
+	for i := 0; i < n; i++ {
+		rs, seq, err := e.ResultsSeq(ctk.QueryID(i))
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		st := queryState{seq: seq}
+		for _, r := range rs {
+			st.docs = append(st.docs, r.DocID)
+			st.scores = append(st.scores, r.Score)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// diffStates returns a description of the first divergence, or "".
+func diffStates(a, b []queryState) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("query count %d vs %d", len(a), len(b))
+	}
+	for q := range a {
+		x, y := a[q], b[q]
+		if x.seq != y.seq {
+			return fmt.Sprintf("query %d seq %d vs %d", q, x.seq, y.seq)
+		}
+		if len(x.docs) != len(y.docs) {
+			return fmt.Sprintf("query %d result count %d vs %d", q, len(x.docs), len(y.docs))
+		}
+		for i := range x.docs {
+			if x.docs[i] != y.docs[i] || x.scores[i] != y.scores[i] {
+				return fmt.Sprintf("query %d rank %d (%d/%g vs %d/%g)",
+					q, i, x.docs[i], x.scores[i], y.docs[i], y.scores[i])
+			}
+		}
+	}
+	return ""
+}
+
+// RunWAL measures the ablwal experiment at the given scale. Every
+// series replays the identical timeline; the final per-query results
+// are parity-checked across all series (durability must not change
+// answers), and each WAL series is additionally recovered from disk
+// after Close and parity-checked against its own pre-shutdown state
+// (the crash-recovery contract, timed). dir hosts the data
+// directories; empty means a temp dir removed on return.
+func RunWAL(sc Scale, dir string, out io.Writer) (*WALResult, error) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ctkbench-wal-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	w := makeWALWorkload(sc)
+	res := &WALResult{
+		Title:     WALTitle,
+		Queries:   len(w.queries),
+		Events:    len(w.timed),
+		SaveEvery: max(50, len(w.timed)/3),
+	}
+
+	var baseline []queryState
+	for _, series := range []string{walSeriesNone, walSeriesInterval, walSeriesAlways, walSeriesSyncSave} {
+		cell, final, err := runWALCell(series, filepath.Join(dir, series), w, res.SaveEvery)
+		if err != nil {
+			return nil, fmt.Errorf("bench ablwal: %s: %w", series, err)
+		}
+		if series == walSeriesNone {
+			baseline = final
+		} else if d := diffStates(baseline, final); d != "" {
+			return nil, fmt.Errorf("bench ablwal: parity: %s diverged from %s: %s", series, walSeriesNone, d)
+		}
+		res.Cells = append(res.Cells, cell)
+		if out != nil {
+			fmt.Fprintf(out, "  %-12s pub mean=%7.3fms p99=%8.3fms max=%8.3fms  snaps=%d recover=%7.1fms replayed=%d\n",
+				cell.Series, cell.PubMeanMS, cell.PubP99MS, cell.PubMaxMS, cell.Snapshots, cell.RecoveryMS, cell.Replayed)
+		}
+	}
+	return res, nil
+}
+
+// runWALCell replays the timeline under one persistence mode and
+// returns the cell plus the final per-query states for the parity
+// gates.
+func runWALCell(series, dir string, w walWorkload, saveEvery int) (WALCell, []queryState, error) {
+	cell := WALCell{Series: series}
+	opts := ctk.Options{Algorithm: "MRIO", Lambda: defaultLambda, DefaultK: w.k}
+	durable := false
+	switch series {
+	case walSeriesInterval:
+		opts.Durability = ctk.Durability{Dir: dir, Fsync: ctk.FsyncInterval, SnapshotOps: saveEvery}
+		durable = true
+	case walSeriesAlways:
+		opts.Durability = ctk.Durability{Dir: dir, Fsync: ctk.FsyncAlways, SnapshotOps: saveEvery}
+		durable = true
+	}
+
+	var (
+		e   *ctk.Engine
+		err error
+	)
+	if durable {
+		e, err = ctk.Open(opts)
+	} else {
+		e, err = ctk.New(opts)
+	}
+	if err != nil {
+		return cell, nil, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			e.Close()
+		}
+	}()
+
+	for _, q := range w.queries {
+		if _, err := e.Register(q, w.k); err != nil {
+			return cell, nil, fmt.Errorf("register %q: %w", q, err)
+		}
+	}
+	at := 0.0
+	step := 1 / w.rate
+	for _, text := range w.warm {
+		at += step
+		if _, err := e.Publish(text, at); err != nil {
+			return cell, nil, err
+		}
+	}
+
+	// Timed window. The sync-save series does its blocking save inside
+	// the publish iteration that trips the cadence — that is exactly
+	// the stop-the-world cost the online snapshot replaces, and it
+	// lands in the latency tail where operators would feel it.
+	snapPath := filepath.Join(dir, "state.snap")
+	if series == walSeriesSyncSave {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return cell, nil, err
+		}
+	}
+	var sample stats.Sample
+	for i, text := range w.timed {
+		at += step
+		start := time.Now()
+		if _, err := e.Publish(text, at); err != nil {
+			return cell, nil, err
+		}
+		if series == walSeriesSyncSave && (i+1)%saveEvery == 0 {
+			if err := blockingSave(snapPath, e); err != nil {
+				return cell, nil, err
+			}
+		}
+		sample.AddDuration(time.Since(start))
+	}
+	cell.PubMeanMS = sample.Mean()
+	cell.PubP50MS = sample.Percentile(50)
+	cell.PubP99MS = sample.Percentile(99)
+	cell.PubMaxMS = sample.Percentile(100)
+
+	final, err := captureAll(e, len(w.queries))
+	if err != nil {
+		return cell, nil, err
+	}
+	if durable {
+		d := e.Stats().Durability
+		cell.Snapshots = d.Snapshots
+		cell.WALSegments = d.WALSegments
+		cell.WALBytes = d.WALBytes
+		cell.NextLSN = d.NextLSN
+	} else if series == walSeriesSyncSave {
+		cell.Snapshots = len(w.timed) / saveEvery
+	}
+	if err := e.Close(); err != nil {
+		return cell, nil, err
+	}
+	closed = true
+
+	if durable {
+		// Cold restart: newest snapshot + WAL tail replay, timed, and
+		// required to land on the exact pre-shutdown state.
+		start := time.Now()
+		re, err := ctk.Open(opts)
+		if err != nil {
+			return cell, nil, fmt.Errorf("recovery: %w", err)
+		}
+		cell.RecoveryMS = time.Since(start).Seconds() * 1000
+		cell.Replayed = re.Stats().Durability.Replayed
+		recovered, err := captureAll(re, len(w.queries))
+		re.Close()
+		if err != nil {
+			return cell, nil, fmt.Errorf("recovery: %w", err)
+		}
+		if d := diffStates(final, recovered); d != "" {
+			return cell, nil, fmt.Errorf("recovery parity: %s", d)
+		}
+	}
+	return cell, final, nil
+}
+
+// blockingSave is the legacy persistence model: the capture, the gob
+// encode, the fsync and the rename all happen inline on the ingest
+// path, so the publish that trips the cadence pays the whole save.
+func blockingSave(path string, e *ctk.Engine) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = e.WriteSnapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Render prints the WAL ablation in the harness' table style.
+func (r *WALResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "queries=%d publishes=%d snapshot-every=%d ops\n", r.Queries, r.Events, r.SaveEvery)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %6s %8s %10s %9s\n",
+		"mode", "pub-mean", "pub-p50", "pub-p99", "pub-max", "snaps", "wal-KB", "recover-ms", "replayed")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-12s %10.3f %10.3f %10.3f %10.3f %6d %8d %10.1f %9d\n",
+			c.Series, c.PubMeanMS, c.PubP50MS, c.PubP99MS, c.PubMaxMS,
+			c.Snapshots, c.WALBytes/1024, c.RecoveryMS, c.Replayed)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunWALQuick exercises the ablwal harness end to end at a trimmed
+// scale: all four persistence modes replay, the cross-series and
+// recovery parity gates pass, and the cells carry the durability
+// counters the report promises.
+func TestRunWALQuick(t *testing.T) {
+	sc := QuickScale()
+	sc.Measure = 30 // 150 timed publishes: fast, still trips snapshots
+
+	res, err := RunWAL(sc, t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells: %d", len(res.Cells))
+	}
+	byName := map[string]WALCell{}
+	for _, c := range res.Cells {
+		byName[c.Series] = c
+		if c.PubMeanMS <= 0 || c.PubP99MS < c.PubP50MS {
+			t.Fatalf("%s: implausible latency sample: %+v", c.Series, c)
+		}
+	}
+	for _, s := range []string{walSeriesNone, walSeriesInterval, walSeriesAlways, walSeriesSyncSave} {
+		if _, ok := byName[s]; !ok {
+			t.Fatalf("missing series %s", s)
+		}
+	}
+	for _, s := range []string{walSeriesInterval, walSeriesAlways} {
+		c := byName[s]
+		if c.NextLSN == 0 || c.WALSegments == 0 {
+			t.Fatalf("%s: no WAL activity recorded: %+v", s, c)
+		}
+		if c.RecoveryMS <= 0 {
+			t.Fatalf("%s: recovery not timed: %+v", s, c)
+		}
+	}
+
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "wal-always") || !strings.Contains(sb.String(), "recover-ms") {
+		t.Fatalf("render missing columns:\n%s", sb.String())
+	}
+}

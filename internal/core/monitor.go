@@ -207,6 +207,12 @@ type Monitor struct {
 	// query's top-k (see SetChangeHandler).
 	onChange func(ids []uint32)
 
+	// onMutate, when set, is invoked synchronously at the end of every
+	// successful state mutation — ProcessBatch, AddQuery, RemoveQuery —
+	// with the number of logical operations applied (see
+	// SetMutationHandler).
+	onMutate func(n int)
+
 	// Per-call scratch, reused across events to keep the hot path
 	// allocation-free (safe: mutation is externally serialized and
 	// every batch joins its workers before returning).
@@ -651,6 +657,9 @@ func (m *Monitor) AddQuery(def QueryDef) (uint32, error) {
 	m.deltaIDs = append(m.deltaIDs, g)
 	m.dirty++
 	m.maybeKick()
+	if m.onMutate != nil {
+		m.onMutate(1)
+	}
 	return g, nil
 }
 
@@ -680,6 +689,9 @@ func (m *Monitor) RemoveQuery(g uint32) error {
 	m.tombstones++
 	m.dirty++
 	m.maybeKick()
+	if m.onMutate != nil {
+		m.onMutate(1)
+	}
 	return nil
 }
 
@@ -739,6 +751,17 @@ func (m *Monitor) Close() error {
 // disables notification.
 func (m *Monitor) SetChangeHandler(fn func(ids []uint32)) {
 	m.onChange = fn
+}
+
+// SetMutationHandler registers fn to be called at the end of every
+// successful serialized state mutation — ProcessBatch (n = batch
+// size), AddQuery and RemoveQuery (n = 1) — on the caller's goroutine.
+// The engine's durability layer uses it to count operations toward a
+// snapshot threshold. Like a change handler, fn runs while the monitor
+// is mid-mutation and must not call back into it. A nil fn disables
+// the hook.
+func (m *Monitor) SetMutationHandler(fn func(n int)) {
+	m.onMutate = fn
 }
 
 // discardChanges clears every processor's change record. Called at the
@@ -870,6 +893,9 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 		}
 	}
 	m.maybeRepartition(len(docs), len(m.rebases) > 0)
+	if m.onMutate != nil {
+		m.onMutate(len(docs))
+	}
 	return st, nil
 }
 

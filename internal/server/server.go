@@ -1,0 +1,467 @@
+// Package server is ctkd's HTTP layer, extracted so other binaries
+// (tests, future multi-node frontends) can mount the same API around
+// an engine without the daemon's flag parsing and process lifecycle.
+//
+// The surface is versioned. The canonical routes live under /v1/:
+//
+//	POST   /v1/queries          {"keywords": "...", "k": 10} → {"id": 3}
+//	DELETE /v1/queries/{id}                                  → 204
+//	POST   /v1/documents        {"text": "...", "time": 17.5}
+//	POST   /v1/documents/batch  {"texts": [...], "time": 17.5}
+//	GET    /v1/results/{id}                                  → {"Seq": n, "Results": [...]}
+//	GET    /v1/watch/{id}                                    → SSE stream (resumable)
+//	GET    /v1/stats                                         → engine + durability counters
+//	GET    /v1/healthz                                       → liveness
+//	POST   /v1/admin/snapshot                                → on-demand online snapshot
+//
+// Every non-2xx /v1 response carries the uniform error envelope
+//
+//	{"error": {"code": "<machine_code>", "message": "..."}}
+//
+// including the /v1/ catch-all 404. The pre-/v1 unversioned routes are
+// kept as deprecated aliases with their original flat error bodies
+// ({"error": "..."}), so existing clients keep working byte-for-byte;
+// new clients should use /v1 only.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// Options parameterizes a Server. The zero value is ready to use.
+type Options struct {
+	// Legacy mounts the deprecated unversioned aliases (/queries,
+	// /documents, ...) beside /v1. Defaults to true; the daemon keeps
+	// them on so pre-/v1 clients survive the redesign.
+	Legacy *bool
+}
+
+// Server owns the HTTP surface around one engine: route table, the
+// serialized ingestion clock, and the shutdown gate that ends watch
+// streams.
+type Server struct {
+	mu     sync.Mutex // serializes time assignment for Publish
+	engine *ctk.Engine
+	start  time.Time
+	base   float64 // stream time at boot; > 0 after a restore
+	legacy bool
+
+	// stopping is closed when graceful shutdown begins, ending every
+	// /watch stream so a shutdown drain isn't held open by them.
+	stopping chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a Server around engine.
+func New(engine *ctk.Engine, opts Options) *Server {
+	legacy := true
+	if opts.Legacy != nil {
+		legacy = *opts.Legacy
+	}
+	return &Server{
+		engine:   engine,
+		start:    time.Now(),
+		base:     engine.StreamTime(),
+		legacy:   legacy,
+		stopping: make(chan struct{}),
+	}
+}
+
+// BeginShutdown ends the long-lived /watch streams so in-flight
+// request draining can finish. Idempotent.
+func (s *Server) BeginShutdown() { s.stopOnce.Do(func() { close(s.stopping) }) }
+
+// ResultsPayload is the /results/{id} response: the snapshot plus its
+// change sequence number, the same pair a /watch update carries — a
+// poll and a pushed Update with equal Seq hold identical result sets.
+type ResultsPayload struct {
+	Seq     uint64
+	Results []ctk.Result
+}
+
+// fail writes one error response; the two implementations are the /v1
+// envelope and the legacy flat shape.
+type fail func(w http.ResponseWriter, status int, code string, err error)
+
+func failV1(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]any{
+		"error": map[string]string{"code": code, "message": err.Error()},
+	})
+}
+
+func failLegacy(w http.ResponseWriter, status int, _ string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Handler builds the route table: /v1 plus (when enabled) the legacy
+// aliases, each mount with its own error shape and catch-all 404.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.routes(mux, "/v1", failV1)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.adminSnapshot)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		failV1(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	if s.legacy {
+		s.routes(mux, "", failLegacy)
+	}
+	// Root catch-all: the legacy JSON 404 shape existing clients (and
+	// tests) rely on.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		failLegacy(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+// routes mounts the shared route set under prefix with ef's error
+// shape. The /v1 mount additionally gets SSE resume (Last-Event-ID)
+// semantics on watch.
+func (s *Server) routes(mux *http.ServeMux, prefix string, ef fail) {
+	v1 := prefix == "/v1"
+	mux.HandleFunc("POST "+prefix+"/queries", s.addQuery(ef))
+	mux.HandleFunc("DELETE "+prefix+"/queries/{id}", s.removeQuery(ef))
+	mux.HandleFunc("POST "+prefix+"/documents", s.publish(ef))
+	mux.HandleFunc("POST "+prefix+"/documents/batch", s.publishBatch(ef))
+	mux.HandleFunc("GET "+prefix+"/results/{id}", s.results(ef))
+	mux.HandleFunc("GET "+prefix+"/watch/{id}", s.watch(ef, v1))
+	mux.HandleFunc("GET "+prefix+"/stats", s.stats)
+	mux.HandleFunc("GET "+prefix+"/healthz", s.healthz)
+}
+
+// now returns the server's stream clock: wall time elapsed since boot,
+// offset by the stream time a restored engine had already reached so
+// publications never regress.
+func (s *Server) now() float64 { return s.base + time.Since(s.start).Seconds() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// engineFailure maps an engine error to its HTTP status and machine
+// code.
+func engineFailure(err error) (int, string) {
+	switch {
+	case errors.Is(err, ctk.ErrNoTerms):
+		return http.StatusBadRequest, "no_terms"
+	case errors.Is(err, core.ErrUnknownQuery):
+		return http.StatusNotFound, "unknown_query"
+	case errors.Is(err, core.ErrRemovedQuery):
+		return http.StatusNotFound, "query_removed"
+	case errors.Is(err, ctk.ErrTimeRegression):
+		return http.StatusConflict, "time_regression"
+	case errors.Is(err, ctk.ErrClosed):
+		return http.StatusServiceUnavailable, "engine_closed"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func (s *Server) addQuery(ef fail) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Keywords string `json:"keywords"`
+			K        int    `json:"k"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			ef(w, http.StatusBadRequest, "bad_json", err)
+			return
+		}
+		id, err := s.engine.Register(req.Keywords, req.K)
+		if err != nil {
+			status, code := engineFailure(err)
+			if status == http.StatusInternalServerError {
+				status, code = http.StatusBadRequest, "invalid_argument"
+			}
+			ef(w, status, code, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]uint32{"id": uint32(id)})
+	}
+}
+
+func (s *Server) removeQuery(ef fail) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := parseID(r.PathValue("id"))
+		if err != nil {
+			ef(w, http.StatusBadRequest, "invalid_argument", err)
+			return
+		}
+		if err := s.engine.Unregister(id); err != nil {
+			status, code := engineFailure(err)
+			ef(w, status, code, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// firstBlank returns the index of the first all-whitespace text, or
+// -1 when every text has content.
+func firstBlank(texts []string) int {
+	for i, text := range texts {
+		if strings.TrimSpace(text) == "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// ingest runs one publication with a serialized timestamp: reqTime
+// when the client supplied one, the server clock otherwise. The
+// result of pub is written as 202, engine rejections with their
+// mapped status (time regressions as 409).
+func (s *Server) ingest(w http.ResponseWriter, ef fail, reqTime *float64, pub func(at float64) (any, error)) {
+	s.mu.Lock()
+	at := s.now()
+	if reqTime != nil {
+		at = *reqTime
+	}
+	st, err := pub(at)
+	s.mu.Unlock()
+	if err != nil {
+		status, code := engineFailure(err)
+		if status == http.StatusInternalServerError {
+			status, code = http.StatusConflict, "conflict"
+		}
+		ef(w, status, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) publish(ef fail) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Text string   `json:"text"`
+			Time *float64 `json:"time,omitempty"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			ef(w, http.StatusBadRequest, "bad_json", err)
+			return
+		}
+		if strings.TrimSpace(req.Text) == "" {
+			ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("empty document text"))
+			return
+		}
+		s.ingest(w, ef, req.Time, func(at float64) (any, error) {
+			return s.engine.Publish(req.Text, at)
+		})
+	}
+}
+
+func (s *Server) publishBatch(ef fail) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Texts []string `json:"texts"`
+			Time  *float64 `json:"time,omitempty"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			ef(w, http.StatusBadRequest, "bad_json", err)
+			return
+		}
+		if len(req.Texts) == 0 {
+			ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("empty batch"))
+			return
+		}
+		if i := firstBlank(req.Texts); i != -1 {
+			ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("empty document text at index %d", i))
+			return
+		}
+		s.ingest(w, ef, req.Time, func(at float64) (any, error) {
+			return s.engine.PublishBatch(req.Texts, at)
+		})
+	}
+}
+
+func (s *Server) results(ef fail) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := parseID(r.PathValue("id"))
+		if err != nil {
+			ef(w, http.StatusBadRequest, "invalid_argument", err)
+			return
+		}
+		res, seq, err := s.engine.ResultsSeq(id)
+		if err != nil {
+			status, code := engineFailure(err)
+			ef(w, status, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ResultsPayload{Seq: seq, Results: res})
+	}
+}
+
+// watchBufMax bounds the per-watcher delivery buffer a client may
+// request.
+const watchBufMax = 1024
+
+// watch streams a query's top-k changes as server-sent events. Each
+// change arrives as
+//
+//	id: <seq>
+//	event: topk
+//	data: {"Query": 3, "Seq": 17, "Results": [...]}
+//
+// starting with the current snapshot. Slow consumers are coalesced to
+// the latest state (gaps in Seq reveal skipped intermediates). The
+// stream ends (event: end) when the query is unregistered or the
+// server shuts down. ?buffer=N (1..1024, default 1) sizes the
+// delivery buffer for clients that want short backlogs instead of
+// pure latest-value semantics.
+//
+// On /v1, the stream is resumable: a reconnecting client sends the
+// standard Last-Event-ID header with the last Seq it saw. Seqs are
+// persisted with snapshots and reconstructed by WAL replay, so the
+// comparison is meaningful even across a server restart: if the
+// query's state hasn't changed the redundant initial snapshot is
+// suppressed, and if it has, the initial event's id exposes the gap —
+// the client knows exactly whether it missed anything.
+func (s *Server) watch(ef fail, resumable bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, err := parseID(r.PathValue("id"))
+		if err != nil {
+			ef(w, http.StatusBadRequest, "invalid_argument", err)
+			return
+		}
+		buf := 1
+		if b := r.URL.Query().Get("buffer"); b != "" {
+			n, err := strconv.Atoi(b)
+			if err != nil || n < 1 || n > watchBufMax {
+				ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("buffer must be 1..%d", watchBufMax))
+				return
+			}
+			buf = n
+		}
+		lastSeen, haveLast := uint64(0), false
+		if resumable {
+			if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+				n, err := strconv.ParseUint(lei, 10, 64)
+				if err != nil {
+					ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("bad Last-Event-ID %q", lei))
+					return
+				}
+				lastSeen, haveLast = n, true
+			}
+		}
+		ch, cancel, err := s.engine.Subscribe(id, buf)
+		if err != nil {
+			status, code := engineFailure(err)
+			ef(w, status, code, err)
+			return
+		}
+		defer cancel()
+
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("X-Accel-Buffering", "no")
+		rc := http.NewResponseController(w)
+		// The stream deliberately outlives the server's WriteTimeout; the
+		// per-event writes below fail fast if the client goes away.
+		_ = rc.SetWriteDeadline(time.Time{})
+		w.WriteHeader(http.StatusOK)
+		if resumable {
+			// Ask EventSource clients to auto-reconnect promptly; resume
+			// is cheap because Last-Event-ID suppresses redundant state.
+			fmt.Fprint(w, "retry: 3000\n\n")
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		// end tells the client this is deliberate end-of-stream (query
+		// unregistered or server shutting down), not a network failure.
+		end := func() {
+			fmt.Fprint(w, "event: end\ndata: {}\n\n")
+			_ = rc.Flush()
+		}
+		first := true
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-s.stopping:
+				end()
+				return
+			case u, ok := <-ch:
+				if !ok {
+					end()
+					return
+				}
+				if first {
+					first = false
+					// Resume: the primed initial snapshot is the state the
+					// reconnecting client says it already has — skip it.
+					// (An id ahead of the client's reveals the drop instead.)
+					if haveLast && u.Seq == lastSeen {
+						continue
+					}
+				}
+				data, err := json.Marshal(u)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "id: %d\nevent: topk\ndata: %s\n\n", u.Seq, data); err != nil {
+					return
+				}
+				if err := rc.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+// healthz reports liveness plus a summary a load balancer or operator
+// can alert on.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"stream_time":    s.engine.StreamTime(),
+		"stats":          s.engine.Stats(),
+	})
+}
+
+// adminSnapshot triggers an on-demand online snapshot (v1 only). The
+// snapshot runs concurrently with ingestion; the response reports the
+// WAL drain point and stream time it captured.
+func (s *Server) adminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	info, err := s.engine.Snapshot()
+	if err != nil {
+		if errors.Is(err, ctk.ErrNoDurability) {
+			failV1(w, http.StatusConflict, "durability_disabled", err)
+			return
+		}
+		failV1(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"lsn":         info.LSN,
+		"stream_time": info.StreamTime,
+		"path":        info.Path,
+	})
+}
+
+func parseID(s string) (ctk.QueryID, error) {
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad query id %q", s)
+	}
+	return ctk.QueryID(n), nil
+}

@@ -1,0 +1,497 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func newTestServer(t *testing.T, opts ctk.Options) *httptest.Server {
+	t.Helper()
+	var (
+		engine *ctk.Engine
+		err    error
+	)
+	if opts.Durability.Dir != "" {
+		engine, err = ctk.Open(opts)
+	} else {
+		engine, err = ctk.New(opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine, Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		engine.Close()
+	})
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	return resp, out
+}
+
+// envelope decodes a /v1 error body and fails the test unless it has
+// the uniform {"error": {"code", "message"}} shape.
+func envelope(t *testing.T, out map[string]any, wantCode string) {
+	t.Helper()
+	e, ok := out["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("error body not an envelope: %v", out)
+	}
+	if e["code"] != wantCode {
+		t.Fatalf("error code %v, want %q (message %v)", e["code"], wantCode, e["message"])
+	}
+	if msg, _ := e["message"].(string); msg == "" {
+		t.Fatalf("empty error message: %v", out)
+	}
+}
+
+// TestV1ContractSuccessShapes drives every /v1 route's happy path and
+// pins its response shape.
+func TestV1ContractSuccessShapes(t *testing.T) {
+	ts := newTestServer(t, ctk.Options{Lambda: 0.001, SnippetLength: 40})
+
+	// POST /v1/queries
+	resp, out := postJSON(t, ts.URL+"/v1/queries", `{"keywords":"solar panel efficiency","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add query: %d %v", resp.StatusCode, out)
+	}
+	if _, ok := out["id"].(float64); !ok {
+		t.Fatalf("add query body: %v", out)
+	}
+
+	// POST /v1/documents
+	resp, out = postJSON(t, ts.URL+"/v1/documents", `{"text":"solar panel efficiency record","time":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("publish: %d %v", resp.StatusCode, out)
+	}
+	if _, ok := out["DocID"]; !ok {
+		t.Fatalf("publish body: %v", out)
+	}
+
+	// POST /v1/documents/batch
+	resp, out = postJSON(t, ts.URL+"/v1/documents/batch", `{"texts":["panel efficiency gains","unrelated story"],"time":2}`)
+	if resp.StatusCode != http.StatusAccepted || out["Docs"].(float64) != 2 {
+		t.Fatalf("batch: %d %v", resp.StatusCode, out)
+	}
+
+	// GET /v1/results/{id}
+	r, err := http.Get(ts.URL + "/v1/results/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rp ResultsPayload
+	if err := json.NewDecoder(r.Body).Decode(&rp); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || rp.Seq == 0 || len(rp.Results) == 0 {
+		t.Fatalf("results: %d %+v", r.StatusCode, rp)
+	}
+
+	// GET /v1/stats — including the durability block (disabled here).
+	r, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ctk.Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.Queries != 1 || st.Documents != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Durability.Enabled {
+		t.Fatalf("durability reported enabled on an in-memory engine: %+v", st.Durability)
+	}
+
+	// GET /v1/healthz
+	r, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", r.StatusCode, h)
+	}
+
+	// DELETE /v1/queries/{id}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/queries/0", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+}
+
+// TestV1ErrorEnvelope pins the machine-readable envelope on every /v1
+// failure class, including the catch-all 404.
+func TestV1ErrorEnvelope(t *testing.T) {
+	ts := newTestServer(t, ctk.Options{Lambda: 0.001})
+	postJSON(t, ts.URL+"/v1/queries", `{"keywords":"solar power","k":2}`)
+	postJSON(t, ts.URL+"/v1/documents", `{"text":"later doc","time":100}`)
+
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"bad json", "POST", "/v1/queries", `not json`, 400, "bad_json"},
+		{"stopword query", "POST", "/v1/queries", `{"keywords":"the and of"}`, 400, "no_terms"},
+		{"bad id", "DELETE", "/v1/queries/notanumber", "", 400, "invalid_argument"},
+		{"unknown query", "DELETE", "/v1/queries/42", "", 404, "unknown_query"},
+		{"empty doc", "POST", "/v1/documents", `{"text":"  "}`, 400, "invalid_argument"},
+		{"time regression", "POST", "/v1/documents", `{"text":"earlier","time":1}`, 409, "time_regression"},
+		{"empty batch", "POST", "/v1/documents/batch", `{"texts":[]}`, 400, "invalid_argument"},
+		{"results unknown", "GET", "/v1/results/42", "", 404, "unknown_query"},
+		{"results bad id", "GET", "/v1/results/notanumber", "", 400, "invalid_argument"},
+		{"watch unknown", "GET", "/v1/watch/42", "", 404, "unknown_query"},
+		{"watch bad buffer", "GET", "/v1/watch/0?buffer=0", "", 400, "invalid_argument"},
+		{"catch-all 404", "GET", "/v1/no/such/route", "", 404, "not_found"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("non-JSON error body: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%v)", resp.StatusCode, tc.status, out)
+			}
+			envelope(t, out, tc.code)
+		})
+	}
+
+	// Removed queries get their own code.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/queries/0", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	r, err := http.Get(ts.URL + "/v1/results/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&out)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed query: %d", r.StatusCode)
+	}
+	envelope(t, out, "query_removed")
+}
+
+// TestLegacyAliasParity: every route is mounted at both /v1 and the
+// legacy unversioned path; success payloads are identical and the two
+// mounts differ only in error shape (envelope vs flat).
+func TestLegacyAliasParity(t *testing.T) {
+	ts := newTestServer(t, ctk.Options{Lambda: 0.001})
+	postJSON(t, ts.URL+"/v1/queries", `{"keywords":"solar power","k":2}`)
+	postJSON(t, ts.URL+"/documents", `{"text":"solar power story","time":1}`)
+
+	// Success parity: polling via both mounts yields the same bytes.
+	read := func(path string) (int, string) {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var sb strings.Builder
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+		}
+		return r.StatusCode, sb.String()
+	}
+	for _, path := range []string{"/results/0", "/stats"} {
+		lc, lb := read(path)
+		vc, vb := read("/v1" + path)
+		if lc != vc || lb != vb {
+			t.Fatalf("%s: legacy (%d, %s) != v1 (%d, %s)", path, lc, lb, vc, vb)
+		}
+	}
+
+	// Error-shape divergence: flat on legacy, envelope on /v1.
+	r, err := http.Get(ts.URL + "/results/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&flat); err != nil {
+		t.Fatalf("legacy error not flat: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest || flat["error"] == "" {
+		t.Fatalf("legacy error: %d %v", r.StatusCode, flat)
+	}
+	r, err = http.Get(ts.URL + "/v1/results/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&env)
+	r.Body.Close()
+	envelope(t, env, "invalid_argument")
+
+	// Root catch-all stays flat (legacy clients); /v1 catch-all is an
+	// envelope.
+	r, _ = http.Get(ts.URL + "/no/such/route")
+	flat = nil
+	_ = json.NewDecoder(r.Body).Decode(&flat)
+	r.Body.Close()
+	if flat["error"] == "" {
+		t.Fatalf("root 404 not flat: %v", flat)
+	}
+}
+
+// TestAdminSnapshot: on a durable engine the endpoint produces an
+// online snapshot and reports its drain point; without durability it
+// fails with the machine code for it.
+func TestAdminSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, ctk.Options{
+		Lambda:     0.001,
+		Durability: ctk.Durability{Dir: dir, SnapshotOps: -1},
+	})
+	postJSON(t, ts.URL+"/v1/queries", `{"keywords":"flood rescue","k":2}`)
+	postJSON(t, ts.URL+"/v1/documents", `{"text":"flood rescue downtown","time":1}`)
+
+	resp, out := postJSON(t, ts.URL+"/v1/admin/snapshot", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin snapshot: %d %v", resp.StatusCode, out)
+	}
+	if lsn := out["lsn"].(float64); lsn != 2 {
+		t.Fatalf("snapshot lsn %v, want 2", lsn)
+	}
+	if out["path"] == "" {
+		t.Fatalf("snapshot body: %v", out)
+	}
+
+	// Stats now reflect the snapshot and the WAL.
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ctk.Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	d := st.Durability
+	if !d.Enabled || d.LastSnapshotLSN != 2 || d.NextLSN != 2 || d.Snapshots == 0 {
+		t.Fatalf("durability stats after snapshot: %+v", d)
+	}
+
+	// Without durability: 409 + durability_disabled.
+	ts2 := newTestServer(t, ctk.Options{Lambda: 0.001})
+	resp, out = postJSON(t, ts2.URL+"/v1/admin/snapshot", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot without durability: %d %v", resp.StatusCode, out)
+	}
+	envelope(t, out, "durability_disabled")
+
+	// The legacy mount has no admin surface.
+	resp, _ = postJSON(t, ts.URL+"/admin/snapshot", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy admin route: %d", resp.StatusCode)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readEvents consumes the stream until n events arrived or it ends.
+func readEvents(t *testing.T, body *bufio.Scanner, n int) []sseEvent {
+	t.Helper()
+	var (
+		evs []sseEvent
+		cur sseEvent
+	)
+	for len(evs) < n && body.Scan() {
+		line := body.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				evs = append(evs, cur)
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return evs
+}
+
+// watchReq opens /v1/watch/{id} with an optional Last-Event-ID.
+func watchReq(t *testing.T, url, lastEventID string) (*http.Response, *bufio.Scanner) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, bufio.NewScanner(resp.Body)
+}
+
+// TestWatchResume covers the /v1 SSE resume semantics: a fresh watch
+// gets the initial snapshot; a reconnect carrying the current Seq gets
+// nothing redundant; a reconnect carrying a stale Seq gets the current
+// state whose id exposes the gap.
+func TestWatchResume(t *testing.T) {
+	// Strong decay: a fresh document always displaces older top-k
+	// entries, so every publish below is a guaranteed Seq bump.
+	ts := newTestServer(t, ctk.Options{Lambda: 0.5})
+	postJSON(t, ts.URL+"/v1/queries", `{"keywords":"solar panel","k":3}`)
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/documents",
+			fmt.Sprintf(`{"text":"solar panel story %d","time":%d}`, i, i+1))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("publish %d: %d", i, resp.StatusCode)
+		}
+	}
+	// Current Seq is 3 (three top-k changes).
+
+	// Fresh watch: initial snapshot at id 3.
+	resp, sc := watchReq(t, ts.URL+"/v1/watch/0", "")
+	evs := readEvents(t, sc, 1)
+	resp.Body.Close()
+	if len(evs) != 1 || evs[0].event != "topk" || evs[0].id != "3" {
+		t.Fatalf("fresh watch events: %+v", evs)
+	}
+
+	// Up-to-date reconnect: the redundant snapshot is suppressed; the
+	// next event is the next real change.
+	resp, sc = watchReq(t, ts.URL+"/v1/watch/0", "3")
+	done := make(chan []sseEvent, 1)
+	go func() { done <- readEvents(t, sc, 1) }()
+	if presp, _ := postJSON(t, ts.URL+"/v1/documents", `{"text":"solar panel story four","time":10}`); presp.StatusCode != http.StatusAccepted {
+		t.Fatal("publish for resume test failed")
+	}
+	evs = <-done
+	resp.Body.Close()
+	if len(evs) != 1 || evs[0].id != "4" {
+		t.Fatalf("resumed watch events: %+v (want only the new seq-4 update)", evs)
+	}
+
+	// Stale reconnect: the initial snapshot arrives and its id (4) vs
+	// the client's Last-Event-ID (2) exposes the dropped updates.
+	resp, sc = watchReq(t, ts.URL+"/v1/watch/0", "2")
+	evs = readEvents(t, sc, 1)
+	resp.Body.Close()
+	if len(evs) != 1 || evs[0].id != "4" {
+		t.Fatalf("stale-resume events: %+v", evs)
+	}
+	var u ctk.Update
+	if err := json.Unmarshal([]byte(evs[0].data), &u); err != nil || u.Seq != 4 {
+		t.Fatalf("stale-resume payload: %s (%v)", evs[0].data, err)
+	}
+
+	// Garbage Last-Event-ID: rejected with the envelope.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/watch/0", nil)
+	req.Header.Set("Last-Event-ID", "not-a-seq")
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(bresp.Body).Decode(&out)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID: %d", bresp.StatusCode)
+	}
+	envelope(t, out, "invalid_argument")
+
+	// The legacy mount ignores Last-Event-ID entirely (no resume
+	// semantics on deprecated routes): the initial snapshot always
+	// arrives.
+	resp, sc = watchReq(t, ts.URL+"/watch/0", "4")
+	evs = readEvents(t, sc, 1)
+	resp.Body.Close()
+	if len(evs) != 1 || evs[0].event != "topk" {
+		t.Fatalf("legacy watch with Last-Event-ID: %+v", evs)
+	}
+}
+
+// TestWatchResumeAcrossRestart: Seqs persist through the durability
+// layer, so a Last-Event-ID from before a restart still means the same
+// thing to the restarted server.
+func TestWatchResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := ctk.Options{Lambda: 0.5, Durability: ctk.Durability{Dir: dir, SnapshotOps: -1}}
+
+	e, err := ctk.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("solar panel", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Publish(fmt.Sprintf("solar panel story %d", i), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: recovery reconstructs Seq 3.
+	ts := newTestServer(t, opts)
+	resp, sc := watchReq(t, ts.URL+"/v1/watch/0", "3")
+	done := make(chan []sseEvent, 1)
+	go func() { done <- readEvents(t, sc, 1) }()
+	if presp, _ := postJSON(t, ts.URL+"/v1/documents", `{"text":"solar panel after restart","time":10}`); presp.StatusCode != http.StatusAccepted {
+		t.Fatal("post-restart publish failed")
+	}
+	evs := <-done
+	resp.Body.Close()
+	if len(evs) != 1 || evs[0].id != "4" {
+		t.Fatalf("cross-restart resume: %+v (want suppression of seq 3, delivery of 4)", evs)
+	}
+}

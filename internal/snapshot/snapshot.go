@@ -249,14 +249,34 @@ func Load(r io.Reader) (*core.Monitor, error) {
 	return build(st, core.Config{})
 }
 
-// SaveEngine writes an engine-level snapshot: the monitor plus the
-// text pipeline's state.
-func SaveEngine(w io.Writer, m *core.Monitor, ts TextState) error {
-	st := engineState{Version: engineVersion, Monitor: capture(m), Text: ts}
-	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+// State is a captured engine-level snapshot that has not yet been
+// encoded. Splitting capture from encoding lets the online snapshotter
+// do the cheap part (capture) under the engine lock and the expensive
+// part (gob encoding and disk I/O) concurrently with ingestion.
+type State struct {
+	st engineState
+}
+
+// CaptureEngine collects an engine-level snapshot of m and ts. The
+// caller must hold whatever lock serializes m's mutations; the
+// returned State is immutable afterwards and may be encoded without
+// the lock.
+func CaptureEngine(m *core.Monitor, ts TextState) *State {
+	return &State{st: engineState{Version: engineVersion, Monitor: capture(m), Text: ts}}
+}
+
+// Encode writes the captured snapshot to w.
+func (s *State) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(&s.st); err != nil {
 		return fmt.Errorf("snapshot: encode engine: %w", err)
 	}
 	return nil
+}
+
+// SaveEngine writes an engine-level snapshot: the monitor plus the
+// text pipeline's state.
+func SaveEngine(w io.Writer, m *core.Monitor, ts TextState) error {
+	return CaptureEngine(m, ts).Encode(w)
 }
 
 // LoadEngine reads an engine-level snapshot, reconstructing the

@@ -1,0 +1,204 @@
+// Package wal is the engine's write-ahead log: an append-only,
+// checksummed, segment-rotated record of the text-level mutations —
+// publications and query churn — that the in-memory snapshot formats
+// do not cover between saves. Replaying the log over the most recent
+// snapshot reconstructs the engine bit-identically, because the engine
+// is deterministic in its acknowledged operation order.
+//
+// Durability contract: a record is durable once it has been Appended
+// and a Sync has completed afterwards (the fsync "always" policy syncs
+// per append; "interval" amortizes syncs on a timer and bounds loss to
+// the interval). A crash can leave a torn tail — a partially written
+// frame — which Open detects by checksum and truncates away; the torn
+// record was by construction never acknowledged as durable.
+//
+// On-disk layout: segments named "wal-%016x.seg" (the hex value is the
+// LSN of the segment's first record) containing a 16-byte header
+// (magic + first LSN) followed by frames:
+//
+//	u32le CRC32(payload) | u32le len(payload) | payload
+//
+// Record LSNs are positional — the segment header's first LSN plus the
+// frame's index — so frames carry no redundant sequence field and a
+// segment is valid iff every frame checksums and decodes.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op discriminates the record types.
+type Op byte
+
+// The record types: one per acknowledged text-level mutation.
+const (
+	// OpPublish is a single-document publication (Time, Texts[0]).
+	OpPublish Op = 1
+	// OpBatch is a batch publication sharing one arrival time.
+	OpBatch Op = 2
+	// OpRegister is a query registration (Keywords, K, and the query ID
+	// the engine assigned — replay verifies it gets the same one).
+	OpRegister Op = 3
+	// OpUnregister is a query removal (Query).
+	OpUnregister Op = 4
+)
+
+// Rec is one logged mutation. Only the fields of its Op are
+// meaningful.
+type Rec struct {
+	Op Op
+	// Time is the stream timestamp of a publication.
+	Time float64
+	// Texts carries the document text(s): exactly one for OpPublish,
+	// one per batch member for OpBatch.
+	Texts []string
+	// Keywords and K are a registration's definition; Query is the
+	// engine-assigned ID (OpRegister) or the removal target
+	// (OpUnregister).
+	Keywords string
+	K        int
+	Query    uint32
+}
+
+// Decode sanity bounds: lengths beyond these are corruption, not data
+// (they would otherwise let a flipped length byte drive a giant
+// allocation before the checksum could catch it — the checksum is
+// frame-level, so the payload decoder must be self-defending too).
+const (
+	maxBatchDocs = 1 << 20
+	maxK         = 1 << 20
+)
+
+// ErrCorrupt reports a payload that does not decode as a record.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// AppendRec appends r's payload encoding to dst and returns the
+// extended slice. The payload excludes the frame header (checksum and
+// length), which Log.Append adds.
+func AppendRec(dst []byte, r Rec) []byte {
+	dst = append(dst, byte(r.Op))
+	switch r.Op {
+	case OpPublish:
+		dst = appendFloat(dst, r.Time)
+		dst = appendString(dst, r.Texts[0])
+	case OpBatch:
+		dst = appendFloat(dst, r.Time)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Texts)))
+		for _, t := range r.Texts {
+			dst = appendString(dst, t)
+		}
+	case OpRegister:
+		dst = binary.AppendUvarint(dst, uint64(r.Query))
+		dst = binary.AppendUvarint(dst, uint64(r.K))
+		dst = appendString(dst, r.Keywords)
+	case OpUnregister:
+		dst = binary.AppendUvarint(dst, uint64(r.Query))
+	default:
+		panic(fmt.Sprintf("wal: encode of unknown op %d", r.Op))
+	}
+	return dst
+}
+
+// DecodeRec decodes one record payload. Every error wraps ErrCorrupt;
+// trailing bytes after a well-formed record are corruption too (the
+// frame length delimits the payload exactly).
+func DecodeRec(b []byte) (Rec, error) {
+	var r Rec
+	if len(b) == 0 {
+		return r, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	r.Op = Op(b[0])
+	b = b[1:]
+	var err error
+	switch r.Op {
+	case OpPublish:
+		var text string
+		if r.Time, b, err = takeFloat(b); err == nil {
+			text, b, err = takeString(b)
+			r.Texts = []string{text}
+		}
+	case OpBatch:
+		var n uint64
+		if r.Time, b, err = takeFloat(b); err == nil {
+			n, b, err = takeUvarint(b, maxBatchDocs)
+		}
+		if err == nil {
+			r.Texts = make([]string, 0, min(n, uint64(len(b))))
+			for i := uint64(0); i < n && err == nil; i++ {
+				var t string
+				t, b, err = takeString(b)
+				r.Texts = append(r.Texts, t)
+			}
+		}
+	case OpRegister:
+		var q, k uint64
+		if q, b, err = takeUvarint(b, math.MaxUint32); err == nil {
+			k, b, err = takeUvarint(b, maxK)
+		}
+		if err == nil {
+			r.Query, r.K = uint32(q), int(k)
+			r.Keywords, b, err = takeString(b)
+		}
+	case OpUnregister:
+		var q uint64
+		q, b, err = takeUvarint(b, math.MaxUint32)
+		r.Query = uint32(q)
+	default:
+		return r, fmt.Errorf("%w: unknown op %d", ErrCorrupt, r.Op)
+	}
+	if err != nil {
+		return r, err
+	}
+	if len(b) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	return r, nil
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func takeFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, b, fmt.Errorf("%w: truncated float", ErrCorrupt)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func takeUvarint(b []byte, limit uint64) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	// Only canonical (minimal-length) encodings are accepted: the
+	// encoder never emits a redundant trailing zero byte, so one marks
+	// corruption — and every accepted record must re-encode to the
+	// exact bytes decoded, a property the fuzzer holds us to.
+	if n > 1 && b[n-1] == 0 {
+		return 0, b, fmt.Errorf("%w: non-canonical uvarint", ErrCorrupt)
+	}
+	if v > limit {
+		return 0, b, fmt.Errorf("%w: value %d exceeds limit %d", ErrCorrupt, v, limit)
+	}
+	return v, b[n:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, b, err := takeUvarint(b, uint64(len(b)))
+	if err != nil {
+		return "", b, err
+	}
+	if uint64(len(b)) < n {
+		return "", b, fmt.Errorf("%w: truncated string", ErrCorrupt)
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,494 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	// segMagic opens every segment file; segHeaderLen is the magic plus
+	// the u64le first-LSN field.
+	segMagic     = "ctkwal01"
+	segHeaderLen = len(segMagic) + 8
+
+	frameHeaderLen = 8 // u32le crc + u32le payload length
+
+	// maxPayload bounds one frame: a length field beyond it is
+	// corruption (and stops a flipped bit from driving a huge read).
+	maxPayload = 1 << 26
+
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+
+	// DefaultSegmentBytes is the rotation threshold when Options leaves
+	// SegmentBytes zero.
+	DefaultSegmentBytes = 8 << 20
+)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = fmt.Errorf("wal: log is closed")
+
+// Options parameterizes a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a segment that would grow
+	// past it is sealed (flushed and fsynced) and a fresh one started.
+	// Zero uses DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// segment is one on-disk segment's bookkeeping.
+type segment struct {
+	path  string
+	first uint64 // LSN of the segment's first record
+	count uint64 // valid frames
+	bytes int64  // header + valid frames
+}
+
+func (s segment) end() uint64 { return s.first + s.count }
+
+// Log is an append-only record log over a directory of segments. All
+// methods are safe for concurrent use; append order is the replay
+// order, so callers that need appends ordered against their own state
+// mutations must serialize those externally (the engine appends under
+// its write lock).
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segs []segment // ascending; the last one is active
+	f    *os.File  // active segment
+	w    *bufio.Writer
+
+	next        uint64 // LSN of the next appended record
+	forceRotate bool   // next append must open a fresh segment
+	closed      bool
+
+	scratch []byte // payload encode buffer, reused across appends
+}
+
+// Stats summarizes the log's on-disk footprint.
+type Stats struct {
+	// Segments and Bytes count the live segment files and their sizes.
+	Segments int
+	Bytes    int64
+	// NextLSN is the LSN the next appended record will get — equally,
+	// the count of records ever acknowledged into this log's LSN space
+	// (snapshots record it as their drain point).
+	NextLSN uint64
+}
+
+// Open opens (or creates) the log in dir, repairing crash artifacts:
+// the torn tail of the last segment — a partially written frame, or a
+// partially written segment header — is truncated away, and any
+// segments after a torn frame are discarded (they cannot contain
+// acknowledged records: frames are appended strictly in order).
+//
+// floor is the LSN the caller already has durable elsewhere (the drain
+// point of the snapshot it restored); an empty or fully truncated log
+// resumes numbering there instead of at zero, so LSN accounting stays
+// monotone across snapshot/truncate cycles.
+func Open(dir string, floor uint64, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if len(l.segs) == 0 {
+		l.next = floor
+		if err := l.openSegment(l.next); err != nil {
+			return nil, err
+		}
+	} else {
+		l.next = l.segs[len(l.segs)-1].end()
+		if floor > l.next {
+			// The snapshot is ahead of every surviving record (all
+			// covered segments were truncated). Resume numbering at the
+			// floor in a fresh segment; appending into the old one would
+			// corrupt its positional LSNs.
+			l.next = floor
+			l.forceRotate = true
+		}
+		last := l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen %s: %w", last.path, err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+	}
+	return l, nil
+}
+
+// scan inventories dir's segments in LSN order, validating every frame
+// and repairing the torn tail: the file containing the first invalid
+// frame is truncated at the last valid frame boundary and every later
+// segment is removed.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+		if err != nil {
+			return fmt.Errorf("wal: segment name %q: %w", name, err)
+		}
+		segs = append(segs, segment{path: filepath.Join(l.dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	for i := range segs {
+		seg := &segs[i]
+		count, valid, torn, err := scanSegment(seg.path, seg.first)
+		if err != nil {
+			if i == len(segs)-1 && count == 0 && valid == 0 {
+				// A header that never finished writing: the segment holds
+				// nothing acknowledged. Drop it.
+				if rerr := os.Remove(seg.path); rerr != nil {
+					return fmt.Errorf("wal: drop torn segment: %w", rerr)
+				}
+				segs = segs[:i]
+				break
+			}
+			return err
+		}
+		seg.count, seg.bytes = uint64(count), valid
+		if i > 0 && seg.first < segs[i-1].end() {
+			return fmt.Errorf("wal: segment %s overlaps its predecessor (first %d < end %d)",
+				seg.path, seg.first, segs[i-1].end())
+		}
+		if torn {
+			if err := os.Truncate(seg.path, valid); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.path, err)
+			}
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(later.path); err != nil {
+					return fmt.Errorf("wal: drop segment after torn tail: %w", err)
+				}
+			}
+			segs = segs[:i+1]
+			break
+		}
+	}
+	l.segs = segs
+	return nil
+}
+
+// scanSegment validates one segment file: frame count, the byte length
+// of the valid prefix, and whether a torn (checksum-failing, truncated
+// or undecodable) tail follows it. A short or mismatched header is
+// reported as an error with count 0 — the caller decides whether that
+// is a crash artifact (last segment, nothing written) or corruption.
+func scanSegment(path string, wantFirst uint64) (count int, valid int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return 0, 0, false, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	if first := binary.LittleEndian.Uint64(data[len(segMagic):segHeaderLen]); first != wantFirst {
+		return 0, 0, false, fmt.Errorf("wal: %s: header LSN %d does not match name", path, first)
+	}
+	n, validLen, torn := scanFrames(data[segHeaderLen:], nil)
+	return n, int64(segHeaderLen) + int64(validLen), torn, nil
+}
+
+// scanFrames walks frames in data, calling fn (when non-nil) with each
+// valid payload, and returns the count of valid frames, the byte
+// length of the valid prefix, and whether invalid bytes follow it.
+// Frame validity is checksum + record decode: a CRC-clean frame whose
+// payload does not decode is treated as torn too, so replay never has
+// to interpret a record Open did not vouch for.
+func scanFrames(data []byte, fn func(payload []byte)) (count, valid int, torn bool) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return count, off, false
+		}
+		if len(rest) < frameHeaderLen {
+			return count, off, true
+		}
+		sum := binary.LittleEndian.Uint32(rest[0:4])
+		size := binary.LittleEndian.Uint32(rest[4:8])
+		if size == 0 || size > maxPayload || len(rest) < frameHeaderLen+int(size) {
+			return count, off, true
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(size)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return count, off, true
+		}
+		if _, err := DecodeRec(payload); err != nil {
+			return count, off, true
+		}
+		if fn != nil {
+			fn(payload)
+		}
+		count++
+		off += frameHeaderLen + int(size)
+	}
+}
+
+// openSegment creates a fresh segment whose first record will be LSN
+// first, writes its header durably, and makes it the active segment.
+// The directory entry is fsynced so the new file survives a crash.
+func (l *Log) openSegment(first uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, first, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, first)
+	if _, err := f.Write(hdr); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segs = append(l.segs, segment{path: path, first: first, bytes: int64(segHeaderLen)})
+	return nil
+}
+
+// sealActive flushes, fsyncs and closes the active segment.
+func (l *Log) sealActive() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	if err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	return nil
+}
+
+// Append logs one record and returns its LSN. The record is in the OS
+// pipeline but not yet durable — call Sync (or run the "always" fsync
+// policy, which does) to make it so. Rotation to a fresh segment
+// happens transparently when the active one is full.
+func (l *Log) Append(r Rec) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.scratch = AppendRec(l.scratch[:0], r)
+	payload := l.scratch
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	active := &l.segs[len(l.segs)-1]
+	frameLen := int64(frameHeaderLen + len(payload))
+	if l.forceRotate || (active.count > 0 && active.bytes+frameLen > l.opts.SegmentBytes) {
+		if err := l.sealActive(); err != nil {
+			return 0, err
+		}
+		if err := l.openSegment(l.next); err != nil {
+			return 0, err
+		}
+		l.forceRotate = false
+		active = &l.segs[len(l.segs)-1]
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	lsn := l.next
+	l.next++
+	active.count++
+	active.bytes += frameLen
+	return lsn, nil
+}
+
+// Sync flushes buffered appends and fsyncs the active segment. Once it
+// returns, every record appended before the call is durable (a sync
+// covers the whole file, so it also covers records appended by other
+// goroutines before this one's).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// NextLSN returns the LSN the next appended record will receive. A
+// snapshot captured while mutations are externally paused (the
+// engine's lock) records it as the drain point: every record below it
+// is reflected in the snapshot, every record at or above it is not.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Stats reports the log's current footprint.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{NextLSN: l.next, Segments: len(l.segs)}
+	for _, s := range l.segs {
+		st.Bytes += s.bytes
+	}
+	return st
+}
+
+// Replay streams every record with LSN ≥ from, in order, to apply.
+// Call it after Open (which repaired torn tails) and before the first
+// Append; apply errors abort the replay. Returns the number of records
+// applied.
+func (l *Log) Replay(from uint64, apply func(lsn uint64, r Rec) error) (int, error) {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: replay flush: %w", err)
+		}
+	}
+	l.mu.Unlock()
+
+	applied := 0
+	for _, seg := range segs {
+		if seg.end() <= from {
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return applied, fmt.Errorf("wal: replay: %w", err)
+		}
+		lsn := seg.first
+		var applyErr error
+		n, _, torn := scanFrames(data[segHeaderLen:], func(payload []byte) {
+			if applyErr != nil {
+				return
+			}
+			cur := lsn
+			lsn++
+			if cur < from {
+				return
+			}
+			rec, err := DecodeRec(payload)
+			if err != nil {
+				applyErr = err
+				return
+			}
+			if err := apply(cur, rec); err != nil {
+				applyErr = fmt.Errorf("wal: replay record %d: %w", cur, err)
+				return
+			}
+			applied++
+		})
+		if applyErr != nil {
+			return applied, applyErr
+		}
+		if torn || uint64(n) != seg.count {
+			return applied, fmt.Errorf("wal: replay: segment %s changed underfoot", seg.path)
+		}
+	}
+	return applied, nil
+}
+
+// TruncateBefore removes segments every record of which has LSN < lsn
+// (they are fully superseded by a durable snapshot whose drain point
+// is lsn). The active segment is never removed. Returns the number of
+// segments deleted.
+func (l *Log) TruncateBefore(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	for len(l.segs) > 1 && l.segs[0].end() <= lsn {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes, fsyncs and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.sealActive()
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}

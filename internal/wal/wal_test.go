@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func recPublish(t float64, text string) Rec {
+	return Rec{Op: OpPublish, Time: t, Texts: []string{text}}
+}
+
+func openT(t *testing.T, dir string, floor uint64, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, floor, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendT(t *testing.T, l *Log, r Rec) uint64 {
+	t.Helper()
+	lsn, err := l.Append(r)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
+func collect(t *testing.T, l *Log, from uint64) (lsns []uint64, recs []Rec) {
+	t.Helper()
+	n, err := l.Replay(from, func(lsn uint64, r Rec) error {
+		lsns = append(lsns, lsn)
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(recs) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(recs))
+	}
+	return lsns, recs
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	want := []Rec{
+		recPublish(1.5, "alpha beta"),
+		{Op: OpBatch, Time: 2.5, Texts: []string{"gamma", "delta epsilon"}},
+		{Op: OpRegister, Query: 7, K: 3, Keywords: "alpha gamma"},
+		{Op: OpUnregister, Query: 7},
+		{Op: OpBatch, Time: 3.0, Texts: nil},
+	}
+	l := openT(t, dir, 0, Options{})
+	for i, r := range want {
+		if lsn := appendT(t, l, r); lsn != uint64(i) {
+			t.Fatalf("record %d got LSN %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l = openT(t, dir, 0, Options{})
+	defer l.Close()
+	if got := l.NextLSN(); got != uint64(len(want)) {
+		t.Fatalf("NextLSN after reopen = %d, want %d", got, len(want))
+	}
+	lsns, recs := collect(t, l, 0)
+	for i, r := range recs {
+		if lsns[i] != uint64(i) {
+			t.Errorf("replayed LSN %d at index %d", lsns[i], i)
+		}
+		w := want[i]
+		if w.Op == OpBatch && w.Texts == nil {
+			w.Texts = []string{}
+		}
+		if !reflect.DeepEqual(r, w) {
+			t.Errorf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+
+	// Appending after reopen continues the LSN sequence.
+	if lsn := appendT(t, l, recPublish(4, "zeta")); lsn != uint64(len(want)) {
+		t.Fatalf("post-reopen append LSN = %d, want %d", lsn, len(want))
+	}
+}
+
+func TestReplayFromOffset(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0, Options{})
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		appendT(t, l, recPublish(float64(i), "doc"))
+	}
+	lsns, _ := collect(t, l, 6)
+	if len(lsns) != 4 || lsns[0] != 6 || lsns[3] != 9 {
+		t.Fatalf("Replay(6) LSNs = %v, want [6 7 8 9]", lsns)
+	}
+	if lsns, _ := collect(t, l, 10); len(lsns) != 0 {
+		t.Fatalf("Replay(next) delivered %v, want none", lsns)
+	}
+}
+
+func TestRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record after the first in a segment rotates.
+	l := openT(t, dir, 0, Options{SegmentBytes: int64(segHeaderLen) + 16})
+	for i := 0; i < 6; i++ {
+		appendT(t, l, recPublish(float64(i), "0123456789"))
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce ≥3 segments, got %d", st.Segments)
+	}
+	if st.NextLSN != 6 {
+		t.Fatalf("NextLSN = %d, want 6", st.NextLSN)
+	}
+
+	// Everything below 4 is superseded; the active segment survives.
+	removed, err := l.TruncateBefore(4)
+	if err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("TruncateBefore removed nothing")
+	}
+	lsns, _ := collect(t, l, 4)
+	if len(lsns) != 2 || lsns[0] != 4 {
+		t.Fatalf("post-truncate Replay(4) = %v, want [4 5]", lsns)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen after truncation keeps numbering.
+	l = openT(t, dir, 0, Options{SegmentBytes: int64(segHeaderLen) + 16})
+	defer l.Close()
+	if got := l.NextLSN(); got != 6 {
+		t.Fatalf("NextLSN after truncating reopen = %d, want 6", got)
+	}
+}
+
+func TestFloorOnEmptyAndAheadOfTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 42, Options{})
+	if lsn := appendT(t, l, recPublish(1, "a")); lsn != 42 {
+		t.Fatalf("first LSN with floor 42 = %d", lsn)
+	}
+	l.Close()
+
+	// Floor beyond the surviving tail: fresh segment at the floor.
+	l = openT(t, dir, 100, Options{})
+	defer l.Close()
+	if got := l.NextLSN(); got != 100 {
+		t.Fatalf("NextLSN with floor 100 = %d", got)
+	}
+	if lsn := appendT(t, l, recPublish(2, "b")); lsn != 100 {
+		t.Fatalf("append with floor 100 got LSN %d", lsn)
+	}
+	// The gap [43,100) is fine: replay from 100 sees only the new record.
+	lsns, _ := collect(t, l, 100)
+	if len(lsns) != 1 || lsns[0] != 100 {
+		t.Fatalf("Replay(100) = %v", lsns)
+	}
+}
+
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	return names[len(names)-1]
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tail []byte
+	}{
+		{"garbage", []byte("not a frame at all .............")},
+		{"short-header", []byte{0x01, 0x02, 0x03}},
+		{"zero-length-frame", []byte{0, 0, 0, 0, 0, 0, 0, 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir, 0, Options{})
+			for i := 0; i < 3; i++ {
+				appendT(t, l, recPublish(float64(i), "doc"))
+			}
+			l.Close()
+
+			seg := lastSegment(t, dir)
+			f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			l = openT(t, dir, 0, Options{})
+			defer l.Close()
+			if got := l.NextLSN(); got != 3 {
+				t.Fatalf("NextLSN after torn-tail repair = %d, want 3", got)
+			}
+			lsns, _ := collect(t, l, 0)
+			if len(lsns) != 3 {
+				t.Fatalf("replay after repair delivered %d records, want 3", len(lsns))
+			}
+			// The torn bytes are gone from disk, so a second reopen is clean.
+			if fi, err := os.Stat(seg); err == nil {
+				data, _ := os.ReadFile(seg)
+				if n, _, torn := scanFrames(data[segHeaderLen:], nil); torn || n != 3 {
+					t.Fatalf("segment still torn after repair (n=%d torn=%v size=%d)", n, torn, fi.Size())
+				}
+			}
+		})
+	}
+}
+
+func TestTornMidFrameTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0, Options{})
+	for i := 0; i < 3; i++ {
+		appendT(t, l, recPublish(float64(i), strings.Repeat("x", 50)))
+	}
+	l.Close()
+
+	// Chop the last frame in half: a mid-append crash.
+	seg := lastSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, 0, Options{})
+	defer l.Close()
+	if got := l.NextLSN(); got != 2 {
+		t.Fatalf("NextLSN after mid-frame tear = %d, want 2", got)
+	}
+	lsns, _ := collect(t, l, 0)
+	if len(lsns) != 2 {
+		t.Fatalf("replay delivered %d records, want 2", len(lsns))
+	}
+	// New appends land at the repaired position.
+	if lsn := appendT(t, l, recPublish(9, "resumed")); lsn != 2 {
+		t.Fatalf("post-repair append LSN = %d, want 2", lsn)
+	}
+}
+
+func TestTornTailDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0, Options{SegmentBytes: int64(segHeaderLen) + 16})
+	for i := 0; i < 4; i++ {
+		appendT(t, l, recPublish(float64(i), "0123456789"))
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs multiple segments")
+	}
+	l.Close()
+
+	// Corrupt a frame in the FIRST segment: everything after it —
+	// including whole later segments — must be discarded on open.
+	names, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, 0, Options{})
+	defer l.Close()
+	next := l.NextLSN()
+	if next >= 4 {
+		t.Fatalf("NextLSN %d not reduced by cascading repair", next)
+	}
+	lsns, _ := collect(t, l, 0)
+	if uint64(len(lsns)) != next {
+		t.Fatalf("replay delivered %d records, NextLSN %d", len(lsns), next)
+	}
+	if got := l.Stats().Segments; got != 1 {
+		t.Fatalf("later segments not dropped: %d remain", got)
+	}
+}
+
+func TestTornSegmentHeaderDropped(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0, Options{})
+	appendT(t, l, recPublish(1, "kept"))
+	l.Close()
+
+	// Simulate a crash during openSegment: a later segment whose header
+	// never finished writing.
+	half := filepath.Join(dir, segPrefix+"0000000000000001"+segSuffix)
+	if err := os.WriteFile(half, []byte(segMagic[:4]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, 0, Options{})
+	defer l.Close()
+	if got := l.NextLSN(); got != 1 {
+		t.Fatalf("NextLSN = %d, want 1", got)
+	}
+	if _, err := os.Stat(half); !os.IsNotExist(err) {
+		t.Fatalf("torn-header segment not removed (err %v)", err)
+	}
+}
+
+func TestSyncAndClosedErrors(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, 0, Options{})
+	appendT(t, l, recPublish(1, "a"))
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(recPublish(2, "b")); err != ErrClosed {
+		t.Fatalf("Append on closed log: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync on closed log: %v", err)
+	}
+	if _, err := l.TruncateBefore(1); err != ErrClosed {
+		t.Fatalf("TruncateBefore on closed log: %v", err)
+	}
+}
+
+func TestRecordCodecRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"unknown-op":       {0xee, 1, 2, 3},
+		"publish-short":    {byte(OpPublish), 1, 2, 3},
+		"register-no-kw":   {byte(OpRegister), 7},
+		"trailing-bytes":   append(AppendRec(nil, Rec{Op: OpUnregister, Query: 3}), 0x00),
+		"batch-count-lies": {byte(OpBatch), 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0x3f},
+		"string-len-lies":  {byte(OpPublish), 0, 0, 0, 0, 0, 0, 0, 0, 0x20, 'h', 'i'},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRec(payload); err == nil {
+			t.Errorf("%s: decode accepted %x", name, payload)
+		}
+	}
+}

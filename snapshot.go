@@ -20,7 +20,18 @@ import (
 // saves) and concurrently with result readers.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	st := snapshot.CaptureEngine(e.mon, e.textStateLocked())
+	e.mu.RUnlock()
+	// Encoding works on the immutable capture; the engine is already
+	// free to ingest again.
+	return st.Encode(w)
+}
+
+// textStateLocked collects the engine-level text state a snapshot
+// carries over the monitor's. Caller holds e.mu (either side) — the
+// same capture serves WriteSnapshot and the online background
+// snapshotter.
+func (e *Engine) textStateLocked() snapshot.TextState {
 	terms, df, docs := e.vocab.Dump()
 	ts := snapshot.TextState{
 		Terms:        terms,
@@ -36,7 +47,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 			ts.Snips[id] = s
 		}
 	}
-	return snapshot.SaveEngine(w, e.mon, ts)
+	return ts
 }
 
 // ReadSnapshot reconstructs an engine from a WriteSnapshot stream and
