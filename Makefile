@@ -30,13 +30,16 @@ bench:
 	$(GO) run ./cmd/ctkbench -exp ablchurn -scale quick -quiet -json BENCH_churn.json
 	$(GO) run ./cmd/ctkbench -exp ablwal -scale quick -quiet -json BENCH_wal.json
 
-# A short randomized pass over the WAL record decoder and torn-tail
-# repair (the fuzz targets also run their seed corpora under plain `go
-# test`). Bounded so CI stays fast; run with a larger -fuzztime for a
-# real fuzzing session.
+# A short randomized pass over the WAL record decoder, torn-tail
+# repair, the Porter stemmer and the analyzer pipelines (the fuzz
+# targets also run their seed corpora under plain `go test`). Bounded
+# so CI stays fast; run with a larger -fuzztime for a real fuzzing
+# session.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRec -fuzztime=10s ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzTornTail -fuzztime=10s ./internal/wal/
+	$(GO) test -run='^$$' -fuzz=FuzzStem -fuzztime=10s ./internal/textproc/
+	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=10s ./internal/textproc/
 
 fmt:
 	@out="$$(gofmt -l .)"; \

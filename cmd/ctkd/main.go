@@ -13,12 +13,20 @@
 //	GET    /v1/watch/3                                       → SSE stream (Last-Event-ID resume)
 //	GET    /v1/stats                                         → engine + durability counters
 //	GET    /v1/healthz                                       → liveness
+//	GET    /v1/analyze?text=...                              → analyzer debug: token stream
 //	POST   /v1/admin/snapshot                                → on-demand online snapshot
 //
 // Start with:
 //
 //	ctkd -addr :8080 -lambda 0.001 -algorithm MRIO -shards 4 -parallelism 2 \
-//	     -partition mass -data-dir /var/lib/ctkd
+//	     -partition mass -analyzer english -data-dir /var/lib/ctkd
+//
+// -analyzer selects the registered analysis pipeline (standard,
+// english, unicode-fold, whitespace — optionally parameterized, e.g.
+// "unicode-fold?stop=le,la"). It is a persisted semantic: a durable
+// data directory pins the pipeline it was created under, and a later
+// boot with a conflicting -analyzer refuses to start rather than
+// silently diverging.
 //
 // With -data-dir, the server is durable: every acknowledged mutation
 // is appended to a write-ahead log (fsync policy -fsync always |
@@ -83,6 +91,7 @@ func main() {
 		shards      = flag.Int("shards", 0, "parallel shards (0 = single)")
 		parallelism = flag.Int("parallelism", 0, "matching workers per shard (0 = single)")
 		partition   = flag.String("partition", "", "intra-shard partition strategy: mass (default) | count")
+		analyzer    = flag.String("analyzer", "", "analysis pipeline spec: standard (default) | english | unicode-fold | whitespace, with optional ?key=value params")
 		rebuild     = flag.String("rebuild", "", "generation rebuild mode: background (default) | sync")
 		rebuildThr  = flag.Int("rebuild-threshold", 0, "query churn before the next generation build (0 = default 1024)")
 		snapPath    = flag.String("snapshot", "", "legacy single-file state: restore on boot, save on graceful shutdown (no crash safety)")
@@ -106,6 +115,7 @@ func main() {
 		Shards:           *shards,
 		Parallelism:      *parallelism,
 		Partition:        *partition,
+		Analyzer:         *analyzer,
 		Rebuild:          *rebuild,
 		RebuildThreshold: *rebuildThr,
 		SnippetLength:    120,
@@ -217,8 +227,8 @@ func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) er
 		return err
 	}
 	s := newServer(engine)
-	log.Printf("ctkd listening on %s (algorithm=%s λ=%v shards=%d parallelism=%d partition=%s)",
-		ln.Addr(), opts.Algorithm, opts.Lambda, opts.Shards, opts.Parallelism, engine.Partition())
+	log.Printf("ctkd listening on %s (algorithm=%s λ=%v analyzer=%s shards=%d parallelism=%d partition=%s)",
+		ln.Addr(), opts.Algorithm, opts.Lambda, engine.Analyzer(), opts.Shards, opts.Parallelism, engine.Partition())
 	err = serve(ctx, s.mux(), ln, s.beginShutdown)
 	// Drain the analyzer pool and the monitor's shard and partition
 	// workers whatever way serving ended, then persist the quiesced

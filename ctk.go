@@ -104,8 +104,24 @@ type Options struct {
 	// SnippetLength retains the first N runes of each published
 	// document for display in Results (0 disables retention).
 	SnippetLength int
-	// Stemming applies Porter stemming to query and document tokens,
-	// so "monitoring" matches "monitors".
+	// Analyzer selects the text-analysis pipeline — how query and
+	// document text becomes terms — by registered name, optionally
+	// parameterized: "standard" (tokenize, lowercase, English
+	// stopwords; the default), "english" (standard + Porter stemming,
+	// so "monitoring" matches "monitors"), "unicode-fold" (accent and
+	// combining-mark folding, no built-in stopwords — inject a
+	// language's own via "unicode-fold?stop=le,la,les"), or
+	// "whitespace" (pre-tokenized/trace input, fields kept verbatim).
+	// See textproc.RegisterAnalyzer for adding pipelines.
+	//
+	// The analyzer is a persisted semantic, like Lambda: snapshots and
+	// durable data directories record it, restore runs under the
+	// recorded pipeline, and recovery refuses a conflicting Analyzer
+	// with ErrAnalyzerMismatch rather than silently diverging.
+	Analyzer string
+	// Stemming is a deprecated alias for Analyzer: "english". It is
+	// kept so existing configurations keep working; setting it
+	// together with a different Analyzer is an error.
 	Stemming bool
 	// Durability configures crash recovery: a write-ahead log of every
 	// acknowledged mutation plus online background snapshots, rooted at
@@ -115,8 +131,8 @@ type Options struct {
 	Durability Durability
 }
 
-// analyzeJob asks the analyzer pool to tokenize (and optionally stem)
-// one text into a shared output slot.
+// analyzeJob asks the analyzer pool to run the engine's analysis
+// pipeline over one text into a shared output slot.
 type analyzeJob struct {
 	text string
 	out  *[]string
@@ -126,7 +142,8 @@ type analyzeJob struct {
 // Engine is the text-level continuous top-k monitor. It is safe for
 // concurrent use.
 //
-// Ingestion is split in two stages: tokenization and stemming run
+// Ingestion is split in two stages: text analysis (the configured
+// pipeline of char filters, tokenization and token filters) runs
 // outside the engine lock (concurrently, on a bounded worker pool, for
 // PublishBatch), while document-frequency observation, tf-idf
 // weighting and the monitor hand-off stay serialized under the lock —
@@ -149,7 +166,7 @@ type Engine struct {
 	mu       sync.RWMutex
 	opts     Options
 	vocab    *textproc.Vocabulary
-	tok      *textproc.Tokenizer
+	an       textproc.Analyzer
 	weighter *textproc.Weighter
 	mon      *core.Monitor
 	nextDoc  uint64
@@ -199,6 +216,45 @@ var ErrTimeRegression = core.ErrTimeRegression
 // engine built without Open.
 var ErrNoDurability = errors.New("ctk: durability not enabled")
 
+// ErrAnalyzerMismatch reports a conflict between the analyzer an
+// engine's persisted state was built with and the one Options ask
+// for. Analysis is a persisted semantic: the vocabulary, idf
+// statistics and every indexed term embody the pipeline that produced
+// them, so recovery refuses to run replay or restore under a
+// different one instead of silently diverging.
+var ErrAnalyzerMismatch = errors.New("ctk: analyzer mismatch")
+
+// effectiveAnalyzer resolves Options.Analyzer plus the deprecated
+// Stemming alias into the canonical spec the engine will run under.
+func effectiveAnalyzer(opts Options) (string, error) {
+	if opts.Analyzer == "" {
+		if opts.Stemming {
+			return "english", nil
+		}
+		return "standard", nil
+	}
+	spec, err := textproc.CanonicalSpec(opts.Analyzer)
+	if err != nil {
+		return "", err
+	}
+	if opts.Stemming && spec != "english" {
+		return "", fmt.Errorf("%w: Stemming (deprecated alias for Analyzer %q) conflicts with Analyzer %q",
+			ErrAnalyzerMismatch, "english", opts.Analyzer)
+	}
+	return spec, nil
+}
+
+// requestedAnalyzer returns the canonical spec opts explicitly asks
+// for, or "" when opts expresses no preference (Analyzer empty, the
+// deprecated Stemming alias unset) — the recovery paths use "" to
+// mean "whatever the persisted state was built with".
+func requestedAnalyzer(opts Options) (string, error) {
+	if opts.Analyzer == "" && !opts.Stemming {
+		return "", nil
+	}
+	return effectiveAnalyzer(opts)
+}
+
 // public translates internal sentinel errors into their public
 // counterparts.
 func public(err error) error {
@@ -224,6 +280,14 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec, err := effectiveAnalyzer(opts)
+	if err != nil {
+		return nil, err
+	}
+	an, err := textproc.NewAnalyzer(spec)
+	if err != nil {
+		return nil, err
+	}
 	vocab := textproc.NewVocabulary()
 	mon, err := core.NewMonitor(core.Config{
 		Algorithm:        alg,
@@ -240,7 +304,7 @@ func New(opts Options) (*Engine, error) {
 	e := &Engine{
 		opts:     opts,
 		vocab:    vocab,
-		tok:      textproc.NewTokenizer(),
+		an:       an,
 		weighter: textproc.NewWeighter(vocab, textproc.WeightLogTFIDF),
 		mon:      mon,
 	}
@@ -326,14 +390,22 @@ func (e *Engine) StreamTime() float64 {
 	return e.mon.Now()
 }
 
-// analyze runs the engine's token pipeline (tokenize, optional stem).
+// analyze runs the engine's analysis pipeline.
 func (e *Engine) analyze(text string) []string {
-	tokens := e.tok.Tokenize(text)
-	if e.opts.Stemming {
-		tokens = textproc.StemAll(tokens)
-	}
-	return tokens
+	return e.an.Analyze(text)
 }
+
+// Analyzer returns the canonical spec of the analysis pipeline the
+// engine runs under ("standard", "english", ...). Cheap: the analyzer
+// is immutable configuration, so no lock is taken.
+func (e *Engine) Analyzer() string { return e.an.Name() }
+
+// Analyze runs the engine's analysis pipeline over text and returns
+// the resulting token stream — the exact terms a Publish or Register
+// of the same text would be weighted on. It is a debugging aid (the
+// server exposes it as GET /v1/analyze); analyzers are immutable, so
+// it never contends with ingestion.
+func (e *Engine) Analyze(text string) []string { return e.an.Analyze(text) }
 
 // Register adds a continuous query from keyword text. Keywords may
 // repeat to express preference weight ("go go databases" weights "go"
@@ -392,8 +464,8 @@ type PublishStats struct {
 // Publish feeds one document into the stream at the given time (any
 // non-decreasing float timeline: seconds, unix time...). Documents
 // with no usable terms are accepted (they match nothing).
-// Tokenization and stemming run before the engine lock is taken; only
-// weighting and the monitor hand-off are serialized.
+// Text analysis runs before the engine lock is taken; only weighting
+// and the monitor hand-off are serialized.
 func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 	tokens := e.analyze(text)
 	e.mu.Lock()
@@ -484,8 +556,8 @@ type BatchStats struct {
 }
 
 // PublishBatch feeds a batch of documents that share the arrival time
-// at. Texts are tokenized and stemmed concurrently on the engine's
-// bounded analyzer pool; the documents are then weighted in slice
+// at. Texts are analyzed concurrently on the engine's bounded
+// analyzer pool; the documents are then weighted in slice
 // order and handed to the monitor in a single locked batch, so the
 // per-document lock and scheduling cost is paid once per batch. The
 // results (document IDs, idf weights, top-k contents) are identical to
@@ -658,6 +730,9 @@ type Stats struct {
 	// (0 when retention is disabled). Bounded by the pruning policy,
 	// not by stream length.
 	Snippets int
+	// Analyzer is the canonical spec of the analysis pipeline the
+	// engine runs under ("standard", "english", ...).
+	Analyzer string
 	// Partition is the intra-shard partitioning strategy in effect
 	// ("mass" or "count").
 	Partition string
@@ -687,6 +762,7 @@ func (e *Engine) Stats() Stats {
 		Evaluated:  t.Evaluated,
 		Matched:    t.Matched,
 		Snippets:   len(e.snips),
+		Analyzer:   e.an.Name(),
 		Partition:  string(e.mon.Config().Partition),
 		Partitions: e.mon.PartitionStats(),
 		Gen:        e.mon.GenStats(),

@@ -1,0 +1,417 @@
+package ctk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerOptionResolution pins how Options.Analyzer and the
+// deprecated Stemming alias resolve: unset → standard, Stemming →
+// english, both set consistently → fine, conflicting → typed error.
+func TestAnalyzerOptionResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+		err  error
+	}{
+		{name: "default", opts: Options{}, want: "standard"},
+		{name: "legacy-stemming", opts: Options{Stemming: true}, want: "english"},
+		{name: "explicit", opts: Options{Analyzer: "english"}, want: "english"},
+		{name: "explicit-plus-alias", opts: Options{Analyzer: "english", Stemming: true}, want: "english"},
+		{name: "params-canonicalize", opts: Options{Analyzer: "standard?min=3&digits=true"}, want: "standard?digits=true&min=3"},
+		{name: "conflict", opts: Options{Analyzer: "standard", Stemming: true}, err: ErrAnalyzerMismatch},
+		{name: "conflict-fold", opts: Options{Analyzer: "unicode-fold", Stemming: true}, err: ErrAnalyzerMismatch},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e, err := New(c.opts)
+			if c.err != nil {
+				if !errors.Is(err, c.err) {
+					t.Fatalf("New = %v, want %v", err, c.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			if got := e.Analyzer(); got != c.want {
+				t.Fatalf("Analyzer() = %q, want %q", got, c.want)
+			}
+			if got := e.Stats().Analyzer; got != c.want {
+				t.Fatalf("Stats().Analyzer = %q, want %q", got, c.want)
+			}
+		})
+	}
+	if _, err := New(Options{Analyzer: "klingon"}); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+// TestEngineAnalyze covers the public debug surface: the token stream
+// Publish would weight, under the engine's own pipeline.
+func TestEngineAnalyze(t *testing.T) {
+	e, err := New(Options{Analyzer: "english"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	got := e.Analyze("The markets are rallying")
+	want := []string{"market", "ralli"}
+	if len(got) != len(want) {
+		t.Fatalf("Analyze = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Analyze = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEnglishParityLive is the live third of the parity gate: an
+// engine configured Analyzer: "english" is bit-identical — doc IDs,
+// scores, Seqs — to one configured with the legacy Stemming: true over
+// a full mixed workload.
+func TestEnglishParityLive(t *testing.T) {
+	ops := script(300)
+	nq := queryCount(ops)
+
+	legacy, err := New(Options{Stemming: true, Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	apply(t, legacy, ops, 0, len(ops))
+
+	seam, err := New(Options{Analyzer: "english", Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seam.Close()
+	apply(t, seam, ops, 0, len(ops))
+
+	requireEquivalent(t, seam, legacy, nq)
+}
+
+// TestEnglishParitySnapshot is the snapshot third of the parity gate:
+// a snapshot written by a legacy Stemming: true engine restores under
+// the english pipeline (inferred, reported, and persisted forward) and
+// the restored engine stays bit-identical through further operations.
+func TestEnglishParitySnapshot(t *testing.T) {
+	ops := script(240)
+	nq := queryCount(ops)
+	half := len(ops) / 2
+
+	legacy, err := New(Options{Stemming: true, Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	apply(t, legacy, ops, 0, half)
+
+	var buf bytes.Buffer
+	if err := legacy.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), Options{Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Analyzer(); got != "english" {
+		t.Fatalf("restored analyzer %q, want english", got)
+	}
+	if !restored.opts.Stemming {
+		t.Fatal("deprecated Stemming alias not reflected on restore")
+	}
+
+	apply(t, legacy, ops, half, len(ops))
+	apply(t, restored, ops, half, len(ops))
+	requireEquivalent(t, restored, legacy, nq)
+
+	// The restored engine re-snapshots at the current wire version with
+	// the spec recorded explicitly; a second-generation restore agrees.
+	var buf2 bytes.Buffer
+	if err := restored.WriteSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadSnapshot(bytes.NewReader(buf2.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if got := second.Analyzer(); got != "english" {
+		t.Fatalf("second-generation analyzer %q, want english", got)
+	}
+	requireEquivalent(t, second, legacy, nq)
+}
+
+// TestReadSnapshotAnalyzerMismatch: restoring a snapshot under a
+// different pipeline than it was written with is refused with the
+// typed error, for both the Analyzer option and the Stemming alias.
+func TestReadSnapshotAnalyzerMismatch(t *testing.T) {
+	e, err := New(Options{}) // standard
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Register("storm coast", 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []Options{
+		{Analyzer: "english"},
+		{Stemming: true},
+		{Analyzer: "unicode-fold"},
+	} {
+		if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), opts); !errors.Is(err, ErrAnalyzerMismatch) {
+			t.Fatalf("ReadSnapshot(%+v) = %v, want ErrAnalyzerMismatch", opts, err)
+		}
+	}
+	// Explicitly requesting the matching pipeline is fine.
+	ok, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), Options{Analyzer: "standard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Close()
+}
+
+// TestEnglishParityCrashRecovery is the recovery third of the parity
+// gate: a legacy Stemming: true data directory — snapshot plus WAL
+// tail, including a torn final segment — recovers bit-identically to
+// an uncrashed oracle, and the recovered engine reports the english
+// pipeline.
+func TestEnglishParityCrashRecovery(t *testing.T) {
+	ops := script(240)
+	nq := queryCount(ops)
+
+	want, err := New(Options{Stemming: true, Lambda: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer want.Close()
+	apply(t, want, ops, 0, len(ops))
+
+	dir := t.TempDir()
+	opts := durOpts(dir, 0, 0, "")
+	opts.Stemming = true
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, e, ops, 0, len(ops)/2)
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	apply(t, e, ops, len(ops)/2, len(ops))
+
+	// Crash state: clone with a torn WAL tail.
+	torn := t.TempDir()
+	copyDir(t, dir, torn)
+	tearLastSegment(t, filepath.Join(torn, "wal"))
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		label string
+		dir   string
+		opts  Options
+	}{
+		// Recovery under the alias, under the explicit spec, and with no
+		// preference at all (the pinned pipeline applies) — all three
+		// must agree with the oracle.
+		{"alias", dir, func() Options { o := durOpts(dir, 0, 0, ""); o.Stemming = true; return o }()},
+		{"explicit", torn, func() Options { o := durOpts(torn, 0, 0, ""); o.Analyzer = "english"; return o }()},
+		{"pinned", torn, durOpts(torn, 0, 0, "")},
+	} {
+		re, err := Open(tc.opts)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", tc.label, err)
+		}
+		if got := re.Analyzer(); got != "english" {
+			t.Fatalf("%s: recovered analyzer %q, want english", tc.label, got)
+		}
+		requireEquivalent(t, re, want, nq)
+		re.Close()
+	}
+}
+
+// TestCrashRecoveryAllAnalyzers rounds every registered pipeline
+// through the crash-recovery path: snapshot mid-stream, torn WAL tail,
+// reopen, and require bit-identical results to an uncrashed oracle
+// running the same pipeline.
+func TestCrashRecoveryAllAnalyzers(t *testing.T) {
+	ops := script(180)
+	nq := queryCount(ops)
+	for _, spec := range []string{"standard", "english", "unicode-fold", "whitespace"} {
+		t.Run(spec, func(t *testing.T) {
+			want, err := New(Options{Analyzer: spec, Lambda: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer want.Close()
+			apply(t, want, ops, 0, len(ops))
+
+			dir := t.TempDir()
+			opts := durOpts(dir, 0, 0, "")
+			opts.Analyzer = spec
+			e, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			apply(t, e, ops, 0, len(ops)/3)
+			if _, err := e.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			apply(t, e, ops, len(ops)/3, len(ops))
+			torn := t.TempDir()
+			copyDir(t, dir, torn)
+			tearLastSegment(t, filepath.Join(torn, "wal"))
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := Open(durOpts(torn, 0, 0, ""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if got := re.Analyzer(); got != spec {
+				t.Fatalf("recovered analyzer %q, want %q", got, spec)
+			}
+			requireEquivalent(t, re, want, nq)
+		})
+	}
+}
+
+// TestOpenPinsAnalyzer: a durable data directory records its analyzer
+// at first boot — before any snapshot exists — so WAL-only recovery
+// replays under the original pipeline, and a conflicting reopen is
+// refused with the typed error.
+func TestOpenPinsAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	opts := durOpts(dir, 0, 0, "")
+	opts.Analyzer = "unicode-fold"
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("décès hôpital", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Publish("un décès à l'hôpital", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No snapshot was ever taken: the WAL plus the meta file are the
+	// whole persisted state.
+	meta, err := os.ReadFile(filepath.Join(dir, "analyzer"))
+	if err != nil {
+		t.Fatalf("analyzer meta file not written: %v", err)
+	}
+	if got := strings.TrimSpace(string(meta)); got != "unicode-fold" {
+		t.Fatalf("pinned %q, want unicode-fold", got)
+	}
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap")); len(snaps) != 0 {
+		t.Fatalf("unexpected snapshots %v — test wants the WAL-only path", snaps)
+	}
+
+	// Reopen with no preference: replay runs under the pinned pipeline.
+	re, err := Open(durOpts(dir, 0, 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Analyzer(); got != "unicode-fold" {
+		t.Fatalf("recovered analyzer %q, want unicode-fold", got)
+	}
+	res, err := re.Results(0)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("results after WAL-only recovery: %v, %v", res, err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conflicting preferences are refused before replay.
+	for _, conflict := range []func(Options) Options{
+		func(o Options) Options { o.Analyzer = "standard"; return o },
+		func(o Options) Options { o.Stemming = true; return o },
+		func(o Options) Options { o.Analyzer = "unicode-fold?stop=le"; return o },
+	} {
+		if _, err := Open(conflict(durOpts(dir, 0, 0, ""))); !errors.Is(err, ErrAnalyzerMismatch) {
+			t.Fatalf("conflicting Open = %v, want ErrAnalyzerMismatch", err)
+		}
+	}
+	// The matching explicit spec still opens.
+	ok, err := Open(func() Options { o := durOpts(dir, 0, 0, ""); o.Analyzer = "unicode-fold"; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Close()
+}
+
+// TestOpenLegacyDirInfersAnalyzer: a data directory created before the
+// meta file existed (simulated by deleting it) recovers from its
+// snapshot's inferred analyzer and re-pins it on the way up; a
+// conflicting request fails typed instead of falling back to an older
+// snapshot.
+func TestOpenLegacyDirInfersAnalyzer(t *testing.T) {
+	dir := t.TempDir()
+	opts := durOpts(dir, 0, 0, "")
+	opts.Stemming = true
+	e, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("storm coast", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Publish("storm on the coast", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "analyzer")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conflicting request: the snapshot's analyzer mismatch must
+	// surface, not silently fall back.
+	bad := durOpts(dir, 0, 0, "")
+	bad.Analyzer = "standard"
+	if _, err := Open(bad); !errors.Is(err, ErrAnalyzerMismatch) {
+		t.Fatalf("Open = %v, want ErrAnalyzerMismatch", err)
+	}
+
+	// No preference: inference from the snapshot, and the pin is
+	// rewritten for the next boot.
+	re, err := Open(durOpts(dir, 0, 0, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Analyzer(); got != "english" {
+		t.Fatalf("inferred analyzer %q, want english", got)
+	}
+	re.Close()
+	meta, err := os.ReadFile(filepath.Join(dir, "analyzer"))
+	if err != nil || strings.TrimSpace(string(meta)) != "english" {
+		t.Fatalf("meta not re-pinned: %q, %v", meta, err)
+	}
+}

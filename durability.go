@@ -1,6 +1,7 @@
 package ctk
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/snapshot"
+	"repro/internal/textproc"
 	"repro/internal/wal"
 )
 
@@ -113,6 +115,12 @@ const (
 	snapPrefix = "snap-"
 	snapSuffix = ".snap"
 	walSubdir  = "wal"
+	// analyzerMeta is the data-dir file pinning the canonical analyzer
+	// spec. WAL records hold raw text, so replay must run under the
+	// pipeline that originally analyzed it — and before the first
+	// snapshot exists the WAL is the only state, so the pin cannot live
+	// in snapshots alone.
+	analyzerMeta = "analyzer"
 )
 
 // durable is the engine's durability manager: it owns the WAL, the
@@ -169,10 +177,38 @@ func Open(opts Options) (*Engine, error) {
 		}
 	}
 
+	// The analyzer is a persisted semantic of the data directory: its
+	// meta file (written at first boot) pins the pipeline WAL replay
+	// must run under. An explicit Options.Analyzer (or the deprecated
+	// Stemming alias) that disagrees is refused rather than silently
+	// re-analyzing the persisted text stream differently.
+	requested, err := requestedAnalyzer(opts)
+	if err != nil {
+		return nil, err
+	}
+	metaPath := filepath.Join(cfg.Dir, analyzerMeta)
+	pinned := ""
+	if b, rerr := os.ReadFile(metaPath); rerr == nil {
+		canon, cerr := textproc.CanonicalSpec(strings.TrimSpace(string(b)))
+		if cerr != nil {
+			return nil, fmt.Errorf("ctk: analyzer meta %s: %w", metaPath, cerr)
+		}
+		if requested != "" && requested != canon {
+			return nil, fmt.Errorf("%w: data dir %s was created under analyzer %q, options request %q",
+				ErrAnalyzerMismatch, cfg.Dir, canon, requested)
+		}
+		pinned = canon
+	} else if !os.IsNotExist(rerr) {
+		return nil, fmt.Errorf("ctk: analyzer meta: %w", rerr)
+	}
+
 	// The recovered engine itself runs without durability until the
 	// log is attached, so replay does not re-log what it re-applies.
 	inner := opts
 	inner.Durability = Durability{}
+	if pinned != "" {
+		inner.Analyzer = pinned
+	}
 
 	snaps, err := listSnapshots(cfg.Dir)
 	if err != nil {
@@ -197,6 +233,12 @@ func Open(opts Options) (*Engine, error) {
 			restored = SnapshotInfo{LSN: floor, StreamTime: e.StreamTime(), Path: snaps[i].path}
 			break
 		}
+		if errors.Is(rerr, ErrAnalyzerMismatch) {
+			// Not corruption: the snapshot decoded fine and disagrees
+			// with the requested pipeline. Falling back to an older
+			// snapshot would silently diverge — surface it instead.
+			return nil, rerr
+		}
 		// A snapshot that does not decode is a crash artifact or
 		// corruption; fall back to the next-older one.
 	}
@@ -219,6 +261,11 @@ func Open(opts Options) (*Engine, error) {
 		e.Close()
 		return nil, fmt.Errorf("ctk: recovery: %w", err)
 	}
+	if err := writeAnalyzerMeta(metaPath, e.an.Name(), pinned); err != nil {
+		log.Close()
+		e.Close()
+		return nil, err
+	}
 
 	d := &durable{
 		e:        e,
@@ -236,6 +283,36 @@ func Open(opts Options) (*Engine, error) {
 	d.wg.Add(1)
 	go d.run()
 	return e, nil
+}
+
+// writeAnalyzerMeta durably pins spec as the data directory's analyzer
+// (atomic temp-write + rename, like snapshots; the ".tmp" suffix puts
+// crash litter under the boot-time cleanup glob). A no-op when the
+// existing pin already matches.
+func writeAnalyzerMeta(path, spec, pinned string) error {
+	if pinned == spec {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ctk: analyzer meta: %w", err)
+	}
+	_, err = f.WriteString(spec + "\n")
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ctk: analyzer meta: %w", err)
+	}
+	return nil
 }
 
 // applyRec re-applies one logged operation during recovery. The engine

@@ -246,6 +246,35 @@ func TestLoaderFromText(t *testing.T) {
 	}
 }
 
+// TestLoaderAnalyzer: the loader consumes the shared analyzer seam —
+// a loader built over the english pipeline produces the stemmed terms
+// the matching engine would, where the default (standard) loader keeps
+// surface forms.
+func TestLoaderAnalyzer(t *testing.T) {
+	vocab := textproc.NewVocabulary()
+	std := NewLoader(vocab, textproc.WeightLogTFIDF)
+	eng := NewLoaderAnalyzer(textproc.MustAnalyzer("english"), vocab, textproc.WeightLogTFIDF)
+	if std.An.Name() != "standard" || eng.An.Name() != "english" {
+		t.Fatalf("loader analyzers: %q, %q", std.An.Name(), eng.An.Name())
+	}
+	a := std.FromText("markets rallying")
+	b := eng.FromText("markets rallying")
+	if len(a.Vec) != 2 || len(b.Vec) != 2 {
+		t.Fatalf("vector sizes %d, %d", len(a.Vec), len(b.Vec))
+	}
+	// The stemmed terms ("market", "ralli") are new vocabulary entries,
+	// so the two vectors must not share term IDs.
+	ids := map[textproc.TermID]bool{}
+	for _, e := range a.Vec {
+		ids[e.Term] = true
+	}
+	for _, e := range b.Vec {
+		if ids[e.Term] {
+			t.Fatalf("stemmed and surface vectors share term %d", e.Term)
+		}
+	}
+}
+
 func TestLoadJSONL(t *testing.T) {
 	input := `{"id":1,"title":"A","text":"stream processing of documents"}
 

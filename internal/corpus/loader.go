@@ -21,16 +21,24 @@ type RawDoc struct {
 // shared analysis pipeline. It is the ingestion path a production
 // deployment would use in place of the synthetic Generator.
 type Loader struct {
-	Tok      *textproc.Tokenizer
+	An       textproc.Analyzer
 	Weighter *textproc.Weighter
 	nextID   uint64
 }
 
-// NewLoader builds a loader over an existing vocabulary, so queries
-// and documents agree on term IDs.
+// NewLoader builds a loader over an existing vocabulary with the
+// "standard" analysis pipeline, so queries and documents agree on term
+// IDs. Use NewLoaderAnalyzer to load under a different pipeline.
 func NewLoader(vocab *textproc.Vocabulary, scheme textproc.WeightScheme) *Loader {
+	return NewLoaderAnalyzer(textproc.MustAnalyzer("standard"), vocab, scheme)
+}
+
+// NewLoaderAnalyzer builds a loader that analyzes raw text with an —
+// which must be the same pipeline the consuming engine runs, or term
+// IDs will not line up.
+func NewLoaderAnalyzer(an textproc.Analyzer, vocab *textproc.Vocabulary, scheme textproc.WeightScheme) *Loader {
 	return &Loader{
-		Tok:      textproc.NewTokenizer(),
+		An:       an,
 		Weighter: textproc.NewWeighter(vocab, scheme),
 	}
 }
@@ -38,7 +46,7 @@ func NewLoader(vocab *textproc.Vocabulary, scheme textproc.WeightScheme) *Loader
 // FromText analyzes one raw text into a Document. Documents with no
 // surviving tokens yield an empty vector (valid: they match nothing).
 func (l *Loader) FromText(text string) Document {
-	tokens := l.Tok.Tokenize(text)
+	tokens := l.An.Analyze(text)
 	vec := l.Weighter.DocumentVector(tokens)
 	d := Document{ID: l.nextID, Vec: vec}
 	l.nextID++

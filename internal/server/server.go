@@ -12,6 +12,7 @@
 //	GET    /v1/watch/{id}                                    → SSE stream (resumable)
 //	GET    /v1/stats                                         → engine + durability counters
 //	GET    /v1/healthz                                       → liveness
+//	GET    /v1/analyze?text=...                              → analyzer debug: token stream
 //	POST   /v1/admin/snapshot                                → on-demand online snapshot
 //
 // Every non-2xx /v1 response carries the uniform error envelope
@@ -108,6 +109,7 @@ func failLegacy(w http.ResponseWriter, status int, _ string, err error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.routes(mux, "/v1", failV1)
+	mux.HandleFunc("GET /v1/analyze", s.analyze)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.adminSnapshot)
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		failV1(w, http.StatusNotFound, "not_found",
@@ -435,6 +437,27 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"stream_time":    s.engine.StreamTime(),
 		"stats":          s.engine.Stats(),
+	})
+}
+
+// analyze is the v1-only analyzer debug endpoint: it runs the engine's
+// analysis pipeline over ?text= and returns the token stream a
+// publication of the same text would be weighted on — the operator's
+// answer to "why didn't this document match".
+func (s *Server) analyze(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if !q.Has("text") {
+		failV1(w, http.StatusBadRequest, "invalid_argument",
+			fmt.Errorf("missing required query parameter \"text\""))
+		return
+	}
+	tokens := s.engine.Analyze(q.Get("text"))
+	if tokens == nil {
+		tokens = []string{} // encode as [], not null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"analyzer": s.engine.Analyzer(),
+		"tokens":   tokens,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
@@ -493,5 +494,65 @@ func TestWatchResumeAcrossRestart(t *testing.T) {
 	resp.Body.Close()
 	if len(evs) != 1 || evs[0].id != "4" {
 		t.Fatalf("cross-restart resume: %+v (want suppression of seq 3, delivery of 4)", evs)
+	}
+}
+
+// TestV1Analyze drives the analyzer debug endpoint: the token stream
+// under the engine's pipeline, the reported pipeline name, envelope
+// errors for a missing parameter, and the stats report of the
+// analyzer.
+func TestV1Analyze(t *testing.T) {
+	ts := newTestServer(t, ctk.Options{Lambda: 0.001, Analyzer: "english"})
+
+	getJSON := func(url string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		return resp, out
+	}
+
+	resp, out := getJSON(ts.URL + "/v1/analyze?text=" + url.QueryEscape("The markets are rallying"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %v", resp.StatusCode, out)
+	}
+	if out["analyzer"] != "english" {
+		t.Fatalf("analyzer = %v, want english", out["analyzer"])
+	}
+	toks, ok := out["tokens"].([]any)
+	if !ok || len(toks) != 2 || toks[0] != "market" || toks[1] != "ralli" {
+		t.Fatalf("tokens = %v, want [market ralli]", out["tokens"])
+	}
+
+	// A text that analyzes to nothing returns [], not null.
+	resp, out = getJSON(ts.URL + "/v1/analyze?text=" + url.QueryEscape("the a an"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-analysis status %d", resp.StatusCode)
+	}
+	if toks, ok := out["tokens"].([]any); !ok || len(toks) != 0 {
+		t.Fatalf("tokens = %v (%T), want []", out["tokens"], out["tokens"])
+	}
+
+	// Missing text parameter: envelope error.
+	resp, out = getJSON(ts.URL + "/v1/analyze")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing-param status %d", resp.StatusCode)
+	}
+	envelope(t, out, "invalid_argument")
+
+	// The endpoint is v1-only: the legacy mount has no alias.
+	resp, _ = getJSON(ts.URL + "/analyze?text=x")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy /analyze status %d, want 404", resp.StatusCode)
+	}
+
+	// Stats report the pipeline.
+	resp, out = getJSON(ts.URL + "/v1/stats")
+	if resp.StatusCode != http.StatusOK || out["Analyzer"] != "english" {
+		t.Fatalf("stats analyzer = %v (status %d), want english", out["Analyzer"], resp.StatusCode)
 	}
 }

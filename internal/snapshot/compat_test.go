@@ -1,0 +1,131 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// encodeAt serializes an engine snapshot doctored down to an older
+// wire version: the version stamp is rewritten and every field that
+// version did not know about is zeroed, which is exactly what gob
+// decoding of a genuine old stream produces (absent fields decode to
+// zero values).
+func encodeAt(t *testing.T, m *core.Monitor, ts TextState, version int) *bytes.Reader {
+	t.Helper()
+	st := engineState{Version: version, Monitor: capture(m), Text: ts}
+	if version < engineVersion {
+		st.Text.Analyzer = ""
+	}
+	if version < engineVersionNoAnalyzer {
+		// Engine versions ≤ 3 wrapped the pre-generational monitor
+		// format.
+		st.Monitor.Version = versionNoLayout
+		st.Monitor.FoldLen, st.Monitor.Generation, st.Monitor.Dirty = 0, 0, 0
+		st.Monitor.Partition = ""
+	}
+	if version < engineVersionNoLayout {
+		st.Text.Seqs = nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// TestEngineCompatMatrix loads fixtures at every historical engine
+// wire version (1, 3, 4) and asserts the analyzer is inferred from the
+// Stemming bool — Stemming: false → "standard", true → "english" —
+// and that the restored monitor produces identical results to the
+// original on a continued stream. Version 2 never shipped and stays
+// rejected; the current version round-trips the analyzer spec
+// verbatim.
+func TestEngineCompatMatrix(t *testing.T) {
+	m, events := fixture(t)
+	defer m.Close()
+	half := len(events) / 2
+	for _, ev := range events[:half] {
+		if _, err := m.Process(ev.Doc, ev.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, version := range []int{engineVersionNoSeqs, engineVersionNoLayout, engineVersionNoAnalyzer} {
+		for _, stemming := range []bool{false, true} {
+			ts := TextState{
+				Terms: []string{"solar"}, DF: []uint32{1}, DocsObserved: 1,
+				NextDoc: 1, Stemming: stemming,
+			}
+			rm, rts, err := LoadEngine(encodeAt(t, m, ts, version), core.Config{})
+			if err != nil {
+				t.Fatalf("v%d (stemming=%v) rejected: %v", version, stemming, err)
+			}
+			want := "standard"
+			if stemming {
+				want = "english"
+			}
+			if got := rts.EffectiveAnalyzer(); got != want {
+				t.Errorf("v%d (stemming=%v): inferred analyzer %q, want %q", version, stemming, got, want)
+			}
+			// The restored monitor must score a continued stream exactly
+			// like the original.
+			probe := events[half:]
+			for _, ev := range probe {
+				if _, err := rm.Process(ev.Doc, ev.Time); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantM, err := Load(func() *bytes.Reader {
+				var buf bytes.Buffer
+				if err := Save(&buf, m); err != nil {
+					t.Fatal(err)
+				}
+				return bytes.NewReader(buf.Bytes())
+			}())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range probe {
+				if _, err := wantM.Process(ev.Doc, ev.Time); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for g := uint32(0); g < uint32(wantM.NumQueries()); g++ {
+				a, _ := wantM.TopInflated(g)
+				b, _ := rm.TopInflated(g)
+				if len(a) != len(b) {
+					t.Fatalf("v%d query %d: %d vs %d results", version, g, len(a), len(b))
+				}
+				for i := range a {
+					if a[i].DocID != b[i].DocID {
+						t.Fatalf("v%d query %d rank %d diverged", version, g, i)
+					}
+				}
+			}
+			rm.Close()
+			wantM.Close()
+		}
+	}
+
+	if _, _, err := LoadEngine(encodeAt(t, m, TextState{}, 2), core.Config{}); err == nil {
+		t.Fatal("engine version 2 accepted (never shipped)")
+	}
+
+	// Current version: the recorded spec wins over the Stemming bool.
+	ts := TextState{Analyzer: "unicode-fold?stop=le,la", Stemming: false}
+	var buf bytes.Buffer
+	if err := SaveEngine(&buf, m, ts); err != nil {
+		t.Fatal(err)
+	}
+	rm, rts, err := LoadEngine(bytes.NewReader(buf.Bytes()), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.Close()
+	if got := rts.EffectiveAnalyzer(); got != "unicode-fold?stop=le,la" {
+		t.Fatalf("analyzer spec did not round-trip: %q", got)
+	}
+}

@@ -37,18 +37,21 @@ const version = 3
 // versionNoLayout is the oldest monitor format still accepted.
 const versionNoLayout = 2
 
-// engineVersion guards the engine-level wire format. Version 4 wraps a
-// version-3 monitor state, persisting the generational delta +
-// tombstone layout. Version 3 (which added the per-query notification
+// engineVersion guards the engine-level wire format. Version 5 adds
+// the analyzer spec (TextState.Analyzer): which registered analysis
+// pipeline produced the persisted vocabulary, so a restored engine
+// analyzes future documents identically. Version 4 (generational
+// delta + tombstone layout), version 3 (per-query notification
 // sequence numbers, TextState.Seqs) and version 1 (no Seqs) are still
-// readable.
-const engineVersion = 4
+// readable — their analyzer is inferred from the Stemming bool (see
+// TextState.EffectiveAnalyzer).
+const engineVersion = 5
 
-// engineVersionNoLayout and engineVersionNoSeqs are the older engine
-// formats still accepted.
+// The older engine formats still accepted.
 const (
-	engineVersionNoLayout = 3
-	engineVersionNoSeqs   = 1
+	engineVersionNoAnalyzer = 4
+	engineVersionNoLayout   = 3
+	engineVersionNoSeqs     = 1
 )
 
 // state is the gob wire format of a monitor.
@@ -109,15 +112,36 @@ type TextState struct {
 	NextDoc uint64
 	// Snips is the retained snippet map (nil when retention is off).
 	Snips map[uint64]string
-	// Stemming records whether the engine stems tokens. It is part of
+	// Stemming records whether the engine stems tokens. Superseded by
+	// Analyzer (engine version ≥ 5) but still written — both for older
+	// readers and as the inference source for older streams. Part of
 	// the persisted semantics: restoring with the opposite setting
 	// would tokenize future documents against a mismatched vocabulary.
 	Stemming bool
+	// Analyzer is the canonical spec of the analysis pipeline that
+	// produced the vocabulary ("standard", "english",
+	// "unicode-fold?stop=le,la", ...). Empty in streams written before
+	// engine version 5; EffectiveAnalyzer infers it then.
+	Analyzer string
 	// Seqs holds each query's notification sequence number (queries at
 	// zero omitted), so pushed-update Seq numbering continues across a
 	// restart and watchers' drop detection stays sound. Nil when the
 	// snapshot predates engine version 3.
 	Seqs map[uint32]uint64
+}
+
+// EffectiveAnalyzer resolves the analysis pipeline this state was
+// produced under: the recorded spec when present (engine version ≥ 5),
+// otherwise inferred from the Stemming bool — older engines only ever
+// ran the two hardwired pipelines those names now denote.
+func (ts TextState) EffectiveAnalyzer() string {
+	if ts.Analyzer != "" {
+		return ts.Analyzer
+	}
+	if ts.Stemming {
+		return "english"
+	}
+	return "standard"
 }
 
 // engineState is the gob wire format of an engine.
@@ -291,7 +315,7 @@ func LoadEngine(r io.Reader, shape core.Config) (*core.Monitor, TextState, error
 		return nil, TextState{}, fmt.Errorf("snapshot: decode engine: %w", err)
 	}
 	switch st.Version {
-	case engineVersion, engineVersionNoLayout, engineVersionNoSeqs:
+	case engineVersion, engineVersionNoAnalyzer, engineVersionNoLayout, engineVersionNoSeqs:
 	default:
 		return nil, TextState{}, fmt.Errorf("snapshot: unsupported engine version %d", st.Version)
 	}

@@ -1,0 +1,289 @@
+package textproc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Analyzer is the single seam every layer of the system analyzes text
+// through: one call turns raw text into the final token stream that is
+// weighted, indexed and matched. Engines, the corpus loader, snapshot
+// restore and WAL replay all consume the same Analyzer, so "how text
+// becomes terms" is one persisted semantic rather than four
+// independently reconstructed pipelines.
+//
+// Implementations must be immutable after construction and safe for
+// concurrent use — analyzers are shared across the engine's worker
+// pool without locking.
+type Analyzer interface {
+	// Name returns the canonical spec string ("english",
+	// "unicode-fold?stop=le,la") that rebuilds this analyzer via
+	// NewAnalyzer. It identifies the analyzer in snapshots, WAL
+	// recovery metadata and stats.
+	Name() string
+	// Analyze turns raw text into the final token stream.
+	Analyze(text string) []string
+}
+
+// CharFilter rewrites raw text before tokenization (accent folding,
+// mark stripping, ...).
+type CharFilter func(string) string
+
+// TokenFilter rewrites the token stream after tokenization (stemming,
+// ...). It may return its argument, a modified copy, or a shorter
+// slice.
+type TokenFilter func([]string) []string
+
+// Chain is the standard Analyzer shape: char filters, then a
+// tokenizer, then token filters. All registered built-ins are Chains;
+// custom analyzers may implement Analyzer directly instead.
+type Chain struct {
+	name    string
+	chars   []CharFilter
+	split   func(string) []string
+	filters []TokenFilter
+}
+
+// NewChain builds an analyzer from the composable parts. name must be
+// the canonical spec that reconstructs the chain through the registry.
+func NewChain(name string, chars []CharFilter, split func(string) []string, filters []TokenFilter) *Chain {
+	return &Chain{name: name, chars: chars, split: split, filters: filters}
+}
+
+// Name implements Analyzer.
+func (c *Chain) Name() string { return c.name }
+
+// Analyze implements Analyzer: char filters → tokenizer → token
+// filters.
+func (c *Chain) Analyze(text string) []string {
+	for _, f := range c.chars {
+		text = f(text)
+	}
+	tokens := c.split(text)
+	for _, f := range c.filters {
+		tokens = f(tokens)
+	}
+	return tokens
+}
+
+// Spec is a parsed analyzer specification: a registered pipeline name
+// plus optional parameters.
+type Spec struct {
+	Name   string
+	Params map[string]string
+}
+
+// ParseSpec parses "name" or "name?key=value&key2=value2" into a Spec.
+// The shape is deliberately URL-like but parsed strictly: empty names,
+// empty keys and duplicate keys are errors, so every valid spec has
+// exactly one canonical form (see Spec.String).
+func ParseSpec(s string) (Spec, error) {
+	name, query, hasQuery := strings.Cut(s, "?")
+	if name == "" {
+		return Spec{}, fmt.Errorf("textproc: empty analyzer name in spec %q", s)
+	}
+	spec := Spec{Name: name}
+	if !hasQuery {
+		return spec, nil
+	}
+	if query == "" {
+		return Spec{}, fmt.Errorf("textproc: empty parameter list in spec %q", s)
+	}
+	spec.Params = make(map[string]string)
+	for _, kv := range strings.Split(query, "&") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return Spec{}, fmt.Errorf("textproc: malformed parameter %q in spec %q", kv, s)
+		}
+		if _, dup := spec.Params[k]; dup {
+			return Spec{}, fmt.Errorf("textproc: duplicate parameter %q in spec %q", k, s)
+		}
+		spec.Params[k] = v
+	}
+	return spec, nil
+}
+
+// String renders the canonical form of the spec: the name, then the
+// parameters sorted by key. Two specs that build the same analyzer
+// render identically, so canonical strings are comparable for the
+// recovery-time mismatch check.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte('?')
+		} else {
+			b.WriteByte('&')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Params[k])
+	}
+	return b.String()
+}
+
+// CanonicalSpec parses a spec string and returns its canonical form,
+// validating that the pipeline can actually be built (unknown names
+// and parameters are rejected here, not at first use).
+func CanonicalSpec(s string) (string, error) {
+	a, err := NewAnalyzer(s)
+	if err != nil {
+		return "", err
+	}
+	return a.Name(), nil
+}
+
+// Builder constructs one registered pipeline from its parameters.
+type Builder func(params map[string]string) (Analyzer, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// RegisterAnalyzer adds (or replaces) a named pipeline in the
+// registry. Built-ins register themselves; applications may add
+// language-specific pipelines the same way.
+func RegisterAnalyzer(name string, b Builder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = b
+}
+
+// AnalyzerNames lists the registered pipeline names, sorted.
+func AnalyzerNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewAnalyzer builds the analyzer a spec string names. The returned
+// analyzer's Name() is the canonical form of the spec.
+func NewAnalyzer(spec string) (Analyzer, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	regMu.RLock()
+	b, ok := registry[s.Name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("textproc: unknown analyzer %q (registered: %s)",
+			s.Name, strings.Join(AnalyzerNames(), ", "))
+	}
+	return b(s.Params)
+}
+
+// MustAnalyzer is NewAnalyzer for statically known specs; it panics on
+// error.
+func MustAnalyzer(spec string) Analyzer {
+	a, err := NewAnalyzer(spec)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// tokenizerParams builds a Tokenizer from the shared parameter set of
+// the tokenizer-backed pipelines: "min"/"max" (token rune-length
+// bounds), "digits" (keep purely numeric tokens) and "stop" (replace
+// the stopword list with a comma-separated one; empty value clears
+// it). base supplies the pipeline's default stopword list. Unknown
+// keys are rejected so a spec's canonical form is also a complete
+// description of its behaviour.
+func tokenizerParams(params map[string]string, base []string) (*Tokenizer, error) {
+	opts := []TokenizerOption{WithStopwords(base)}
+	for k, v := range params {
+		switch k {
+		case "min", "max":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("textproc: analyzer parameter %s=%q: want a positive integer", k, v)
+			}
+			if k == "min" {
+				opts = append(opts, WithMinTokenLength(n))
+			} else {
+				opts = append(opts, WithMaxTokenLength(n))
+			}
+		case "digits":
+			keep, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("textproc: analyzer parameter digits=%q: want a boolean", v)
+			}
+			opts = append(opts, WithDigits(keep))
+		case "stop":
+			var words []string
+			for _, w := range strings.Split(v, ",") {
+				if w = strings.TrimSpace(w); w != "" {
+					words = append(words, w)
+				}
+			}
+			opts = append(opts, WithStopwords(words))
+		default:
+			return nil, fmt.Errorf("textproc: unknown analyzer parameter %q", k)
+		}
+	}
+	return NewTokenizer(opts...), nil
+}
+
+// Built-in pipeline registration. The parity contract pinned by the
+// engine tests: "standard" with no parameters is bit-identical to the
+// historical NewTokenizer() path, and "english" to NewTokenizer() +
+// StemAll (the legacy Stemming: true engine option).
+func init() {
+	RegisterAnalyzer("standard", func(params map[string]string) (Analyzer, error) {
+		tok, err := tokenizerParams(params, DefaultStopwords())
+		if err != nil {
+			return nil, err
+		}
+		return NewChain(Spec{Name: "standard", Params: params}.String(),
+			nil, tok.Tokenize, nil), nil
+	})
+	RegisterAnalyzer("english", func(params map[string]string) (Analyzer, error) {
+		tok, err := tokenizerParams(params, DefaultStopwords())
+		if err != nil {
+			return nil, err
+		}
+		return NewChain(Spec{Name: "english", Params: params}.String(),
+			nil, tok.Tokenize, []TokenFilter{StemAll}), nil
+	})
+	// unicode-fold is the language-neutral pipeline: accents and
+	// combining marks fold away before tokenization (NFC "café" and
+	// NFD "café" yield the same term), no stemmer, and no built-in
+	// stopword list — a non-English deployment injects its own via the
+	// "stop" parameter ("unicode-fold?stop=le,la,les,un,une").
+	RegisterAnalyzer("unicode-fold", func(params map[string]string) (Analyzer, error) {
+		tok, err := tokenizerParams(params, nil)
+		if err != nil {
+			return nil, err
+		}
+		return NewChain(Spec{Name: "unicode-fold", Params: params}.String(),
+			[]CharFilter{Fold}, tok.Tokenize, nil), nil
+	})
+	// whitespace passes pre-tokenized or trace input through verbatim:
+	// tokens are the whitespace-separated fields, with no case
+	// folding, length filtering or stopword removal.
+	RegisterAnalyzer("whitespace", func(params map[string]string) (Analyzer, error) {
+		if len(params) > 0 {
+			return nil, fmt.Errorf("textproc: whitespace analyzer takes no parameters")
+		}
+		return NewChain("whitespace", nil, strings.Fields, nil), nil
+	})
+}

@@ -1,0 +1,35 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchText is a representative mixed document: prose, stopwords,
+// digits, accented words — long enough that per-call overhead is not
+// the whole measurement.
+var benchText = strings.Repeat(
+	"Continuous top-k monitoring on document streams requires that the "+
+		"central server re-evaluates 10000 standing queries as décès and "+
+		"sévère pneumopathie reports arrive from l'hôpital in 2018. ", 8)
+
+// BenchmarkAnalyze measures every registered pipeline in tokens/sec,
+// so an analyzer regression (a new filter, a slower fold) is visible
+// in the per-PR bench smoke.
+func BenchmarkAnalyze(b *testing.B) {
+	for _, name := range AnalyzerNames() {
+		if strings.HasPrefix(name, "test-") {
+			continue // analyzers registered by tests in this package
+		}
+		a := MustAnalyzer(name)
+		b.Run(name, func(b *testing.B) {
+			tokens := 0
+			b.SetBytes(int64(len(benchText)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tokens += len(a.Analyze(benchText))
+			}
+			b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tokens/s")
+		})
+	}
+}

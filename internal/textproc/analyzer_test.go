@@ -1,0 +1,199 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		err  bool
+	}{
+		{in: "standard", want: Spec{Name: "standard"}},
+		{in: "english?min=3", want: Spec{Name: "english", Params: map[string]string{"min": "3"}}},
+		{in: "x?b=2&a=1", want: Spec{Name: "x", Params: map[string]string{"a": "1", "b": "2"}}},
+		{in: "x?stop=", want: Spec{Name: "x", Params: map[string]string{"stop": ""}}},
+		{in: "", err: true},
+		{in: "?min=3", err: true},
+		{in: "x?", err: true},
+		{in: "x?min", err: true},
+		{in: "x?=3", err: true},
+		{in: "x?min=3&min=4", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseSpec(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpecCanonicalString(t *testing.T) {
+	// Parameters render sorted by key, so any parameter order
+	// canonicalizes to the same comparable string.
+	for _, in := range []string{"x?b=2&a=1&c=3", "x?c=3&a=1&b=2"} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.String(); got != "x?a=1&b=2&c=3" {
+			t.Fatalf("canonical form of %q = %q", in, got)
+		}
+	}
+	if got := (Spec{Name: "standard"}).String(); got != "standard" {
+		t.Fatalf("bare spec renders %q", got)
+	}
+}
+
+func TestCanonicalSpecValidates(t *testing.T) {
+	if got, err := CanonicalSpec("english?digits=true&min=3"); err != nil || got != "english?digits=true&min=3" {
+		t.Fatalf("CanonicalSpec = %q, %v", got, err)
+	}
+	for _, bad := range []string{"nope", "standard?bogus=1", "standard?min=0", "standard?digits=maybe", "whitespace?min=2"} {
+		if got, err := CanonicalSpec(bad); err == nil {
+			t.Errorf("CanonicalSpec(%q) = %q, want error", bad, got)
+		}
+	}
+}
+
+func TestAnalyzerNames(t *testing.T) {
+	names := AnalyzerNames()
+	want := []string{"english", "standard", "unicode-fold", "whitespace"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("built-in %q not registered (have %v)", w, names)
+		}
+	}
+	if !sortedStrings(names) {
+		t.Errorf("AnalyzerNames not sorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStandardParity pins the refactor's core contract: the "standard"
+// pipeline is bit-identical to the historical NewTokenizer() path, and
+// "english" to NewTokenizer() + StemAll.
+func TestStandardParity(t *testing.T) {
+	texts := []string{
+		"The Quick, brown fox-jumps over 2 lazy dogs!",
+		"Continuous top-k monitoring on document streams",
+		"databases are persisting persistently: relational, graphs, streams",
+		"Καλημέρα κόσμε — 世界",
+		"",
+	}
+	tok := NewTokenizer()
+	std := MustAnalyzer("standard")
+	eng := MustAnalyzer("english")
+	for _, text := range texts {
+		if got, want := std.Analyze(text), tok.Tokenize(text); !reflect.DeepEqual(got, want) {
+			t.Errorf("standard(%q) = %v, legacy = %v", text, got, want)
+		}
+		if got, want := eng.Analyze(text), StemAll(tok.Tokenize(text)); !reflect.DeepEqual(got, want) {
+			t.Errorf("english(%q) = %v, legacy = %v", text, got, want)
+		}
+	}
+}
+
+func TestAnalyzerParams(t *testing.T) {
+	a := MustAnalyzer("standard?digits=true&min=3&stop=quick,lazy")
+	got := a.Analyze("The Quick brown ox jumps over 666 lazy dogs")
+	// min=3 drops "ox"; digits=true keeps "666"; the stop parameter
+	// replaces the default stopword list entirely, so quick/lazy drop
+	// while the/over (default stopwords) survive.
+	want := []string{"the", "brown", "jumps", "over", "666", "dogs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Analyze = %v, want %v", got, want)
+	}
+	if a.Name() != "standard?digits=true&min=3&stop=quick,lazy" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestUnicodeFoldAnalyzer(t *testing.T) {
+	a := MustAnalyzer("unicode-fold")
+	// NFC (precomposed) and NFD (combining marks) spellings of the same
+	// French words must produce identical terms.
+	nfc := a.Analyze("Décès à l'hôpital: pneumopathie sévère")
+	nfd := a.Analyze("Décès à l'hôpital: pneumopathie sévère")
+	if !reflect.DeepEqual(nfc, nfd) {
+		t.Fatalf("NFC %v != NFD %v", nfc, nfd)
+	}
+	want := []string{"deces", "hopital", "pneumopathie", "severe"}
+	if !reflect.DeepEqual(nfc, want) {
+		t.Fatalf("fold = %v, want %v", nfc, want)
+	}
+	// Uzbek Latin modifier letters fold away, so both spellings agree.
+	if got := a.Analyze("oʻzbekcha matn"); !reflect.DeepEqual(got, a.Analyze("ozbekcha matn")) {
+		t.Fatalf("modifier-letter spelling diverges: %v", got)
+	}
+	// No built-in stopword list: English stopwords survive unless
+	// injected via the stop parameter.
+	if got := a.Analyze("the stream"); !reflect.DeepEqual(got, []string{"the", "stream"}) {
+		t.Fatalf("unexpected built-in stopwords: %v", got)
+	}
+	fr := MustAnalyzer("unicode-fold?stop=le,la,les")
+	if got := fr.Analyze("le certificat la cause les décès"); !reflect.DeepEqual(got, []string{"certificat", "cause", "deces"}) {
+		t.Fatalf("injected stopwords: %v", got)
+	}
+}
+
+func TestWhitespaceAnalyzer(t *testing.T) {
+	a := MustAnalyzer("whitespace")
+	got := a.Analyze("  Pre-Tokenized\tTRACE tokens 42 ")
+	// Verbatim fields: no case folding, no length or digit filtering.
+	want := []string{"Pre-Tokenized", "TRACE", "tokens", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("whitespace = %v, want %v", got, want)
+	}
+	if _, err := NewAnalyzer("whitespace?min=2"); err == nil {
+		t.Fatal("whitespace accepted parameters")
+	}
+}
+
+func TestNewAnalyzerUnknown(t *testing.T) {
+	_, err := NewAnalyzer("klingon")
+	if err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+	if !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("error does not list registered pipelines: %v", err)
+	}
+}
+
+func TestRegisterAnalyzer(t *testing.T) {
+	RegisterAnalyzer("test-upper", func(params map[string]string) (Analyzer, error) {
+		return NewChain("test-upper", []CharFilter{strings.ToUpper}, strings.Fields, nil), nil
+	})
+	a := MustAnalyzer("test-upper")
+	if got := a.Analyze("ab cd"); !reflect.DeepEqual(got, []string{"AB", "CD"}) {
+		t.Fatalf("custom analyzer = %v", got)
+	}
+}

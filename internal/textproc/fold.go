@@ -1,0 +1,85 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// foldTable maps precomposed accented Latin letters (lower case; upper
+// case is lowered before lookup) to their unaccented base. It covers
+// Latin-1 Supplement and Latin Extended-A — enough for the Romance and
+// Turkic-Latin orthographies the unicode-fold pipeline targets;
+// scripts outside the table (Greek, Cyrillic, CJK) pass through
+// unchanged.
+var foldTable = map[rune]rune{
+	'à': 'a', 'á': 'a', 'â': 'a', 'ã': 'a', 'ä': 'a', 'å': 'a', 'ā': 'a', 'ă': 'a', 'ą': 'a',
+	'ç': 'c', 'ć': 'c', 'ĉ': 'c', 'ċ': 'c', 'č': 'c',
+	'ď': 'd', 'đ': 'd', 'ð': 'd',
+	'è': 'e', 'é': 'e', 'ê': 'e', 'ë': 'e', 'ē': 'e', 'ĕ': 'e', 'ė': 'e', 'ę': 'e', 'ě': 'e',
+	'ĝ': 'g', 'ğ': 'g', 'ġ': 'g', 'ģ': 'g',
+	'ĥ': 'h', 'ħ': 'h',
+	'ì': 'i', 'í': 'i', 'î': 'i', 'ï': 'i', 'ĩ': 'i', 'ī': 'i', 'ĭ': 'i', 'į': 'i', 'ı': 'i',
+	'ĵ': 'j',
+	'ķ': 'k',
+	'ĺ': 'l', 'ļ': 'l', 'ľ': 'l', 'ŀ': 'l', 'ł': 'l',
+	'ñ': 'n', 'ń': 'n', 'ņ': 'n', 'ň': 'n',
+	'ò': 'o', 'ó': 'o', 'ô': 'o', 'õ': 'o', 'ö': 'o', 'ø': 'o', 'ō': 'o', 'ŏ': 'o', 'ő': 'o',
+	'ŕ': 'r', 'ŗ': 'r', 'ř': 'r',
+	'ś': 's', 'ŝ': 's', 'ş': 's', 'š': 's', 'ș': 's',
+	'ţ': 't', 'ť': 't', 'ŧ': 't', 'ț': 't',
+	'ù': 'u', 'ú': 'u', 'û': 'u', 'ü': 'u', 'ũ': 'u', 'ū': 'u', 'ŭ': 'u', 'ů': 'u', 'ű': 'u', 'ų': 'u',
+	'ŵ': 'w',
+	'ý': 'y', 'ÿ': 'y', 'ŷ': 'y',
+	'ź': 'z', 'ż': 'z', 'ž': 'z',
+	'þ': 't',
+}
+
+// foldExpand maps runes that fold to more than one letter, plus the
+// modifier letters some orthographies (Uzbek Latin oʻ/gʻ, Hawaiian)
+// spell words with, which fold to nothing so "oʻzbek" and "ozbek"
+// agree.
+var foldExpand = map[rune]string{
+	'æ': "ae", 'œ': "oe", 'ß': "ss", 'ĳ': "ij",
+	'ʻ': "", // ʻ MODIFIER LETTER TURNED COMMA
+	'ʼ': "", // ʼ MODIFIER LETTER APOSTROPHE
+	'ʹ': "", // ʹ MODIFIER LETTER PRIME
+}
+
+// Fold is the unicode-fold pipeline's char filter: it strips combining
+// marks (so decomposed "café" loses its U+0301) and folds precomposed
+// accented letters to their base (so composed "café" becomes "cafe"),
+// leaving everything else — including case, which the tokenizer
+// handles — untouched. Decomposed and precomposed spellings of the
+// same word therefore produce the same term without a Unicode
+// normalization dependency.
+func Fold(text string) string {
+	// Fast path: pure ASCII needs no folding and no allocation.
+	ascii := true
+	for i := 0; i < len(text); i++ {
+		if text[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return text
+	}
+	var b strings.Builder
+	b.Grow(len(text))
+	for _, r := range text {
+		if unicode.Is(unicode.Mn, r) {
+			continue // combining mark: drop
+		}
+		lr := unicode.ToLower(r)
+		if s, ok := foldExpand[lr]; ok {
+			b.WriteString(s)
+			continue
+		}
+		if folded, ok := foldTable[lr]; ok {
+			b.WriteRune(folded)
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package textproc
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzStem checks the stemmer's structural invariants on arbitrary
+// input. Porter is NOT idempotent ("focuses" → "focus" → "focu"), so
+// the property fuzzed here is the weaker true one: repeated stemming
+// converges to a fixpoint in a bounded number of iterations (every
+// rewrite either shortens the word or is a terminal e/i adjustment),
+// and no step ever lengthens the word.
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "ox", "caresses", "ponies", "relational", "hopeful",
+		"focuses", "adjustable", "triplicate", "formalize", "oscillate",
+		"probate", "controllable", "sévère", "ızgara", "日本語",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		out := Stem(word)
+		if len(out) > len(word) {
+			t.Fatalf("Stem(%q) = %q grew the word", word, out)
+		}
+		if len(word) <= 2 || !isASCIILower(word) {
+			if out != word {
+				t.Fatalf("Stem(%q) = %q, want unchanged (short or non-ASCII-lower)", word, out)
+			}
+			return
+		}
+		// Bounded fixpoint: each shrinking iteration removes at least one
+		// byte, and non-shrinking rewrites cannot cycle, so len(word)+4
+		// rounds is generous.
+		prev := out
+		for i := 0; i <= len(word)+4; i++ {
+			next := Stem(prev)
+			if len(next) > len(prev) {
+				t.Fatalf("re-stemming grew: %q → %q", prev, next)
+			}
+			if next == prev {
+				return
+			}
+			prev = next
+		}
+		t.Fatalf("Stem(%q) does not converge (reached %q)", word, prev)
+	})
+}
+
+// FuzzAnalyze runs every registered built-in pipeline over arbitrary
+// text: no panics, and every produced token is valid UTF-8 and
+// non-empty (the invariants the weighter and vocabulary rely on).
+func FuzzAnalyze(f *testing.F) {
+	for _, seed := range []string{
+		"", "the quick brown fox", "Décès à l'hôpital", "oʻzbek tili",
+		"route 66\t\ncafé", "ß ÆON Straße", "世界 ٢٠١٨ żółć",
+	} {
+		f.Add(seed)
+	}
+	specs := []string{"standard", "english", "unicode-fold", "whitespace"}
+	analyzers := make([]Analyzer, len(specs))
+	for i, s := range specs {
+		analyzers[i] = MustAnalyzer(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, a := range analyzers {
+			tokens := a.Analyze(text)
+			for _, tok := range tokens {
+				if tok == "" {
+					t.Fatalf("%s produced an empty token on %q", a.Name(), text)
+				}
+				if utf8.ValidString(text) && !utf8.ValidString(tok) {
+					t.Fatalf("%s produced invalid UTF-8 token %q on valid input %q", a.Name(), tok, text)
+				}
+			}
+		}
+	})
+}

@@ -23,9 +23,10 @@ func Stem(word string) string {
 	return string(w)
 }
 
-// WithStemming returns a TokenizerOption-compatible wrapper: a
-// convenience that applies Stem to every token of a pre-tokenized
-// stream.
+// StemAll applies Stem to every token of a pre-tokenized stream. Its
+// signature is a TokenFilter, so it slots directly into an analyzer
+// Chain (the "english" pipeline is exactly the standard tokenizer
+// followed by StemAll).
 func StemAll(tokens []string) []string {
 	out := make([]string, len(tokens))
 	for i, t := range tokens {

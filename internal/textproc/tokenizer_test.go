@@ -2,6 +2,7 @@ package textproc
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -86,5 +87,65 @@ func TestDefaultStopwordsCopy(t *testing.T) {
 	b := DefaultStopwords()
 	if b[0] == "mutated" {
 		t.Fatal("DefaultStopwords exposes internal slice")
+	}
+}
+
+func TestTokenizeAccentedFrench(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("Pneumopathie Sévère à l'Hôpital Décès")
+	// Precomposed accented letters are letters: they stay inside their
+	// tokens and survive lower-casing intact (no folding here — that is
+	// the unicode-fold analyzer's job).
+	want := []string{"pneumopathie", "sévère", "hôpital", "décès"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeCombiningMarks(t *testing.T) {
+	tok := NewTokenizer()
+	// Combining marks (category Mn) are neither letters nor digits, so
+	// the standard tokenizer splits on them: decomposed "décès" breaks
+	// apart. This pins the motivating behavior for unicode-fold, which
+	// strips the marks before tokenization instead.
+	got := tok.Tokenize("de\u0301ce\u0300s")
+	want := []string{"de", "ce"} // trailing "s" dropped by min length
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize NFD = %v, want %v", got, want)
+	}
+	if folded := MustAnalyzer("unicode-fold").Analyze("de\u0301ce\u0300s"); !reflect.DeepEqual(folded, []string{"deces"}) {
+		t.Fatalf("unicode-fold NFD = %v, want [deces]", folded)
+	}
+}
+
+func TestTokenizeUnicodeDigits(t *testing.T) {
+	drop := NewTokenizer()
+	// Arabic-Indic digits are unicode digits: purely numeric tokens are
+	// dropped by default regardless of script.
+	if got := drop.Tokenize("سنة ٢٠١٨ م"); len(got) != 1 || got[0] != "سنة" {
+		t.Fatalf("unicode digits kept by default: %v", got)
+	}
+	keep := NewTokenizer(WithDigits(true))
+	got := keep.Tokenize("سنة ٢٠١٨ م")
+	want := []string{"سنة", "٢٠١٨"} // "م" still dropped by min length
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize with digits = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeMaxLengthRunes(t *testing.T) {
+	tok := NewTokenizer()
+	// The default max length (40) counts runes, not bytes: a 40-rune
+	// token of 2-byte runes (80 bytes) survives, a 41-rune one does not.
+	ok := strings.Repeat("é", 40)
+	long := strings.Repeat("é", 41)
+	if got := tok.Tokenize(ok); !reflect.DeepEqual(got, []string{ok}) {
+		t.Fatalf("40-rune token dropped: %v", got)
+	}
+	if got := tok.Tokenize(long); len(got) != 0 {
+		t.Fatalf("41-rune token kept: %v", got)
+	}
+	if got := tok.Tokenize(ok + " " + long); !reflect.DeepEqual(got, []string{ok}) {
+		t.Fatalf("mixed lengths = %v", got)
 	}
 }

@@ -38,7 +38,8 @@ func (e *Engine) textStateLocked() snapshot.TextState {
 		DF:           df,
 		DocsObserved: docs,
 		NextDoc:      e.nextDoc,
-		Stemming:     e.opts.Stemming,
+		Stemming:     e.an.Name() == "english",
+		Analyzer:     e.an.Name(),
 		Seqs:         e.broker.Seqs(),
 	}
 	if e.snips != nil {
@@ -60,12 +61,19 @@ func (e *Engine) textStateLocked() snapshot.TextState {
 // Algorithm, Shards, Parallelism, Partition, Rebuild,
 // RebuildThreshold, DefaultK, SnippetLength — all of which are
 // result-invariant and may differ from the saving process.
-// Lambda and Stemming are part of the persisted semantics and are
-// restored from the snapshot; values set for them in opts are
-// ignored.
+// Lambda and the analyzer are part of the persisted semantics and are
+// restored from the snapshot; leave Analyzer (and the deprecated
+// Stemming alias) unset to accept whatever the snapshot ran. Setting
+// them to a pipeline different from the persisted one fails with
+// ErrAnalyzerMismatch rather than silently re-analyzing future
+// documents against a mismatched vocabulary.
 func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 	if opts.DefaultK <= 0 {
 		opts.DefaultK = 10
+	}
+	requested, err := requestedAnalyzer(opts)
+	if err != nil {
+		return nil, err
 	}
 	shape := core.Config{
 		Shards:           opts.Shards,
@@ -90,12 +98,24 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 		mon.Close()
 		return nil, fmt.Errorf("ctk: snapshot vocabulary: %w", err)
 	}
+	persisted := ts.EffectiveAnalyzer()
+	if requested != "" && requested != persisted {
+		mon.Close()
+		return nil, fmt.Errorf("%w: snapshot was written under analyzer %q, options request %q",
+			ErrAnalyzerMismatch, persisted, requested)
+	}
+	an, err := textproc.NewAnalyzer(persisted)
+	if err != nil {
+		mon.Close()
+		return nil, fmt.Errorf("ctk: snapshot analyzer: %w", err)
+	}
 	opts.Lambda = mon.Config().Lambda
-	opts.Stemming = ts.Stemming
+	opts.Analyzer = persisted
+	opts.Stemming = persisted == "english"
 	e := &Engine{
 		opts:     opts,
 		vocab:    vocab,
-		tok:      textproc.NewTokenizer(),
+		an:       an,
 		weighter: textproc.NewWeighter(vocab, textproc.WeightLogTFIDF),
 		mon:      mon,
 		nextDoc:  ts.NextDoc,
