@@ -24,11 +24,14 @@ race:
 # (publish-stall percentiles per fsync policy, plus cold-recovery
 # times). The churn timeline deliberately runs twice — once as the
 # BenchmarkChurn gate, once for the JSON artifact; each quick-scale
-# run costs well under a second.
+# run costs well under a second. The ablobs run emits BENCH_obs.json:
+# the instrumented publish path's ms/event overhead and allocs/event
+# delta against a metrics-disabled build (the bars are <3% and 0).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ctkbench -exp ablchurn -scale quick -quiet -json BENCH_churn.json
 	$(GO) run ./cmd/ctkbench -exp ablwal -scale quick -quiet -json BENCH_wal.json
+	$(GO) run ./cmd/ctkbench -exp ablobs -scale quick -quiet -json BENCH_obs.json
 
 # A short randomized pass over the WAL record decoder, torn-tail
 # repair, the Porter stemmer and the analyzer pipelines (the fuzz

@@ -38,12 +38,18 @@ const ablChurnID = "ablchurn"
 // percentiles and recovery times no sweep column has.
 const ablWalID = "ablwal"
 
+// ablObsID is the observability experiment's registry key. Its harness
+// (bench.RunObs) compares the instrumented publish path against a
+// metrics-disabled build: ms/event overhead and allocs/event delta.
+const ablObsID = "ablobs"
+
 // jsonReport is the -json output shape.
 type jsonReport struct {
 	Scale       string             `json:"scale"`
 	Experiments []jsonExperiment   `json:"experiments,omitempty"`
 	Churn       *bench.ChurnResult `json:"churn,omitempty"`
 	Wal         *bench.WALResult   `json:"wal,omitempty"`
+	Obs         *bench.ObsResult   `json:"obs,omitempty"`
 }
 
 type jsonExperiment struct {
@@ -54,7 +60,7 @@ type jsonExperiment struct {
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn, ablwal) or 'all'")
+		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn, ablwal, ablobs) or 'all'")
 		scale    = flag.String("scale", "default", "quick | default | full")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
@@ -74,6 +80,7 @@ func main() {
 		}
 		fmt.Printf("%-10s %s\n", ablChurnID, bench.ChurnTitle)
 		fmt.Printf("%-10s %s\n", ablWalID, bench.WALTitle)
+		fmt.Printf("%-10s %s\n", ablObsID, bench.ObsTitle)
 		return
 	}
 	if *expID == "" {
@@ -83,10 +90,10 @@ func main() {
 
 	var ids []string
 	if *expID == "all" {
-		ids = append(bench.IDs(sc), ablChurnID, ablWalID)
+		ids = append(bench.IDs(sc), ablChurnID, ablWalID, ablObsID)
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
-			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID {
+			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID && id != ablObsID {
 				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 			}
 			ids = append(ids, id)
@@ -118,6 +125,16 @@ func main() {
 			}
 			res.Render(os.Stdout)
 			report.Wal = res
+			continue
+		}
+		if id == ablObsID {
+			fmt.Fprintf(os.Stderr, "== running %s (instrumented vs metrics-off publish path)\n", id)
+			res, err := bench.RunObs(sc, progress)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(os.Stdout)
+			report.Obs = res
 			continue
 		}
 		exp := exps[id]

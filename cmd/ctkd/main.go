@@ -15,6 +15,10 @@
 //	GET    /v1/healthz                                       → liveness
 //	GET    /v1/analyze?text=...                              → analyzer debug: token stream
 //	POST   /v1/admin/snapshot                                → on-demand online snapshot
+//	GET    /v1/metrics                                       → Prometheus text exposition
+//	GET    /v1/debug/vars                                    → metrics registry as JSON
+//	GET    /v1/debug/trace                                   → sampled publish stage traces
+//	GET    /v1/debug/pprof/*                                 → net/http/pprof (only with -pprof)
 //
 // Start with:
 //
@@ -51,7 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -103,11 +107,21 @@ func main() {
 		snapIvl   = flag.Duration("snapshot-interval", 0, "wall-clock background snapshot timer (0 disables)")
 		keepSnaps = flag.Int("keep-snapshots", 0, "snapshot files retained by rotation (0 = default 2)")
 		segBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 8 MiB)")
+
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /v1/debug/pprof/ (exposes heap contents; keep off unless profiling)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "ctkd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
 	if *dataDir != "" && *snapPath != "" {
-		log.Fatal("ctkd: -data-dir and -snapshot are mutually exclusive (use -data-dir; -snapshot is the legacy path)")
+		fatal("flag conflict", errors.New("-data-dir and -snapshot are mutually exclusive (use -data-dir; -snapshot is the legacy path)"))
 	}
 	opts := ctk.Options{
 		Algorithm:        *algorithm,
@@ -131,9 +145,15 @@ func main() {
 			SegmentBytes:     *segBytes,
 		}
 	}
-	if err := run(context.Background(), *addr, opts, *snapPath); err != nil {
-		log.Fatal(err)
+	if err := run(context.Background(), *addr, opts, *snapPath, *pprofOn); err != nil {
+		fatal("exiting", err)
 	}
+}
+
+// fatal logs a structured error and exits; the slog-era log.Fatal.
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 // loadOrNewEngine restores the engine from path when a snapshot exists
@@ -192,8 +212,10 @@ func bootEngine(opts ctk.Options, snapPath string) (*ctk.Engine, error) {
 			return nil, err
 		}
 		st := engine.Stats()
-		log.Printf("ctkd: recovered %d queries / %d documents from %s (replayed %d WAL records, stream time %.3f)",
-			st.Queries, st.Documents, opts.Durability.Dir, st.Durability.Replayed, engine.StreamTime())
+		slog.Info("recovered durable state",
+			"queries", st.Queries, "documents", st.Documents,
+			"dir", opts.Durability.Dir, "replayed", st.Durability.Replayed,
+			"stream_time", engine.StreamTime())
 		return engine, nil
 	}
 	engine, restored, err := loadOrNewEngine(snapPath, opts)
@@ -202,8 +224,9 @@ func bootEngine(opts ctk.Options, snapPath string) (*ctk.Engine, error) {
 	}
 	if restored {
 		st := engine.Stats()
-		log.Printf("ctkd: restored %d queries / %d documents from %s (stream time %.3f)",
-			st.Queries, st.Documents, snapPath, engine.StreamTime())
+		slog.Info("restored snapshot",
+			"queries", st.Queries, "documents", st.Documents,
+			"path", snapPath, "stream_time", engine.StreamTime())
 	}
 	return engine, nil
 }
@@ -214,7 +237,7 @@ func bootEngine(opts ctk.Options, snapPath string) (*ctk.Engine, error) {
 // durable — there is no shutdown save to lose; with the legacy
 // -snapshot file the quiesced state is saved on the way out. Split
 // from main so the lifecycle is testable.
-func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) error {
+func run(ctx context.Context, addr string, opts ctk.Options, snapPath string, pprofOn bool) error {
 	engine, err := bootEngine(opts, snapPath)
 	if err != nil {
 		return err
@@ -226,9 +249,22 @@ func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) er
 		engine.Close()
 		return err
 	}
-	s := newServer(engine)
-	log.Printf("ctkd listening on %s (algorithm=%s λ=%v analyzer=%s shards=%d parallelism=%d partition=%s)",
-		ln.Addr(), opts.Algorithm, opts.Lambda, engine.Analyzer(), opts.Shards, opts.Parallelism, engine.Partition())
+	mode := "memory"
+	switch {
+	case opts.Durability.Dir != "":
+		mode = "durable"
+	case snapPath != "":
+		mode = "snapshot"
+	}
+	s := &server{httpserver.New(engine, httpserver.Options{
+		Pprof:    pprofOn,
+		DataMode: mode,
+	})}
+	slog.Info("ctkd listening",
+		"addr", ln.Addr().String(), "algorithm", opts.Algorithm,
+		"lambda", opts.Lambda, "analyzer", engine.Analyzer(),
+		"shards", opts.Shards, "parallelism", opts.Parallelism,
+		"partition", engine.Partition(), "data_mode", mode, "pprof", pprofOn)
 	err = serve(ctx, s.mux(), ln, s.beginShutdown)
 	// Drain the analyzer pool and the monitor's shard and partition
 	// workers whatever way serving ended, then persist the quiesced
@@ -238,12 +274,12 @@ func run(ctx context.Context, addr string, opts ctk.Options, snapPath string) er
 	}
 	if snapPath != "" {
 		if serr := saveSnapshot(snapPath, engine); serr != nil {
-			log.Printf("ctkd: snapshot save failed: %v", serr)
+			slog.Error("snapshot save failed", "path", snapPath, "err", serr)
 			if err == nil {
 				err = serr
 			}
 		} else {
-			log.Printf("ctkd: state saved to %s", snapPath)
+			slog.Info("state saved", "path", snapPath)
 		}
 	}
 	return err
@@ -268,7 +304,7 @@ func serve(ctx context.Context, h http.Handler, ln net.Listener, onShutdown func
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("ctkd: shutting down (draining for up to %v)", shutdownGrace)
+	slog.Info("shutting down", "drain_grace", shutdownGrace)
 	if onShutdown != nil {
 		onShutdown()
 	}

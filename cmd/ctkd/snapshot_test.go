@@ -192,7 +192,7 @@ func TestRunSavesOnGracefulShutdown(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, "127.0.0.1:0", opts, path) }()
+	go func() { done <- run(ctx, "127.0.0.1:0", opts, path, false) }()
 	time.Sleep(200 * time.Millisecond) // let run boot and restore
 	cancel()
 	select {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/notify"
+	"repro/internal/obs"
 	"repro/internal/textproc"
 	"repro/internal/wal"
 )
@@ -129,6 +130,18 @@ type Options struct {
 	// durability must be built with Open (which runs the recovery
 	// path); New rejects a non-zero Durability.
 	Durability Durability
+	// DisableMetrics turns off all runtime instrumentation: the engine
+	// still exposes a Metrics registry but it stays empty, the publish
+	// path records nothing and tracing is off. It exists as the
+	// ablation control for the ablobs experiment (instrumented vs.
+	// uninstrumented publish cost); production engines should leave it
+	// false — the instrumented path adds no allocations and a few
+	// atomic writes per publish.
+	DisableMetrics bool
+	// TraceEvery samples one publish in every N into the stage-timing
+	// trace ring served at GET /v1/debug/trace (0 uses the default of
+	// 64; negative disables tracing while keeping metrics on).
+	TraceEvery int
 }
 
 // analyzeJob asks the analyzer pool to run the engine's analysis
@@ -199,6 +212,13 @@ type Engine struct {
 	// to under e.mu — so log order is apply order — and the background
 	// snapshotter. Attached by Open after recovery.
 	dur *durable
+
+	// reg is the engine's metrics registry (always non-nil; empty when
+	// Options.DisableMetrics). im holds the resolved hot-path handles —
+	// nil when metrics are off, so the publish path pays one branch.
+	// See instrument.go.
+	reg *obs.Registry
+	im  *instruments
 }
 
 // ErrNoTerms reports a query or document whose text yields no usable
@@ -313,6 +333,7 @@ func New(opts Options) (*Engine, error) {
 		e.snipHW = snipPruneMin
 	}
 	e.broker = notify.New[Update]()
+	e.initObs()
 	return e, nil
 }
 
@@ -425,7 +446,7 @@ func (e *Engine) Register(keywords string, k int) (QueryID, error) {
 	if err != nil {
 		return 0, public(err)
 	}
-	if err := e.dur.logOp(wal.Rec{Op: wal.OpRegister, Query: id, K: k, Keywords: keywords}); err != nil {
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpRegister, Query: id, K: k, Keywords: keywords}, nil); err != nil {
 		return 0, err
 	}
 	return QueryID(id), nil
@@ -443,7 +464,7 @@ func (e *Engine) Unregister(id QueryID) error {
 	if err := e.mon.RemoveQuery(uint32(id)); err != nil {
 		return public(err)
 	}
-	if err := e.dur.logOp(wal.Rec{Op: wal.OpUnregister, Query: uint32(id)}); err != nil {
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpUnregister, Query: uint32(id)}, nil); err != nil {
 		return err
 	}
 	e.broker.CloseTopic(uint32(id))
@@ -467,6 +488,7 @@ type PublishStats struct {
 // Text analysis runs before the engine lock is taken; only weighting
 // and the monitor hand-off are serialized.
 func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
+	c := e.clock()
 	tokens := e.analyze(text)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -479,17 +501,21 @@ func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 	vec := e.weighter.DocumentVector(tokens)
 	id := e.nextDoc
 	e.nextDoc++
+	c.mark(obs.StageAnalyze)
 	st, err := e.mon.Process(corpus.Document{ID: id, Vec: vec}, at)
+	c.mark(obs.StageMatch)
 	if err != nil {
 		e.nextDoc = id
 		return PublishStats{}, public(err)
 	}
-	if err := e.dur.logOp(wal.Rec{Op: wal.OpPublish, Time: at, Texts: []string{text}}); err != nil {
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpPublish, Time: at, Texts: []string{text}}, &c); err != nil {
 		return PublishStats{}, err
 	}
 	e.retainSnippet(id, text)
 	e.pruneSnippets()
 	e.notifyChanges()
+	c.mark(obs.StageNotify)
+	e.im.record(&c, id, 1, at)
 	return PublishStats{DocID: id, Updated: st.Matched, Evaluated: st.Evaluated}, nil
 }
 
@@ -563,6 +589,7 @@ type BatchStats struct {
 // results (document IDs, idf weights, top-k contents) are identical to
 // publishing each text individually at the same time.
 func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
+	c := e.clock()
 	tokenLists := make([][]string, len(texts))
 	e.anMu.RLock()
 	if e.anClosed {
@@ -604,12 +631,14 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 		docs[i] = corpus.Document{ID: e.nextDoc, Vec: e.weighter.DocumentVector(tokens)}
 		e.nextDoc++
 	}
+	c.mark(obs.StageAnalyze)
 	st, err := e.mon.ProcessBatch(docs, at)
+	c.mark(obs.StageMatch)
 	if err != nil {
 		e.nextDoc = first
 		return BatchStats{}, public(err)
 	}
-	if err := e.dur.logOp(wal.Rec{Op: wal.OpBatch, Time: at, Texts: texts}); err != nil {
+	if err := e.dur.logOp(wal.Rec{Op: wal.OpBatch, Time: at, Texts: texts}, &c); err != nil {
 		return BatchStats{}, err
 	}
 	for i, text := range texts {
@@ -617,6 +646,8 @@ func (e *Engine) PublishBatch(texts []string, at float64) (BatchStats, error) {
 	}
 	e.pruneSnippets()
 	e.notifyChanges()
+	c.mark(obs.StageNotify)
+	e.im.record(&c, first, len(texts), at)
 	return BatchStats{
 		FirstDocID: first,
 		Docs:       len(texts),

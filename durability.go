@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/textproc"
 	"repro/internal/wal"
@@ -150,6 +151,14 @@ type durable struct {
 	snapFiles int
 	replayed  int
 	lastErr   string
+
+	// Snapshot instruments, set by Engine.instrumentDurability right
+	// after attach (nil handles record nothing). WAL append/fsync
+	// instruments live inside the log itself.
+	snapCapture *obs.Histogram
+	snapEncode  *obs.Histogram
+	snapTotal   *obs.Counter
+	snapErrors  *obs.Counter
 }
 
 // Open builds an engine with durability: it restores the newest valid
@@ -279,6 +288,7 @@ func Open(opts Options) (*Engine, error) {
 	d.lastSnap = restored
 	d.ops.Store(int64(replayed))
 	e.dur = d
+	e.instrumentDurability(d)
 	e.mon.SetMutationHandler(d.noteOps)
 	d.wg.Add(1)
 	go d.run()
@@ -347,18 +357,23 @@ func (e *Engine) applyRec(r wal.Rec) error {
 // logOp appends one operation to the WAL, syncing immediately under
 // the "always" policy. Called with e.mu held (write side) right after
 // the mutation applied, so log order is exactly apply order. A nil
-// receiver (durability disabled) is a no-op.
-func (d *durable) logOp(r wal.Rec) error {
+// receiver (durability disabled) is a no-op. c, when non-nil, receives
+// the append and fsync stage timings of the publish being logged; the
+// clock is not re-armed first because publish paths call logOp one
+// branch after their match mark — the wal_append stage starts there.
+func (d *durable) logOp(r wal.Rec, c *stageClock) error {
 	if d == nil {
 		return nil
 	}
 	if _, err := d.log.Append(r); err != nil {
 		return fmt.Errorf("ctk: wal: %w", err)
 	}
+	c.mark(obs.StageWALAppend)
 	if d.cfg.Fsync == FsyncAlways {
 		if err := d.log.Sync(); err != nil {
 			return fmt.Errorf("ctk: wal: %w", err)
 		}
+		c.mark(obs.StageFsync)
 	}
 	return nil
 }
@@ -438,11 +453,13 @@ func (d *durable) doSnapshot() (SnapshotInfo, error) {
 	defer d.snapMu.Unlock()
 
 	e := d.e
+	t0 := time.Now()
 	e.mu.RLock()
 	st := snapshot.CaptureEngine(e.mon, e.textStateLocked())
 	drain := d.log.NextLSN()
 	streamTime := e.mon.Now()
 	e.mu.RUnlock()
+	d.snapCapture.ObserveSince(t0)
 	d.ops.Store(0)
 
 	d.mu.Lock()
@@ -456,8 +473,10 @@ func (d *durable) doSnapshot() (SnapshotInfo, error) {
 
 	path := filepath.Join(d.cfg.Dir, fmt.Sprintf("%s%016x%s", snapPrefix, drain, snapSuffix))
 	tmp := path + ".tmp"
+	t1 := time.Now()
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
+		d.snapErrors.Inc()
 		return SnapshotInfo{}, fmt.Errorf("ctk: snapshot: %w", err)
 	}
 	err = st.Encode(f)
@@ -472,8 +491,10 @@ func (d *durable) doSnapshot() (SnapshotInfo, error) {
 	}
 	if err != nil {
 		os.Remove(tmp)
+		d.snapErrors.Inc()
 		return SnapshotInfo{}, fmt.Errorf("ctk: snapshot: %w", err)
 	}
+	d.snapEncode.ObserveSince(t1)
 	if dh, derr := os.Open(d.cfg.Dir); derr == nil {
 		dh.Sync()
 		dh.Close()
@@ -494,6 +515,7 @@ func (d *durable) doSnapshot() (SnapshotInfo, error) {
 		return SnapshotInfo{}, err
 	}
 
+	d.snapTotal.Inc()
 	info := SnapshotInfo{LSN: drain, StreamTime: streamTime, Path: path}
 	d.mu.Lock()
 	d.lastSnap = info

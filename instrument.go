@@ -1,0 +1,289 @@
+package ctk
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/notify"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Default publish-trace sampling: one publish in every
+// defaultTraceEvery lands in a ring of traceRingSize stage-timing
+// records (readable via Engine.Traces / GET /v1/debug/trace).
+const (
+	defaultTraceEvery = 64
+	traceRingSize     = 256
+)
+
+// instruments is the engine's hot-path metric set: handles resolved
+// once at construction so the publish path records through direct
+// atomic operations — no registry lookups, no locks, no allocations.
+// A nil *instruments (Options.DisableMetrics) turns every record call
+// into a nil check.
+type instruments struct {
+	publishes *obs.Counter // Publish/PublishBatch calls accepted
+	docs      *obs.Counter // documents accepted
+	stages    [obs.StageCount]*obs.Histogram
+	trace     *obs.TraceRing
+}
+
+// initObs builds the engine's metrics registry and, unless metrics are
+// disabled, registers the hot-path instruments and the scrape-time
+// collectors over the engine's existing stats machinery. Called from
+// New and from ReadSnapshot (which constructs the Engine directly);
+// Open additionally attaches the durability instruments afterwards.
+func (e *Engine) initObs() {
+	e.reg = obs.NewRegistry()
+	if e.opts.DisableMetrics {
+		return
+	}
+	im := &instruments{
+		publishes: e.reg.Counter("ctk_publishes_total",
+			"Publish/PublishBatch calls accepted.", nil),
+		docs: e.reg.Counter("ctk_published_docs_total",
+			"Documents accepted into the stream.", nil),
+	}
+	for s := obs.Stage(0); s < obs.StageCount; s++ {
+		im.stages[s] = e.reg.Histogram("ctk_publish_stage_seconds",
+			"Time spent per publish pipeline stage.",
+			obs.Labels{"stage": s.String()})
+	}
+	every := e.opts.TraceEvery
+	if every == 0 {
+		every = defaultTraceEvery
+	}
+	if every > 0 {
+		im.trace = obs.NewTraceRing(traceRingSize, every)
+	}
+	e.im = im
+
+	// Rebuild timings record inside the monitor's install path.
+	e.mon.SetInstruments(&core.Instruments{
+		BuildSeconds: e.reg.Histogram("ctk_rebuild_build_seconds",
+			"Background generation build duration.", nil),
+		InstallSeconds: e.reg.Histogram("ctk_rebuild_install_seconds",
+			"Mutation-path stall while installing a built generation.", nil),
+	})
+
+	// Broker delivery counters record inside internal/notify.
+	e.broker.SetInstruments(notify.Instruments{
+		Updates: e.reg.Counter("ctk_notify_updates_total",
+			"Top-k change notifications produced (one per changed query per publish).", nil),
+		Deliveries: e.reg.Counter("ctk_notify_deliveries_total",
+			"Updates handed to subscriber buffers.", nil),
+		Drops: e.reg.Counter("ctk_notify_drops_total",
+			"Stale updates coalesced away because a subscriber fell behind.", nil),
+	})
+
+	// Scrape-time collectors: everything below reads the engine's
+	// existing stats surface under the read lock, so a scrape costs a
+	// few short RLock sections and never touches the publish path.
+	e.reg.GaugeFunc("ctk_queries",
+		"Live registered queries.", nil,
+		func() float64 { return float64(e.Stats().Queries) })
+	e.reg.CounterFunc("ctk_documents_total",
+		"Documents processed over the engine's lifetime.", nil,
+		func() float64 { return float64(e.Stats().Documents) })
+	e.reg.CounterFunc("ctk_evaluated_total",
+		"Exact query evaluations over the engine's lifetime.", nil,
+		func() float64 { return float64(e.Stats().Evaluated) })
+	e.reg.CounterFunc("ctk_matched_total",
+		"(query, document) top-k admissions over the engine's lifetime.", nil,
+		func() float64 { return float64(e.Stats().Matched) })
+	e.reg.GaugeFunc("ctk_snippets",
+		"Document snippets currently retained.", nil,
+		func() float64 { return float64(e.Stats().Snippets) })
+	e.reg.GaugeFunc("ctk_stream_time",
+		"Stream time of the latest accepted publication.", nil,
+		e.StreamTime)
+
+	// Per-shard × per-partition occupancy from the adaptive
+	// partitioning machinery. The stats slice is shard-major, so the
+	// partition label is the position within its shard and the
+	// (shard, partition) pair identifies one matching worker.
+	partitions := func(emit func(obs.Labels, float64), value func(PartitionStat) float64) {
+		prevShard, idx := -1, 0
+		for _, p := range e.Stats().Partitions {
+			if p.Shard != prevShard {
+				prevShard, idx = p.Shard, 0
+			}
+			emit(obs.Labels{
+				"shard":     strconv.Itoa(p.Shard),
+				"partition": strconv.Itoa(idx),
+			}, value(p))
+			idx++
+		}
+	}
+	e.reg.Collect("ctk_partition_busy_seconds_total",
+		"Matching work time accumulated per intra-shard partition.",
+		obs.TypeCounter, func(emit func(obs.Labels, float64)) {
+			partitions(emit, func(p PartitionStat) float64 { return p.BusyMS / 1e3 })
+		})
+	e.reg.Collect("ctk_partition_evaluated_total",
+		"Exact evaluations accumulated per intra-shard partition.",
+		obs.TypeCounter, func(emit func(obs.Labels, float64)) {
+			partitions(emit, func(p PartitionStat) float64 { return float64(p.Evaluated) })
+		})
+	e.reg.Collect("ctk_partition_queries",
+		"Queries currently assigned per intra-shard partition.",
+		obs.TypeGauge, func(emit func(obs.Labels, float64)) {
+			partitions(emit, func(p PartitionStat) float64 { return float64(p.Queries) })
+		})
+
+	// Generational-index churn state.
+	e.reg.GaugeFunc("ctk_generation",
+		"Installed index generation number.", nil,
+		func() float64 { return float64(e.Stats().Gen.Generation) })
+	e.reg.CounterFunc("ctk_rebuilds_total",
+		"Generation builds completed and installed.", nil,
+		func() float64 { return float64(e.Stats().Gen.Builds) })
+	e.reg.CounterFunc("ctk_rebuild_failures_total",
+		"Generation builds that failed.", nil,
+		func() float64 { return float64(e.Stats().Gen.FailedBuilds) })
+	e.reg.GaugeFunc("ctk_delta_queries",
+		"Queries living in the append-only delta segment.", nil,
+		func() float64 { return float64(e.Stats().Gen.DeltaQueries) })
+	e.reg.GaugeFunc("ctk_tombstones",
+		"Unregistered queries awaiting the next rebuild.", nil,
+		func() float64 { return float64(e.Stats().Gen.Tombstones) })
+
+	// Broker fan-out shape.
+	e.reg.GaugeFunc("ctk_notify_topics",
+		"Query topics with live state in the broker.", nil,
+		func() float64 { t, _ := e.broker.Counts(); return float64(t) })
+	e.reg.GaugeFunc("ctk_notify_subscribers",
+		"Attached watcher subscriptions.", nil,
+		func() float64 { _, s := e.broker.Counts(); return float64(s) })
+}
+
+// Metrics returns the engine's metrics registry. Always non-nil; with
+// Options.DisableMetrics it is empty but still renders. The server
+// layer scrapes it for GET /v1/metrics and /v1/debug/vars.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// Traces returns the sampled publish stage-timing traces, newest
+// first (nil when tracing is disabled). Each trace breaks one publish
+// into analyze / match / notify / wal_append / fsync nanoseconds.
+func (e *Engine) Traces() []obs.Trace {
+	if e.im == nil {
+		return nil
+	}
+	return e.im.trace.Snapshot()
+}
+
+// stageClock accumulates per-stage nanoseconds for one publish. It
+// lives on the caller's stack (nothing it is passed to retains it, so
+// it never escapes), and when instrumentation is off every method is a
+// single branch. Stage boundaries are contiguous — each mark attributes
+// everything since the previous mark — so one publish costs one clock
+// read per stage plus the start. That puts the small glue between
+// stages inside a stage rather than in an unattributed gap: "analyze"
+// includes the lock wait and tf-idf weighting, "notify" includes
+// snippet retention. Stage sums still come out ≤ the call's wall time
+// (the final record bookkeeping is after the last mark).
+type stageClock struct {
+	on   bool
+	t0   time.Time
+	last time.Time
+	ns   [obs.StageCount]uint64
+}
+
+// clock starts a stage clock for one publish call.
+func (e *Engine) clock() stageClock {
+	c := stageClock{on: e.im != nil}
+	if c.on {
+		c.t0 = time.Now()
+		c.last = c.t0
+	}
+	return c
+}
+
+// mark attributes the time since the previous mark to stage s.
+func (c *stageClock) mark(s obs.Stage) {
+	if c == nil || !c.on {
+		return
+	}
+	now := time.Now()
+	if d := now.Sub(c.last); d > 0 {
+		c.ns[s] += uint64(d)
+	}
+	c.last = now
+}
+
+// record folds one accepted publish into the engine's metrics: stage
+// histograms, throughput counters, and — for one publish in N — the
+// trace ring. Caller holds e.mu; everything here is atomic ops plus,
+// on sampled publishes only, a short ring mutex.
+func (im *instruments) record(c *stageClock, doc uint64, docs int, at float64) {
+	if im == nil {
+		return
+	}
+	im.publishes.Inc()
+	im.docs.Add(uint64(docs))
+	for s, ns := range &c.ns {
+		if ns > 0 {
+			im.stages[s].Observe(ns)
+		}
+	}
+	if im.trace.Sample() {
+		im.trace.Record(obs.Trace{
+			Doc:   doc,
+			Docs:  docs,
+			At:    at,
+			Unix:  c.t0.UnixNano(),
+			Stage: c.ns,
+			Total: nanosSince(c.t0),
+		})
+	}
+}
+
+// nanosSince is time.Since clamped at zero (a histogram-free sibling
+// of obs's internal helper).
+func nanosSince(t0 time.Time) uint64 {
+	d := time.Since(t0)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
+// instrumentDurability registers the durability subsystem's metrics
+// once Open has attached it: WAL append/fsync instruments (recorded
+// inside internal/wal), snapshot timing histograms (recorded by the
+// snapshotter), and scrape-time collectors over the WAL's stats.
+func (e *Engine) instrumentDurability(d *durable) {
+	if e.im == nil {
+		return
+	}
+	d.log.SetInstruments(wal.Instruments{
+		Appends: e.reg.Counter("ctk_wal_appends_total",
+			"Mutation records appended to the write-ahead log.", nil),
+		SyncSeconds: e.reg.Histogram("ctk_wal_fsync_seconds",
+			"WAL fsync duration (flush + file sync).", nil),
+		Rotations: e.reg.Counter("ctk_wal_rotations_total",
+			"WAL segment rotations.", nil),
+	})
+	d.snapCapture = e.reg.Histogram("ctk_snapshot_capture_seconds",
+		"Snapshot capture duration (engine read lock held).", nil)
+	d.snapEncode = e.reg.Histogram("ctk_snapshot_encode_seconds",
+		"Snapshot encode+fsync+rename duration (off-lock).", nil)
+	d.snapTotal = e.reg.Counter("ctk_snapshots_total",
+		"Snapshots completed since boot.", nil)
+	d.snapErrors = e.reg.Counter("ctk_snapshot_errors_total",
+		"Snapshot attempts that failed.", nil)
+	e.reg.GaugeFunc("ctk_wal_segments",
+		"Live WAL segment files.", nil,
+		func() float64 { return float64(d.log.Stats().Segments) })
+	e.reg.GaugeFunc("ctk_wal_bytes",
+		"Bytes across live WAL segments.", nil,
+		func() float64 { return float64(d.log.Stats().Bytes) })
+	e.reg.CounterFunc("ctk_wal_next_lsn",
+		"Next log sequence number to be assigned.", nil,
+		func() float64 { return float64(d.log.Stats().NextLSN) })
+	e.reg.GaugeFunc("ctk_snapshot_last_lsn",
+		"Drain LSN of the newest durable snapshot.", nil,
+		func() float64 { return float64(d.stats().LastSnapshotLSN) })
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/corpus"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/textproc"
 	"repro/internal/topk"
@@ -212,6 +213,11 @@ type Monitor struct {
 	// with the number of logical operations applied (see
 	// SetMutationHandler).
 	onMutate func(n int)
+
+	// ins, when set, receives rebuild timings as they happen (see
+	// SetInstruments) — the live counterpart of the LastBuildMS /
+	// LastInstallMS point values in GenStats.
+	ins *Instruments
 
 	// Per-call scratch, reused across events to keep the hot path
 	// allocation-free (safe: mutation is externally serialized and
@@ -596,6 +602,10 @@ func (m *Monitor) install(b *genBuild) {
 	m.retryAt, m.retryBackoff = 0, 0
 	m.lastBuild = b.took
 	m.lastInstall = time.Since(t0)
+	if m.ins != nil {
+		m.ins.BuildSeconds.ObserveDuration(m.lastBuild)
+		m.ins.InstallSeconds.ObserveDuration(m.lastInstall)
+	}
 	// Churn that accumulated during the build may already justify the
 	// next generation.
 	m.maybeKick()
@@ -762,6 +772,27 @@ func (m *Monitor) SetChangeHandler(fn func(ids []uint32)) {
 // the hook.
 func (m *Monitor) SetMutationHandler(fn func(n int)) {
 	m.onMutate = fn
+}
+
+// Instruments is the monitor's optional metric set: histograms fed on
+// the mutation path as generation builds install. The nil-safe obs
+// handles mean partially filled sets are fine.
+type Instruments struct {
+	// BuildSeconds observes each background (or sync) generation
+	// build's duration.
+	BuildSeconds *obs.Histogram
+	// InstallSeconds observes the mutation-path stall while a built
+	// generation is swapped in — the latency PR 5's background builder
+	// exists to keep small.
+	InstallSeconds *obs.Histogram
+}
+
+// SetInstruments attaches rebuild-timing instruments. Like the change
+// and mutation handlers, it must be set while the monitor is
+// externally quiescent (the engine wires it at construction); nil
+// detaches.
+func (m *Monitor) SetInstruments(ins *Instruments) {
+	m.ins = ins
 }
 
 // discardChanges clears every processor's change record. Called at the

@@ -16,6 +16,8 @@ package notify
 import (
 	"errors"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed reports a subscription on a closed broker.
@@ -34,6 +36,42 @@ type Broker[T any] struct {
 	mu     sync.Mutex
 	topics map[uint32]*topic[T]
 	closed bool
+
+	// ins is the broker's optional metric set. Set once via
+	// SetInstruments before the broker is shared (the engine wires it
+	// at construction); the nil-safe obs handles make the zero value
+	// inert, so delivery paths record unconditionally.
+	ins Instruments
+}
+
+// Instruments is the broker's optional metric set (see SetInstruments).
+type Instruments struct {
+	// Updates counts sequence bumps: one per changed query per publish.
+	Updates *obs.Counter
+	// Deliveries counts updates handed to subscriber buffers.
+	Deliveries *obs.Counter
+	// Drops counts buffered updates coalesced away because a
+	// subscriber's buffer was full — the broker's backpressure signal.
+	Drops *obs.Counter
+}
+
+// SetInstruments attaches metrics to the broker. Call before the
+// broker is shared across goroutines; later calls race with delivery.
+func (b *Broker[T]) SetInstruments(ins Instruments) {
+	b.mu.Lock()
+	b.ins = ins
+	b.mu.Unlock()
+}
+
+// Counts reports the broker's current shape: topics with live state
+// and attached subscriptions.
+func (b *Broker[T]) Counts() (topics, subscribers int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, tp := range b.topics {
+		subscribers += len(tp.subs)
+	}
+	return len(b.topics), subscribers
 }
 
 // topic is one query's delivery state: its change sequence and the
@@ -141,11 +179,13 @@ func (s *Subscription[T]) push(u T) {
 	for {
 		select {
 		case s.ch <- u:
+			s.b.ins.Deliveries.Inc()
 			return
 		default:
 		}
 		select {
 		case <-s.ch: // drop the stalest buffered update
+			s.b.ins.Drops.Inc()
 		default:
 		}
 	}
@@ -168,6 +208,7 @@ func (b *Broker[T]) Publish(id uint32, build func(seq uint64) T) uint64 {
 		return 0
 	}
 	tp.seq++
+	b.ins.Updates.Inc()
 	if len(tp.subs) > 0 {
 		u := build(tp.seq)
 		for s := range tp.subs {

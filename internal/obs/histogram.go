@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-layout log-linear latency histogram: values are
+// durations in nanoseconds, bucketed into 8 linear sub-buckets per
+// power-of-two octave (HDR style). The layout is identical for every
+// histogram, so two histograms merge bucket-by-bucket with no
+// reconciliation, and the worst-case relative quantile error is the
+// sub-bucket width: 1/8 = 12.5%.
+//
+// Observe is wait-free — two atomic adds, no locks, no allocations —
+// and safe concurrently with Quantile/Summary/Merge and with scrapes.
+// There is no separate observation counter: the count is derived by
+// summing buckets at read time, trading a few hundred loads per scrape
+// for one fewer contended RMW on every record. The zero value is ready
+// to use; a nil *Histogram records nothing.
+//
+// Layout: values 0..15 map to their own unit bucket (idx = v). For
+// larger v with o = floor(log2(v)) ≥ 4, the octave [2^o, 2^(o+1)) is
+// split into 8 sub-buckets of width 2^(o-3):
+//
+//	idx = 8 + 8*(o-3) + ((v >> (o-3)) & 7)
+//
+// which is continuous with the unit region at v = 8..15 (o = 3). The
+// top octave is o = 63, giving numBuckets = 8 + 8*61 = 496 buckets
+// (~4 KiB of counters) covering the full uint64 nanosecond range —
+// up to ~584 years of latency, which ought to be enough.
+type Histogram struct {
+	sum     atomic.Uint64 // nanoseconds; wraps after ~584 years of recorded time
+	buckets [numBuckets]atomic.Uint64
+}
+
+const (
+	subBits    = 3            // log2 of sub-buckets per octave
+	subCount   = 1 << subBits // 8
+	numBuckets = 8 + 8*(63-2) // unit region + octaves 3..63
+)
+
+// bucketIdx maps a nanosecond value to its bucket.
+func bucketIdx(v uint64) int {
+	if v < 2*subCount {
+		return int(v)
+	}
+	o := uint(bits.Len64(v)) - 1
+	return subCount + int(o-subBits)*subCount + int((v>>(o-subBits))&(subCount-1))
+}
+
+// bucketUpper returns the largest value mapping to bucket i (the
+// inclusive upper bound; the Prometheus `le` edge).
+func bucketUpper(i int) uint64 {
+	if i < 2*subCount {
+		return uint64(i)
+	}
+	o := uint(subBits) + uint(i-subCount)/subCount
+	sub := uint64(i-subCount) % subCount
+	return 1<<o + (sub+1)<<(o-subBits) - 1
+}
+
+// bucketLower returns the smallest value mapping to bucket i.
+func bucketLower(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return bucketUpper(i-1) + 1
+}
+
+// Observe records a duration of ns nanoseconds.
+func (h *Histogram) Observe(ns uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIdx(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(nowNanos(t0))
+	}
+}
+
+// ObserveDuration records d, clamping negative durations to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Merge adds o's recorded population into h. Both sides may keep
+// recording concurrently; the merge is per-bucket atomic (each bucket
+// transfers exactly, though the combined view is not a single instant).
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+}
+
+// Count returns the number of observations (a sum over the buckets —
+// read-time work, so the record path stays two atomic adds).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// SumSeconds returns the sum of all observed durations in seconds.
+func (h *Histogram) SumSeconds() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load()) / 1e9
+}
+
+// snapshot copies the bucket counts and returns them with their total.
+// The total is computed from the copied buckets, so bucket sums and
+// _count agree exactly within one scrape even while writers race.
+func (h *Histogram) snapshot() (counts [numBuckets]uint64, total, sum uint64) {
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	return counts, total, h.sum.Load()
+}
+
+// HistogramSummary is a point-in-time digest of a histogram, with
+// quantiles estimated from the bucket layout (≤12.5% relative error).
+// Durations are seconds.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+// Summary digests the histogram's current population in one pass.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	counts, total, sum := h.snapshot()
+	s := HistogramSummary{Count: total, Sum: float64(sum) / 1e9}
+	if total == 0 {
+		return s
+	}
+	s.P50 = quantileOf(&counts, total, 0.50) / 1e9
+	s.P90 = quantileOf(&counts, total, 0.90) / 1e9
+	s.P99 = quantileOf(&counts, total, 0.99) / 1e9
+	for i := numBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			s.Max = float64(bucketUpper(i)) / 1e9
+			break
+		}
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// population in nanoseconds, interpolating linearly inside the bucket
+// that contains the target rank.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	return quantileOf(&counts, total, q)
+}
+
+// quantileOf walks a bucket snapshot to the target rank.
+func quantileOf(counts *[numBuckets]uint64, total uint64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0.0
+	last := 0
+	for i := 0; i < numBuckets; i++ {
+		c := counts[i]
+		if c == 0 {
+			continue
+		}
+		last = i
+		if cum+float64(c) >= rank {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			frac := (rank - cum) / float64(c)
+			return float64(lo) + (float64(hi)-float64(lo)+1)*frac
+		}
+		cum += float64(c)
+	}
+	return float64(bucketUpper(last))
+}

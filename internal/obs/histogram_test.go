@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout proves the index/bound functions are a consistent
+// partition of the uint64 range: every probed value lands in exactly
+// the bucket whose [lower, upper] interval contains it, indices are
+// monotone, and bounds tile with no gaps or overlaps.
+func TestBucketLayout(t *testing.T) {
+	// Exhaustive over the small region, then probes around every
+	// power of two.
+	var vals []uint64
+	for v := uint64(0); v < 4096; v++ {
+		vals = append(vals, v)
+	}
+	for o := uint(12); o < 64; o++ {
+		base := uint64(1) << o
+		for _, d := range []uint64{0, 1, base / 8, base/8 + 1, base / 2, base - 1} {
+			vals = append(vals, base+d)
+		}
+	}
+	vals = append(vals, math.MaxUint64)
+	for _, v := range vals {
+		i := bucketIdx(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIdx(%d) = %d out of range", v, i)
+		}
+		if lo, hi := bucketLower(i), bucketUpper(i); v < lo || v > hi {
+			t.Fatalf("value %d in bucket %d but bounds are [%d, %d]", v, i, lo, hi)
+		}
+	}
+	// Bounds tile the whole range.
+	for i := 1; i < numBuckets; i++ {
+		if bucketLower(i) != bucketUpper(i-1)+1 {
+			t.Fatalf("gap between bucket %d (upper %d) and %d (lower %d)",
+				i-1, bucketUpper(i-1), i, bucketLower(i))
+		}
+	}
+	if bucketLower(0) != 0 {
+		t.Fatalf("bucket 0 lower = %d, want 0", bucketLower(0))
+	}
+	if bucketUpper(numBuckets-1) != math.MaxUint64 {
+		t.Fatalf("top bucket upper = %d, want MaxUint64", bucketUpper(numBuckets-1))
+	}
+}
+
+// TestHistogramQuantileOracle checks estimated quantiles against exact
+// order statistics of the recorded population. The layout guarantees
+// ≤12.5% relative error per bucket; we allow a small slack over the
+// interpolation plus 1ns of absolute error for the unit buckets.
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dist := range []string{"loguniform", "uniform", "bimodal"} {
+		h := &Histogram{}
+		var xs []float64
+		draw := func() uint64 {
+			switch dist {
+			case "uniform":
+				return uint64(rng.Int63n(5_000_000))
+			case "bimodal":
+				if rng.Intn(10) == 0 {
+					return 40_000_000 + uint64(rng.Int63n(3_000_000))
+				}
+				return 50_000 + uint64(rng.Int63n(10_000))
+			default: // log-uniform over [1, 1e9)
+				return uint64(math.Exp(rng.Float64() * math.Log(1e9)))
+			}
+		}
+		for i := 0; i < 20_000; i++ {
+			v := draw()
+			h.Observe(v)
+			xs = append(xs, float64(v))
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+			est := h.Quantile(q)
+			rank := int(q * float64(len(xs)))
+			if rank >= len(xs) {
+				rank = len(xs) - 1
+			}
+			exact := xs[rank]
+			tol := 0.13*exact + 2
+			if math.Abs(est-exact) > tol {
+				t.Errorf("%s q=%v: estimate %.0f vs exact %.0f (tolerance %.0f)",
+					dist, q, est, exact, tol)
+			}
+		}
+		if got := h.Count(); got != 20_000 {
+			t.Fatalf("%s: count = %d, want 20000", dist, got)
+		}
+	}
+}
+
+// TestHistogramMerge verifies merged histograms answer like a single
+// histogram fed both populations.
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, both := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 0; i < 5000; i++ {
+		va := uint64(rng.Int63n(1_000_000))
+		vb := uint64(rng.Int63n(100_000_000))
+		a.Observe(va)
+		b.Observe(vb)
+		both.Observe(va)
+		both.Observe(vb)
+	}
+	m := &Histogram{}
+	m.Merge(a)
+	m.Merge(b)
+	if m.Count() != both.Count() {
+		t.Fatalf("merged count %d != combined %d", m.Count(), both.Count())
+	}
+	if math.Abs(m.SumSeconds()-both.SumSeconds()) > 1e-12 {
+		t.Fatalf("merged sum %v != combined %v", m.SumSeconds(), both.SumSeconds())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := m.Quantile(q), both.Quantile(q); got != want {
+			t.Fatalf("q=%v: merged %v != combined %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramSummary sanity-checks the one-pass digest.
+func TestHistogramSummary(t *testing.T) {
+	h := &Histogram{}
+	if s := h.Summary(); s.Count != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(uint64(i) * 1000) // 1µs .. 1ms
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 <= 0 || s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("non-monotone quantiles: %+v", s)
+	}
+	// Max is the upper bound of the top non-empty bucket: ≥ true max,
+	// within the 12.5% layout error.
+	if s.Max < 1e-3 || s.Max > 1.13e-3 {
+		t.Fatalf("max = %v, want ~1e-3", s.Max)
+	}
+}
+
+// TestObserveHelpers covers the time-based observe paths.
+func TestObserveHelpers(t *testing.T) {
+	h := &Histogram{}
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	h.ObserveDuration(2 * time.Millisecond)
+	h.ObserveDuration(-time.Second) // clamped to 0
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(1); q < 2e6 {
+		t.Fatalf("max quantile %v, want ≥2ms", q)
+	}
+	// nil receiver is a no-op everywhere.
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.ObserveSince(time.Now())
+	nilH.ObserveDuration(time.Second)
+	nilH.Merge(h)
+	h.Merge(nilH)
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 || nilH.SumSeconds() != 0 {
+		t.Fatal("nil histogram should read as empty")
+	}
+	if h.Count() != 3 {
+		t.Fatalf("merge with nil changed count: %d", h.Count())
+	}
+}
+
+// TestRecordPathAllocs proves the record path allocates nothing — the
+// core property the ablobs experiment depends on.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", nil)
+	g := r.Gauge("g", "g", Labels{"x": "y"})
+	h := r.Histogram("h_seconds", "h", nil)
+	ring := NewTraceRing(8, 1)
+	var tr Trace
+	tr.Stage[StageMatch] = 123
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4.5)
+		h.Observe(12345)
+		h.ObserveDuration(time.Microsecond)
+		if ring.Sample() {
+			ring.Record(tr)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,364 @@
+// Package obs is the engine's observability core: allocation-free
+// atomic counters, gauges and log-linear latency histograms behind a
+// Registry that renders the whole metric set as Prometheus text
+// exposition (WritePrometheus) or as a JSON debug dump (Vars). It is
+// deliberately dependency-free — standard library only — so every
+// subsystem (the matching kernel, the WAL, the notify broker, the
+// snapshotter) can record into it without import cycles or new
+// third-party baggage.
+//
+// The record path — Counter.Add, Gauge.Set, Histogram.Observe — is a
+// handful of atomic operations: no locks, no allocations, safe from
+// any goroutine concurrently with scrapes. Handle methods are
+// nil-receiver safe, so an uninstrumented configuration keeps the same
+// call sites and pays only a nil check (the ablobs experiment measures
+// exactly that delta).
+//
+// Registration (Counter/Gauge/Histogram/GaugeFunc/Collect) is meant
+// for construction time: it takes the registry lock and allocates.
+// Registering the same name+labels twice returns the existing handle,
+// so independent components may share a metric; re-registering a name
+// under a different metric type panics — that is a programming error,
+// not an operational condition.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels is one metric's label set. Label order never matters: sets
+// render with keys sorted, so {a,b} and {b,a} are the same series.
+type Labels map[string]string
+
+// MetricType is the Prometheus exposition type of a metric family.
+type MetricType string
+
+// The metric family types the registry supports.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; a nil *Counter records nothing.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can go up and down. The zero value is
+// ready to use; a nil *Gauge records nothing.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFromBits(g.bits.Load())
+}
+
+// sample is one (labels, value) pair a collector emits at scrape time.
+type sample struct {
+	labels string
+	value  float64
+}
+
+// metric is one registered series inside a family. Exactly one of the
+// value fields is set, matching the family's type.
+type metric struct {
+	labels string // rendered label set, "" or `{k="v",...}`
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name (one HELP/TYPE
+// block in the exposition). A family is either static — a set of
+// registered metrics — or collector-backed, in which case its sample
+// set is produced fresh at each scrape.
+type family struct {
+	name, help string
+	typ        MetricType
+	metrics    map[string]*metric
+	collect    func(emit func(Labels, float64))
+}
+
+// Registry holds a metric set and renders it. All methods are safe for
+// concurrent use; the record path of the handles it returns never
+// touches the registry again.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family returns (creating if needed) the named family, enforcing
+// that a name keeps one type and one help string for its lifetime.
+func (r *Registry) family(name, help string, typ MetricType) *family {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, metrics: make(map[string]*metric)}
+		r.fams[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, typ, f.typ))
+	}
+	return f
+}
+
+// series returns (creating if needed) the labeled series in family f.
+func (f *family) series(ls Labels) (*metric, bool) {
+	key := renderLabels(ls)
+	if m := f.metrics[key]; m != nil {
+		return m, false
+	}
+	m := &metric{labels: key}
+	f.metrics[key] = m
+	return m, true
+}
+
+// Counter registers (or returns the existing) counter name{ls}.
+func (r *Registry) Counter(name, help string, ls Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, fresh := r.family(name, help, TypeCounter).series(ls)
+	if fresh {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge registers (or returns the existing) gauge name{ls}.
+func (r *Registry) Gauge(name, help string, ls Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, fresh := r.family(name, help, TypeGauge).series(ls)
+	if fresh {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at each
+// scrape. fn runs on the scraping goroutine and may take locks (it
+// must not call back into this registry's registration methods).
+func (r *Registry) GaugeFunc(name, help string, ls Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, _ := r.family(name, help, TypeGauge).series(ls)
+	m.fn = fn
+}
+
+// CounterFunc registers a counter whose cumulative value is computed
+// by fn at each scrape — for monotone totals a subsystem already
+// tracks (the monitor's lifetime event counters, the WAL's next LSN).
+func (r *Registry) CounterFunc(name, help string, ls Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, _ := r.family(name, help, TypeCounter).series(ls)
+	m.fn = fn
+}
+
+// Histogram registers (or returns the existing) histogram name{ls}.
+// Histograms record durations in nanoseconds and export seconds, so
+// the name should end in _seconds.
+func (r *Registry) Histogram(name, help string, ls Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, fresh := r.family(name, help, TypeHistogram).series(ls)
+	if fresh {
+		m.h = &Histogram{}
+	}
+	return m.h
+}
+
+// Collect registers a collector-backed family: at each scrape fn is
+// invoked and every emit(labels, value) call contributes one sample.
+// This is how dynamically shaped series sets (per-shard × per-
+// partition occupancy) are exported without re-registering on every
+// layout change. typ must be TypeCounter or TypeGauge.
+func (r *Registry) Collect(name, help string, typ MetricType, fn func(emit func(Labels, float64))) {
+	if typ == TypeHistogram {
+		panic("obs: histogram collectors are not supported")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	f.collect = fn
+}
+
+// snapshotFamilies returns the families sorted by name. Callers then
+// read each family under no lock: families are immutable once
+// registered (the metric map only grows, and scrapes tolerate a
+// concurrently added series).
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// samples materializes a family's current (labels, value) set, sorted
+// by rendered labels. Histogram families return no samples here; the
+// exposition writers handle them structurally.
+func (f *family) samples() []sample {
+	var out []sample
+	if f.collect != nil {
+		f.collect(func(ls Labels, v float64) {
+			out = append(out, sample{labels: renderLabels(ls), value: v})
+		})
+	} else {
+		for _, m := range f.metrics {
+			switch {
+			case m.fn != nil:
+				out = append(out, sample{labels: m.labels, value: m.fn()})
+			case m.c != nil:
+				out = append(out, sample{labels: m.labels, value: float64(m.c.Value())})
+			case m.g != nil:
+				out = append(out, sample{labels: m.labels, value: m.g.Value()})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// histograms returns a histogram family's series sorted by labels.
+func (f *family) histograms() []*metric {
+	out := make([]*metric, 0, len(f.metrics))
+	for _, m := range f.metrics {
+		if m.h != nil {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// renderLabels renders a label set in canonical form: keys sorted,
+// values escaped, `{k="v",k2="v2"}` — or "" for an empty set.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(ls[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// nowNanos returns time.Since(t0) in nanoseconds, clamped at zero so a
+// non-monotonic clock step can never underflow a uint64 histogram.
+func nowNanos(t0 time.Time) uint64 {
+	d := time.Since(t0)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics covers handle semantics including nil safety
+// and registration dedup.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests", Labels{"code": "200"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels → same handle, regardless of label map order.
+	if c2 := r.Counter("requests_total", "requests", Labels{"code": "200"}); c2 != c {
+		t.Fatal("duplicate registration returned a different handle")
+	}
+	g := r.Gauge("temp", "temperature", nil)
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	var nc *Counter
+	var ng *Gauge
+	nc.Inc()
+	nc.Add(7)
+	ng.Set(1)
+	if nc.Value() != 0 || ng.Value() != 0 {
+		t.Fatal("nil handles should read zero")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "x", nil)
+}
+
+// promLine matches one exposition sample line: name, optional label
+// set, value, no trailing garbage.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// checkExposition scans a full exposition body line by line and fails
+// on anything that is neither a well-formed comment nor a well-formed
+// sample — the "scrape-parseable" gate.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("malformed comment line: %q", line)
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrometheusExposition locks down the text format: HELP/TYPE
+// blocks, sorted family and label order, label value escaping, and
+// integer rendering of counters.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b counter", Labels{"z": "1", "a": "2"}).Add(7)
+	r.Counter("b_total", "b counter", Labels{"a": "1", "z": "9"}).Add(3)
+	r.Gauge("a_gauge", `tricky "help" with \slash`+"\nand newline", Labels{"p": `va"l\ue` + "\n"}).Set(1.5)
+	r.GaugeFunc("c_fn", "computed", nil, func() float64 { return 42 })
+	r.Collect("d_items", "per-thing", TypeGauge, func(emit func(Labels, float64)) {
+		emit(Labels{"thing": "beta"}, 2)
+		emit(Labels{"thing": "alpha"}, 1)
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	checkExposition(t, got)
+
+	want := "# HELP a_gauge tricky \"help\" with \\\\slash\\nand newline\n" +
+		"# TYPE a_gauge gauge\n" +
+		`a_gauge{p="va\"l\\ue\n"} 1.5` + "\n" +
+		"# HELP b_total b counter\n" +
+		"# TYPE b_total counter\n" +
+		`b_total{a="1",z="9"} 3` + "\n" +
+		`b_total{a="2",z="1"} 7` + "\n" +
+		"# HELP c_fn computed\n" +
+		"# TYPE c_fn gauge\n" +
+		"c_fn 42\n" +
+		"# HELP d_items per-thing\n" +
+		"# TYPE d_items gauge\n" +
+		`d_items{thing="alpha"} 1` + "\n" +
+		`d_items{thing="beta"} 2` + "\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusHistogram locks down the histogram block: cumulative
+// le buckets in seconds, +Inf always present, _sum/_count, and the le
+// label spliced after existing labels.
+func TestPrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", Labels{"stage": "match"})
+	h.Observe(10) // 10ns → bucket upper 10
+	h.Observe(10)
+	h.Observe(1000)      // 1µs
+	h.Observe(2_000_000) // 2ms
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	checkExposition(t, got)
+
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	var buckets []string
+	var sumLine, countLine string
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "lat_seconds_bucket"):
+			buckets = append(buckets, l)
+		case strings.HasPrefix(l, "lat_seconds_sum"):
+			sumLine = l
+		case strings.HasPrefix(l, "lat_seconds_count"):
+			countLine = l
+		}
+	}
+	if len(buckets) < 4 {
+		t.Fatalf("want ≥4 bucket lines (3 values + +Inf), got %v", buckets)
+	}
+	// Cumulative counts must be non-decreasing and end at the total.
+	prev := -1.0
+	for _, b := range buckets {
+		f := strings.Fields(b)
+		v, err := strconv.ParseFloat(f[len(f)-1], 64)
+		if err != nil || v < prev {
+			t.Fatalf("non-cumulative bucket line %q (prev %v)", b, prev)
+		}
+		prev = v
+		if !strings.Contains(b, `{stage="match",le="`) {
+			t.Fatalf("le label not spliced after existing labels: %q", b)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !strings.Contains(last, `le="+Inf"`) || !strings.HasSuffix(last, " 4") {
+		t.Fatalf("final bucket must be le=+Inf with total count: %q", last)
+	}
+	// First emitted bucket is the 10ns one: le="1e-08" 2.
+	if !strings.Contains(buckets[0], `le="1e-08"`) || !strings.HasSuffix(buckets[0], " 2") {
+		t.Fatalf("first bucket = %q, want le=\"1e-08\" with count 2", buckets[0])
+	}
+	if countLine != `lat_seconds_count{stage="match"} 4` {
+		t.Fatalf("count line = %q", countLine)
+	}
+	wantSum := (10 + 10 + 1000 + 2_000_000) / 1e9
+	f := strings.Fields(sumLine)
+	if v, _ := strconv.ParseFloat(f[len(f)-1], 64); math.Abs(v-wantSum) > 1e-15 {
+		t.Fatalf("sum line = %q, want %v", sumLine, wantSum)
+	}
+}
+
+// TestVars checks the JSON debug rendering round-trips through
+// encoding/json and digests histograms.
+func TestVars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "n", nil).Add(9)
+	r.Histogram("d_seconds", "d", nil).Observe(5_000_000)
+	b, err := json.Marshal(r.Vars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["n_total"].(float64) != 9 {
+		t.Fatalf("n_total = %v", m["n_total"])
+	}
+	hist := m["d_seconds"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Fatalf("histogram digest = %v", hist)
+	}
+}
+
+// TestTraceRing covers sampling cadence, eviction order and nil
+// behavior.
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(3, 4)
+	recorded := 0
+	for i := 0; i < 17; i++ {
+		if ring.Sample() {
+			ring.Record(Trace{Doc: uint64(i)})
+			recorded++
+		}
+	}
+	if recorded != 5 { // publishes 0, 4, 8, 12, 16
+		t.Fatalf("recorded %d, want 5", recorded)
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("total = %d", ring.Total())
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for i, want := range []uint64{16, 12, 8} { // newest first
+		if snap[i].Doc != want {
+			t.Fatalf("snapshot[%d].Doc = %d, want %d", i, snap[i].Doc, want)
+		}
+	}
+	var nilRing *TraceRing
+	if nilRing.Sample() || nilRing.Snapshot() != nil || nilRing.Total() != 0 {
+		t.Fatal("nil ring should be inert")
+	}
+	nilRing.Record(Trace{})
+
+	// JSON rendering names stages and elides zeros.
+	var tr Trace
+	tr.Stage[StageFsync] = 77
+	tr.Total = 100
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"fsync":77`) || strings.Contains(s, "analyze") {
+		t.Fatalf("trace JSON = %s", s)
+	}
+}
+
+// TestMetricsRaceHammer pounds the record path from many goroutines
+// while scrapers render concurrently. Its real assertions come from
+// the race detector (`go test -race`); the count checks are a bonus.
+func TestMetricsRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h", nil)
+	g := r.Gauge("hammer_gauge", "h", nil)
+	h := r.Histogram("hammer_seconds", "h", Labels{"stage": "x"})
+	ring := NewTraceRing(64, 3)
+	r.Collect("hammer_items", "h", TypeGauge, func(emit func(Labels, float64)) {
+		emit(Labels{"i": "0"}, float64(c.Value()))
+	})
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(seed*31 + uint64(i)*977)
+				if ring.Sample() {
+					ring.Record(Trace{Doc: seed})
+				}
+			}
+		}(uint64(w))
+	}
+	// Concurrent scrapers + merger.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = r.Vars()
+				_ = h.Summary()
+				_ = ring.Snapshot()
+				m := &Histogram{}
+				m.Merge(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, sb.String())
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label set, HELP/TYPE comment per family, histograms as
+// cumulative `le` buckets plus `_sum` and `_count`. Histogram bucket
+// edges are in seconds (observations are nanoseconds internally);
+// zero-count leading buckets are elided, the `+Inf` bucket is always
+// emitted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.typ))
+		bw.WriteByte('\n')
+		if f.typ == TypeHistogram {
+			for _, m := range f.histograms() {
+				writeHistogram(bw, f.name, m.labels, m.h)
+			}
+			continue
+		}
+		for _, s := range f.samples() {
+			bw.WriteString(f.name)
+			bw.WriteString(s.labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits one histogram series: cumulative buckets with
+// the extra `le` label spliced into the series' label set, then _sum
+// and _count.
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram) {
+	counts, total, sum := h.snapshot()
+	writeBucket := func(le string, cum uint64) {
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		if labels == "" {
+			bw.WriteString(`{le="`)
+		} else {
+			bw.WriteString(labels[:len(labels)-1])
+			bw.WriteString(`,le="`)
+		}
+		bw.WriteString(le)
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatUint(cum, 10))
+		bw.WriteByte('\n')
+	}
+	cum := uint64(0)
+	started := false
+	for i := 0; i < numBuckets; i++ {
+		c := counts[i]
+		if c == 0 && !started {
+			continue
+		}
+		started = true
+		cum += c
+		if c == 0 {
+			// A zero-increment bucket adds no information to a
+			// cumulative series; keep the exposition compact.
+			continue
+		}
+		le := strconv.FormatFloat(float64(bucketUpper(i))/1e9, 'g', -1, 64)
+		writeBucket(le, cum)
+	}
+	writeBucket("+Inf", total)
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(float64(sum) / 1e9))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatUint(total, 10))
+	bw.WriteByte('\n')
+}
+
+// formatValue renders a sample value: integral values as plain
+// integers (counters stay exact up to 2^53), everything else in
+// shortest-round-trip scientific/decimal form. NaN and ±Inf use the
+// exposition spellings.
+func formatValue(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Vars renders the registry as a JSON-friendly map for /v1/debug/vars:
+// scalar series as numbers keyed by "name{labels}", histograms as
+// summary objects (count, sum, p50/p90/p99/max in seconds).
+func (r *Registry) Vars() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		if f.typ == TypeHistogram {
+			for _, m := range f.histograms() {
+				out[f.name+m.labels] = m.h.Summary()
+			}
+			continue
+		}
+		for _, s := range f.samples() {
+			out[f.name+s.labels] = s.value
+		}
+	}
+	return out
+}

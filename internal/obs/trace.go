@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage identifies one timed section of a publish. The set is fixed so
+// a trace record can carry all stage durations in a flat array with no
+// per-publish allocation.
+type Stage int
+
+// Publish stages, in rough pipeline order.
+const (
+	StageAnalyze   Stage = iota // tokenize/stem outside the engine lock
+	StageMatch                  // monitor evaluation (shards + delta)
+	StageNotify                 // change fan-out through the broker
+	StageWALAppend              // durability log append
+	StageFsync                  // durability fsync (FsyncAlways only)
+	StageCount                  // number of stages, not a stage
+)
+
+var stageNames = [StageCount]string{
+	StageAnalyze:   "analyze",
+	StageMatch:     "match",
+	StageNotify:    "notify",
+	StageWALAppend: "wal_append",
+	StageFsync:     "fsync",
+}
+
+// String returns the stage's metric label ("analyze", "wal_append", …).
+func (s Stage) String() string {
+	if s < 0 || s >= StageCount {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Trace is one sampled publish's stage timing record. Stage durations
+// are nanoseconds indexed by Stage; Total is wall time for the whole
+// call. Stage boundaries are contiguous, so stages sum to slightly
+// less than Total (only the final bookkeeping after the last stage is
+// unattributed). The struct is fixed-size so recording one is a plain
+// value copy into the ring.
+type Trace struct {
+	Doc   uint64             // first document ID of the publish
+	Docs  int                // documents in the call (>1 for PublishBatch)
+	At    float64            // stream time of the event
+	Unix  int64              // wall-clock start, nanoseconds since epoch
+	Stage [StageCount]uint64 // per-stage nanoseconds
+	Total uint64             // whole-call nanoseconds
+}
+
+// MarshalJSON renders the trace with named stages (zero-duration
+// stages elided) and durations in both nanoseconds and milliseconds.
+func (t Trace) MarshalJSON() ([]byte, error) {
+	stages := make(map[string]uint64, StageCount)
+	for s, ns := range t.Stage {
+		if ns > 0 {
+			stages[Stage(s).String()] = ns
+		}
+	}
+	return json.Marshal(struct {
+		Doc      uint64            `json:"doc"`
+		Docs     int               `json:"docs"`
+		At       float64           `json:"stream_time"`
+		Unix     int64             `json:"unix_nanos"`
+		TotalNS  uint64            `json:"total_ns"`
+		TotalMS  float64           `json:"total_ms"`
+		StagesNS map[string]uint64 `json:"stages_ns"`
+	}{t.Doc, t.Docs, t.At, t.Unix, t.Total, float64(t.Total) / 1e6, stages})
+}
+
+// TraceRing samples one publish in every `every` and keeps the most
+// recent `size` sampled traces in a preallocated ring. Sample is a
+// single atomic increment; Record is a value copy under a mutex that
+// only sampled publishes ever touch. A nil *TraceRing disables
+// tracing: Sample reports false, Snapshot returns nil.
+type TraceRing struct {
+	every uint64
+	n     atomic.Uint64 // publishes seen (sampling clock)
+
+	mu    sync.Mutex
+	buf   []Trace
+	next  int    // ring write position
+	total uint64 // traces ever recorded
+}
+
+// NewTraceRing returns a ring of the given capacity sampling one in
+// every publishes. Both are clamped to at least 1.
+func NewTraceRing(size int, every int) *TraceRing {
+	if size < 1 {
+		size = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &TraceRing{every: uint64(every), buf: make([]Trace, 0, size)}
+}
+
+// Sample advances the sampling clock and reports whether this publish
+// should be recorded.
+func (r *TraceRing) Sample() bool {
+	if r == nil {
+		return false
+	}
+	return (r.n.Add(1)-1)%r.every == 0
+}
+
+// Record stores one trace, evicting the oldest when full.
+func (r *TraceRing) Record(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.buf))
+	// Newest-first: walk backwards from the slot before `next`.
+	for i := 0; i < len(r.buf); i++ {
+		j := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[j])
+	}
+	return out
+}
+
+// Total returns how many traces were ever recorded (including evicted
+// ones) — useful as a sampled-publish counter.
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,134 @@
+// Observability surface: the metrics and debug endpoints mounted under
+// /v1, plus the access-log middleware that fronts every /v1 route.
+//
+//	GET /v1/metrics        Prometheus text exposition (hand-rolled v0.0.4)
+//	GET /v1/debug/vars     the same registry as JSON (expvar-style)
+//	GET /v1/debug/trace    sampled per-publish stage-timing traces
+//	GET /v1/debug/pprof/*  net/http/pprof, only when Options.Pprof is set
+//
+// The debug endpoints read scrape-time state only — none of them touch
+// the publish hot path beyond the engine's read lock.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+// metrics serves the registry in Prometheus text exposition format.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.engine.Metrics().WritePrometheus(w)
+}
+
+// debugVars serves the registry as JSON: scalars as numbers, histograms
+// as count/sum/quantile summaries — the grep-able twin of /v1/metrics.
+func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Metrics().Vars())
+}
+
+// debugTrace serves the sampled publish traces, newest first. Each
+// trace breaks one publish (or batch) into per-stage nanoseconds.
+func (s *Server) debugTrace(w http.ResponseWriter, _ *http.Request) {
+	traces := s.engine.Traces()
+	if traces == nil {
+		traces = []obs.Trace{} // tracing disabled: encode as [], not null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(traces),
+		"traces": traces,
+	})
+}
+
+// mountPprof exposes net/http/pprof under /v1/debug/pprof/. The index
+// handler keys profiles off the path after /debug/pprof/, so the /v1
+// prefix is stripped before delegating.
+func mountPprof(mux *http.ServeMux) {
+	mux.Handle("/v1/debug/pprof/", http.StripPrefix("/v1", http.HandlerFunc(pprof.Index)))
+	mux.HandleFunc("/v1/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/v1/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/v1/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/v1/debug/pprof/trace", pprof.Trace)
+}
+
+// loggingWriter records status and body size for the access log. It
+// must expose the wrapped writer via Unwrap so http.ResponseController
+// (the SSE watch handler's Flush/SetWriteDeadline) still reaches the
+// real connection through it.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (l *loggingWriter) WriteHeader(code int) {
+	if l.status == 0 {
+		l.status = code
+	}
+	l.ResponseWriter.WriteHeader(code)
+}
+
+func (l *loggingWriter) Write(p []byte) (int, error) {
+	if l.status == 0 {
+		l.status = http.StatusOK
+	}
+	n, err := l.ResponseWriter.Write(p)
+	l.bytes += int64(n)
+	return n, err
+}
+
+func (l *loggingWriter) Unwrap() http.ResponseWriter { return l.ResponseWriter }
+
+// quietPath reports routes whose access-log lines are demoted to Debug:
+// scrapes and health probes arrive every few seconds and would drown
+// the Info log.
+func quietPath(path string) bool {
+	return path == "/v1/metrics" || path == "/v1/healthz" ||
+		strings.HasPrefix(path, "/v1/debug/")
+}
+
+// accessLog wraps the route table with per-request structured logging
+// on /v1 routes only (legacy aliases predate the middleware and keep
+// their byte-exact behaviour). Every /v1 response carries an
+// X-Request-ID header — the client's own, when it sent one, or a
+// generated boot-scoped sequential ID — and the completion line logs
+// method, path, status, body bytes and duration under that ID.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%s-%06d", s.boot, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		lw := &loggingWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(lw, r)
+		if lw.status == 0 {
+			lw.status = http.StatusOK
+		}
+		level := slog.LevelInfo
+		if quietPath(r.URL.Path) {
+			level = slog.LevelDebug
+		}
+		s.log.LogAttrs(r.Context(), level, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", lw.status),
+			slog.Int64("bytes", lw.bytes),
+			slog.Duration("duration", time.Since(t0)),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// newObsServer builds a test server with full control over the server
+// Options (newTestServer pins Options{}).
+func newObsServer(t *testing.T, eopts ctk.Options, sopts Options) *httptest.Server {
+	t.Helper()
+	engine, err := ctk.New(eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine, sopts).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		engine.Close()
+	})
+	return ts
+}
+
+// seedWorkload registers a query and publishes a few documents through
+// the HTTP surface so every stage histogram has observations.
+func seedWorkload(t *testing.T, base string) {
+	t.Helper()
+	resp, out := postJSON(t, base+"/v1/queries", `{"keywords": "alpha beta", "k": 3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %v", resp.StatusCode, out)
+	}
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"text": "alpha beta doc %d", "time": %d}`, i, i)
+		if resp, out := postJSON(t, base+"/v1/documents", body); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("publish %d: %d %v", i, resp.StatusCode, out)
+		}
+	}
+}
+
+// promLine matches one valid exposition line: comment or sample.
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(-?[0-9.e+-]+|\+Inf|-Inf|NaN))$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newObsServer(t, ctk.Options{Lambda: 0.01}, Options{})
+	seedWorkload(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content-type %q", ct)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("missing X-Request-ID on /v1 response")
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d not scrape-parseable: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE ctk_publishes_total counter",
+		"ctk_publishes_total 5",
+		"# TYPE ctk_publish_stage_seconds histogram",
+		`ctk_publish_stage_seconds_count{stage="analyze"} 5`,
+		`ctk_publish_stage_seconds_count{stage="match"} 5`,
+		"ctk_documents_total 5",
+		"ctk_queries 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Stage histograms must be non-empty: at least one bucket line with
+	// a finite le before the +Inf terminator.
+	if !regexp.MustCompile(`ctk_publish_stage_seconds_bucket\{stage="match",le="[0-9]`).MatchString(body) {
+		t.Error("match stage histogram has no finite buckets")
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	ts := newObsServer(t, ctk.Options{Lambda: 0.01}, Options{})
+	seedWorkload(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars["ctk_publishes_total"]; got != float64(5) {
+		t.Fatalf("ctk_publishes_total = %v", got)
+	}
+	h, ok := vars[`ctk_publish_stage_seconds{stage="match"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("missing match stage summary: %v", vars)
+	}
+	if h["count"] != float64(5) || h["p50"] == float64(0) {
+		t.Fatalf("stage summary = %v", h)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	ts := newObsServer(t, ctk.Options{Lambda: 0.01, TraceEvery: 1}, Options{})
+	seedWorkload(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/v1/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			Doc     uint64            `json:"doc"`
+			TotalNS uint64            `json:"total_ns"`
+			Stages  map[string]uint64 `json:"stages_ns"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 5 || len(out.Traces) != 5 {
+		t.Fatalf("count = %d, traces = %d, want 5", out.Count, len(out.Traces))
+	}
+	// Newest first: last published doc leads.
+	if out.Traces[0].Doc != 4 {
+		t.Fatalf("newest trace doc = %d, want 4", out.Traces[0].Doc)
+	}
+	if out.Traces[0].TotalNS == 0 || out.Traces[0].Stages["match"] == 0 {
+		t.Fatalf("trace timings empty: %+v", out.Traces[0])
+	}
+}
+
+func TestDebugTraceDisabled(t *testing.T) {
+	ts := newObsServer(t, ctk.Options{TraceEvery: -1}, Options{})
+	resp, err := http.Get(ts.URL + "/v1/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Count  int               `json:"count"`
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 0 || out.Traces == nil {
+		t.Fatalf("disabled trace should be {count: 0, traces: []}, got %+v", out)
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	ts := newObsServer(t, ctk.Options{}, Options{DataMode: "durable"})
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out["status"] != "ok" {
+			t.Fatalf("%s status = %v", path, out["status"])
+		}
+		// New build-info fields, plus the pre-existing shape callers
+		// already depend on.
+		for _, key := range []string{"version", "go_version", "data_mode", "uptime_seconds", "stream_time", "stats"} {
+			if _, ok := out[key]; !ok {
+				t.Errorf("%s missing %q: %v", path, key, out)
+			}
+		}
+		if out["data_mode"] != "durable" {
+			t.Errorf("%s data_mode = %v", path, out["data_mode"])
+		}
+		if !strings.HasPrefix(out["go_version"].(string), "go") {
+			t.Errorf("%s go_version = %v", path, out["go_version"])
+		}
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	off := newObsServer(t, ctk.Options{}, Options{})
+	resp, err := http.Get(off.URL + "/v1/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+	envelope(t, out, "not_found")
+
+	on := newObsServer(t, ctk.Options{}, Options{Pprof: true})
+	for _, path := range []string{"/v1/debug/pprof/", "/v1/debug/pprof/heap?debug=1"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof on: GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ts := newObsServer(t, ctk.Options{}, Options{Logger: logger})
+
+	// Client-supplied request ID is echoed and logged.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	req.Header.Set("X-Request-ID", "client-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-abc" {
+		t.Fatalf("X-Request-ID = %q, want echo of client-abc", got)
+	}
+
+	// Generated IDs appear when the client sends none.
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	gen := resp2.Header.Get("X-Request-ID")
+	if gen == "" || gen == "client-abc" {
+		t.Fatalf("generated X-Request-ID = %q", gen)
+	}
+
+	// Legacy routes bypass the middleware entirely.
+	resp3, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.Header.Get("X-Request-ID") != "" {
+		t.Fatal("legacy route got an X-Request-ID")
+	}
+
+	logs := buf.String()
+	for _, want := range []string{
+		"id=client-abc", "id=" + gen, "method=GET", "path=/v1/stats", "status=200",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("access log missing %q:\n%s", want, logs)
+		}
+	}
+	if strings.Count(logs, "path=/v1/stats") != 2 {
+		t.Errorf("want exactly 2 /v1/stats lines (legacy /stats unlogged):\n%s", logs)
+	}
+	// Scrape endpoints log at Debug, not Info.
+	resp4, _ := http.Get(ts.URL + "/v1/healthz")
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if !strings.Contains(buf.String(), "level=DEBUG msg=request") {
+		t.Errorf("healthz access line should be DEBUG:\n%s", buf.String())
+	}
+}
+
+// TestWatchStillStreamsThroughMiddleware guards the loggingWriter's
+// Unwrap: the SSE watch path needs Flush via http.ResponseController
+// through the wrapper.
+func TestWatchStillStreamsThroughMiddleware(t *testing.T) {
+	ts := newObsServer(t, ctk.Options{Lambda: 0.01}, Options{})
+	resp, out := postJSON(t, ts.URL+"/v1/queries", `{"keywords": "alpha", "k": 3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %v", resp.StatusCode, out)
+	}
+	wresp, sc := watchReq(t, ts.URL+"/v1/watch/0", "")
+	defer wresp.Body.Close()
+	if wresp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("watch response missing X-Request-ID")
+	}
+	if _, out := postJSON(t, ts.URL+"/v1/documents", `{"text": "alpha doc", "time": 1}`); out == nil {
+		t.Fatal("publish failed")
+	}
+	evs := readEvents(t, sc, 2) // initial snapshot + the update
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+}

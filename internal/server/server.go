@@ -14,6 +14,13 @@
 //	GET    /v1/healthz                                       → liveness
 //	GET    /v1/analyze?text=...                              → analyzer debug: token stream
 //	POST   /v1/admin/snapshot                                → on-demand online snapshot
+//	GET    /v1/metrics                                       → Prometheus text exposition
+//	GET    /v1/debug/vars                                    → the metrics registry as JSON
+//	GET    /v1/debug/trace                                   → sampled publish stage traces
+//	GET    /v1/debug/pprof/*                                 → net/http/pprof (opt-in, Options.Pprof)
+//
+// Every /v1 response carries an X-Request-ID header and an access-log
+// line on the configured structured logger (Options.Logger).
 //
 // Every non-2xx /v1 response carries the uniform error envelope
 //
@@ -29,10 +36,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -45,6 +56,19 @@ type Options struct {
 	// /documents, ...) beside /v1. Defaults to true; the daemon keeps
 	// them on so pre-/v1 clients survive the redesign.
 	Legacy *bool
+
+	// Logger receives the structured access log and lifecycle events.
+	// Nil uses slog.Default().
+	Logger *slog.Logger
+
+	// Pprof mounts net/http/pprof under /v1/debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and must be an
+	// explicit operator decision (ctkd -pprof).
+	Pprof bool
+
+	// DataMode labels the persistence mode in /v1/healthz: "durable",
+	// "snapshot" or "memory". Empty defaults to "memory".
+	DataMode string
 }
 
 // Server owns the HTTP surface around one engine: route table, the
@@ -56,6 +80,13 @@ type Server struct {
 	start  time.Time
 	base   float64 // stream time at boot; > 0 after a restore
 	legacy bool
+	pprof  bool
+	mode   string // persistence mode label for healthz
+
+	// Access-log state: boot-scoped request ID prefix plus a counter.
+	log    *slog.Logger
+	boot   string
+	reqSeq atomic.Uint64
 
 	// stopping is closed when graceful shutdown begins, ending every
 	// /watch stream so a shutdown drain isn't held open by them.
@@ -69,11 +100,24 @@ func New(engine *ctk.Engine, opts Options) *Server {
 	if opts.Legacy != nil {
 		legacy = *opts.Legacy
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	mode := opts.DataMode
+	if mode == "" {
+		mode = "memory"
+	}
+	start := time.Now()
 	return &Server{
 		engine:   engine,
-		start:    time.Now(),
+		start:    start,
 		base:     engine.StreamTime(),
 		legacy:   legacy,
+		pprof:    opts.Pprof,
+		mode:     mode,
+		log:      logger,
+		boot:     strconv.FormatInt(start.UnixNano()&0xffffff, 36),
 		stopping: make(chan struct{}),
 	}
 }
@@ -111,6 +155,12 @@ func (s *Server) Handler() http.Handler {
 	s.routes(mux, "/v1", failV1)
 	mux.HandleFunc("GET /v1/analyze", s.analyze)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.adminSnapshot)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /v1/debug/vars", s.debugVars)
+	mux.HandleFunc("GET /v1/debug/trace", s.debugTrace)
+	if s.pprof {
+		mountPprof(mux)
+	}
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		failV1(w, http.StatusNotFound, "not_found",
 			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
@@ -124,7 +174,9 @@ func (s *Server) Handler() http.Handler {
 		failLegacy(w, http.StatusNotFound, "not_found",
 			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
 	})
-	return mux
+	// Access logging and request IDs cover /v1 only; the legacy aliases
+	// pass through byte-exact.
+	return s.accessLog(mux)
 }
 
 // routes mounts the shared route set under prefix with ef's error
@@ -429,11 +481,27 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
+// buildVersion reports the main module's version as stamped by the
+// build ("(devel)" for plain go build, the module version under
+// go install m@v).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
 // healthz reports liveness plus a summary a load balancer or operator
-// can alert on.
+// can alert on, and enough build info to identify what is running:
+// module version, Go toolchain and persistence mode. Served at
+// GET /v1/healthz; the unversioned /healthz alias is deprecated and
+// returns the same (superset) body.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"version":        buildVersion(),
+		"go_version":     runtime.Version(),
+		"data_mode":      s.mode,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"stream_time":    s.engine.StreamTime(),
 		"stats":          s.engine.Stats(),

@@ -11,6 +11,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -73,6 +76,29 @@ type Log struct {
 	closed      bool
 
 	scratch []byte // payload encode buffer, reused across appends
+
+	ins Instruments // optional metrics; zero value records nothing
+}
+
+// Instruments is the log's optional metric set (see SetInstruments).
+// The nil-safe obs handles make the zero value inert.
+type Instruments struct {
+	// Appends counts records appended (whether or not yet synced).
+	Appends *obs.Counter
+	// SyncSeconds observes each Sync call's duration — the flush +
+	// fsync latency a publish pays under the "always" policy.
+	SyncSeconds *obs.Histogram
+	// Rotations counts segment rotations.
+	Rotations *obs.Counter
+}
+
+// SetInstruments attaches metrics to the log. Call before concurrent
+// use settles in (the engine wires it at Open time); the zero value
+// detaches.
+func (l *Log) SetInstruments(ins Instruments) {
+	l.mu.Lock()
+	l.ins = ins
+	l.mu.Unlock()
 }
 
 // Stats summarizes the log's on-disk footprint.
@@ -323,6 +349,7 @@ func (l *Log) Append(r Rec) (uint64, error) {
 			return 0, err
 		}
 		l.forceRotate = false
+		l.ins.Rotations.Inc()
 		active = &l.segs[len(l.segs)-1]
 	}
 	var hdr [frameHeaderLen]byte
@@ -338,6 +365,7 @@ func (l *Log) Append(r Rec) (uint64, error) {
 	l.next++
 	active.count++
 	active.bytes += frameLen
+	l.ins.Appends.Inc()
 	return lsn, nil
 }
 
@@ -354,11 +382,18 @@ func (l *Log) Sync() error {
 	if l.f == nil {
 		return nil
 	}
+	var t0 time.Time
+	if l.ins.SyncSeconds != nil {
+		t0 = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if l.ins.SyncSeconds != nil {
+		l.ins.SyncSeconds.ObserveSince(t0)
 	}
 	return nil
 }

@@ -132,5 +132,6 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 	// left off, so a watcher reconnecting after the restart can still
 	// detect dropped updates by Seq gaps.
 	e.broker.RestoreSeqs(ts.Seqs)
+	e.initObs()
 	return e, nil
 }
