@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz lint fmt vet staticcheck ci
+.PHONY: all build test race bench benchdiff fuzz lint fmt vet staticcheck ci
 
 all: build
 
@@ -27,11 +27,23 @@ race:
 # run costs well under a second. The ablobs run emits BENCH_obs.json:
 # the instrumented publish path's ms/event overhead and allocs/event
 # delta against a metrics-disabled build (the bars are <3% and 0).
+# The ablhotpath run emits BENCH_hotpath.json: flat vs legacy posting
+# layout, per algorithm and workload, parity-gated bit-identical.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ctkbench -exp ablchurn -scale quick -quiet -json BENCH_churn.json
 	$(GO) run ./cmd/ctkbench -exp ablwal -scale quick -quiet -json BENCH_wal.json
 	$(GO) run ./cmd/ctkbench -exp ablobs -scale quick -quiet -json BENCH_obs.json
+	$(GO) run ./cmd/ctkbench -exp ablhotpath -scale quick -quiet -json BENCH_hotpath.json
+
+# Compare this run's BENCH_*.json against the previous run's (CI drops
+# the last successful run's artifacts into BENCH_BASELINE_DIR). Fails
+# on >10% ms/event growth (over a 5µs noise floor) or any allocs/event
+# increase beyond 0.25; reports with no baseline are skipped, so the
+# first run bootstraps its own baseline.
+BENCH_BASELINE_DIR ?= .bench-baseline
+benchdiff:
+	$(GO) run ./cmd/benchdiff -baseline-dir $(BENCH_BASELINE_DIR)
 
 # A short randomized pass over the WAL record decoder, torn-tail
 # repair, the Porter stemmer and the analyzer pipelines (the fuzz

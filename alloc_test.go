@@ -1,0 +1,64 @@
+package ctk
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPublishSteadyStateZeroAlloc is the PR's allocation gate: once the
+// engine is warm — vocabulary interned, scratch buffers grown, queries
+// folded into the flat main generation, every top-k full — a publish
+// with metrics enabled must not allocate at all. Every regression this
+// gate has caught so far was a closure or per-call slice sneaking back
+// into the publish path, so keep it exact (== 0, no tolerance).
+func TestPublishSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the gate runs in the non-race pass")
+	}
+	e, err := New(Options{
+		// Fold registrations into the flat main generation immediately:
+		// the default threshold (1024) would leave this tiny query set
+		// in the delta segment forever, exercising the wrong path.
+		RebuildThreshold: 4,
+		Rebuild:          "sync",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := e.Register(fmt.Sprintf("alpha beta topic%d", i), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-lowercased texts: strings.ToLower then returns its input and
+	// the analyze stage stays in place. Mixed-case input pays one string
+	// copy per token — correct, just not what this gate measures.
+	texts := make([]string, 64)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("alpha beta gamma delta topic%d word%d", i%8, i)
+	}
+	at := 0.0
+	publish := func(i int) {
+		at++
+		if _, err := e.Publish(texts[i%len(texts)], at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: intern every term, fill every top-k, grow all scratch
+	// (token slices, weighting scratch, cursor arenas, broker topics).
+	for i := 0; i < 4*len(texts); i++ {
+		publish(i)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		publish(i)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Publish allocates %.2f times per call, want 0", avg)
+	}
+	if st := e.Stats(); st.ScratchGrows == 0 {
+		t.Fatal("ScratchGrows never counted a warm-up growth; is the counter wired?")
+	}
+}

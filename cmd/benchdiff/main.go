@@ -1,0 +1,108 @@
+// Command benchdiff compares the current run's BENCH_*.json perf
+// reports against a baseline directory (typically the previous CI
+// run's uploaded artifacts) and exits non-zero on regression: a
+// wall-time metric more than 10% (and 5µs) over baseline, or an
+// allocs/event metric above baseline by more than 0.25.
+//
+// Usage:
+//
+//	benchdiff -baseline-dir .bench-baseline [-current-dir .] [BENCH_foo.json ...]
+//
+// Without explicit files it compares every BENCH_*.json in the current
+// directory. A missing baseline directory or a report with no baseline
+// counterpart is skipped with a notice — the first run bootstraps its
+// own baseline instead of failing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		baseDir     = flag.String("baseline-dir", ".bench-baseline", "directory holding the previous run's BENCH_*.json reports")
+		curDir      = flag.String("current-dir", ".", "directory holding this run's BENCH_*.json reports")
+		pct         = flag.Float64("pct", 0, "override: ms regression threshold in percent")
+		floorMS     = flag.Float64("floor-ms", 0, "override: absolute ms noise floor")
+		floorAllocs = flag.Float64("floor-allocs", 0, "override: allocs/event regression floor")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultDiffOptions()
+	if *pct > 0 {
+		opts.MSRegressionPct = *pct
+	}
+	if *floorMS > 0 {
+		opts.MSNoiseFloor = *floorMS
+	}
+	if *floorAllocs > 0 {
+		opts.AllocFloor = *floorAllocs
+	}
+
+	files := flag.Args()
+	if len(files) == 0 {
+		matches, err := filepath.Glob(filepath.Join(*curDir, "BENCH_*.json"))
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range matches {
+			files = append(files, filepath.Base(m))
+		}
+	}
+	if len(files) == 0 {
+		fmt.Printf("benchdiff: no BENCH_*.json reports in %s; nothing to compare\n", *curDir)
+		return
+	}
+
+	regressions := 0
+	for _, name := range files {
+		cur, err := load(filepath.Join(*curDir, name))
+		if err != nil {
+			fatal(fmt.Errorf("current %s: %w", name, err))
+		}
+		base, err := load(filepath.Join(*baseDir, name))
+		if os.IsNotExist(err) {
+			fmt.Printf("== %s: no baseline (first run?); skipping\n", name)
+			continue
+		}
+		if err != nil {
+			fatal(fmt.Errorf("baseline %s: %w", name, err))
+		}
+		fmt.Printf("== %s (baseline scale=%s, current scale=%s)\n", name, base.Scale, cur.Scale)
+		if base.Scale != cur.Scale {
+			fmt.Printf("   scale changed; skipping (numbers are not comparable)\n")
+			continue
+		}
+		d := bench.Diff(base, cur, opts)
+		d.Render(os.Stdout)
+		regressions += d.Regressions
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: FAIL — %d regression(s) against baseline in %s\n", regressions, *baseDir)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+func load(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -43,24 +43,15 @@ const ablWalID = "ablwal"
 // metrics-disabled build: ms/event overhead and allocs/event delta.
 const ablObsID = "ablobs"
 
-// jsonReport is the -json output shape.
-type jsonReport struct {
-	Scale       string             `json:"scale"`
-	Experiments []jsonExperiment   `json:"experiments,omitempty"`
-	Churn       *bench.ChurnResult `json:"churn,omitempty"`
-	Wal         *bench.WALResult   `json:"wal,omitempty"`
-	Obs         *bench.ObsResult   `json:"obs,omitempty"`
-}
-
-type jsonExperiment struct {
-	ID    string       `json:"id"`
-	Title string       `json:"title"`
-	Cells []bench.Cell `json:"cells"`
-}
+// ablHotpathID is the hot-path layout experiment's registry key. Its
+// harness (bench.RunHotpath) pairs the flat posting layout against the
+// legacy per-term-slice layout on the same warm stream, with a
+// bit-identical top-k parity gate.
+const ablHotpathID = "ablhotpath"
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn, ablwal, ablobs) or 'all'")
+		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn, ablwal, ablobs, ablhotpath) or 'all'")
 		scale    = flag.String("scale", "default", "quick | default | full")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-cell progress lines")
@@ -81,6 +72,7 @@ func main() {
 		fmt.Printf("%-10s %s\n", ablChurnID, bench.ChurnTitle)
 		fmt.Printf("%-10s %s\n", ablWalID, bench.WALTitle)
 		fmt.Printf("%-10s %s\n", ablObsID, bench.ObsTitle)
+		fmt.Printf("%-10s %s\n", ablHotpathID, bench.HotpathTitle)
 		return
 	}
 	if *expID == "" {
@@ -90,10 +82,10 @@ func main() {
 
 	var ids []string
 	if *expID == "all" {
-		ids = append(bench.IDs(sc), ablChurnID, ablWalID, ablObsID)
+		ids = append(bench.IDs(sc), ablChurnID, ablWalID, ablObsID, ablHotpathID)
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
-			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID && id != ablObsID {
+			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID && id != ablObsID && id != ablHotpathID {
 				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 			}
 			ids = append(ids, id)
@@ -104,7 +96,7 @@ func main() {
 	if !*quiet {
 		progress = os.Stderr
 	}
-	report := jsonReport{Scale: *scale}
+	report := bench.Report{Scale: *scale}
 	for _, id := range ids {
 		if id == ablChurnID {
 			fmt.Fprintf(os.Stderr, "== running %s (sync vs background, %d queries, measure %d)\n",
@@ -137,6 +129,16 @@ func main() {
 			report.Obs = res
 			continue
 		}
+		if id == ablHotpathID {
+			fmt.Fprintf(os.Stderr, "== running %s (flat vs legacy posting layout, parity-gated)\n", id)
+			res, err := bench.RunHotpath(sc, progress)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(os.Stdout)
+			report.Hotpath = res
+			continue
+		}
 		exp := exps[id]
 		fmt.Fprintf(os.Stderr, "== running %s (%d series × %d points, warmup %d, measure %d)\n",
 			id, len(exp.Series), len(exp.Points), exp.Warmup, exp.Measure)
@@ -145,7 +147,7 @@ func main() {
 			fatal(err)
 		}
 		res.Render(os.Stdout)
-		report.Experiments = append(report.Experiments, jsonExperiment{
+		report.Experiments = append(report.Experiments, bench.ReportSweep{
 			ID: id, Title: exp.Title, Cells: res.Cells,
 		})
 	}
@@ -157,7 +159,7 @@ func main() {
 	}
 }
 
-func writeJSON(path string, report jsonReport) error {
+func writeJSON(path string, report bench.Report) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/index"
 	"repro/internal/notify"
 	"repro/internal/obs"
 	"repro/internal/textproc"
@@ -99,6 +100,12 @@ type Options struct {
 	// unregistrations) accumulates before the next generation build
 	// (0 uses the monitor default, 1024).
 	RebuildThreshold int
+	// IndexLayout selects the posting storage layout of the main
+	// generation's indexes: "flat" (default) packs each shard's
+	// postings into one contiguous backing array for cache-friendly
+	// scans, "legacy" keeps per-term heap slices and exists as the
+	// ablation control. Result-invariant.
+	IndexLayout string
 	// DefaultK is the result size used when Register is called with
 	// k ≤ 0 (default 10).
 	DefaultK int
@@ -219,6 +226,26 @@ type Engine struct {
 	// See instrument.go.
 	reg *obs.Registry
 	im  *instruments
+
+	// Steady-state publish scratch. scratch pools per-publish buffer
+	// sets (token slice + weighting scratch): analysis runs outside
+	// e.mu, so concurrent publishers each need their own. anAppend is
+	// the analyzer's buffer-reusing entry point, resolved once at
+	// construction (nil when the analyzer only implements Analyze).
+	// updFn/updQ prebind the broker payload builder — a per-query
+	// closure in notifyChanges would otherwise allocate on every
+	// publish that changes results.
+	scratch  sync.Pool
+	anAppend func(dst []string, text string) []string
+	updFn    func(seq uint64) Update
+	updQ     uint32
+}
+
+// pubScratch is one publisher's reusable buffer set (see
+// Engine.scratch).
+type pubScratch struct {
+	tokens []string
+	vs     textproc.VecScratch
 }
 
 // ErrNoTerms reports a query or document whose text yields no usable
@@ -308,6 +335,10 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	lay, err := index.ParseLayout(opts.IndexLayout)
+	if err != nil {
+		return nil, err
+	}
 	vocab := textproc.NewVocabulary()
 	mon, err := core.NewMonitor(core.Config{
 		Algorithm:        alg,
@@ -317,6 +348,7 @@ func New(opts Options) (*Engine, error) {
 		Partition:        core.PartitionStrategy(opts.Partition),
 		Rebuild:          core.RebuildMode(opts.Rebuild),
 		RebuildThreshold: opts.RebuildThreshold,
+		IndexLayout:      lay,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -346,11 +378,38 @@ func New(opts Options) (*Engine, error) {
 // delivery is non-blocking, so a slow watcher never stalls ingestion.
 func (e *Engine) notifyChanges() {
 	for _, g := range e.mon.ChangedQueries() {
-		e.broker.Publish(g, func(seq uint64) Update {
-			res, _ := e.resultsLocked(QueryID(g))
-			return Update{Query: QueryID(g), Seq: seq, Results: res}
-		})
+		e.updQ = g
+		e.broker.Publish(g, e.updFn)
 	}
+}
+
+// buildUpdate is the broker payload builder for query e.updQ — a
+// prebound method value rather than a closure so the steady-state
+// publish path stays allocation-free. Safe because notifyChanges runs
+// under e.mu and the broker calls the builder synchronously.
+func (e *Engine) buildUpdate(seq uint64) Update {
+	res, _ := e.resultsLocked(QueryID(e.updQ))
+	return Update{Query: QueryID(e.updQ), Seq: seq, Results: res}
+}
+
+// initHotPath resolves the steady-state publish path's prebound
+// handles; every constructor calls it (via initObs) before the engine
+// is shared.
+func (e *Engine) initHotPath() {
+	e.updFn = e.buildUpdate
+	e.scratch.New = func() any { return new(pubScratch) }
+	if aa, ok := e.an.(textproc.AppendAnalyzer); ok {
+		e.anAppend = aa.AnalyzeAppend
+	}
+}
+
+// analyzeInto runs the analysis pipeline into dst when the analyzer
+// supports it, falling back to the allocating path otherwise.
+func (e *Engine) analyzeInto(dst []string, text string) []string {
+	if e.anAppend != nil {
+		return e.anAppend(dst, text)
+	}
+	return append(dst, e.analyze(text)...)
 }
 
 // analyzeWorker drains the analyzer pool's job channel.
@@ -489,7 +548,9 @@ type PublishStats struct {
 // and the monitor hand-off are serialized.
 func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 	c := e.clock()
-	tokens := e.analyze(text)
+	ps := e.scratch.Get().(*pubScratch)
+	defer e.scratch.Put(ps)
+	ps.tokens = e.analyzeInto(ps.tokens[:0], text)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// Reject a doomed publication before the weighter permanently
@@ -498,7 +559,11 @@ func (e *Engine) Publish(text string, at float64) (PublishStats, error) {
 	if err := e.mon.ValidateIngest(at); err != nil {
 		return PublishStats{}, public(err)
 	}
-	vec := e.weighter.DocumentVector(tokens)
+	// The vector aliases the pooled scratch: the monitor reads it only
+	// while processing this event (under e.mu), and the scratch cannot
+	// be rewritten before then — Put runs after Unlock, and the next
+	// holder writes the vector buffer only under e.mu itself.
+	vec := e.weighter.DocumentVectorInto(ps.tokens, &ps.vs)
 	id := e.nextDoc
 	e.nextDoc++
 	c.mark(obs.StageAnalyze)
@@ -757,6 +822,15 @@ type Stats struct {
 	Documents uint64
 	Evaluated int
 	Matched   int
+	// Hot-path work counters, cumulative over the engine's lifetime:
+	// delta-segment skip blocks pruned vs. scanned, postings pruned by
+	// the quantized impact bounds (SortQuer/TPS), and per-event scratch
+	// buffers that had to grow (0 in steady state — growth means an
+	// event needed more cursor room than any before it).
+	DeltaBlocksSkipped int
+	DeltaBlocksScanned int
+	QuantPruned        int
+	ScratchGrows       int
 	// Snippets is the number of document snippets currently retained
 	// (0 when retention is disabled). Bounded by the pruning policy,
 	// not by stream length.
@@ -788,15 +862,19 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.RUnlock()
 	t := e.mon.Totals()
 	st := Stats{
-		Queries:    e.mon.NumQueries(),
-		Documents:  e.mon.Events(),
-		Evaluated:  t.Evaluated,
-		Matched:    t.Matched,
-		Snippets:   len(e.snips),
-		Analyzer:   e.an.Name(),
-		Partition:  string(e.mon.Config().Partition),
-		Partitions: e.mon.PartitionStats(),
-		Gen:        e.mon.GenStats(),
+		Queries:            e.mon.NumQueries(),
+		Documents:          e.mon.Events(),
+		Evaluated:          t.Evaluated,
+		Matched:            t.Matched,
+		DeltaBlocksSkipped: t.DeltaBlocksSkipped,
+		DeltaBlocksScanned: t.DeltaBlocksScanned,
+		QuantPruned:        t.QuantPruned,
+		ScratchGrows:       t.ScratchGrows,
+		Snippets:           len(e.snips),
+		Analyzer:           e.an.Name(),
+		Partition:          string(e.mon.Config().Partition),
+		Partitions:         e.mon.PartitionStats(),
+		Gen:                e.mon.GenStats(),
 	}
 	if e.dur != nil {
 		st.Durability = e.dur.stats()

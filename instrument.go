@@ -36,6 +36,7 @@ type instruments struct {
 // New and from ReadSnapshot (which constructs the Engine directly);
 // Open additionally attaches the durability instruments afterwards.
 func (e *Engine) initObs() {
+	e.initHotPath()
 	e.reg = obs.NewRegistry()
 	if e.opts.DisableMetrics {
 		return
@@ -93,6 +94,18 @@ func (e *Engine) initObs() {
 	e.reg.CounterFunc("ctk_matched_total",
 		"(query, document) top-k admissions over the engine's lifetime.", nil,
 		func() float64 { return float64(e.Stats().Matched) })
+	e.reg.CounterFunc("ctk_delta_block_skips_total",
+		"Delta-segment skip blocks pruned by block-max bounds.", nil,
+		func() float64 { return float64(e.Stats().DeltaBlocksSkipped) })
+	e.reg.CounterFunc("ctk_delta_block_scans_total",
+		"Delta-segment skip blocks scanned posting by posting.", nil,
+		func() float64 { return float64(e.Stats().DeltaBlocksScanned) })
+	e.reg.CounterFunc("ctk_quant_pruned_total",
+		"Postings pruned by the quantized impact bounds (SortQuer/TPS).", nil,
+		func() float64 { return float64(e.Stats().QuantPruned) })
+	e.reg.CounterFunc("ctk_scratch_grows_total",
+		"Per-event scratch buffers grown (nonzero only while warming up).", nil,
+		func() float64 { return float64(e.Stats().ScratchGrows) })
 	e.reg.GaugeFunc("ctk_snippets",
 		"Document snippets currently retained.", nil,
 		func() float64 { return float64(e.Stats().Snippets) })

@@ -274,6 +274,39 @@ func TestHandVerifiedScenario(t *testing.T) {
 	}
 }
 
+// TestReusedDocBufferAcrossEvents: callers on the zero-alloc publish
+// path hand ProcessEvent the same backing vector buffer every event,
+// mutated in place. The dense-accumulator scratch must not rely on the
+// previous event's slice still holding the previous document's terms —
+// a stale entry would silently inflate later scores (or index out of
+// the accumulator). Regression test for exactly that aliasing bug.
+func TestReusedDocBufferAcrossEvents(t *testing.T) {
+	// Query 0: terms {5, 7}, k=2.
+	vecs := []textproc.Vector{{{Term: 5, Weight: 0.6}, {Term: 7, Weight: 0.8}}}
+	ix, err := index.Build(vecs, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range allProcessors(t, ix) {
+		buf := make(textproc.Vector, 1, 4)
+		buf[0] = textproc.TermWeight{Term: 5, Weight: 0.5}
+		p.ProcessEvent(corpus.Document{ID: 1, Vec: buf}, 1)
+		// Same backing array, now a different document: only term 7.
+		// With stale scratch, doc 2 would also score term 5's 0.5.
+		buf[0] = textproc.TermWeight{Term: 7, Weight: 0.9}
+		p.ProcessEvent(corpus.Document{ID: 2, Vec: buf}, 1)
+		top := p.Results().Top(0)
+		if len(top) != 2 {
+			t.Fatalf("%s: want 2 results, got %+v", p.Name(), top)
+		}
+		// Descending by score: doc2 = 0.8·0.9 = 0.72, doc1 = 0.6·0.5 = 0.3.
+		if top[0].DocID != 2 || math.Abs(top[0].Score-0.72) > 1e-12 ||
+			top[1].DocID != 1 || math.Abs(top[1].Score-0.3) > 1e-12 {
+			t.Fatalf("%s: stale doc scratch: %+v", p.Name(), top)
+		}
+	}
+}
+
 // TestDecayChangesRanking verifies inflation actually matters: with a
 // strong λ, a later mediocre match must outrank an earlier good one.
 func TestDecayChangesRanking(t *testing.T) {

@@ -47,6 +47,18 @@ type EventMetrics struct {
 	// JumpAlls counts whole-zone pruning strides (MRIO's signature
 	// move: the full zone [c_1, c_m] was rejected in one pass).
 	JumpAlls int
+	// DeltaBlocksSkipped and DeltaBlocksScanned count the delta
+	// segment's skip-data decisions: blocks rejected by their summary
+	// bound versus blocks scanned entry by entry.
+	DeltaBlocksSkipped int
+	DeltaBlocksScanned int
+	// QuantPruned counts impact-list entries skipped by the quantized
+	// bound's early scan cutoff (SortQuer/TPS).
+	QuantPruned int
+	// ScratchGrows counts per-event scratch buffers that had to grow.
+	// Zero in steady state: a non-zero rate means the arena sizes are
+	// still warming up (or events keep getting wider).
+	ScratchGrows int
 }
 
 // Add accumulates o into m field-wise.
@@ -56,6 +68,10 @@ func (m *EventMetrics) Add(o EventMetrics) {
 	m.Iterations += o.Iterations
 	m.Postings += o.Postings
 	m.JumpAlls += o.JumpAlls
+	m.DeltaBlocksSkipped += o.DeltaBlocksSkipped
+	m.DeltaBlocksScanned += o.DeltaBlocksScanned
+	m.QuantPruned += o.QuantPruned
+	m.ScratchGrows += o.ScratchGrows
 }
 
 // Processor is a CTQD matching algorithm bound to a query index.
@@ -112,11 +128,20 @@ type common struct {
 	// query is still warming up.
 	thr []float64
 
-	// Per-event scratch: docW maps the current document's terms to
-	// weights; stamp/seen implement O(1) per-event candidate dedup.
-	docW  map[textproc.TermID]float64
-	seen  []uint32
-	stamp uint32
+	// Per-event scratch. Over a flat-layout index the document is
+	// loaded into docArr, a dense accumulator indexed directly by
+	// TermID: an O(1) unhashed probe per query term, with the previous
+	// document's entries — remembered in prevTerms, an owned copy,
+	// because callers reuse their vector buffers across events — erased
+	// (not the whole array) on the next event. Over mapped layouts —
+	// the legacy ablation control and the growing delta segment — docW
+	// maps the document's terms to weights, rebuilt per event.
+	// stamp/seen implement O(1) per-event candidate dedup.
+	prevTerms []textproc.TermID
+	docArr    []float64
+	docW      map[textproc.TermID]float64
+	seen      []uint32
+	stamp     uint32
 }
 
 func newCommon(ix *index.Index) (*common, error) {
@@ -129,13 +154,16 @@ func newCommon(ix *index.Index) (*common, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &common{
+	c := &common{
 		ix:    ix,
 		store: store,
 		thr:   make([]float64, n),
-		docW:  make(map[textproc.TermID]float64),
 		seen:  make([]uint32, n),
-	}, nil
+	}
+	if !ix.Flat() {
+		c.docW = make(map[textproc.TermID]float64)
+	}
+	return c, nil
 }
 
 // Results implements Processor.
@@ -156,11 +184,36 @@ func (c *common) setStore(s *topk.Store) {
 }
 
 // beginEvent loads the document into the scratch probe and advances
-// the dedup stamp.
-func (c *common) beginEvent(doc corpus.Document) {
-	clear(c.docW)
-	for _, tw := range doc.Vec {
-		c.docW[tw.Term] = tw.Weight
+// the dedup stamp. Flat-layout indexes fill the dense accumulator
+// instead of a hash map: the fill is plain array stores, the erase
+// touches only the previous document's terms, and each score probe is
+// one bounds-checked load — no hashing anywhere on the hot path. The
+// array grows with the vocabulary (counted in ScratchGrows); once the
+// stream's term set stabilizes it never grows again, keeping the
+// steady state allocation-free.
+func (c *common) beginEvent(doc corpus.Document, m *EventMetrics) {
+	if c.docW != nil {
+		clear(c.docW)
+		for _, tw := range doc.Vec {
+			c.docW[tw.Term] = tw.Weight
+		}
+	} else {
+		// Every prevTerms entry is inside the array: it grew to cover
+		// them before they were written.
+		for _, t := range c.prevTerms {
+			c.docArr[t] = 0
+		}
+		c.prevTerms = c.prevTerms[:0]
+		for _, tw := range doc.Vec {
+			if t := int(tw.Term); t >= len(c.docArr) {
+				grown := make([]float64, t+1+t/2)
+				copy(grown, c.docArr)
+				c.docArr = grown
+				m.ScratchGrows++
+			}
+			c.docArr[tw.Term] = tw.Weight
+			c.prevTerms = append(c.prevTerms, tw.Term)
+		}
 	}
 	c.stamp++
 	if c.stamp == 0 { // uint32 wrap: invalidate all stamps
@@ -187,6 +240,20 @@ func (c *common) markSeen(q uint32) bool {
 func (c *common) score(q uint32) float64 {
 	terms, weights := c.ix.QueryTerms(q)
 	var s float64
+	if c.docW == nil {
+		// Flat layout: one direct array load per query term. A term
+		// the document lacks (including any beyond the array's current
+		// size) contributes exactly 0, and the summation order matches
+		// the map path term for term, so admission stays bit-identical
+		// across layouts.
+		arr := c.docArr
+		for i, t := range terms {
+			if int(t) < len(arr) {
+				s += weights[i] * arr[t]
+			}
+		}
+		return s
+	}
 	for i, t := range terms {
 		s += weights[i] * c.docW[t]
 	}

@@ -2,28 +2,45 @@ package algo
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/corpus"
 	"repro/internal/index"
+	"repro/internal/rangemax"
 	"repro/internal/textproc"
 )
 
 // Delta is the append-only sidecar generation of the generational
-// query index: recently added queries live here — matched exhaustively,
-// which is exact — until a background build folds them into the main
-// shard indexes. Unlike every other processor, Delta grows after
-// construction: Append registers one query in O(|q|) (segment postings,
-// result heap, threshold slot), so the cost of N registrations is
-// O(total query size), not O(N²) as with rebuilding a frozen sidecar
-// per add. Removals tombstone in place, like the main generation.
+// query index: recently added queries live here — matched with light
+// block-level pruning, which is exact — until a background build folds
+// them into the main shard indexes. Unlike every other processor, Delta
+// grows after construction: Append registers one query in O(|q|)
+// (segment postings, result heap, threshold slot, skip entry), so the
+// cost of N registrations is O(total query size), not O(N²) as with
+// rebuilding a frozen sidecar per add. Removals tombstone in place,
+// like the main generation.
 //
-// Delta is exhaustive on purpose: the sidecar holds at most one rebuild
-// budget's worth of queries, so pruning structures would cost more to
-// maintain incrementally than they save, and exhaustive scoring shares
-// the exact admission path (offer) with every other algorithm.
+// The sidecar holds at most one rebuild budget's worth of queries, so
+// heavyweight pruning structures would cost more to maintain
+// incrementally than they save. What it does keep is per-block skip
+// data: a BlockMax per list summarizing the maximum score potential
+// r = w/S_k(q) (in scale units) of each run of postings. The scan then
+// applies the same coverage rule as SortQuer at block granularity — if
+// a document with m matching lists qualifies for q, some list j has
+// f_j·r_j·E ≥ 1/m, so a block whose summary falls below that share
+// holds no entry that list j is responsible for surfacing, and the
+// block is skipped wholesale. Summaries only ever overestimate (stale
+// entries decay lazily under rangemax's budget), so skipping is safe;
+// every encountered query is still scored exactly through the shared
+// offer path.
 type Delta struct {
 	*common
 	seg *index.Segment
+	// skip is slot-indexed, parallel to the segment's term table; entry
+	// values are ratio/scale as of the query's last threshold sync
+	// (+Inf for warm-up queries, which no finite stop can skip).
+	skip  []*rangemax.BlockMax
+	scale float64 // currentRatio = storedValue · scale
 }
 
 // NewDelta builds an empty delta generation.
@@ -33,7 +50,7 @@ func NewDelta() *Delta {
 	if err != nil { // cannot happen for an empty segment
 		panic(fmt.Sprintf("algo: empty delta: %v", err))
 	}
-	return &Delta{common: c, seg: seg}
+	return &Delta{common: c, seg: seg, scale: 1}
 }
 
 // Append registers one query, returning its delta-local ID. The vector
@@ -59,6 +76,16 @@ func (d *Delta) Append(v textproc.Vector, k int) (uint32, error) {
 	// A zero stamp can never equal a live epoch (stamps start at 1), so
 	// queries appended mid-window need no dedup special-casing.
 	d.seen = append(d.seen, 0)
+	// Extend the skip data in lockstep with the segment's term table.
+	// The segment assigns new slots in ref order, so a slot one past the
+	// current skip length is always a freshly created list. A new query
+	// starts warming up (S_k = 0), so its skip entries are +Inf.
+	for _, ref := range d.ix.Refs(q) {
+		if int(ref.Slot) == len(d.skip) {
+			d.skip = append(d.skip, rangemax.NewBlockMax(nil, rangemax.DefaultBlockSize))
+		}
+		d.skip[ref.Slot].Append(math.Inf(1))
+	}
 	return q, nil
 }
 
@@ -72,30 +99,129 @@ func (d *Delta) Postings() int { return d.seg.NumPostings() }
 // Name implements Processor.
 func (d *Delta) Name() string { return "Delta" }
 
-// Rebase implements Processor.
-func (d *Delta) Rebase(factor float64) { d.rebase(factor) }
+// Rebase implements Processor. Stored skip values scale uniformly, so
+// only the scalar moves until it nears the underflow guard.
+func (d *Delta) Rebase(factor float64) {
+	d.rebase(factor)
+	d.scale /= factor
+	if d.scale > maxRebuildScale {
+		d.rebuildSkip()
+	}
+}
 
-// ProcessEvent implements Processor: the exhaustive scan of the
+// SyncThreshold implements Processor.
+func (d *Delta) SyncThreshold(q uint32) {
+	d.common.SyncThreshold(q)
+	d.syncSkip(q)
+}
+
+// Refresh implements Processor: recompute every lazily stale block
+// summary from its entry values.
+func (d *Delta) Refresh() {
+	for _, bm := range d.skip {
+		bm.Tighten()
+	}
+}
+
+// ResyncAll implements Processor.
+func (d *Delta) ResyncAll() {
+	d.resyncThresholds()
+	d.rebuildSkip()
+}
+
+// Tombstone implements Processor. Dead queries can never qualify, so
+// their skip entries drop to 0, tightening the block bounds.
+func (d *Delta) Tombstone(q uint32) {
+	d.common.Tombstone(q)
+	for _, ref := range d.ix.Refs(q) {
+		d.skip[ref.Slot].Update(int(ref.Pos), 0)
+	}
+}
+
+// syncSkip refreshes q's skip entries from its current threshold.
+// Thresholds are monotone, so this only ever lowers values — summaries
+// stay valid upper bounds even when called mid-scan.
+func (d *Delta) syncSkip(q uint32) {
+	refs := d.ix.Refs(q)
+	_, ws := d.ix.QueryTerms(q)
+	for i, ref := range refs {
+		d.skip[ref.Slot].Update(int(ref.Pos), d.ratio(ws[i], q)/d.scale)
+	}
+}
+
+// rebuildSkip reconstructs all skip data from current thresholds at
+// scale 1. Rare (scale renormalization, bulk resync), so the pass may
+// allocate.
+func (d *Delta) rebuildSkip() {
+	d.scale = 1
+	d.skip = d.skip[:0]
+	d.ix.Lists(func(pl *index.PostingList) {
+		bm := rangemax.NewBlockMax(nil, rangemax.DefaultBlockSize)
+		for _, p := range pl.P {
+			bm.Append(d.ratio(p.W, p.QID))
+		}
+		d.skip = append(d.skip, bm)
+	})
+}
+
+// ProcessEvent implements Processor: a block-skipping scan of the
 // sidecar's lists. Tombstoned queries are skipped by the shared offer
-// gate.
+// gate (and their zeroed skip entries).
 func (d *Delta) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	var m EventMetrics
 	if d.seg.NumQueries() == 0 {
 		return m
 	}
-	d.beginEvent(doc)
+	d.beginEvent(doc, &m)
+
+	// Coverage rule denominator: the number of document terms with
+	// non-empty sidecar lists.
+	nLists := 0
+	for _, tw := range doc.Vec {
+		if l := d.seg.List(tw.Term); l != nil && len(l.P) > 0 {
+			nLists++
+		}
+	}
+	if nLists == 0 {
+		return m
+	}
+	mf := float64(nLists)
+
 	for _, tw := range doc.Vec {
 		l := d.seg.List(tw.Term)
-		if l == nil {
+		if l == nil || len(l.P) == 0 {
 			continue
 		}
-		for _, p := range l.P {
-			m.Postings++
-			if d.markSeen(p.QID) {
+		bm := d.skip[l.Slot]
+		// A qualifying query carries a 1/m share in some list; a block
+		// whose summary (an upper bound on its entries' ratios, in
+		// stored units) falls below this list's share threshold cannot
+		// hold that list's copy of any qualifying query.
+		stop := (1 - boundSlack) / (mf * tw.Weight * e * d.scale)
+		bs := bm.BlockSize()
+		for b, nb := 0, bm.NumBlocks(); b < nb; b++ {
+			if bm.Summary(b) < stop {
+				m.DeltaBlocksSkipped++
 				continue
 			}
-			m.Iterations++
-			d.offer(p.QID, doc.ID, e, &m)
+			m.DeltaBlocksScanned++
+			lo := b * bs
+			hi := lo + bs
+			if hi > len(l.P) {
+				hi = len(l.P)
+			}
+			for _, p := range l.P[lo:hi] {
+				m.Postings++
+				if d.markSeen(p.QID) {
+					continue
+				}
+				m.Iterations++
+				if d.offer(p.QID, doc.ID, e, &m) {
+					// Only ever lowers entries, so summaries of blocks
+					// not yet visited stay valid upper bounds.
+					d.syncSkip(p.QID)
+				}
+			}
 		}
 	}
 	return m

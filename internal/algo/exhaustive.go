@@ -32,7 +32,7 @@ func (x *Exhaustive) Rebase(factor float64) { x.rebase(factor) }
 // relevant list exactly once.
 func (x *Exhaustive) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	var m EventMetrics
-	x.beginEvent(doc)
+	x.beginEvent(doc, &m)
 	for _, tw := range doc.Vec {
 		l := x.ix.List(tw.Term)
 		if l == nil {

@@ -32,8 +32,8 @@ type idOrdered struct {
 	name  string
 	local bool // true → MRIO zone bounds
 	kind  rangemax.Kind
-	lists map[textproc.TermID]*ratioList
-	scale float64 // currentRatio = stored · scale
+	lists []ratioList // slot-indexed, parallel to the index term table
+	scale float64     // currentRatio = stored · scale
 
 	cur   []cursor    // per-event scratch
 	walks []walkState // per-pivot-search scratch
@@ -86,7 +86,7 @@ func newIDOrdered(ix *index.Index, name string, local bool, kind rangemax.Kind) 
 		name:   name,
 		local:  local,
 		kind:   kind,
-		lists:  make(map[textproc.TermID]*ratioList, ix.NumLists()),
+		lists:  make([]ratioList, ix.NumLists()),
 		scale:  1,
 	}
 	a.buildLists()
@@ -94,7 +94,10 @@ func newIDOrdered(ix *index.Index, name string, local bool, kind rangemax.Kind) 
 }
 
 // buildLists (re)creates all ratio structures from current thresholds
-// and resets the scale to 1.
+// and resets the scale to 1. The slot-indexed slice is sized once at
+// construction (the index is frozen, so the term table never grows)
+// and ratioList pointers taken from it stay valid for the processor's
+// lifetime.
 func (a *idOrdered) buildLists() {
 	a.scale = 1
 	a.ix.Lists(func(pl *index.PostingList) {
@@ -102,8 +105,16 @@ func (a *idOrdered) buildLists() {
 		for i, p := range pl.P {
 			vals[i] = a.ratio(p.W, p.QID)
 		}
-		a.lists[pl.Term] = &ratioList{pl: pl, maxer: rangemax.New(a.kind, vals), dirty: true}
+		a.lists[pl.Slot] = ratioList{pl: pl, maxer: rangemax.New(a.kind, vals), dirty: true}
 	})
+}
+
+// listFor returns the ratio list of term t, or nil (tests).
+func (a *idOrdered) listFor(t textproc.TermID) *ratioList {
+	if s := a.ix.Slot(t); s >= 0 {
+		return &a.lists[s]
+	}
+	return nil
 }
 
 // NewRIO builds the paper's preliminary Reverse ID-Ordering algorithm:
@@ -158,7 +169,8 @@ func (a *idOrdered) ResyncAll() {
 // sparse snapshots are tightened eagerly so a bulk load leaves no
 // stale +Inf warm-up ratios behind.
 func (a *idOrdered) Refresh() {
-	for _, rl := range a.lists {
+	for i := range a.lists {
+		rl := &a.lists[i]
 		if t, ok := rl.maxer.(interface{ Tighten() }); ok {
 			t.Tighten()
 		}
@@ -171,7 +183,7 @@ func (a *idOrdered) Refresh() {
 func (a *idOrdered) updateRatios(q uint32) {
 	_, weights := a.ix.QueryTerms(q)
 	for i, ref := range a.ix.Refs(q) {
-		rl := a.lists[ref.Term]
+		rl := &a.lists[ref.Slot]
 		stored := a.ratio(weights[i], q) / a.scale
 		rl.maxer.Update(int(ref.Pos), stored)
 		rl.dirty = true
@@ -268,16 +280,21 @@ func (a *idOrdered) extendWalk(c *cursor, w *walkState, endID uint32) {
 // ProcessEvent implements Processor: the pivot loop of Section III.
 func (a *idOrdered) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	var m EventMetrics
-	a.beginEvent(doc)
+	a.beginEvent(doc, &m)
 
-	// Open a cursor on every list matching a document term.
+	// Open a cursor on every list matching a document term. The cursor
+	// slice is struct-field scratch; each return path below restores it
+	// (a deferred closure would force a per-event heap allocation).
+	if cap(a.cur) < len(doc.Vec) {
+		m.ScratchGrows++
+	}
 	cur := a.cur[:0]
 	for _, tw := range doc.Vec {
-		if rl := a.lists[tw.Term]; rl != nil && rl.pl.Len() > 0 {
+		if rl := a.listFor(tw.Term); rl != nil && rl.pl.Len() > 0 {
 			cur = append(cur, cursor{rl: rl, f: tw.Weight, id: rl.pl.P[0].QID})
 		}
 	}
-	defer func() { a.cur = cur[:0] }() // keep scratch capacity
+	a.cur = cur
 
 	// needed is the current-unit ratio mass a candidate needs:
 	// Σ f_j·r_j ≥ needed  ⇔  Σ f_j·r_j·E ≥ 1 (minus float slack).
@@ -299,12 +316,14 @@ func (a *idOrdered) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 			if !a.local {
 				// RIO: the bound is zone-independent; if the full sum
 				// cannot reach the threshold now, it never will.
+				a.cur = cur
 				return m
 			}
 			// MRIO: the zone [c_1, c_m] is pruned wholesale; jump all
 			// cursors past it.
 			beyond := cur[len(cur)-1].id + 1
 			if beyond == 0 { // uint32 wrap: last possible ID pruned
+				a.cur = cur
 				return m
 			}
 			m.JumpAlls++
@@ -335,12 +354,24 @@ func (a *idOrdered) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 		if a.offer(pivotID, doc.ID, e, &m) {
 			a.updateRatios(pivotID)
 		}
-		// Step every cursor off the pivot. After the alignment seeks,
-		// cursors at pivotID are no longer necessarily a sorted
-		// prefix, so scan them all (m is small).
-		for i := range cur {
+		// Step every cursor off the pivot. The alignment seeks may have
+		// scrambled the prefix [0, pivot], so scan it in full; the tail
+		// beyond the pivot is untouched and still sorted, so the first
+		// tail cursor past pivotID ends the scan — without this the
+		// loop would walk every open cursor (often the whole document)
+		// per pivot round.
+		for i := 0; i <= pivot; i++ {
 			if cur[i].id != pivotID {
 				continue
+			}
+			m.Postings++
+			if !cur[i].step() {
+				exhausted = true
+			}
+		}
+		for i := pivot + 1; i < len(cur); i++ {
+			if cur[i].id != pivotID {
+				break
 			}
 			m.Postings++
 			if !cur[i].step() {
@@ -351,6 +382,7 @@ func (a *idOrdered) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 			cur = compact(cur)
 		}
 	}
+	a.cur = cur
 	return m
 }
 

@@ -100,12 +100,12 @@ func TestRatioUpdatesAfterMatch(t *testing.T) {
 			t.Fatalf("query %d threshold %v after match", q, mrio.thr[q])
 		}
 	}
-	rl := mrio.lists[1]
+	rl := mrio.listFor(1)
 	if math.IsInf(rangemax.GlobalMax(rl.maxer), 1) {
 		t.Fatal("list 1 still has +Inf ratios after all members matched")
 	}
 	// Queries 1, 3 (term 2 only) never matched: list 2 keeps +Inf.
-	if !math.IsInf(rangemax.GlobalMax(mrio.lists[2].maxer), 1) {
+	if !math.IsInf(rangemax.GlobalMax(mrio.listFor(2).maxer), 1) {
 		t.Fatal("list 2 lost its warm-up ratios without matches")
 	}
 }
@@ -188,7 +188,7 @@ func TestExtendWalkBlockAndSeg(t *testing.T) {
 		// sparse snapshot) stale-high; Refresh restores exactness, as
 		// the monitor and harness do after bulk loading.
 		a.Refresh()
-		rl := a.lists[7]
+		rl := a.listFor(7)
 		c := &cursor{rl: rl, pos: 0, id: 0}
 		w := walkState{pos: 0, nextID: 0}
 		a.extendWalk(c, &w, 20) // walk zone [0, 20)

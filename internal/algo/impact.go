@@ -1,39 +1,92 @@
 package algo
 
 import (
-	"sort"
+	"math"
 
 	"repro/internal/index"
 	"repro/internal/textproc"
 )
 
-// impactList is a posting list ordered by descending score potential
-// r = w/S_k(q) — the "query-sensitive impact" ordering that SortQuer
-// and TPS use. Because thresholds only grow, the sort keys captured at
-// the last resort are upper bounds of the current ratios, so a stale
-// ordering still yields exact pruning; lists are resorted once enough
-// of their queries' thresholds have moved.
+// impactList presents one posting list in descending order of score
+// potential r = w/S_k(q) — the "query-sensitive impact" ordering that
+// SortQuer and TPS use — without copying a single posting: perm holds
+// indexes into the shared backing list, and the sort keys are
+// quantized to one byte each, so a bound scan walks a dense uint8
+// array instead of postings.
+//
+// Quantization is exactness-preserving because it only ever rounds
+// up: qkeys[i]·unit ≥ the float key captured at the last resort, which
+// (thresholds being monotone) is itself ≥ the current true ratio. A
+// coarser bound can only extend a scan, never cut it short, and every
+// scanned candidate is still scored exactly through offer.
 type impactList struct {
-	entries []index.Posting
-	keys    []float64 // ratio at last resort, in stored units
-	updates int       // threshold updates since last resort
+	pl *index.PostingList
+	// perm[pos] indexes pl.P; positions are in descending qkey order,
+	// ties kept in ascending posting order (counting sort, stable).
+	perm []uint32
+	// qkeys[pos] is the quantized sort key of pl.P[perm[pos]]:
+	// key ≤ qkeys[pos]·unit for finite keys; 255 encodes +Inf
+	// (warm-up), which no finite stop can skip.
+	qkeys []uint8
+	// unit is the quantization step: maxFiniteKey/254 at the last
+	// resort (1 when every finite key was 0), so finite qkeys fit in
+	// 1..254.
+	unit    float64
+	updates int // threshold updates since last resort
 }
+
+// quantBuckets is the number of finite quantization buckets (qkey 255
+// is reserved for +Inf warm-up ratios).
+const quantBuckets = 254
 
 // resortBudget returns how many threshold updates a list tolerates
 // before resorting.
 func (il *impactList) resortBudget() int {
-	b := len(il.entries) / 8
+	b := il.pl.Len() / 8
 	if b < 32 {
 		b = 32
 	}
 	return b
 }
 
+// val decodes one quantized key back to its (upper-bound) float value.
+func (il *impactList) val(qk uint8) float64 {
+	if qk == math.MaxUint8 {
+		return math.Inf(1)
+	}
+	return float64(qk) * il.unit
+}
+
+// qstop quantizes a scan cutoff (stored units): every entry whose
+// float key is ≥ stop has qkey ≥ qstop(stop), so scanning while
+// qkeys[pos] ≥ qstop covers a superset of the exact-key scan, and
+// stopping is safe because qkey < qstop implies key < stop.
+func (il *impactList) qstop(stop float64) uint8 {
+	if stop <= 0 {
+		return 0
+	}
+	q := math.Ceil(stop / il.unit)
+	if q >= math.MaxUint8 {
+		return math.MaxUint8
+	}
+	return uint8(q)
+}
+
 // impactBase is the state shared by SortQuer and TPS.
 type impactBase struct {
 	*common
-	lists map[textproc.TermID]*impactList
-	scale float64 // currentRatio = key · scale
+	lists []impactList // slot-indexed, parallel to the index term table
+	scale float64      // currentRatio = key · scale
+
+	// Resort scratch, reused across resorts: raw float keys per
+	// original posting position, quantized keys per original position,
+	// and the counting-sort histogram.
+	keyBuf []float64
+	qBuf   []uint8
+	cnt    [256]int
+
+	// prep is the per-event list-handle scratch.
+	prep []*impactList
 }
 
 func newImpactBase(ix *index.Index) (*impactBase, error) {
@@ -43,44 +96,84 @@ func newImpactBase(ix *index.Index) (*impactBase, error) {
 	}
 	b := &impactBase{
 		common: c,
-		lists:  make(map[textproc.TermID]*impactList, ix.NumLists()),
+		lists:  make([]impactList, ix.NumLists()),
 		scale:  1,
 	}
 	ix.Lists(func(pl *index.PostingList) {
-		il := &impactList{entries: append([]index.Posting(nil), pl.P...)}
-		il.keys = make([]float64, len(il.entries))
-		b.lists[pl.Term] = il
+		b.lists[pl.Slot] = impactList{
+			pl:    pl,
+			perm:  make([]uint32, pl.Len()),
+			qkeys: make([]uint8, pl.Len()),
+		}
 	})
 	b.resortAll()
 	return b, nil
 }
 
-// resort recomputes keys from current thresholds and re-sorts.
+// resort recomputes quantized keys from current thresholds and
+// re-orders the permutation with a counting sort: O(n + 256), no
+// comparison sort, no allocation in steady state, and deterministic
+// (stable by posting position within a bucket).
 func (b *impactBase) resort(il *impactList) {
-	for i, p := range il.entries {
-		il.keys[i] = b.ratio(p.W, p.QID) / b.scale
+	p := il.pl.P
+	n := len(p)
+	if cap(b.keyBuf) < n {
+		b.keyBuf = make([]float64, n)
+		b.qBuf = make([]uint8, n)
 	}
-	// Sort entries and keys together, descending by key.
-	idx := make([]int, len(il.entries))
-	for i := range idx {
-		idx[i] = i
+	keys := b.keyBuf[:n]
+	qs := b.qBuf[:n]
+	maxFinite := 0.0
+	for i, e := range p {
+		k := b.ratio(e.W, e.QID) / b.scale
+		keys[i] = k
+		if !math.IsInf(k, 1) && k > maxFinite {
+			maxFinite = k
+		}
 	}
-	sort.Slice(idx, func(x, y int) bool { return il.keys[idx[x]] > il.keys[idx[y]] })
-	entries := make([]index.Posting, len(il.entries))
-	keys := make([]float64, len(il.keys))
-	for out, in := range idx {
-		entries[out] = il.entries[in]
-		keys[out] = il.keys[in]
+	unit := maxFinite / quantBuckets
+	if unit == 0 {
+		unit = 1
 	}
-	il.entries, il.keys = entries, keys
+	il.unit = unit
+	cnt := &b.cnt
+	*cnt = [256]int{}
+	for i, k := range keys {
+		var q uint8
+		if math.IsInf(k, 1) {
+			q = math.MaxUint8
+		} else if c := math.Ceil(k / unit); c >= quantBuckets {
+			// k ≤ maxFinite, so c > quantBuckets only through rounding
+			// in unit; the clamp can undershoot key by at most an ulp,
+			// which boundSlack (1e-9 ≫ 1e-16) absorbs.
+			q = quantBuckets
+		} else {
+			q = uint8(c)
+		}
+		qs[i] = q
+		cnt[q]++
+	}
+	// Bucket start offsets in descending key order: 255 first.
+	start := 0
+	for qk := math.MaxUint8; qk >= 0; qk-- {
+		c := cnt[qk]
+		cnt[qk] = start
+		start += c
+	}
+	for i, q := range qs {
+		out := cnt[q]
+		cnt[q]++
+		il.perm[out] = uint32(i)
+		il.qkeys[out] = q
+	}
 	il.updates = 0
 }
 
 // resortAll rebuilds every list and resets the scale.
 func (b *impactBase) resortAll() {
 	b.scale = 1
-	for _, il := range b.lists {
-		b.resort(il)
+	for i := range b.lists {
+		b.resort(&b.lists[i])
 	}
 }
 
@@ -93,8 +186,8 @@ func (b *impactBase) SyncThreshold(q uint32) {
 // Refresh implements Processor: every impact ordering is resorted from
 // current thresholds.
 func (b *impactBase) Refresh() {
-	for _, il := range b.lists {
-		b.resort(il)
+	for i := range b.lists {
+		b.resort(&b.lists[i])
 	}
 }
 
@@ -107,21 +200,37 @@ func (b *impactBase) ResyncAll() {
 // noteThresholdChange bumps staleness on every list containing q.
 func (b *impactBase) noteThresholdChange(q uint32) {
 	for _, ref := range b.ix.Refs(q) {
-		b.lists[ref.Term].updates++
+		b.lists[ref.Slot].updates++
 	}
 }
 
-// prepare resorts any of the event's lists that exhausted their
-// staleness budget, returning the per-term list handles.
-func (b *impactBase) prepare(doc []textproc.TermWeight) []*impactList {
-	out := make([]*impactList, len(doc))
-	for i, tw := range doc {
-		il := b.lists[tw.Term]
-		if il != nil && il.updates > il.resortBudget() {
-			b.resort(il)
-		}
-		out[i] = il
+// listFor returns the impact list of term t, or nil (tests).
+func (b *impactBase) listFor(t textproc.TermID) *impactList {
+	if s := b.ix.Slot(t); s >= 0 {
+		return &b.lists[s]
 	}
+	return nil
+}
+
+// prepare resorts any of the event's lists that exhausted their
+// staleness budget, returning the per-term list handles in reused
+// scratch (valid until the next prepare).
+func (b *impactBase) prepare(doc textproc.Vector, m *EventMetrics) []*impactList {
+	if cap(b.prep) < len(doc) {
+		m.ScratchGrows++
+	}
+	out := b.prep[:0]
+	for _, tw := range doc {
+		var il *impactList
+		if s := b.ix.Slot(tw.Term); s >= 0 {
+			il = &b.lists[s]
+			if il.updates > il.resortBudget() {
+				b.resort(il)
+			}
+		}
+		out = append(out, il)
+	}
+	b.prep = out
 	return out
 }
 

@@ -77,6 +77,7 @@ type Parallel struct {
 	ks       []int
 	build    Factory
 	strategy Strategy
+	layout   index.Layout
 	costs    []float64 // per-query estimated cost (plan's cost vector)
 	partCost []float64 // cached per-partition sums of costs (occupancy reads)
 
@@ -113,6 +114,14 @@ type Parallel struct {
 	// externally serialized and Wait returns before the next Add) so
 	// the per-document hot path stays allocation-free.
 	evWG sync.WaitGroup
+	// fwd is the prebound partition-drain forwarder: a method value
+	// created once at construction so DrainChanged passes the same
+	// func value every drain instead of allocating a fresh closure per
+	// partition per collection. curFn/curOff are its per-call state;
+	// drains are externally serialized like every mutation.
+	fwd    func(q uint32)
+	curFn  func(q uint32)
+	curOff uint32
 	// mu guards closed so a double Close (monitor rebuild followed by
 	// monitor Close) never double-closes the work channels.
 	mu     sync.Mutex
@@ -142,6 +151,7 @@ func NewParallel(vecs []textproc.Vector, ks []int, plan Plan, build Factory) (*P
 		ks:           ks,
 		build:        build,
 		strategy:     plan.Strategy,
+		layout:       plan.Layout,
 		costs:        plan.Costs,
 		offs:         plan.Offs,
 		procs:        make([]Processor, workers),
@@ -152,6 +162,7 @@ func NewParallel(vecs []textproc.Vector, ks []int, plan Plan, build Factory) (*P
 		winBusy:      make([]int64, workers),
 		nextCooldown: 1,
 	}
+	p.fwd = p.forwardChanged
 	p.partCost = partCostSums(plan.Costs, plan.Offs)
 	for i := 0; i < workers; i++ {
 		proc, err := p.buildPartition(int(p.offs[i]), int(p.offs[i+1]))
@@ -174,7 +185,7 @@ func NewParallel(vecs []textproc.Vector, ks []int, plan Plan, build Factory) (*P
 // buildPartition constructs one partition's sub-index and inner
 // processor, pointed at its slice view of the shared arena.
 func (p *Parallel) buildPartition(lo, hi int) (Processor, error) {
-	subIx, err := index.Build(p.vecs[lo:hi], p.ks[lo:hi])
+	subIx, err := index.BuildLayout(p.vecs[lo:hi], p.ks[lo:hi], p.layout)
 	if err != nil {
 		return nil, err
 	}
@@ -330,14 +341,21 @@ func (p *Parallel) Tombstone(q uint32) {
 func (p *Parallel) DrainChanged(fn func(q uint32)) {
 	p.store.DrainDirty(fn)
 	for i, proc := range p.procs {
-		off := p.offs[i]
 		if fn == nil {
 			proc.DrainChanged(nil)
 			continue
 		}
-		proc.DrainChanged(func(q uint32) { fn(q + off) })
+		p.curFn, p.curOff = fn, p.offs[i]
+		proc.DrainChanged(p.fwd)
 	}
+	p.curFn = nil
 }
+
+// forwardChanged rebases one partition-local changed query ID into the
+// shard range and forwards it to the current drain callback. It exists
+// as a method so DrainChanged can pass a prebound func value (p.fwd)
+// instead of allocating a closure per partition per drain.
+func (p *Parallel) forwardChanged(q uint32) { p.curFn(q + p.curOff) }
 
 // retuneRatio and retuneStreak parameterize CheckBalance: a window is
 // imbalanced when the busiest partition exceeds retuneRatio × the mean

@@ -50,6 +50,10 @@ type Plan struct {
 	// over (posting mass), retained for occupancy reporting and for
 	// adaptive replanning.
 	Costs []float64
+	// Layout selects the posting storage layout of the sub-indexes built
+	// over the boundaries. The zero value is the flat (contiguous)
+	// layout, which is the right default for frozen partitions.
+	Layout index.Layout
 }
 
 // Partitions returns the number of partitions in the plan.

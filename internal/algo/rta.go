@@ -31,15 +31,36 @@ import (
 // 25× behind MRIO.
 type RTA struct {
 	*common
-	lists map[textproc.TermID]*rtaList
-	scale float64 // currentRatio = key · scale
+	lists []rtaList // slot-indexed, parallel to the index term table
+	scale float64   // currentRatio = key · scale
+	walks []rtaWalk // per-event scratch
 }
 
-// rtaList is one ratio-ordered list with eager maintenance.
+// rtaList is one ratio-ordered list with eager maintenance. Unlike the
+// quantized impact lists, it owns a mutable copy of the postings: RTA's
+// defining cost is physically re-sorting entries on every threshold
+// move, which the shared immutable backing cannot host.
 type rtaList struct {
 	entries []index.Posting
 	keys    []float64 // ratio at last sort, in stored units
 	dirty   bool      // a member query's threshold changed
+}
+
+// sort.Interface over (keys, entries) jointly, descending by key. The
+// list itself is the sorter, so eager maintenance sorts in place with
+// no per-resort allocations.
+func (l *rtaList) Len() int           { return len(l.entries) }
+func (l *rtaList) Less(i, j int) bool { return l.keys[i] > l.keys[j] }
+func (l *rtaList) Swap(i, j int) {
+	l.entries[i], l.entries[j] = l.entries[j], l.entries[i]
+	l.keys[i], l.keys[j] = l.keys[j], l.keys[i]
+}
+
+// rtaWalk is one list's descent position during an event.
+type rtaWalk struct {
+	l   *rtaList
+	f   float64
+	pos int
 }
 
 // NewRTA builds the RTA baseline over ix.
@@ -50,13 +71,13 @@ func NewRTA(ix *index.Index) (*RTA, error) {
 	}
 	r := &RTA{
 		common: c,
-		lists:  make(map[textproc.TermID]*rtaList, ix.NumLists()),
+		lists:  make([]rtaList, ix.NumLists()),
 		scale:  1,
 	}
 	ix.Lists(func(pl *index.PostingList) {
-		l := &rtaList{entries: append([]index.Posting(nil), pl.P...)}
+		l := &r.lists[pl.Slot]
+		l.entries = append([]index.Posting(nil), pl.P...)
 		l.keys = make([]float64, len(l.entries))
-		r.lists[pl.Term] = l
 		r.resort(l)
 	})
 	return r, nil
@@ -71,18 +92,7 @@ func (r *RTA) resort(l *rtaList) {
 	for i, p := range l.entries {
 		l.keys[i] = r.ratio(p.W, p.QID) / r.scale
 	}
-	idx := make([]int, len(l.entries))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(x, y int) bool { return l.keys[idx[x]] > l.keys[idx[y]] })
-	entries := make([]index.Posting, len(l.entries))
-	keys := make([]float64, len(l.keys))
-	for out, in := range idx {
-		entries[out] = l.entries[in]
-		keys[out] = l.keys[in]
-	}
-	l.entries, l.keys = entries, keys
+	sort.Sort(l)
 	l.dirty = false
 }
 
@@ -93,8 +103,8 @@ func (r *RTA) Rebase(factor float64) {
 	r.scale /= factor
 	if r.scale > maxRebuildScale {
 		r.scale = 1
-		for _, l := range r.lists {
-			r.resort(l)
+		for i := range r.lists {
+			r.resort(&r.lists[i])
 		}
 	}
 }
@@ -107,8 +117,8 @@ func (r *RTA) SyncThreshold(q uint32) {
 
 // Refresh implements Processor.
 func (r *RTA) Refresh() {
-	for _, l := range r.lists {
-		r.resort(l)
+	for i := range r.lists {
+		r.resort(&r.lists[i])
 	}
 }
 
@@ -121,23 +131,29 @@ func (r *RTA) ResyncAll() {
 // markDirty flags every list containing q for re-sorting.
 func (r *RTA) markDirty(q uint32) {
 	for _, ref := range r.ix.Refs(q) {
-		r.lists[ref.Term].dirty = true
+		r.lists[ref.Slot].dirty = true
 	}
+}
+
+// listFor returns the ratio-ordered list of term t, or nil (tests).
+func (r *RTA) listFor(t textproc.TermID) *rtaList {
+	if s := r.ix.Slot(t); s >= 0 {
+		return &r.lists[s]
+	}
+	return nil
 }
 
 // ProcessEvent implements Processor.
 func (r *RTA) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	var m EventMetrics
-	r.beginEvent(doc)
+	r.beginEvent(doc, &m)
 
-	type walk struct {
-		l   *rtaList
-		f   float64
-		pos int
+	if cap(r.walks) < len(doc.Vec) {
+		m.ScratchGrows++
 	}
-	var walks []walk
+	walks := r.walks[:0]
 	for _, tw := range doc.Vec {
-		l := r.lists[tw.Term]
+		l := r.listFor(tw.Term)
 		if l == nil || len(l.entries) == 0 {
 			continue
 		}
@@ -146,8 +162,9 @@ func (r *RTA) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 		if l.dirty {
 			r.resort(l)
 		}
-		walks = append(walks, walk{l: l, f: tw.Weight})
+		walks = append(walks, rtaWalk{l: l, f: tw.Weight})
 	}
+	r.walks = walks
 	if len(walks) == 0 {
 		return m
 	}

@@ -15,7 +15,9 @@ import (
 // the first entry with m·f_j·r·E < 1 therefore encounters every
 // qualifying query at least once; each encountered query is scored
 // exactly. Stale sort keys only ever overestimate r (thresholds are
-// monotone), so scans stop late, never early — exactness is preserved.
+// monotone), and the quantized keys overestimate the stale keys in
+// turn — both errors extend scans, never shorten them, so exactness is
+// preserved while the scan itself touches one byte per entry.
 type SortQuer struct {
 	*impactBase
 }
@@ -38,11 +40,11 @@ func (s *SortQuer) Rebase(factor float64) { s.rebaseImpact(factor) }
 // ProcessEvent implements Processor.
 func (s *SortQuer) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	var m EventMetrics
-	s.beginEvent(doc)
-	lists := s.prepare(doc.Vec)
+	s.beginEvent(doc, &m)
+	lists := s.prepare(doc.Vec, &m)
 	nLists := 0
 	for _, il := range lists {
-		if il != nil && len(il.entries) > 0 {
+		if il != nil && il.pl.Len() > 0 {
 			nLists++
 		}
 	}
@@ -51,20 +53,24 @@ func (s *SortQuer) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	}
 	mf := float64(nLists)
 	for i, il := range lists {
-		if il == nil || len(il.entries) == 0 {
+		if il == nil || il.pl.Len() == 0 {
 			continue
 		}
 		f := doc.Vec[i].Weight
 		// Scan the impact-ordered prefix. Stop once even this list's
-		// best remaining contribution cannot carry its 1/m share.
-		stop := (1 - boundSlack) / (mf * f * e * s.scale)
-		for pos, key := range il.keys {
-			if key < stop {
+		// best remaining contribution cannot carry its 1/m share. The
+		// cutoff compares quantized bytes; scanned candidates resolve
+		// through perm to the shared posting backing.
+		qstop := il.qstop((1 - boundSlack) / (mf * f * e * s.scale))
+		p := il.pl.P
+		for pos, qk := range il.qkeys {
+			if qk < qstop {
+				m.QuantPruned += len(il.qkeys) - pos
 				break
 			}
 			m.Postings++
 			m.Iterations++
-			q := il.entries[pos].QID
+			q := p[il.perm[pos]].QID
 			if s.markSeen(q) {
 				continue
 			}

@@ -18,13 +18,16 @@ import (
 //
 // i.e. only if its known contribution plus the best possible
 // contribution of every other list can reach the threshold. The filter
-// is an upper bound of the exact score, so skipped entries are safe;
-// a qualifying query always passes the filter in its argmax list.
-// This is the "document upper-bound" pruning of the TPS paper adapted
-// to per-query thresholds, and it is what keeps TPS within ~8× of
-// MRIO while SortQuer and RTA trail further.
+// is an upper bound of the exact score — the quantized keys round up,
+// so a dequantized key still upper-bounds the true ratio — meaning
+// skipped entries are safe; a qualifying query always passes the
+// filter in its argmax list. This is the "document upper-bound"
+// pruning of the TPS paper adapted to per-query thresholds, and it is
+// what keeps TPS within ~8× of MRIO while SortQuer and RTA trail
+// further.
 type TPS struct {
 	*impactBase
+	contrib []float64 // per-event per-list head contributions (scratch)
 }
 
 // NewTPS builds the TPS baseline over ix.
@@ -45,23 +48,28 @@ func (t *TPS) Rebase(factor float64) { t.rebaseImpact(factor) }
 // ProcessEvent implements Processor.
 func (t *TPS) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	var m EventMetrics
-	t.beginEvent(doc)
-	lists := t.prepare(doc.Vec)
+	t.beginEvent(doc, &m)
+	lists := t.prepare(doc.Vec, &m)
 
 	// Per-list best possible contribution f_j·maxr_j·E; the list head
-	// key is the maximum since lists are impact-ordered (stale keys
-	// only overestimate). Warm-up lists have +Inf heads, so the finite
-	// mass and the Inf count are tracked separately to keep
-	// "sum of the other lists" NaN-free.
-	contrib := make([]float64, len(lists))
+	// key is the maximum since lists are impact-ordered (stale and
+	// quantized keys only overestimate). Warm-up lists have +Inf heads,
+	// so the finite mass and the Inf count are tracked separately to
+	// keep "sum of the other lists" NaN-free.
+	if cap(t.contrib) < len(lists) {
+		t.contrib = make([]float64, len(lists))
+		m.ScratchGrows++
+	}
+	contrib := t.contrib[:len(lists)]
 	nLists, nInf := 0, 0
 	finiteTotal := 0.0
 	for i, il := range lists {
-		if il == nil || len(il.entries) == 0 {
+		contrib[i] = 0
+		if il == nil || il.pl.Len() == 0 {
 			continue
 		}
 		nLists++
-		contrib[i] = doc.Vec[i].Weight * il.keys[0] * t.scale * e
+		contrib[i] = doc.Vec[i].Weight * il.val(il.qkeys[0]) * t.scale * e
 		if math.IsInf(contrib[i], 1) {
 			nInf++
 		} else {
@@ -74,7 +82,7 @@ func (t *TPS) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 	mf := float64(nLists)
 
 	for i, il := range lists {
-		if il == nil || len(il.entries) == 0 {
+		if il == nil || il.pl.Len() == 0 {
 			continue
 		}
 		f := doc.Vec[i].Weight
@@ -92,19 +100,21 @@ func (t *TPS) ProcessEvent(doc corpus.Document, e float64) EventMetrics {
 				other = math.Inf(1)
 			}
 		}
-		stop := (1 - boundSlack) / (mf * f * e * t.scale)
-		for pos, key := range il.keys {
-			if key < stop {
+		qstop := il.qstop((1 - boundSlack) / (mf * f * e * t.scale))
+		p := il.pl.P
+		for pos, qk := range il.qkeys {
+			if qk < qstop {
+				m.QuantPruned += len(il.qkeys) - pos
 				break
 			}
 			m.Postings++
 			m.Iterations++
-			q := il.entries[pos].QID
+			q := p[il.perm[pos]].QID
 			if t.seen[q] == t.stamp {
 				continue
 			}
 			// Admission filter: known share plus other lists' maxima.
-			if f*key*t.scale*e+other < 1-boundSlack {
+			if f*il.val(qk)*t.scale*e+other < 1-boundSlack {
 				continue
 			}
 			t.seen[q] = t.stamp

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report is the ctkbench -json artifact schema (BENCH_*.json). CI
+// uploads one per harness experiment and the benchdiff comparator
+// diffs the current run's reports against the previous run's.
+type Report struct {
+	Scale       string         `json:"scale"`
+	Experiments []ReportSweep  `json:"experiments,omitempty"`
+	Churn       *ChurnResult   `json:"churn,omitempty"`
+	Wal         *WALResult     `json:"wal,omitempty"`
+	Obs         *ObsResult     `json:"obs,omitempty"`
+	Hotpath     *HotpathResult `json:"hotpath,omitempty"`
+}
+
+// ReportSweep is one sweep experiment's measured cells in a Report.
+type ReportSweep struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Cells []Cell `json:"cells"`
+}
+
+// MetricKind classifies a report metric for regression thresholds:
+// wall-time metrics compare relatively (with an absolute noise floor),
+// allocation counts compare absolutely (they are deterministic, so any
+// real increase is a code change, not noise).
+type MetricKind int
+
+const (
+	KindMS MetricKind = iota
+	KindAllocs
+)
+
+// Metric is one comparable number extracted from a report. Every value
+// a report carries is already a median (or mean over a long window) of
+// repeated paired measurements — the harness does the noise reduction,
+// the comparator only thresholds.
+type Metric struct {
+	Name  string
+	Value float64
+	Kind  MetricKind
+}
+
+// Metrics flattens a report into its comparable metrics, names stable
+// across runs (series and cell labels, never indexes).
+func Metrics(r *Report) []Metric {
+	var ms []Metric
+	add := func(kind MetricKind, v float64, format string, args ...any) {
+		ms = append(ms, Metric{Name: fmt.Sprintf(format, args...), Value: v, Kind: kind})
+	}
+	for _, e := range r.Experiments {
+		for _, c := range e.Cells {
+			add(KindMS, c.MeanMS, "%s/%s@%g/mean-ms", e.ID, c.Series, c.Param)
+		}
+	}
+	if c := r.Churn; c != nil {
+		for _, cell := range c.Cells {
+			add(KindMS, cell.IngestMeanMS, "churn/%s/ingest-mean-ms", cell.Series)
+			add(KindMS, cell.IngestP99MS, "churn/%s/ingest-p99-ms", cell.Series)
+			add(KindMS, cell.AddP99MS, "churn/%s/add-p99-ms", cell.Series)
+		}
+	}
+	if w := r.Wal; w != nil {
+		for _, cell := range w.Cells {
+			add(KindMS, cell.PubMeanMS, "wal/%s/pub-mean-ms", cell.Series)
+			add(KindMS, cell.PubP99MS, "wal/%s/pub-p99-ms", cell.Series)
+		}
+	}
+	if o := r.Obs; o != nil {
+		for _, cell := range o.Cells {
+			add(KindMS, cell.MSPerEvent, "obs/%s/ms-per-event", cell.Series)
+			add(KindAllocs, cell.AllocsPerEvent, "obs/%s/allocs-per-event", cell.Series)
+		}
+	}
+	if h := r.Hotpath; h != nil {
+		// Only the flat side is the product's hot path; the legacy side
+		// exists as the ablation control and regressing it is not a
+		// product regression.
+		for _, cell := range h.Cells {
+			add(KindMS, cell.FlatMS, "hotpath/%s/%s/flat-ms-per-event", cell.Workload, cell.Algo)
+		}
+	}
+	return ms
+}
+
+// DiffOptions are the regression thresholds.
+type DiffOptions struct {
+	// MSRegressionPct fails a wall-time metric that grew by more than
+	// this percentage of its baseline.
+	MSRegressionPct float64
+	// MSNoiseFloor is the absolute ms delta below which a wall-time
+	// change is noise regardless of percentage (quick-scale cells sit
+	// in the tens of microseconds; a few µs of runner jitter must not
+	// fail CI).
+	MSNoiseFloor float64
+	// AllocFloor fails an allocation metric that grew by more than this
+	// many allocs/event over baseline. Allocation counts are
+	// deterministic up to map-growth timing, so the floor is small.
+	AllocFloor float64
+}
+
+// DefaultDiffOptions matches the CI gate: >10% ms/event (over a 5µs
+// floor) or any allocs/event increase beyond 0.25.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{MSRegressionPct: 10, MSNoiseFloor: 0.005, AllocFloor: 0.25}
+}
+
+// The diff line statuses.
+const (
+	DiffOK         = "ok"
+	DiffRegression = "REGRESSION"
+	DiffImproved   = "improved"
+	DiffNew        = "new"     // metric absent from the baseline (bootstrap) — skipped
+	DiffGone       = "removed" // metric absent from the current run — skipped
+)
+
+// DiffLine is one metric's comparison.
+type DiffLine struct {
+	Name      string
+	Kind      MetricKind
+	Base, Cur float64
+	Status    string
+}
+
+// DiffResult is a full report-against-baseline comparison.
+type DiffResult struct {
+	Lines       []DiffLine
+	Regressions int
+}
+
+// Diff compares the current report's metrics against the baseline's.
+// Metrics present on only one side are reported but never fail: a
+// first run has no baseline, and renamed/retired experiments must not
+// wedge CI.
+func Diff(baseline, current *Report, o DiffOptions) *DiffResult {
+	base := map[string]Metric{}
+	for _, m := range Metrics(baseline) {
+		base[m.Name] = m
+	}
+	res := &DiffResult{}
+	seen := map[string]bool{}
+	for _, cur := range Metrics(current) {
+		seen[cur.Name] = true
+		line := DiffLine{Name: cur.Name, Kind: cur.Kind, Cur: cur.Value}
+		b, ok := base[cur.Name]
+		if !ok {
+			line.Status = DiffNew
+			res.Lines = append(res.Lines, line)
+			continue
+		}
+		line.Base = b.Value
+		delta := cur.Value - b.Value
+		switch cur.Kind {
+		case KindAllocs:
+			switch {
+			case delta > o.AllocFloor:
+				line.Status = DiffRegression
+			case delta < -o.AllocFloor:
+				line.Status = DiffImproved
+			default:
+				line.Status = DiffOK
+			}
+		default:
+			switch {
+			case delta > o.MSNoiseFloor && delta > b.Value*o.MSRegressionPct/100:
+				line.Status = DiffRegression
+			case -delta > o.MSNoiseFloor && -delta > b.Value*o.MSRegressionPct/100:
+				line.Status = DiffImproved
+			default:
+				line.Status = DiffOK
+			}
+		}
+		if line.Status == DiffRegression {
+			res.Regressions++
+		}
+		res.Lines = append(res.Lines, line)
+	}
+	for _, m := range Metrics(baseline) {
+		if !seen[m.Name] {
+			res.Lines = append(res.Lines, DiffLine{Name: m.Name, Kind: m.Kind, Base: m.Value, Status: DiffGone})
+		}
+	}
+	return res
+}
+
+// Ok reports whether the comparison passed (no regressions).
+func (d *DiffResult) Ok() bool { return d.Regressions == 0 }
+
+// Render prints the comparison, one metric per line.
+func (d *DiffResult) Render(w io.Writer) {
+	for _, l := range d.Lines {
+		switch l.Status {
+		case DiffNew:
+			fmt.Fprintf(w, "%-12s %-45s %12s -> %10.4f\n", l.Status, l.Name, "(none)", l.Cur)
+		case DiffGone:
+			fmt.Fprintf(w, "%-12s %-45s %12.4f -> %10s\n", l.Status, l.Name, l.Base, "(none)")
+		default:
+			pct := 0.0
+			if l.Base != 0 {
+				pct = (l.Cur - l.Base) / l.Base * 100
+			}
+			fmt.Fprintf(w, "%-12s %-45s %12.4f -> %10.4f  %+6.1f%%\n", l.Status, l.Name, l.Base, l.Cur, pct)
+		}
+	}
+	if d.Regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s)\n", d.Regressions)
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// diffFixture builds a baseline report covering every section the
+// extractor knows, with recognizable values.
+func diffFixture() *Report {
+	return &Report{
+		Scale: "quick",
+		Experiments: []ReportSweep{{
+			ID: "fig1a", Cells: []Cell{{Series: "MRIO", Param: 1000, MeanMS: 0.5}},
+		}},
+		Churn: &ChurnResult{Cells: []ChurnCell{
+			{Series: "background", IngestMeanMS: 0.2, IngestP99MS: 1.5, AddP99MS: 0.8},
+		}},
+		Wal: &WALResult{Cells: []WALCell{
+			{Series: "wal-interval", PubMeanMS: 0.3, PubP99MS: 2.0},
+		}},
+		Obs: &ObsResult{Cells: []ObsCell{
+			{Series: "metrics-on", MSPerEvent: 0.25, AllocsPerEvent: 0},
+		}},
+		Hotpath: &HotpathResult{Cells: []HotpathCell{
+			{Workload: "Hot", Algo: "MRIO", FlatMS: 0.07, LegacyMS: 0.08},
+		}},
+	}
+}
+
+func statusOf(t *testing.T, d *DiffResult, name string) string {
+	t.Helper()
+	for _, l := range d.Lines {
+		if l.Name == name {
+			return l.Status
+		}
+	}
+	t.Fatalf("metric %q not in diff", name)
+	return ""
+}
+
+// TestDiffFailsOnInjectedRegression is the comparator's reason to
+// exist: a synthetic +50% ms/event regression and a synthetic
+// allocs/event regression must both fail the comparison.
+func TestDiffFailsOnInjectedRegression(t *testing.T) {
+	base, cur := diffFixture(), diffFixture()
+	cur.Hotpath.Cells[0].FlatMS = base.Hotpath.Cells[0].FlatMS * 1.5 // +50%
+	cur.Obs.Cells[0].AllocsPerEvent = 1                              // was 0
+
+	d := Diff(base, cur, DefaultDiffOptions())
+	if d.Ok() || d.Regressions != 2 {
+		t.Fatalf("want 2 regressions, got %d (ok=%v)", d.Regressions, d.Ok())
+	}
+	if s := statusOf(t, d, "hotpath/Hot/MRIO/flat-ms-per-event"); s != DiffRegression {
+		t.Fatalf("ms regression status = %s", s)
+	}
+	if s := statusOf(t, d, "obs/metrics-on/allocs-per-event"); s != DiffRegression {
+		t.Fatalf("alloc regression status = %s", s)
+	}
+	var sb strings.Builder
+	d.Render(&sb)
+	if !strings.Contains(sb.String(), "2 regression(s)") {
+		t.Fatalf("render missing summary:\n%s", sb.String())
+	}
+}
+
+// TestDiffNoiseFloor: percentage-large but absolutely-tiny wiggles on
+// microsecond-scale cells must not fail (CI runners jitter by µs), and
+// neither must sub-threshold relative drift on larger cells.
+func TestDiffNoiseFloor(t *testing.T) {
+	base, cur := diffFixture(), diffFixture()
+	// +100% relative but only +2µs absolute: below the 5µs floor.
+	base.Obs.Cells[0].MSPerEvent = 0.002
+	cur.Obs.Cells[0].MSPerEvent = 0.004
+	// +8% on a large cell: below the 10% relative bar.
+	cur.Churn.Cells[0].IngestP99MS = base.Churn.Cells[0].IngestP99MS * 1.08
+
+	d := Diff(base, cur, DefaultDiffOptions())
+	if !d.Ok() {
+		var sb strings.Builder
+		d.Render(&sb)
+		t.Fatalf("noise flagged as regression:\n%s", sb.String())
+	}
+}
+
+// TestDiffSkipsMissingBaseline: a metric with no baseline counterpart
+// (first run, renamed experiment) is reported but never fails; a
+// metric that vanished is reported as removed.
+func TestDiffSkipsMissingBaseline(t *testing.T) {
+	base, cur := diffFixture(), diffFixture()
+	base.Hotpath = nil                           // current hotpath cells are new
+	cur.Wal = nil                                // wal cells vanished
+	cur.Churn.Cells[0].IngestMeanMS = 1e9        // absurd, but...
+	cur.Churn.Cells[0].Series = "new-mode"       // ...under a new name: skipped
+	base.Churn.Cells[0].IngestMeanMS = 0.0000001 // old name also skipped (gone)
+
+	d := Diff(base, cur, DefaultDiffOptions())
+	if !d.Ok() {
+		var sb strings.Builder
+		d.Render(&sb)
+		t.Fatalf("missing-baseline metrics failed the diff:\n%s", sb.String())
+	}
+	if s := statusOf(t, d, "hotpath/Hot/MRIO/flat-ms-per-event"); s != DiffNew {
+		t.Fatalf("new metric status = %s", s)
+	}
+	if s := statusOf(t, d, "wal/wal-interval/pub-mean-ms"); s != DiffGone {
+		t.Fatalf("gone metric status = %s", s)
+	}
+}
+
+// TestDiffReportsImprovement: a big speedup is labeled, not failed.
+func TestDiffReportsImprovement(t *testing.T) {
+	base, cur := diffFixture(), diffFixture()
+	cur.Hotpath.Cells[0].FlatMS = base.Hotpath.Cells[0].FlatMS / 2
+
+	d := Diff(base, cur, DefaultDiffOptions())
+	if !d.Ok() {
+		t.Fatal("improvement failed the diff")
+	}
+	if s := statusOf(t, d, "hotpath/Hot/MRIO/flat-ms-per-event"); s != DiffImproved {
+		t.Fatalf("improvement status = %s", s)
+	}
+}

@@ -1,0 +1,430 @@
+package bench
+
+import (
+	"cmp"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"time"
+
+	ctk "repro"
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// HotpathCell is one (workload, algorithm) paired layout measurement:
+// the same warm-started processor replaying the same stream over the
+// flat (contiguous backing array, dense scratch) and legacy (per-term
+// heap slices behind a map, map scratch) posting layouts.
+type HotpathCell struct {
+	Workload string
+	// Algo is the matching algorithm, or "suite" for the per-workload
+	// aggregate (the sum of the five algorithms' median costs — the
+	// price of running the paper's whole suite over one event).
+	Algo string
+	// FlatMS / LegacyMS are mean milliseconds per event over the timed
+	// window, taken from the median repetition (reps ranked by
+	// improvement, so the reported pair is one real paired run).
+	FlatMS   float64
+	LegacyMS float64
+	// ImprovementPct is how much cheaper the flat layout's event is,
+	// in percent of the legacy cost: (legacy − flat) / legacy · 100.
+	ImprovementPct float64
+}
+
+// HotpathResult is the ablhotpath experiment: the cache-friendly flat
+// posting layout against the legacy per-term-slice layout, across the
+// paper's five algorithms, on the skew-heavy Hot workload (where long
+// posting lists dominate) and the Uniform control. Every rep is
+// parity-gated — the flat run's final top-k sets must be bit-identical
+// to the legacy run's — and a separate engine-level phase replays a
+// churning register/publish timeline through both layouts end to end,
+// requiring identical results and identical Seqs.
+type HotpathResult struct {
+	Title   string
+	Queries int // indexed queries per workload
+	Events  int // timed events per rep
+	Reps    int // paired repetitions (median by improvement is reported)
+	Cells   []HotpathCell
+}
+
+// HotpathTitle is the ablhotpath experiment's title, shared by the
+// harness report and the CLI's experiment listing.
+const HotpathTitle = "Extension — hot path: flat posting layout vs legacy map-backed per-term slices"
+
+// hotpathAlgos is the measured suite: every algorithm the paper
+// evaluates (the exhaustive oracle is excluded — it is a test fixture,
+// not a hot path).
+var hotpathAlgos = []core.Algorithm{core.AlgoMRIO, core.AlgoRIO, core.AlgoSortQuer, core.AlgoTPS, core.AlgoRTA}
+
+// hotSuite labels the per-workload aggregate cell.
+const hotSuite = "suite"
+
+// hotReps is how many times each paired replay repeats, each rep with
+// freshly constructed processors. As in ablobs, a single rep carries a
+// few percent of allocation-layout luck; the median of many paired
+// estimates is what makes the improvement number reproducible.
+const hotReps = 11
+
+// hotChunk is the pairing granularity: the timed window is replayed in
+// alternating chunks of this many events against the flat and legacy
+// processors (first-runner swapping every chunk), so machine drift and
+// frequency wobble land on both layouts within the same few
+// milliseconds instead of biasing whichever ran second.
+const hotChunk = 50
+
+// hotpathEvents sizes the timed window. The layout effect is tens of
+// percent — far above ablobs' sub-percent overhead — but each event is
+// cheap, so the window stretches well past the sweep experiments'
+// Measure to amortize timer granularity.
+func hotpathEvents(sc Scale) int {
+	return max(400, 5*sc.Measure)
+}
+
+// hotProc is one side of a paired replay: a processor plus its own
+// decay clock (both sides replay the identical event times, so the
+// clocks advance in lockstep).
+type hotProc struct {
+	proc  algo.Processor
+	decay *stream.Decay
+}
+
+// hotAssets is one workload's shared measurement setup: both layouts
+// over the identical query set, one warm state, one timed window.
+type hotAssets struct {
+	ixFlat, ixLegacy *index.Index
+	warm             *warmState
+	timed            []stream.Event
+}
+
+// RunHotpath measures the ablhotpath experiment at the given scale.
+func RunHotpath(sc Scale, out io.Writer) (*HotpathResult, error) {
+	res := &HotpathResult{
+		Title:   HotpathTitle,
+		Queries: sc.BaseQueries,
+		Events:  hotpathEvents(sc),
+		Reps:    hotReps,
+	}
+	// Engine-level parity first: replay a churning register/publish
+	// timeline through a flat and a legacy engine — registrations,
+	// delta-segment inserts, generation rebuilds, unregistrations — and
+	// require the surviving queries' results AND Seqs to match exactly.
+	// The vector-level reps below then gate every measured pair.
+	if err := hotpathSeqParity(sc); err != nil {
+		return nil, fmt.Errorf("bench ablhotpath: %w", err)
+	}
+	if out != nil {
+		fmt.Fprintf(out, "  engine parity: flat and legacy layouts agree (results and Seqs)\n")
+	}
+	model := corpus.WikipediaModel(sc.VocabSize)
+	for _, kind := range []workload.Kind{workload.Hot, workload.Uniform} {
+		assets, err := makeHotAssets(sc, model, kind)
+		if err != nil {
+			return nil, fmt.Errorf("bench ablhotpath: %s: %w", kind, err)
+		}
+		var sumFlat, sumLegacy float64
+		for _, a := range hotpathAlgos {
+			cell, err := runHotpathCell(assets, kind, a, out)
+			if err != nil {
+				return nil, fmt.Errorf("bench ablhotpath: %s/%s: %w", kind, a, err)
+			}
+			sumFlat += cell.FlatMS
+			sumLegacy += cell.LegacyMS
+			res.Cells = append(res.Cells, cell)
+		}
+		suite := HotpathCell{Workload: kind.String(), Algo: hotSuite, FlatMS: sumFlat, LegacyMS: sumLegacy}
+		if sumLegacy > 0 {
+			suite.ImprovementPct = (sumLegacy - sumFlat) / sumLegacy * 100
+		}
+		res.Cells = append(res.Cells, suite)
+	}
+	return res, nil
+}
+
+// makeHotAssets builds one workload kind's shared setup: both layouts
+// over the identical query set, the event stream, and one warm state
+// (keyed by query ID; both indexes assign IDs by position over the
+// identical query set, so it serves both).
+func makeHotAssets(sc Scale, model corpus.Model, kind workload.Kind) (*hotAssets, error) {
+	cfg := workload.DefaultConfig(kind, sc.BaseQueries)
+	cfg.Seed = sc.Seed
+	qs, err := workload.Generate(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([]textproc.Vector, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		ks[i] = q.K
+	}
+	a := &hotAssets{}
+	if a.ixFlat, err = index.Build(vecs, ks); err != nil {
+		return nil, err
+	}
+	if a.ixLegacy, err = index.BuildLayout(vecs, ks, index.LayoutLegacy); err != nil {
+		return nil, err
+	}
+	gen := corpus.NewGenerator(model, sc.Seed+101, uint64(sc.Warmup+hotpathEvents(sc)))
+	src, err := stream.NewSource(gen, sc.Rate, sc.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+	events := src.Take(sc.Warmup + hotpathEvents(sc))
+	if a.warm, err = warmUp(a.ixFlat, events[:sc.Warmup], defaultLambda); err != nil {
+		return nil, err
+	}
+	a.timed = events[sc.Warmup:]
+	return a, nil
+}
+
+// runHotpathCell measures one (workload, algorithm) pair: replay the
+// same timed stream through both layouts in paired chunks, hotReps
+// times, and report the median rep.
+func runHotpathCell(a *hotAssets, kind workload.Kind, al core.Algorithm, out io.Writer) (HotpathCell, error) {
+	cell := HotpathCell{Workload: kind.String(), Algo: string(al)}
+	type rep struct {
+		flatMS, legacyMS, improvement float64
+	}
+	reps := make([]rep, 0, hotReps)
+	n := float64(len(a.timed))
+	for i := 0; i < hotReps; i++ {
+		// Construction-order swap: whichever processor allocates first
+		// inherits a different heap layout; alternating cancels that
+		// advantage across reps. Parity is checked every rep — it is
+		// cheap next to the replay and keeps the gate un-skippable.
+		flatDur, legacyDur, err := runHotpathPair(a, al, i%2 == 1)
+		if err != nil {
+			return cell, fmt.Errorf("rep %d: %w", i, err)
+		}
+		r := rep{
+			flatMS:   flatDur.Seconds() * 1000 / n,
+			legacyMS: legacyDur.Seconds() * 1000 / n,
+		}
+		if legacyDur > 0 {
+			r.improvement = float64(legacyDur-flatDur) / float64(legacyDur) * 100
+		}
+		reps = append(reps, r)
+	}
+
+	// Median rep by improvement: robust against outlier reps, and the
+	// reported cell is one real paired measurement, not a min/median mix.
+	sorted := append([]rep(nil), reps...)
+	slices.SortFunc(sorted, func(a, b rep) int { return cmp.Compare(a.improvement, b.improvement) })
+	mid := sorted[len(sorted)/2]
+	cell.FlatMS = mid.flatMS
+	cell.LegacyMS = mid.legacyMS
+	cell.ImprovementPct = mid.improvement
+	if out != nil {
+		fmt.Fprintf(out, "  %-8s %-9s flat %8.4f ms/event  legacy %8.4f ms/event  improvement %+.1f%%\n",
+			kind, al, cell.FlatMS, cell.LegacyMS, cell.ImprovementPct)
+	}
+	return cell, nil
+}
+
+// runHotpathPair replays the timed window once through two fresh
+// processors — one per layout — in alternating hotChunk-event slices,
+// both starting from the shared warm state. Both sides see the same
+// events, the same decay schedule and (by the score path's design) the
+// same summation order, so the final top-k sets must agree bit for
+// bit; the parity check turns that into a hard gate.
+func runHotpathPair(a *hotAssets, al core.Algorithm, swap bool) (flatDur, legacyDur time.Duration, err error) {
+	mk := func(ix *index.Index) (hotProc, error) {
+		proc, err := core.NewProcessor(al, rangemax.KindSegTree, ix)
+		if err != nil {
+			return hotProc{}, err
+		}
+		a.warm.load(proc)
+		decay, err := stream.NewDecay(defaultLambda)
+		if err != nil {
+			return hotProc{}, err
+		}
+		decay.SetBase(a.warm.base)
+		return hotProc{proc: proc, decay: decay}, nil
+	}
+	var flat, legacy hotProc
+	for _, legacyFirst := range []bool{swap, !swap} {
+		if legacyFirst {
+			if legacy, err = mk(a.ixLegacy); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			if flat, err = mk(a.ixFlat); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+
+	// Hold GC off for the timed window: both sides allocate nothing per
+	// event in steady state, so collection pauses are pure noise.
+	runtime.GC()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	chunk := func(p *hotProc, dur *time.Duration, evs []stream.Event) {
+		t := time.Now()
+		for _, ev := range evs {
+			for p.decay.NeedsRebase(ev.Time) {
+				p.proc.Rebase(p.decay.RebaseTo(ev.Time))
+			}
+			p.proc.ProcessEvent(ev.Doc, p.decay.Factor(ev.Time))
+		}
+		*dur += time.Since(t)
+	}
+	for i := 0; i < len(a.timed); i += hotChunk {
+		evs := a.timed[i:min(i+hotChunk, len(a.timed))]
+		first, second := &flat, &legacy
+		fd, sd := &flatDur, &legacyDur
+		if (i/hotChunk)%2 == 1 {
+			first, second, fd, sd = &legacy, &flat, &legacyDur, &flatDur
+		}
+		chunk(first, fd, evs)
+		chunk(second, sd, evs)
+	}
+
+	if d := diffStores(flat.proc.Results(), legacy.proc.Results(), a.ixFlat.NumQueries()); d != "" {
+		return 0, 0, fmt.Errorf("parity: flat layout diverged from legacy: %s", d)
+	}
+	return flatDur, legacyDur, nil
+}
+
+// hotpathSeqParity replays one churning engine-level timeline through
+// both layouts and requires exact agreement: every surviving query's
+// results (documents, scores, order) and its Seq. The churn —
+// registrations mid-stream (delta-segment inserts), enough of them to
+// trip synchronous generation rebuilds, plus unregistrations
+// (tombstones) — drags both engines through every layout-sensitive
+// structure the PR touched before the comparison.
+func hotpathSeqParity(sc Scale) error {
+	w := makeWALWorkload(sc)
+	// Late registrations churn the delta segment; a small threshold with
+	// synchronous rebuilds folds them into fresh generations mid-run.
+	extra := make([]string, 8)
+	for i := range extra {
+		extra[i] = w.queries[i*len(w.queries)/len(extra)] // reuse texts: collisions guaranteed
+	}
+	run := func(layout string) ([]queryState, error) {
+		e, err := ctk.New(ctk.Options{
+			Algorithm:        "MRIO",
+			Lambda:           defaultLambda,
+			DefaultK:         w.k,
+			IndexLayout:      layout,
+			Rebuild:          "sync",
+			RebuildThreshold: 3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+		ids := make([]ctk.QueryID, 0, len(w.queries)+len(extra))
+		for _, q := range w.queries {
+			id, err := e.Register(q, w.k)
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		at := 0.0
+		step := 1 / w.rate
+		publish := func(texts []string) error {
+			for _, text := range texts {
+				at += step
+				if _, err := e.Publish(text, at); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := publish(w.warm); err != nil {
+			return nil, err
+		}
+		// Timed window in slices, churning between them.
+		per := max(1, len(w.timed)/(len(extra)+1))
+		for i, q := range extra {
+			if err := publish(w.timed[i*per : (i+1)*per]); err != nil {
+				return nil, err
+			}
+			if i%3 == 2 { // tombstone an early query now and then
+				if err := e.Unregister(ids[i]); err != nil {
+					return nil, err
+				}
+				ids[i] = ^ctk.QueryID(0)
+			}
+			id, err := e.Register(q, w.k)
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		if err := publish(w.timed[(len(extra))*per:]); err != nil {
+			return nil, err
+		}
+		states := make([]queryState, 0, len(ids))
+		for _, id := range ids {
+			if id == ^ctk.QueryID(0) {
+				states = append(states, queryState{}) // unregistered slot, keeps alignment
+				continue
+			}
+			rs, seq, err := e.ResultsSeq(id)
+			if err != nil {
+				return nil, fmt.Errorf("query %d: %w", id, err)
+			}
+			st := queryState{seq: seq}
+			for _, r := range rs {
+				st.docs = append(st.docs, r.DocID)
+				st.scores = append(st.scores, r.Score)
+			}
+			states = append(states, st)
+		}
+		return states, nil
+	}
+	flat, err := run("flat")
+	if err != nil {
+		return fmt.Errorf("engine parity (flat): %w", err)
+	}
+	legacy, err := run("legacy")
+	if err != nil {
+		return fmt.Errorf("engine parity (legacy): %w", err)
+	}
+	if d := diffStates(flat, legacy); d != "" {
+		return fmt.Errorf("engine parity: flat diverged from legacy: %s", d)
+	}
+	return nil
+}
+
+// diffStores compares every query's final top-k across two result
+// stores, exactly — same documents, same scores, same order. It returns
+// the first divergence, or "" when the stores agree.
+func diffStores(a, b *topk.Store, n int) string {
+	for q := uint32(0); q < uint32(n); q++ {
+		ta, tb := a.Top(q), b.Top(q)
+		if len(ta) != len(tb) {
+			return fmt.Sprintf("query %d: %d results vs %d", q, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				return fmt.Sprintf("query %d rank %d: doc %d score %v vs doc %d score %v",
+					q, i, ta[i].DocID, ta[i].Score, tb[i].DocID, tb[i].Score)
+			}
+		}
+	}
+	return ""
+}
+
+// Render prints the hot-path ablation in the harness' table style.
+func (r *HotpathResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "queries=%d events=%d reps=%d (median paired rep; suite = sum over algorithms)\n", r.Queries, r.Events, r.Reps)
+	fmt.Fprintf(w, "%-10s %-9s %12s %13s %13s\n", "workload", "algo", "flat ms/ev", "legacy ms/ev", "improvement")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-10s %-9s %12.4f %13.4f %+12.1f%%\n", c.Workload, c.Algo, c.FlatMS, c.LegacyMS, c.ImprovementPct)
+	}
+	fmt.Fprintln(w)
+}

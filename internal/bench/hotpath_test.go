@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/rangemax"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+	"repro/internal/workload"
+)
+
+// hotpathFixture builds one warm-started replay setup (index, warm
+// state, timed events) for layout benchmarks.
+type hotpathFixture struct {
+	ix    *index.Index
+	warm  *warmState
+	timed []stream.Event
+}
+
+func newHotpathFixture(tb testing.TB, layout index.Layout) *hotpathFixture {
+	tb.Helper()
+	sc := QuickScale()
+	model := corpus.WikipediaModel(sc.VocabSize)
+	cfg := workload.DefaultConfig(workload.Hot, sc.BaseQueries)
+	cfg.Seed = sc.Seed
+	qs, err := workload.Generate(model, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vecs := make([]textproc.Vector, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		vecs[i] = q.Vec
+		ks[i] = q.K
+	}
+	ix, err := index.BuildLayout(vecs, ks, layout)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := corpus.NewGenerator(model, sc.Seed+101, uint64(sc.Warmup+hotpathEvents(sc)))
+	src, err := stream.NewSource(gen, sc.Rate, sc.Seed+202)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	events := src.Take(sc.Warmup + hotpathEvents(sc))
+	warm, err := warmUp(ix, events[:sc.Warmup], defaultLambda)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &hotpathFixture{ix: ix, warm: warm, timed: events[sc.Warmup:]}
+}
+
+// replay runs the timed window once through a fresh warm processor.
+func (f *hotpathFixture) replay(tb testing.TB) {
+	tb.Helper()
+	proc, err := core.NewProcessor(core.AlgoMRIO, rangemax.KindSegTree, f.ix)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f.warm.load(proc)
+	decay, err := stream.NewDecay(defaultLambda)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	decay.SetBase(f.warm.base)
+	for _, ev := range f.timed {
+		for decay.NeedsRebase(ev.Time) {
+			proc.Rebase(decay.RebaseTo(ev.Time))
+		}
+		proc.ProcessEvent(ev.Doc, decay.Factor(ev.Time))
+	}
+}
+
+// BenchmarkHotpathFlat replays the ablhotpath Hot window over the flat
+// layout; pair with BenchmarkHotpathLegacy to profile where the legacy
+// layout spends its extra time.
+func BenchmarkHotpathFlat(b *testing.B) {
+	f := newHotpathFixture(b, index.LayoutFlat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.replay(b)
+	}
+}
+
+func BenchmarkHotpathLegacy(b *testing.B) {
+	f := newHotpathFixture(b, index.LayoutLegacy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.replay(b)
+	}
+}

@@ -145,6 +145,13 @@ type Config struct {
 	// atomically; RebuildSync blocks the mutating call (the legacy
 	// behaviour, kept as an ablation control). Result-invariant.
 	Rebuild RebuildMode
+	// IndexLayout selects the posting storage layout of the main
+	// generation's shard indexes: index.LayoutFlat (the zero value and
+	// default) packs each shard's postings into one contiguous backing
+	// array; index.LayoutLegacy keeps per-term heap slices, retained as
+	// the ablation control. Result-invariant — only memory locality
+	// differs. The delta segment is always mapped (it must grow).
+	IndexLayout index.Layout
 }
 
 // withDefaults fills zero values.
@@ -198,6 +205,9 @@ func (c Config) Validate() error {
 	}
 	if _, err := ParseRebuild(string(c.Rebuild)); c.Rebuild != "" && err != nil {
 		return err
+	}
+	if c.IndexLayout != index.LayoutFlat && c.IndexLayout != index.LayoutLegacy {
+		return fmt.Errorf("core: unknown index layout %d", c.IndexLayout)
 	}
 	return nil
 }

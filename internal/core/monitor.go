@@ -43,13 +43,18 @@ type Result struct {
 	Score float64
 }
 
-// EventStats aggregates per-event work across shards.
+// EventStats aggregates per-event work across shards. Field order must
+// mirror algo.EventMetrics: add converts via a direct struct cast.
 type EventStats struct {
-	Evaluated  int
-	Matched    int
-	Iterations int
-	Postings   int
-	JumpAlls   int
+	Evaluated          int
+	Matched            int
+	Iterations         int
+	Postings           int
+	JumpAlls           int
+	DeltaBlocksSkipped int
+	DeltaBlocksScanned int
+	QuantPruned        int
+	ScratchGrows       int
 }
 
 func (s *EventStats) add(m algo.EventMetrics) {
@@ -221,11 +226,19 @@ type Monitor struct {
 
 	// Per-call scratch, reused across events to keep the hot path
 	// allocation-free (safe: mutation is externally serialized and
-	// every batch joins its workers before returning).
-	oneDoc  [1]corpus.Document
-	rebases []float64
-	outs    []algo.EventMetrics
-	changed []uint32
+	// every batch joins its workers before returning). evWG joins one
+	// batch's shard fan-out; shardKeep/deltaKeep are method values
+	// prebound at construction so the post-batch change drain passes
+	// the same func values every time instead of allocating closures,
+	// with drainIDs carrying the current shard's local→global map.
+	oneDoc    [1]corpus.Document
+	rebases   []float64
+	outs      []algo.EventMetrics
+	changed   []uint32
+	evWG      sync.WaitGroup
+	drainIDs  []uint32
+	shardKeep func(local uint32)
+	deltaKeep func(local uint32)
 }
 
 // NewMonitor builds a monitor over an initial query set. Queries get
@@ -280,6 +293,8 @@ func NewMonitorWithLayout(cfg Config, defs []QueryDef, removed []bool, lay Layou
 		generation: lay.Generation,
 		dirty:      max(lay.Dirty, 0),
 	}
+	m.shardKeep = m.keepShardLocal
+	m.deltaKeep = m.keepDeltaLocal
 	m.defs = append(m.defs, defs...)
 	m.loc = make([]location, len(defs))
 	for g := range removed {
@@ -374,6 +389,7 @@ func (m *Monitor) buildShard(defs []QueryDef, ids []uint32) (*shard, error) {
 		// before any sub-index exists, so every rebuild replans from
 		// the current query set.
 		plan := algo.NewPlan(vecs, m.cfg.Parallelism, m.cfg.Partition)
+		plan.Layout = m.cfg.IndexLayout
 		proc, err := algo.NewParallel(vecs, ks, plan, func(ix *index.Index) (algo.Processor, error) {
 			return NewProcessor(m.cfg.Algorithm, m.cfg.Bound, ix)
 		})
@@ -382,7 +398,7 @@ func (m *Monitor) buildShard(defs []QueryDef, ids []uint32) (*shard, error) {
 		}
 		return &shard{proc: proc, globalIDs: ids}, nil
 	}
-	ix, err := index.Build(vecs, ks)
+	ix, err := index.BuildLayout(vecs, ks, m.cfg.IndexLayout)
 	if err != nil {
 		return nil, err
 	}
@@ -813,22 +829,31 @@ func (m *Monitor) discardChanges() {
 // concatenation is exact and duplicate-free.
 func (m *Monitor) collectChanges() []uint32 {
 	m.changed = m.changed[:0]
-	keep := func(g uint32) {
-		// Tombstones stop a removed query from admitting documents the
-		// moment it is removed, but a query can be removed after a
-		// batch marked it changed and before the drain; such phantom
-		// updates are invisible through Top and must not be notified.
-		if !m.loc[g].removed {
-			m.changed = append(m.changed, g)
-		}
-	}
 	for _, sh := range m.shards {
-		ids := sh.globalIDs
-		sh.proc.DrainChanged(func(local uint32) { keep(ids[local]) })
+		m.drainIDs = sh.globalIDs
+		sh.proc.DrainChanged(m.shardKeep)
 	}
-	m.delta.DrainChanged(func(local uint32) { keep(m.deltaIDs[local]) })
+	m.drainIDs = nil
+	m.delta.DrainChanged(m.deltaKeep)
 	return m.changed
 }
+
+// keep records one changed global query ID. Tombstones stop a removed
+// query from admitting documents the moment it is removed, but a query
+// can be removed after a batch marked it changed and before the drain;
+// such phantom updates are invisible through Top and must not be
+// notified.
+func (m *Monitor) keep(g uint32) {
+	if !m.loc[g].removed {
+		m.changed = append(m.changed, g)
+	}
+}
+
+// keepShardLocal and keepDeltaLocal translate processor-local changed
+// IDs to global ones. They exist as methods so collectChanges can pass
+// prebound func values instead of allocating per-drain closures.
+func (m *Monitor) keepShardLocal(local uint32) { m.keep(m.drainIDs[local]) }
+func (m *Monitor) keepDeltaLocal(local uint32) { m.keep(m.deltaIDs[local]) }
 
 // ValidateIngest reports whether the monitor would accept an event at
 // time t, without mutating any state. Callers with their own
@@ -878,12 +903,8 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 	}
 	e := m.decay.Factor(t)
 
-	// The delta segment runs on the caller's goroutine — in the
+	// The delta segment always runs on the caller's goroutine — in the
 	// multi-shard case concurrently with the shard workers.
-	pending := func() algo.EventMetrics {
-		return matchAll(m.delta, m.rebases, docs, e)
-	}
-
 	var st EventStats
 	if len(m.shards) == 1 || m.shards[0].work == nil {
 		// Single shard (or a monitor whose workers never started):
@@ -891,25 +912,26 @@ func (m *Monitor) ProcessBatch(docs []corpus.Document, t float64) (EventStats, e
 		for _, sh := range m.shards {
 			st.add(matchAll(sh.proc, m.rebases, docs, e))
 		}
-		st.add(pending())
+		st.add(matchAll(m.delta, m.rebases, docs, e))
 	} else {
 		if cap(m.outs) < len(m.shards) {
 			m.outs = make([]algo.EventMetrics, len(m.shards))
 		}
 		outs := m.outs[:len(m.shards)]
-		var wg sync.WaitGroup
-		wg.Add(len(m.shards))
+		// evWG is reused across batches: batches are externally
+		// serialized and Wait returns before the next Add.
+		m.evWG.Add(len(m.shards))
 		for i, sh := range m.shards {
 			sh.work <- shardJob{
 				rebases: m.rebases,
 				docs:    docs,
 				factor:  e,
 				out:     &outs[i],
-				wg:      &wg,
+				wg:      &m.evWG,
 			}
 		}
-		pm := pending()
-		wg.Wait()
+		pm := matchAll(m.delta, m.rebases, docs, e)
+		m.evWG.Wait()
 		for _, r := range outs {
 			st.add(r)
 		}

@@ -23,7 +23,7 @@ func (ix *Index) QueryCosts() []float64 {
 		var c float64
 		terms, _ := ix.QueryTerms(uint32(q))
 		for _, t := range terms {
-			c += float64(ix.lists[t].Len())
+			c += float64(ix.List(t).Len())
 		}
 		costs[q] = c
 	}

@@ -11,12 +11,17 @@
 // The index stores query vectors in flat arenas so that multi-million
 // query workloads (the paper scales to 4·10⁶) remain cache- and
 // GC-friendly: a handful of large slices instead of millions of small
-// ones.
+// ones. Since the flat-layout work, the posting lists themselves follow
+// the same discipline: a frozen Build places every posting in one
+// contiguous backing array with per-term spans and a sorted term table
+// (LayoutFlat), while appendable segments and the legacy ablation
+// control keep per-term heap slices behind a map (LayoutLegacy).
 package index
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/textproc"
@@ -30,17 +35,22 @@ type Posting struct {
 	W float64
 }
 
-// Ref locates one posting of a query: the term's list and the posting's
-// position within it. Threshold updates use Refs to touch exactly the
-// positions whose ratio w/S_k(q) changed.
+// Ref locates one posting of a query: the slot of the term's list in
+// the index's term table and the posting's position within the list.
+// Threshold updates use Refs to touch exactly the positions whose
+// ratio w/S_k(q) changed; slots let the algorithms keep their per-list
+// bound state in plain slices instead of term-keyed maps.
 type Ref struct {
-	Term textproc.TermID
+	Slot uint32
 	Pos  uint32
 }
 
-// PostingList is one term's ID-ordered list.
+// PostingList is one term's ID-ordered list. Slot is the list's
+// position in the owning index's term table (ListAt(Slot) returns this
+// list).
 type PostingList struct {
 	Term textproc.TermID
+	Slot uint32
 	P    []Posting
 }
 
@@ -61,11 +71,18 @@ func (l *PostingList) Seek(from int, id uint32) int {
 		return from
 	}
 	// Gallop: p[lo].QID < id; probe positions from+1, from+2, from+4...
+	// The doubling is clamped before step or from+step could overflow
+	// int — once the next probe would pass the end of the list the open
+	// bound is simply the list length.
 	lo := from
 	step := 1
 	hi := from + step
 	for hi < n && p[hi].QID < id {
 		lo = hi
+		if step > (math.MaxInt-from)/2 {
+			hi = n
+			break
+		}
 		step <<= 1
 		hi = from + step
 	}
@@ -78,6 +95,46 @@ func (l *PostingList) Seek(from int, id uint32) int {
 	})
 }
 
+// Layout selects how a built index stores its posting lists.
+type Layout int
+
+const (
+	// LayoutFlat (the default) packs every posting into one contiguous
+	// backing array with per-term spans, addressed through a sorted term
+	// table — cache-friendly and allocation-light, but frozen at build
+	// time.
+	LayoutFlat Layout = iota
+	// LayoutLegacy keeps one separately allocated, growable posting
+	// slice per term behind a term map: the pre-flat representation.
+	// Segments (which must grow) always use it; frozen builds accept it
+	// as the ablation control for the hot-path benchmarks.
+	LayoutLegacy
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutFlat:
+		return "flat"
+	case LayoutLegacy:
+		return "legacy"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseLayout resolves a layout name ("flat", "legacy"; "" means flat).
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "flat":
+		return LayoutFlat, nil
+	case "legacy":
+		return LayoutLegacy, nil
+	default:
+		return 0, fmt.Errorf("index: unknown layout %q", s)
+	}
+}
+
 // Index is the structural part of the query index. Dynamic state
 // (thresholds S_k(q), ratio maxima) belongs to the algorithms. The
 // structure is immutable after Build except for two narrowly scoped
@@ -85,9 +142,24 @@ func (l *PostingList) Seek(from int, id uint32) int {
 // marks a removed query so the match loops stop scoring it while its
 // postings linger until the next generation build sweeps them), and
 // incremental appends through the Segment wrapper (delta generations
-// only).
+// only; always LayoutLegacy).
 type Index struct {
-	lists map[textproc.TermID]*PostingList
+	flat bool
+	// post is the flat layout's shared posting backing store; every
+	// list's P is a span of it.
+	post []Posting
+
+	// Term table, indexed by slot: termKeys[s] == byslot[s].Term. Flat
+	// indexes keep it sorted by term and additionally carry slotDense,
+	// a direct TermID-indexed table (slot+1; 0 = absent) covering every
+	// indexed term, so the per-document-term list lookup is one
+	// unhashed array load — a term past the table's end is simply not
+	// indexed; mapped ones assign slots in first-appearance order and
+	// look terms up in lists.
+	termKeys  []textproc.TermID
+	slotDense []uint32
+	byslot    []*PostingList
+	lists     map[textproc.TermID]*PostingList // mapped layouts only
 
 	// Query arenas, indexed by query ID.
 	offsets []uint32          // len = numQueries+1; query q owns terms[offsets[q]:offsets[q+1]]
@@ -105,11 +177,17 @@ type Index struct {
 // MaxK bounds per-query k; it exists only to keep the arena compact.
 const MaxK = math.MaxUint16
 
-// Build constructs the index. Queries are identified by position:
-// query i has ID i. Each vector must be sorted, validated and
-// non-empty, and 1 ≤ ks[i] ≤ MaxK; violations return an error naming
-// the query.
+// Build constructs the index in the default flat layout. Queries are
+// identified by position: query i has ID i. Each vector must be sorted,
+// validated and non-empty, and 1 ≤ ks[i] ≤ MaxK; violations return an
+// error naming the query.
 func Build(vecs []textproc.Vector, ks []int) (*Index, error) {
+	return BuildLayout(vecs, ks, LayoutFlat)
+}
+
+// BuildLayout constructs the index in the requested posting layout.
+// See Build for the input contract.
+func BuildLayout(vecs []textproc.Vector, ks []int, layout Layout) (*Index, error) {
 	if len(vecs) != len(ks) {
 		return nil, fmt.Errorf("index: %d vectors but %d k values", len(vecs), len(ks))
 	}
@@ -117,18 +195,14 @@ func Build(vecs []textproc.Vector, ks []int) (*Index, error) {
 		return nil, fmt.Errorf("index: %d queries exceed ID space", len(vecs))
 	}
 	ix := &Index{
-		lists:   make(map[textproc.TermID]*PostingList),
+		flat:    layout == LayoutFlat,
 		offsets: make([]uint32, 1, len(vecs)+1),
 		ks:      make([]uint16, len(vecs)),
 	}
+	// Validation pass; it also counts per-term postings so the flat
+	// backing store can be laid out before any posting is written.
 	var total int
-	for _, v := range vecs {
-		total += len(v)
-	}
-	ix.terms = make([]textproc.TermID, 0, total)
-	ix.weights = make([]float64, 0, total)
-	ix.refs = make([]Ref, 0, total)
-
+	counts := make(map[textproc.TermID]uint32)
 	for q, v := range vecs {
 		if err := v.Validate(); err != nil {
 			return nil, fmt.Errorf("index: query %d: %w", q, err)
@@ -140,40 +214,134 @@ func Build(vecs []textproc.Vector, ks []int) (*Index, error) {
 			return nil, fmt.Errorf("index: query %d has k=%d outside [1,%d]", q, ks[q], MaxK)
 		}
 		ix.ks[q] = uint16(ks[q])
+		total += len(v)
 		for _, tw := range v {
-			l := ix.lists[tw.Term]
-			if l == nil {
-				l = &PostingList{Term: tw.Term}
-				ix.lists[tw.Term] = l
+			counts[tw.Term]++
+		}
+	}
+	ix.terms = make([]textproc.TermID, 0, total)
+	ix.weights = make([]float64, 0, total)
+	ix.refs = make([]Ref, 0, total)
+
+	if !ix.flat {
+		ix.lists = make(map[textproc.TermID]*PostingList, len(counts))
+		for q, v := range vecs {
+			for _, tw := range v {
+				l := ix.mappedList(tw.Term)
+				// Queries arrive in ID order, so appends keep lists sorted.
+				l.P = append(l.P, Posting{QID: uint32(q), W: tw.Weight})
+				ix.terms = append(ix.terms, tw.Term)
+				ix.weights = append(ix.weights, tw.Weight)
+				ix.refs = append(ix.refs, Ref{Slot: l.Slot, Pos: uint32(len(l.P) - 1)})
 			}
-			// Queries arrive in ID order, so appends keep lists sorted.
-			l.P = append(l.P, Posting{QID: uint32(q), W: tw.Weight})
+			ix.offsets = append(ix.offsets, uint32(len(ix.terms)))
+		}
+		return ix, nil
+	}
+
+	// Flat layout: sorted term table, prefix-summed spans over one
+	// contiguous posting array, then a fill pass with per-term cursors.
+	ix.termKeys = make([]textproc.TermID, 0, len(counts))
+	for t := range counts {
+		ix.termKeys = append(ix.termKeys, t)
+	}
+	slices.Sort(ix.termKeys)
+	if n := len(ix.termKeys); n > 0 {
+		ix.slotDense = make([]uint32, int(ix.termKeys[n-1])+1)
+		for s, t := range ix.termKeys {
+			ix.slotDense[t] = uint32(s) + 1
+		}
+	}
+	ix.post = make([]Posting, total)
+	views := make([]PostingList, len(ix.termKeys))
+	ix.byslot = make([]*PostingList, len(ix.termKeys))
+	next := make([]uint32, len(ix.termKeys))
+	start := uint32(0)
+	for s, t := range ix.termKeys {
+		n := counts[t]
+		views[s] = PostingList{Term: t, Slot: uint32(s), P: ix.post[start : start : start+n]}
+		ix.byslot[s] = &views[s]
+		next[s] = start
+		start += n
+	}
+	for q, v := range vecs {
+		for _, tw := range v {
+			s, _ := slices.BinarySearch(ix.termKeys, tw.Term)
+			l := ix.byslot[s]
+			ix.post[next[s]] = Posting{QID: uint32(q), W: tw.Weight}
+			l.P = l.P[:len(l.P)+1]
 			ix.terms = append(ix.terms, tw.Term)
 			ix.weights = append(ix.weights, tw.Weight)
-			ix.refs = append(ix.refs, Ref{Term: tw.Term, Pos: uint32(len(l.P) - 1)})
+			ix.refs = append(ix.refs, Ref{Slot: uint32(s), Pos: uint32(len(l.P) - 1)})
+			next[s]++
 		}
 		ix.offsets = append(ix.offsets, uint32(len(ix.terms)))
 	}
 	return ix, nil
 }
 
+// mappedList returns (creating on demand) the mapped-layout list for t,
+// assigning slots in first-appearance order.
+func (ix *Index) mappedList(t textproc.TermID) *PostingList {
+	l := ix.lists[t]
+	if l == nil {
+		l = &PostingList{Term: t, Slot: uint32(len(ix.byslot))}
+		ix.lists[t] = l
+		ix.byslot = append(ix.byslot, l)
+		ix.termKeys = append(ix.termKeys, t)
+	}
+	return l
+}
+
+// Flat reports whether the index uses the contiguous posting layout.
+func (ix *Index) Flat() bool { return ix.flat }
+
 // NumQueries returns the number of indexed queries.
 func (ix *Index) NumQueries() int { return len(ix.ks) }
 
 // NumLists returns the number of posting lists (distinct terms).
-func (ix *Index) NumLists() int { return len(ix.lists) }
+func (ix *Index) NumLists() int { return len(ix.byslot) }
 
 // NumPostings returns the total posting count.
 func (ix *Index) NumPostings() int { return len(ix.terms) }
 
 // List returns the posting list for a term, or nil when no query uses
 // the term.
-func (ix *Index) List(t textproc.TermID) *PostingList { return ix.lists[t] }
+func (ix *Index) List(t textproc.TermID) *PostingList {
+	if ix.flat {
+		if int(t) < len(ix.slotDense) {
+			if s := ix.slotDense[t]; s != 0 {
+				return ix.byslot[s-1]
+			}
+		}
+		return nil
+	}
+	return ix.lists[t]
+}
 
-// Lists calls fn for every posting list. Iteration order is
-// unspecified.
+// Slot returns the term-table slot of t, or -1 when no query uses the
+// term. ListAt(Slot(t)) == List(t).
+func (ix *Index) Slot(t textproc.TermID) int {
+	if ix.flat {
+		if int(t) < len(ix.slotDense) {
+			if s := ix.slotDense[t]; s != 0 {
+				return int(s) - 1
+			}
+		}
+		return -1
+	}
+	if l := ix.lists[t]; l != nil {
+		return int(l.Slot)
+	}
+	return -1
+}
+
+// ListAt returns the posting list at term-table slot s.
+func (ix *Index) ListAt(s int) *PostingList { return ix.byslot[s] }
+
+// Lists calls fn for every posting list in slot order.
 func (ix *Index) Lists(fn func(*PostingList)) {
-	for _, l := range ix.lists {
+	for _, l := range ix.byslot {
 		fn(l)
 	}
 }
@@ -239,7 +407,7 @@ type Stats struct {
 // Stats computes index statistics.
 func (ix *Index) Stats() Stats {
 	st := Stats{Queries: ix.NumQueries(), Lists: ix.NumLists(), Postings: ix.NumPostings()}
-	for _, l := range ix.lists {
+	for _, l := range ix.byslot {
 		if l.Len() > st.MaxList {
 			st.MaxList = l.Len()
 		}

@@ -94,15 +94,16 @@ func TestQueryTermsAndRefs(t *testing.T) {
 			t.Fatalf("query %d: %d refs for %d terms", q, len(refs), len(qt))
 		}
 		for i, r := range refs {
-			p := ix.List(r.Term).P[r.Pos]
+			l := ix.ListAt(int(r.Slot))
+			p := l.P[r.Pos]
 			if p.QID != q {
 				t.Fatalf("query %d ref %d points at QID %d", q, i, p.QID)
 			}
 			if p.W != qw[i] {
 				t.Fatalf("query %d ref %d weight %v != %v", q, i, p.W, qw[i])
 			}
-			if r.Term != qt[i] {
-				t.Fatalf("query %d ref %d term %v != %v", q, i, r.Term, qt[i])
+			if l.Term != qt[i] {
+				t.Fatalf("query %d ref %d term %v != %v", q, i, l.Term, qt[i])
 			}
 		}
 	}

@@ -1,0 +1,169 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func randomQuerySet(seed int64, nq, nTerms int) ([]textproc.Vector, []int) {
+	r := rand.New(rand.NewSource(seed))
+	vecs := make([]textproc.Vector, nq)
+	ks := make([]int, nq)
+	for i := range vecs {
+		m := map[textproc.TermID]float64{}
+		for len(m) < 1+r.Intn(5) {
+			m[textproc.TermID(r.Intn(nTerms))] = r.Float64() + 0.05
+		}
+		vecs[i] = textproc.FromCounts(m)
+		ks[i] = 1 + r.Intn(10)
+	}
+	return vecs, ks
+}
+
+// TestLayoutEquivalence: the flat and legacy layouts must present the
+// exact same logical index — same lists with identical postings, same
+// query arenas, same slot↔list consistency — so algorithms built on
+// either answer identically.
+func TestLayoutEquivalence(t *testing.T) {
+	vecs, ks := randomQuerySet(7, 500, 120)
+	flat, err := BuildLayout(vecs, ks, LayoutFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := BuildLayout(vecs, ks, LayoutLegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Flat() || legacy.Flat() {
+		t.Fatalf("Flat() flags: flat=%v legacy=%v", flat.Flat(), legacy.Flat())
+	}
+	if flat.NumQueries() != legacy.NumQueries() || flat.NumLists() != legacy.NumLists() ||
+		flat.NumPostings() != legacy.NumPostings() {
+		t.Fatalf("shape mismatch: %+v vs %+v", flat.Stats(), legacy.Stats())
+	}
+	// Per-term lists identical, and slot plumbing self-consistent in
+	// both layouts.
+	for _, ix := range []*Index{flat, legacy} {
+		for s := 0; s < ix.NumLists(); s++ {
+			l := ix.ListAt(s)
+			if int(l.Slot) != s {
+				t.Fatalf("list at slot %d carries slot %d", s, l.Slot)
+			}
+			if ix.Slot(l.Term) != s || ix.List(l.Term) != l {
+				t.Fatalf("slot lookup for term %d inconsistent", l.Term)
+			}
+		}
+	}
+	flat.Lists(func(fl *PostingList) {
+		ll := legacy.List(fl.Term)
+		if ll == nil || ll.Len() != fl.Len() {
+			t.Fatalf("term %d: legacy list %+v vs flat %d postings", fl.Term, ll, fl.Len())
+		}
+		for i := range fl.P {
+			if fl.P[i] != ll.P[i] {
+				t.Fatalf("term %d posting %d: %+v vs %+v", fl.Term, i, fl.P[i], ll.P[i])
+			}
+		}
+	})
+	// Query arenas and ref resolution identical.
+	for q := uint32(0); q < uint32(len(vecs)); q++ {
+		ft, fw := flat.QueryTerms(q)
+		lt, lw := legacy.QueryTerms(q)
+		for i := range ft {
+			if ft[i] != lt[i] || fw[i] != lw[i] {
+				t.Fatalf("query %d term %d differs across layouts", q, i)
+			}
+		}
+		fr, lr := flat.Refs(q), legacy.Refs(q)
+		for i := range fr {
+			fp := flat.ListAt(int(fr[i].Slot)).P[fr[i].Pos]
+			lp := legacy.ListAt(int(lr[i].Slot)).P[lr[i].Pos]
+			if fp != lp || fp.QID != q {
+				t.Fatalf("query %d ref %d: %+v vs %+v", q, i, fp, lp)
+			}
+		}
+	}
+	// Cost model is layout-independent.
+	fc, lc := flat.QueryCosts(), legacy.QueryCosts()
+	ec := EstimateCosts(vecs)
+	for q := range fc {
+		if fc[q] != lc[q] || fc[q] != ec[q] {
+			t.Fatalf("query %d costs: flat %v legacy %v estimated %v", q, fc[q], lc[q], ec[q])
+		}
+	}
+}
+
+// TestFlatBackingIsContiguous: the flat layout's promise — every list
+// is a span of one shared array, in term-table order with no gaps.
+func TestFlatBackingIsContiguous(t *testing.T) {
+	vecs, ks := randomQuerySet(11, 200, 50)
+	ix, err := BuildLayout(vecs, ks, LayoutFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.post) != ix.NumPostings() {
+		t.Fatalf("backing store holds %d postings, index reports %d", len(ix.post), ix.NumPostings())
+	}
+	off := 0
+	prev := textproc.TermID(0)
+	for s := 0; s < ix.NumLists(); s++ {
+		l := ix.ListAt(s)
+		if s > 0 && l.Term <= prev {
+			t.Fatalf("term table not sorted at slot %d", s)
+		}
+		prev = l.Term
+		if len(l.P) == 0 {
+			t.Fatalf("slot %d has an empty list", s)
+		}
+		if &l.P[0] != &ix.post[off] {
+			t.Fatalf("slot %d does not start at backing offset %d", s, off)
+		}
+		off += len(l.P)
+	}
+	if off != len(ix.post) {
+		t.Fatalf("spans cover %d of %d postings", off, len(ix.post))
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Layout
+	}{{"", LayoutFlat}, {"flat", LayoutFlat}, {"legacy", LayoutLegacy}} {
+		got, err := ParseLayout(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseLayout(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseLayout("bogus"); err == nil {
+		t.Fatal("bogus layout accepted")
+	}
+	if LayoutFlat.String() != "flat" || LayoutLegacy.String() != "legacy" {
+		t.Fatal("layout names changed")
+	}
+}
+
+// TestSeekNearOverflow exercises the gallop clamp with from positions
+// where naive doubling of from+step would overflow quickly on a
+// hypothetical huge list; on a real list it must simply clamp to the
+// end without panicking or overshooting.
+func TestSeekNearOverflow(t *testing.T) {
+	l := &PostingList{}
+	for i := 0; i < 1000; i++ {
+		l.P = append(l.P, Posting{QID: uint32(i * 3)})
+	}
+	for from := 0; from < 1000; from += 37 {
+		for _, target := range []uint32{0, 1, 1500, 2997, 2998, 1 << 31, ^uint32(0)} {
+			got := l.Seek(from, target)
+			want := from
+			for want < 1000 && l.P[want].QID < target {
+				want++
+			}
+			if got != want {
+				t.Fatalf("Seek(%d, %d) = %d, want %d", from, target, got, want)
+			}
+		}
+	}
+}

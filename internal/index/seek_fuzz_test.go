@@ -1,0 +1,45 @@
+package index
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSeek drives the galloping search with fuzzer-shaped lists and
+// targets and checks it against the linear-scan oracle. The list is
+// decoded from raw bytes as strictly positive QID gaps, so any input
+// yields a valid (sorted, strictly increasing) posting list.
+func FuzzSeek(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(0), uint32(9))
+	f.Add([]byte{255, 255, 255, 255}, uint16(2), uint32(1<<31))
+	f.Add([]byte{}, uint16(0), uint32(0))
+	f.Add([]byte{1}, uint16(9), uint32(3))
+	f.Fuzz(func(t *testing.T, gaps []byte, from16 uint16, target uint32) {
+		if len(gaps) > 1<<12 {
+			gaps = gaps[:1<<12]
+		}
+		l := &PostingList{}
+		id := uint32(0)
+		for i := 0; i+1 < len(gaps); i += 2 {
+			gap := binary.LittleEndian.Uint16(gaps[i:])
+			id += uint32(gap) + 1
+			l.P = append(l.P, Posting{QID: id})
+		}
+		n := l.Len()
+		from := int(from16)
+		if n > 0 {
+			from %= n + 2 // include from == n and from > n
+		}
+		got := l.Seek(from, target)
+		want := from
+		if want > n {
+			want = n
+		}
+		for want < n && l.P[want].QID < target {
+			want++
+		}
+		if got != want {
+			t.Fatalf("Seek(%d, %d) over %d postings = %d, want %d", from, target, n, got, want)
+		}
+	})
+}

@@ -22,9 +22,12 @@ type Segment struct {
 	*Index
 }
 
-// NewSegment returns an empty appendable segment.
+// NewSegment returns an empty appendable segment. Segments always use
+// the mapped (legacy) posting layout: per-term growable slices are the
+// point of an appendable generation, while the flat layout is frozen at
+// build time.
 func NewSegment() *Segment {
-	ix, err := Build(nil, nil)
+	ix, err := BuildLayout(nil, nil, LayoutLegacy)
 	if err != nil { // cannot happen for the empty query set
 		panic(fmt.Sprintf("index: empty build failed: %v", err))
 	}
@@ -51,17 +54,13 @@ func (s *Segment) Append(v textproc.Vector, k int) (uint32, error) {
 	q := uint32(len(s.ks))
 	s.ks = append(s.ks, uint16(k))
 	for _, tw := range v {
-		l := s.lists[tw.Term]
-		if l == nil {
-			l = &PostingList{Term: tw.Term}
-			s.lists[tw.Term] = l
-		}
+		l := s.mappedList(tw.Term)
 		// q is the largest ID ever assigned, so the tail append keeps
 		// the list ID-ordered.
 		l.P = append(l.P, Posting{QID: q, W: tw.Weight})
 		s.terms = append(s.terms, tw.Term)
 		s.weights = append(s.weights, tw.Weight)
-		s.refs = append(s.refs, Ref{Term: tw.Term, Pos: uint32(len(l.P) - 1)})
+		s.refs = append(s.refs, Ref{Slot: l.Slot, Pos: uint32(len(l.P) - 1)})
 	}
 	s.offsets = append(s.offsets, uint32(len(s.terms)))
 	if s.dead != nil {

@@ -60,10 +60,15 @@ func TestSegmentAppendMatchesBuild(t *testing.T) {
 				t.Fatalf("query %d term %d differs", q, i)
 			}
 		}
+		// Slot numbering differs between layouts (sorted term table vs
+		// first-appearance order), so refs are compared by what they
+		// resolve to, not by raw slot values.
 		gr, wr := s.Refs(q), want.Refs(q)
 		for i := range wr {
-			if gr[i] != wr[i] {
-				t.Fatalf("query %d ref %d: %+v vs %+v", q, i, gr[i], wr[i])
+			gl, wl := s.ListAt(int(gr[i].Slot)), want.ListAt(int(wr[i].Slot))
+			if gl.Term != wl.Term || gl.P[gr[i].Pos] != wl.P[wr[i].Pos] {
+				t.Fatalf("query %d ref %d resolves to (%d,%+v) vs (%d,%+v)",
+					q, i, gl.Term, gl.P[gr[i].Pos], wl.Term, wl.P[wr[i].Pos])
 			}
 		}
 	}

@@ -99,6 +99,29 @@ func (bm *BlockMax) recompute(b int) {
 	bm.stale[b] = 0
 }
 
+// Append grows the array by one value. The append-only delta segment
+// uses this to keep skip data in lockstep with posting appends. A new
+// value can only raise (never lower) its block's maximum, so the tail
+// summary stays an exact-or-over bound without touching staleness.
+func (bm *BlockMax) Append(v float64) {
+	assertNonNegative(v)
+	pos := len(bm.vals)
+	bm.vals = append(bm.vals, v)
+	b := pos / bm.b
+	if b == len(bm.block) {
+		bm.block = append(bm.block, v)
+		bm.stale = append(bm.stale, 0)
+		return
+	}
+	if v >= bm.block[b] {
+		bm.block[b] = v
+		bm.stale[b] = 0
+	}
+}
+
+// NumBlocks returns how many (possibly partial) blocks cover the array.
+func (bm *BlockMax) NumBlocks() int { return len(bm.block) }
+
 // Tighten recomputes every block summary exactly. The monitor calls it
 // after rebase sweeps, when every ratio changed at once.
 func (bm *BlockMax) Tighten() {

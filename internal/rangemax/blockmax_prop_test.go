@@ -1,0 +1,122 @@
+package rangemax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBlockMaxStalenessProperty drives BlockMax with arbitrary
+// interleavings of raising updates, lowering updates, appends, and
+// Tighten calls, checking after every operation that Max(lo,hi) never
+// drops below the true maximum of the shadow array — including ranges
+// that end in a partial edge block, and runs of lowering updates long
+// enough to exhaust StaleBudget several times over.
+func TestBlockMaxStalenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Deliberately awkward sizes: n is rarely a multiple of b, so
+		// the final block is partial; tiny budgets force recomputes.
+		b := 1 + r.Intn(7)
+		n := 1 + r.Intn(100)
+		vals := randVals(r, n)
+		bm := NewBlockMax(vals, b)
+		bm.StaleBudget = uint16(1 + r.Intn(4))
+		ref := refArray(append([]float64(nil), vals...))
+		for op := 0; op < 400; op++ {
+			switch r.Intn(10) {
+			case 0, 1: // raise
+				pos := r.Intn(len(ref))
+				v := ref[pos] + r.Float64()*50
+				bm.Update(pos, v)
+				ref[pos] = v
+			case 2: // append
+				v := r.Float64() * 100
+				if r.Intn(8) == 0 {
+					v = math.Inf(1)
+				}
+				bm.Append(v)
+				ref = append(ref, v)
+			case 3: // tighten: summaries become exact, stay exact-or-over
+				bm.Tighten()
+			default: // lower — the staleness-producing path
+				pos := r.Intn(len(ref))
+				v := ref[pos] * r.Float64()
+				bm.Update(pos, v)
+				ref[pos] = v
+			}
+			if bm.Len() != len(ref) {
+				t.Logf("seed %d: Len %d vs shadow %d", seed, bm.Len(), len(ref))
+				return false
+			}
+			lo := r.Intn(len(ref) + 1)
+			hi := lo + r.Intn(len(ref)+1-lo)
+			got, want := bm.Max(lo, hi), ref.max(lo, hi)
+			if got < want-1e-12 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Logf("seed %d op %d: Max(%d,%d) = %v below true max %v (b=%d budget=%d)",
+					seed, op, lo, hi, got, want, b, bm.StaleBudget)
+				return false
+			}
+			// Per-block summaries are themselves upper bounds; after a
+			// Tighten with no intervening lowers they are exact — checked
+			// opportunistically on the last block, which is often partial.
+			nb := bm.NumBlocks()
+			blo := (nb - 1) * bm.BlockSize()
+			if s := bm.Summary(nb - 1); s < ref.max(blo, len(ref))-1e-12 {
+				t.Logf("seed %d: tail summary %v below true %v", seed, s, ref.max(blo, len(ref)))
+				return false
+			}
+		}
+		bm.Tighten()
+		for trial := 0; trial < 30; trial++ {
+			lo := r.Intn(len(ref) + 1)
+			hi := lo + r.Intn(len(ref)+1-lo)
+			got, want := bm.Max(lo, hi), ref.max(lo, hi)
+			// After Tighten every summary is exact and edge blocks are
+			// scanned exactly, so Max is the true max.
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Logf("seed %d post-Tighten: Max(%d,%d) = %v, want %v", seed, lo, hi, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockMaxAppendGrowth pins down the block-boundary mechanics of
+// Append: growing into a fresh block allocates exactly one summary, and
+// appends into a partial block only ever raise its summary.
+func TestBlockMaxAppendGrowth(t *testing.T) {
+	bm := NewBlockMax(nil, 4)
+	if bm.Len() != 0 || bm.NumBlocks() != 0 {
+		t.Fatalf("empty BlockMax: len=%d blocks=%d", bm.Len(), bm.NumBlocks())
+	}
+	for i := 0; i < 10; i++ {
+		bm.Append(float64(i))
+		wantBlocks := i/4 + 1
+		if bm.Len() != i+1 || bm.NumBlocks() != wantBlocks {
+			t.Fatalf("after %d appends: len=%d blocks=%d (want %d)", i+1, bm.Len(), bm.NumBlocks(), wantBlocks)
+		}
+		if got := bm.Summary(bm.NumBlocks() - 1); got != float64(i) {
+			t.Fatalf("tail summary %v after appending %d", got, i)
+		}
+	}
+	if got := bm.Max(0, 10); got != 9 {
+		t.Fatalf("Max over appended array = %v", got)
+	}
+	// A lower value appended into a partial block must not lower the
+	// summary.
+	bm.Append(0.5)
+	if got := bm.Summary(2); got != 9 {
+		t.Fatalf("summary lowered by append: %v", got)
+	}
+	// An Inf append is visible immediately.
+	bm.Append(math.Inf(1))
+	if got := bm.Max(0, bm.Len()); !math.IsInf(got, 1) {
+		t.Fatalf("Inf append not visible: %v", got)
+	}
+}

@@ -25,6 +25,13 @@ func NewSegTree(vals []float64) *SegTree {
 // Len returns the array length.
 func (t *SegTree) Len() int { return t.n }
 
+// segTreeScanMax is the range width below which Max scans the leaves
+// directly: a handful of contiguous float64 loads beats a tree descent
+// (two branchy paths of ~log n levels each) both in instructions and
+// in locality. The zone walks of the ID-ordered algorithms extend a
+// few postings at a time, so this is their common case.
+const segTreeScanMax = 16
+
 // Max returns the exact maximum over [lo, hi), clamped; empty → 0.
 func (t *SegTree) Max(lo, hi int) float64 {
 	lo, hi, ok := clamp(lo, hi, t.n)
@@ -32,6 +39,14 @@ func (t *SegTree) Max(lo, hi int) float64 {
 		return 0
 	}
 	m := 0.0
+	if hi-lo <= segTreeScanMax {
+		for _, v := range t.tree[t.n+lo : t.n+hi] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
 	for lo, hi = lo+t.n, hi+t.n; lo < hi; lo, hi = lo>>1, hi>>1 {
 		if lo&1 == 1 {
 			m = maxf(m, t.tree[lo])
@@ -45,13 +60,19 @@ func (t *SegTree) Max(lo, hi int) float64 {
 	return m
 }
 
-// Update sets position pos to v and repairs the path to the root.
+// Update sets position pos to v and repairs the path to the root,
+// stopping at the first ancestor whose maximum is unaffected (the
+// common case when one of many postings moves below its list's max).
 func (t *SegTree) Update(pos int, v float64) {
 	assertNonNegative(v)
 	i := pos + t.n
 	t.tree[i] = v
 	for i >>= 1; i >= 1; i >>= 1 {
-		t.tree[i] = maxf(t.tree[2*i], t.tree[2*i+1])
+		m := maxf(t.tree[2*i], t.tree[2*i+1])
+		if t.tree[i] == m {
+			return
+		}
+		t.tree[i] = m
 	}
 }
 

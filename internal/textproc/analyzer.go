@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"unicode"
 )
 
 // Analyzer is the single seam every layer of the system analyzes text
@@ -37,20 +38,40 @@ type CharFilter func(string) string
 // slice.
 type TokenFilter func([]string) []string
 
+// AppendAnalyzer is optionally implemented by analyzers that can
+// tokenize into a caller-provided buffer. The engine's hot publish
+// path detects it once at construction and reuses one token slice per
+// publish; analyzers without it fall back to Analyze plus a copy.
+type AppendAnalyzer interface {
+	// AnalyzeAppend appends the token stream of text to dst and
+	// returns the extended slice. The result must equal Analyze(text)
+	// element for element.
+	AnalyzeAppend(dst []string, text string) []string
+}
+
 // Chain is the standard Analyzer shape: char filters, then a
 // tokenizer, then token filters. All registered built-ins are Chains;
 // custom analyzers may implement Analyzer directly instead.
 type Chain struct {
-	name    string
-	chars   []CharFilter
-	split   func(string) []string
-	filters []TokenFilter
+	name        string
+	chars       []CharFilter
+	split       func(string) []string
+	splitAppend func(dst []string, text string) []string
+	filters     []TokenFilter
 }
 
 // NewChain builds an analyzer from the composable parts. name must be
 // the canonical spec that reconstructs the chain through the registry.
 func NewChain(name string, chars []CharFilter, split func(string) []string, filters []TokenFilter) *Chain {
 	return &Chain{name: name, chars: chars, split: split, filters: filters}
+}
+
+// WithSplitAppend attaches an append-style tokenizer that must produce
+// the same token stream as split, enabling AnalyzeAppend to reuse the
+// caller's buffer. Returns c for chaining at registration sites.
+func (c *Chain) WithSplitAppend(f func(dst []string, text string) []string) *Chain {
+	c.splitAppend = f
+	return c
 }
 
 // Name implements Analyzer.
@@ -67,6 +88,30 @@ func (c *Chain) Analyze(text string) []string {
 		tokens = f(tokens)
 	}
 	return tokens
+}
+
+// AnalyzeAppend implements AppendAnalyzer, tokenizing into dst when an
+// append-style splitter was attached (falling back to the allocating
+// splitter otherwise). Token filters see only the newly appended tail,
+// so they cannot disturb tokens already in dst.
+func (c *Chain) AnalyzeAppend(dst []string, text string) []string {
+	for _, f := range c.chars {
+		text = f(text)
+	}
+	n := len(dst)
+	if c.splitAppend != nil {
+		dst = c.splitAppend(dst, text)
+	} else {
+		dst = append(dst, c.split(text)...)
+	}
+	if len(c.filters) == 0 {
+		return dst
+	}
+	tail := dst[n:]
+	for _, f := range c.filters {
+		tail = f(tail)
+	}
+	return append(dst[:n], tail...)
 }
 
 // Spec is a parsed analyzer specification: a registered pipeline name
@@ -254,7 +299,7 @@ func init() {
 			return nil, err
 		}
 		return NewChain(Spec{Name: "standard", Params: params}.String(),
-			nil, tok.Tokenize, nil), nil
+			nil, tok.Tokenize, nil).WithSplitAppend(tok.AppendTokens), nil
 	})
 	RegisterAnalyzer("english", func(params map[string]string) (Analyzer, error) {
 		tok, err := tokenizerParams(params, DefaultStopwords())
@@ -262,7 +307,7 @@ func init() {
 			return nil, err
 		}
 		return NewChain(Spec{Name: "english", Params: params}.String(),
-			nil, tok.Tokenize, []TokenFilter{StemAll}), nil
+			nil, tok.Tokenize, []TokenFilter{StemAll}).WithSplitAppend(tok.AppendTokens), nil
 	})
 	// unicode-fold is the language-neutral pipeline: accents and
 	// combining marks fold away before tokenization (NFC "café" and
@@ -275,7 +320,7 @@ func init() {
 			return nil, err
 		}
 		return NewChain(Spec{Name: "unicode-fold", Params: params}.String(),
-			[]CharFilter{Fold}, tok.Tokenize, nil), nil
+			[]CharFilter{Fold}, tok.Tokenize, nil).WithSplitAppend(tok.AppendTokens), nil
 	})
 	// whitespace passes pre-tokenized or trace input through verbatim:
 	// tokens are the whitespace-separated fields, with no case
@@ -284,6 +329,27 @@ func init() {
 		if len(params) > 0 {
 			return nil, fmt.Errorf("textproc: whitespace analyzer takes no parameters")
 		}
-		return NewChain("whitespace", nil, strings.Fields, nil), nil
+		return NewChain("whitespace", nil, strings.Fields, nil).WithSplitAppend(appendFields), nil
 	})
+}
+
+// appendFields is strings.Fields into a caller-provided buffer.
+func appendFields(dst []string, s string) []string {
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
 }

@@ -1,6 +1,9 @@
 package textproc
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // WeightScheme selects the term-weighting function used when building
 // document and query vectors.
@@ -85,4 +88,47 @@ func (w *Weighter) VectorFromTokens(tokens []string) Vector {
 func (w *Weighter) DocumentVector(tokens []string) Vector {
 	w.Vocab.ObserveDoc(tokens)
 	return w.VectorFromTokens(tokens)
+}
+
+// VecScratch holds the reusable state of DocumentVectorInto. The zero
+// value is ready to use; one scratch amortizes all per-document
+// allocations of the weighting path across publishes.
+//
+// It implements sort.Interface over its vector so the sort runs
+// through a pre-existing pointer — sort.Slice would allocate its
+// closure and reflect-based swapper on every call.
+type VecScratch struct {
+	counts map[TermID]float64
+	vec    Vector
+}
+
+func (s *VecScratch) Len() int           { return len(s.vec) }
+func (s *VecScratch) Less(i, j int) bool { return s.vec[i].Term < s.vec[j].Term }
+func (s *VecScratch) Swap(i, j int)      { s.vec[i], s.vec[j] = s.vec[j], s.vec[i] }
+
+// DocumentVectorInto is DocumentVector building into s instead of
+// fresh heap: the returned vector aliases s.vec and is valid only
+// until the next call with the same scratch. Weights, ordering and
+// normalization are bit-identical to DocumentVector — both paths
+// compute the same weight per term, sort by TermID, then normalize —
+// so swapping one for the other never changes results.
+func (w *Weighter) DocumentVectorInto(tokens []string, s *VecScratch) Vector {
+	if s.counts == nil {
+		s.counts = make(map[TermID]float64)
+	}
+	w.Vocab.ObserveDocCounts(tokens, s.counts)
+	v := s.vec[:0]
+	for t, tf := range s.counts {
+		if tf <= 0 {
+			continue
+		}
+		if wt := w.weight(t, tf); wt > 0 {
+			v = append(v, TermWeight{Term: t, Weight: wt})
+		}
+	}
+	s.vec = v
+	sort.Sort(s)
+	v = s.vec
+	v.Normalize()
+	return v
 }

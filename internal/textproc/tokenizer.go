@@ -3,6 +3,7 @@ package textproc
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenizer splits raw text into normalized tokens. The pipeline is the
@@ -61,25 +62,48 @@ func NewTokenizer(opts ...TokenizerOption) *Tokenizer {
 
 // Tokenize splits text into normalized tokens, applying the filters.
 func (t *Tokenizer) Tokenize(text string) []string {
-	fields := strings.FieldsFunc(text, func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
-	})
-	out := fields[:0:0]
-	for _, f := range fields {
-		tok := strings.ToLower(f)
-		n := len([]rune(tok))
-		if n < t.minLen || n > t.maxLen {
+	return t.AppendTokens(nil, text)
+}
+
+// AppendTokens tokenizes text into dst and returns the extended slice —
+// the allocation-free sibling of Tokenize. Word boundaries are scanned
+// in place (no intermediate fields slice), so with enough capacity in
+// dst and already-lowercase input the call performs zero allocations;
+// tokens needing case folding still pay their strings.ToLower copy.
+func (t *Tokenizer) AppendTokens(dst []string, text string) []string {
+	start := -1
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
 			continue
 		}
-		if !t.keepDigit && isNumeric(tok) {
-			continue
+		if start >= 0 {
+			dst = t.appendToken(dst, text[start:i])
+			start = -1
 		}
-		if _, stop := t.stopwords[tok]; stop {
-			continue
-		}
-		out = append(out, tok)
 	}
-	return out
+	if start >= 0 {
+		dst = t.appendToken(dst, text[start:])
+	}
+	return dst
+}
+
+// appendToken normalizes and filters one raw field, appending survivors.
+func (t *Tokenizer) appendToken(dst []string, f string) []string {
+	tok := strings.ToLower(f)
+	n := utf8.RuneCountInString(tok)
+	if n < t.minLen || n > t.maxLen {
+		return dst
+	}
+	if !t.keepDigit && isNumeric(tok) {
+		return dst
+	}
+	if _, stop := t.stopwords[tok]; stop {
+		return dst
+	}
+	return append(dst, tok)
 }
 
 // Counts tokenizes text and returns per-token occurrence counts.

@@ -111,6 +111,32 @@ func (v *Vocabulary) ObserveDoc(terms []string) []TermID {
 	return ids
 }
 
+// ObserveDocCounts is the allocation-free fusion of ObserveDoc and
+// per-document token counting: it interns every token, bumps document
+// frequencies once per distinct term, and leaves counts holding the
+// per-term occurrence counts. counts is cleared first and doubles as
+// the distinct-term set (a term is new to this document exactly when
+// its count is still zero), so the call needs no scratch of its own.
+func (v *Vocabulary) ObserveDocCounts(tokens []string, counts map[TermID]float64) {
+	clear(counts)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, t := range tokens {
+		id, ok := v.ids[t]
+		if !ok {
+			id = TermID(len(v.terms))
+			v.ids[t] = id
+			v.terms = append(v.terms, t)
+			v.df = append(v.df, 0)
+		}
+		if counts[id] == 0 {
+			v.df[id]++
+		}
+		counts[id]++
+	}
+	v.docs++
+}
+
 // Dump exports the vocabulary's full state — term strings in ID
 // order, per-term document frequencies, and the observed document
 // count — as copies safe to retain across further mutation. It is the

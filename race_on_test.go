@@ -1,0 +1,7 @@
+//go:build race
+
+package ctk
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gates skip under it (its instrumentation allocates).
+const raceEnabled = true

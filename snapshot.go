@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/notify"
 	"repro/internal/snapshot"
 	"repro/internal/textproc"
@@ -75,12 +76,17 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	lay, err := index.ParseLayout(opts.IndexLayout)
+	if err != nil {
+		return nil, err
+	}
 	shape := core.Config{
 		Shards:           opts.Shards,
 		Parallelism:      opts.Parallelism,
 		Partition:        core.PartitionStrategy(opts.Partition),
 		Rebuild:          core.RebuildMode(opts.Rebuild),
 		RebuildThreshold: opts.RebuildThreshold,
+		IndexLayout:      lay,
 	}
 	if opts.Algorithm != "" {
 		alg, err := core.ParseAlgorithm(opts.Algorithm)
