@@ -29,12 +29,16 @@ race:
 # delta against a metrics-disabled build (the bars are <3% and 0).
 # The ablhotpath run emits BENCH_hotpath.json: flat vs legacy posting
 # layout, per algorithm and workload, parity-gated bit-identical.
+# The ablnotify run emits BENCH_notify.json: subscriber fleets on an
+# open-loop schedule — publish-path p99 stall vs fleet size (gated to
+# stay near the no-subscriber baseline) and drain-tier delivery p99.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ctkbench -exp ablchurn -scale quick -quiet -json BENCH_churn.json
 	$(GO) run ./cmd/ctkbench -exp ablwal -scale quick -quiet -json BENCH_wal.json
 	$(GO) run ./cmd/ctkbench -exp ablobs -scale quick -quiet -json BENCH_obs.json
 	$(GO) run ./cmd/ctkbench -exp ablhotpath -scale quick -quiet -json BENCH_hotpath.json
+	$(GO) run ./cmd/ctkbench -exp ablnotify -scale quick -quiet -json BENCH_notify.json
 
 # Compare this run's BENCH_*.json against the previous run's (CI drops
 # the last successful run's artifacts into BENCH_BASELINE_DIR). Fails

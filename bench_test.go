@@ -83,10 +83,30 @@ func BenchmarkBalance(b *testing.B) { runExperiment(b, "ablbalance") }
 // at intra-shard parallelism 1, 2 and 4.
 func BenchmarkParallelMatch(b *testing.B) { runExperiment(b, "ablpar") }
 
-// BenchmarkNotifyDelivery runs the push-notification ablation: the
-// identical timeline with the change-detection → broker → subscriber
-// pipeline live at increasing subscriber counts.
-func BenchmarkNotifyDelivery(b *testing.B) { runExperiment(b, "ablnotify") }
+// BenchmarkNotifyDelivery runs the subscriber-fleet fan-out harness at
+// quick scale: the identical open-loop timeline replayed against
+// growing fleets, reporting publish-path p99 (must stay flat) and the
+// drain tier's delivery p99 per fleet size.
+func BenchmarkNotifyDelivery(b *testing.B) {
+	sc := bench.QuickScale()
+	var last *bench.NotifyResult
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunNotify(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last == nil {
+		return
+	}
+	for _, c := range last.Cells {
+		name := strings.ReplaceAll(c.Series, "=", "")
+		b.ReportMetric(c.PubP99MS, "pubp99ms_"+name)
+		b.ReportMetric(c.DeliverP99MS, "delp99ms_"+name)
+	}
+	b.ReportMetric(last.StallRatio, "stallratio")
+}
 
 // BenchmarkChurn runs the query-churn ablation: sustained
 // add/remove-under-load with legacy synchronous generation rebuilds

@@ -49,6 +49,12 @@ const ablObsID = "ablobs"
 // bit-identical top-k parity gate.
 const ablHotpathID = "ablhotpath"
 
+// ablNotifyID is the fan-out experiment's registry key. Its harness
+// (bench.RunNotify) replays an open-loop stream against subscriber
+// fleets of increasing size and reports publish-path stall versus
+// drain-tier delivery latency.
+const ablNotifyID = "ablnotify"
+
 func main() {
 	var (
 		expID    = flag.String("exp", "", "experiment id (fig1a, fig1b, extk, extlambda, extqlen, ablub, ablshard, ablbatch, ablpar, ablnotify, ablbalance, ablchurn, ablwal, ablobs, ablhotpath) or 'all'")
@@ -73,6 +79,7 @@ func main() {
 		fmt.Printf("%-10s %s\n", ablWalID, bench.WALTitle)
 		fmt.Printf("%-10s %s\n", ablObsID, bench.ObsTitle)
 		fmt.Printf("%-10s %s\n", ablHotpathID, bench.HotpathTitle)
+		fmt.Printf("%-10s %s\n", ablNotifyID, bench.NotifyTitle)
 		return
 	}
 	if *expID == "" {
@@ -82,10 +89,10 @@ func main() {
 
 	var ids []string
 	if *expID == "all" {
-		ids = append(bench.IDs(sc), ablChurnID, ablWalID, ablObsID, ablHotpathID)
+		ids = append(bench.IDs(sc), ablChurnID, ablWalID, ablObsID, ablHotpathID, ablNotifyID)
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
-			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID && id != ablObsID && id != ablHotpathID {
+			if _, ok := exps[id]; !ok && id != ablChurnID && id != ablWalID && id != ablObsID && id != ablHotpathID && id != ablNotifyID {
 				fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
 			}
 			ids = append(ids, id)
@@ -137,6 +144,16 @@ func main() {
 			}
 			res.Render(os.Stdout)
 			report.Hotpath = res
+			continue
+		}
+		if id == ablNotifyID {
+			fmt.Fprintf(os.Stderr, "== running %s (subscriber fleets on an open-loop schedule)\n", id)
+			res, err := bench.RunNotify(sc, progress)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(os.Stdout)
+			report.Notify = res
 			continue
 		}
 		exp := exps[id]

@@ -98,6 +98,7 @@ func main() {
 		analyzer    = flag.String("analyzer", "", "analysis pipeline spec: standard (default) | english | unicode-fold | whitespace, with optional ?key=value params")
 		rebuild     = flag.String("rebuild", "", "generation rebuild mode: background (default) | sync")
 		rebuildThr  = flag.Int("rebuild-threshold", 0, "query churn before the next generation build (0 = default 1024)")
+		brokerSh    = flag.Int("broker-shards", 0, "notification broker shards, rounded up to a power of two (0 = scale with GOMAXPROCS)")
 		snapPath    = flag.String("snapshot", "", "legacy single-file state: restore on boot, save on graceful shutdown (no crash safety)")
 
 		dataDir   = flag.String("data-dir", "", "durable data directory: WAL + online snapshots; recovery on boot")
@@ -132,6 +133,7 @@ func main() {
 		Analyzer:         *analyzer,
 		Rebuild:          *rebuild,
 		RebuildThreshold: *rebuildThr,
+		BrokerShards:     *brokerSh,
 		SnippetLength:    120,
 	}
 	if *dataDir != "" {

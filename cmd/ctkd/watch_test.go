@@ -116,8 +116,17 @@ func TestWatchStreamsUpdates(t *testing.T) {
 		t.Fatalf("only %d distinct seqs polled; fixture degenerate", len(polled))
 	}
 
+	// Delivery is asynchronous: if the drain tier lags an HTTP publish
+	// it coalesces to the newest state, which shows up here as a Seq
+	// gap. The invariants are order (strictly increasing Seq), identity
+	// (every delivered Seq was polled, same result membership and
+	// order), and convergence (the final polled Seq is delivered).
+	var final uint64
+	for seq := range polled {
+		final = max(final, seq)
+	}
 	last := uint64(0)
-	for want := 0; want < 3; want++ {
+	for last < final {
 		ev, ok := rd.next()
 		if !ok {
 			t.Fatal("stream ended early")
@@ -129,7 +138,7 @@ func TestWatchStreamsUpdates(t *testing.T) {
 		if err := json.Unmarshal([]byte(ev.data), &u); err != nil {
 			t.Fatal(err)
 		}
-		if u.Query != ctk.QueryID(id) || u.Seq != last+1 {
+		if u.Query != ctk.QueryID(id) || u.Seq <= last {
 			t.Fatalf("update %+v after seq %d", u, last)
 		}
 		last = u.Seq
@@ -140,9 +149,12 @@ func TestWatchStreamsUpdates(t *testing.T) {
 		if len(u.Results) != len(wantRes) {
 			t.Fatalf("seq %d: pushed %d results, polled %d", u.Seq, len(u.Results), len(wantRes))
 		}
+		// Scores decay with the stream clock, and the drain may
+		// materialize after a later publish advanced it — compare
+		// membership and order, not score bits.
 		for i := range wantRes {
-			if u.Results[i] != wantRes[i] {
-				t.Fatalf("seq %d rank %d: pushed %+v, polled %+v", u.Seq, i, u.Results[i], wantRes[i])
+			if u.Results[i].DocID != wantRes[i].DocID {
+				t.Fatalf("seq %d rank %d: pushed doc %d, polled doc %d", u.Seq, i, u.Results[i].DocID, wantRes[i].DocID)
 			}
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -106,6 +107,13 @@ type Options struct {
 	// scans, "legacy" keeps per-term heap slices and exists as the
 	// ablation control. Result-invariant.
 	IndexLayout string
+	// BrokerShards is the push-delivery broker's shard count, rounded
+	// up to a power of two (≤ 0 picks a GOMAXPROCS-scaled default).
+	// Each shard owns its slice of the subscription registry behind its
+	// own lock and drains deliveries on a dedicated goroutine, so
+	// subscriber fan-out runs off the publish hot path and scales with
+	// cores. Result-invariant.
+	BrokerShards int
 	// DefaultK is the result size used when Register is called with
 	// k ≤ 0 (default 10).
 	DefaultK int
@@ -232,13 +240,8 @@ type Engine struct {
 	// e.mu, so concurrent publishers each need their own. anAppend is
 	// the analyzer's buffer-reusing entry point, resolved once at
 	// construction (nil when the analyzer only implements Analyze).
-	// updFn/updQ prebind the broker payload builder — a per-query
-	// closure in notifyChanges would otherwise allocate on every
-	// publish that changes results.
 	scratch  sync.Pool
 	anAppend func(dst []string, text string) []string
-	updFn    func(seq uint64) Update
-	updQ     uint32
 }
 
 // pubScratch is one publisher's reusable buffer set (see
@@ -364,44 +367,59 @@ func New(opts Options) (*Engine, error) {
 		e.snips = make(map[uint64]string)
 		e.snipHW = snipPruneMin
 	}
-	e.broker = notify.New[Update]()
+	e.broker = notify.NewWith(notify.Options[Update]{
+		Shards:      opts.BrokerShards,
+		Materialize: e.materialize,
+	})
 	e.initObs()
 	return e, nil
 }
 
-// notifyChanges drains the monitor's exact change set for the publish
-// that just completed and fans it out through the broker. Called on
-// the publish path under e.mu, after snippet retention, so a pushed
-// payload carries the same snippets a poll at the same sequence number
-// would see. Each changed query costs one sequence bump; the full
-// top-k payload is built only for queries someone is watching, and
-// delivery is non-blocking, so a slow watcher never stalls ingestion.
+// notifyChanges stamps the monitor's exact change set for the publish
+// that just completed into the broker. Called on the publish path
+// under e.mu, after snippet retention. Each changed query costs one
+// sequence bump plus — when someone is watching — one allocation-free
+// enqueue onto the owning broker shard's intake; payload building and
+// subscriber fan-out happen on the shard's drain goroutine, so
+// delivery cost never lands inside the publisher's critical section.
 func (e *Engine) notifyChanges() {
 	for _, g := range e.mon.ChangedQueries() {
-		e.updQ = g
-		e.broker.Publish(g, e.updFn)
+		e.broker.Publish(g)
 	}
 }
 
-// buildUpdate is the broker payload builder for query e.updQ — a
-// prebound method value rather than a closure so the steady-state
-// publish path stays allocation-free. Safe because notifyChanges runs
-// under e.mu and the broker calls the builder synchronously.
-func (e *Engine) buildUpdate(seq uint64) Update {
-	res, _ := e.resultsLocked(QueryID(e.updQ))
-	return Update{Query: QueryID(e.updQ), Seq: seq, Results: res}
+// materialize builds the broker's update payload for one query — the
+// drain tier calls it once per queued topic (build-once, deliver-many).
+// The read lock makes the (payload, seq) pair consistent: a publish in
+// flight holds the write side, so the snapshot taken here equals what
+// a poll at the same sequence number would return. ok=false when the
+// query no longer exists (unregistered while the record sat in the
+// intake).
+func (e *Engine) materialize(id uint32) (Update, uint64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	res, err := e.resultsLocked(QueryID(id))
+	if err != nil {
+		return Update{}, 0, false
+	}
+	seq := e.broker.Seq(id)
+	return Update{Query: QueryID(id), Seq: seq, Results: res}, seq, true
 }
 
 // initHotPath resolves the steady-state publish path's prebound
 // handles; every constructor calls it (via initObs) before the engine
 // is shared.
 func (e *Engine) initHotPath() {
-	e.updFn = e.buildUpdate
 	e.scratch.New = func() any { return new(pubScratch) }
 	if aa, ok := e.an.(textproc.AppendAnalyzer); ok {
 		e.anAppend = aa.AnalyzeAppend
 	}
 }
+
+// flushNotify blocks until every change stamped so far has been
+// materialized and handed to subscriber buffers. A test hook — the
+// drain tier needs the read lock, so callers must not hold e.mu.
+func (e *Engine) flushNotify() { e.broker.Flush() }
 
 // analyzeInto runs the analysis pipeline into dst when the analyzer
 // supports it, falling back to the allocating path otherwise.
@@ -437,10 +455,13 @@ func (e *Engine) Close() error {
 	e.anWG.Wait()
 	e.mu.Lock()
 	err := e.mon.Close()
-	// End every watcher's stream after the monitor stops producing
-	// changes, so no update can follow a channel close.
-	e.broker.Close()
 	e.mu.Unlock()
+	// With the monitor closed no new changes can be stamped; drain what
+	// is still queued (the drain tier needs the read lock we just
+	// released to materialize), then end every watcher's stream. No
+	// update can follow a channel close.
+	e.broker.Flush()
+	e.broker.Close()
 	// Durability shuts down outside e.mu: an in-flight background
 	// snapshot needs the read lock to finish, and every mutation that
 	// could still append to the log has already drained (appends happen
@@ -775,36 +796,150 @@ type Update struct {
 	Results []Result
 }
 
-// Subscribe attaches a watcher to a query's result stream. The first
-// update is the query's current top-k at its current sequence number;
-// every subsequent top-k change delivers a fresh Update. The channel
-// buffers at most buf updates (buf ≤ 0 uses a buffer of 1): when the
-// subscriber falls behind, the oldest buffered update is dropped for
-// the newest, so the watcher always converges to the live state and
-// never drains a stale backlog. Delivery never blocks ingestion.
+// SubscribeOptions configures one watcher (see SubscribeOpts). The
+// zero value is a plain subscription: buffer 1, every change
+// delivered.
+type SubscribeOptions struct {
+	// Buffer is the update channel's capacity (≤ 0 uses 1). A full
+	// buffer drops the oldest update for the newest, so a slow watcher
+	// always converges to the live state.
+	Buffer int
+	// MinInterval, when > 0, rate-limits delivery: after an update is
+	// delivered, further changes are held until the interval elapses,
+	// then the query's *latest* state is delivered once. Held
+	// intermediates appear as a Seq gap.
+	MinInterval time.Duration
+	// TopN, when > 0, delivers only when the identity or order of the
+	// first TopN results changes — score-only wiggles below the prefix
+	// are suppressed (and observable as a Seq gap).
+	TopN int
+	// MinRankChange, when > 0, delivers only when some document moves
+	// by at least this many rank positions (a document entering or
+	// leaving the top-k counts as a full-k move). Combines with TopN as
+	// OR: the update is delivered if either condition fires.
+	MinRankChange int
+}
+
+// Subscribe attaches a watcher to a query's result stream with a
+// delivery buffer of buf updates. See SubscribeOpts for the full
+// option set; Subscribe(id, buf) is SubscribeOpts(id,
+// SubscribeOptions{Buffer: buf}).
+func (e *Engine) Subscribe(id QueryID, buf int) (<-chan Update, func(), error) {
+	return e.SubscribeOpts(id, SubscribeOptions{Buffer: buf})
+}
+
+// SubscribeOpts attaches a watcher to a query's result stream. The
+// first update is the query's current top-k at its current sequence
+// number; every subsequent top-k change delivers a fresh Update,
+// materialized and fanned out on the broker's drain tier — delivery
+// never blocks ingestion, and a slow subscriber's skipped states are
+// observable as gaps in Update.Seq. Options add per-subscriber
+// filtering (TopN, MinRankChange) and rate limiting (MinInterval),
+// all evaluated on the drain side so a mass-audience query's filtered
+// watchers cost the publish path nothing.
 //
 // The channel closes when cancel is called, the query is unregistered,
 // or the engine closes. cancel is idempotent and safe to call
 // concurrently with ingestion.
-func (e *Engine) Subscribe(id QueryID, buf int) (<-chan Update, func(), error) {
+func (e *Engine) SubscribeOpts(id QueryID, o SubscribeOptions) (<-chan Update, func(), error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	// Validate the query and capture the initial snapshot atomically
 	// with the subscription: publishes hold the write lock, so no
-	// change can slip between snapshot and attachment.
+	// change can slip between snapshot and attachment, and any change
+	// drained after we return carries a later sequence number (a
+	// same-seq race with the drain is deduped inside Prime).
 	res, err := e.resultsLocked(id)
 	if err != nil {
 		return nil, nil, err
 	}
-	sub, err := e.broker.Subscribe(uint32(id), buf)
+	sub, err := e.broker.SubscribeOpts(uint32(id), notify.SubOptions[Update]{
+		Buffer:      o.Buffer,
+		MinInterval: o.MinInterval,
+		Filter:      o.filter(),
+	})
 	if err != nil {
 		if errors.Is(err, notify.ErrClosed) {
 			err = ErrClosed
 		}
 		return nil, nil, err
 	}
-	sub.Prime(Update{Query: id, Seq: e.broker.Seq(uint32(id)), Results: res})
+	seq := e.broker.Seq(uint32(id))
+	sub.Prime(Update{Query: id, Seq: seq, Results: res}, seq)
 	return sub.C(), sub.Cancel, nil
+}
+
+// filter compiles the subscription's delivery conditions into one
+// drain-side predicate (nil when unfiltered). Conditions combine as
+// OR; the broker always passes a subscriber's first delivery.
+func (o SubscribeOptions) filter() func(prev, next Update) bool {
+	topN, minShift := o.TopN, o.MinRankChange
+	if topN <= 0 && minShift <= 0 {
+		return nil
+	}
+	return func(prev, next Update) bool {
+		if topN > 0 && prefixChanged(prev.Results, next.Results, topN) {
+			return true
+		}
+		return minShift > 0 && maxRankShift(prev.Results, next.Results) >= minShift
+	}
+}
+
+// prefixChanged reports whether the identity or order of the first n
+// results differs between prev and next.
+func prefixChanged(prev, next []Result, n int) bool {
+	if len(prev) > n {
+		prev = prev[:n]
+	}
+	if len(next) > n {
+		next = next[:n]
+	}
+	if len(prev) != len(next) {
+		return true
+	}
+	for i := range next {
+		if prev[i].DocID != next[i].DocID {
+			return true
+		}
+	}
+	return false
+}
+
+// maxRankShift returns the largest rank movement between two result
+// snapshots: |old rank − new rank| per document, with entering or
+// leaving the set counting as a move across the whole list. Result
+// lists are k-sized, so the quadratic scan beats building a map.
+func maxRankShift(prev, next []Result) int {
+	full := max(len(prev), len(next))
+	shift := 0
+	for i, r := range next {
+		d := full // entered: not found below
+		for j := range prev {
+			if prev[j].DocID == r.DocID {
+				if d = i - j; d < 0 {
+					d = -d
+				}
+				break
+			}
+		}
+		shift = max(shift, d)
+	}
+	if shift >= full {
+		return shift // a leaver cannot raise it further
+	}
+	for i := range prev {
+		found := false
+		for j := range next {
+			if next[j].DocID == prev[i].DocID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return full
+		}
+	}
+	return shift
 }
 
 // PartitionStat is one intra-shard partition's occupancy (see

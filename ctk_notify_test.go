@@ -72,13 +72,18 @@ func TestSubscribeDeliversChanges(t *testing.T) {
 	}
 
 	// Publish single-threadedly, recording the polled snapshot at each
-	// sequence number.
+	// sequence number. Flushing the broker after each publish forces
+	// the drain tier to materialize before the stream clock moves
+	// again, so the pushed payload and the first poll at the same Seq
+	// share a stream time (and with a roomy buffer nothing coalesces —
+	// Seq advances by exactly one per delivery).
 	rng := rand.New(rand.NewSource(11))
 	polled := map[uint64][]Result{0: {}}
 	for i := 0; i < 60; i++ {
 		if _, err := e.Publish(notifyDoc(rng, i), float64(i)); err != nil {
 			t.Fatal(err)
 		}
+		e.flushNotify()
 		res, seq, err := e.ResultsSeq(watch)
 		if err != nil {
 			t.Fatal(err)
@@ -143,6 +148,10 @@ func TestSubscribeCoalesces(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Wait for the drain tier: after the flush the buffer's single slot
+	// holds the final materialized state (everything older was dropped
+	// for newer as it arrived).
+	e.flushNotify()
 	want, seq, err := e.ResultsSeq(watch)
 	if err != nil {
 		t.Fatal(err)
@@ -294,6 +303,300 @@ func TestSubscribeChurnHammer(t *testing.T) {
 	pubWG.Wait()
 	if st := e.Stats(); st.Matched == 0 {
 		t.Fatal("hammer stream never matched anything")
+	}
+}
+
+// TestSubscribeTopNFilter: a TopN=1 watcher hears about changes to the
+// leader and sleeps through churn below it, with the suppressed
+// updates visible as a Seq gap.
+func TestSubscribeTopNFilter(t *testing.T) {
+	e, err := New(Options{Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	id, err := e.Register("solar panel", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := e.SubscribeOpts(id, SubscribeOptions{Buffer: 8, TopN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if first := <-ch; first.Seq != 0 {
+		t.Fatalf("initial snapshot = %+v", first)
+	}
+
+	// A perfect match takes rank 1: prefix change, delivered.
+	if _, err := e.Publish("solar panel", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.flushNotify()
+	u := <-ch
+	if u.Seq != 1 || len(u.Results) != 1 {
+		t.Fatalf("first change = %+v", u)
+	}
+	leader := u.Results[0].DocID
+
+	// A weak match (one query term diluted among strangers) enters the
+	// top-3 below the leader: a real change (seq 2) the TopN=1 watcher
+	// must not hear about.
+	if _, err := e.Publish("solar outage rumor mill", 2); err != nil {
+		t.Fatal(err)
+	}
+	e.flushNotify()
+	if _, seq, _ := e.ResultsSeq(id); seq != 2 {
+		t.Fatalf("weak doc did not bump seq (got %d); fixture degenerate", seq)
+	}
+	select {
+	case u := <-ch:
+		t.Fatalf("below-prefix change delivered: %+v", u)
+	default:
+	}
+
+	// A fresh perfect match displaces the leader: delivered, and its
+	// Seq exposes the suppressed update.
+	if _, err := e.Publish("solar panel", 3); err != nil {
+		t.Fatal(err)
+	}
+	e.flushNotify()
+	u = <-ch
+	if u.Seq != 3 {
+		t.Fatalf("leader change = %+v, want seq 3 (gap over suppressed seq 2)", u)
+	}
+	if u.Results[0].DocID == leader {
+		t.Fatal("leader did not change; fixture degenerate")
+	}
+}
+
+// TestSubscribeMinRankChangeFilter: MinRankChange=1 passes every
+// change; an unsatisfiably large threshold suppresses everything after
+// the initial snapshot while Seq keeps advancing underneath.
+func TestSubscribeMinRankChangeFilter(t *testing.T) {
+	e, ids := notifyFixture(t, Options{Lambda: 0.5}, 1)
+	watch := ids[0]
+	all, cancelAll, err := e.SubscribeOpts(watch, SubscribeOptions{Buffer: 64, MinRankChange: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelAll()
+	never, cancelNever, err := e.SubscribeOpts(watch, SubscribeOptions{Buffer: 64, MinRankChange: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelNever()
+	<-all
+	<-never
+
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 30; i++ {
+		if _, err := e.Publish(notifyDoc(rng, i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.flushNotify()
+	}
+	_, finalSeq, err := e.ResultsSeq(watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalSeq == 0 {
+		t.Fatal("query never changed; fixture degenerate")
+	}
+	last := uint64(0)
+	for {
+		select {
+		case u := <-all:
+			if u.Seq <= last {
+				t.Fatalf("seq not increasing: %d after %d", u.Seq, last)
+			}
+			last = u.Seq
+			continue
+		default:
+		}
+		break
+	}
+	if last != finalSeq {
+		t.Fatalf("MinRankChange=1 watcher stopped at seq %d, want %d", last, finalSeq)
+	}
+	select {
+	case u := <-never:
+		t.Fatalf("unsatisfiable rank threshold delivered %+v", u)
+	default:
+	}
+}
+
+// TestSubscribeMinIntervalRateLimit: after a delivery, further changes
+// are held until the interval elapses, then the latest state arrives
+// once — held intermediates appear as a Seq gap.
+func TestSubscribeMinIntervalRateLimit(t *testing.T) {
+	e, ids := notifyFixture(t, Options{Lambda: 0.5}, 1)
+	watch := ids[0]
+	const interval = 100 * time.Millisecond
+	ch, cancel, err := e.SubscribeOpts(watch, SubscribeOptions{Buffer: 8, MinInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	<-ch // initial snapshot starts the rate-limit clock
+
+	// Let the interval lapse so the first real change delivers
+	// immediately.
+	time.Sleep(interval + 50*time.Millisecond)
+	rng := rand.New(rand.NewSource(29))
+	if _, err := e.Publish(notifyDoc(rng, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	e.flushNotify()
+	var u Update
+	select {
+	case u = <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-interval change not delivered")
+	}
+	first := u.Seq
+	if first == 0 {
+		t.Fatal("no change on first publish; fixture degenerate")
+	}
+
+	// A burst right after the delivery parks behind the interval; the
+	// deferred delivery carries the newest state.
+	for i := 1; i <= 5; i++ {
+		if _, err := e.Publish(notifyDoc(rng, i), 1+float64(i)*0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.flushNotify() // Flush hands off the intake; parked deliveries stay parked.
+	_, finalSeq, err := e.ResultsSeq(watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalSeq <= first {
+		t.Fatal("burst changed nothing; fixture degenerate")
+	}
+	select {
+	case u = <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rate-limited delivery never arrived")
+	}
+	if u.Seq != finalSeq {
+		t.Fatalf("deferred delivery at seq %d, want latest %d", u.Seq, finalSeq)
+	}
+}
+
+// TestNotifyParityAcrossShapes is the async-fan-out parity gate: for
+// every engine/broker shape, the same publish sequence must leave
+// every watcher at exactly the state the poll API reports — same final
+// Seq, same final top-k — with strictly increasing delivered Seqs in
+// between. Monitor sharding, intra-shard parallelism and the broker
+// shard count are all result-invariant.
+func TestNotifyParityAcrossShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		opts Options
+	}{
+		{"single", Options{Lambda: 0.01}},
+		{"monitor-sharded", Options{Lambda: 0.01, Shards: 2, Parallelism: 2}},
+		{"broker-1", Options{Lambda: 0.01, BrokerShards: 1}},
+		{"broker-8", Options{Lambda: 0.01, Shards: 2, BrokerShards: 8}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			e, ids := notifyFixture(t, shape.opts, 8)
+			type watcher struct {
+				id   QueryID
+				seqs []uint64
+				last Update
+			}
+			watchers := make([]*watcher, len(ids))
+			var wg sync.WaitGroup
+			for i, id := range ids {
+				w := &watcher{id: id}
+				watchers[i] = w
+				ch, _, err := e.Subscribe(id, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for u := range ch {
+						w.seqs = append(w.seqs, u.Seq)
+						w.last = u
+					}
+				}()
+			}
+
+			rng := rand.New(rand.NewSource(41))
+			at := 0.0
+			for i := 0; i < 40; i++ {
+				at++
+				if _, err := e.Publish(notifyDoc(rng, i), at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 10; i++ {
+				batch := make([]string, 4)
+				for j := range batch {
+					batch[j] = notifyDoc(rng, 1000+i*4+j)
+				}
+				at++
+				if _, err := e.PublishBatch(batch, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.flushNotify()
+
+			// Oracle: the poll API at the quiesced final state.
+			type oracle struct {
+				seq uint64
+				res []Result
+			}
+			want := make(map[QueryID]oracle, len(ids))
+			changed := 0
+			for _, id := range ids {
+				res, seq, err := e.ResultsSeq(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[id] = oracle{seq: seq, res: res}
+				if seq > 0 {
+					changed++
+				}
+			}
+			if changed == 0 {
+				t.Fatal("no query ever changed; fixture degenerate")
+			}
+
+			if err := e.Close(); err != nil { // closes every stream
+				t.Fatal(err)
+			}
+			wg.Wait()
+
+			for _, w := range watchers {
+				if len(w.seqs) == 0 {
+					t.Fatalf("query %d: no deliveries, not even the initial snapshot", w.id)
+				}
+				for i := 1; i < len(w.seqs); i++ {
+					if w.seqs[i] <= w.seqs[i-1] {
+						t.Fatalf("query %d: seqs not strictly increasing: %v", w.id, w.seqs)
+					}
+				}
+				o := want[w.id]
+				if got := w.seqs[len(w.seqs)-1]; got != o.seq {
+					t.Fatalf("query %d: converged at seq %d, poll says %d", w.id, got, o.seq)
+				}
+				if len(w.last.Results) != len(o.res) {
+					t.Fatalf("query %d: final push has %d results, poll %d", w.id, len(w.last.Results), len(o.res))
+				}
+				for i := range o.res {
+					if w.last.Results[i].DocID != o.res[i].DocID {
+						t.Fatalf("query %d rank %d: pushed doc %d, polled doc %d",
+							w.id, i, w.last.Results[i].DocID, o.res[i].DocID)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -105,10 +105,13 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	restored.flushNotify()
 	if _, seq, _ := restored.ResultsSeq(ids[0]); seq > initial.Seq {
 		select {
 		case u := <-ch:
-			if u.Query != ids[0] || u.Seq != initial.Seq+1 {
+			// Coalescing may skip intermediates (visible as a Seq gap);
+			// delivery must still move strictly forward.
+			if u.Query != ids[0] || u.Seq <= initial.Seq {
 				t.Fatalf("bad pushed update %+v after initial seq %d", u, initial.Seq)
 			}
 		default:

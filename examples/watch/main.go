@@ -1,9 +1,11 @@
 // Watch demonstrates the push-delivery pipeline: instead of polling
 // Results, subscribers hold a channel from Engine.Subscribe and the
-// engine pushes each watched query's fresh top-k the moment it
-// changes. A deliberately slow subscriber shows coalescing — it
-// receives only the latest state, with the skipped intermediates
-// visible as gaps in the update sequence numbers.
+// engine's broker pushes each watched query's fresh top-k from its
+// drain tier the moment it changes. A deliberately slow subscriber
+// shows coalescing — it receives only the latest state, with the
+// skipped intermediates visible as gaps in the update sequence
+// numbers — and a filtered subscriber (SubscribeOpts with TopN) hears
+// only about changes to the leader, sleeping through churn below it.
 //
 //	go run ./examples/watch
 package main
@@ -40,6 +42,17 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cancelLive()
+	// A filtered watcher on the same query: TopN=1 delivers only when
+	// the leading result changes — rank-2/3 churn is suppressed on the
+	// broker's drain tier and shows up as gaps in its Seqs.
+	leadCh, cancelLead, err := engine.SubscribeOpts(climate, ctk.SubscribeOptions{
+		Buffer: 16,
+		TopN:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cancelLead()
 	// A slow watcher with a buffer of 1 reads only at the end: it will
 	// have been coalesced to the final state of the markets query.
 	slowCh, cancelSlow, err := engine.Subscribe(markets, 1)
@@ -49,7 +62,7 @@ func main() {
 	defer cancelSlow()
 
 	var wg sync.WaitGroup
-	wg.Add(1)
+	wg.Add(2)
 	go func() {
 		defer wg.Done()
 		for u := range liveCh {
@@ -58,6 +71,16 @@ func main() {
 				top = fmt.Sprintf("doc %d  %.4f  %q", u.Results[0].DocID, u.Results[0].Score, u.Results[0].Snippet)
 			}
 			fmt.Printf("  push → climate seq=%-3d %d results, best: %s\n", u.Seq, len(u.Results), top)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for u := range leadCh {
+			leader := "(empty)"
+			if len(u.Results) > 0 {
+				leader = fmt.Sprintf("doc %d", u.Results[0].DocID)
+			}
+			fmt.Printf("  push → climate LEADER CHANGE seq=%-3d now %s\n", u.Seq, leader)
 		}
 	}()
 
@@ -79,19 +102,25 @@ func main() {
 		if _, err := engine.Publish(text, float64(i)); err != nil {
 			log.Fatal(err)
 		}
-		time.Sleep(2 * time.Millisecond) // let the live watcher drain
+		time.Sleep(2 * time.Millisecond) // let the live watchers drain
 	}
 
-	// The slow watcher now reads once: coalescing delivered only the
-	// newest state, and the sequence number exposes how many updates
-	// were skipped.
-	u := <-slowCh
+	// The slow watcher now reads until it converges on the live state:
+	// delivery is asynchronous, so the first read may predate the last
+	// drain pass, but coalescing guarantees the stream ends at the
+	// newest state with the drops visible as Seq gaps.
 	_, seq, err := engine.ResultsSeq(markets)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nslow watcher woke up: markets seq=%d of %d total changes (%d coalesced away)\n",
-		u.Seq, seq, u.Seq-1)
+	received := 0
+	var u ctk.Update
+	for u.Seq < seq {
+		u = <-slowCh
+		received++
+	}
+	fmt.Printf("\nslow watcher woke up: markets seq=%d after %d reads of %d total changes (%d coalesced away)\n",
+		u.Seq, received, seq, int(seq)-received)
 	for rank, r := range u.Results {
 		fmt.Printf("  %d. doc %-3d %.4f  %q\n", rank+1, r.DocID, r.Score, r.Snippet)
 	}
@@ -100,5 +129,6 @@ func main() {
 	fmt.Printf("\nengine totals: %d docs, %d result updates across %d queries\n",
 		st.Documents, st.Matched, st.Queries)
 	cancelLive()
+	cancelLead()
 	wg.Wait()
 }

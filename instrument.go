@@ -69,7 +69,8 @@ func (e *Engine) initObs() {
 			"Mutation-path stall while installing a built generation.", nil),
 	})
 
-	// Broker delivery counters record inside internal/notify.
+	// Broker delivery counters and drain-tier timings record inside
+	// internal/notify.
 	e.broker.SetInstruments(notify.Instruments{
 		Updates: e.reg.Counter("ctk_notify_updates_total",
 			"Top-k change notifications produced (one per changed query per publish).", nil),
@@ -77,6 +78,10 @@ func (e *Engine) initObs() {
 			"Updates handed to subscriber buffers.", nil),
 		Drops: e.reg.Counter("ctk_notify_drops_total",
 			"Stale updates coalesced away because a subscriber fell behind.", nil),
+		Filtered: e.reg.Counter("ctk_notify_filtered_total",
+			"Deliveries suppressed by per-subscriber filters (TopN/MinRankChange).", nil),
+		DrainLatency: e.reg.Histogram("ctk_notify_drain_latency_seconds",
+			"Publish-to-handed-to-buffer latency per materialized update.", nil),
 	})
 
 	// Scrape-time collectors: everything below reads the engine's
@@ -163,13 +168,22 @@ func (e *Engine) initObs() {
 		"Unregistered queries awaiting the next rebuild.", nil,
 		func() float64 { return float64(e.Stats().Gen.Tombstones) })
 
-	// Broker fan-out shape.
+	// Broker fan-out shape. Counts reads two maintained atomics, so a
+	// scrape never contends with publish or subscriber churn.
 	e.reg.GaugeFunc("ctk_notify_topics",
 		"Query topics with live state in the broker.", nil,
 		func() float64 { t, _ := e.broker.Counts(); return float64(t) })
 	e.reg.GaugeFunc("ctk_notify_subscribers",
 		"Attached watcher subscriptions.", nil,
 		func() float64 { _, s := e.broker.Counts(); return float64(s) })
+	e.reg.Collect("ctk_notify_queue_depth",
+		"Changed topics awaiting drain, per broker shard.",
+		obs.TypeGauge, func(emit func(obs.Labels, float64)) {
+			for i := 0; i < e.broker.NumShards(); i++ {
+				emit(obs.Labels{"shard": strconv.Itoa(i)},
+					float64(e.broker.QueueDepth(i)))
+			}
+		})
 }
 
 // Metrics returns the engine's metrics registry. Always non-nil; with

@@ -127,11 +127,6 @@ type Series struct {
 	// control series that isolates the batching effect from the
 	// timeline change.
 	PerDoc bool
-	// Subs > 0 routes the series through the push-notification cell:
-	// this many subscribers watch the query set (round-robin) while
-	// the stream runs, and the cell reports delivery latency and
-	// per-event ingestion cost including the notify fan-out.
-	Subs int
 }
 
 // Point is one x-axis position of a sweep.
@@ -349,8 +344,6 @@ func Run(exp Experiment, out io.Writer) (*Result, error) {
 		for _, s := range exp.Series {
 			var cell Cell
 			switch {
-			case s.Subs > 0:
-				cell, err = runNotifyCell(s, pt, vecs, ks, warm, measure)
 			case s.Shards > 0:
 				cell, err = runShardCell(s, pt, vecs, ks, warm, measure)
 			default:

@@ -26,7 +26,7 @@ func tinyScale() Scale {
 func TestExperimentRegistry(t *testing.T) {
 	sc := tinyScale()
 	exps := Experiments(sc)
-	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar", "ablnotify", "ablbalance"} {
+	for _, id := range []string{"fig1a", "fig1b", "extk", "extlambda", "extqlen", "ablub", "ablshard", "ablbatch", "ablpar", "ablbalance"} {
 		e, ok := exps[id]
 		if !ok {
 			t.Fatalf("experiment %s missing", id)
@@ -80,30 +80,48 @@ func TestRunProducesAllCells(t *testing.T) {
 	}
 }
 
-func TestRunNotifySeries(t *testing.T) {
+func TestRunNotifyFleet(t *testing.T) {
 	sc := tinyScale()
-	exp := Experiments(sc)["ablnotify"]
-	exp.Series = []Series{exp.Series[0], exp.Series[1]} // off + subs
-	// Deterministic delivery at tiny scale: every query watched, and a
-	// heavy decay so steady-state top-k sets keep turning over.
-	exp.Series[1].Subs = sc.BaseQueries
-	exp.Points[0].Lambda = 1
-	res, err := Run(exp, nil)
+	// 1000 ≥ BaseQueries, so the long-tail layer covers every query
+	// and delivery is deterministic (any change reaches a watcher).
+	res, err := runNotifyFleet(sc, []int{0, 1000}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Cells) != 2 {
 		t.Fatalf("cells = %d", len(res.Cells))
 	}
-	notifyCell := res.Cells[1]
-	if notifyCell.Series != exp.Series[1].Label {
+	base, fleet := res.Cells[0], res.Cells[1]
+	if base.Subs != 0 || fleet.Subs != 1000 {
 		t.Fatalf("cell order: %+v", res.Cells)
 	}
-	if notifyCell.Evaluated == 0 {
-		t.Fatal("no updates delivered; the notify pipeline is dead")
+	if fleet.Series != "subs=1000" {
+		t.Fatalf("series label: %q", fleet.Series)
 	}
-	if notifyCell.MeanMS < 0 || notifyCell.P95MS < 0 {
-		t.Fatalf("negative timing: %+v", notifyCell)
+	if fleet.UpdatesPerEvent <= 0 {
+		t.Fatal("no sequence bumps recorded; the change handler is dead")
+	}
+	if fleet.DeliveriesPerEvent <= 0 {
+		t.Fatal("no deliveries; the drain tier is dead")
+	}
+	if base.DeliveriesPerEvent != 0 {
+		t.Fatalf("baseline cell delivered %v/event with zero subscribers", base.DeliveriesPerEvent)
+	}
+	for _, c := range res.Cells {
+		if c.PubMeanMS < 0 || c.PubP99MS < 0 || c.DeliverP99MS < 0 {
+			t.Fatalf("negative timing: %+v", c)
+		}
+	}
+	if res.Shards < 1 || res.Shards&(res.Shards-1) != 0 {
+		t.Fatalf("broker shards = %d, want a power of two", res.Shards)
+	}
+	if res.StallRatio <= 0 {
+		t.Fatalf("stall ratio = %v, want > 0", res.StallRatio)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "subs=1000") || !strings.Contains(buf.String(), "stall ratio") {
+		t.Fatalf("render output missing data:\n%s", buf.String())
 	}
 }
 

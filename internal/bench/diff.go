@@ -15,6 +15,7 @@ type Report struct {
 	Wal         *WALResult     `json:"wal,omitempty"`
 	Obs         *ObsResult     `json:"obs,omitempty"`
 	Hotpath     *HotpathResult `json:"hotpath,omitempty"`
+	Notify      *NotifyResult  `json:"notify,omitempty"`
 }
 
 // ReportSweep is one sweep experiment's measured cells in a Report.
@@ -82,6 +83,18 @@ func Metrics(r *Report) []Metric {
 		// product regression.
 		for _, cell := range h.Cells {
 			add(KindMS, cell.FlatMS, "hotpath/%s/%s/flat-ms-per-event", cell.Workload, cell.Algo)
+		}
+	}
+	if n := r.Notify; n != nil {
+		// The fleet sweep's contract is publish-path isolation: the
+		// publisher's per-event cost must not grow with subscribers, and
+		// drain-tier delivery latency must stay bounded.
+		for _, cell := range n.Cells {
+			add(KindMS, cell.PubMeanMS, "notify/%s/pub-mean-ms", cell.Series)
+			add(KindMS, cell.PubP99MS, "notify/%s/pub-p99-ms", cell.Series)
+			if cell.Subs > 0 {
+				add(KindMS, cell.DeliverP99MS, "notify/%s/deliver-p99-ms", cell.Series)
+			}
 		}
 	}
 	return ms

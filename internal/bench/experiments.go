@@ -139,28 +139,9 @@ func Experiments(sc Scale) map[string]Experiment {
 	ablb.Points = []Point{{Param: float64(sc.BaseQueries), Queries: bcfg, Lambda: defaultLambda}}
 	exps[ablb.ID] = ablb
 
-	// Push-notification delivery ablation: the identical single-shard
-	// timeline with the change-detection → broker → subscriber
-	// pipeline live, at increasing subscriber counts. "off" is the
-	// no-notify control; for subs>0 series MeanMS is per-event
-	// ingestion including the fan-out, P50/P95 are delivery latency
-	// (ingestion → subscriber receipt) and eval/ev is updates
-	// delivered per event.
-	abln := base("ablnotify", "Extension — push-notification delivery vs subscriber count (MRIO, Connected)", "queries")
-	abln.Series = []Series{{
-		Label: "off",
-		Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree, Shards: 1,
-	}}
-	for _, n := range []int{100, 1_000, 10_000} {
-		abln.Series = append(abln.Series, Series{
-			Label: fmt.Sprintf("subs=%d", n),
-			Algo:  core.AlgoMRIO, Bound: rangemax.KindSegTree, Shards: 1, Subs: n,
-		})
-	}
-	ncfg := workload.DefaultConfig(workload.Connected, sc.BaseQueries)
-	ncfg.Seed = sc.Seed
-	abln.Points = []Point{{Param: float64(sc.BaseQueries), Queries: ncfg, Lambda: defaultLambda}}
-	exps[abln.ID] = abln
+	// The push-notification fleet ablation ("ablnotify") runs its own
+	// open-loop harness — see RunNotify in notify.go; it is dispatched
+	// directly by cmd/ctkbench rather than through this registry.
 
 	// Intra-shard parallelism ablation: the identical single-shard
 	// timeline replayed at 1/2/4 matching workers per event. Unlike

@@ -1,116 +1,310 @@
 package bench
 
 import (
+	"fmt"
+	"io"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
 	"repro/internal/notify"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/textproc"
+	"repro/internal/workload"
 )
 
-// ping is the payload of the notify ablation: the wall-clock instant
-// the change left the ingestion path, so each subscriber can measure
-// end-to-end delivery latency on receipt.
+// NotifyCell is one subscriber-fleet size's measurement over the shared
+// stream: what the publish path paid with the fleet attached, and what
+// the drain tier did with the resulting change records.
+type NotifyCell struct {
+	Series string
+	Subs   int
+	// PubMeanMS / PubP99MS are the publisher's in-process time per
+	// event — matching plus the broker enqueue, the only fan-out cost
+	// left on the hot path. The headline claim is that PubP99MS stays
+	// near the 0-subscriber baseline at every fleet size.
+	PubMeanMS, PubP99MS float64
+	// DeliverP99MS is the drain-tier delivery latency p99: publish to
+	// handed-to-subscriber-buffer, from the ctk_notify_drain_latency
+	// histogram (one observation per materialized topic update).
+	DeliverP99MS float64
+	// UpdatesPerEvent counts sequence bumps (changed queries) per
+	// event; DeliveriesPerEvent counts updates handed to subscriber
+	// buffers per event.
+	UpdatesPerEvent, DeliveriesPerEvent float64
+	// CoalesceRate is the fraction of handed deliveries later
+	// overwritten unread by a newer state (drops / deliveries) — the
+	// latest-value coalescing a slow or absent reader triggers.
+	CoalesceRate float64
+	// FilterRate is the fraction of attempted deliveries suppressed by
+	// per-subscriber drain-side filters (filtered / (filtered +
+	// deliveries)); half the fleet runs a coarsening filter.
+	FilterRate float64
+}
+
+// NotifyResult is the ablnotify experiment: the identical warm stream
+// replayed on an open-loop arrival schedule against subscriber fleets
+// of increasing size, with Zipf-skewed topic popularity (mass-audience
+// queries get most of the watchers, as production fan-out does).
+type NotifyResult struct {
+	Title   string
+	Queries int // registered queries (fan-out topics)
+	Events  int // timed stream events per cell
+	Shards  int // broker shards (GOMAXPROCS-scaled power of two)
+	Cells   []NotifyCell
+	// StallRatio is PubP99MS at the largest fleet over PubP99MS with no
+	// subscribers — how much publish-path tail the full fleet costs.
+	// With delivery off the hot path this should hover near 1.0.
+	StallRatio float64
+}
+
+// NotifyTitle is the ablnotify experiment's title, shared by the
+// harness report and the CLI's experiment listing.
+const NotifyTitle = "Extension — sharded async fan-out: subscriber fleets vs publish-path stall (MRIO, Connected)"
+
+// notifyFleets are the fleet sizes RunNotify sweeps; the 0 cell is the
+// no-subscriber baseline the stall ratio normalizes against.
+var notifyFleets = []int{0, 1_000, 10_000, 100_000}
+
+// notifyInterval is the open-loop arrival period: events are released
+// on a fixed wall-clock schedule (sleep-to-schedule, never
+// back-to-back), so a cell whose publish path stalls accumulates
+// schedule debt instead of silently slowing the arrival process — the
+// workload-driver discipline of the ReqBench-style harnesses.
+const notifyInterval = 500 * time.Microsecond
+
+// notifyMaxReaders bounds the consumer goroutines per cell: a sampled
+// subset of the fleet actively drains its channel (exercising delivery
+// concurrent with consumption); the rest are buffer-parked watchers,
+// which is also the realistic shape — at 100k subscribers most SSE
+// clients are idle between flushes, and drop-oldest coalescing means
+// an unread buffer never blocks the drain.
+const notifyMaxReaders = 64
+
+// ping is the delivery payload: the wall-clock instant the change left
+// the ingestion path (stamped per query by the change handler) and the
+// topic sequence, which the coarsening filter thresholds on.
 type ping struct {
-	sent time.Time
+	sent int64 // UnixNano at enqueue
 	seq  uint64
 }
 
-// runNotifyCell measures the push-delivery pipeline: a monitor whose
-// exact per-event change sets feed a coalescing broker with s.Subs
-// subscribers spread round-robin over the query set, each drained by
-// its own consumer goroutine. The cell reports
-//
-//	MeanMS     — mean per-event ingestion time including the publish
-//	             fan-out (the throughput cost of push delivery),
-//	P50/P95MS  — delivery latency percentiles, ingestion → receipt,
-//	Evaluated  — mean updates delivered per event.
-func runNotifyCell(s Series, pt Point, vecs []textproc.Vector, ks []int, warm *warmState, measure []stream.Event) (Cell, error) {
-	cell := Cell{Series: s.Label, Param: pt.Param}
-	defs := make([]core.QueryDef, len(vecs))
+// RunNotify measures the ablnotify experiment at the given scale:
+// one warm Connected workload, replayed per fleet size.
+func RunNotify(sc Scale, out io.Writer) (*NotifyResult, error) {
+	return runNotifyFleet(sc, notifyFleets, out)
+}
+
+// runNotifyFleet is RunNotify parameterized over fleet sizes (tests
+// run tiny fleets).
+func runNotifyFleet(sc Scale, fleets []int, out io.Writer) (*NotifyResult, error) {
+	model := corpus.WikipediaModel(sc.VocabSize)
+	qcfg := workload.DefaultConfig(workload.Connected, sc.BaseQueries)
+	qcfg.Seed = sc.Seed
+	qs, err := workload.Generate(model, qcfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench ablnotify: workload: %w", err)
+	}
+	vecs := make([]textproc.Vector, len(qs))
+	ks := make([]int, len(qs))
+	for i, q := range qs {
+		vecs[i], ks[i] = q.Vec, q.K
+	}
+	ix, err := index.Build(vecs, ks)
+	if err != nil {
+		return nil, err
+	}
+	gen := corpus.NewGenerator(model, sc.Seed+101, uint64(sc.Warmup+sc.Measure))
+	src, err := stream.NewSource(gen, sc.Rate, sc.Seed+202)
+	if err != nil {
+		return nil, err
+	}
+	events := src.Take(sc.Warmup + sc.Measure)
+	warm, err := warmUp(ix, events[:sc.Warmup], defaultLambda)
+	if err != nil {
+		return nil, fmt.Errorf("bench ablnotify: warm-up: %w", err)
+	}
+	measure := events[sc.Warmup:]
+
+	res := &NotifyResult{
+		Title:   NotifyTitle,
+		Queries: len(vecs),
+		Events:  len(measure),
+	}
+	for _, subs := range fleets {
+		cell, shards, err := runNotifyCell(sc, subs, vecs, ks, warm, measure)
+		if err != nil {
+			return nil, fmt.Errorf("bench ablnotify: %s: %w", cell.Series, err)
+		}
+		res.Shards = shards
+		res.Cells = append(res.Cells, cell)
+		if out != nil {
+			fmt.Fprintf(out, "  %-12s pub mean=%8.4fms p99=%8.4fms  deliver p99=%8.4fms  del/ev=%7.2f coalesce=%.2f filter=%.2f\n",
+				cell.Series, cell.PubMeanMS, cell.PubP99MS, cell.DeliverP99MS,
+				cell.DeliveriesPerEvent, cell.CoalesceRate, cell.FilterRate)
+		}
+	}
+	if n := len(res.Cells); n > 1 && res.Cells[0].PubP99MS > 0 {
+		res.StallRatio = res.Cells[n-1].PubP99MS / res.Cells[0].PubP99MS
+	}
+	return res, nil
+}
+
+// runNotifyCell replays the measure window against one fleet size:
+// fresh monitor restored to the shared warm state, fresh broker, subs
+// subscriptions Zipf-assigned over the query set (skew 1.2 — a few
+// mass-audience queries absorb most of the fleet), half of them behind
+// a coarsening filter (deliver only every second change), a sampled
+// subset actively reading.
+func runNotifyCell(sc Scale, subs int, vecs []textproc.Vector, ks []int, warm *warmState, measure []stream.Event) (NotifyCell, int, error) {
+	cell := NotifyCell{Series: fmt.Sprintf("subs=%d", subs), Subs: subs}
+	nq := len(vecs)
+	defs := make([]core.QueryDef, nq)
 	for i := range vecs {
 		defs[i] = core.QueryDef{Vec: vecs[i], K: ks[i]}
 	}
-	shards := s.Shards
-	if shards < 1 {
-		shards = 1
-	}
 	mon, err := core.NewMonitor(core.Config{
-		Algorithm:   s.Algo,
-		Bound:       s.Bound,
-		Lambda:      pt.Lambda,
-		Shards:      shards,
-		Parallelism: s.Parallelism,
+		Algorithm: core.AlgoMRIO,
+		Lambda:    defaultLambda,
+		Shards:    1,
 	}, defs)
 	if err != nil {
-		return cell, err
+		return cell, 0, err
 	}
 	defer mon.Close()
 	if err := mon.RestoreState(warm.base, warm.base, warm.results); err != nil {
-		return cell, err
+		return cell, 0, err
 	}
 
-	broker := notify.New[ping]()
+	// pubAt carries the per-query enqueue instant from the change
+	// handler to the drain-side materializer, so every materialized
+	// update knows when its change left the publish path.
+	pubAt := make([]atomic.Int64, nq)
+	var broker *notify.Broker[ping]
+	broker = notify.NewWith(notify.Options[ping]{
+		Materialize: func(id uint32) (ping, uint64, bool) {
+			seq := broker.Seq(id)
+			return ping{sent: pubAt[id].Load(), seq: seq}, seq, true
+		},
+	})
+	reg := obs.NewRegistry()
+	ins := notify.Instruments{
+		Updates:      reg.Counter("updates", "sequence bumps", nil),
+		Deliveries:   reg.Counter("deliveries", "handed to buffers", nil),
+		Drops:        reg.Counter("drops", "coalesced away", nil),
+		Filtered:     reg.Counter("filtered", "suppressed by filters", nil),
+		DrainLatency: reg.Histogram("drain_latency", "publish to buffer", nil),
+	}
+	broker.SetInstruments(ins)
 	mon.SetChangeHandler(func(ids []uint32) {
-		now := time.Now()
+		now := time.Now().UnixNano()
 		for _, g := range ids {
-			broker.Publish(g, func(seq uint64) ping { return ping{sent: now, seq: seq} })
+			pubAt[g].Store(now)
+			broker.Publish(g)
 		}
 	})
 
-	// Subscribers spread over the whole query set (prime stride, so
-	// coverage has no ID locality), one consumer goroutine each,
-	// recording latencies locally (merged after join).
-	nq := len(vecs)
-	lats := make([][]time.Duration, s.Subs)
-	var wg sync.WaitGroup
-	for i := 0; i < s.Subs; i++ {
-		sub, err := broker.Subscribe(uint32(i*7919%nq), 1)
-		if err != nil {
-			return cell, err
+	// Build the fleet. Zipf skew concentrates watchers on a few hot
+	// queries; once the fleet outgrows the query set, every query also
+	// keeps one long-tail watcher (so a fleet of 100k over 4k queries
+	// is 4k tail + 96k crowd, and delivery coverage is deterministic).
+	// The coarsening filter on every second subscriber only passes a
+	// delivery when the topic moved at least two sequence numbers
+	// since the last one it saw.
+	rng := rand.New(rand.NewSource(sc.Seed + 303))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(nq-1))
+	coarse := func(prev, next ping) bool { return next.seq >= prev.seq+2 }
+	readerStride := 1
+	if subs > notifyMaxReaders {
+		readerStride = subs / notifyMaxReaders
+	}
+	var readers sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		o := notify.SubOptions[ping]{Buffer: 1}
+		if i%2 == 1 {
+			o.Filter = coarse
 		}
-		wg.Add(1)
-		go func(i int, sub *notify.Subscription[ping]) {
-			defer wg.Done()
-			for p := range sub.C() {
-				lats[i] = append(lats[i], time.Since(p.sent))
-			}
-		}(i, sub)
+		read := i%readerStride == 0
+		if read {
+			o.Buffer = 4
+		}
+		topic := uint32(zipf.Uint64())
+		if subs >= nq && i < nq {
+			topic = uint32(i)
+		}
+		sub, err := broker.SubscribeOpts(topic, o)
+		if err != nil {
+			broker.Close()
+			return cell, 0, err
+		}
+		if read {
+			readers.Add(1)
+			go func(sub *notify.Subscription[ping]) {
+				defer readers.Done()
+				for range sub.C() {
+				}
+			}(sub)
+		}
 	}
 
-	var evSample stats.Sample
-	var total time.Duration
-	for _, ev := range measure {
-		start := time.Now()
+	// Open-loop replay: release events on the fixed schedule and time
+	// only the in-process publish path (matching + change enqueue).
+	var sample stats.Sample
+	start := time.Now()
+	for i, ev := range measure {
+		if d := time.Until(start.Add(time.Duration(i) * notifyInterval)); d > 0 {
+			time.Sleep(d)
+		}
+		t0 := time.Now()
 		if _, err := mon.Process(ev.Doc, ev.Time); err != nil {
 			broker.Close()
-			wg.Wait()
-			return cell, err
+			readers.Wait()
+			return cell, 0, err
 		}
-		d := time.Since(start)
-		total += d
-		evSample.AddDuration(d)
+		sample.AddDuration(time.Since(t0))
 	}
-	// Closing the broker ends every subscription channel, so the
-	// consumers drain what was delivered and exit.
+	// Drain the intake completely so the delivery counters and the
+	// latency histogram cover every change, then end the streams.
+	broker.Flush()
+	updates := float64(ins.Updates.Value())
+	deliveries := float64(ins.Deliveries.Value())
+	drops := float64(ins.Drops.Value())
+	filtered := float64(ins.Filtered.Value())
+	shards := broker.NumShards()
 	broker.Close()
-	wg.Wait()
+	readers.Wait()
 
-	var latSample stats.Sample
-	delivered := 0
-	for _, ls := range lats {
-		delivered += len(ls)
-		for _, d := range ls {
-			latSample.AddDuration(d)
-		}
-	}
 	n := float64(len(measure))
-	cell.MeanMS = total.Seconds() * 1000 / n
-	cell.P50MS = latSample.Percentile(50)
-	cell.P95MS = latSample.Percentile(95)
-	cell.Evaluated = float64(delivered) / n
-	return cell, nil
+	cell.PubMeanMS = sample.Mean()
+	cell.PubP99MS = sample.Percentile(99)
+	cell.DeliverP99MS = ins.DrainLatency.Quantile(0.99) / 1e6
+	cell.UpdatesPerEvent = updates / n
+	cell.DeliveriesPerEvent = deliveries / n
+	if deliveries > 0 {
+		cell.CoalesceRate = drops / deliveries
+	}
+	if filtered+deliveries > 0 {
+		cell.FilterRate = filtered / (filtered + deliveries)
+	}
+	return cell, shards, nil
+}
+
+// Render prints the fleet sweep in the harness' table style.
+func (r *NotifyResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
+	fmt.Fprintf(w, "queries=%d events=%d broker-shards=%d\n", r.Queries, r.Events, r.Shards)
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %10s %10s %8s\n",
+		"fleet", "pub-mean-ms", "pub-p99-ms", "deliver-p99-ms", "del/event", "coalesce", "filter")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-12s %12.4f %12.4f %14.4f %10.2f %10.2f %8.2f\n",
+			c.Series, c.PubMeanMS, c.PubP99MS, c.DeliverP99MS,
+			c.DeliveriesPerEvent, c.CoalesceRate, c.FilterRate)
+	}
+	fmt.Fprintf(w, "publish-path p99 stall ratio (largest fleet / no subscribers) = %.2f\n\n", r.StallRatio)
 }

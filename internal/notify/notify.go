@@ -1,21 +1,37 @@
 // Package notify is the push-delivery broker between the matching
-// kernel and streaming clients: a per-query subscription registry with
-// bounded, coalescing per-subscriber buffers.
+// kernel and streaming clients: a sharded, asynchronous fan-out tier
+// with per-query subscriptions behind bounded, coalescing buffers.
 //
-// The publisher (the engine's ingestion path) is assumed serialized;
-// subscriber churn (Subscribe/Cancel) and delivery-channel reads are
-// fully concurrent with publishing and with each other. Delivery never
-// blocks the publisher: when a subscriber's buffer is full, its oldest
-// buffered update is dropped in favour of the newest, so a slow
-// subscriber always observes the *latest* state, never a stale
-// backlog. Drops are observable — every topic carries a monotonically
-// increasing sequence number, stamped into each update, so a gap in
-// received sequence numbers is exactly a coalesced delivery.
+// Topics are hashed onto a power-of-two set of shards. Each shard owns
+// its slice of the topic registry behind its own lock and runs one
+// dedicated drain goroutine fed by a bounded intake ring. Publish is
+// the ingestion hot path and does the minimum possible: stamp the
+// topic's next sequence number, enqueue a change record (at most one
+// per topic — re-publishing an already-queued topic only bumps the
+// sequence), wake the shard's drain, return. It never allocates and
+// never touches a subscriber. The drain side materializes the update
+// once per queued topic (build-once, deliver-many) through the
+// broker's Materializer and hands it to every subscriber's buffer.
+//
+// Delivery never blocks the publisher: when a subscriber's buffer is
+// full, its oldest buffered update is dropped in favour of the newest,
+// so a slow subscriber always observes the *latest* state, never a
+// stale backlog. Intake coalescing (several sequence bumps collapsing
+// into one materialized delivery), buffer drops and subscriber-side
+// filters are all observable the same way — every topic carries a
+// monotonically increasing sequence number, stamped into each update,
+// so a gap in received sequence numbers is exactly the set of states
+// the subscriber skipped. A subscriber never receives the same
+// sequence number twice and never receives sequence numbers out of
+// order.
 package notify
 
 import (
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -30,18 +46,47 @@ var ErrNoTopic = errors.New("notify: topic is closed")
 // called with buf ≤ 0: capacity 1, i.e. pure latest-value coalescing.
 const DefaultBuffer = 1
 
-// Broker routes updates of type T from one serialized publisher to
-// any number of per-topic subscribers. Topics are keyed by query ID.
-type Broker[T any] struct {
-	mu     sync.Mutex
-	topics map[uint32]*topic[T]
-	closed bool
+// DefaultRing is the per-shard intake ring capacity used when
+// Options.Ring ≤ 0. The ring holds at most one record per topic, so
+// overflow only means more topics changed between drain passes than
+// the ring holds — the shard then falls back to a sweep of its topic
+// registry, and no change is ever lost.
+const DefaultRing = 1024
 
-	// ins is the broker's optional metric set. Set once via
-	// SetInstruments before the broker is shared (the engine wires it
-	// at construction); the nil-safe obs handles make the zero value
-	// inert, so delivery paths record unconditionally.
-	ins Instruments
+// Materializer builds the current update payload for a topic, called
+// on the drain side once per queued topic (build-once, deliver-many).
+// It must return the payload together with the topic's sequence number
+// as one consistent pair — the engine reads both under its lock — and
+// ok=false when the topic's query no longer exists.
+type Materializer[T any] func(id uint32) (u T, seq uint64, ok bool)
+
+// Options configures a Broker.
+type Options[T any] struct {
+	// Shards is the number of broker shards, rounded up to a power of
+	// two; ≤ 0 picks a GOMAXPROCS-scaled default.
+	Shards int
+	// Ring is the per-shard intake ring capacity (≤ 0 uses
+	// DefaultRing).
+	Ring int
+	// Materialize builds update payloads on the drain side. Required.
+	Materialize Materializer[T]
+}
+
+// SubOptions configures one subscription.
+type SubOptions[T any] struct {
+	// Buffer is the delivery channel capacity (≤ 0 uses DefaultBuffer).
+	Buffer int
+	// MinInterval, when > 0, rate-limits delivery: after an update is
+	// handed to the buffer, further updates are parked until the
+	// interval elapses, then the *latest* state is materialized and
+	// delivered once. Skipped intermediates appear as sequence gaps.
+	MinInterval time.Duration
+	// Filter, when non-nil, runs on the drain side before delivery:
+	// prev is the last payload handed to this subscriber, next the
+	// candidate. Returning false suppresses the delivery (counted in
+	// Instruments.Filtered and observable as a sequence gap). The
+	// first delivery after Subscribe/Prime always passes.
+	Filter func(prev, next T) bool
 }
 
 // Instruments is the broker's optional metric set (see SetInstruments).
@@ -53,59 +98,189 @@ type Instruments struct {
 	// Drops counts buffered updates coalesced away because a
 	// subscriber's buffer was full — the broker's backpressure signal.
 	Drops *obs.Counter
+	// Filtered counts deliveries suppressed by per-subscriber filters.
+	Filtered *obs.Counter
+	// DrainLatency is the publish→handed-to-buffer latency, observed
+	// once per materialized topic update.
+	DrainLatency *obs.Histogram
 }
 
-// SetInstruments attaches metrics to the broker. Call before the
-// broker is shared across goroutines; later calls race with delivery.
-func (b *Broker[T]) SetInstruments(ins Instruments) {
-	b.mu.Lock()
-	b.ins = ins
-	b.mu.Unlock()
+// Broker routes updates of type T from publishers to any number of
+// per-topic subscribers. Topics are keyed by query ID and hashed onto
+// shards; all methods are safe for concurrent use.
+type Broker[T any] struct {
+	shards []*shard[T]
+	mask   uint32
+	mat    Materializer[T]
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// O(1) Counts: topics counts topic objects ever created (topics
+	// outlive CloseTopic so their sequence survives churn), subs the
+	// currently attached subscriptions.
+	topicCount atomic.Int64
+	subCount   atomic.Int64
+
+	// ins is the broker's optional metric set. Set once via
+	// SetInstruments before the first Publish/Subscribe (the engine
+	// wires it at construction); the nil-safe obs handles make the
+	// zero value inert, so delivery paths record unconditionally.
+	ins Instruments
 }
 
-// Counts reports the broker's current shape: topics with live state
-// and attached subscriptions.
-func (b *Broker[T]) Counts() (topics, subscribers int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, tp := range b.topics {
-		subscribers += len(tp.subs)
-	}
-	return len(b.topics), subscribers
+// shard is one lock domain: a slice of the topic registry, its intake
+// ring and the drain goroutine's parking state.
+type shard[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled when the shard goes idle (Flush)
+	topics map[uint32]*topic[T]
+
+	// Bounded intake ring of changed-topic hints. Publish enqueues at
+	// most one hint per topic (the queued flag dedupes); on overflow
+	// the flag is set and the drain sweeps the registry instead, so a
+	// full ring degrades to O(topics) discovery, never to loss.
+	ring     []uint32
+	head     int
+	count    int
+	overflow bool
+	sweep    []uint32
+
+	// queued counts topics currently marked queued; busy is true while
+	// the drain is processing popped work. Flush waits on both.
+	queued int
+	busy   bool
+
+	wake chan struct{}
+	stop chan struct{}
+
+	// deferred parks MinInterval subscribers until their deadline; due
+	// and scratch are drain-side reusable slices.
+	deferred map[*Subscription[T]]time.Time
+	due      []*Subscription[T]
+	scratch  []*Subscription[T]
 }
 
 // topic is one query's delivery state: its change sequence and the
 // current subscriber set. A topic outlives its subscribers — the
 // sequence number must keep counting between watchers.
 type topic[T any] struct {
-	seq  uint64
-	gone bool // query unregistered; no new subscriptions
-	subs map[*Subscription[T]]struct{}
+	seq      uint64
+	gone     bool // query unregistered; no new subscriptions
+	queued   bool // a change record is in the shard's intake
+	queuedAt time.Time
+	subs     map[*Subscription[T]]struct{}
 }
 
 // Subscription is one subscriber's handle: a bounded delivery channel
 // plus cancellation.
 type Subscription[T any] struct {
-	b  *Broker[T]
-	id uint32
-	ch chan T
+	b           *Broker[T]
+	sh          *shard[T]
+	id          uint32
+	ch          chan T
+	minInterval time.Duration
+	filter      func(prev, next T) bool
 
-	// mu orders delivery against close: a push never races the channel
-	// close in Cancel/Close.
-	mu     sync.Mutex
-	closed bool
+	// mu orders delivery against close and serializes the drain's
+	// pushes with Prime.
+	mu        sync.Mutex
+	closed    bool
+	delivered bool      // something was pushed; lastSeq is meaningful
+	lastSeq   uint64    // highest sequence handed to the buffer
+	lastPush  time.Time // when (MinInterval clock)
+	prev      T         // last delivered payload (kept only for Filter)
+	hasPrev   bool
 }
 
-// New returns an empty broker.
-func New[T any]() *Broker[T] {
-	return &Broker[T]{topics: make(map[uint32]*topic[T])}
+// New returns a broker with default sharding. The materializer is
+// required — the drain tier cannot deliver without it.
+func New[T any](mat Materializer[T]) *Broker[T] {
+	return NewWith(Options[T]{Materialize: mat})
 }
 
-func (b *Broker[T]) topicLocked(id uint32) *topic[T] {
-	tp := b.topics[id]
+// NewWith returns a broker configured by o and starts one drain
+// goroutine per shard. Call Close to stop them.
+func NewWith[T any](o Options[T]) *Broker[T] {
+	if o.Materialize == nil {
+		panic("notify: Options.Materialize is required")
+	}
+	n := o.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n = ceilPow2(n)
+	ring := o.Ring
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	b := &Broker[T]{
+		shards: make([]*shard[T], n),
+		mask:   uint32(n - 1),
+		mat:    o.Materialize,
+	}
+	for i := range b.shards {
+		sh := &shard[T]{
+			topics:   make(map[uint32]*topic[T]),
+			ring:     make([]uint32, ring),
+			wake:     make(chan struct{}, 1),
+			stop:     make(chan struct{}),
+			deferred: make(map[*Subscription[T]]time.Time),
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		b.shards[i] = sh
+		b.wg.Add(1)
+		go b.drain(sh)
+	}
+	return b
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shard maps a topic ID onto its owning shard. IDs are small dense
+// integers, so they are scrambled first — otherwise consecutive query
+// IDs would stride the shard set in lockstep.
+func (b *Broker[T]) shard(id uint32) *shard[T] {
+	h := id * 2654435761 // Knuth multiplicative hash
+	h ^= h >> 16
+	return b.shards[h&b.mask]
+}
+
+// NumShards returns the broker's shard count (a power of two).
+func (b *Broker[T]) NumShards() int { return len(b.shards) }
+
+// QueueDepth returns the number of changed topics awaiting drain in
+// shard i.
+func (b *Broker[T]) QueueDepth(i int) int {
+	sh := b.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.queued
+}
+
+// SetInstruments attaches metrics to the broker. Call before the
+// broker's first Publish or Subscribe; later calls race with delivery.
+func (b *Broker[T]) SetInstruments(ins Instruments) { b.ins = ins }
+
+// Counts reports the broker's current shape: topics with live state
+// and attached subscriptions. O(1) — both are maintained counters, so
+// a metrics scrape never contends with publish or churn.
+func (b *Broker[T]) Counts() (topics, subscribers int) {
+	return int(b.topicCount.Load()), int(b.subCount.Load())
+}
+
+func (sh *shard[T]) topicLocked(b *Broker[T], id uint32) *topic[T] {
+	tp := sh.topics[id]
 	if tp == nil {
 		tp = &topic[T]{subs: make(map[*Subscription[T]]struct{})}
-		b.topics[id] = tp
+		sh.topics[id] = tp
+		b.topicCount.Add(1)
 	}
 	return tp
 }
@@ -115,20 +290,36 @@ func (b *Broker[T]) topicLocked(id uint32) *topic[T] {
 // subscription's channel is closed when the subscription is canceled,
 // the topic is closed (query unregistered) or the broker shuts down.
 func (b *Broker[T]) Subscribe(id uint32, buf int) (*Subscription[T], error) {
+	return b.SubscribeOpts(id, SubOptions[T]{Buffer: buf})
+}
+
+// SubscribeOpts attaches a subscriber with delivery options: buffer
+// size, a minimum delivery interval, and a drain-side filter.
+func (b *Broker[T]) SubscribeOpts(id uint32, o SubOptions[T]) (*Subscription[T], error) {
+	buf := o.Buffer
 	if buf <= 0 {
 		buf = DefaultBuffer
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
-	tp := b.topicLocked(id)
+	tp := sh.topicLocked(b, id)
 	if tp.gone {
 		return nil, ErrNoTopic
 	}
-	s := &Subscription[T]{b: b, id: id, ch: make(chan T, buf)}
+	s := &Subscription[T]{
+		b:           b,
+		sh:          sh,
+		id:          id,
+		ch:          make(chan T, buf),
+		minInterval: o.MinInterval,
+		filter:      o.Filter,
+	}
 	tp.subs[s] = struct{}{}
+	b.subCount.Add(1)
 	return s, nil
 }
 
@@ -136,19 +327,25 @@ func (b *Broker[T]) Subscribe(id uint32, buf int) (*Subscription[T], error) {
 func (s *Subscription[T]) C() <-chan T { return s.ch }
 
 // Cancel detaches the subscription and closes its channel. Idempotent
-// and safe concurrently with publishing.
+// and safe concurrently with publishing and draining.
 func (s *Subscription[T]) Cancel() {
-	s.b.mu.Lock()
-	if tp := s.b.topics[s.id]; tp != nil {
-		delete(tp.subs, s)
+	sh := s.sh
+	sh.mu.Lock()
+	if tp := sh.topics[s.id]; tp != nil {
+		if _, ok := tp.subs[s]; ok {
+			delete(tp.subs, s)
+			s.b.subCount.Add(-1)
+		}
 	}
-	s.b.mu.Unlock()
+	delete(sh.deferred, s)
+	sh.mu.Unlock()
 	s.shut()
 }
 
 // shut closes the delivery channel once. The subscription must already
-// be detached from its topic (or the whole broker closed), so no
-// publisher can reach it.
+// be detached from its topic (or the whole broker closed); the drain
+// may still hold a stale reference, but its pushes check closed under
+// s.mu, so no update can follow the close.
 func (s *Subscription[T]) shut() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -159,27 +356,35 @@ func (s *Subscription[T]) shut() {
 	close(s.ch)
 }
 
-// Prime delivers u directly to this subscription, bypassing the
-// topic's sequence counter. The engine uses it to seed a fresh watcher
-// with the current snapshot at the current sequence number; the caller
-// must ensure no Publish runs concurrently (the engine's read lock
-// excludes the publish path).
-func (s *Subscription[T]) Prime(u T) { s.push(u) }
-
-// push delivers u, coalescing on overflow: the oldest buffered update
-// is dropped until the newest fits. Pushes must be externally
-// serialized (Publish holds b.mu; Prime relies on the caller); the
-// loop terminates because the receiver only ever removes elements.
-func (s *Subscription[T]) push(u T) {
+// Prime delivers u directly to this subscription at sequence number
+// seq, bypassing the drain tier. The engine uses it to seed a fresh
+// watcher with the current snapshot under its read lock; seq feeds the
+// same per-subscriber dedup the drain uses, so a concurrently drained
+// update with the same sequence number is delivered exactly once.
+func (s *Subscription[T]) Prime(u T, seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || (s.delivered && seq <= s.lastSeq) {
 		return
 	}
+	s.pushLocked(u, seq, time.Now())
+}
+
+// pushLocked hands u to the delivery channel, coalescing on overflow:
+// the oldest buffered update is dropped until the newest fits. Caller
+// holds s.mu; the loop terminates because the receiver only ever
+// removes elements.
+func (s *Subscription[T]) pushLocked(u T, seq uint64, now time.Time) {
 	for {
 		select {
 		case s.ch <- u:
 			s.b.ins.Deliveries.Inc()
+			s.delivered = true
+			s.lastSeq = seq
+			s.lastPush = now
+			if s.filter != nil {
+				s.prev, s.hasPrev = u, true
+			}
 			return
 		default:
 		}
@@ -192,30 +397,240 @@ func (s *Subscription[T]) push(u T) {
 }
 
 // Publish advances id's sequence number and, when the topic currently
-// has subscribers, delivers build(seq) to each of them. build runs at
-// most once per call and only if there is at least one subscriber, so
-// publishing to an unwatched query costs one map lookup and an
-// increment. Returns the new sequence number (0 when the broker is
-// closed or the topic gone).
-func (b *Broker[T]) Publish(id uint32, build func(seq uint64) T) uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+// has subscribers, enqueues a change record for the shard's drain
+// goroutine — it never builds a payload and never touches a
+// subscriber, so fan-out cost stays off the publish hot path. The
+// enqueue is allocation-free: a re-publish of an already-queued topic
+// only bumps the sequence (the drain materializes the latest state
+// anyway), and publishing to an unwatched query costs one map lookup
+// and an increment. Returns the new sequence number (0 when the broker
+// is closed or the topic gone).
+func (b *Broker[T]) Publish(id uint32) uint64 {
+	if b.closed.Load() {
 		return 0
 	}
-	tp := b.topicLocked(id)
+	sh := b.shard(id)
+	sh.mu.Lock()
+	tp := sh.topicLocked(b, id)
 	if tp.gone {
+		sh.mu.Unlock()
 		return 0
 	}
 	tp.seq++
+	seq := tp.seq
+	wake := false
+	if len(tp.subs) > 0 && !tp.queued {
+		tp.queued = true
+		tp.queuedAt = time.Now()
+		sh.queued++
+		if sh.count < len(sh.ring) {
+			sh.ring[(sh.head+sh.count)%len(sh.ring)] = id
+			sh.count++
+		} else {
+			sh.overflow = true
+		}
+		wake = true
+	}
+	sh.mu.Unlock()
 	b.ins.Updates.Inc()
-	if len(tp.subs) > 0 {
-		u := build(tp.seq)
-		for s := range tp.subs {
-			s.push(u)
+	if wake {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
 		}
 	}
-	return tp.seq
+	return seq
+}
+
+// drain is one shard's delivery goroutine: it parks until woken by a
+// publish (or a MinInterval deadline), then drains the shard's intake.
+func (b *Broker[T]) drain(sh *shard[T]) {
+	defer b.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-sh.stop:
+			return
+		case <-sh.wake:
+		case <-timer.C:
+		}
+		b.drainPass(sh, timer)
+	}
+}
+
+// drainPass serves the shard's intake until it is idle: pop a queued
+// topic, materialize its current state once, hand it to every
+// subscriber; when the intake is empty, release parked MinInterval
+// subscribers whose deadline passed, then re-arm the interval timer
+// and return to parking.
+func (b *Broker[T]) drainPass(sh *shard[T], timer *time.Timer) {
+	for {
+		sh.mu.Lock()
+		id, at, tp, ok := sh.popLocked()
+		if ok {
+			sh.busy = true
+			sh.scratch = sh.scratch[:0]
+			for s := range tp.subs {
+				sh.scratch = append(sh.scratch, s)
+			}
+			subs := sh.scratch
+			sh.mu.Unlock()
+			if len(subs) > 0 {
+				b.deliverTopic(sh, id, subs, at)
+			}
+			continue
+		}
+		now := time.Now()
+		sh.due = sh.due[:0]
+		var next time.Time
+		for s, dl := range sh.deferred {
+			if !dl.After(now) {
+				sh.due = append(sh.due, s)
+				delete(sh.deferred, s)
+			} else if next.IsZero() || dl.Before(next) {
+				next = dl
+			}
+		}
+		if len(sh.due) > 0 {
+			due := sh.due
+			sh.mu.Unlock()
+			for _, s := range due {
+				if u, seq, ok := b.mat(s.id); ok {
+					b.deliverSub(sh, s, u, seq, time.Now())
+				}
+			}
+			continue
+		}
+		sh.busy = false
+		if sh.queued == 0 {
+			sh.cond.Broadcast()
+		}
+		sh.mu.Unlock()
+		// Re-arm the interval timer outside the lock; only this
+		// goroutine touches it, so the stop-drain-reset dance is safe.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if !next.IsZero() {
+			timer.Reset(time.Until(next))
+		}
+		return
+	}
+}
+
+// popLocked takes the next queued topic off the intake: ring first,
+// then the overflow sweep (rebuilt from the registry when the ring
+// overflowed). Entries are hints — a topic already served or closed is
+// skipped — and the queued flag is cleared *before* materialization,
+// so a publish landing mid-delivery re-queues the topic rather than
+// being lost.
+func (sh *shard[T]) popLocked() (id uint32, at time.Time, tp *topic[T], ok bool) {
+	for {
+		switch {
+		case sh.count > 0:
+			id = sh.ring[sh.head]
+			sh.head = (sh.head + 1) % len(sh.ring)
+			sh.count--
+		case len(sh.sweep) > 0:
+			id = sh.sweep[len(sh.sweep)-1]
+			sh.sweep = sh.sweep[:len(sh.sweep)-1]
+		case sh.overflow:
+			sh.overflow = false
+			for tid, t := range sh.topics {
+				if t.queued {
+					sh.sweep = append(sh.sweep, tid)
+				}
+			}
+			continue
+		default:
+			return 0, time.Time{}, nil, false
+		}
+		t := sh.topics[id]
+		if t == nil || !t.queued {
+			continue // stale hint
+		}
+		t.queued = false
+		sh.queued--
+		return id, t.queuedAt, t, true
+	}
+}
+
+// deliverTopic materializes id's current state once and hands it to
+// every captured subscriber (build-once, deliver-many).
+func (b *Broker[T]) deliverTopic(sh *shard[T], id uint32, subs []*Subscription[T], queuedAt time.Time) {
+	u, seq, ok := b.mat(id)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	b.ins.DrainLatency.ObserveDuration(now.Sub(queuedAt))
+	for _, s := range subs {
+		b.deliverSub(sh, s, u, seq, now)
+	}
+}
+
+// deliverSub applies the subscriber's dedup, interval and filter
+// policies, then pushes. Every suppression leaves lastSeq behind the
+// topic sequence (dedup skips) or consumes it (filter), so the next
+// delivered update exposes the gap.
+func (b *Broker[T]) deliverSub(sh *shard[T], s *Subscription[T], u T, seq uint64, now time.Time) {
+	s.mu.Lock()
+	if s.closed || (s.delivered && seq <= s.lastSeq) {
+		s.mu.Unlock()
+		return
+	}
+	if s.minInterval > 0 && s.delivered {
+		if wait := s.minInterval - now.Sub(s.lastPush); wait > 0 {
+			deadline := now.Add(wait)
+			s.mu.Unlock()
+			// Park until the interval elapses; the drain re-materializes
+			// the latest state at the deadline. Lock order is sh.mu
+			// before s.mu broker-wide, so release s.mu first.
+			sh.mu.Lock()
+			if _, parked := sh.deferred[s]; !parked {
+				sh.deferred[s] = deadline
+			}
+			sh.mu.Unlock()
+			select {
+			case sh.wake <- struct{}{}:
+			default:
+			}
+			return
+		}
+	}
+	if s.filter != nil && s.hasPrev && !s.filter(s.prev, u) {
+		// Consumed but suppressed: the skip shows up as a sequence gap.
+		s.lastSeq = seq
+		s.mu.Unlock()
+		b.ins.Filtered.Inc()
+		return
+	}
+	s.pushLocked(u, seq, now)
+	s.mu.Unlock()
+}
+
+// Flush blocks until every shard's intake is drained and handed to
+// subscriber buffers. MinInterval-parked deliveries are intentionally
+// not waited for (their deadline may be arbitrarily far away). The
+// caller must not hold locks the Materializer needs. No-op on a
+// closed broker.
+func (b *Broker[T]) Flush() {
+	if b.closed.Load() {
+		return
+	}
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for (sh.queued > 0 || sh.busy) && !b.closed.Load() {
+			sh.cond.Wait()
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Seqs returns every live topic's current sequence number, omitting
@@ -225,15 +640,18 @@ func (b *Broker[T]) Publish(id uint32, build func(seq uint64) T) uint64 {
 // snapshots persist the map so that Seq-based drop detection — a
 // watcher comparing the Seq of consecutive updates — keeps working
 // across a server restart instead of silently restarting every
-// counter at zero.
+// counter at zero. The engine calls it under its lock, which excludes
+// publishes, so the map is one consistent cut across the shard set.
 func (b *Broker[T]) Seqs() map[uint32]uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make(map[uint32]uint64, len(b.topics))
-	for id, tp := range b.topics {
-		if tp.seq > 0 && !tp.gone {
-			out[id] = tp.seq
+	out := make(map[uint32]uint64)
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for id, tp := range sh.topics {
+			if tp.seq > 0 && !tp.gone {
+				out[id] = tp.seq
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -242,10 +660,11 @@ func (b *Broker[T]) Seqs() map[uint32]uint64 {
 // for a freshly built broker before any Subscribe or Publish; topics
 // that already exist are overwritten.
 func (b *Broker[T]) RestoreSeqs(seqs map[uint32]uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	for id, seq := range seqs {
-		b.topicLocked(id).seq = seq
+		sh := b.shard(id)
+		sh.mu.Lock()
+		sh.topicLocked(b, id).seq = seq
+		sh.mu.Unlock()
 	}
 }
 
@@ -253,9 +672,10 @@ func (b *Broker[T]) RestoreSeqs(seqs map[uint32]uint64) {
 // query's top-k has changed since the broker was created (or since
 // the stream the broker was restored from began, after RestoreSeqs).
 func (b *Broker[T]) Seq(id uint32) uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if tp := b.topics[id]; tp != nil {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if tp := sh.topics[id]; tp != nil {
 		return tp.seq
 	}
 	return 0
@@ -263,9 +683,10 @@ func (b *Broker[T]) Seq(id uint32) uint64 {
 
 // Subscribers returns id's current subscriber count.
 func (b *Broker[T]) Subscribers(id uint32) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if tp := b.topics[id]; tp != nil {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if tp := sh.topics[id]; tp != nil {
 		return len(tp.subs)
 	}
 	return 0
@@ -274,41 +695,64 @@ func (b *Broker[T]) Subscribers(id uint32) int {
 // CloseTopic permanently shuts id's topic: every current subscriber's
 // channel is closed and future Subscribe/Publish calls for id fail.
 // The engine calls this when the query is unregistered, so watchers
-// observe end-of-stream rather than silence.
+// observe end-of-stream rather than silence. A change record still in
+// the intake is discarded — there is no one left to deliver to, and
+// the materializer could no longer build the payload anyway.
 func (b *Broker[T]) CloseTopic(id uint32) {
-	b.mu.Lock()
-	tp := b.topics[id]
+	sh := b.shard(id)
+	sh.mu.Lock()
+	tp := sh.topics[id]
 	var subs []*Subscription[T]
 	if tp != nil {
 		tp.gone = true
+		if tp.queued {
+			tp.queued = false
+			sh.queued--
+			if sh.queued == 0 && !sh.busy {
+				sh.cond.Broadcast()
+			}
+		}
 		for s := range tp.subs {
 			subs = append(subs, s)
+			delete(sh.deferred, s)
 		}
 		clear(tp.subs)
+		b.subCount.Add(-int64(len(subs)))
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	for _, s := range subs {
 		s.shut()
 	}
 }
 
-// Close shuts the broker down: every subscriber's channel is closed
-// and future Subscribe calls fail. Publish becomes a no-op. Idempotent.
+// Close shuts the broker down: the drain goroutines stop (after
+// finishing any in-flight pass), every subscriber's channel is closed
+// and future Subscribe calls fail. Publish becomes a no-op. Updates
+// still in the intake are discarded — call Flush first to drain them.
+// Idempotent.
 func (b *Broker[T]) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
-	b.closed = true
-	var subs []*Subscription[T]
-	for _, tp := range b.topics {
-		for s := range tp.subs {
-			subs = append(subs, s)
-		}
-		clear(tp.subs)
+	for _, sh := range b.shards {
+		close(sh.stop)
 	}
-	b.mu.Unlock()
+	b.wg.Wait()
+	var subs []*Subscription[T]
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, tp := range sh.topics {
+			for s := range tp.subs {
+				subs = append(subs, s)
+			}
+			clear(tp.subs)
+		}
+		clear(sh.deferred)
+		// Unblock any Flush waiting on this shard.
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	b.subCount.Add(-int64(len(subs)))
 	for _, s := range subs {
 		s.shut()
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package notify
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; allocation gates skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -375,6 +375,19 @@ const watchBufMax = 1024
 // delivery buffer for clients that want short backlogs instead of
 // pure latest-value semantics.
 //
+// Three optional parameters coarsen the stream per watcher, evaluated
+// on the broker's drain tier (suppressed updates show up as Seq gaps,
+// never as staleness — the next delivered event always carries the
+// newest state):
+//
+//	?top_n=N           deliver only when the identity/order of the
+//	                   first N results changes
+//	?min_rank_change=N deliver only when some document moves ≥ N rank
+//	                   positions (entering/leaving counts as a full-k
+//	                   move); ORs with top_n
+//	?min_interval=D    rate limit (Go duration, e.g. 500ms): at most
+//	                   one delivery per D, carrying the latest state
+//
 // On /v1, the stream is resumable: a reconnecting client sends the
 // standard Last-Event-ID header with the last Seq it saw. Seqs are
 // persisted with snapshots and reconstructed by WAL replay, so the
@@ -389,14 +402,39 @@ func (s *Server) watch(ef fail, resumable bool) http.HandlerFunc {
 			ef(w, http.StatusBadRequest, "invalid_argument", err)
 			return
 		}
-		buf := 1
-		if b := r.URL.Query().Get("buffer"); b != "" {
+		q := r.URL.Query()
+		opts := ctk.SubscribeOptions{Buffer: 1}
+		if b := q.Get("buffer"); b != "" {
 			n, err := strconv.Atoi(b)
 			if err != nil || n < 1 || n > watchBufMax {
 				ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("buffer must be 1..%d", watchBufMax))
 				return
 			}
-			buf = n
+			opts.Buffer = n
+		}
+		if v := q.Get("top_n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("top_n must be a positive integer"))
+				return
+			}
+			opts.TopN = n
+		}
+		if v := q.Get("min_rank_change"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("min_rank_change must be a positive integer"))
+				return
+			}
+			opts.MinRankChange = n
+		}
+		if v := q.Get("min_interval"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				ef(w, http.StatusBadRequest, "invalid_argument", fmt.Errorf("min_interval must be a positive duration (e.g. 500ms)"))
+				return
+			}
+			opts.MinInterval = d
 		}
 		lastSeen, haveLast := uint64(0), false
 		if resumable {
@@ -409,7 +447,7 @@ func (s *Server) watch(ef fail, resumable bool) http.HandlerFunc {
 				lastSeen, haveLast = n, true
 			}
 		}
-		ch, cancel, err := s.engine.Subscribe(id, buf)
+		ch, cancel, err := s.engine.SubscribeOpts(id, opts)
 		if err != nil {
 			status, code := engineFailure(err)
 			ef(w, status, code, err)

@@ -173,6 +173,11 @@ func TestV1ErrorEnvelope(t *testing.T) {
 		{"results bad id", "GET", "/v1/results/notanumber", "", 400, "invalid_argument"},
 		{"watch unknown", "GET", "/v1/watch/42", "", 404, "unknown_query"},
 		{"watch bad buffer", "GET", "/v1/watch/0?buffer=0", "", 400, "invalid_argument"},
+		{"watch bad top_n", "GET", "/v1/watch/0?top_n=zero", "", 400, "invalid_argument"},
+		{"watch negative top_n", "GET", "/v1/watch/0?top_n=-1", "", 400, "invalid_argument"},
+		{"watch bad min_rank_change", "GET", "/v1/watch/0?min_rank_change=0", "", 400, "invalid_argument"},
+		{"watch bad min_interval", "GET", "/v1/watch/0?min_interval=fast", "", 400, "invalid_argument"},
+		{"watch negative min_interval", "GET", "/v1/watch/0?min_interval=-1s", "", 400, "invalid_argument"},
 		{"catch-all 404", "GET", "/v1/no/such/route", "", 404, "not_found"},
 	}
 	for _, tc := range cases {

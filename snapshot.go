@@ -133,10 +133,15 @@ func ReadSnapshot(r io.Reader, opts Options) (*Engine, error) {
 		}
 		e.snipHW = max(2*len(e.snips), snipPruneMin)
 	}
-	e.broker = notify.New[Update]()
+	e.broker = notify.NewWith(notify.Options[Update]{
+		Shards:      opts.BrokerShards,
+		Materialize: e.materialize,
+	})
 	// Resume the notification sequence numbers where the saved engine
 	// left off, so a watcher reconnecting after the restart can still
-	// detect dropped updates by Seq gaps.
+	// detect dropped updates by Seq gaps. Sequence state is
+	// shard-layout independent: the restoring process may run a
+	// different BrokerShards than the saving one.
 	e.broker.RestoreSeqs(ts.Seqs)
 	e.initObs()
 	return e, nil
